@@ -1,0 +1,550 @@
+// Package aria is a reproduction of "Aria: Tolerating Skewed Workloads in
+// Secure In-memory Key-value Stores" (Yang et al., ICDE 2021) as a Go
+// library.
+//
+// Aria is a secure in-memory KV store for SGX-class trusted execution
+// environments. KV pairs and the index live in untrusted memory; a flat
+// Merkle tree of encryption counters provides confidentiality, integrity,
+// and freshness; and the paper's core contribution — the Secure Cache —
+// keeps the hot part of that tree inside the limited EPC at node
+// granularity, so skewed workloads verify hot keys with a single trusted
+// read instead of a Merkle walk.
+//
+// Since real SGX hardware is not assumed, the library runs on a
+// deterministic enclave simulator (see internal/sgx and DESIGN.md §1):
+// the cryptography is real, the clock is simulated cycles. Every design
+// the paper measures is available as a Scheme:
+//
+//	AriaHash / AriaTree           the paper's system (Aria-H / Aria-T)
+//	NoCacheHash / NoCacheTree     "Aria w/o Cache" (counters in EPC, hardware paging)
+//	ShieldStoreScheme             the EuroSys'19 comparator
+//	BaselineHash / BaselineTree   whole store inside the EPC
+//
+// Quick start:
+//
+//	st, err := aria.Open(aria.Options{Scheme: aria.AriaHash, ExpectedKeys: 100000})
+//	if err != nil { ... }
+//	err = st.Put([]byte("k"), []byte("v"))
+//	v, err := st.Get([]byte("k"))
+package aria
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ariakv/aria/internal/baseline"
+	"github.com/ariakv/aria/internal/core"
+	"github.com/ariakv/aria/internal/securecache"
+	"github.com/ariakv/aria/internal/sgx"
+	"github.com/ariakv/aria/internal/shieldstore"
+)
+
+// Scheme selects one of the designs evaluated in the paper.
+type Scheme int
+
+const (
+	// AriaHash is Aria with the chained hash index (Aria-H).
+	AriaHash Scheme = iota
+	// AriaTree is Aria with the B-tree index (Aria-T).
+	AriaTree
+	// NoCacheHash is "Aria w/o Cache" over the hash index: all counters
+	// in a plain EPC array, hardware secure paging only.
+	NoCacheHash
+	// NoCacheTree is "Aria w/o Cache" over the B-tree index.
+	NoCacheTree
+	// ShieldStoreScheme is the ShieldStore comparator (EuroSys 2019).
+	ShieldStoreScheme
+	// BaselineHash places an ordinary hash-table store entirely in the
+	// EPC.
+	BaselineHash
+	// BaselineTree places an ordinary B-tree store entirely in the EPC.
+	BaselineTree
+	// AriaBPTree is Aria with the B+-tree index: interior nodes hold
+	// router keys only and the store supports verified range scans.
+	// This implements the extension the paper leaves as future work
+	// (§VII).
+	AriaBPTree
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case AriaHash:
+		return "aria-h"
+	case AriaTree:
+		return "aria-t"
+	case NoCacheHash:
+		return "nocache-h"
+	case NoCacheTree:
+		return "nocache-t"
+	case ShieldStoreScheme:
+		return "shieldstore"
+	case BaselineHash:
+		return "baseline-h"
+	case BaselineTree:
+		return "baseline-t"
+	case AriaBPTree:
+		return "aria-bp"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// ReplacementPolicy selects the Secure Cache eviction policy.
+type ReplacementPolicy = securecache.Policy
+
+// Replacement policies (paper §IV-E: FIFO avoids LRU's hit penalty).
+const (
+	FIFO = securecache.FIFO
+	LRU  = securecache.LRU
+)
+
+// Errors returned by stores. Schemes map their internal errors onto these.
+var (
+	ErrNotFound  = errors.New("aria: key not found")
+	ErrIntegrity = errors.New("aria: integrity verification failed (attack detected)")
+	ErrTooLarge  = errors.New("aria: key or value exceeds configured maximum")
+	ErrEmptyKey  = errors.New("aria: empty key")
+	ErrNoScan    = errors.New("aria: scheme does not support range scans")
+)
+
+// Options configures a store. Zero values get paper defaults.
+type Options struct {
+	// Scheme selects the design (default AriaHash).
+	Scheme Scheme
+	// EPCBytes sizes the simulated EPC (default 91 MB, the paper's
+	// testbed).
+	EPCBytes int
+	// ExpectedKeys sizes the counter area and index (default 1M).
+	ExpectedKeys int
+	// SecureCacheBytes is the Secure Cache EPC budget (default: as much
+	// of the EPC as remains sensible, per the paper's "as large as
+	// possible" setting — 70% of the EPC).
+	SecureCacheBytes int
+	// PinBudgetBytes is the EPC budget for Merkle level pinning
+	// (default 4 MB).
+	PinBudgetBytes int
+	// Arity is the Merkle tree branch factor (default 8; Figure 15).
+	Arity int
+	// Policy is the Secure Cache replacement policy (default FIFO).
+	Policy ReplacementPolicy
+	// StopSwap enables the hit-ratio stop-swap mode (default on for
+	// Aria schemes; set DisableStopSwap to turn off).
+	DisableStopSwap bool
+	// DisablePinning turns level pinning off (Figure 12 ablations).
+	DisablePinning bool
+	// OcallAlloc exits the enclave for every untrusted allocation
+	// (the AriaBase arm of Figure 12).
+	OcallAlloc bool
+	// DisableCleanDiscard writes clean Secure Cache victims back on
+	// eviction, modelling hardware EWB semantics (§IV-C ablation).
+	DisableCleanDiscard bool
+	// WithoutSGX prices enclave memory like ordinary DRAM and removes
+	// paging/edge-call costs ("Aria w/o SGX" in Figure 12). Crypto
+	// still runs.
+	WithoutSGX bool
+	// ShieldStoreRootBytes is the EPC budget for ShieldStore bucket
+	// roots (default 64 MB, the paper's configuration).
+	ShieldStoreRootBytes int
+	// BucketLoad is the hash index target chain length (default 4).
+	BucketLoad int
+	// BTreeDegree is the B-tree minimum degree (default 8).
+	BTreeDegree int
+	// MaxKeySize / MaxValueSize bound entries (defaults 256 / 4096).
+	MaxKeySize   int
+	MaxValueSize int
+	// Seed drives deterministic initialisation.
+	Seed uint64
+	// MeasureOff creates the store with cycle accounting disabled (bulk
+	// load); call Store.SetMeasuring(true) before the measured window.
+	MeasureOff bool
+}
+
+// Stats is a point-in-time snapshot of a store and its enclave.
+type Stats struct {
+	Scheme  Scheme
+	Gets    uint64
+	Puts    uint64
+	Deletes uint64
+	Keys    int
+
+	// SimCycles is the simulated clock; SimSeconds converts it at the
+	// nominal 3.6 GHz.
+	SimCycles  uint64
+	SimSeconds float64
+
+	// Enclave event counts.
+	PageSwaps uint64
+	Ecalls    uint64
+	Ocalls    uint64
+	MACs      uint64
+	CTROps    uint64
+
+	// Secure Cache behaviour (zero for schemes without one).
+	CacheHits     uint64
+	CacheMisses   uint64
+	CacheHitRatio float64
+	StopSwap      bool
+	PinnedLevels  int
+
+	// EPCUsedBytes is the allocated enclave heap.
+	EPCUsedBytes int
+}
+
+// Store is the public interface every scheme implements.
+type Store interface {
+	// Put inserts or updates a key.
+	Put(key, value []byte) error
+	// Get returns a copy of the value stored under key.
+	Get(key []byte) ([]byte, error)
+	// Delete removes a key.
+	Delete(key []byte) error
+	// Stats returns a snapshot of operation and enclave counters.
+	Stats() Stats
+	// VerifyIntegrity audits the entire store offline, returning
+	// ErrIntegrity if any tampering is found.
+	VerifyIntegrity() error
+	// SetMeasuring toggles simulated-cycle accounting (exclude load
+	// phases from measurements).
+	SetMeasuring(on bool)
+	// ResetStats zeroes the enclave clock and event counters (start of
+	// a measured window).
+	ResetStats()
+}
+
+// Open creates a store of the selected scheme inside a fresh simulated
+// enclave.
+func Open(opts Options) (Store, error) {
+	if opts.EPCBytes <= 0 {
+		opts.EPCBytes = 91 << 20
+	}
+	if opts.ExpectedKeys <= 0 {
+		opts.ExpectedKeys = 1 << 20
+	}
+	if opts.SecureCacheBytes == 0 {
+		opts.SecureCacheBytes = opts.EPCBytes / 10 * 8
+	}
+	if opts.PinBudgetBytes == 0 {
+		opts.PinBudgetBytes = 4 << 20
+		if opts.PinBudgetBytes > opts.EPCBytes/8 {
+			opts.PinBudgetBytes = opts.EPCBytes / 8
+		}
+	}
+	if opts.ShieldStoreRootBytes == 0 {
+		// The paper's configuration is 64 MB of roots; smaller EPCs get
+		// the largest root array that still avoids secure paging.
+		opts.ShieldStoreRootBytes = 64 << 20
+		if opts.ShieldStoreRootBytes > opts.EPCBytes/10*7 {
+			opts.ShieldStoreRootBytes = opts.EPCBytes / 10 * 7
+		}
+	}
+	costs := sgx.DefaultCosts()
+	if opts.WithoutSGX {
+		costs = sgx.InsecureCosts()
+	}
+	enc := sgx.New(sgx.Config{
+		EPCBytes:   opts.EPCBytes,
+		Costs:      costs,
+		MeasureOff: opts.MeasureOff,
+	})
+	switch opts.Scheme {
+	case AriaHash, AriaTree, AriaBPTree, NoCacheHash, NoCacheTree:
+		co := core.Options{
+			ExpectedKeys:        opts.ExpectedKeys,
+			BucketLoad:          opts.BucketLoad,
+			Arity:               opts.Arity,
+			CacheBytes:          opts.SecureCacheBytes,
+			PinBudgetBytes:      opts.PinBudgetBytes,
+			Policy:              opts.Policy,
+			DisablePinning:      opts.DisablePinning,
+			StopSwap:            !opts.DisableStopSwap,
+			OcallAlloc:          opts.OcallAlloc,
+			DisableCleanDiscard: opts.DisableCleanDiscard,
+			MaxKeySize:          opts.MaxKeySize,
+			MaxValueSize:        opts.MaxValueSize,
+			BTreeDegree:         opts.BTreeDegree,
+			Seed:                opts.Seed,
+		}
+		switch opts.Scheme {
+		case AriaTree, NoCacheTree:
+			co.Index = core.BTreeIndex
+		case AriaBPTree:
+			co.Index = core.BPTreeIndex
+		default:
+			co.Index = core.HashIndex
+		}
+		if opts.Scheme == NoCacheHash || opts.Scheme == NoCacheTree {
+			co.PlainCounters = true
+		}
+		e, err := core.New(enc, co)
+		if err != nil {
+			return nil, err
+		}
+		return &coreStore{e: e, enc: enc, scheme: opts.Scheme}, nil
+	case ShieldStoreScheme:
+		s, err := shieldstore.New(enc, shieldstore.Options{
+			RootBudgetBytes: opts.ShieldStoreRootBytes,
+			MaxKeySize:      opts.MaxKeySize,
+			MaxValueSize:    opts.MaxValueSize,
+			Seed:            opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &shieldStore{s: s, enc: enc}, nil
+	case BaselineHash, BaselineTree:
+		s, err := baseline.New(enc, baseline.Options{
+			ExpectedKeys: opts.ExpectedKeys,
+			BucketLoad:   opts.BucketLoad,
+			Tree:         opts.Scheme == BaselineTree,
+			BTreeDegree:  opts.BTreeDegree,
+			MaxKeySize:   opts.MaxKeySize,
+			MaxValueSize: opts.MaxValueSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &baseStore{s: s, enc: enc, scheme: opts.Scheme}, nil
+	}
+	return nil, fmt.Errorf("aria: unknown scheme %v", opts.Scheme)
+}
+
+// mapErr translates internal sentinel errors to the public ones while
+// preserving the original as wrapped context.
+func mapErr(err error, notFound, integrity, tooLarge, emptyKey error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, notFound):
+		return ErrNotFound
+	case errors.Is(err, integrity):
+		return fmt.Errorf("%w: %v", ErrIntegrity, err)
+	case errors.Is(err, tooLarge):
+		return ErrTooLarge
+	case errors.Is(err, emptyKey):
+		return ErrEmptyKey
+	}
+	return err
+}
+
+// ---- Aria / Aria w/o Cache ----------------------------------------------------
+
+type coreStore struct {
+	e      *core.Engine
+	enc    *sgx.Enclave
+	scheme Scheme
+}
+
+func (c *coreStore) mapErr(err error) error {
+	return mapErr(err, core.ErrNotFound, core.ErrIntegrity, core.ErrTooLarge, core.ErrEmptyKey)
+}
+
+func (c *coreStore) Put(key, value []byte) error { return c.mapErr(c.e.Put(key, value)) }
+
+func (c *coreStore) Get(key []byte) ([]byte, error) {
+	v, err := c.e.Get(key)
+	return v, c.mapErr(err)
+}
+
+func (c *coreStore) Delete(key []byte) error { return c.mapErr(c.e.Delete(key)) }
+
+func (c *coreStore) VerifyIntegrity() error { return c.mapErr(c.e.VerifyIntegrity()) }
+
+func (c *coreStore) SetMeasuring(on bool) { c.enc.SetMeasuring(on) }
+
+func (c *coreStore) ResetStats() { c.enc.ResetStats() }
+
+func (c *coreStore) Stats() Stats {
+	es := c.e.Stats()
+	st := baseStats(c.scheme, c.enc)
+	st.Gets, st.Puts, st.Deletes = es.Gets, es.Puts, es.Deletes
+	st.Keys = es.Keys
+	st.CacheHits = es.Cache.Hits
+	st.CacheMisses = es.Cache.Misses
+	if es.Cache.Lookups > 0 {
+		st.CacheHitRatio = float64(es.Cache.Hits) / float64(es.Cache.Lookups)
+	}
+	st.StopSwap = es.Cache.StopSwap
+	st.PinnedLevels = es.Cache.PinnedLevels
+	return st
+}
+
+// ---- ShieldStore ---------------------------------------------------------------
+
+type shieldStore struct {
+	s   *shieldstore.Store
+	enc *sgx.Enclave
+}
+
+func (s *shieldStore) mapErr(err error) error {
+	return mapErr(err, shieldstore.ErrNotFound, shieldstore.ErrIntegrity,
+		shieldstore.ErrTooLarge, shieldstore.ErrEmptyKey)
+}
+
+func (s *shieldStore) Put(key, value []byte) error { return s.mapErr(s.s.Put(key, value)) }
+
+func (s *shieldStore) Get(key []byte) ([]byte, error) {
+	v, err := s.s.Get(key)
+	return v, s.mapErr(err)
+}
+
+func (s *shieldStore) Delete(key []byte) error { return s.mapErr(s.s.Delete(key)) }
+
+func (s *shieldStore) VerifyIntegrity() error { return s.mapErr(s.s.VerifyIntegrity()) }
+
+func (s *shieldStore) SetMeasuring(on bool) { s.enc.SetMeasuring(on) }
+
+func (s *shieldStore) ResetStats() { s.enc.ResetStats() }
+
+func (s *shieldStore) Stats() Stats {
+	st := baseStats(ShieldStoreScheme, s.enc)
+	st.Keys = s.s.Keys()
+	return st
+}
+
+// ---- Baseline -------------------------------------------------------------------
+
+type baseStore struct {
+	s      *baseline.Store
+	enc    *sgx.Enclave
+	scheme Scheme
+}
+
+func (b *baseStore) mapErr(err error) error {
+	return mapErr(err, baseline.ErrNotFound, errNever, baseline.ErrTooLarge, baseline.ErrEmptyKey)
+}
+
+// errNever is a sentinel that never matches: baseline stores are protected
+// by hardware and have no software integrity failure mode.
+var errNever = errors.New("never")
+
+func (b *baseStore) Put(key, value []byte) error { return b.mapErr(b.s.Put(key, value)) }
+
+func (b *baseStore) Get(key []byte) ([]byte, error) {
+	v, err := b.s.Get(key)
+	return v, b.mapErr(err)
+}
+
+func (b *baseStore) Delete(key []byte) error { return b.mapErr(b.s.Delete(key)) }
+
+func (b *baseStore) VerifyIntegrity() error { return b.s.VerifyTree() }
+
+func (b *baseStore) SetMeasuring(on bool) { b.enc.SetMeasuring(on) }
+
+func (b *baseStore) ResetStats() { b.enc.ResetStats() }
+
+func (b *baseStore) Stats() Stats {
+	st := baseStats(b.scheme, b.enc)
+	st.Keys = b.s.Keys()
+	return st
+}
+
+func baseStats(scheme Scheme, enc *sgx.Enclave) Stats {
+	es := enc.Stats()
+	return Stats{
+		Scheme:       scheme,
+		SimCycles:    es.Cycles,
+		SimSeconds:   enc.Seconds(),
+		PageSwaps:    es.PageSwaps,
+		Ecalls:       es.Ecalls,
+		Ocalls:       es.Ocalls,
+		MACs:         es.MACs,
+		CTROps:       es.CTROps,
+		EPCUsedBytes: enc.EPCUsedBytes(),
+	}
+}
+
+// Ranger is implemented by stores whose index keeps keys ordered and can
+// serve verified range scans (currently AriaBPTree).
+type Ranger interface {
+	// Scan visits every pair with start <= key < end (nil end =
+	// unbounded) in key order, stopping early when fn returns false.
+	// The slices passed to fn are only valid during the call.
+	Scan(start, end []byte, fn func(key, value []byte) bool) error
+}
+
+// Scan implements Ranger for engine-backed stores; non-ordered indexes
+// return ErrNoScan.
+func (c *coreStore) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	err := c.e.Scan(start, end, fn)
+	if errors.Is(err, core.ErrNoScan) {
+		return ErrNoScan
+	}
+	return c.mapErr(err)
+}
+
+// ---- fault injection -------------------------------------------------------------
+
+// Corrupter is implemented by stores whose untrusted memory can be modified
+// in place, emulating a malicious host. It exists for security
+// demonstrations and tests; enclave (EPC) state is never reachable.
+type Corrupter interface {
+	// UntrustedSize returns the size of the untrusted arena in bytes.
+	UntrustedSize() int
+	// FlipUntrustedByte XORs one byte of untrusted memory with mask,
+	// returning false if the offset is out of range.
+	FlipUntrustedByte(offset int, mask byte) bool
+	// SnapshotUntrusted copies the untrusted arena (for replay attacks).
+	SnapshotUntrusted() []byte
+	// RestoreUntrusted overwrites the untrusted arena with a snapshot
+	// taken earlier (a wholesale replay attack).
+	RestoreUntrusted(snap []byte)
+}
+
+func (c *coreStore) UntrustedSize() int { return c.enc.UntrustedUsedBytes() }
+
+func (c *coreStore) FlipUntrustedByte(offset int, mask byte) bool {
+	if offset < 0 || offset >= c.enc.UntrustedUsedBytes() {
+		return false
+	}
+	c.enc.UBytesRaw(sgx.UPtr(offset), 1)[0] ^= mask
+	return true
+}
+
+func (c *coreStore) SnapshotUntrusted() []byte {
+	n := c.enc.UntrustedUsedBytes()
+	return append([]byte(nil), c.enc.UBytesRaw(sgx.UPtr(0), n)...)
+}
+
+func (c *coreStore) RestoreUntrusted(snap []byte) {
+	n := c.enc.UntrustedUsedBytes()
+	if len(snap) < n {
+		n = len(snap)
+	}
+	copy(c.enc.UBytesRaw(sgx.UPtr(0), n), snap[:n])
+}
+
+func (s *shieldStore) UntrustedSize() int { return s.enc.UntrustedUsedBytes() }
+
+func (s *shieldStore) FlipUntrustedByte(offset int, mask byte) bool {
+	if offset < 0 || offset >= s.enc.UntrustedUsedBytes() {
+		return false
+	}
+	s.enc.UBytesRaw(sgx.UPtr(offset), 1)[0] ^= mask
+	return true
+}
+
+func (s *shieldStore) SnapshotUntrusted() []byte {
+	n := s.enc.UntrustedUsedBytes()
+	return append([]byte(nil), s.enc.UBytesRaw(sgx.UPtr(0), n)...)
+}
+
+func (s *shieldStore) RestoreUntrusted(snap []byte) {
+	n := s.enc.UntrustedUsedBytes()
+	if len(snap) < n {
+		n = len(snap)
+	}
+	copy(s.enc.UBytesRaw(sgx.UPtr(0), n), snap[:n])
+}
+
+// EdgeCaller is implemented by stores backed by the simulated enclave; each
+// call charges one ECALL (enclave entry). Networked frontends (kvnet) call
+// it per request, modelling the edge-call cost a real deployment pays when
+// requests originate outside the enclave.
+type EdgeCaller interface {
+	ChargeEcall()
+}
+
+func (c *coreStore) ChargeEcall() { c.enc.Ecall() }
+
+func (s *shieldStore) ChargeEcall() { s.enc.Ecall() }
+
+func (b *baseStore) ChargeEcall() { b.enc.Ecall() }

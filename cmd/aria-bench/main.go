@@ -1,0 +1,68 @@
+// Command aria-bench regenerates the tables and figures of the Aria paper's
+// evaluation (§VI) on the simulated-SGX substrate.
+//
+// Usage:
+//
+//	aria-bench -list
+//	aria-bench -exp fig9 [-scale 16] [-ops 100000] [-seed 42]
+//	aria-bench -exp all
+//
+// Scale divides every keyspace and EPC budget by the same factor, which
+// preserves the ratios that drive the results (see DESIGN.md §1). Scale 1
+// reproduces the paper's absolute sizes and needs ~32 GB of RAM for the
+// largest points; the default (16) fits comfortably on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ariakv/aria/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig2, table1, fig9..fig16b, memtab) or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.Int("scale", 16, "divide keyspaces and EPC budgets by this factor (1 = paper size)")
+		ops   = flag.Int("ops", 100000, "measured operations per data point")
+		seed  = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun one with: aria-bench -exp <id>   (or -exp all)")
+		}
+		return
+	}
+
+	p := bench.Params{Scale: *scale, Ops: *ops, Seed: *seed}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		if err := e.Run(p, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   [%s done in %.1fs wall]\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,64 @@
+// Command aria-server runs an aria store behind a TCP endpoint using the
+// kvnet protocol — the paper's deployment model of an enclave-hosted KV
+// store on an untrusted machine (transport protection via remote
+// attestation is assumed established, §II-B).
+//
+// Usage:
+//
+//	aria-server [-addr :7970] [-scheme aria-h] [-keys 1000000] [-epc 91]
+//
+// Talk to it with the kvnet client package, e.g.:
+//
+//	cl, _ := kvnet.Dial("localhost:7970")
+//	cl.Put([]byte("k"), []byte("v"))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/kvnet"
+)
+
+var schemes = map[string]aria.Scheme{
+	"aria-h":      aria.AriaHash,
+	"aria-t":      aria.AriaTree,
+	"aria-bp":     aria.AriaBPTree,
+	"nocache-h":   aria.NoCacheHash,
+	"nocache-t":   aria.NoCacheTree,
+	"shieldstore": aria.ShieldStoreScheme,
+	"baseline-h":  aria.BaselineHash,
+	"baseline-t":  aria.BaselineTree,
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7970", "listen address")
+		schemeName = flag.String("scheme", "aria-h", "store scheme")
+		keys       = flag.Int("keys", 1_000_000, "expected key count")
+		epcMB      = flag.Int("epc", 91, "simulated EPC size in MB")
+	)
+	flag.Parse()
+
+	scheme, ok := schemes[*schemeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+	st, err := aria.Open(aria.Options{
+		Scheme:       scheme,
+		EPCBytes:     *epcMB << 20,
+		ExpectedKeys: *keys,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := kvnet.NewServer(st)
+	log.Printf("aria-server: %s store, EPC %d MB, listening on %s", scheme, *epcMB, *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// ETC cache example: run a Facebook-ETC-like production workload (the mixed
+// tiny/small/large value population of the paper's §VI-B) against Aria and
+// print a small capacity-planning report: throughput, Secure Cache hit
+// ratio, and EPC footprint — the numbers an operator deciding between Aria
+// and ShieldStore would look at.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+func main() {
+	var (
+		keys = flag.Int("keys", 300000, "keyspace size")
+		ops  = flag.Int("ops", 60000, "measured operations")
+	)
+	flag.Parse()
+
+	fmt.Printf("Facebook ETC population: 40%% tiny (1-13B), 55%% small (14-300B), 5%% large (>300B)\n")
+	fmt.Printf("keyspace=%d, RD_95 request mix\n\n", *keys)
+	fmt.Printf("%-12s  %12s  %10s  %12s\n", "scheme", "ops/s", "hit-ratio", "EPC-used-MB")
+
+	for _, scheme := range []aria.Scheme{aria.AriaHash, aria.ShieldStoreScheme, aria.NoCacheHash} {
+		st, err := aria.Open(aria.Options{
+			Scheme:       scheme,
+			EPCBytes:     16 << 20,
+			ExpectedKeys: *keys,
+			MeasureOff:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := workload.New(workload.Config{Keys: *keys, ETC: true, ReadRatio: 0.95, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *keys; i++ {
+			if err := st.Put(gen.KeyAt(i), gen.ValueAt(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var op workload.Op
+		for i := 0; i < *ops/2; i++ {
+			gen.Next(&op)
+			apply(st, &op)
+		}
+		st.SetMeasuring(true)
+		st.ResetStats()
+		for i := 0; i < *ops; i++ {
+			gen.Next(&op)
+			apply(st, &op)
+		}
+		s := st.Stats()
+		fmt.Printf("%-12s  %12.0f  %10.2f  %12.1f\n",
+			scheme, float64(*ops)/s.SimSeconds, s.CacheHitRatio,
+			float64(s.EPCUsedBytes)/(1<<20))
+	}
+}
+
+func apply(st aria.Store, op *workload.Op) {
+	var err error
+	if op.Read {
+		_, err = st.Get(op.Key)
+		if err == aria.ErrNotFound {
+			err = nil
+		}
+	} else {
+		err = st.Put(op.Key, op.Value)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

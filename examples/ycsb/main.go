@@ -1,0 +1,84 @@
+// YCSB example: load a keyspace, then compare Aria-H against ShieldStore
+// under a skewed and a uniform YCSB workload — a miniature of the paper's
+// Figure 9 that a user can run in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+func main() {
+	var (
+		keys = flag.Int("keys", 200000, "keyspace size")
+		ops  = flag.Int("ops", 50000, "measured operations per point")
+		skew = flag.Float64("skew", 0.99, "zipfian skewness")
+	)
+	flag.Parse()
+
+	fmt.Printf("keyspace=%d, ops=%d, zipf=%.2f (simulated 3.6GHz cycles)\n\n", *keys, *ops, *skew)
+	fmt.Printf("%-14s  %-10s  %12s  %10s\n", "workload", "scheme", "ops/s", "hit-ratio")
+
+	for _, dist := range []workload.Dist{workload.Zipfian, workload.Uniform} {
+		for _, scheme := range []aria.Scheme{aria.AriaHash, aria.ShieldStoreScheme} {
+			thr, hit := run(scheme, dist, *keys, *ops, *skew)
+			fmt.Printf("%-14s  %-10s  %12.0f  %10.2f\n",
+				fmt.Sprintf("%v-R95", dist), scheme, thr, hit)
+		}
+	}
+}
+
+func run(scheme aria.Scheme, dist workload.Dist, keys, ops int, skew float64) (float64, float64) {
+	st, err := aria.Open(aria.Options{
+		Scheme:       scheme,
+		EPCBytes:     8 << 20, // small EPC so the keyspace is "large"
+		ExpectedKeys: keys,
+		MeasureOff:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.New(workload.Config{
+		Keys: keys, Dist: dist, Skew: skew, ReadRatio: 0.95, ValueSize: 64, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		if err := st.Put(gen.KeyAt(i), gen.ValueAt(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var op workload.Op
+	for i := 0; i < ops/2; i++ { // warm the Secure Cache
+		gen.Next(&op)
+		apply(st, &op)
+	}
+	st.SetMeasuring(true)
+	st.ResetStats()
+	for i := 0; i < ops; i++ {
+		gen.Next(&op)
+		apply(st, &op)
+	}
+	s := st.Stats()
+	return float64(ops) / s.SimSeconds, s.CacheHitRatio
+}
+
+func apply(st aria.Store, op *workload.Op) {
+	var err error
+	if op.Read {
+		_, err = st.Get(op.Key)
+		if err == aria.ErrNotFound {
+			err = nil
+		}
+	} else {
+		err = st.Put(op.Key, op.Value)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

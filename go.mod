@@ -1,0 +1,3 @@
+module github.com/ariakv/aria
+
+go 1.22

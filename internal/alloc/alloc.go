@@ -1,0 +1,329 @@
+// Package alloc implements Aria's user-space heap allocator for untrusted
+// memory (paper §V-B). Its purpose is to let enclave code allocate untrusted
+// memory for KV entries without an OCALL per allocation.
+//
+// Layout follows the paper: the untrusted pool is cut into 4 MB chunks, each
+// chunk is cut into equal-size data blocks, and chunks are grouped into size
+// classes. A per-chunk occupancy bitmap lives in the EPC so a malicious host
+// cannot corrupt allocator metadata undetected, while the free list (an
+// intrusive linked list threaded through the free blocks themselves) lives in
+// untrusted memory to save EPC space. Because chunks are 4 MB-aligned, the
+// block index of any pointer is pure address arithmetic, so each bitmap
+// check costs one enclave access.
+//
+// A Heap can also run in OCALL mode, modelling the naive design (AriaBase in
+// Figure 12) that exits the enclave for every malloc/free.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// ChunkSize is the allocation granule requested from the OS pool.
+const ChunkSize = 4 << 20
+
+// minBlock is the smallest data block handed out.
+const minBlock = 32
+
+// maxBlock is the largest size-class block; larger requests get whole chunks.
+const maxBlock = 2 << 20
+
+// freeNil terminates the intrusive free list.
+const freeNil = 0xffffffff
+
+// ErrCorrupt reports allocator metadata corruption: the untrusted free list
+// disagrees with the trusted bitmap, which only happens under attack (or a
+// double free by the caller, which the bitmap also catches).
+var ErrCorrupt = errors.New("alloc: untrusted allocator metadata corrupted")
+
+// ErrBadFree reports a Free of a pointer this heap never returned.
+var ErrBadFree = errors.New("alloc: free of unallocated pointer")
+
+type chunk struct {
+	base      sgx.UPtr
+	blockSize int
+	nblocks   int
+	used      int
+	bitmap    sgx.EPtr // nblocks bits, resident in the EPC
+	freeHead  uint32   // index of first free block; list threaded untrusted
+	class     int
+	nextAvail int // next chunk index in the class's avail list, -1 = none
+	inAvail   bool
+}
+
+// Stats reports allocator occupancy.
+type Stats struct {
+	Chunks       int
+	LiveBlocks   int
+	LiveBytes    int
+	EPCBytes     int // bitmap bytes resident in the enclave
+	LargeAllocs  int
+	FailedChecks int
+}
+
+// Heap is a user-space allocator over one enclave's untrusted arena.
+type Heap struct {
+	enc       *sgx.Enclave
+	ocallMode bool
+
+	chunks   []*chunk
+	byBase   map[sgx.UPtr]int // chunk base -> index in chunks
+	avail    []int            // head of avail chunk list per class, -1 = none
+	large    map[sgx.UPtr]int // large allocation -> chunk count
+	classes  []int
+	stats    Stats
+	liveByte int
+}
+
+// New creates a heap on the enclave's untrusted arena. With ocallMode set,
+// every Alloc and Free additionally pays one enclave exit, modelling
+// malloc/free forwarded to the host.
+func New(enc *sgx.Enclave, ocallMode bool) *Heap {
+	h := &Heap{
+		enc:       enc,
+		ocallMode: ocallMode,
+		byBase:    make(map[sgx.UPtr]int),
+		large:     make(map[sgx.UPtr]int),
+	}
+	for sz := minBlock; sz <= maxBlock; sz *= 2 {
+		h.classes = append(h.classes, sz)
+	}
+	h.avail = make([]int, len(h.classes))
+	for i := range h.avail {
+		h.avail[i] = -1
+	}
+	return h
+}
+
+// classFor returns the size class index for a request of n bytes, or -1 when
+// the request needs the large-allocation path.
+func (h *Heap) classFor(n int) int {
+	if n > maxBlock {
+		return -1
+	}
+	if n < minBlock {
+		n = minBlock
+	}
+	// Round up to the next power of two and map to the class index.
+	c := bits.Len(uint(n - 1))
+	idx := c - bits.Len(uint(minBlock-1))
+	if h.classes[idx] < n {
+		idx++
+	}
+	return idx
+}
+
+// Alloc returns an untrusted pointer to at least n bytes.
+func (h *Heap) Alloc(n int) (sgx.UPtr, error) {
+	if n <= 0 {
+		return sgx.NilU, fmt.Errorf("alloc: invalid size %d", n)
+	}
+	if h.ocallMode {
+		h.enc.Ocall()
+	}
+	cls := h.classFor(n)
+	if cls < 0 {
+		return h.allocLarge(n)
+	}
+	ci := h.avail[cls]
+	if ci < 0 {
+		ci = h.newChunk(cls)
+	}
+	c := h.chunks[ci]
+	// Pop the head of the untrusted free list.
+	idx := c.freeHead
+	if idx == freeNil || int(idx) >= c.nblocks {
+		h.stats.FailedChecks++
+		return sgx.NilU, ErrCorrupt
+	}
+	p := c.base + sgx.UPtr(int(idx)*c.blockSize)
+	next := h.readFreeLink(p)
+	// Validate against the trusted bitmap before trusting the pointer.
+	if h.bitTest(c, int(idx)) {
+		h.stats.FailedChecks++
+		return sgx.NilU, ErrCorrupt
+	}
+	h.bitSet(c, int(idx), true)
+	c.freeHead = next
+	c.used++
+	if c.used == c.nblocks {
+		h.popAvail(cls)
+	}
+	h.stats.LiveBlocks++
+	h.liveByte += c.blockSize
+	return p, nil
+}
+
+// Free returns p to the heap. The chunk and block size are recovered from
+// the 4 MB alignment of chunk bases.
+func (h *Heap) Free(p sgx.UPtr) error {
+	if h.ocallMode {
+		h.enc.Ocall()
+	}
+	if n, ok := h.large[p]; ok {
+		delete(h.large, p)
+		h.stats.LargeAllocs--
+		h.stats.LiveBlocks--
+		h.liveByte -= n * ChunkSize
+		return nil
+	}
+	base := p &^ (ChunkSize - 1)
+	ci, ok := h.byBase[base]
+	if !ok {
+		return ErrBadFree
+	}
+	c := h.chunks[ci]
+	off := int(p - c.base)
+	if off%c.blockSize != 0 {
+		return ErrBadFree
+	}
+	idx := off / c.blockSize
+	if idx >= c.nblocks {
+		return ErrBadFree
+	}
+	if !h.bitTest(c, idx) {
+		h.stats.FailedChecks++
+		return ErrCorrupt // double free or forged pointer
+	}
+	h.bitSet(c, idx, false)
+	h.writeFreeLink(p, c.freeHead)
+	c.freeHead = uint32(idx)
+	c.used--
+	if !c.inAvail {
+		h.pushAvail(c.class, ci)
+	}
+	h.stats.LiveBlocks--
+	h.liveByte -= c.blockSize
+	return nil
+}
+
+// BlockSize reports the usable size of the block at p (>= the requested
+// size), or 0 if p is unknown. The engine uses it to decide whether an
+// update fits in place.
+func (h *Heap) BlockSize(p sgx.UPtr) int {
+	if n, ok := h.large[p]; ok {
+		return n * ChunkSize
+	}
+	base := p &^ (ChunkSize - 1)
+	ci, ok := h.byBase[base]
+	if !ok {
+		return 0
+	}
+	return h.chunks[ci].blockSize
+}
+
+// Stats returns an occupancy snapshot.
+func (h *Heap) Stats() Stats {
+	s := h.stats
+	s.Chunks = len(h.chunks)
+	s.LiveBytes = h.liveByte
+	return s
+}
+
+func (h *Heap) allocLarge(n int) (sgx.UPtr, error) {
+	nchunks := (n + ChunkSize - 1) / ChunkSize
+	p := h.enc.UAlloc(nchunks*ChunkSize, ChunkSize)
+	h.large[p] = nchunks
+	h.stats.LargeAllocs++
+	h.stats.LiveBlocks++
+	h.liveByte += nchunks * ChunkSize
+	return p, nil
+}
+
+// newChunk carves a fresh 4 MB chunk for class cls and links every block
+// into the untrusted free list.
+func (h *Heap) newChunk(cls int) int {
+	blockSize := h.classes[cls]
+	base := h.enc.UAlloc(ChunkSize, ChunkSize)
+	nblocks := ChunkSize / blockSize
+	bmBytes := (nblocks + 7) / 8
+	c := &chunk{
+		base:      base,
+		blockSize: blockSize,
+		nblocks:   nblocks,
+		bitmap:    h.enc.EAlloc(bmBytes, 8),
+		freeHead:  0,
+		class:     cls,
+		nextAvail: -1,
+	}
+	h.stats.EPCBytes += bmBytes
+	// Thread the intrusive free list through untrusted memory. This is
+	// setup work on a fresh chunk; charge it as one streaming pass.
+	for i := 0; i < nblocks-1; i++ {
+		putU32(h.enc.UBytesRaw(base+sgx.UPtr(i*blockSize), 4), uint32(i+1))
+	}
+	putU32(h.enc.UBytesRaw(base+sgx.UPtr((nblocks-1)*blockSize), 4), freeNil)
+	h.enc.UTouch(base, nblocks*4)
+	ci := len(h.chunks)
+	h.chunks = append(h.chunks, c)
+	h.byBase[base] = ci
+	h.pushAvail(cls, ci)
+	return ci
+}
+
+func (h *Heap) pushAvail(cls, ci int) {
+	c := h.chunks[ci]
+	c.nextAvail = h.avail[cls]
+	c.inAvail = true
+	h.avail[cls] = ci
+}
+
+func (h *Heap) popAvail(cls int) {
+	ci := h.avail[cls]
+	c := h.chunks[ci]
+	h.avail[cls] = c.nextAvail
+	c.nextAvail = -1
+	c.inAvail = false
+}
+
+func (h *Heap) readFreeLink(p sgx.UPtr) uint32 {
+	b := h.enc.UBytes(p, 4)
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (h *Heap) writeFreeLink(p sgx.UPtr, v uint32) {
+	putU32(h.enc.UBytes(p, 4), v)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// bitTest reads one bit of the trusted bitmap, charging one EPC access.
+func (h *Heap) bitTest(c *chunk, idx int) bool {
+	b := h.enc.EBytes(c.bitmap+sgx.EPtr(idx/8), 1)
+	return b[0]&(1<<(idx%8)) != 0
+}
+
+func (h *Heap) bitSet(c *chunk, idx int, v bool) {
+	b := h.enc.EBytes(c.bitmap+sgx.EPtr(idx/8), 1)
+	if v {
+		b[0] |= 1 << (idx % 8)
+	} else {
+		b[0] &^= 1 << (idx % 8)
+	}
+}
+
+// CorruptFreeListForTest overwrites the free-list head link of the chunk
+// containing p with a bogus index, simulating a malicious host rewriting
+// allocator metadata. Tests then assert that Alloc detects the attack via
+// the trusted bitmap.
+func (h *Heap) CorruptFreeListForTest(p sgx.UPtr, bogus uint32) {
+	base := p &^ (ChunkSize - 1)
+	ci, ok := h.byBase[base]
+	if !ok {
+		panic("alloc: unknown chunk")
+	}
+	c := h.chunks[ci]
+	if c.freeHead == freeNil {
+		panic("alloc: chunk has no free blocks to corrupt")
+	}
+	c.freeHead = bogus
+}

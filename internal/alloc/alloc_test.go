@@ -1,0 +1,212 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+func newHeap(t *testing.T) (*Heap, *sgx.Enclave) {
+	t.Helper()
+	enc := sgx.New(sgx.Config{EPCBytes: 8 << 20})
+	return New(enc, false), enc
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	h, enc := newHeap(t)
+	p, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(enc.UBytesRaw(p, 5), "hello")
+	if got := h.Stats().LiveBlocks; got != 1 {
+		t.Errorf("live blocks = %d, want 1", got)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Stats().LiveBlocks; got != 0 {
+		t.Errorf("live blocks after free = %d, want 0", got)
+	}
+}
+
+func TestSizeClassRounding(t *testing.T) {
+	h, _ := newHeap(t)
+	cases := []struct{ req, want int }{
+		{1, 32}, {32, 32}, {33, 64}, {64, 64}, {65, 128},
+		{100, 128}, {512, 512}, {513, 1024}, {4096, 4096},
+		{maxBlock, maxBlock},
+	}
+	for _, tc := range cases {
+		p, err := h.Alloc(tc.req)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", tc.req, err)
+		}
+		if got := h.BlockSize(p); got != tc.want {
+			t.Errorf("Alloc(%d) landed in class %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestLargeAllocation(t *testing.T) {
+	h, _ := newHeap(t)
+	p, err := h.Alloc(5 << 20) // spans two chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%ChunkSize != 0 {
+		t.Errorf("large allocation not chunk-aligned: %d", p)
+	}
+	if got := h.BlockSize(p); got != 2*ChunkSize {
+		t.Errorf("large BlockSize = %d, want %d", got, 2*ChunkSize)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoOverlapProperty(t *testing.T) {
+	h, _ := newHeap(t)
+	type span struct {
+		p sgx.UPtr
+		n int
+	}
+	var live []span
+	overlaps := func(a, b span) bool {
+		return a.p < b.p+sgx.UPtr(b.n) && b.p < a.p+sgx.UPtr(a.n)
+	}
+	check := func(sz uint16, freeIdx uint8, doFree bool) bool {
+		n := int(sz%2000) + 1
+		p, err := h.Alloc(n)
+		if err != nil {
+			return false
+		}
+		s := span{p, h.BlockSize(p)}
+		for _, o := range live {
+			if overlaps(s, o) {
+				return false
+			}
+		}
+		live = append(live, s)
+		if doFree && len(live) > 0 {
+			i := int(freeIdx) % len(live)
+			if err := h.Free(live[i].p); err != nil {
+				return false
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	h, _ := newHeap(t)
+	p1, _ := h.Alloc(64)
+	if err := h.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := h.Alloc(64)
+	if p1 != p2 {
+		t.Errorf("freed block not reused: got %d, want %d", p2, p1)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	h, _ := newHeap(t)
+	p, _ := h.Alloc(64)
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != ErrCorrupt {
+		t.Errorf("double free error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadFreeDetected(t *testing.T) {
+	h, _ := newHeap(t)
+	p, _ := h.Alloc(64)
+	if err := h.Free(p + 1); err != ErrBadFree {
+		t.Errorf("misaligned free error = %v, want ErrBadFree", err)
+	}
+	if err := h.Free(sgx.UPtr(3 * ChunkSize)); err != ErrBadFree {
+		t.Errorf("unknown-chunk free error = %v, want ErrBadFree", err)
+	}
+}
+
+func TestFreeListAttackDetected(t *testing.T) {
+	h, _ := newHeap(t)
+	p1, _ := h.Alloc(64) // allocated block index 0
+	_, _ = h.Alloc(64)
+	// A malicious host points the free list at the *allocated* block p1,
+	// hoping the allocator hands out overlapping memory.
+	h.CorruptFreeListForTest(p1, 0)
+	if _, err := h.Alloc(64); err != ErrCorrupt {
+		t.Errorf("free-list attack error = %v, want ErrCorrupt", err)
+	}
+	if h.Stats().FailedChecks == 0 {
+		t.Error("attack not counted in FailedChecks")
+	}
+}
+
+func TestChunkExhaustionGrowsNewChunk(t *testing.T) {
+	h, _ := newHeap(t)
+	per := ChunkSize / maxBlock
+	for i := 0; i < per+1; i++ {
+		if _, err := h.Alloc(maxBlock); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if got := h.Stats().Chunks; got != 2 {
+		t.Errorf("chunks = %d, want 2", got)
+	}
+}
+
+func TestOcallModeChargesEdgeCalls(t *testing.T) {
+	enc := sgx.New(sgx.Config{EPCBytes: 8 << 20})
+	h := New(enc, true)
+	enc.ResetStats()
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := enc.Stats().Ocalls; got != 2 {
+		t.Errorf("ocalls = %d, want 2 (one per alloc, one per free)", got)
+	}
+	// Non-OCALL mode must not exit the enclave.
+	h2, enc2 := newHeap(t)
+	enc2.ResetStats()
+	p2, _ := h2.Alloc(64)
+	_ = h2.Free(p2)
+	if got := enc2.Stats().Ocalls; got != 0 {
+		t.Errorf("heap-allocator mode made %d ocalls, want 0", got)
+	}
+}
+
+func TestEPCFootprintIsBitmapOnly(t *testing.T) {
+	h, _ := newHeap(t)
+	if _, err := h.Alloc(32); err != nil {
+		t.Fatal(err)
+	}
+	nblocks := ChunkSize / 32
+	wantBytes := nblocks / 8
+	if got := h.Stats().EPCBytes; got != wantBytes {
+		t.Errorf("EPC bytes = %d, want %d (one bit per block)", got, wantBytes)
+	}
+}
+
+func TestInvalidSizeRejected(t *testing.T) {
+	h, _ := newHeap(t)
+	if _, err := h.Alloc(0); err == nil {
+		t.Error("Alloc(0) succeeded")
+	}
+	if _, err := h.Alloc(-5); err == nil {
+		t.Error("Alloc(-5) succeeded")
+	}
+}

@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+func newStore(t *testing.T, tree bool) *Store {
+	t.Helper()
+	enc := sgx.New(sgx.Config{EPCBytes: 64 << 20})
+	s, err := New(enc, Options{ExpectedKeys: 1024, Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func bothFlavours(t *testing.T, fn func(t *testing.T, s *Store)) {
+	t.Helper()
+	for _, tree := range []bool{false, true} {
+		name := "hash"
+		if tree {
+			name = "tree"
+		}
+		t.Run(name, func(t *testing.T) { fn(t, newStore(t, tree)) })
+	}
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("bl-key-%06d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("bl-val-%d", i*11)) }
+
+func TestPutGetDelete(t *testing.T) {
+	bothFlavours(t, func(t *testing.T, s *Store) {
+		for i := 0; i < 500; i++ {
+			if err := s.Put(key(i), value(i)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			got, err := s.Get(key(i))
+			if err != nil || !bytes.Equal(got, value(i)) {
+				t.Fatalf("get %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 500; i += 2 {
+			if err := s.Delete(key(i)); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			_, err := s.Get(key(i))
+			if i%2 == 0 && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted %d: %v", i, err)
+			}
+			if i%2 == 1 && err != nil {
+				t.Fatalf("survivor %d: %v", i, err)
+			}
+		}
+		if s.Keys() != 250 {
+			t.Errorf("keys = %d, want 250", s.Keys())
+		}
+		if err := s.VerifyTree(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestUpdateValues(t *testing.T) {
+	bothFlavours(t, func(t *testing.T, s *Store) {
+		_ = s.Put(key(1), []byte("short"))
+		long := bytes.Repeat([]byte("L"), 1000)
+		if err := s.Put(key(1), long); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(key(1))
+		if err != nil || !bytes.Equal(got, long) {
+			t.Fatalf("grown update: %v", err)
+		}
+		if err := s.Put(key(1), []byte("tiny")); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = s.Get(key(1))
+		if string(got) != "tiny" {
+			t.Errorf("shrunk update = %q", got)
+		}
+		if s.Keys() != 1 {
+			t.Errorf("keys = %d", s.Keys())
+		}
+	})
+}
+
+func TestRandomOpsMirror(t *testing.T) {
+	bothFlavours(t, func(t *testing.T, s *Store) {
+		mirror := make(map[string][]byte)
+		rng := rand.New(rand.NewSource(13))
+		for op := 0; op < 6000; op++ {
+			k := key(rng.Intn(300))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				v := make([]byte, rng.Intn(64)+1)
+				rng.Read(v)
+				if err := s.Put(k, v); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+				mirror[string(k)] = v
+			case 4:
+				err := s.Delete(k)
+				if _, ok := mirror[string(k)]; ok && err != nil {
+					t.Fatalf("op %d delete: %v", op, err)
+				}
+				delete(mirror, string(k))
+			default:
+				got, err := s.Get(k)
+				want, ok := mirror[string(k)]
+				if ok && (err != nil || !bytes.Equal(got, want)) {
+					t.Fatalf("op %d get: %v", op, err)
+				}
+				if !ok && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d get missing: %v", op, err)
+				}
+			}
+			if op%1000 == 999 {
+				if err := s.VerifyTree(); err != nil {
+					t.Fatalf("op %d invariant: %v", op, err)
+				}
+			}
+		}
+		if s.Keys() != len(mirror) {
+			t.Errorf("keys = %d, mirror = %d", s.Keys(), len(mirror))
+		}
+	})
+}
+
+func TestPagingBeyondEPC(t *testing.T) {
+	// The defining Baseline behaviour: working set beyond the EPC pages.
+	enc := sgx.New(sgx.Config{EPCBytes: 1 << 20})
+	s, err := New(enc, Options{ExpectedKeys: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("v"), 64)
+	for i := 0; i < 1<<15; i++ {
+		if err := s.Put(key(i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc.ResetStats()
+	for i := 0; i < 4096; i++ {
+		if _, err := s.Get(key(i * 7 % (1 << 15))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.Stats().PageSwaps == 0 {
+		t.Error("no secure paging despite store exceeding EPC")
+	}
+}
+
+func TestNoCryptoCharged(t *testing.T) {
+	bothFlavours(t, func(t *testing.T, s *Store) {
+		_ = s.Put(key(1), value(1))
+		_, _ = s.Get(key(1))
+		st := s.Enclave().Stats()
+		if st.MACs != 0 || st.CTROps != 0 {
+			t.Errorf("baseline performed crypto: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,523 @@
+package baseline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// The B-tree flavour: classic B-tree nodes stored plaintext in enclave
+// memory. Every node visited is an EPC touch over its full size, so large
+// trees page heavily once past the EPC — the Baseline line of Figure 10.
+//
+// Node block layout (enclave memory):
+//
+//	flags(1) nkeys(2) { klen(2) vlen(2) key value }*nkeys [children (nkeys+1)*8]
+type bnode struct {
+	block    sgx.EPtr
+	size     int // allocated payload bytes (size class)
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte
+	children []sgx.EPtr
+	dirty    bool
+}
+
+func (s *Store) maxKeysT() int { return 2*s.degree - 1 }
+
+func (s *Store) openNode(block sgx.EPtr) (*bnode, error) {
+	hdr := s.enc.EBytes(block, 3)
+	leaf := hdr[0]&1 != 0
+	nkeys := int(binary.LittleEndian.Uint16(hdr[1:]))
+	n := &bnode{block: block, leaf: leaf}
+	// Decode conservatively: we do not store the payload length, so walk
+	// the encoding (all lengths are trusted here — enclave memory).
+	off := 3
+	peek := func(sz int) []byte { return s.enc.EBytes(block+sgx.EPtr(off), sz) }
+	n.keys = make([][]byte, nkeys)
+	n.vals = make([][]byte, nkeys)
+	for i := 0; i < nkeys; i++ {
+		lens := peek(4)
+		kl := int(binary.LittleEndian.Uint16(lens))
+		vl := int(binary.LittleEndian.Uint16(lens[2:]))
+		off += 4
+		body := peek(kl + vl)
+		n.keys[i] = append([]byte(nil), body[:kl]...)
+		n.vals[i] = append([]byte(nil), body[kl:]...)
+		off += kl + vl
+	}
+	if !leaf {
+		n.children = make([]sgx.EPtr, nkeys+1)
+		for i := range n.children {
+			n.children[i] = sgx.EPtr(binary.LittleEndian.Uint64(peek(8)))
+			off += 8
+		}
+	}
+	n.size = off
+	return n, nil
+}
+
+func (n *bnode) encodedSize() int {
+	sz := 3
+	for i := range n.keys {
+		sz += 4 + len(n.keys[i]) + len(n.vals[i])
+	}
+	if !n.leaf {
+		sz += len(n.children) * 8
+	}
+	return sz
+}
+
+// sealNode writes n back to enclave memory, reallocating when it outgrew
+// its block. Returns the (possibly new) block address.
+func (s *Store) sealNode(n *bnode) sgx.EPtr {
+	need := n.encodedSize()
+	if n.block == sgx.NilE {
+		n.block = s.alloc(need)
+		n.size = need
+	} else if sizeClass(n.size) < need {
+		s.freeBlock(n.block, n.size)
+		n.block = s.alloc(need)
+	}
+	n.size = need
+	buf := s.enc.EBytes(n.block, need)
+	if n.leaf {
+		buf[0] = 1
+	} else {
+		buf[0] = 0
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	off := 3
+	for i := range n.keys {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(n.keys[i])))
+		binary.LittleEndian.PutUint16(buf[off+2:], uint16(len(n.vals[i])))
+		off += 4
+		copy(buf[off:], n.keys[i])
+		copy(buf[off+len(n.keys[i]):], n.vals[i])
+		off += len(n.keys[i]) + len(n.vals[i])
+	}
+	if !n.leaf {
+		for _, c := range n.children {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+			off += 8
+		}
+	}
+	return n.block
+}
+
+func searchKeys(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(keys[mid], key) {
+		case 0:
+			return mid, true
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+func (s *Store) treeGet(key []byte) ([]byte, error) {
+	cur := s.root
+	for cur != sgx.NilE {
+		n, err := s.openNode(cur)
+		if err != nil {
+			return nil, err
+		}
+		pos, found := searchKeys(n.keys, key)
+		if found {
+			return append([]byte(nil), n.vals[pos]...), nil
+		}
+		if n.leaf {
+			break
+		}
+		cur = n.children[pos]
+	}
+	return nil, ErrNotFound
+}
+
+type bSplit struct {
+	key, val []byte
+	right    sgx.EPtr
+}
+
+func (s *Store) treePut(key, value []byte) error {
+	if s.root == sgx.NilE {
+		n := &bnode{leaf: true, keys: [][]byte{append([]byte(nil), key...)}, vals: [][]byte{append([]byte(nil), value...)}}
+		s.root = s.sealNode(n)
+		s.live = 1
+		return nil
+	}
+	nb, up, existed, err := s.treeInsert(s.root, key, value)
+	if err != nil {
+		return err
+	}
+	s.root = nb
+	if up != nil {
+		root := &bnode{
+			leaf:     false,
+			keys:     [][]byte{up.key},
+			vals:     [][]byte{up.val},
+			children: []sgx.EPtr{s.root, up.right},
+		}
+		s.root = s.sealNode(root)
+	}
+	if !existed {
+		s.live++
+	}
+	return nil
+}
+
+func (s *Store) treeInsert(block sgx.EPtr, key, value []byte) (sgx.EPtr, *bSplit, bool, error) {
+	n, err := s.openNode(block)
+	if err != nil {
+		return block, nil, false, err
+	}
+	pos, found := searchKeys(n.keys, key)
+	if found {
+		n.vals[pos] = append([]byte(nil), value...)
+		return s.sealNode(n), nil, true, nil
+	}
+	if n.leaf {
+		n.keys = insertBytesAt(n.keys, pos, append([]byte(nil), key...))
+		n.vals = insertBytesAt(n.vals, pos, append([]byte(nil), value...))
+	} else {
+		old := n.children[pos]
+		ncb, up, existed, err := s.treeInsert(old, key, value)
+		if err != nil {
+			return block, nil, false, err
+		}
+		if ncb == old && up == nil {
+			return block, nil, existed, nil
+		}
+		n.children[pos] = ncb
+		if up != nil {
+			n.keys = insertBytesAt(n.keys, pos, up.key)
+			n.vals = insertBytesAt(n.vals, pos, up.val)
+			n.children = insertEPtrAt(n.children, pos+1, up.right)
+		}
+		if existed || up == nil {
+			return s.sealNode(n), nil, existed, nil
+		}
+	}
+	if len(n.keys) <= s.maxKeysT() {
+		return s.sealNode(n), nil, false, nil
+	}
+	mid := len(n.keys) / 2
+	up := &bSplit{key: n.keys[mid], val: n.vals[mid]}
+	right := &bnode{leaf: n.leaf}
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.vals = append(right.vals, n.vals[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	if !n.leaf {
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.children = n.children[:mid+1]
+	}
+	up.right = s.sealNode(right)
+	return s.sealNode(n), up, false, nil
+}
+
+func insertBytesAt(sl [][]byte, i int, v []byte) [][]byte {
+	sl = append(sl, nil)
+	copy(sl[i+1:], sl[i:])
+	sl[i] = v
+	return sl
+}
+
+func insertEPtrAt(sl []sgx.EPtr, i int, v sgx.EPtr) []sgx.EPtr {
+	sl = append(sl, 0)
+	copy(sl[i+1:], sl[i:])
+	sl[i] = v
+	return sl
+}
+
+func removeBytesAt(sl [][]byte, i int) [][]byte {
+	copy(sl[i:], sl[i+1:])
+	return sl[:len(sl)-1]
+}
+
+func removeEPtrAt(sl []sgx.EPtr, i int) []sgx.EPtr {
+	copy(sl[i:], sl[i+1:])
+	return sl[:len(sl)-1]
+}
+
+func (s *Store) treeDelete(key []byte) error {
+	if s.root == sgx.NilE {
+		return ErrNotFound
+	}
+	nb, deleted, err := s.treeDeleteRec(s.root, key)
+	if err != nil {
+		return err
+	}
+	s.root = nb
+	if !deleted {
+		return ErrNotFound
+	}
+	s.live--
+	n, err := s.openNode(s.root)
+	if err != nil {
+		return err
+	}
+	if len(n.keys) == 0 {
+		s.freeBlock(n.block, n.size)
+		if n.leaf {
+			s.root = sgx.NilE
+		} else {
+			s.root = n.children[0]
+		}
+	}
+	return nil
+}
+
+func (s *Store) treeDeleteRec(block sgx.EPtr, key []byte) (sgx.EPtr, bool, error) {
+	n, err := s.openNode(block)
+	if err != nil {
+		return block, false, err
+	}
+	pos, found := searchKeys(n.keys, key)
+	if n.leaf {
+		if !found {
+			return block, false, nil
+		}
+		n.keys = removeBytesAt(n.keys, pos)
+		n.vals = removeBytesAt(n.vals, pos)
+		return s.sealNode(n), true, nil
+	}
+	if found {
+		left, err := s.openNode(n.children[pos])
+		if err != nil {
+			return block, false, err
+		}
+		if len(left.keys) >= s.degree {
+			pk, pv, ncb, err := s.treePopMax(n.children[pos])
+			if err != nil {
+				return block, false, err
+			}
+			n.children[pos] = ncb
+			n.keys[pos], n.vals[pos] = pk, pv
+			return s.sealNode(n), true, nil
+		}
+		right, err := s.openNode(n.children[pos+1])
+		if err != nil {
+			return block, false, err
+		}
+		if len(right.keys) >= s.degree {
+			sk, sv, ncb, err := s.treePopMin(n.children[pos+1])
+			if err != nil {
+				return block, false, err
+			}
+			n.children[pos+1] = ncb
+			n.keys[pos], n.vals[pos] = sk, sv
+			return s.sealNode(n), true, nil
+		}
+		merged := s.treeMerge(n, pos, left, right)
+		ncb, deleted, err := s.treeDeleteRec(merged, key)
+		if err != nil {
+			return block, false, err
+		}
+		n.children[pos] = ncb
+		return s.sealNode(n), deleted, nil
+	}
+	childPos, err := s.treeEnsureFull(n, pos)
+	if err != nil {
+		return block, false, err
+	}
+	old := n.children[childPos]
+	ncb, deleted, err := s.treeDeleteRec(old, key)
+	if err != nil {
+		return block, false, err
+	}
+	if ncb == old && !n.dirty {
+		return block, deleted, nil
+	}
+	n.children[childPos] = ncb
+	return s.sealNode(n), deleted, nil
+}
+
+func (s *Store) treePopMax(block sgx.EPtr) ([]byte, []byte, sgx.EPtr, error) {
+	n, err := s.openNode(block)
+	if err != nil {
+		return nil, nil, block, err
+	}
+	if n.leaf {
+		i := len(n.keys) - 1
+		k, v := n.keys[i], n.vals[i]
+		n.keys, n.vals = n.keys[:i], n.vals[:i]
+		return k, v, s.sealNode(n), nil
+	}
+	cp, err := s.treeEnsureFull(n, len(n.children)-1)
+	if err != nil {
+		return nil, nil, block, err
+	}
+	k, v, ncb, err := s.treePopMax(n.children[cp])
+	if err != nil {
+		return nil, nil, block, err
+	}
+	n.children[cp] = ncb
+	return k, v, s.sealNode(n), nil
+}
+
+func (s *Store) treePopMin(block sgx.EPtr) ([]byte, []byte, sgx.EPtr, error) {
+	n, err := s.openNode(block)
+	if err != nil {
+		return nil, nil, block, err
+	}
+	if n.leaf {
+		k, v := n.keys[0], n.vals[0]
+		n.keys = removeBytesAt(n.keys, 0)
+		n.vals = removeBytesAt(n.vals, 0)
+		return k, v, s.sealNode(n), nil
+	}
+	cp, err := s.treeEnsureFull(n, 0)
+	if err != nil {
+		return nil, nil, block, err
+	}
+	k, v, ncb, err := s.treePopMin(n.children[cp])
+	if err != nil {
+		return nil, nil, block, err
+	}
+	n.children[cp] = ncb
+	return k, v, s.sealNode(n), nil
+}
+
+func (s *Store) treeEnsureFull(n *bnode, pos int) (int, error) {
+	child, err := s.openNode(n.children[pos])
+	if err != nil {
+		return pos, err
+	}
+	if len(child.keys) >= s.degree {
+		return pos, nil
+	}
+	n.dirty = true
+	if pos > 0 {
+		left, err := s.openNode(n.children[pos-1])
+		if err != nil {
+			return pos, err
+		}
+		if len(left.keys) >= s.degree {
+			child.keys = insertBytesAt(child.keys, 0, n.keys[pos-1])
+			child.vals = insertBytesAt(child.vals, 0, n.vals[pos-1])
+			li := len(left.keys) - 1
+			n.keys[pos-1], n.vals[pos-1] = left.keys[li], left.vals[li]
+			left.keys, left.vals = left.keys[:li], left.vals[:li]
+			if !child.leaf {
+				child.children = insertEPtrAt(child.children, 0, left.children[len(left.children)-1])
+				left.children = left.children[:len(left.children)-1]
+			}
+			n.children[pos-1] = s.sealNode(left)
+			n.children[pos] = s.sealNode(child)
+			return pos, nil
+		}
+	}
+	if pos < len(n.children)-1 {
+		right, err := s.openNode(n.children[pos+1])
+		if err != nil {
+			return pos, err
+		}
+		if len(right.keys) >= s.degree {
+			child.keys = append(child.keys, n.keys[pos])
+			child.vals = append(child.vals, n.vals[pos])
+			n.keys[pos], n.vals[pos] = right.keys[0], right.vals[0]
+			right.keys = removeBytesAt(right.keys, 0)
+			right.vals = removeBytesAt(right.vals, 0)
+			if !child.leaf {
+				child.children = append(child.children, right.children[0])
+				right.children = removeEPtrAt(right.children, 0)
+			}
+			n.children[pos+1] = s.sealNode(right)
+			n.children[pos] = s.sealNode(child)
+			return pos, nil
+		}
+		s.treeMerge(n, pos, child, right)
+		return pos, nil
+	}
+	left, err := s.openNode(n.children[pos-1])
+	if err != nil {
+		return pos, err
+	}
+	s.treeMerge(n, pos-1, left, child)
+	return pos - 1, nil
+}
+
+// treeMerge folds n.keys[pos] and children pos, pos+1 into the left child.
+func (s *Store) treeMerge(n *bnode, pos int, left, right *bnode) sgx.EPtr {
+	n.dirty = true
+	left.keys = append(left.keys, n.keys[pos])
+	left.vals = append(left.vals, n.vals[pos])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf {
+		left.children = append(left.children, right.children...)
+	}
+	s.freeBlock(right.block, right.size)
+	nb := s.sealNode(left)
+	n.keys = removeBytesAt(n.keys, pos)
+	n.vals = removeBytesAt(n.vals, pos)
+	n.children = removeEPtrAt(n.children, pos+1)
+	n.children[pos] = nb
+	return nb
+}
+
+// VerifyTree checks B-tree ordering invariants (tests).
+func (s *Store) VerifyTree() error {
+	if !s.opts.Tree {
+		return nil
+	}
+	if s.root == sgx.NilE {
+		if s.live != 0 {
+			return fmt.Errorf("empty tree with %d live keys", s.live)
+		}
+		return nil
+	}
+	count := 0
+	var walk func(b sgx.EPtr, lo, hi []byte) error
+	walk = func(b sgx.EPtr, lo, hi []byte) error {
+		n, err := s.openNode(b)
+		if err != nil {
+			return err
+		}
+		for i, k := range n.keys {
+			if i > 0 && bytes.Compare(n.keys[i-1], k) >= 0 {
+				return fmt.Errorf("node %#x out of order", b)
+			}
+			if lo != nil && bytes.Compare(k, lo) <= 0 || hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("node %#x violates bounds", b)
+			}
+		}
+		count += len(n.keys)
+		if n.leaf {
+			return nil
+		}
+		for i, c := range n.children {
+			var clo, chi []byte
+			if i > 0 {
+				clo = n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			} else {
+				chi = hi
+			}
+			if err := walk(c, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(s.root, nil, nil); err != nil {
+		return err
+	}
+	if count != s.live {
+		return fmt.Errorf("tree holds %d keys, %d live", count, s.live)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+// Package bench is the experiment harness of the reproduction: one runner
+// per table and figure of the paper's evaluation (§VI). Each runner builds
+// the stores, replays the exact workload the paper describes, measures
+// throughput on the simulated clock, and prints the same rows/series the
+// paper reports.
+//
+// All experiments support proportional scaling (DESIGN.md §1): keyspace,
+// EPC size, Secure Cache, and ShieldStore root budget are all divided by
+// Params.Scale, which preserves every ratio that drives the results while
+// letting the full suite run on a laptop. Scale 1 reproduces the paper's
+// absolute sizes.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+// Params tunes experiment size.
+type Params struct {
+	// Scale divides keyspace and all EPC budgets (default 16).
+	Scale int
+	// Ops is the number of measured operations per data point
+	// (default 100000).
+	Ops int
+	// Warmup operations run before the measured window (default Ops/2).
+	Warmup int
+	// Seed drives workload determinism.
+	Seed int64
+	// TreeOpsDivisor reduces measured ops for B-tree stores, which cost
+	// ~10x per op (default 4).
+	TreeOpsDivisor int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 16
+	}
+	if p.Ops <= 0 {
+		p.Ops = 100000
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = p.Ops / 2
+	}
+	if p.TreeOpsDivisor <= 0 {
+		p.TreeOpsDivisor = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// paper-scale constants (before Scale division).
+const (
+	paperEPC        = 91 << 20 // testbed EPC
+	paperSSRoots    = 64 << 20 // ShieldStore root budget
+	paperKeys10M    = 10_000_000
+	paperCacheShare = 0.8 // "Secure Cache as large as possible"
+)
+
+func (p Params) epc() int     { return paperEPC / p.Scale }
+func (p Params) ssRoots() int { return paperSSRoots / p.Scale }
+func (p Params) keys10M() int { return paperKeys10M / p.Scale }
+func (p Params) cacheBytes() int {
+	return int(float64(p.epc()) * paperCacheShare)
+}
+
+// Result is one measured data point.
+type Result struct {
+	Scheme     aria.Scheme
+	Throughput float64 // simulated ops/s
+	Stats      aria.Stats
+}
+
+func (p Params) baseOptions(scheme aria.Scheme, keys int) aria.Options {
+	pin := (4 << 20) / p.Scale
+	if pin < 32<<10 {
+		pin = 32 << 10
+	}
+	return aria.Options{
+		Scheme:               scheme,
+		EPCBytes:             p.epc(),
+		ExpectedKeys:         keys,
+		SecureCacheBytes:     p.cacheBytes(),
+		PinBudgetBytes:       pin,
+		ShieldStoreRootBytes: p.ssRoots(),
+		MeasureOff:           true,
+		Seed:                 uint64(p.Seed),
+	}
+}
+
+// buildStore opens a store and bulk-loads the full keyspace with the
+// generator's deterministic values (measurement off).
+func buildStore(opts aria.Options, gen *workload.Generator) (aria.Store, error) {
+	st, err := aria.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < gen.Keys(); i++ {
+		if err := st.Put(gen.KeyAt(i), gen.ValueAt(i)); err != nil {
+			return nil, fmt.Errorf("load key %d: %w", i, err)
+		}
+	}
+	return st, nil
+}
+
+// measure replays warmup+ops requests from gen against st and returns the
+// simulated throughput of the measured window.
+func measure(st aria.Store, gen *workload.Generator, warmup, ops int) (Result, error) {
+	var op workload.Op
+	st.SetMeasuring(false)
+	for i := 0; i < warmup; i++ {
+		gen.Next(&op)
+		if err := apply(st, &op); err != nil {
+			return Result{}, err
+		}
+	}
+	st.SetMeasuring(true)
+	st.ResetStats()
+	for i := 0; i < ops; i++ {
+		gen.Next(&op)
+		if err := apply(st, &op); err != nil {
+			return Result{}, err
+		}
+	}
+	stats := st.Stats()
+	st.SetMeasuring(false)
+	r := Result{Scheme: stats.Scheme, Stats: stats}
+	if stats.SimSeconds > 0 {
+		r.Throughput = float64(ops) / stats.SimSeconds
+	}
+	return r, nil
+}
+
+func apply(st aria.Store, op *workload.Op) error {
+	if op.Read {
+		_, err := st.Get(op.Key)
+		if err == aria.ErrNotFound {
+			return nil
+		}
+		return err
+	}
+	return st.Put(op.Key, op.Value)
+}
+
+func isTree(s aria.Scheme) bool {
+	return s == aria.AriaTree || s == aria.NoCacheTree || s == aria.BaselineTree
+}
+
+func (p Params) opsFor(s aria.Scheme) int {
+	if isTree(s) {
+		return p.Ops / p.TreeOpsDivisor
+	}
+	return p.Ops
+}
+
+func (p Params) warmupFor(s aria.Scheme) int {
+	if isTree(s) {
+		return p.Warmup / p.TreeOpsDivisor
+	}
+	return p.Warmup
+}
+
+// runPoint builds one store and measures one workload against it.
+func runPoint(p Params, opts aria.Options, wcfg workload.Config) (Result, error) {
+	loadGen, err := workload.New(wcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := buildStore(opts, loadGen)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := workload.New(wcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return measure(st, gen, p.warmupFor(opts.Scheme), p.opsFor(opts.Scheme))
+}
+
+// runSeries builds the store once and measures several workloads against it
+// in sequence (cheap when only read ratio / distribution changes).
+func runSeries(p Params, opts aria.Options, wcfgs []workload.Config) ([]Result, error) {
+	loadGen, err := workload.New(wcfgs[0])
+	if err != nil {
+		return nil, err
+	}
+	st, err := buildStore(opts, loadGen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(wcfgs))
+	for _, wc := range wcfgs {
+		gen, err := workload.New(wc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := measure(st, gen, p.warmupFor(opts.Scheme), p.opsFor(opts.Scheme))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---- reporting ----------------------------------------------------------------
+
+// table accumulates rows and prints them column-aligned.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func kops(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Experiment is a registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(p Params, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Params, io.Writer) error) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Lookup returns a registered experiment.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func banner(w io.Writer, p Params, id, title string) {
+	fmt.Fprintf(w, "\n== %s: %s\n", id, title)
+	fmt.Fprintf(w, "   scale=1/%d (EPC %.2f MB, ShieldStore roots %.2f MB), ops/point=%d, seed=%d\n",
+		p.Scale, float64(p.epc())/(1<<20), float64(p.ssRoots())/(1<<20), p.Ops, p.Seed)
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must have a
+	// registered runner.
+	want := []string{
+		"fig2", "table1", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16a", "fig16b", "memtab",
+		"xswap", "xscan",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if got := len(All()); got != len(want) {
+		t.Errorf("registry holds %d experiments, want %d", got, len(want))
+	}
+	// All() must be sorted and stable.
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Errorf("All() not sorted at %d: %s >= %s", i, all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("col-a", "b", "third-column")
+	tb.add("1", "22", "3")
+	tb.add("longer-cell", "2", "33")
+	var buf bytes.Buffer
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	// Columns must be aligned: the second column starts at the same
+	// offset in every line.
+	idx := strings.Index(lines[0], "b")
+	for _, ln := range lines[1:] {
+		if len(ln) <= idx {
+			t.Fatalf("line too short: %q", ln)
+		}
+	}
+}
+
+func TestKopsFormatting(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{500, "500"},
+		{1500, "2K"},
+		{999999, "1000K"},
+		{2_340_000, "2.34M"},
+	}
+	for _, tc := range cases {
+		if got := kops(tc.v); got != tc.want {
+			t.Errorf("kops(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Scale != 16 || p.Ops != 100000 || p.Warmup != 50000 || p.Seed != 42 {
+		t.Errorf("defaults = %+v", p)
+	}
+	if p.epc() != (91<<20)/16 {
+		t.Errorf("epc = %d", p.epc())
+	}
+	if p.opsFor(aria.AriaTree) >= p.opsFor(aria.AriaHash) {
+		t.Error("tree ops not reduced")
+	}
+}
+
+func TestRunPointProducesThroughput(t *testing.T) {
+	p := Params{Scale: 1024, Ops: 2000, Warmup: 500, Seed: 1}.withDefaults()
+	keys := 4000
+	r, err := runPoint(p, p.baseOptions(aria.AriaHash, keys),
+		ycsb(keys, workload.Zipfian, 0.95, 16, 0.99, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 {
+		t.Error("no throughput measured")
+	}
+	if r.Stats.SimCycles == 0 {
+		t.Error("no cycles accrued")
+	}
+}
+
+func TestRunSeriesSharesStore(t *testing.T) {
+	p := Params{Scale: 1024, Ops: 1000, Warmup: 200, Seed: 1}.withDefaults()
+	keys := 4000
+	wcfgs := []workload.Config{
+		ycsb(keys, workload.Zipfian, 0.5, 16, 0.99, 1),
+		ycsb(keys, workload.Zipfian, 1.0, 16, 0.99, 1),
+	}
+	rs, err := runSeries(p, p.baseOptions(aria.ShieldStoreScheme, keys), wcfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	// The read-only workload must be at least as fast as the 50/50 one
+	// (Puts pay the extra root update).
+	if rs[1].Throughput < rs[0].Throughput {
+		t.Errorf("R100 (%f) slower than R50 (%f)", rs[1].Throughput, rs[0].Throughput)
+	}
+}
+
+func TestTinyExperimentsRun(t *testing.T) {
+	// table1 and memtab are cheap end-to-end sanity checks of the
+	// experiment plumbing.
+	for _, id := range []string{"table1", "memtab"} {
+		e, _ := Lookup(id)
+		var buf bytes.Buffer
+		if err := e.Run(Params{Scale: 1024, Ops: 100}, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+// TestScalingPreservesShape is the empirical backbone of the proportional
+// scaling argument (DESIGN.md §1): the Aria-vs-ShieldStore throughput ratio
+// at one scale must be close to the ratio at double that scale, because
+// every quantity that drives the result (keyspace/EPC, chain length, cache
+// fraction) is scale-invariant.
+func TestScalingPreservesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling comparison is slow")
+	}
+	ratioAt := func(scale int) float64 {
+		p := Params{Scale: scale, Ops: 20000, Warmup: 10000, Seed: 7}.withDefaults()
+		keys := p.keys10M()
+		wcfg := ycsb(keys, workload.Zipfian, 0.95, 16, 0.99, 7)
+		ra, err := runPoint(p, p.baseOptions(aria.AriaHash, keys), wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := runPoint(p, p.baseOptions(aria.ShieldStoreScheme, keys), wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ra.Throughput / rs.Throughput
+	}
+	r128 := ratioAt(128)
+	r64 := ratioAt(64)
+	if r128 <= 0 || r64 <= 0 {
+		t.Fatal("degenerate ratios")
+	}
+	rel := r64 / r128
+	if rel < 0.8 || rel > 1.25 {
+		t.Errorf("Aria/SS ratio drifts across scales: %.3f at 1/64 vs %.3f at 1/128", r64, r128)
+	}
+}
+
+// TestAllExperimentsAtTinyScale runs every registered experiment end to end
+// at a minuscule scale: a regression gate that every runner builds its
+// stores, replays its workloads, and emits rows without error.
+func TestAllExperimentsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	p := Params{Scale: 2048, Ops: 400, Warmup: 100, Seed: 5}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(p, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}

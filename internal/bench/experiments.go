@@ -1,0 +1,438 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+// Workload shorthands used across experiments.
+func ycsb(keys int, dist workload.Dist, readRatio float64, valueSize int, skew float64, seed int64) workload.Config {
+	return workload.Config{
+		Keys:      keys,
+		Dist:      dist,
+		Skew:      skew,
+		ReadRatio: readRatio,
+		ValueSize: valueSize,
+		Seed:      seed,
+	}
+}
+
+func etc(keys int, readRatio float64, seed int64) workload.Config {
+	return workload.Config{Keys: keys, ETC: true, ReadRatio: readRatio, Seed: seed}
+}
+
+func init() {
+	register("fig2", "Motivation: throughput and page swaps vs keyspace size (skew, R50, 16B/16B)", fig2)
+	register("table1", "Design-scheme comparison (qualitative)", table1)
+	register("fig9", "Aria-H overall performance (YCSB, 10M keys)", fig9)
+	register("fig10", "Aria-T overall performance (YCSB, 10M keys)", fig10)
+	register("fig11", "Facebook ETC workload (10M keys)", fig11)
+	register("fig12", "Optimization ablation and SGX overhead (ETC)", fig12)
+	register("fig13", "Keyspace-size sweep 119MB-2GB (R95)", fig13)
+	register("fig14", "Secure Cache size sweep (skew R95)", fig14)
+	register("fig15", "N-ary Merkle tree arity sweep (R95, 16B)", fig15)
+	register("fig16a", "Multi-tenant: 2 and 4 tenants sharing the EPC", fig16a)
+	register("fig16b", "Skewness sweep 0.8-1.2 (R95, 16B)", fig16b)
+	register("memtab", "Memory consumption analysis (§VI-D4)", memtab)
+}
+
+// ---- Figure 2 -------------------------------------------------------------------
+
+func fig2(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig2", "motivation: ShieldStore vs Aria w/o Cache vs Baseline")
+	fmt.Fprintf(w, "   keyspace sizes are paper-nominal; actual = nominal/%d\n", p.Scale)
+	t := newTable("keyspaceMB", "scheme", "throughput", "pageswaps")
+	// Paper sweeps 16..128 MB of 16-byte keys at 50% reads, skew 0.99.
+	for _, mb := range []int{16, 24, 32, 64, 119, 128} {
+		keys := mb << 20 / 16 / p.Scale
+		wcfg := ycsb(keys, workload.Zipfian, 0.5, 16, 0.99, p.Seed)
+		for _, scheme := range []aria.Scheme{aria.ShieldStoreScheme, aria.NoCacheHash, aria.BaselineHash} {
+			r, err := runPoint(p, p.baseOptions(scheme, keys), wcfg)
+			if err != nil {
+				return fmt.Errorf("fig2 %dMB %v: %w", mb, scheme, err)
+			}
+			t.add(fmt.Sprintf("%d", mb), scheme.String(), kops(r.Throughput),
+				fmt.Sprintf("%d", r.Stats.PageSwaps))
+		}
+	}
+	t.write(w)
+	return nil
+}
+
+// ---- Table I --------------------------------------------------------------------
+
+func table1(_ Params, w io.Writer) error {
+	fmt.Fprintln(w, "\n== table1: Comparison between different designs (Table I)")
+	t := newTable("scheme", "protection-granularity", "hotness-aware", "index-schemes", "epc-occupation")
+	t.add("ShieldStore", "hash bucket", "unaware", "hash", "low")
+	t.add("Aria w/o Cache", "page (4 KB)", "aware", "hash/tree", "medium")
+	t.add("Aria", "KV pair", "aware", "hash/tree", "low")
+	t.write(w)
+	return nil
+}
+
+// ---- Figures 9 and 10 --------------------------------------------------------------
+
+var panelGrid = []struct {
+	name string
+	dist workload.Dist
+	read float64
+}{
+	{"uniform-R50", workload.Uniform, 0.50},
+	{"uniform-R95", workload.Uniform, 0.95},
+	{"uniform-R100", workload.Uniform, 1.00},
+	{"skew-R50", workload.Zipfian, 0.50},
+	{"skew-R95", workload.Zipfian, 0.95},
+	{"skew-R100", workload.Zipfian, 1.00},
+}
+
+func overallGrid(p Params, w io.Writer, id string, schemes []aria.Scheme) error {
+	keys := p.keys10M()
+	t := newTable(append([]string{"panel", "valueB"}, schemeNames(schemes)...)...)
+	for _, valueSize := range []int{16, 128, 512} {
+		// One loaded store per (scheme, valueSize, distribution) serves
+		// the read-ratio points. Distributions get separate stores:
+		// a uniform phase drives Aria's Secure Cache into stop-swap,
+		// which must not leak into the skewed measurements (each panel
+		// of the paper's figure is an independent run).
+		results := make(map[aria.Scheme][]Result)
+		for _, scheme := range schemes {
+			var rs []Result
+			for _, dist := range []workload.Dist{workload.Uniform, workload.Zipfian} {
+				var wcfgs []workload.Config
+				for _, panel := range panelGrid {
+					if panel.dist != dist {
+						continue
+					}
+					wcfgs = append(wcfgs, ycsb(keys, panel.dist, panel.read, valueSize, 0.99, p.Seed))
+				}
+				sub, err := runSeries(p, p.baseOptions(scheme, keys), wcfgs)
+				if err != nil {
+					return fmt.Errorf("%s %v value=%d: %w", id, scheme, valueSize, err)
+				}
+				rs = append(rs, sub...)
+			}
+			results[scheme] = rs
+		}
+		for pi, panel := range panelGrid {
+			row := []string{panel.name, fmt.Sprintf("%d", valueSize)}
+			for _, scheme := range schemes {
+				row = append(row, kops(results[scheme][pi].Throughput))
+			}
+			t.add(row...)
+		}
+	}
+	t.write(w)
+	return nil
+}
+
+func schemeNames(ss []aria.Scheme) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.String()
+	}
+	return out
+}
+
+func fig9(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig9", "hash-index overall (nominal 10M keys)")
+	return overallGrid(p, w, "fig9",
+		[]aria.Scheme{aria.BaselineHash, aria.NoCacheHash, aria.ShieldStoreScheme, aria.AriaHash})
+}
+
+func fig10(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig10", "tree-index overall (nominal 10M keys)")
+	return overallGrid(p, w, "fig10",
+		[]aria.Scheme{aria.BaselineTree, aria.NoCacheTree, aria.AriaTree})
+}
+
+// ---- Figure 11 --------------------------------------------------------------------
+
+func fig11(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig11", "Facebook ETC, hash and tree variants")
+	keys := p.keys10M()
+	ratios := []float64{0, 0.50, 0.95, 1.00}
+	var wcfgs []workload.Config
+	for _, r := range ratios {
+		wcfgs = append(wcfgs, etc(keys, r, p.Seed))
+	}
+	run := func(title string, schemes []aria.Scheme) error {
+		fmt.Fprintf(w, "   [%s]\n", title)
+		t := newTable(append([]string{"readratio"}, schemeNames(schemes)...)...)
+		results := make(map[aria.Scheme][]Result)
+		for _, scheme := range schemes {
+			rs, err := runSeries(p, p.baseOptions(scheme, keys), wcfgs)
+			if err != nil {
+				return fmt.Errorf("fig11 %v: %w", scheme, err)
+			}
+			results[scheme] = rs
+		}
+		for ri, r := range ratios {
+			row := []string{fmt.Sprintf("RD_%d", int(r*100))}
+			for _, scheme := range schemes {
+				row = append(row, kops(results[scheme][ri].Throughput))
+			}
+			t.add(row...)
+		}
+		t.write(w)
+		return nil
+	}
+	if err := run("hash table", []aria.Scheme{aria.BaselineHash, aria.NoCacheHash, aria.ShieldStoreScheme, aria.AriaHash}); err != nil {
+		return err
+	}
+	return run("tree", []aria.Scheme{aria.BaselineTree, aria.NoCacheTree, aria.AriaTree})
+}
+
+// ---- Figure 12 --------------------------------------------------------------------
+
+func fig12(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig12", "ablation: AriaBase, +HeapAlloc, +PIN, +FIFO, Aria, Aria w/o SGX")
+	keys := p.keys10M()
+	ratios := []float64{0, 0.50, 0.95, 1.00}
+	var wcfgs []workload.Config
+	for _, r := range ratios {
+		wcfgs = append(wcfgs, etc(keys, r, p.Seed))
+	}
+	type arm struct {
+		name string
+		mod  func(*aria.Options)
+	}
+	arms := []arm{
+		// AriaBase: OCALL allocation, LRU, no pinning, no stop-swap.
+		{"AriaBase", func(o *aria.Options) {
+			o.OcallAlloc = true
+			o.Policy = aria.LRU
+			o.DisablePinning = true
+			o.DisableStopSwap = true
+		}},
+		// +HeapAlloc: user-space allocator; still LRU, unpinned.
+		{"+HeapAlloc", func(o *aria.Options) {
+			o.Policy = aria.LRU
+			o.DisablePinning = true
+			o.DisableStopSwap = true
+		}},
+		// +PIN: heap allocator + level pinning (LRU).
+		{"+PIN", func(o *aria.Options) {
+			o.Policy = aria.LRU
+			o.DisableStopSwap = true
+		}},
+		// +FIFO: heap allocator + FIFO, no pinning.
+		{"+FIFO", func(o *aria.Options) {
+			o.Policy = aria.FIFO
+			o.DisablePinning = true
+			o.DisableStopSwap = true
+		}},
+		// Aria: everything on.
+		{"Aria", func(o *aria.Options) {}},
+		// Aria w/o SGX: same code, DRAM-priced memory, no paging/edge
+		// costs.
+		{"Aria-w/o-SGX", func(o *aria.Options) { o.WithoutSGX = true }},
+	}
+	names := make([]string, len(arms))
+	results := make([][]Result, len(arms))
+	for i, a := range arms {
+		names[i] = a.name
+		opts := p.baseOptions(aria.AriaHash, keys)
+		a.mod(&opts)
+		rs, err := runSeries(p, opts, wcfgs)
+		if err != nil {
+			return fmt.Errorf("fig12 %s: %w", a.name, err)
+		}
+		results[i] = rs
+	}
+	t := newTable(append([]string{"readratio"}, names...)...)
+	for ri, r := range ratios {
+		row := []string{fmt.Sprintf("RD_%d", int(r*100))}
+		for i := range arms {
+			row = append(row, kops(results[i][ri].Throughput))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	return nil
+}
+
+// ---- Figure 13 --------------------------------------------------------------------
+
+func fig13(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig13", "keyspace sweep 119MB-2GB (nominal), R95, 16B values")
+	schemes := []aria.Scheme{aria.AriaHash, aria.ShieldStoreScheme, aria.NoCacheHash}
+	kinds := []struct {
+		name string
+		mk   func(keys int) workload.Config
+	}{
+		{"uniform", func(k int) workload.Config { return ycsb(k, workload.Uniform, 0.95, 16, 0.99, p.Seed) }},
+		{"skew", func(k int) workload.Config { return ycsb(k, workload.Zipfian, 0.95, 16, 0.99, p.Seed) }},
+		{"etc", func(k int) workload.Config { return etc(k, 0.95, p.Seed) }},
+	}
+	t := newTable(append([]string{"workload", "keyspaceMB"}, schemeNames(schemes)...)...)
+	for _, kind := range kinds {
+		for _, mb := range []int{119, 128, 256, 512, 1024, 1536, 2048} {
+			keys := mb << 20 / 16 / p.Scale
+			row := []string{kind.name, fmt.Sprintf("%d", mb)}
+			for _, scheme := range schemes {
+				r, err := runPoint(p, p.baseOptions(scheme, keys), kind.mk(keys))
+				if err != nil {
+					return fmt.Errorf("fig13 %s %dMB %v: %w", kind.name, mb, scheme, err)
+				}
+				row = append(row, kops(r.Throughput))
+			}
+			t.add(row...)
+		}
+	}
+	t.write(w)
+	return nil
+}
+
+// ---- Figure 14 --------------------------------------------------------------------
+
+func fig14(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig14", "Secure Cache size sweep, skew R95, 16B values")
+	t := newTable("keyspace", "cache%", "cacheMB(nominal)", "aria-h", "shieldstore-ref")
+	for _, nominalKeys := range []int{10_000_000, 30_000_000} {
+		keys := nominalKeys / p.Scale
+		wcfg := ycsb(keys, workload.Zipfian, 0.95, 16, 0.99, p.Seed)
+		ssRef, err := runPoint(p, p.baseOptions(aria.ShieldStoreScheme, keys), wcfg)
+		if err != nil {
+			return err
+		}
+		for _, pct := range []int{100, 50, 33, 25, 20, 16} {
+			opts := p.baseOptions(aria.AriaHash, keys)
+			opts.SecureCacheBytes = p.cacheBytes() * pct / 100
+			r, err := runPoint(p, opts, wcfg)
+			if err != nil {
+				return fmt.Errorf("fig14 %d%%: %w", pct, err)
+			}
+			t.add(fmt.Sprintf("%dM", nominalKeys/1_000_000),
+				fmt.Sprintf("%d%%", pct),
+				fmt.Sprintf("%d", p.cacheBytes()*pct/100*p.Scale>>20),
+				kops(r.Throughput), kops(ssRef.Throughput))
+		}
+	}
+	t.write(w)
+	return nil
+}
+
+// ---- Figure 15 --------------------------------------------------------------------
+
+func fig15(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig15", "Merkle tree arity sweep, R95, 16B values")
+	keys := p.keys10M()
+	t := newTable("arity", "aria-uniform", "aria-skew")
+	for _, arity := range []int{2, 4, 8, 10, 12, 14, 16} {
+		row := []string{fmt.Sprintf("%d", arity)}
+		for _, dist := range []workload.Dist{workload.Uniform, workload.Zipfian} {
+			opts := p.baseOptions(aria.AriaHash, keys)
+			opts.Arity = arity
+			r, err := runPoint(p, opts, ycsb(keys, dist, 0.95, 16, 0.99, p.Seed))
+			if err != nil {
+				return fmt.Errorf("fig15 arity=%d: %w", arity, err)
+			}
+			row = append(row, kops(r.Throughput))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	return nil
+}
+
+// ---- Figure 16(a) -------------------------------------------------------------------
+
+func fig16a(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig16a", "multi-tenant: per-tenant EPC share, average throughput")
+	t := newTable("keyspace", "tenants", "aria-h", "shieldstore")
+	for _, nominalKeys := range []int{10_000_000, 20_000_000, 30_000_000, 40_000_000, 50_000_000} {
+		keys := nominalKeys / p.Scale
+		wcfg := ycsb(keys, workload.Zipfian, 0.95, 16, 0.99, p.Seed)
+		for _, tenants := range []int{2, 4} {
+			row := []string{fmt.Sprintf("%dM", nominalKeys/1_000_000), fmt.Sprintf("%d", tenants)}
+			for _, scheme := range []aria.Scheme{aria.AriaHash, aria.ShieldStoreScheme} {
+				// Each tenant runs in its own enclave with a 1/T
+				// share of the EPC budgets; report the mean.
+				total := 0.0
+				for tn := 0; tn < tenants; tn++ {
+					opts := p.baseOptions(scheme, keys)
+					opts.SecureCacheBytes = p.cacheBytes() / tenants
+					opts.ShieldStoreRootBytes = p.ssRoots() / tenants
+					opts.Seed = uint64(p.Seed) + uint64(tn)
+					wc := wcfg
+					wc.Seed = p.Seed + int64(tn)*997
+					r, err := runPoint(p, opts, wc)
+					if err != nil {
+						return fmt.Errorf("fig16a %v tenants=%d: %w", scheme, tenants, err)
+					}
+					total += r.Throughput
+				}
+				row = append(row, kops(total/float64(tenants)))
+			}
+			t.add(row...)
+		}
+	}
+	t.write(w)
+	return nil
+}
+
+// ---- Figure 16(b) -------------------------------------------------------------------
+
+func fig16b(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "fig16b", "skewness sweep, R95, 16B values")
+	keys := p.keys10M()
+	t := newTable("skewness", "aria-h", "shieldstore", "aria/ss")
+	for _, skew := range []float64{0.8, 0.9, 0.95, 0.99, 1.0, 1.2} {
+		wcfg := ycsb(keys, workload.Zipfian, 0.95, 16, skew, p.Seed)
+		ra, err := runPoint(p, p.baseOptions(aria.AriaHash, keys), wcfg)
+		if err != nil {
+			return err
+		}
+		rs, err := runPoint(p, p.baseOptions(aria.ShieldStoreScheme, keys), wcfg)
+		if err != nil {
+			return err
+		}
+		ratio := 0.0
+		if rs.Throughput > 0 {
+			ratio = ra.Throughput / rs.Throughput
+		}
+		t.add(fmt.Sprintf("%.2f", skew), kops(ra.Throughput), kops(rs.Throughput),
+			fmt.Sprintf("%.2fx", ratio))
+	}
+	t.write(w)
+	return nil
+}
+
+// ---- Memory consumption (§VI-D4) -----------------------------------------------------
+
+func memtab(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	fmt.Fprintln(w, "\n== memtab: per-item memory consumption analysis (§VI-D4)")
+	t := newTable("component", "bytes/item", "where")
+	t.add("encryption counter", "16", "untrusted (Merkle leaf)")
+	t.add("MAC", "16", "untrusted (entry)")
+	t.add("RedPtr", "8", "untrusted (entry)")
+	t.add("key hint", "4", "untrusted (entry, Aria-H)")
+	t.add("value length", "2", "untrusted (entry)")
+	t.add("chain pointer", "8", "untrusted (entry, Aria-H)")
+	t.add("Merkle inner MACs", "~16/(arity-1)", "untrusted (tree)")
+	t.add("allocator bitmap", "1 bit", "EPC")
+	t.add("allocator free list", "4", "untrusted")
+	t.add("bucket count", "2/bucket-load", "EPC (Aria-H)")
+	t.write(w)
+	// Concrete numbers for the paper's 10M keyspace.
+	keys := 10_000_000
+	ctrBytes := keys * 16
+	fmt.Fprintf(w, "\n   10M keyspace: counters = %d MB; full Merkle tree (arity 8) = ~%d MB untrusted\n",
+		ctrBytes>>20, ctrBytes*8/7>>20)
+	return nil
+}

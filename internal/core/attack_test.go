@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// Attack tests corrupt untrusted memory directly (as a malicious host can)
+// and assert that the engine detects every manipulation the paper's threat
+// model covers: tampering, replay, index-pointer rewiring, and unauthorized
+// deletion.
+
+// findEntryBlock locates the untrusted block of a key by walking the hash
+// bucket array from outside the enclave (attacker's view).
+func findEntryBlock(t *testing.T, e *Engine, k []byte) (block sgx.UPtr, ptrAddr sgx.UPtr) {
+	t.Helper()
+	h := e.idx.(*hashIndex)
+	bucket, hint := h.hashKey(k)
+	ptrAddr = h.bucketSlot(bucket)
+	cur := sgx.UPtr(binary.LittleEndian.Uint64(e.enc.UBytesRaw(ptrAddr, 8)))
+	for cur != sgx.NilU {
+		hdr := e.enc.UBytesRaw(cur, 12)
+		if binary.LittleEndian.Uint32(hdr[8:]) == hint {
+			return cur, ptrAddr
+		}
+		ptrAddr = cur + entOffNext
+		cur = sgx.UPtr(binary.LittleEndian.Uint64(hdr[:8]))
+	}
+	t.Fatal("entry not found from attacker view")
+	return 0, 0
+}
+
+func TestCiphertextTamperDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex})
+	_ = e.Put(key(1), value(1))
+	block, _ := findEntryBlock(t, e, key(1))
+	e.enc.UBytesRaw(block+entOffKV, 1)[0] ^= 1
+	if _, err := e.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("ciphertext tamper: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestMACTamperDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex})
+	_ = e.Put(key(1), value(1))
+	block, _ := findEntryBlock(t, e, key(1))
+	ref, err := e.openEntry(block, e.idx.(*hashIndex).bucketSlot(func() int { b, _ := e.idx.(*hashIndex).hashKey(key(1)); return b }()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	macOff := entOffKV + len(ref.key) + len(ref.value)
+	e.enc.UBytesRaw(block+sgx.UPtr(macOff), 1)[0] ^= 1
+	if _, err := e.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("MAC tamper: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestLengthFieldTamperDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex})
+	_ = e.Put(key(1), value(1))
+	block, _ := findEntryBlock(t, e, key(1))
+	// Inflate vlen: either implausible (caught early) or MAC mismatch.
+	binary.LittleEndian.PutUint16(e.enc.UBytesRaw(block+entOffVLen, 2), 60000)
+	if _, err := e.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("length tamper: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestEntryReplayDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex})
+	_ = e.Put(key(1), []byte("balance=100"))
+	block, _ := findEntryBlock(t, e, key(1))
+	size := entOverhead + len(key(1)) + len("balance=100")
+	old := append([]byte(nil), e.enc.UBytesRaw(block, size)...)
+
+	// Honest update changes the value and bumps the counter.
+	if err := e.Put(key(1), []byte("balance=000")); err != nil {
+		t.Fatal(err)
+	}
+	// Attacker replays the stale entry bytes (same block, same size).
+	copy(e.enc.UBytesRaw(block, size), old)
+	if _, err := e.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("entry replay: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestPointerSwapDetected(t *testing.T) {
+	// Figure 7's attack: exchange two slot pointers in the hash table.
+	e := newEngine(t, Options{Index: HashIndex, ExpectedKeys: 64})
+	// Insert enough keys that two distinct buckets are occupied.
+	var k1, k2 []byte
+	h := e.idx.(*hashIndex)
+	for i := 0; i < 100 && k2 == nil; i++ {
+		k := key(i)
+		_ = e.Put(k, value(i))
+		b, _ := h.hashKey(k)
+		if k1 == nil {
+			k1 = k
+			continue
+		}
+		b1, _ := h.hashKey(k1)
+		if b != b1 {
+			k2 = k
+		}
+	}
+	if k2 == nil {
+		t.Fatal("could not find two buckets")
+	}
+	b1, _ := h.hashKey(k1)
+	b2, _ := h.hashKey(k2)
+	s1 := e.enc.UBytesRaw(h.bucketSlot(b1), 8)
+	s2 := e.enc.UBytesRaw(h.bucketSlot(b2), 8)
+	var tmp [8]byte
+	copy(tmp[:], s1)
+	copy(s1, s2)
+	copy(s2, tmp[:])
+
+	// Both lookups must detect the rewiring (AdField mismatch), not
+	// silently miss.
+	_, err1 := e.Get(k1)
+	_, err2 := e.Get(k2)
+	if !errors.Is(err1, ErrIntegrity) && !errors.Is(err2, ErrIntegrity) {
+		t.Errorf("pointer swap undetected: err1=%v err2=%v", err1, err2)
+	}
+}
+
+func TestUnauthorizedDeletionDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex, ExpectedKeys: 64})
+	_ = e.Put(key(1), value(1))
+	_, ptrAddr := findEntryBlock(t, e, key(1))
+	// Attacker clears the slot, making the key unreachable.
+	binary.LittleEndian.PutUint64(e.enc.UBytesRaw(ptrAddr, 8), 0)
+	if _, err := e.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("unauthorized deletion: err = %v, want ErrIntegrity (not a silent miss)", err)
+	}
+}
+
+func TestEntryRelocationDetected(t *testing.T) {
+	// Copy an entry's bytes to a different block and point the bucket at
+	// it: the AdField (pointer address) no longer matches.
+	e := newEngine(t, Options{Index: HashIndex, ExpectedKeys: 64})
+	_ = e.Put(key(1), value(1))
+	_ = e.Put(key(2), value(2))
+	b1, p1 := findEntryBlock(t, e, key(1))
+	b2, p2 := findEntryBlock(t, e, key(2))
+	if p1 == p2 {
+		t.Skip("keys share a chain; relocation equals swap")
+	}
+	// Overwrite entry 2's block with entry 1's bytes and leave the
+	// pointers alone: entry 1's MAC binds it to pointer address p1.
+	size := entOverhead + len(key(1)) + len(value(1))
+	copy(e.enc.UBytesRaw(b2, size), e.enc.UBytesRaw(b1, size))
+	if _, err := e.Get(key(2)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("relocated entry accepted: err = %v", err)
+	}
+}
+
+func TestTreeNodeTamperDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: BTreeIndex})
+	for i := 0; i < 200; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	bt := e.idx.(*btreeIndex)
+	// Corrupt one byte of the root node's ciphertext.
+	e.enc.UBytesRaw(bt.root+tnOffPay, 1)[0] ^= 1
+	if _, err := e.Get(key(0)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tree node tamper: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestTreeNodeReplayDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: BTreeIndex})
+	for i := 0; i < 50; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	bt := e.idx.(*btreeIndex)
+	// Snapshot the root block, update a key that lives in it, replay.
+	hdr := e.enc.UBytesRaw(bt.root+tnOffPayLen, 4)
+	paylen := int(binary.LittleEndian.Uint32(hdr))
+	size := tnOverhead + paylen
+	snap := append([]byte(nil), e.enc.UBytesRaw(bt.root, size)...)
+	root, err := bt.openNode(bt.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := append([]byte(nil), root.keys[0]...)
+	if err := e.Put(victim, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if bt.root != root.block {
+		t.Skip("root relocated; replay target moved")
+	}
+	copy(e.enc.UBytesRaw(bt.root, size), snap)
+	if _, err := e.Get(victim); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tree node replay: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestTreeNodeSwapDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: BTreeIndex})
+	for i := 0; i < 500; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	bt := e.idx.(*btreeIndex)
+	root, err := bt.openNode(bt.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.leaf || len(root.children) < 2 {
+		t.Fatal("tree too shallow for swap test")
+	}
+	c0, c1 := root.children[0], root.children[1]
+	// Swap the two children's block contents (attacker copies bytes).
+	n0 := tnOverhead + int(binary.LittleEndian.Uint32(e.enc.UBytesRaw(c0+tnOffPayLen, 4)))
+	n1 := tnOverhead + int(binary.LittleEndian.Uint32(e.enc.UBytesRaw(c1+tnOffPayLen, 4)))
+	s0 := append([]byte(nil), e.enc.UBytesRaw(c0, n0)...)
+	s1 := append([]byte(nil), e.enc.UBytesRaw(c1, n1)...)
+	copy(e.enc.UBytesRaw(c0, n1), s1)
+	copy(e.enc.UBytesRaw(c1, n0), s0)
+
+	// Any lookup descending into either child must fail.
+	detected := false
+	for i := 0; i < 500 && !detected; i++ {
+		if _, err := e.Get(key(i)); errors.Is(err, ErrIntegrity) {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Error("tree node swap undetected")
+	}
+}
+
+func TestVerifyIntegrityCatchesColdTamper(t *testing.T) {
+	// Tampering with an entry that is never read again is still caught
+	// by the offline audit.
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		for i := 0; i < 100; i++ {
+			_ = e.Put(key(i), value(i))
+		}
+		if err := e.VerifyIntegrity(); err != nil {
+			t.Fatalf("clean store failed audit: %v", err)
+		}
+		switch idx := e.idx.(type) {
+		case *hashIndex:
+			block, _ := findEntryBlock(t, e, key(42))
+			e.enc.UBytesRaw(block+entOffKV, 1)[0] ^= 0x80
+			_ = idx
+		case *btreeIndex:
+			e.enc.UBytesRaw(idx.root+tnOffPay, 1)[0] ^= 0x80
+		case *bptreeIndex:
+			e.enc.UBytesRaw(idx.root+tnOffPay, 1)[0] ^= 0x80
+		default:
+			t.Fatalf("unknown index type %T", e.idx)
+		}
+		if err := e.VerifyIntegrity(); !errors.Is(err, ErrIntegrity) {
+			t.Errorf("audit missed tamper: %v", err)
+		}
+	})
+}
+
+func TestConfidentiality(t *testing.T) {
+	// The plaintext value must not appear anywhere in untrusted memory.
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		secret := []byte("TOP-SECRET-PLAINTEXT-0123456789")
+		if err := e.Put([]byte("classified"), secret); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		um := e.enc.UBytesRaw(sgx.UPtr(0), e.enc.UntrustedUsedBytes())
+		if bytes.Contains(um, secret) {
+			t.Error("plaintext value leaked to untrusted memory")
+		}
+		if bytes.Contains(um, []byte("classified")) {
+			t.Error("plaintext key leaked to untrusted memory")
+		}
+	})
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func newBPEngine(t *testing.T) *Engine {
+	t.Helper()
+	return newEngine(t, Options{Index: BPTreeIndex})
+}
+
+func TestBPTreeRoundTrip(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 500; i++ {
+		if err := e.Put(key(i), value(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		got, err := e.Get(key(i))
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if err := e.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBPTreeScanFullOrder(t *testing.T) {
+	e := newBPEngine(t)
+	// Insert in random order; scan must return sorted order.
+	perm := rand.New(rand.NewSource(4)).Perm(400)
+	for _, i := range perm {
+		if err := e.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := e.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 400 {
+		t.Fatalf("scan returned %d keys, want 400", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan output not sorted")
+	}
+}
+
+func TestBPTreeScanRange(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 300; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	var got []string
+	err := e.Scan(key(100), key(150), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("range scan returned %d keys, want 50", len(got))
+	}
+	if got[0] != string(key(100)) || got[49] != string(key(149)) {
+		t.Errorf("range bounds wrong: [%s, %s]", got[0], got[49])
+	}
+	// Values must match too.
+	err = e.Scan(key(100), key(101), func(k, v []byte) bool {
+		if !bytes.Equal(v, value(100)) {
+			t.Errorf("scan value mismatch for %s", k)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBPTreeScanEarlyStop(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 300; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	n := 0
+	err := e.Scan(nil, nil, func(k, v []byte) bool {
+		n++
+		return n < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("early stop visited %d keys, want 10", n)
+	}
+}
+
+func TestBPTreeScanEmptyAndMissingBounds(t *testing.T) {
+	e := newBPEngine(t)
+	if err := e.Scan(nil, nil, func(k, v []byte) bool { return true }); err != nil {
+		t.Fatalf("scan of empty tree: %v", err)
+	}
+	for i := 0; i < 100; i += 2 { // only even keys
+		_ = e.Put(key(i), value(i))
+	}
+	var got []string
+	// Bounds that are not stored keys.
+	if err := e.Scan(key(11), key(21), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{string(key(12)), string(key(14)), string(key(16)), string(key(18)), string(key(20))}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Range entirely above the keyspace.
+	count := 0
+	if err := e.Scan(key(1000), nil, func(k, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("out-of-range scan returned %d keys", count)
+	}
+}
+
+func TestBPTreeHashHasNoScan(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex})
+	if err := e.Scan(nil, nil, func(k, v []byte) bool { return true }); !errors.Is(err, ErrNoScan) {
+		t.Errorf("hash scan: err = %v, want ErrNoScan", err)
+	}
+}
+
+func TestBPTreeRandomChurnMirror(t *testing.T) {
+	e := newBPEngine(t)
+	mirror := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(17))
+	const space = 300
+	for op := 0; op < 5000; op++ {
+		k := key(rng.Intn(space))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := make([]byte, rng.Intn(120)+1)
+			rng.Read(v)
+			if err := e.Put(k, v); err != nil {
+				t.Fatalf("op %d put: %v", op, err)
+			}
+			mirror[string(k)] = v
+		case 4:
+			err := e.Delete(k)
+			if _, ok := mirror[string(k)]; ok && err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			delete(mirror, string(k))
+		default:
+			got, err := e.Get(k)
+			want, ok := mirror[string(k)]
+			if ok && (err != nil || !bytes.Equal(got, want)) {
+				t.Fatalf("op %d get: %v", op, err)
+			}
+			if !ok && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d get missing: %v", op, err)
+			}
+		}
+		if op%1000 == 999 {
+			if err := e.VerifyIntegrity(); err != nil {
+				t.Fatalf("op %d audit: %v", op, err)
+			}
+		}
+	}
+	// Scan must agree with the mirror exactly.
+	var keys []string
+	for k := range mirror {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	err := e.Scan(nil, nil, func(k, v []byte) bool {
+		if i >= len(keys) {
+			t.Fatalf("scan produced extra key %q", k)
+		}
+		if string(k) != keys[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, k, keys[i])
+		}
+		if !bytes.Equal(v, mirror[keys[i]]) {
+			t.Fatalf("scan value mismatch at %q", k)
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("scan produced %d keys, want %d", i, len(keys))
+	}
+}
+
+func TestBPTreeDeleteToEmpty(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 200; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	for i := 0; i < 200; i++ {
+		if err := e.Delete(key(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if got := e.Stats().Keys; got != 0 {
+		t.Errorf("keys after drain = %d", got)
+	}
+	if _, err := e.Get(key(0)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get on drained tree: %v", err)
+	}
+	// The tree must be fully reusable.
+	if err := e.Put(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBPTreeNodeTamperDetected(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 400; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	bp := e.idx.(*bptreeIndex)
+	e.enc.UBytesRaw(bp.root+tnOffPay, 1)[0] ^= 1
+	if _, err := e.Get(key(0)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tampered root: err = %v", err)
+	}
+}
+
+func TestBPTreeScanDetectsTamper(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 400; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	bp := e.idx.(*bptreeIndex)
+	root, err := bp.openBPNode(bp.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.leaf {
+		t.Fatal("tree too shallow")
+	}
+	// Corrupt a leaf-side child; a full scan must hit it and fail.
+	e.enc.UBytesRaw(root.children[1]+tnOffPay, 1)[0] ^= 0x40
+	err = e.Scan(nil, nil, func(k, v []byte) bool { return true })
+	if !errors.Is(err, ErrIntegrity) {
+		t.Errorf("scan over tampered leaf: err = %v", err)
+	}
+}
+
+func TestBPTreeGrowthAndLargeValues(t *testing.T) {
+	e := newBPEngine(t)
+	big := bytes.Repeat([]byte("B"), 1500)
+	for i := 0; i < 300; i++ {
+		v := value(i)
+		if i%10 == 0 {
+			v = big
+		}
+		if err := e.Put(key(i), v); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 300; i += 10 {
+		got, err := e.Get(key(i))
+		if err != nil || !bytes.Equal(got, big) {
+			t.Fatalf("large value %d: %v", i, err)
+		}
+	}
+	if err := e.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBPTreeSequentialAndReverseInsert(t *testing.T) {
+	for name, order := range map[string]func(i int) int{
+		"ascending":  func(i int) int { return i },
+		"descending": func(i int) int { return 999 - i },
+	} {
+		t.Run(name, func(t *testing.T) {
+			e := newBPEngine(t)
+			for i := 0; i < 1000; i++ {
+				if err := e.Put(key(order(i)), value(order(i))); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+			}
+			if err := e.VerifyIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			_ = e.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+			if n != 1000 {
+				t.Errorf("scan found %d keys, want 1000", n)
+			}
+		})
+	}
+}
+
+func TestBPTreeStatsKeys(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 100; i++ {
+		_ = e.Put(key(i), value(i))
+	}
+	_ = e.Put(key(50), []byte("update")) // no new key
+	if got := e.Stats().Keys; got != 100 {
+		t.Errorf("keys = %d, want 100", got)
+	}
+	_ = e.Delete(key(0))
+	if got := e.Stats().Keys; got != 99 {
+		t.Errorf("keys after delete = %d, want 99", got)
+	}
+}
+
+func TestBPTreeScanBoundaryExactKeys(t *testing.T) {
+	e := newBPEngine(t)
+	for i := 0; i < 64; i++ {
+		_ = e.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+	}
+	var got []string
+	// start == existing key (inclusive), end == existing key (exclusive)
+	_ = e.Scan([]byte("k10"), []byte("k20"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != "k10" || got[9] != "k19" {
+		t.Errorf("boundary scan = %v", got)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ariakv/aria/internal/securecache"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// TestPolicyPinningChurnMatrix loads a keyspace far larger than the Secure
+// Cache under every (policy, pinning) combination. It is a regression test
+// for a queue-corruption bug where an LRU hit on a victim mid-eviction
+// (unlinked but still in the lookup table) reset the replacement queue.
+func TestPolicyPinningChurnMatrix(t *testing.T) {
+	for _, cfg := range []struct {
+		name   string
+		policy securecache.Policy
+		nopin  bool
+	}{
+		{"lru-nopin", securecache.LRU, true},
+		{"fifo-pin", securecache.FIFO, false},
+		{"fifo-nopin", securecache.FIFO, true},
+		{"lru-pin", securecache.LRU, false},
+	} {
+		t.Run(cfg.name, func(t *testing.T) { runChurn(t, cfg.policy, cfg.nopin) })
+	}
+}
+
+func runChurn(t *testing.T, policy securecache.Policy, nopin bool) {
+	enc := sgx.New(sgx.Config{EPCBytes: 91 << 20 / 128, MeasureOff: true})
+	e, err := New(enc, Options{
+		Index:          HashIndex,
+		ExpectedKeys:   78125,
+		CacheBytes:     91 << 20 / 128 * 7 / 10,
+		Policy:         policy,
+		DisablePinning: nopin,
+		PinBudgetBytes: 32 << 10,
+		OcallAlloc:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 78125; i++ {
+		if err := e.Put(key(i), value(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+func newEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	enc := sgx.New(sgx.Config{EPCBytes: 64 << 20})
+	if opts.ExpectedKeys == 0 {
+		opts.ExpectedKeys = 4096
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 1 << 20
+	}
+	if opts.PinBudgetBytes == 0 {
+		opts.PinBudgetBytes = 64 << 10
+	}
+	e, err := New(enc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func bothIndexes(t *testing.T, fn func(t *testing.T, e *Engine)) {
+	t.Helper()
+	for _, kind := range []IndexKind{HashIndex, BTreeIndex, BPTreeIndex} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fn(t, newEngine(t, Options{Index: kind}))
+		})
+	}
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("key-%08d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("value-%d-%d", i, i*7)) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		for i := 0; i < 200; i++ {
+			if err := e.Put(key(i), value(i)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			got, err := e.Get(key(i))
+			if err != nil {
+				t.Fatalf("get %d: %v", i, err)
+			}
+			if !bytes.Equal(got, value(i)) {
+				t.Fatalf("get %d = %q, want %q", i, got, value(i))
+			}
+		}
+		if got := e.Stats().Keys; got != 200 {
+			t.Errorf("keys = %d, want 200", got)
+		}
+	})
+}
+
+func TestGetMissing(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		if _, err := e.Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing get: err = %v, want ErrNotFound", err)
+		}
+		_ = e.Put(key(1), value(1))
+		if _, err := e.Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing get on non-empty store: err = %v", err)
+		}
+	})
+}
+
+func TestUpdateSameSize(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		_ = e.Put(key(1), []byte("aaaa"))
+		if err := e.Put(key(1), []byte("bbbb")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Get(key(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "bbbb" {
+			t.Errorf("updated value = %q", got)
+		}
+		if got := e.Stats().Keys; got != 1 {
+			t.Errorf("keys after update = %d, want 1", got)
+		}
+	})
+}
+
+func TestUpdateGrowingValue(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		// Surround the key with neighbours so relocation must fix
+		// chain/tree links.
+		for i := 0; i < 50; i++ {
+			_ = e.Put(key(i), value(i))
+		}
+		big := bytes.Repeat([]byte("x"), 2000)
+		if err := e.Put(key(25), big); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Get(key(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, big) {
+			t.Error("grown value mismatch")
+		}
+		// Neighbours must be unaffected.
+		for i := 0; i < 50; i++ {
+			if i == 25 {
+				continue
+			}
+			if got, err := e.Get(key(i)); err != nil || !bytes.Equal(got, value(i)) {
+				t.Fatalf("neighbour %d damaged: %v", i, err)
+			}
+		}
+		if err := e.VerifyIntegrity(); err != nil {
+			t.Fatalf("integrity after relocation: %v", err)
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		for i := 0; i < 100; i++ {
+			_ = e.Put(key(i), value(i))
+		}
+		for i := 0; i < 100; i += 2 {
+			if err := e.Delete(key(i)); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			got, err := e.Get(key(i))
+			if i%2 == 0 {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("deleted key %d: err = %v", i, err)
+				}
+			} else if err != nil || !bytes.Equal(got, value(i)) {
+				t.Fatalf("surviving key %d: %v", i, err)
+			}
+		}
+		if got := e.Stats().Keys; got != 50 {
+			t.Errorf("keys after deletes = %d, want 50", got)
+		}
+		if err := e.Delete(key(0)); !errors.Is(err, ErrNotFound) {
+			t.Errorf("double delete: err = %v, want ErrNotFound", err)
+		}
+		if err := e.VerifyIntegrity(); err != nil {
+			t.Fatalf("integrity after deletes: %v", err)
+		}
+	})
+}
+
+func TestInputValidation(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		if err := e.Put(nil, []byte("v")); !errors.Is(err, ErrEmptyKey) {
+			t.Errorf("empty key: %v", err)
+		}
+		if err := e.Put(bytes.Repeat([]byte("k"), 10000), []byte("v")); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("huge key: %v", err)
+		}
+		if err := e.Put([]byte("k"), bytes.Repeat([]byte("v"), 100000)); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("huge value: %v", err)
+		}
+	})
+}
+
+func TestEmptyValue(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		if err := e.Put(key(1), nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Get(key(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("empty value round trip = %q", got)
+		}
+	})
+}
+
+func TestRandomOpsMirror(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		mirror := make(map[string][]byte)
+		rng := rand.New(rand.NewSource(7))
+		const space = 400
+		for op := 0; op < 6000; op++ {
+			k := key(rng.Intn(space))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // put
+				v := make([]byte, rng.Intn(100)+1)
+				rng.Read(v)
+				if err := e.Put(k, v); err != nil {
+					t.Fatalf("op %d put: %v", op, err)
+				}
+				mirror[string(k)] = v
+			case 4: // delete
+				err := e.Delete(k)
+				_, exists := mirror[string(k)]
+				if exists && err != nil {
+					t.Fatalf("op %d delete existing: %v", op, err)
+				}
+				if !exists && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d delete missing: %v", op, err)
+				}
+				delete(mirror, string(k))
+			default: // get
+				got, err := e.Get(k)
+				want, exists := mirror[string(k)]
+				if exists {
+					if err != nil || !bytes.Equal(got, want) {
+						t.Fatalf("op %d get: %v (got %q want %q)", op, err, got, want)
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d get missing: %v", op, err)
+				}
+			}
+		}
+		if got := e.Stats().Keys; got != len(mirror) {
+			t.Errorf("keys = %d, mirror = %d", got, len(mirror))
+		}
+		if err := e.VerifyIntegrity(); err != nil {
+			t.Fatalf("integrity after churn: %v", err)
+		}
+		// Every mirrored key must still be present and correct.
+		for k, want := range mirror {
+			got, err := e.Get([]byte(k))
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("final get %q: %v", k, err)
+			}
+		}
+	})
+}
+
+func TestCounterAreaGrowth(t *testing.T) {
+	for _, kind := range []IndexKind{HashIndex, BTreeIndex, BPTreeIndex} {
+		t.Run(kind.String(), func(t *testing.T) {
+			// Size the counter area well below demand: the hash
+			// index uses one counter per key, the B-tree one per
+			// node, so a tiny initial area forces MT expansion in
+			// both.
+			e := newEngine(t, Options{Index: kind, ExpectedKeys: 64})
+			testGrowth(t, e)
+		})
+	}
+}
+
+func testGrowth(t *testing.T, e *Engine) {
+	{
+		n := 9000
+		for i := 0; i < n; i++ {
+			if err := e.Put(key(i), value(i)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		st := e.Stats()
+		if st.Redir.Trees < 2 {
+			t.Fatalf("expected counter-area growth, trees = %d", st.Redir.Trees)
+		}
+		for i := 0; i < n; i += 97 {
+			if got, err := e.Get(key(i)); err != nil || !bytes.Equal(got, value(i)) {
+				t.Fatalf("get %d after growth: %v", i, err)
+			}
+		}
+		if err := e.VerifyIntegrity(); err != nil {
+			t.Fatalf("integrity after growth: %v", err)
+		}
+	}
+}
+
+func TestStatsAccrue(t *testing.T) {
+	bothIndexes(t, func(t *testing.T, e *Engine) {
+		_ = e.Put(key(1), value(1))
+		_, _ = e.Get(key(1))
+		_ = e.Delete(key(1))
+		st := e.Stats()
+		if st.Puts != 1 || st.Gets != 1 || st.Deletes != 1 {
+			t.Errorf("op counts = %+v", st)
+		}
+		if st.SGX.MACs == 0 || st.SGX.CTROps == 0 {
+			t.Error("no crypto charged")
+		}
+	})
+}

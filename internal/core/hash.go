@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// hashIndex is Aria-H (paper §V-C): a chained hash table whose bucket array
+// and chain pointers live in untrusted memory. Each entry carries a key
+// hint — a hash of the plaintext key — so a chain walk only decrypts
+// candidates whose hint matches, mirroring ShieldStore's key-hint trick.
+//
+// Index protection: the bucket head array and next pointers are plaintext
+// and writable by the host, so every entry's MAC covers the address of the
+// pointer that points at it (the AdField), and the enclave keeps a
+// per-bucket entry count; chain-pointer swaps relocate entries (AdField
+// mismatch) and unauthorized deletions make the count disagree with the
+// walked chain.
+type hashIndex struct {
+	e        *Engine
+	nbuckets int
+	buckets  sgx.UPtr // nbuckets * 8-byte head pointers, untrusted
+	counts   sgx.EPtr // nbuckets * 2-byte entry counts, EPC
+	live     int
+}
+
+func newHashIndex(e *Engine) (*hashIndex, error) {
+	n := e.opts.ExpectedKeys / e.opts.BucketLoad
+	if n < 16 {
+		n = 16
+	}
+	h := &hashIndex{
+		e:        e,
+		nbuckets: n,
+		buckets:  e.enc.UAlloc(n*8, sgx.CacheLine),
+		counts:   e.enc.EAlloc(n*2, sgx.CacheLine),
+	}
+	return h, nil
+}
+
+// hashKey derives the bucket index and the key hint from the plaintext key
+// with two independently seeded FNV-1a passes, computed inside the enclave.
+func (h *hashIndex) hashKey(key []byte) (bucket int, hint uint32) {
+	const (
+		offset1 = 14695981039346656037
+		offset2 = 0x9E3779B97F4A7C15
+		prime   = 1099511628211
+	)
+	h1 := uint64(offset1)
+	h2 := uint64(offset2)
+	for _, b := range key {
+		h1 = (h1 ^ uint64(b)) * prime
+		h2 = (h2 ^ uint64(b)) * prime
+	}
+	h.e.enc.ChargeHash()
+	return int(h1 % uint64(h.nbuckets)), uint32(h2)
+}
+
+func (h *hashIndex) bucketSlot(b int) sgx.UPtr { return h.buckets + sgx.UPtr(b*8) }
+
+func (h *hashIndex) count(b int) int {
+	buf := h.e.enc.EBytes(h.counts+sgx.EPtr(b*2), 2)
+	return int(buf[0]) | int(buf[1])<<8
+}
+
+func (h *hashIndex) setCount(b, v int) {
+	buf := h.e.enc.EBytes(h.counts+sgx.EPtr(b*2), 2)
+	buf[0] = byte(v)
+	buf[1] = byte(v >> 8)
+}
+
+// walkState tracks a chain traversal position.
+type walkState struct {
+	ptrAddr sgx.UPtr // address of the pointer that led to cur
+	cur     sgx.UPtr // current entry block (NilU at end)
+	visited int
+}
+
+func (h *hashIndex) startWalk(bucket int) walkState {
+	slot := h.bucketSlot(bucket)
+	return walkState{ptrAddr: slot, cur: h.e.readPointer(slot)}
+}
+
+func (h *hashIndex) advance(w *walkState, next sgx.UPtr) {
+	w.ptrAddr = w.cur + entOffNext
+	w.cur = next
+	w.visited++
+}
+
+// find walks the chain for key, fully verifying and decrypting every
+// hint-matching candidate. On a miss it cross-checks the walked length
+// against the trusted per-bucket count (unauthorized-deletion detection)
+// and then re-walks the chain verifying every entry's MAC and AdField:
+// key hints let the fast path skip foreign entries, so a swapped-in entry
+// from another bucket would otherwise turn an existing key into a silent
+// miss (Figure 7's attack). Hits never pay for this; only misses do.
+func (h *hashIndex) find(key []byte) (entryRef, walkState, error) {
+	bucket, hint := h.hashKey(key)
+	limit := h.count(bucket)
+	w := h.startWalk(bucket)
+	for w.cur != sgx.NilU {
+		// Wild or cyclic chain pointers are attacks, not crashes: the
+		// pointer must lie in the arena and the chain must not exceed
+		// the trusted entry count.
+		if !h.e.enc.UValid(w.cur, entOverhead) || w.visited > limit {
+			return entryRef{}, w, fmt.Errorf("%w: bucket %d chain corrupted", ErrIntegrity, bucket)
+		}
+		next, entHint := h.e.entryHeader(w.cur)
+		if entHint == hint {
+			ref, err := h.e.openEntry(w.cur, w.ptrAddr)
+			if err != nil {
+				return entryRef{}, w, err
+			}
+			if equalInEnclave(ref.key, key) {
+				w.visited++
+				return ref, w, nil
+			}
+			next = ref.next
+		}
+		h.advance(&w, next)
+	}
+	if w.visited != h.count(bucket) {
+		return entryRef{}, w, fmt.Errorf("%w: bucket %d has %d reachable entries, enclave recorded %d (deletion attack)",
+			ErrIntegrity, bucket, w.visited, h.count(bucket))
+	}
+	if err := h.verifyChain(bucket); err != nil {
+		return entryRef{}, w, err
+	}
+	return entryRef{}, w, ErrNotFound
+}
+
+// verifyChain opens every entry of a bucket through the full verification
+// path, confirming each is bound (via its AdField) to the pointer it was
+// reached through.
+func (h *hashIndex) verifyChain(bucket int) error {
+	limit := h.count(bucket)
+	w := h.startWalk(bucket)
+	for w.cur != sgx.NilU {
+		if !h.e.enc.UValid(w.cur, entOverhead) || w.visited > limit {
+			return fmt.Errorf("%w: bucket %d chain corrupted", ErrIntegrity, bucket)
+		}
+		ref, err := h.e.openEntry(w.cur, w.ptrAddr)
+		if err != nil {
+			return err
+		}
+		h.advance(&w, ref.next)
+	}
+	return nil
+}
+
+func (h *hashIndex) get(key []byte) ([]byte, error) {
+	ref, _, err := h.find(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(ref.value))
+	copy(out, ref.value)
+	return out, nil
+}
+
+func (h *hashIndex) put(key, value []byte) error {
+	bucket, hint := h.hashKey(key)
+	// Walk the whole chain: detect duplicates and find the tail, whose
+	// next field becomes the new entry's AdField (tail insertion keeps
+	// existing AdFields stable, §V-C). find also runs the miss-path
+	// chain verification, so a new-key insert never silently coexists
+	// with a hidden (relocated) copy of the same key.
+	ref, w, err := h.find(key)
+	switch {
+	case err == nil:
+		return h.update(ref, w, key, value)
+	case err != ErrNotFound:
+		return err
+	}
+	tailPtrAddr := w.ptrAddr
+
+	// New key: fetch a counter, bump it, seal at the tail.
+	rp, err := h.e.ctrs.Fetch()
+	if err != nil {
+		return err
+	}
+	ctr, err := h.e.ctrs.CounterBump(rp)
+	if err != nil {
+		return err
+	}
+	block, err := h.e.heap.Alloc(entrySealedSize(len(key), len(value)))
+	if err != nil {
+		return err
+	}
+	h.e.sealEntry(block, sgx.NilU, hint, rp, ctr, key, value, tailPtrAddr)
+	h.e.writeNextPointer(tailPtrAddr, block)
+	h.setCount(bucket, h.count(bucket)+1)
+	h.live++
+	return nil
+}
+
+// update overwrites an existing entry's value, reusing its counter
+// (bumped) and its chain position. If the new payload no longer fits the
+// old block, the entry is relocated and its successor's AdField is fixed.
+func (h *hashIndex) update(ref entryRef, w walkState, key, value []byte) error {
+	ctr, err := h.e.ctrs.CounterBump(ref.redptr)
+	if err != nil {
+		return err
+	}
+	need := entrySealedSize(len(key), len(value))
+	// The unoptimized allocation path (AriaBase, Figure 12) allocates a
+	// fresh buffer from the host for every written value instead of
+	// updating in place, paying the OCALL round trips.
+	if !h.e.opts.OcallAlloc && h.e.heap.BlockSize(ref.block) >= need {
+		h.e.sealEntry(ref.block, ref.next, ref.hint, ref.redptr, ctr, key, value, w.ptrAddr)
+		return nil
+	}
+	// Relocate: seal into a fresh block, relink, fix successor AdField.
+	nb, err := h.e.heap.Alloc(need)
+	if err != nil {
+		return err
+	}
+	h.e.sealEntry(nb, ref.next, ref.hint, ref.redptr, ctr, key, value, w.ptrAddr)
+	h.e.writeNextPointer(w.ptrAddr, nb)
+	if ref.next != sgx.NilU {
+		if err := h.e.rewriteEntryMAC(ref.next, ref.block+entOffNext, nb+entOffNext); err != nil {
+			return err
+		}
+	}
+	return h.e.heap.Free(ref.block)
+}
+
+func (h *hashIndex) delete(key []byte) error {
+	ref, w, err := h.find(key)
+	if err != nil {
+		return err
+	}
+	bucket, _ := h.hashKey(key)
+	// Unlink, then rebind the successor to its new predecessor pointer.
+	h.e.writeNextPointer(w.ptrAddr, ref.next)
+	if ref.next != sgx.NilU {
+		if err := h.e.rewriteEntryMAC(ref.next, ref.block+entOffNext, w.ptrAddr); err != nil {
+			return err
+		}
+	}
+	if err := h.e.ctrs.Free(ref.redptr); err != nil {
+		return err
+	}
+	if err := h.e.heap.Free(ref.block); err != nil {
+		return err
+	}
+	h.setCount(bucket, h.count(bucket)-1)
+	h.live--
+	return nil
+}
+
+func (h *hashIndex) keys() int { return h.live }
+
+// verifyAll re-reads every entry in every bucket through the verification
+// path and cross-checks chain lengths against the trusted counts.
+func (h *hashIndex) verifyAll() error {
+	total := 0
+	for b := 0; b < h.nbuckets; b++ {
+		limit := h.count(b)
+		w := h.startWalk(b)
+		for w.cur != sgx.NilU {
+			if !h.e.enc.UValid(w.cur, entOverhead) || w.visited > limit {
+				return fmt.Errorf("%w: bucket %d chain corrupted", ErrIntegrity, b)
+			}
+			ref, err := h.e.openEntry(w.cur, w.ptrAddr)
+			if err != nil {
+				return fmt.Errorf("bucket %d: %w", b, err)
+			}
+			h.advance(&w, ref.next)
+		}
+		if w.visited != h.count(b) {
+			return fmt.Errorf("%w: bucket %d length %d != trusted count %d",
+				ErrIntegrity, b, w.visited, h.count(b))
+		}
+		total += w.visited
+	}
+	if total != h.live {
+		return fmt.Errorf("%w: %d entries reachable, %d live", ErrIntegrity, total, h.live)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// Tests for the "Aria w/o Cache" configuration: same engine, counters in a
+// plain EPC array guarded by hardware paging.
+
+func TestPlainCountersRoundTrip(t *testing.T) {
+	for _, kind := range []IndexKind{HashIndex, BTreeIndex} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := newEngine(t, Options{Index: kind, PlainCounters: true})
+			for i := 0; i < 300; i++ {
+				if err := e.Put(key(i), value(i)); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+			}
+			for i := 0; i < 300; i++ {
+				got, err := e.Get(key(i))
+				if err != nil || !bytes.Equal(got, value(i)) {
+					t.Fatalf("get %d: %v", i, err)
+				}
+			}
+			for i := 0; i < 300; i += 3 {
+				if err := e.Delete(key(i)); err != nil {
+					t.Fatalf("delete %d: %v", i, err)
+				}
+			}
+			if err := e.VerifyIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPlainCountersTamperDetected(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex, PlainCounters: true})
+	_ = e.Put(key(1), value(1))
+	block, _ := findEntryBlock(t, e, key(1))
+	e.enc.UBytesRaw(block+entOffKV, 1)[0] ^= 1
+	if _, err := e.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tamper with plain counters: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestPlainCountersPageWhenBeyondEPC(t *testing.T) {
+	// A tiny EPC forces the counter array to page: the defining cost of
+	// Aria w/o Cache at large keyspaces (Figure 2's crossover).
+	enc := sgx.New(sgx.Config{EPCBytes: 1 << 20})
+	e, err := New(enc, Options{
+		Index:         HashIndex,
+		PlainCounters: true,
+		ExpectedKeys:  1 << 16, // 64K counters = 1 MB = whole EPC
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<16; i++ {
+		if err := e.Put(key(i), value(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	enc.ResetStats()
+	enc.SetMeasuring(true)
+	for i := 0; i < 4096; i++ {
+		if _, err := e.Get(key(i * 13 % (1 << 16))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := enc.Stats().PageSwaps; got == 0 {
+		t.Error("no secure paging despite counter array exceeding EPC")
+	}
+}
+
+func TestPlainCountersGrowth(t *testing.T) {
+	e := newEngine(t, Options{Index: HashIndex, PlainCounters: true, ExpectedKeys: 64})
+	for i := 0; i < 500; i++ {
+		if err := e.Put(key(i), value(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got := e.Stats().Redir.Capacity; got < 500 {
+		t.Errorf("counter capacity %d did not grow past 500", got)
+	}
+}

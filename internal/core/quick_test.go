@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests over the engine and its indexes: random key/value
+// populations must round-trip, order, and audit cleanly for every index.
+
+func TestQuickRoundTripAllIndexes(t *testing.T) {
+	for _, kind := range []IndexKind{HashIndex, BTreeIndex, BPTreeIndex} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := newEngine(t, Options{Index: kind})
+			stored := make(map[string][]byte)
+			check := func(rawKey []byte, rawVal []byte) bool {
+				if len(rawKey) == 0 || len(rawKey) > 64 {
+					return true // out of scope for this property
+				}
+				if len(rawVal) > 256 {
+					rawVal = rawVal[:256]
+				}
+				if err := e.Put(rawKey, rawVal); err != nil {
+					t.Logf("put: %v", err)
+					return false
+				}
+				stored[string(rawKey)] = append([]byte(nil), rawVal...)
+				got, err := e.Get(rawKey)
+				if err != nil || !bytes.Equal(got, rawVal) {
+					t.Logf("get after put: %v", err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+				t.Error(err)
+			}
+			// All stored keys must remain intact and the audit clean.
+			for k, v := range stored {
+				got, err := e.Get([]byte(k))
+				if err != nil || !bytes.Equal(got, v) {
+					t.Fatalf("final get %q: %v", k, err)
+				}
+			}
+			if err := e.VerifyIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickScanMatchesSortedKeys(t *testing.T) {
+	e := newEngine(t, Options{Index: BPTreeIndex})
+	inserted := make(map[string]bool)
+	insert := func(rawKey []byte) bool {
+		if len(rawKey) == 0 || len(rawKey) > 48 {
+			return true
+		}
+		if err := e.Put(rawKey, []byte("v")); err != nil {
+			return false
+		}
+		inserted[string(rawKey)] = true
+		return true
+	}
+	if err := quick.Check(insert, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, len(inserted))
+	for k := range inserted {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	var got []string
+	if err := e.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan found %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickScanSubrangeConsistency(t *testing.T) {
+	// Property: for random bounds (a, b), Scan(a, b) returns exactly the
+	// stored keys k with a <= k < b, in order.
+	e := newEngine(t, Options{Index: BPTreeIndex})
+	var all []string
+	for i := 0; i < 500; i += 3 {
+		k := key(i)
+		_ = e.Put(k, value(i))
+		all = append(all, string(k))
+	}
+	sort.Strings(all)
+	check := func(ai, bi uint16) bool {
+		a := key(int(ai) % 600)
+		b := key(int(bi) % 600)
+		if bytes.Compare(a, b) > 0 {
+			a, b = b, a
+		}
+		var want []string
+		for _, k := range all {
+			if k >= string(a) && k < string(b) {
+				want = append(want, k)
+			}
+		}
+		var got []string
+		if err := e.Scan(a, b, func(k, v []byte) bool {
+			got = append(got, string(k))
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeleteIdempotence(t *testing.T) {
+	// Property: after Delete(k), Get(k) is ErrNotFound and a second
+	// Delete(k) is ErrNotFound, for any random key that was inserted.
+	for _, kind := range []IndexKind{HashIndex, BTreeIndex, BPTreeIndex} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := newEngine(t, Options{Index: kind})
+			check := func(rawKey []byte) bool {
+				if len(rawKey) == 0 || len(rawKey) > 64 {
+					return true
+				}
+				if err := e.Put(rawKey, []byte("x")); err != nil {
+					return false
+				}
+				if err := e.Delete(rawKey); err != nil {
+					return false
+				}
+				if _, err := e.Get(rawKey); !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				return errors.Is(e.Delete(rawKey), ErrNotFound)
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+				t.Error(err)
+			}
+			if err := e.VerifyIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickBinaryKeysAndValues(t *testing.T) {
+	// Keys and values with NUL bytes, high bits, and repeated content
+	// must be handled verbatim by every index.
+	nasty := [][]byte{
+		{0},
+		{0, 0, 0},
+		{0xff, 0xfe, 0xfd},
+		bytes.Repeat([]byte{0xaa}, 64),
+		[]byte("key\x00with\x00nuls"),
+		{1},
+		{1, 0},
+		{1, 0, 0},
+	}
+	for _, kind := range []IndexKind{HashIndex, BTreeIndex, BPTreeIndex} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := newEngine(t, Options{Index: kind})
+			for i, k := range nasty {
+				if err := e.Put(k, nasty[(i+1)%len(nasty)]); err != nil {
+					t.Fatalf("put %x: %v", k, err)
+				}
+			}
+			for i, k := range nasty {
+				got, err := e.Get(k)
+				if err != nil || !bytes.Equal(got, nasty[(i+1)%len(nasty)]) {
+					t.Fatalf("get %x: %v", k, err)
+				}
+			}
+			if err := e.VerifyIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Package merkle implements Aria's flat N-ary Merkle tree over encryption
+// counters (paper §IV-D), laid out in one contiguous untrusted allocation
+// (§V-A) so that node addresses are pure offset arithmetic and traversals
+// benefit from hardware prefetching.
+//
+// Level 0 holds the 16-byte encryption counters, grouped into nodes of
+// `arity` counters. Every higher level holds one 16-byte MAC per child node,
+// again grouped `arity` to a node, so a node at any level is exactly
+// arity*16 bytes — the input length of the MAC function, which is the
+// "flattening" knob Figure 15 sweeps. The MAC of the single top node (the
+// root MAC) lives in the EPC.
+//
+// MAC inputs are domain-separated with (treeID, level, index) so a node can
+// never be transplanted to a different position or tree, and trees can be
+// added at runtime for counter-area expansion (§V-C) without sharing state.
+package merkle
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/ariakv/aria/internal/seccrypto"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// SlotSize is the size of one counter or one MAC inside a node.
+const SlotSize = 16
+
+// ErrIntegrity reports a Merkle verification failure, i.e. a detected
+// attack on untrusted security metadata.
+var ErrIntegrity = errors.New("merkle: integrity verification failed (replay or tamper attack detected)")
+
+type level struct {
+	off   sgx.UPtr // offset of the level inside the contiguous allocation
+	nodes int
+}
+
+// Tree is one flat Merkle tree protecting a counter area.
+type Tree struct {
+	enc   *sgx.Enclave
+	cip   *seccrypto.Cipher
+	id    uint32
+	arity int
+
+	counters int // leaf counter capacity
+	nodeSize int
+	levels   []level // levels[0] = counter blocks, levels[len-1] = top (1 node)
+	base     sgx.UPtr
+	total    int
+
+	rootE sgx.EPtr // 16-byte root MAC in the EPC
+}
+
+// Config parameterises a tree.
+type Config struct {
+	// Counters is the leaf capacity (one counter per KV pair).
+	Counters int
+	// Arity is the branch factor: counters (or child MACs) per node.
+	Arity int
+	// TreeID domain-separates MACs between trees of one store.
+	TreeID uint32
+	// InitSeed seeds the deterministic "random" counter initialisation.
+	InitSeed uint64
+}
+
+// New allocates and initialises a consistent tree: counters get pseudorandom
+// initial values (paper §IV-B: "assign a random value to each counter
+// first") and MACs are built bottom-up until the root, all inside the
+// enclave. Initialisation cost is charged to the enclave clock if it is
+// measuring.
+func New(enc *sgx.Enclave, cip *seccrypto.Cipher, cfg Config) (*Tree, error) {
+	if cfg.Counters <= 0 {
+		return nil, fmt.Errorf("merkle: counter capacity %d must be positive", cfg.Counters)
+	}
+	if cfg.Arity < 2 {
+		return nil, fmt.Errorf("merkle: arity %d must be >= 2", cfg.Arity)
+	}
+	t := &Tree{
+		enc:      enc,
+		cip:      cip,
+		id:       cfg.TreeID,
+		arity:    cfg.Arity,
+		counters: cfg.Counters,
+		nodeSize: cfg.Arity * SlotSize,
+	}
+	// Compute the level geometry.
+	nodes := (cfg.Counters + cfg.Arity - 1) / cfg.Arity
+	off := 0
+	for {
+		t.levels = append(t.levels, level{off: sgx.UPtr(off), nodes: nodes})
+		off += nodes * t.nodeSize
+		if nodes == 1 {
+			break
+		}
+		nodes = (nodes + cfg.Arity - 1) / cfg.Arity
+	}
+	t.total = off
+	t.base = enc.UAlloc(off, sgx.CacheLine)
+	for i := range t.levels {
+		t.levels[i].off += t.base
+	}
+	t.rootE = enc.EAlloc(SlotSize, SlotSize)
+	t.initialize(cfg.InitSeed)
+	return t, nil
+}
+
+// initialize fills counters with a deterministic keystream and builds all
+// MAC levels bottom-up.
+func (t *Tree) initialize(seed uint64) {
+	// Counter initialisation: xorshift64* keystream, written level-0 wide.
+	s := seed | 1
+	l0 := t.levels[0]
+	buf := t.enc.UBytesRaw(l0.off, l0.nodes*t.nodeSize)
+	for i := 0; i+8 <= len(buf); i += 8 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		binary.LittleEndian.PutUint64(buf[i:], s*0x2545F4914F6CDD1D)
+	}
+	t.enc.UTouch(l0.off, len(buf))
+	// Build MAC levels bottom-up.
+	var mac [16]byte
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		li := t.levels[lvl]
+		for idx := 0; idx < li.nodes; idx++ {
+			data := t.enc.UBytesRaw(t.NodeAddr(lvl, idx), t.nodeSize)
+			t.macOf(&mac, data, lvl, idx)
+			pOff, slot := t.parentMACAddr(lvl, idx)
+			copy(t.enc.UBytesRaw(pOff, SlotSize), mac[:])
+			_ = slot
+		}
+		t.enc.UTouch(li.off, li.nodes*t.nodeSize)
+	}
+	// Root MAC over the single top node.
+	top := len(t.levels) - 1
+	data := t.enc.UBytesRaw(t.NodeAddr(top, 0), t.nodeSize)
+	t.macOf(&mac, data, top, 0)
+	copy(t.enc.EBytes(t.rootE, SlotSize), mac[:])
+}
+
+// ID returns the tree's identifier.
+func (t *Tree) ID() uint32 { return t.id }
+
+// Arity returns the branch factor.
+func (t *Tree) Arity() int { return t.arity }
+
+// NodeSize returns the node (and MAC-input) size in bytes.
+func (t *Tree) NodeSize() int { return t.nodeSize }
+
+// Height returns the number of node levels (level 0 = counters).
+func (t *Tree) Height() int { return len(t.levels) }
+
+// Counters returns the leaf counter capacity.
+func (t *Tree) Counters() int { return t.counters }
+
+// Nodes returns the node count at a level.
+func (t *Tree) Nodes(lvl int) int { return t.levels[lvl].nodes }
+
+// LevelBytes returns the total size of a level in bytes.
+func (t *Tree) LevelBytes(lvl int) int { return t.levels[lvl].nodes * t.nodeSize }
+
+// TotalBytes returns the untrusted footprint of the whole tree.
+func (t *Tree) TotalBytes() int { return t.total }
+
+// NodeAddr returns the untrusted address of node (lvl, idx).
+func (t *Tree) NodeAddr(lvl, idx int) sgx.UPtr {
+	return t.levels[lvl].off + sgx.UPtr(idx*t.nodeSize)
+}
+
+// ParentOf returns the parent node index and the child's MAC slot within it.
+func (t *Tree) ParentOf(idx int) (pidx, slot int) {
+	return idx / t.arity, idx % t.arity
+}
+
+// parentMACAddr returns the untrusted address of the MAC slot covering node
+// (lvl, idx).
+func (t *Tree) parentMACAddr(lvl, idx int) (sgx.UPtr, int) {
+	pidx, slot := t.ParentOf(idx)
+	return t.NodeAddr(lvl+1, pidx) + sgx.UPtr(slot*SlotSize), slot
+}
+
+// CounterPos maps a counter index to its leaf node and slot.
+func (t *Tree) CounterPos(ctr int) (nodeIdx, slot int) {
+	return ctr / t.arity, ctr % t.arity
+}
+
+// macOf computes the positional MAC of node data without charging cycles.
+func (t *Tree) macOf(out *[16]byte, data []byte, lvl, idx int) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], t.id)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(lvl))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(idx))
+	t.cip.MAC(out, data, hdr[:])
+}
+
+// NodeMAC computes the positional MAC of node data, charging the enclave
+// for one CMAC over nodeSize+16 bytes.
+func (t *Tree) NodeMAC(out *[16]byte, data []byte, lvl, idx int) {
+	t.enc.ChargeMAC(len(data) + 16)
+	t.macOf(out, data, lvl, idx)
+}
+
+// RootMatches compares mac with the EPC-resident root, charging one EPC
+// access.
+func (t *Tree) RootMatches(mac *[16]byte) bool {
+	stored := t.enc.EBytes(t.rootE, SlotSize)
+	same := true
+	for i, b := range stored {
+		if mac[i] != b {
+			same = false
+		}
+	}
+	return same
+}
+
+// SetRoot replaces the EPC-resident root MAC.
+func (t *Tree) SetRoot(mac *[16]byte) {
+	copy(t.enc.EBytes(t.rootE, SlotSize), mac[:])
+}
+
+// VerifyAll re-verifies every node of the tree against its parent and the
+// root, reading untrusted memory directly. It is an offline audit used by
+// tests and by recovery tooling; it charges no cycles.
+func (t *Tree) VerifyAll() error {
+	var mac [16]byte
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		for idx := 0; idx < t.levels[lvl].nodes; idx++ {
+			data := t.enc.UBytesRaw(t.NodeAddr(lvl, idx), t.nodeSize)
+			t.macOf(&mac, data, lvl, idx)
+			pAddr, _ := t.parentMACAddr(lvl, idx)
+			stored := t.enc.UBytesRaw(pAddr, SlotSize)
+			if string(stored) != string(mac[:]) {
+				return fmt.Errorf("%w: node (level %d, index %d)", ErrIntegrity, lvl, idx)
+			}
+		}
+	}
+	top := len(t.levels) - 1
+	data := t.enc.UBytesRaw(t.NodeAddr(top, 0), t.nodeSize)
+	t.macOf(&mac, data, top, 0)
+	stored := t.enc.EBytesRaw(t.rootE, SlotSize)
+	if string(stored) != string(mac[:]) {
+		return fmt.Errorf("%w: root", ErrIntegrity)
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package merkle
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ariakv/aria/internal/seccrypto"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+func testKit(t *testing.T, counters, arity int) (*sgx.Enclave, *Tree) {
+	t.Helper()
+	enc := sgx.New(sgx.Config{EPCBytes: 16 << 20})
+	cip, err := seccrypto.New(make([]byte, 16), make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(enc, cip, Config{Counters: counters, Arity: arity, InitSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, tree
+}
+
+func TestGeometry(t *testing.T) {
+	cases := []struct {
+		counters, arity int
+		wantHeight      int
+		wantL0Nodes     int
+	}{
+		{8, 8, 1, 1},  // all counters fit one node: single level
+		{9, 8, 2, 2},  // two leaf nodes, one top node
+		{64, 8, 2, 8}, // 8 leaves -> 1 top
+		{65, 8, 3, 9}, // 9 leaves -> 2 -> 1
+		{1000, 2, 10, 500},
+		{4096, 16, 3, 256},
+	}
+	for _, tc := range cases {
+		_, tree := testKit(t, tc.counters, tc.arity)
+		if got := tree.Height(); got != tc.wantHeight {
+			t.Errorf("counters=%d arity=%d: height = %d, want %d", tc.counters, tc.arity, got, tc.wantHeight)
+		}
+		if got := tree.Nodes(0); got != tc.wantL0Nodes {
+			t.Errorf("counters=%d arity=%d: L0 nodes = %d, want %d", tc.counters, tc.arity, got, tc.wantL0Nodes)
+		}
+		if got := tree.Nodes(tree.Height() - 1); got != 1 {
+			t.Errorf("top level has %d nodes, want 1", got)
+		}
+		if got := tree.NodeSize(); got != tc.arity*SlotSize {
+			t.Errorf("node size = %d, want %d", got, tc.arity*SlotSize)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	enc := sgx.New(sgx.Config{EPCBytes: 1 << 20})
+	cip, _ := seccrypto.New(make([]byte, 16), make([]byte, 16))
+	if _, err := New(enc, cip, Config{Counters: 0, Arity: 8}); err == nil {
+		t.Error("accepted zero counters")
+	}
+	if _, err := New(enc, cip, Config{Counters: 10, Arity: 1}); err == nil {
+		t.Error("accepted arity 1")
+	}
+}
+
+func TestInitialTreeIsConsistent(t *testing.T) {
+	for _, arity := range []int{2, 8, 16} {
+		_, tree := testKit(t, 1000, arity)
+		if err := tree.VerifyAll(); err != nil {
+			t.Errorf("arity %d: fresh tree fails verification: %v", arity, err)
+		}
+	}
+}
+
+func TestCountersAreInitialised(t *testing.T) {
+	enc, tree := testKit(t, 256, 8)
+	zero := make([]byte, 16)
+	zeros := 0
+	for i := 0; i < 256; i++ {
+		node, slot := tree.CounterPos(i)
+		b := enc.UBytesRaw(tree.NodeAddr(0, node)+sgx.UPtr(slot*SlotSize), SlotSize)
+		if string(b) == string(zero) {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Errorf("%d of 256 counters are zero; expected pseudorandom initialisation", zeros)
+	}
+}
+
+func TestContiguousLayout(t *testing.T) {
+	_, tree := testKit(t, 1000, 8)
+	// Node addresses within a level must be contiguous...
+	for lvl := 0; lvl < tree.Height(); lvl++ {
+		for idx := 1; idx < tree.Nodes(lvl) && idx < 50; idx++ {
+			gap := tree.NodeAddr(lvl, idx) - tree.NodeAddr(lvl, idx-1)
+			if int(gap) != tree.NodeSize() {
+				t.Fatalf("level %d: node stride %d, want %d", lvl, gap, tree.NodeSize())
+			}
+		}
+	}
+	// ...and levels must be adjacent (flat, single allocation).
+	for lvl := 1; lvl < tree.Height(); lvl++ {
+		prevEnd := tree.NodeAddr(lvl-1, 0) + sgx.UPtr(tree.LevelBytes(lvl-1))
+		if tree.NodeAddr(lvl, 0) != prevEnd {
+			t.Fatalf("level %d does not start where level %d ends", lvl, lvl-1)
+		}
+	}
+}
+
+func TestTamperDetectedByVerifyAll(t *testing.T) {
+	enc, tree := testKit(t, 1000, 8)
+	// Flip one bit of one counter in untrusted memory.
+	b := enc.UBytesRaw(tree.NodeAddr(0, 3), 1)
+	b[0] ^= 1
+	err := tree.VerifyAll()
+	if err == nil {
+		t.Fatal("tampered counter not detected")
+	}
+	if !strings.Contains(err.Error(), "level 0") {
+		t.Errorf("error does not identify tampered level: %v", err)
+	}
+}
+
+func TestTamperInnerNodeDetected(t *testing.T) {
+	enc, tree := testKit(t, 4096, 8)
+	if tree.Height() < 3 {
+		t.Fatal("tree too short for inner-node test")
+	}
+	b := enc.UBytesRaw(tree.NodeAddr(1, 0), 1)
+	b[0] ^= 0xff
+	if err := tree.VerifyAll(); err == nil {
+		t.Fatal("tampered inner node not detected")
+	}
+}
+
+func TestRootReplayDetected(t *testing.T) {
+	enc, tree := testKit(t, 1000, 8)
+	// Snapshot the whole untrusted tree, modify a counter and rebuild the
+	// MAC chain (as an honest store would), then replay the snapshot.
+	total := tree.TotalBytes()
+	base := tree.NodeAddr(0, 0)
+	snap := append([]byte(nil), enc.UBytesRaw(base, total)...)
+
+	// Honest update: change counter 0 and fix up ancestors + root.
+	cip, _ := seccrypto.New(make([]byte, 16), make([]byte, 16))
+	_ = cip
+	b := enc.UBytesRaw(tree.NodeAddr(0, 0), SlotSize)
+	b[0] ^= 0x55
+	rebuild(t, enc, tree)
+	if err := tree.VerifyAll(); err != nil {
+		t.Fatalf("honest update failed verification: %v", err)
+	}
+
+	// Replay attack: restore the old untrusted bytes wholesale.
+	copy(enc.UBytesRaw(base, total), snap)
+	if err := tree.VerifyAll(); err == nil {
+		t.Fatal("replay of stale tree not detected (root should mismatch)")
+	}
+}
+
+// rebuild recomputes all ancestor MACs after a direct counter edit, using
+// only public accessors (this mimics what securecache eviction does).
+func rebuild(t *testing.T, enc *sgx.Enclave, tree *Tree) {
+	t.Helper()
+	var mac [16]byte
+	for lvl := 0; lvl < tree.Height()-1; lvl++ {
+		for idx := 0; idx < tree.Nodes(lvl); idx++ {
+			data := enc.UBytesRaw(tree.NodeAddr(lvl, idx), tree.NodeSize())
+			tree.NodeMAC(&mac, data, lvl, idx)
+			pidx, slot := tree.ParentOf(idx)
+			dst := enc.UBytesRaw(tree.NodeAddr(lvl+1, pidx)+sgx.UPtr(slot*SlotSize), SlotSize)
+			copy(dst, mac[:])
+		}
+	}
+	top := tree.Height() - 1
+	data := enc.UBytesRaw(tree.NodeAddr(top, 0), tree.NodeSize())
+	tree.NodeMAC(&mac, data, top, 0)
+	tree.SetRoot(&mac)
+}
+
+func TestNodeMACPositional(t *testing.T) {
+	_, tree := testKit(t, 1000, 8)
+	data := make([]byte, tree.NodeSize())
+	var m1, m2, m3 [16]byte
+	tree.NodeMAC(&m1, data, 0, 0)
+	tree.NodeMAC(&m2, data, 0, 1)
+	tree.NodeMAC(&m3, data, 1, 0)
+	if m1 == m2 {
+		t.Error("identical MAC for different node indexes (transplant possible)")
+	}
+	if m1 == m3 {
+		t.Error("identical MAC for different levels (transplant possible)")
+	}
+}
+
+func TestNodeMACTreeSeparation(t *testing.T) {
+	enc := sgx.New(sgx.Config{EPCBytes: 16 << 20})
+	cip, _ := seccrypto.New(make([]byte, 16), make([]byte, 16))
+	t1, _ := New(enc, cip, Config{Counters: 100, Arity: 8, TreeID: 0})
+	t2, _ := New(enc, cip, Config{Counters: 100, Arity: 8, TreeID: 1})
+	data := make([]byte, t1.NodeSize())
+	var m1, m2 [16]byte
+	t1.NodeMAC(&m1, data, 0, 0)
+	t2.NodeMAC(&m2, data, 0, 0)
+	if m1 == m2 {
+		t.Error("identical MAC across trees (cross-tree transplant possible)")
+	}
+}
+
+func TestCounterPosRoundTrip(t *testing.T) {
+	_, tree := testKit(t, 1000, 8)
+	for ctr := 0; ctr < 1000; ctr += 37 {
+		node, slot := tree.CounterPos(ctr)
+		if node*8+slot != ctr {
+			t.Errorf("CounterPos(%d) = (%d,%d), inconsistent", ctr, node, slot)
+		}
+		if slot >= tree.Arity() {
+			t.Errorf("CounterPos(%d) slot %d >= arity", ctr, slot)
+		}
+	}
+}
+
+func TestChargesAccrue(t *testing.T) {
+	enc, tree := testKit(t, 1000, 8)
+	enc.ResetStats()
+	var mac [16]byte
+	tree.NodeMAC(&mac, make([]byte, tree.NodeSize()), 0, 0)
+	st := enc.Stats()
+	if st.MACs != 1 {
+		t.Errorf("MAC ops = %d, want 1", st.MACs)
+	}
+	if st.MACBytes != uint64(tree.NodeSize()+16) {
+		t.Errorf("MAC bytes = %d, want %d", st.MACBytes, tree.NodeSize()+16)
+	}
+}
+
+func TestRootMatchesCharge(t *testing.T) {
+	enc, tree := testKit(t, 100, 8)
+	enc.ResetStats()
+	var mac [16]byte
+	_ = tree.RootMatches(&mac)
+	if enc.Stats().EnclaveLines == 0 {
+		t.Error("RootMatches did not charge an EPC access")
+	}
+}

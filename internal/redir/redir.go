@@ -1,0 +1,298 @@
+// Package redir implements Aria's redirection layer and counter-area
+// management (paper §V-C). It decouples the index structure from the
+// security metadata: every KV pair (or B-tree node) holds a redirection
+// pointer (RedPtr) naming one encryption counter, and the layer maps RedPtrs
+// to counter slots in one or more Merkle trees guarded by the Secure Cache.
+//
+// Free-counter bookkeeping follows the paper: a circular buffer of free
+// counter offsets lives in untrusted memory (cheap, large), while a per-tree
+// occupation bitmap lives in the EPC. A fetched counter is cross-checked
+// against the trusted bitmap, so a malicious host that corrupts the free
+// ring to hand out an in-use counter (breaking counter uniqueness, the
+// cornerstone of CTR-mode confidentiality) is detected immediately.
+//
+// When the counter area is exhausted the layer grows by building a new
+// Merkle tree over a fresh counter area and attaching it to the Secure
+// Cache — the paper's "MT expansion".
+package redir
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ariakv/aria/internal/merkle"
+	"github.com/ariakv/aria/internal/seccrypto"
+	"github.com/ariakv/aria/internal/securecache"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// RedPtr names one encryption counter: tree ID in the high 24 bits, counter
+// index within the tree in the low 40.
+type RedPtr uint64
+
+const ctrBits = 40
+
+// Tree returns the Merkle tree ID the counter lives in.
+func (r RedPtr) Tree() uint32 { return uint32(r >> ctrBits) }
+
+// Ctr returns the counter index within its tree.
+func (r RedPtr) Ctr() int { return int(r & (1<<ctrBits - 1)) }
+
+func makeRedPtr(tree uint32, ctr int) RedPtr {
+	return RedPtr(uint64(tree)<<ctrBits | uint64(ctr))
+}
+
+// ErrCorrupt reports untrusted free-ring state that contradicts the trusted
+// bitmap — a detected attack on allocator metadata.
+var ErrCorrupt = errors.New("redir: counter free-ring corrupted (attack detected)")
+
+// ErrExhausted reports that the counter area is full and growth is disabled.
+var ErrExhausted = errors.New("redir: counter area exhausted")
+
+// Config parameterises the layer.
+type Config struct {
+	// InitialCounters sizes the first tree's counter area.
+	InitialCounters int
+	// Arity is the Merkle tree branch factor (fixed across trees).
+	Arity int
+	// GrowthFactor scales each new tree relative to the current total
+	// capacity (paper: a background thread reserves a new MT; we grow
+	// synchronously on exhaustion). Zero disables growth.
+	GrowthFactor float64
+	// InitSeed seeds deterministic counter initialisation.
+	InitSeed uint64
+}
+
+// Stats reports occupancy.
+type Stats struct {
+	Trees    int
+	Capacity int
+	Used     int
+	Grows    int
+	EPCBytes int // occupation bitmaps
+}
+
+// Layer is one redirection layer bound to a Secure Cache.
+type Layer struct {
+	enc   *sgx.Enclave
+	cip   *seccrypto.Cipher
+	cache *securecache.Cache
+	cfg   Config
+
+	trees   []*merkle.Tree
+	bitmaps []sgx.EPtr // per-tree occupation bitmap in the EPC
+
+	// Free ring of RedPtrs in untrusted memory.
+	ring     sgx.UPtr
+	ringCap  int
+	head     int // trusted (EPC) head cursor
+	tail     int // trusted (EPC) tail cursor
+	ringLive int
+
+	capacity int
+	used     int
+	grows    int
+	epcBytes int
+}
+
+// New creates a layer with its first counter tree attached to the cache.
+func New(enc *sgx.Enclave, cip *seccrypto.Cipher, cache *securecache.Cache, cfg Config) (*Layer, error) {
+	if cfg.InitialCounters <= 0 {
+		return nil, fmt.Errorf("redir: initial counter count %d must be positive", cfg.InitialCounters)
+	}
+	l := &Layer{enc: enc, cip: cip, cache: cache, cfg: cfg}
+	if err := l.addTree(cfg.InitialCounters); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// addTree builds a new Merkle tree over `counters` fresh counters, attaches
+// it to the Secure Cache, and threads its counters onto the free ring.
+func (l *Layer) addTree(counters int) error {
+	id := uint32(len(l.trees))
+	t, err := merkle.New(l.enc, l.cip, merkle.Config{
+		Counters: counters,
+		Arity:    l.cfg.Arity,
+		TreeID:   id,
+		InitSeed: l.cfg.InitSeed + uint64(id)*0x9E3779B97F4A7C15 + 1,
+	})
+	if err != nil {
+		return err
+	}
+	if err := l.cache.AttachTree(t); err != nil {
+		return err
+	}
+	bmBytes := (counters + 7) / 8
+	l.trees = append(l.trees, t)
+	l.bitmaps = append(l.bitmaps, l.enc.EAlloc(bmBytes, 8))
+	l.epcBytes += bmBytes
+	l.growRing(l.capacity + counters)
+	for c := 0; c < counters; c++ {
+		l.pushFree(makeRedPtr(id, c))
+	}
+	l.capacity += counters
+	return nil
+}
+
+// growRing reallocates the untrusted free ring to hold at least n entries,
+// preserving live entries in FIFO order.
+func (l *Layer) growRing(n int) {
+	newRing := l.enc.UAlloc(n*8, 8)
+	for i := 0; i < l.ringLive; i++ {
+		src := l.ring + sgx.UPtr(((l.head+i)%l.ringCap)*8)
+		dst := newRing + sgx.UPtr(i*8)
+		copy(l.enc.UBytesRaw(dst, 8), l.enc.UBytesRaw(src, 8))
+	}
+	if l.ringLive > 0 {
+		l.enc.UTouch(l.ring, l.ringLive*8)
+		l.enc.UTouch(newRing, l.ringLive*8)
+	}
+	l.ring = newRing
+	l.ringCap = n
+	l.head = 0
+	l.tail = l.ringLive
+}
+
+func (l *Layer) pushFree(r RedPtr) {
+	b := l.enc.UBytes(l.ring+sgx.UPtr(l.tail*8), 8)
+	putU64(b, uint64(r))
+	l.tail = (l.tail + 1) % l.ringCap
+	l.ringLive++
+}
+
+func (l *Layer) popFree() (RedPtr, bool) {
+	if l.ringLive == 0 {
+		return 0, false
+	}
+	b := l.enc.UBytes(l.ring+sgx.UPtr(l.head*8), 8)
+	r := RedPtr(getU64(b))
+	l.head = (l.head + 1) % l.ringCap
+	l.ringLive--
+	return r, true
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// Fetch returns a free counter, verified against the trusted bitmap. The
+// counter area grows automatically when exhausted (if growth is enabled).
+func (l *Layer) Fetch() (RedPtr, error) {
+	r, ok := l.popFree()
+	if !ok {
+		if l.cfg.GrowthFactor <= 0 {
+			return 0, ErrExhausted
+		}
+		grow := int(float64(l.capacity) * l.cfg.GrowthFactor)
+		if grow < l.cfg.Arity {
+			grow = l.cfg.Arity
+		}
+		if err := l.addTree(grow); err != nil {
+			return 0, err
+		}
+		l.grows++
+		r, ok = l.popFree()
+		if !ok {
+			return 0, ErrExhausted
+		}
+	}
+	tid := r.Tree()
+	ctr := r.Ctr()
+	if int(tid) >= len(l.trees) || ctr >= l.trees[tid].Counters() {
+		return 0, ErrCorrupt
+	}
+	if l.bitTest(tid, ctr) {
+		// The untrusted ring handed out an in-use counter: reusing it
+		// would repeat a CTR keystream. Attack detected.
+		return 0, ErrCorrupt
+	}
+	l.bitSet(tid, ctr, true)
+	l.used++
+	return r, nil
+}
+
+// Free returns a counter to the ring.
+func (l *Layer) Free(r RedPtr) error {
+	tid := r.Tree()
+	ctr := r.Ctr()
+	if int(tid) >= len(l.trees) || ctr >= l.trees[tid].Counters() {
+		return ErrCorrupt
+	}
+	if !l.bitTest(tid, ctr) {
+		return ErrCorrupt // double free or forged RedPtr
+	}
+	l.bitSet(tid, ctr, false)
+	l.pushFree(r)
+	l.used--
+	return nil
+}
+
+// CounterGet reads the counter named by r through the Secure Cache.
+func (l *Layer) CounterGet(r RedPtr) ([16]byte, error) {
+	return l.cache.CounterGet(r.Tree(), r.Ctr())
+}
+
+// CounterBump increments the counter named by r through the Secure Cache
+// and returns the new value.
+func (l *Layer) CounterBump(r RedPtr) ([16]byte, error) {
+	return l.cache.CounterBump(r.Tree(), r.Ctr())
+}
+
+// InUse reports whether the counter named by r is currently allocated,
+// checked against the trusted bitmap.
+func (l *Layer) InUse(r RedPtr) bool {
+	tid := r.Tree()
+	ctr := r.Ctr()
+	if int(tid) >= len(l.trees) || ctr >= l.trees[tid].Counters() {
+		return false
+	}
+	return l.bitTest(tid, ctr)
+}
+
+// Stats returns an occupancy snapshot.
+func (l *Layer) Stats() Stats {
+	return Stats{
+		Trees:    len(l.trees),
+		Capacity: l.capacity,
+		Used:     l.used,
+		Grows:    l.grows,
+		EPCBytes: l.epcBytes,
+	}
+}
+
+// Trees exposes the attached Merkle trees (for offline audits in tests).
+func (l *Layer) Trees() []*merkle.Tree { return l.trees }
+
+// CorruptRingForTest overwrites the next free-ring entry with r, simulating
+// a malicious host steering the allocator toward a chosen counter.
+func (l *Layer) CorruptRingForTest(r RedPtr) {
+	if l.ringLive == 0 {
+		panic("redir: empty ring")
+	}
+	putU64(l.enc.UBytesRaw(l.ring+sgx.UPtr(l.head*8), 8), uint64(r))
+}
+
+func (l *Layer) bitTest(tid uint32, ctr int) bool {
+	b := l.enc.EBytes(l.bitmaps[tid]+sgx.EPtr(ctr/8), 1)
+	return b[0]&(1<<(ctr%8)) != 0
+}
+
+func (l *Layer) bitSet(tid uint32, ctr int, v bool) {
+	b := l.enc.EBytes(l.bitmaps[tid]+sgx.EPtr(ctr/8), 1)
+	if v {
+		b[0] |= 1 << (ctr % 8)
+	} else {
+		b[0] &^= 1 << (ctr % 8)
+	}
+}

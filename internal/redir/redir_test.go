@@ -1,0 +1,192 @@
+package redir
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ariakv/aria/internal/seccrypto"
+	"github.com/ariakv/aria/internal/securecache"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+func newLayer(t *testing.T, counters int, growth float64) (*Layer, *securecache.Cache, *sgx.Enclave) {
+	t.Helper()
+	enc := sgx.New(sgx.Config{EPCBytes: 64 << 20})
+	cip, err := seccrypto.New(make([]byte, 16), make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := securecache.New(enc, 8*16, securecache.Config{
+		CapacityBytes: 64 << 10,
+		CleanDiscard:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(enc, cip, cache, Config{
+		InitialCounters: counters,
+		Arity:           8,
+		GrowthFactor:    growth,
+		InitSeed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, cache, enc
+}
+
+func TestFetchFreeRoundTrip(t *testing.T) {
+	l, _, _ := newLayer(t, 100, 0)
+	r, err := l.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.InUse(r) {
+		t.Error("fetched counter not marked in use")
+	}
+	if got := l.Stats().Used; got != 1 {
+		t.Errorf("used = %d, want 1", got)
+	}
+	if err := l.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if l.InUse(r) {
+		t.Error("freed counter still marked in use")
+	}
+}
+
+func TestFetchUnique(t *testing.T) {
+	l, _, _ := newLayer(t, 1000, 0)
+	seen := make(map[RedPtr]bool)
+	for i := 0; i < 1000; i++ {
+		r, err := l.Fetch()
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if seen[r] {
+			t.Fatalf("counter %v handed out twice", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestExhaustionWithoutGrowth(t *testing.T) {
+	l, _, _ := newLayer(t, 10, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Fetch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Fetch(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("fetch past capacity: err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestGrowthAddsTree(t *testing.T) {
+	l, _, _ := newLayer(t, 64, 1.0)
+	for i := 0; i < 64; i++ {
+		if _, err := l.Fetch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := l.Fetch()
+	if err != nil {
+		t.Fatalf("growth fetch: %v", err)
+	}
+	if r.Tree() != 1 {
+		t.Errorf("counter after growth from tree %d, want 1", r.Tree())
+	}
+	st := l.Stats()
+	if st.Trees != 2 || st.Grows != 1 || st.Capacity != 128 {
+		t.Errorf("stats after growth = %+v", st)
+	}
+	// Counters in the new tree must be usable through the cache.
+	if _, err := l.CounterBump(r); err != nil {
+		t.Fatalf("bump in grown tree: %v", err)
+	}
+}
+
+func TestReuseAfterFreeIsFIFO(t *testing.T) {
+	l, _, _ := newLayer(t, 3, 0)
+	a, _ := l.Fetch()
+	b, _ := l.Fetch()
+	c, _ := l.Fetch()
+	_ = l.Free(b)
+	_ = l.Free(a)
+	r1, err := l.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != b {
+		t.Errorf("first reuse = %v, want %v (FIFO)", r1, b)
+	}
+	r2, _ := l.Fetch()
+	if r2 != a {
+		t.Errorf("second reuse = %v, want %v", r2, a)
+	}
+	_ = c
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	l, _, _ := newLayer(t, 10, 0)
+	r, _ := l.Fetch()
+	if err := l.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Free(r); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("double free: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRingAttackDetected(t *testing.T) {
+	l, _, _ := newLayer(t, 10, 0)
+	r, _ := l.Fetch() // r is in use
+	// Malicious host points the free ring at the in-use counter, trying
+	// to force keystream reuse.
+	l.CorruptRingForTest(r)
+	if _, err := l.Fetch(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ring attack: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBogusRedPtrDetected(t *testing.T) {
+	l, _, _ := newLayer(t, 10, 0)
+	l.CorruptRingForTest(makeRedPtr(7, 5)) // tree 7 does not exist
+	if _, err := l.Fetch(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bogus tree redptr: err = %v, want ErrCorrupt", err)
+	}
+	if err := l.Free(makeRedPtr(0, 9999)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bogus ctr free: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCounterOpsThroughCache(t *testing.T) {
+	l, cache, _ := newLayer(t, 100, 0)
+	r, _ := l.Fetch()
+	v1, err := l.CounterGet(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := l.CounterBump(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 {
+		t.Error("bump did not change counter")
+	}
+	if err := cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tree := range l.Trees() {
+		if err := tree.VerifyAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRedPtrEncoding(t *testing.T) {
+	r := makeRedPtr(3, 123456789)
+	if r.Tree() != 3 || r.Ctr() != 123456789 {
+		t.Errorf("round trip = (%d,%d), want (3,123456789)", r.Tree(), r.Ctr())
+	}
+}

@@ -1,0 +1,923 @@
+// Package securecache implements Aria's Secure Cache (paper §IV): a
+// software-managed EPC cache of Merkle-tree nodes that replaces hardware
+// secure paging for security metadata.
+//
+// The cache holds frequently accessed MT nodes (both counter leaf nodes and
+// inner MAC nodes) inside the EPC and evicts cold ones to untrusted memory
+// at node granularity. A node that is cached is protected by SGX itself and
+// therefore acts as the root of a smaller subtree: verification and update
+// paths stop at the first cached (or pinned) ancestor, which is what turns a
+// hot-key access into a single trusted read instead of a full Merkle walk.
+//
+// All four of the paper's Secure Cache techniques are implemented and
+// individually switchable for the Figure 12 ablation:
+//
+//   - semantic-aware swap (§IV-C): evicted nodes are written back without
+//     encryption, and clean nodes are discarded without any write-back;
+//   - level pinning (§IV-E): the top-K MT levels are pinned in the EPC so a
+//     miss verifies at most height-K levels;
+//   - FIFO replacement (§IV-E): constant-time hits instead of LRU's list
+//     maintenance in slow EPC memory (LRU is available for comparison);
+//   - stop-swap (§IV-E): when the windowed hit ratio drops below a
+//     threshold the cache stops admitting, converts its space into extra
+//     pinned levels, and verifies through the pinned frontier.
+package securecache
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ariakv/aria/internal/merkle"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// FIFO evicts in insertion order; hits cost nothing beyond the lookup.
+	FIFO Policy = iota
+	// LRU moves hit entries to the head of a doubly-linked list, paying
+	// extra EPC accesses on every hit (the "hit penalty" of §IV-E).
+	LRU
+)
+
+func (p Policy) String() string {
+	if p == LRU {
+		return "LRU"
+	}
+	return "FIFO"
+}
+
+// ErrIntegrity re-exports the Merkle integrity error for convenience.
+var ErrIntegrity = merkle.ErrIntegrity
+
+// Config parameterises a Secure Cache.
+type Config struct {
+	// CapacityBytes is the EPC budget for cached nodes and their
+	// metadata.
+	CapacityBytes int
+	// Policy is FIFO (default) or LRU.
+	Policy Policy
+	// PinBudgetBytes is the EPC budget for level pinning at start-up.
+	// Zero disables initial pinning (the +FIFO / AriaBase ablation arms).
+	PinBudgetBytes int
+	// StopSwapEnabled turns on the hit-ratio-triggered stop-swap mode.
+	StopSwapEnabled bool
+	// StopSwapThreshold is the hit ratio below which swap stops
+	// (paper: 0.70).
+	StopSwapThreshold float64
+	// WindowSize is the number of lookups over which the hit ratio is
+	// evaluated.
+	WindowSize int
+	// CleanDiscard controls the avoid-write-back-for-clean-items
+	// optimization (§IV-C). On by default in Aria; disabling it models
+	// the EWB behaviour of hardware paging, which always writes back.
+	CleanDiscard bool
+}
+
+// Stats is the cache's event ledger.
+type Stats struct {
+	Lookups       uint64
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	DirtyWrites   uint64 // evictions that wrote data back
+	CleanDiscards uint64 // evictions that discarded clean data
+	Verifications uint64 // MAC verifications performed on fetch
+	StopSwap      bool   // stop-swap mode currently active
+	PinnedLevels  int    // levels pinned across all trees (floor of tree 0)
+	PinnedBytes   int
+	CachedNodes   int
+	CapacityNodes int
+}
+
+const slotOverhead = 32 // key + links + flags + hash-table share, per slot
+
+type slotState struct {
+	key   uint64
+	dirty bool
+	used  bool
+	// linked reports queue membership. A victim being written back is
+	// unlinked but still in the lookup table; LRU hit handling must not
+	// touch the queue for such a slot.
+	linked bool
+	// prev/next implement the FIFO queue or LRU list.
+	prev, next int32
+}
+
+type treeState struct {
+	t *merkle.Tree
+	// pinFloor is the lowest pinned level; levels [pinFloor, height) are
+	// EPC-resident. pinFloor == height means nothing is pinned (the root
+	// MAC is always in the EPC regardless).
+	pinFloor int
+	pinned   []sgx.EPtr // EPC base per level (index < pinFloor unused)
+	pinDirty []bool
+	// scratch holds one EPC staging buffer per level for verifying
+	// uncached nodes without admitting them.
+	scratch []sgx.EPtr
+}
+
+// Cache is one Secure Cache instance. It can protect several Merkle trees
+// (counter-area expansion creates new trees at runtime).
+type Cache struct {
+	enc *sgx.Enclave
+	cfg Config
+
+	trees []*treeState
+
+	nodeSize int
+	maxSlots int
+	slotBase sgx.EPtr
+	slots    []slotState
+	table    map[uint64]int32
+	head     int32 // FIFO/LRU head (eviction end for FIFO = head)
+	tail     int32
+	free     int32 // free-slot list
+
+	winLookups   uint64
+	winHits      uint64
+	admit        bool
+	wantStopSwap bool
+	// filledOnce gates the stop-swap decision: hit ratios measured while
+	// the cache is still filling are meaninglessly low (a cold cache
+	// always misses), so windows only count once the cache has been full
+	// at least once.
+	filledOnce bool
+	// lowStreak counts consecutive below-threshold windows; the swap only
+	// stops after stopAfterLowWindows of them, giving FIFO time to warm
+	// the cache after a workload phase change.
+	lowStreak int
+	// stoppedWindows counts windows spent in stop-swap mode; every
+	// probeEveryWindows of them the cache re-admits for probeWindows
+	// windows to detect that the workload turned cacheable again.
+	stoppedWindows int
+	probing        bool
+	probeLeft      int
+	// suppress > 0 disables admission (and therefore eviction cascades)
+	// while a write-through chain is updating untrusted nodes whose
+	// ancestor MACs are transiently stale; any concurrent re-fetch and
+	// re-admission of those nodes would fail verification spuriously or
+	// fork divergent copies.
+	suppress int
+
+	stats Stats
+}
+
+// New creates a Secure Cache over the enclave. Trees are attached with
+// AttachTree.
+func New(enc *sgx.Enclave, nodeSize int, cfg Config) (*Cache, error) {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 4096
+	}
+	if cfg.StopSwapThreshold == 0 {
+		cfg.StopSwapThreshold = 0.70
+	}
+	maxSlots := cfg.CapacityBytes / (nodeSize + slotOverhead)
+	c := &Cache{
+		enc:      enc,
+		cfg:      cfg,
+		nodeSize: nodeSize,
+		maxSlots: maxSlots,
+		table:    make(map[uint64]int32, maxSlots),
+		head:     -1,
+		tail:     -1,
+		free:     -1,
+		admit:    maxSlots > 0,
+	}
+	if maxSlots > 0 {
+		c.slotBase = enc.EAlloc(maxSlots*nodeSize, sgx.CacheLine)
+		c.slots = make([]slotState, maxSlots)
+		for i := maxSlots - 1; i >= 0; i-- {
+			c.slots[i].next = c.free
+			c.free = int32(i)
+		}
+	}
+	return c, nil
+}
+
+// AttachTree registers a Merkle tree with the cache, allocating its scratch
+// buffers and applying initial level pinning within the pin budget.
+func (c *Cache) AttachTree(t *merkle.Tree) error {
+	if t.NodeSize() != c.nodeSize {
+		return fmt.Errorf("securecache: tree node size %d != cache node size %d", t.NodeSize(), c.nodeSize)
+	}
+	ts := &treeState{
+		t:        t,
+		pinFloor: t.Height(),
+		pinned:   make([]sgx.EPtr, t.Height()),
+		pinDirty: make([]bool, t.Height()),
+		scratch:  make([]sgx.EPtr, t.Height()),
+	}
+	for l := 0; l < t.Height(); l++ {
+		ts.scratch[l] = c.enc.EAlloc(c.nodeSize, sgx.CacheLine)
+	}
+	if int(t.ID()) != len(c.trees) {
+		return fmt.Errorf("securecache: tree ID %d attached out of order (want %d)", t.ID(), len(c.trees))
+	}
+	c.trees = append(c.trees, ts)
+	if c.cfg.PinBudgetBytes > 0 {
+		if err := c.pinWithinBudget(ts, c.cfg.PinBudgetBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pinWithinBudget pins the top levels of ts whose combined size fits the
+// budget, loading and verifying them bottom-up from untrusted memory.
+func (c *Cache) pinWithinBudget(ts *treeState, budget int) error {
+	t := ts.t
+	floor := t.Height()
+	total := 0
+	for l := t.Height() - 1; l >= 1; l-- {
+		sz := t.LevelBytes(l)
+		if total+sz > budget {
+			break
+		}
+		total += sz
+		floor = l
+	}
+	return c.pinDownTo(ts, floor)
+}
+
+// pinDownTo extends pinning to cover levels [floor, height). Levels are
+// verified top-down: each node is checked against its (already trusted)
+// parent before its bytes are trusted.
+func (c *Cache) pinDownTo(ts *treeState, floor int) error {
+	t := ts.t
+	if floor >= ts.pinFloor {
+		return nil
+	}
+	for l := ts.pinFloor - 1; l >= floor; l-- {
+		lb := t.LevelBytes(l)
+		base := c.enc.EAlloc(lb, sgx.CacheLine)
+		var mac [16]byte
+		for idx := 0; idx < t.Nodes(l); idx++ {
+			dst := base + sgx.EPtr(idx*c.nodeSize)
+			c.enc.CopyIn(dst, t.NodeAddr(l, idx), c.nodeSize)
+			data := c.enc.EBytesRaw(dst, c.nodeSize)
+			t.NodeMAC(&mac, data, l, idx)
+			c.stats.Verifications++
+			want, err := c.parentSlotView(ts, l, idx, base)
+			if err != nil {
+				return err
+			}
+			if string(want) != string(mac[:]) {
+				return fmt.Errorf("%w: pinning level %d node %d", merkle.ErrIntegrity, l, idx)
+			}
+		}
+		ts.pinned[l] = base
+		ts.pinFloor = l
+		c.stats.PinnedBytes += lb
+	}
+	return nil
+}
+
+// parentSlotView returns the authoritative 16-byte MAC slot covering node
+// (l, idx) during pinning: the parent lives either in already-pinned levels
+// or, for the top node, in the root. newBase is the in-progress pin base of
+// level l (unused for the parent, which is strictly above l).
+func (c *Cache) parentSlotView(ts *treeState, l, idx int, newBase sgx.EPtr) ([]byte, error) {
+	t := ts.t
+	if l == t.Height()-1 {
+		var mac [16]byte
+		data := c.enc.EBytesRaw(newBase+sgx.EPtr(idx*c.nodeSize), c.nodeSize)
+		t.NodeMAC(&mac, data, l, idx)
+		if !t.RootMatches(&mac) {
+			return nil, fmt.Errorf("%w: root during pinning", merkle.ErrIntegrity)
+		}
+		return mac[:16:16], nil
+	}
+	pidx, slot := t.ParentOf(idx)
+	pl := l + 1
+	if pl >= ts.pinFloor && ts.pinned[pl] != sgx.NilE {
+		addr := ts.pinned[pl] + sgx.EPtr(pidx*c.nodeSize+slot*merkle.SlotSize)
+		return c.enc.EBytes(addr, merkle.SlotSize), nil
+	}
+	return nil, fmt.Errorf("securecache: internal: parent level %d not pinned while pinning %d", pl, l)
+}
+
+func nodeKey(tid uint32, lvl, idx int) uint64 {
+	return uint64(tid)<<56 | uint64(lvl)<<48 | uint64(idx)
+}
+
+// location describes where a node's authoritative bytes currently live.
+type location int
+
+const (
+	locCached location = iota
+	locPinned
+	locScratch // verified copy in scratch; authoritative copy untrusted
+)
+
+// Stats returns a snapshot of the ledger.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.StopSwap = c.cfg.StopSwapEnabled && !c.admit && c.maxSlots > 0
+	s.CachedNodes = len(c.table)
+	s.CapacityNodes = c.maxSlots
+	if len(c.trees) > 0 {
+		s.PinnedLevels = c.trees[0].t.Height() - c.trees[0].pinFloor
+	}
+	return s
+}
+
+// HitRatio returns the lifetime hit ratio.
+func (c *Cache) HitRatio() float64 {
+	if c.stats.Lookups == 0 {
+		return 0
+	}
+	return float64(c.stats.Hits) / float64(c.stats.Lookups)
+}
+
+// ---- node access -----------------------------------------------------------
+
+// fetch returns an enclave view of node (lvl, idx) of tree tid, verifying it
+// if it is not already trusted. The returned location tells the caller how
+// writes must be handled.
+func (c *Cache) fetch(tid uint32, lvl, idx int) ([]byte, location, error) {
+	ts := c.trees[tid]
+	t := ts.t
+	// Pinned level: trusted by construction.
+	if lvl >= ts.pinFloor {
+		addr := ts.pinned[lvl] + sgx.EPtr(idx*c.nodeSize)
+		// Reading a slot within the node touches one line.
+		c.enc.ETouch(addr, merkle.SlotSize)
+		return c.enc.EBytesRaw(addr, c.nodeSize), locPinned, nil
+	}
+	key := nodeKey(tid, lvl, idx)
+	c.noteLookup()
+	if si, ok := c.table[key]; ok {
+		c.noteHit()
+		c.onHit(si)
+		addr := c.slotAddr(si)
+		c.enc.ETouch(addr, merkle.SlotSize)
+		// Hash-table lookup inside the EPC: ~2 lines of metadata.
+		c.enc.ETouch(c.slotBase, 2*sgx.CacheLine)
+		return c.enc.EBytesRaw(addr, c.nodeSize), locCached, nil
+	}
+	c.stats.Misses++
+	// Miss. Ordering is load-bearing here. Acquiring a slot and fetching
+	// the parent can both trigger eviction cascades, and a cascade can
+	// admit a fresh copy of this very node (a dirty child being evicted
+	// writes its MAC into its parent — us), update it, and even evict it
+	// again, changing our untrusted bytes underneath us. So: settle all
+	// cascades first (acquire, then parent fetch, re-checking the table
+	// after each), and only then copy the node in and verify it — the
+	// load-and-compare is straight-line code nothing can interleave with.
+	si := int32(-1)
+	if c.admit && c.suppress == 0 && c.maxSlots > 0 {
+		var err error
+		si, err = c.acquireSlot()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if existing, ok := c.table[key]; ok {
+		// The eviction cascade during acquisition admitted this node;
+		// that copy is newer than anything we could load. Using it (and
+		// not linking ours) also prevents forking divergent copies.
+		c.releaseSlot(si)
+		addr := c.slotAddr(existing)
+		c.enc.ETouch(addr, merkle.SlotSize)
+		return c.enc.EBytesRaw(addr, c.nodeSize), locCached, nil
+	}
+	top := lvl == t.Height()-1
+	var pview []byte
+	var pslot int
+	if !top {
+		pidx, slot := t.ParentOf(idx)
+		var err error
+		pview, _, err = c.fetch(tid, lvl+1, pidx)
+		if err != nil {
+			c.releaseSlot(si)
+			return nil, 0, err
+		}
+		pslot = slot
+		if existing, ok := c.table[key]; ok {
+			// The cascade during the parent fetch admitted this node.
+			c.releaseSlot(si)
+			addr := c.slotAddr(existing)
+			c.enc.ETouch(addr, merkle.SlotSize)
+			return c.enc.EBytesRaw(addr, c.nodeSize), locCached, nil
+		}
+	}
+	var dst sgx.EPtr
+	if si >= 0 {
+		dst = c.slotAddr(si)
+	} else {
+		dst = ts.scratch[lvl]
+	}
+	c.enc.CopyIn(dst, t.NodeAddr(lvl, idx), c.nodeSize)
+	data := c.enc.EBytesRaw(dst, c.nodeSize)
+	var mac [16]byte
+	t.NodeMAC(&mac, data, lvl, idx)
+	c.stats.Verifications++
+	if top {
+		if !t.RootMatches(&mac) {
+			c.releaseSlot(si)
+			return nil, 0, fmt.Errorf("%w: tree %d top node", merkle.ErrIntegrity, tid)
+		}
+	} else {
+		want := pview[pslot*merkle.SlotSize : pslot*merkle.SlotSize+merkle.SlotSize]
+		if string(want) != string(mac[:]) {
+			c.releaseSlot(si)
+			return nil, 0, fmt.Errorf("%w: tree %d node (level %d, index %d)", merkle.ErrIntegrity, tid, lvl, idx)
+		}
+	}
+	if si >= 0 {
+		st := &c.slots[si]
+		st.key = key
+		st.dirty = false
+		st.used = true
+		c.pushBack(si)
+		c.table[key] = si
+		return data, locCached, nil
+	}
+	return data, locScratch, nil
+}
+
+func (c *Cache) slotAddr(si int32) sgx.EPtr {
+	return c.slotBase + sgx.EPtr(int(si)*c.nodeSize)
+}
+
+// acquireSlot detaches a free slot from the free list, evicting the
+// replacement victim first when the cache is full. The returned slot is not
+// yet linked into the table or queue, so recursive fetches triggered by the
+// eviction protocol can never clobber or steal it. Returns -1 when no slot
+// could be freed.
+func (c *Cache) acquireSlot() (int32, error) {
+	if c.free == -1 {
+		if err := c.evictOne(); err != nil {
+			return -1, err
+		}
+		if c.free == -1 {
+			return -1, nil
+		}
+	}
+	si := c.free
+	c.free = c.slots[si].next
+	return si, nil
+}
+
+// releaseSlot returns an acquired-but-unlinked slot to the free list after a
+// failed verification.
+func (c *Cache) releaseSlot(si int32) {
+	if si < 0 {
+		return
+	}
+	c.slots[si].used = false
+	c.slots[si].dirty = false
+	c.slots[si].next = c.free
+	c.free = si
+}
+
+// evictOne removes the node at the replacement end of the queue, performing
+// the §IV-B eviction protocol for dirty nodes. The victim stays in the
+// lookup table until its write-back completes: nested evictions triggered by
+// fetching the victim's parent must find the victim's fresh cached bytes,
+// not reload a stale untrusted copy. It cannot be picked as a victim again
+// because it is already unlinked from the replacement queue.
+func (c *Cache) evictOne() error {
+	si := c.head
+	if si == -1 {
+		return nil
+	}
+	if !c.filledOnce {
+		c.filledOnce = true
+		c.winLookups, c.winHits = 0, 0
+	}
+	c.unlink(si)
+	st := &c.slots[si]
+	c.stats.Evictions++
+	if st.dirty {
+		if err := c.writeBackSlot(si); err != nil {
+			return err
+		}
+		c.stats.DirtyWrites++
+	} else if c.cfg.CleanDiscard {
+		c.stats.CleanDiscards++
+	} else {
+		// Hardware-like behaviour: write back even when clean.
+		tid, lvl, idx := splitKey(st.key)
+		t := c.trees[tid].t
+		c.enc.CopyOut(t.NodeAddr(lvl, idx), c.slotAddr(si), c.nodeSize)
+		c.stats.DirtyWrites++
+	}
+	delete(c.table, st.key)
+	st.used = false
+	st.dirty = false
+	st.next = c.free
+	c.free = si
+	return nil
+}
+
+func splitKey(key uint64) (tid uint32, lvl, idx int) {
+	return uint32(key >> 56), int(key>>48) & 0xff, int(key & ((1 << 48) - 1))
+}
+
+// writeBackSlot propagates a dirty node out of the cache: secure its parent,
+// compute the node's MAC, store the MAC in the parent, then write the node
+// bytes to untrusted memory without encryption (§IV-C: metadata needs
+// integrity, not confidentiality).
+//
+// Ordering matters: fetching an uncached parent can trigger nested eviction
+// cascades that write further child MACs into this very node (children find
+// it because it is still in the lookup table). The MAC is therefore computed
+// only after the parent fetch returns, so it covers the final bytes that are
+// then written back.
+func (c *Cache) writeBackSlot(si int32) error {
+	st := &c.slots[si]
+	tid, lvl, idx := splitKey(st.key)
+	ts := c.trees[tid]
+	t := ts.t
+	var mac [16]byte
+	if lvl == t.Height()-1 {
+		data := c.enc.EBytesRaw(c.slotAddr(si), c.nodeSize)
+		c.enc.ETouch(c.slotAddr(si), c.nodeSize)
+		t.NodeMAC(&mac, data, lvl, idx)
+		t.SetRoot(&mac)
+	} else {
+		pidx, slot := t.ParentOf(idx)
+		pview, ploc, err := c.fetch(tid, lvl+1, pidx)
+		if err != nil {
+			return err
+		}
+		data := c.enc.EBytesRaw(c.slotAddr(si), c.nodeSize)
+		c.enc.ETouch(c.slotAddr(si), c.nodeSize)
+		t.NodeMAC(&mac, data, lvl, idx)
+		copy(pview[slot*merkle.SlotSize:slot*merkle.SlotSize+merkle.SlotSize], mac[:])
+		c.enc.ETouch(c.scratchOrSlotAddr(tid, lvl+1, pidx, ploc), merkle.SlotSize)
+		switch ploc {
+		case locCached:
+			c.slots[c.table[nodeKey(tid, lvl+1, pidx)]].dirty = true
+		case locPinned:
+			ts.pinDirty[lvl+1] = true
+		default: // locScratch: write the parent through to the root.
+			if err := c.writeThroughScratch(tid, lvl+1, pidx); err != nil {
+				return err
+			}
+		}
+	}
+	c.enc.CopyOut(t.NodeAddr(lvl, idx), c.slotAddr(si), c.nodeSize)
+	return nil
+}
+
+// writeThroughScratch persists the scratch-resident node (lvl, idx) to
+// untrusted memory and propagates its new MAC to the first cached/pinned
+// ancestor or the root. The whole chain runs with admission suppressed:
+// while ancestor MACs are transiently stale, any nested fetch-and-admit of
+// the nodes being updated would spuriously fail verification or fork
+// divergent cached copies.
+func (c *Cache) writeThroughScratch(tid uint32, lvl, idx int) error {
+	c.suppress++
+	defer func() { c.suppress-- }()
+	ts := c.trees[tid]
+	t := ts.t
+	for {
+		view := c.enc.EBytesRaw(ts.scratch[lvl], c.nodeSize)
+		c.enc.CopyOut(t.NodeAddr(lvl, idx), ts.scratch[lvl], c.nodeSize)
+		var mac [16]byte
+		t.NodeMAC(&mac, view, lvl, idx)
+		if lvl == t.Height()-1 {
+			t.SetRoot(&mac)
+			return nil
+		}
+		pidx, slot := t.ParentOf(idx)
+		pview, ploc, err := c.fetch(tid, lvl+1, pidx)
+		if err != nil {
+			return err
+		}
+		copy(pview[slot*merkle.SlotSize:slot*merkle.SlotSize+merkle.SlotSize], mac[:])
+		c.enc.ETouch(c.scratchOrSlotAddr(tid, lvl+1, pidx, ploc), merkle.SlotSize)
+		switch ploc {
+		case locCached:
+			c.slots[c.table[nodeKey(tid, lvl+1, pidx)]].dirty = true
+			return nil
+		case locPinned:
+			ts.pinDirty[lvl+1] = true
+			return nil
+		default:
+			lvl, idx = lvl+1, pidx
+		}
+	}
+}
+
+func (c *Cache) scratchOrSlotAddr(tid uint32, lvl, idx int, loc location) sgx.EPtr {
+	ts := c.trees[tid]
+	switch loc {
+	case locPinned:
+		return ts.pinned[lvl] + sgx.EPtr(idx*c.nodeSize)
+	case locCached:
+		return c.slotAddr(c.table[nodeKey(tid, lvl, idx)])
+	default:
+		return ts.scratch[lvl]
+	}
+}
+
+// ---- queue/list maintenance ------------------------------------------------
+
+func (c *Cache) pushBack(si int32) {
+	st := &c.slots[si]
+	st.linked = true
+	st.prev = c.tail
+	st.next = -1
+	if c.tail != -1 {
+		c.slots[c.tail].next = si
+	}
+	c.tail = si
+	if c.head == -1 {
+		c.head = si
+	}
+}
+
+func (c *Cache) unlink(si int32) {
+	st := &c.slots[si]
+	st.linked = false
+	if st.prev != -1 {
+		c.slots[st.prev].next = st.next
+	} else {
+		c.head = st.next
+	}
+	if st.next != -1 {
+		c.slots[st.next].prev = st.prev
+	} else {
+		c.tail = st.prev
+	}
+	st.prev, st.next = -1, -1
+}
+
+// onHit applies the replacement policy's hit action. FIFO does nothing;
+// LRU moves the entry to the back (most recently used) and pays the extra
+// EPC accesses that Figure 12 attributes to the "tax of hits".
+func (c *Cache) onHit(si int32) {
+	if c.cfg.Policy != LRU {
+		return
+	}
+	if c.tail == si || !c.slots[si].linked {
+		return
+	}
+	c.unlink(si)
+	c.pushBack(si)
+	// List surgery: six pointer updates across three list nodes plus the
+	// recency head, all in EPC metadata — the "tax of hits" of §IV-E.
+	c.enc.ETouch(c.slotBase, 6*sgx.CacheLine)
+}
+
+// ---- hit-ratio window and stop-swap -----------------------------------------
+
+// Stop-swap tuning: how many consecutive low windows stop the swap, how
+// rarely a stopped cache probes for workload change, and how long a probe
+// lasts (the verdict is taken on its final window, after FIFO has had time
+// to warm).
+const (
+	stopAfterLowWindows = 16
+	probeEveryWindows   = 64
+	probeWindows        = 8
+)
+
+func (c *Cache) noteLookup() {
+	c.stats.Lookups++
+	if !c.cfg.StopSwapEnabled || c.maxSlots == 0 || !c.filledOnce {
+		return
+	}
+	c.winLookups++
+	if c.winLookups < uint64(c.cfg.WindowSize) {
+		return
+	}
+	ratio := float64(c.winHits) / float64(c.winLookups)
+	c.winLookups, c.winHits = 0, 0
+	switch {
+	case c.probing:
+		c.probeLeft--
+		if c.probeLeft > 0 {
+			return
+		}
+		// Verdict window: stay enabled only if the warmed cache hits.
+		c.probing = false
+		if ratio < c.cfg.StopSwapThreshold {
+			c.wantStopSwap = true
+		} else {
+			c.lowStreak = 0
+		}
+	case c.admit:
+		if ratio < c.cfg.StopSwapThreshold {
+			c.lowStreak++
+			if c.lowStreak >= stopAfterLowWindows {
+				// The transition flushes the cache, which must
+				// not run while a fetch recursion holds scratch
+				// buffers; defer to the next op boundary.
+				c.wantStopSwap = true
+			}
+		} else {
+			c.lowStreak = 0
+		}
+	default: // stopped
+		c.stoppedWindows++
+		if c.stoppedWindows >= probeEveryWindows {
+			c.stoppedWindows = 0
+			c.probing = true
+			c.probeLeft = probeWindows
+			c.admit = true
+		}
+	}
+}
+
+// applyPending performs deferred mode transitions at an operation boundary.
+func (c *Cache) applyPending() {
+	if c.wantStopSwap {
+		c.wantStopSwap = false
+		c.enterStopSwap()
+	}
+}
+
+func (c *Cache) noteHit() {
+	c.stats.Hits++
+	c.winHits++
+}
+
+// enterStopSwap flushes the cache and converts its space into extra pinned
+// levels, so every future access verifies through a short pinned frontier
+// instead of thrashing the cache (paper §IV-E "Stopping Swap").
+func (c *Cache) enterStopSwap() {
+	c.admit = false
+	c.probing = false
+	c.lowStreak = 0
+	c.stoppedWindows = 0
+	if err := c.flushCacheSlots(); err != nil {
+		// Flush can only fail on an integrity violation, which will be
+		// re-detected (and surfaced) by the very next operation.
+		return
+	}
+	for _, ts := range c.trees {
+		budget := c.cfg.PinBudgetBytes + c.maxSlots*(c.nodeSize+slotOverhead)
+		pinned := c.stats.PinnedBytes
+		floor := ts.pinFloor
+		for l := ts.pinFloor - 1; l >= 1; l-- {
+			sz := ts.t.LevelBytes(l)
+			if pinned+sz > budget {
+				break
+			}
+			pinned += sz
+			floor = l
+		}
+		_ = c.pinDownTo(ts, floor)
+	}
+}
+
+// flushCacheSlots evicts every cached node, lowest level first so children
+// propagate into parents that are still cached. Write-backs can admit (and
+// evict) other nodes mid-flush, so each round works from a snapshot of the
+// current keys rather than iterating the live queue; admissions are always
+// at strictly higher levels, so the round count is bounded by the tree
+// height.
+func (c *Cache) flushCacheSlots() error {
+	for round := 0; len(c.table) > 0; round++ {
+		if round > 64 {
+			return errors.New("securecache: internal: flush did not converge")
+		}
+		snapshot := make([]uint64, 0, len(c.table))
+		for key := range c.table {
+			snapshot = append(snapshot, key)
+		}
+		// Lowest level first: children propagate into still-cached
+		// parents instead of forcing parent re-fetches.
+		sortKeysByLevel(snapshot)
+		for _, key := range snapshot {
+			si, ok := c.table[key]
+			if !ok {
+				continue // evicted by an earlier write-back this round
+			}
+			c.unlink(si)
+			st := &c.slots[si]
+			delete(c.table, key)
+			if st.dirty {
+				if err := c.writeBackSlot(si); err != nil {
+					return err
+				}
+				c.stats.DirtyWrites++
+			} else {
+				c.stats.CleanDiscards++
+			}
+			c.stats.Evictions++
+			st.used = false
+			st.dirty = false
+			st.next = c.free
+			c.free = si
+		}
+	}
+	return nil
+}
+
+// sortKeysByLevel sorts node keys ascending by their level field. The level
+// occupies bits 48..55, above the 48-bit index, so a plain numeric sort
+// within one tree groups levels correctly; a radix pass over the level byte
+// keeps it O(n) and tree-order stable enough for flushing.
+func sortKeysByLevel(keys []uint64) {
+	var buckets [64][]uint64
+	for _, k := range keys {
+		_, lvl, _ := splitKey(k)
+		buckets[lvl] = append(buckets[lvl], k)
+	}
+	keys = keys[:0]
+	for _, b := range buckets {
+		keys = append(keys, b...)
+	}
+}
+
+// ---- public counter interface ----------------------------------------------
+
+// CounterGet returns the 16-byte counter value at index ctr of tree tid,
+// verifying it through the cache. This is the hot path of every Get.
+func (c *Cache) CounterGet(tid uint32, ctr int) ([16]byte, error) {
+	c.applyPending()
+	var out [16]byte
+	t := c.trees[tid].t
+	nodeIdx, slot := t.CounterPos(ctr)
+	view, _, err := c.fetch(tid, 0, nodeIdx)
+	if err != nil {
+		return out, err
+	}
+	copy(out[:], view[slot*merkle.SlotSize:])
+	return out, nil
+}
+
+// CounterBump increments the counter (as a little-endian 128-bit integer)
+// and returns the new value; used before every encryption so a (counter,
+// key-slot) pair is never reused. The new value is propagated per the cache
+// write protocol: dirty bit when cached, level-dirty when pinned,
+// write-through when neither.
+func (c *Cache) CounterBump(tid uint32, ctr int) ([16]byte, error) {
+	var out [16]byte
+	err := c.modifyCounter(tid, ctr, func(b []byte) {
+		for i := 0; i < 16; i++ {
+			b[i]++
+			if b[i] != 0 {
+				break
+			}
+		}
+		copy(out[:], b)
+	})
+	return out, err
+}
+
+// CounterSet overwrites the counter value (used by recovery tooling and
+// tests).
+func (c *Cache) CounterSet(tid uint32, ctr int, val [16]byte) error {
+	return c.modifyCounter(tid, ctr, func(b []byte) { copy(b, val[:]) })
+}
+
+func (c *Cache) modifyCounter(tid uint32, ctr int, fn func([]byte)) error {
+	c.applyPending()
+	ts := c.trees[tid]
+	t := ts.t
+	nodeIdx, slot := t.CounterPos(ctr)
+	view, loc, err := c.fetch(tid, 0, nodeIdx)
+	if err != nil {
+		return err
+	}
+	fn(view[slot*merkle.SlotSize : slot*merkle.SlotSize+merkle.SlotSize])
+	switch loc {
+	case locCached:
+		c.slots[c.table[nodeKey(tid, 0, nodeIdx)]].dirty = true
+	case locPinned:
+		ts.pinDirty[0] = true
+	default:
+		return c.writeThroughScratch(tid, 0, nodeIdx)
+	}
+	return nil
+}
+
+// Flush writes every dirty cached node and every dirty pinned level back to
+// untrusted memory and brings the whole Merkle tree (and root) up to date.
+// After Flush, Tree.VerifyAll succeeds on a store that was not attacked.
+func (c *Cache) Flush() error {
+	if err := c.flushCacheSlots(); err != nil {
+		return err
+	}
+	for _, ts := range c.trees {
+		t := ts.t
+		var mac [16]byte
+		for lvl := ts.pinFloor; lvl < t.Height(); lvl++ {
+			for idx := 0; idx < t.Nodes(lvl); idx++ {
+				src := ts.pinned[lvl] + sgx.EPtr(idx*c.nodeSize)
+				c.enc.CopyOut(t.NodeAddr(lvl, idx), src, c.nodeSize)
+				data := c.enc.EBytesRaw(src, c.nodeSize)
+				t.NodeMAC(&mac, data, lvl, idx)
+				if lvl == t.Height()-1 {
+					t.SetRoot(&mac)
+				} else if lvl+1 >= ts.pinFloor {
+					pidx, slot := t.ParentOf(idx)
+					dst := ts.pinned[lvl+1] + sgx.EPtr(pidx*c.nodeSize+slot*merkle.SlotSize)
+					copy(c.enc.EBytesRaw(dst, merkle.SlotSize), mac[:])
+				} else {
+					return fmt.Errorf("securecache: internal: pinned level %d has unpinned parent", lvl)
+				}
+			}
+			ts.pinDirty[lvl] = false
+		}
+	}
+	return nil
+}

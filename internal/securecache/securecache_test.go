@@ -1,0 +1,502 @@
+package securecache
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/ariakv/aria/internal/merkle"
+	"github.com/ariakv/aria/internal/seccrypto"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+type kit struct {
+	enc   *sgx.Enclave
+	cip   *seccrypto.Cipher
+	tree  *merkle.Tree
+	cache *Cache
+}
+
+func newKit(t *testing.T, counters, arity int, cfg Config) *kit {
+	t.Helper()
+	enc := sgx.New(sgx.Config{EPCBytes: 64 << 20})
+	cip, err := seccrypto.New(make([]byte, 16), make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := merkle.New(enc, cip, merkle.Config{Counters: counters, Arity: arity, InitSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(enc, tree.NodeSize(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachTree(tree); err != nil {
+		t.Fatal(err)
+	}
+	return &kit{enc: enc, cip: cip, tree: tree, cache: c}
+}
+
+func defaultCfg() Config {
+	return Config{
+		CapacityBytes: 64 << 10,
+		Policy:        FIFO,
+		CleanDiscard:  true,
+	}
+}
+
+func TestCounterGetMatchesUntrustedCopy(t *testing.T) {
+	k := newKit(t, 1000, 8, defaultCfg())
+	for _, ctr := range []int{0, 1, 7, 8, 500, 999} {
+		got, err := k.cache.CounterGet(0, ctr)
+		if err != nil {
+			t.Fatalf("CounterGet(%d): %v", ctr, err)
+		}
+		node, slot := k.tree.CounterPos(ctr)
+		want := k.enc.UBytesRaw(k.tree.NodeAddr(0, node)+sgx.UPtr(slot*16), 16)
+		if string(got[:]) != string(want) {
+			t.Errorf("CounterGet(%d) = %x, want %x", ctr, got, want)
+		}
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	k := newKit(t, 1000, 8, defaultCfg())
+	if _, err := k.cache.CounterGet(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	before := k.cache.Stats()
+	if _, err := k.cache.CounterGet(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	after := k.cache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("second access was not a hit: %+v -> %+v", before, after)
+	}
+	// Counters in the same leaf node also hit.
+	if _, err := k.cache.CounterGet(0, 101); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.cache.Stats().Hits; got != after.Hits+1 {
+		t.Errorf("same-node counter was not a hit")
+	}
+}
+
+func TestHitSkipsVerification(t *testing.T) {
+	k := newKit(t, 100000, 8, defaultCfg())
+	if _, err := k.cache.CounterGet(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	v := k.cache.Stats().Verifications
+	for i := 0; i < 10; i++ {
+		if _, err := k.cache.CounterGet(0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.cache.Stats().Verifications; got != v {
+		t.Errorf("cached counter access performed %d extra verifications (KV-granularity protection broken)", got-v)
+	}
+}
+
+func TestBumpFlushVerify(t *testing.T) {
+	k := newKit(t, 1000, 8, defaultCfg())
+	seen := make(map[int][16]byte)
+	for _, ctr := range []int{0, 5, 8, 64, 999} {
+		v, err := k.cache.CounterBump(0, ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ctr] = v
+	}
+	if err := k.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.tree.VerifyAll(); err != nil {
+		t.Fatalf("tree inconsistent after flush: %v", err)
+	}
+	// Values must survive the flush and be re-readable through a fresh
+	// verification path.
+	for ctr, want := range seen {
+		got, err := k.cache.CounterGet(0, ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("counter %d = %x after flush, want %x", ctr, got, want)
+		}
+	}
+}
+
+func TestBumpIncrements(t *testing.T) {
+	k := newKit(t, 100, 8, defaultCfg())
+	v1, err := k.cache.CounterGet(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := k.cache.CounterBump(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 {
+		t.Error("bump did not change the counter")
+	}
+	// Little-endian 128-bit increment.
+	want := v1
+	for i := 0; i < 16; i++ {
+		want[i]++
+		if want[i] != 0 {
+			break
+		}
+	}
+	if v2 != want {
+		t.Errorf("bump = %x, want %x", v2, want)
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	// Cache sized for ~16 nodes; touch hundreds of distinct leaf nodes.
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 16 * (8*16 + slotOverhead)
+	k := newKit(t, 10000, 8, cfg)
+	for ctr := 0; ctr < 10000; ctr += 8 {
+		if _, err := k.cache.CounterBump(0, ctr); err != nil {
+			t.Fatalf("bump %d: %v", ctr, err)
+		}
+	}
+	st := k.cache.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite pressure")
+	}
+	if st.DirtyWrites == 0 {
+		t.Fatal("dirty nodes were never written back")
+	}
+	if err := k.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.tree.VerifyAll(); err != nil {
+		t.Fatalf("tree inconsistent after eviction storm: %v", err)
+	}
+}
+
+func TestCleanDiscardAvoidsWriteback(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 16 * (8*16 + slotOverhead)
+	k := newKit(t, 10000, 8, cfg)
+	// Read-only traffic: every eviction should be a clean discard.
+	for ctr := 0; ctr < 10000; ctr += 8 {
+		if _, err := k.cache.CounterGet(0, ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := k.cache.Stats()
+	if st.CleanDiscards == 0 {
+		t.Error("clean-discard optimization never fired on read-only traffic")
+	}
+	if st.DirtyWrites != 0 {
+		t.Errorf("%d dirty write-backs on read-only traffic", st.DirtyWrites)
+	}
+}
+
+func TestNoCleanDiscardModelsEWB(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 16 * (8*16 + slotOverhead)
+	cfg.CleanDiscard = false
+	k := newKit(t, 10000, 8, cfg)
+	for ctr := 0; ctr < 10000; ctr += 8 {
+		if _, err := k.cache.CounterGet(0, ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := k.cache.Stats()
+	if st.CleanDiscards != 0 {
+		t.Error("clean discards recorded with the optimization disabled")
+	}
+	if st.DirtyWrites == 0 {
+		t.Error("EWB-style mode never wrote anything back")
+	}
+}
+
+func TestTamperDetectedOnFetch(t *testing.T) {
+	k := newKit(t, 10000, 8, defaultCfg())
+	// Corrupt a counter the cache has never seen.
+	node, _ := k.tree.CounterPos(7777)
+	k.enc.UBytesRaw(k.tree.NodeAddr(0, node), 1)[0] ^= 1
+	_, err := k.cache.CounterGet(0, 7777)
+	if !errors.Is(err, merkle.ErrIntegrity) {
+		t.Fatalf("tampered counter fetch: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestInnerNodeTamperDetected(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 8 * (8*16 + slotOverhead) // tiny: nothing stays cached long
+	k := newKit(t, 100000, 8, cfg)
+	// Corrupt an inner (level-1) node; fetching any counter under it must
+	// fail the recursive verification.
+	k.enc.UBytesRaw(k.tree.NodeAddr(1, 0), 1)[0] ^= 0x80
+	foundErr := false
+	for ctr := 0; ctr < 8*8 && !foundErr; ctr += 8 {
+		if _, err := k.cache.CounterGet(0, ctr); errors.Is(err, merkle.ErrIntegrity) {
+			foundErr = true
+		}
+	}
+	if !foundErr {
+		t.Fatal("corrupted inner node never detected")
+	}
+}
+
+func TestReplayAttackDetected(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 8 * (8*16 + slotOverhead)
+	k := newKit(t, 1000, 8, cfg)
+	base := k.tree.NodeAddr(0, 0)
+	total := k.tree.TotalBytes()
+
+	// Snapshot the entire untrusted metadata region (an attacker can).
+	snap := append([]byte(nil), k.enc.UBytesRaw(base, total)...)
+
+	// Honest updates, flushed so untrusted memory holds the new state.
+	for ctr := 0; ctr < 100; ctr++ {
+		if _, err := k.cache.CounterBump(0, ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: restore every untrusted byte to its stale value.
+	copy(k.enc.UBytesRaw(base, total), snap)
+
+	// The EPC root does not match the stale tree: any fresh fetch fails.
+	_, err := k.cache.CounterGet(0, 0)
+	if !errors.Is(err, merkle.ErrIntegrity) {
+		t.Fatalf("replayed metadata: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestLevelPinningReducesVerification(t *testing.T) {
+	mk := func(pinBudget int) Stats {
+		cfg := defaultCfg()
+		cfg.CapacityBytes = 4 * (8*16 + slotOverhead) // nearly no cache
+		cfg.PinBudgetBytes = pinBudget
+		k := newKit(t, 100000, 8, cfg)
+		for ctr := 0; ctr < 100000; ctr += 97 {
+			if _, err := k.cache.CounterGet(0, ctr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k.cache.Stats()
+	}
+	unpinned := mk(0)
+	pinned := mk(1 << 20)
+	if pinned.PinnedLevels == 0 {
+		t.Fatal("pin budget produced no pinned levels")
+	}
+	if pinned.Verifications >= unpinned.Verifications {
+		t.Errorf("pinning did not reduce verifications: %d (pinned) vs %d",
+			pinned.Verifications, unpinned.Verifications)
+	}
+}
+
+func TestLRUCostsMoreOnHits(t *testing.T) {
+	run := func(p Policy) uint64 {
+		cfg := defaultCfg()
+		cfg.Policy = p
+		k := newKit(t, 1000, 8, cfg)
+		if _, err := k.cache.CounterGet(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.cache.CounterGet(0, 9); err != nil { // second node
+			t.Fatal(err)
+		}
+		k.enc.ResetStats()
+		for i := 0; i < 1000; i++ {
+			// Alternate two cached nodes so LRU reorders every hit.
+			if _, err := k.cache.CounterGet(0, 1+(i%2)*8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k.enc.Cycles()
+	}
+	fifo := run(FIFO)
+	lru := run(LRU)
+	if lru <= fifo {
+		t.Errorf("LRU hit path (%d cycles) not more expensive than FIFO (%d)", lru, fifo)
+	}
+}
+
+func TestStopSwapTriggersOnUniformTraffic(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 64 * (8*16 + slotOverhead)
+	cfg.StopSwapEnabled = true
+	cfg.StopSwapThreshold = 0.70
+	cfg.WindowSize = 512
+	cfg.PinBudgetBytes = 4 << 10
+	k := newKit(t, 100000, 8, cfg)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		if _, err := k.cache.CounterGet(0, rng.Intn(100000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := k.cache.Stats()
+	if !st.StopSwap {
+		t.Fatalf("stop-swap never engaged on uniform traffic (hit ratio %.2f)", k.cache.HitRatio())
+	}
+	if st.PinnedLevels == 0 {
+		t.Error("stop-swap did not convert cache space into pinned levels")
+	}
+	// Reads and writes must remain correct in stop-swap mode.
+	v, err := k.cache.CounterBump(0, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.cache.CounterGet(0, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Errorf("counter after stop-swap bump = %x, want %x", got, v)
+	}
+	if err := k.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.tree.VerifyAll(); err != nil {
+		t.Fatalf("tree inconsistent after stop-swap writes: %v", err)
+	}
+}
+
+func TestStopSwapStaysOffOnSkewedTraffic(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 256 * (8*16 + slotOverhead)
+	cfg.StopSwapEnabled = true
+	cfg.WindowSize = 512
+	k := newKit(t, 100000, 8, cfg)
+	for i := 0; i < 20000; i++ {
+		// 16 hot leaf nodes: hit ratio well above threshold.
+		if _, err := k.cache.CounterGet(0, (i%128)*8%1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.cache.Stats().StopSwap {
+		t.Error("stop-swap engaged despite high hit ratio")
+	}
+}
+
+func TestRandomOpsMirrorProperty(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.CapacityBytes = 32 * (8*16 + slotOverhead)
+	cfg.PinBudgetBytes = 2 << 10
+	k := newKit(t, 5000, 8, cfg)
+	mirror := make(map[int][16]byte)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		ctr := rng.Intn(5000)
+		if rng.Intn(2) == 0 {
+			v, err := k.cache.CounterBump(0, ctr)
+			if err != nil {
+				t.Fatalf("op %d bump(%d): %v", i, ctr, err)
+			}
+			mirror[ctr] = v
+		} else {
+			v, err := k.cache.CounterGet(0, ctr)
+			if err != nil {
+				t.Fatalf("op %d get(%d): %v", i, ctr, err)
+			}
+			if want, ok := mirror[ctr]; ok && v != want {
+				t.Fatalf("op %d: counter %d = %x, want %x", i, ctr, v, want)
+			}
+		}
+	}
+	if err := k.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.tree.VerifyAll(); err != nil {
+		t.Fatalf("tree inconsistent after random ops: %v", err)
+	}
+	for ctr, want := range mirror {
+		got, err := k.cache.CounterGet(0, ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("counter %d = %x after flush, want %x", ctr, got, want)
+		}
+	}
+}
+
+func TestMultipleTrees(t *testing.T) {
+	k := newKit(t, 1000, 8, defaultCfg())
+	t2, err := merkle.New(k.enc, k.cip, merkle.Config{Counters: 500, Arity: 8, TreeID: 1, InitSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.cache.AttachTree(t2); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := k.cache.CounterBump(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := k.cache.CounterBump(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := k.cache.CounterGet(0, 10)
+	g2, _ := k.cache.CounterGet(1, 10)
+	if g1 != v1 || g2 != v2 {
+		t.Error("trees interfere with each other")
+	}
+	if err := k.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.tree.VerifyAll(); err != nil {
+		t.Error(err)
+	}
+	if err := t2.VerifyAll(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttachTreeValidation(t *testing.T) {
+	k := newKit(t, 100, 8, defaultCfg())
+	bad, err := merkle.New(k.enc, k.cip, merkle.Config{Counters: 100, Arity: 4, TreeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.cache.AttachTree(bad); err == nil {
+		t.Error("attached a tree with mismatched node size")
+	}
+	dup, err := merkle.New(k.enc, k.cip, merkle.Config{Counters: 100, Arity: 8, TreeID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.cache.AttachTree(dup); err == nil {
+		t.Error("attached a tree with out-of-order ID")
+	}
+}
+
+func TestZeroCapacityCacheStillWorks(t *testing.T) {
+	// Capacity 0 = pure write-through verification (no caching at all).
+	cfg := Config{CapacityBytes: 0, PinBudgetBytes: 1 << 10, CleanDiscard: true}
+	k := newKit(t, 1000, 8, cfg)
+	v, err := k.cache.CounterBump(0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.cache.CounterGet(0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Errorf("write-through counter = %x, want %x", got, v)
+	}
+	if err := k.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.tree.VerifyAll(); err != nil {
+		t.Fatalf("write-through left tree inconsistent: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package sgx
+
+// CostModel prices every hardware event the simulator tracks, in CPU cycles.
+//
+// The constants default to the numbers the Aria paper itself cites for the
+// i7-7700 / SGX v2.6 platform: an EPC hit costs on the order of 200 cycles,
+// a secure page swap about 40K cycles, and an enclave edge call (ECALL or
+// OCALL) 8K-14K cycles. Crypto costs follow AES-NI throughput with the fixed
+// per-call overhead of the SGX SDK primitives.
+//
+// Relative performance between the compared designs is governed by *event
+// counts* (MAC computations, page swaps, edge calls, bytes moved), so the
+// reproduced curves keep the paper's shape even though the absolute cycle
+// prices are approximations.
+type CostModel struct {
+	// EnclaveLineCycles is charged per 64-byte cache line touched inside
+	// the EPC. It models the Memory Encryption Engine overhead on the
+	// path between the LLC and enclave memory.
+	EnclaveLineCycles uint64
+
+	// UntrustedLineCycles is charged per 64-byte cache line touched in
+	// ordinary untrusted DRAM.
+	UntrustedLineCycles uint64
+
+	// PageSwapCycles is the cost of one hardware secure-paging event:
+	// evicting one EPC page (encrypt, integrity-tree update, OS context
+	// switch) and loading its replacement (decrypt, verify).
+	PageSwapCycles uint64
+
+	// EcallCycles and OcallCycles price crossing the enclave boundary.
+	EcallCycles uint64
+	OcallCycles uint64
+
+	// MACFixedCycles + n*MACByteCycles is the cost of one AES-CMAC over n
+	// bytes computed inside the enclave (sgx_rijndael128_cmac).
+	MACFixedCycles uint64
+	MACByteCycles  uint64
+
+	// CTRFixedCycles + n*CTRByteCycles is the cost of one AES-CTR
+	// encryption or decryption over n bytes (sgx_aes_ctr_encrypt).
+	CTRFixedCycles uint64
+	CTRByteCycles  uint64
+
+	// HashCycles is the cost of one non-cryptographic hash (bucket hash,
+	// key hint).
+	HashCycles uint64
+
+	// CPUHz converts accumulated cycles into simulated seconds when
+	// reporting throughput. The paper's testbed is a 3.6 GHz i7-7700.
+	CPUHz float64
+}
+
+// DefaultCosts returns the cost model used throughout the reproduction.
+func DefaultCosts() CostModel {
+	return CostModel{
+		EnclaveLineCycles:   255,
+		UntrustedLineCycles: 90,
+		PageSwapCycles:      40000,
+		EcallCycles:         9000,
+		OcallCycles:         10000,
+		MACFixedCycles:      1150,
+		MACByteCycles:       2,
+		CTRFixedCycles:      780,
+		CTRByteCycles:       2,
+		HashCycles:          40,
+		CPUHz:               3.6e9,
+	}
+}
+
+// InsecureCosts returns a cost model for the "Aria w/o SGX" configuration of
+// Figure 12: the same code running outside any enclave. Memory accesses are
+// plain DRAM accesses, there is no secure paging, and edge calls are free,
+// but the cryptographic work is unchanged.
+func InsecureCosts() CostModel {
+	c := DefaultCosts()
+	c.EnclaveLineCycles = c.UntrustedLineCycles
+	c.PageSwapCycles = 0
+	c.EcallCycles = 0
+	c.OcallCycles = 0
+	return c
+}

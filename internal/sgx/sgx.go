@@ -1,0 +1,422 @@
+// Package sgx simulates an Intel SGX enclave precisely enough to reproduce
+// the performance effects the Aria paper studies: the limited Enclave Page
+// Cache (EPC), hardware secure paging at 4 KB granularity, Memory Encryption
+// Engine access overheads, and the cost of ECALL/OCALL edge transitions.
+//
+// The simulator exposes two byte arenas:
+//
+//   - the enclave heap, whose pages compete for a bounded EPC resident set
+//     managed with a CLOCK (second-chance) policy, matching the
+//     hotness-aware behaviour of the real SGX paging driver; and
+//   - untrusted memory, which is ordinary DRAM.
+//
+// All pointers are arena offsets (EPtr, UPtr), which makes page residency
+// checks and the contiguous address arithmetic of Aria's Merkle tree exact,
+// and lets tests flip real bytes in "untrusted memory" to mount attacks.
+//
+// Time is a deterministic cycle counter advanced by a CostModel; benchmarks
+// convert cycles to seconds at the model's nominal clock rate. Determinism
+// means every experiment reproduces bit-identical numbers on any machine.
+package sgx
+
+import (
+	"fmt"
+)
+
+const (
+	// PageSize is the SGX paging granularity.
+	PageSize = 4096
+	// CacheLine is the MEE protection granularity.
+	CacheLine = 64
+)
+
+// EPtr addresses a byte in the enclave heap arena.
+type EPtr uint64
+
+// UPtr addresses a byte in the untrusted memory arena.
+type UPtr uint64
+
+// NilU is the canonical invalid untrusted pointer. Offset 0 is reserved at
+// arena construction so that 0 never addresses live data.
+const NilU UPtr = 0
+
+// NilE is the canonical invalid enclave pointer.
+const NilE EPtr = 0
+
+// Config sizes the simulated platform.
+type Config struct {
+	// EPCBytes is the usable EPC capacity. The paper's testbed exposes
+	// 91 MB to the user.
+	EPCBytes int
+	// Costs prices events; zero value means DefaultCosts.
+	Costs CostModel
+	// MeasureOff disables cycle accounting entirely (used while bulk
+	// loading stores before the measured phase).
+	MeasureOff bool
+}
+
+// Stats is the event ledger of one enclave.
+type Stats struct {
+	Cycles         uint64
+	PageSwaps      uint64
+	Ecalls         uint64
+	Ocalls         uint64
+	MACs           uint64
+	MACBytes       uint64
+	CTROps         uint64
+	CTRBytes       uint64
+	EnclaveLines   uint64
+	UntrustedLines uint64
+	Hashes         uint64
+}
+
+type pageState struct {
+	resident bool
+	ref      bool
+}
+
+// Enclave is one simulated SGX enclave plus the untrusted address space of
+// its host process.
+type Enclave struct {
+	cfg   Config
+	costs CostModel
+
+	cycles    uint64
+	measuring bool
+
+	heap  []byte
+	pages []pageState
+	// resident tracks how many enclave pages currently occupy the EPC;
+	// maxResident is the EPC capacity in pages.
+	resident    int
+	maxResident int
+	hand        int
+
+	uheap []byte
+
+	stats Stats
+}
+
+// New creates an enclave with the given configuration.
+func New(cfg Config) *Enclave {
+	if cfg.EPCBytes <= 0 {
+		panic("sgx: EPCBytes must be positive")
+	}
+	zero := CostModel{}
+	if cfg.Costs == zero {
+		cfg.Costs = DefaultCosts()
+	}
+	e := &Enclave{
+		cfg:         cfg,
+		costs:       cfg.Costs,
+		measuring:   !cfg.MeasureOff,
+		maxResident: cfg.EPCBytes / PageSize,
+	}
+	if e.maxResident < 1 {
+		e.maxResident = 1
+	}
+	// Reserve offset 0 in both arenas so the zero pointer is never valid.
+	e.heap = make([]byte, CacheLine)
+	e.pages = append(e.pages, pageState{resident: true, ref: true})
+	e.resident = 1
+	e.uheap = make([]byte, CacheLine)
+	return e
+}
+
+// Costs returns the enclave's cost model.
+func (e *Enclave) Costs() CostModel { return e.costs }
+
+// SetMeasuring toggles cycle accounting. Loading a store before the measured
+// window runs with accounting off, exactly like excluding the load phase
+// from a wall-clock measurement.
+func (e *Enclave) SetMeasuring(on bool) { e.measuring = on }
+
+// Measuring reports whether cycle accounting is active.
+func (e *Enclave) Measuring() bool { return e.measuring }
+
+// Advance adds cycles to the simulated clock.
+func (e *Enclave) Advance(c uint64) {
+	if e.measuring {
+		e.cycles += c
+	}
+}
+
+// Cycles returns the simulated clock.
+func (e *Enclave) Cycles() uint64 { return e.cycles }
+
+// Seconds converts the simulated clock to seconds at the nominal CPU rate.
+func (e *Enclave) Seconds() float64 { return float64(e.cycles) / e.costs.CPUHz }
+
+// Stats returns a snapshot of the event ledger.
+func (e *Enclave) Stats() Stats {
+	s := e.stats
+	s.Cycles = e.cycles
+	return s
+}
+
+// ResetStats zeroes the ledger and the clock (typically after warm-up).
+func (e *Enclave) ResetStats() {
+	e.stats = Stats{}
+	e.cycles = 0
+}
+
+// EPCUsedBytes reports how much enclave heap has been allocated.
+func (e *Enclave) EPCUsedBytes() int { return len(e.heap) }
+
+// UntrustedUsedBytes reports how much untrusted arena has been allocated.
+func (e *Enclave) UntrustedUsedBytes() int { return len(e.uheap) }
+
+// EPCCapacity returns the configured EPC size in bytes.
+func (e *Enclave) EPCCapacity() int { return e.cfg.EPCBytes }
+
+func align(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) &^ (a - 1)
+}
+
+// EAlloc reserves n bytes in the enclave heap with the given alignment and
+// returns their address. Enclave allocations never fail; exceeding the EPC
+// capacity triggers secure paging on access rather than allocation failure,
+// matching SGX's demand-paged enclave heap.
+func (e *Enclave) EAlloc(n, alignment int) EPtr {
+	if n < 0 {
+		panic("sgx: negative allocation")
+	}
+	off := align(len(e.heap), alignment)
+	end := off + n
+	if end > cap(e.heap) {
+		grown := make([]byte, end, growCap(cap(e.heap), end))
+		copy(grown, e.heap)
+		e.heap = grown
+	} else {
+		e.heap = e.heap[:end]
+	}
+	// Extend the page table; fresh pages start non-resident and are
+	// faulted in on first touch (EAUG-style demand paging). While the
+	// resident set has room, faults are free: they model one-time EADD.
+	for p := len(e.pages); p <= (end-1)/PageSize; p++ {
+		e.pages = append(e.pages, pageState{})
+	}
+	return EPtr(off)
+}
+
+// UAlloc reserves n bytes of untrusted memory with the given alignment.
+func (e *Enclave) UAlloc(n, alignment int) UPtr {
+	if n < 0 {
+		panic("sgx: negative allocation")
+	}
+	off := align(len(e.uheap), alignment)
+	end := off + n
+	if end > cap(e.uheap) {
+		grown := make([]byte, end, growCap(cap(e.uheap), end))
+		copy(grown, e.uheap)
+		e.uheap = grown
+	} else {
+		e.uheap = e.uheap[:end]
+	}
+	return UPtr(off)
+}
+
+func growCap(old, need int) int {
+	c := old * 2
+	if c < need {
+		c = need
+	}
+	const minCap = 1 << 16
+	if c < minCap {
+		c = minCap
+	}
+	return c
+}
+
+func lines(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64((n + CacheLine - 1) / CacheLine)
+}
+
+// ETouch models the enclave-side cost of accessing n bytes at p: MEE
+// per-line overhead plus secure paging for any non-resident page spanned.
+func (e *Enclave) ETouch(p EPtr, n int) {
+	if !e.measuring {
+		return
+	}
+	ln := lines(n)
+	e.stats.EnclaveLines += ln
+	e.cycles += ln * e.costs.EnclaveLineCycles
+	first := int(p) / PageSize
+	last := (int(p) + n - 1) / PageSize
+	for pg := first; pg <= last; pg++ {
+		e.touchPage(pg)
+	}
+}
+
+func (e *Enclave) touchPage(pg int) {
+	st := &e.pages[pg]
+	if st.resident {
+		st.ref = true
+		return
+	}
+	if e.resident < e.maxResident {
+		// Free EPC frame: fault the page in without an eviction. This
+		// models initial EADD/EAUG, which is not the 40K-cycle swap.
+		st.resident = true
+		st.ref = true
+		e.resident++
+		return
+	}
+	// Secure paging: evict a victim chosen by CLOCK, then load pg.
+	e.evictOnePage()
+	st.resident = true
+	st.ref = true
+	e.resident++
+	e.stats.PageSwaps++
+	e.cycles += e.costs.PageSwapCycles
+}
+
+func (e *Enclave) evictOnePage() {
+	for {
+		if e.hand >= len(e.pages) {
+			e.hand = 0
+		}
+		st := &e.pages[e.hand]
+		if st.resident {
+			if st.ref {
+				st.ref = false
+			} else {
+				st.resident = false
+				e.resident--
+				e.hand++
+				return
+			}
+		}
+		e.hand++
+	}
+}
+
+// UTouch models the cost of accessing n bytes of untrusted DRAM at p.
+func (e *Enclave) UTouch(p UPtr, n int) {
+	if !e.measuring {
+		return
+	}
+	ln := lines(n)
+	e.stats.UntrustedLines += ln
+	e.cycles += ln * e.costs.UntrustedLineCycles
+}
+
+// EBytes returns the enclave heap bytes [p, p+n) and charges the access.
+func (e *Enclave) EBytes(p EPtr, n int) []byte {
+	e.boundsE(p, n)
+	e.ETouch(p, n)
+	return e.heap[p : int(p)+n : int(p)+n]
+}
+
+// UBytes returns the untrusted bytes [p, p+n) and charges the access.
+func (e *Enclave) UBytes(p UPtr, n int) []byte {
+	e.boundsU(p, n)
+	e.UTouch(p, n)
+	return e.uheap[p : int(p)+n : int(p)+n]
+}
+
+// EBytesRaw returns enclave heap bytes without charging an access. It exists
+// for code that has already charged the touch (e.g. a caller that batches
+// accounting) and for test assertions.
+func (e *Enclave) EBytesRaw(p EPtr, n int) []byte {
+	e.boundsE(p, n)
+	return e.heap[p : int(p)+n : int(p)+n]
+}
+
+// UValid reports whether [p, p+n) lies inside the allocated untrusted
+// arena. Stores use it to validate attacker-controlled pointers before
+// dereferencing them, turning wild pointers into detected attacks instead
+// of faults.
+func (e *Enclave) UValid(p UPtr, n int) bool {
+	return p > 0 && int(p) >= 0 && n >= 0 && int(p)+n <= len(e.uheap)
+}
+
+// UBytesRaw returns untrusted bytes without charging an access. Attack tests
+// use it to corrupt data behind the store's back, exactly like a malicious
+// host process would.
+func (e *Enclave) UBytesRaw(p UPtr, n int) []byte {
+	e.boundsU(p, n)
+	return e.uheap[p : int(p)+n : int(p)+n]
+}
+
+func (e *Enclave) boundsE(p EPtr, n int) {
+	if int(p) < 0 || int(p)+n > len(e.heap) {
+		panic(fmt.Sprintf("sgx: enclave access [%d,%d) out of bounds (heap %d)", p, int(p)+n, len(e.heap)))
+	}
+}
+
+func (e *Enclave) boundsU(p UPtr, n int) {
+	if int(p) < 0 || int(p)+n > len(e.uheap) {
+		panic(fmt.Sprintf("sgx: untrusted access [%d,%d) out of bounds (arena %d)", p, int(p)+n, len(e.uheap)))
+	}
+}
+
+// CopyIn copies n bytes from untrusted memory into the enclave heap,
+// charging both sides. This is the path every Merkle-tree node takes before
+// it can be verified: MAC computation happens only over EPC-resident bytes.
+func (e *Enclave) CopyIn(dst EPtr, src UPtr, n int) {
+	copy(e.heap[dst:int(dst)+n], e.uheap[src:int(src)+n])
+	e.UTouch(src, n)
+	e.ETouch(dst, n)
+}
+
+// CopyOut copies n bytes from the enclave heap to untrusted memory.
+func (e *Enclave) CopyOut(dst UPtr, src EPtr, n int) {
+	copy(e.uheap[dst:int(dst)+n], e.heap[src:int(src)+n])
+	e.ETouch(src, n)
+	e.UTouch(dst, n)
+}
+
+// Ecall charges one entry into the enclave.
+func (e *Enclave) Ecall() {
+	if !e.measuring {
+		return
+	}
+	e.stats.Ecalls++
+	e.cycles += e.costs.EcallCycles
+}
+
+// Ocall charges one exit from the enclave (e.g. a system call such as
+// malloc performed on behalf of enclave code).
+func (e *Enclave) Ocall() {
+	if !e.measuring {
+		return
+	}
+	e.stats.Ocalls++
+	e.cycles += e.costs.OcallCycles
+}
+
+// ChargeMAC accounts one CMAC computation over n bytes.
+func (e *Enclave) ChargeMAC(n int) {
+	if !e.measuring {
+		return
+	}
+	e.stats.MACs++
+	e.stats.MACBytes += uint64(n)
+	e.cycles += e.costs.MACFixedCycles + uint64(n)*e.costs.MACByteCycles
+}
+
+// ChargeCTR accounts one AES-CTR encryption or decryption over n bytes.
+func (e *Enclave) ChargeCTR(n int) {
+	if !e.measuring {
+		return
+	}
+	e.stats.CTROps++
+	e.stats.CTRBytes += uint64(n)
+	e.cycles += e.costs.CTRFixedCycles + uint64(n)*e.costs.CTRByteCycles
+}
+
+// ChargeHash accounts one non-cryptographic hash (bucket index, key hint).
+func (e *Enclave) ChargeHash() {
+	if !e.measuring {
+		return
+	}
+	e.stats.Hashes++
+	e.cycles += e.costs.HashCycles
+}

@@ -1,0 +1,249 @@
+package sgx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestEnclave(epcPages int) *Enclave {
+	return New(Config{EPCBytes: epcPages * PageSize})
+}
+
+func TestAllocAlignment(t *testing.T) {
+	e := newTestEnclave(16)
+	p1 := e.EAlloc(10, 8)
+	if p1%8 != 0 {
+		t.Errorf("EAlloc returned unaligned pointer %d", p1)
+	}
+	p2 := e.EAlloc(1, 64)
+	if p2%64 != 0 {
+		t.Errorf("EAlloc(align=64) returned %d", p2)
+	}
+	u := e.UAlloc(3, 4096)
+	if u%4096 != 0 {
+		t.Errorf("UAlloc(align=4096) returned %d", u)
+	}
+}
+
+func TestAllocZeroNeverReturned(t *testing.T) {
+	e := newTestEnclave(4)
+	if p := e.EAlloc(8, 1); p == NilE {
+		t.Error("EAlloc returned the nil enclave pointer")
+	}
+	if u := e.UAlloc(8, 1); u == NilU {
+		t.Error("UAlloc returned the nil untrusted pointer")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	e := newTestEnclave(8)
+	p := e.EAlloc(32, 8)
+	copy(e.EBytes(p, 32), "hello enclave memory world!!!!!!")
+	if string(e.EBytesRaw(p, 5)) != "hello" {
+		t.Error("enclave bytes did not round trip")
+	}
+	u := e.UAlloc(32, 8)
+	copy(e.UBytes(u, 32), "hello untrusted dram percussion!")
+	if string(e.UBytesRaw(u, 5)) != "hello" {
+		t.Error("untrusted bytes did not round trip")
+	}
+}
+
+func TestCopyInOut(t *testing.T) {
+	e := newTestEnclave(8)
+	u := e.UAlloc(16, 1)
+	p := e.EAlloc(16, 1)
+	copy(e.UBytesRaw(u, 16), "abcdefghijklmnop")
+	e.CopyIn(p, u, 16)
+	if string(e.EBytesRaw(p, 16)) != "abcdefghijklmnop" {
+		t.Fatal("CopyIn corrupted data")
+	}
+	u2 := e.UAlloc(16, 1)
+	e.CopyOut(u2, p, 16)
+	if string(e.UBytesRaw(u2, 16)) != "abcdefghijklmnop" {
+		t.Fatal("CopyOut corrupted data")
+	}
+}
+
+func TestPagingStartsWhenEPCExceeded(t *testing.T) {
+	e := newTestEnclave(4) // 4-page EPC (one frame consumed by the reserved page)
+	var ptrs []EPtr
+	for i := 0; i < 8; i++ {
+		ptrs = append(ptrs, e.EAlloc(PageSize, PageSize))
+	}
+	// Touch the first 3 pages: they fit alongside the reserved page.
+	for i := 0; i < 3; i++ {
+		e.ETouch(ptrs[i], 1)
+	}
+	if got := e.Stats().PageSwaps; got != 0 {
+		t.Fatalf("page swaps before EPC full = %d, want 0", got)
+	}
+	// Touching more pages than fit must trigger secure paging.
+	for i := 0; i < 8; i++ {
+		e.ETouch(ptrs[i], 1)
+	}
+	if got := e.Stats().PageSwaps; got == 0 {
+		t.Fatal("no page swaps after exceeding EPC capacity")
+	}
+}
+
+func TestClockKeepsHotPagesResident(t *testing.T) {
+	e := newTestEnclave(8)
+	hot := e.EAlloc(PageSize, PageSize)
+	var cold []EPtr
+	for i := 0; i < 32; i++ {
+		cold = append(cold, e.EAlloc(PageSize, PageSize))
+	}
+	// Interleave: the hot page is touched before every cold touch, so
+	// CLOCK's referenced bit should keep it resident most of the time.
+	e.ResetStats()
+	for round := 0; round < 4; round++ {
+		for _, c := range cold {
+			e.ETouch(hot, 1)
+			e.ETouch(c, 1)
+		}
+	}
+	swaps := e.Stats().PageSwaps
+	// Hot page misses would roughly double the swap count; with CLOCK it
+	// should stay close to the cold-page miss count (4 rounds * 32 pages).
+	if swaps > 4*32+16 {
+		t.Errorf("CLOCK not hotness-aware: %d swaps for 128 cold touches", swaps)
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	e := newTestEnclave(8)
+	costs := e.Costs()
+	e.ResetStats()
+	e.Ecall()
+	e.Ocall()
+	e.ChargeMAC(100)
+	e.ChargeCTR(64)
+	e.ChargeHash()
+	want := costs.EcallCycles + costs.OcallCycles +
+		costs.MACFixedCycles + 100*costs.MACByteCycles +
+		costs.CTRFixedCycles + 64*costs.CTRByteCycles +
+		costs.HashCycles
+	if got := e.Cycles(); got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+	st := e.Stats()
+	if st.Ecalls != 1 || st.Ocalls != 1 || st.MACs != 1 || st.CTROps != 1 || st.Hashes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMeasureOff(t *testing.T) {
+	e := newTestEnclave(8)
+	e.SetMeasuring(false)
+	p := e.EAlloc(PageSize*32, PageSize)
+	e.ETouch(p, PageSize*32)
+	e.Ecall()
+	e.ChargeMAC(1000)
+	if got := e.Cycles(); got != 0 {
+		t.Errorf("cycles accrued while not measuring: %d", got)
+	}
+	e.SetMeasuring(true)
+	e.ChargeHash()
+	if e.Cycles() == 0 {
+		t.Error("cycles not accrued after re-enabling measurement")
+	}
+}
+
+func TestLineTouchCost(t *testing.T) {
+	e := newTestEnclave(8)
+	costs := e.Costs()
+	p := e.EAlloc(256, CacheLine)
+	e.ETouch(p, 1) // warm the page so only line cost remains
+	e.ResetStats()
+	e.ETouch(p, 1)
+	if got := e.Cycles(); got != costs.EnclaveLineCycles {
+		t.Errorf("1-byte touch = %d cycles, want %d", got, costs.EnclaveLineCycles)
+	}
+	e.ResetStats()
+	e.ETouch(p, 65) // spans two lines
+	if got := e.Cycles(); got != 2*costs.EnclaveLineCycles {
+		t.Errorf("65-byte touch = %d cycles, want %d", got, 2*costs.EnclaveLineCycles)
+	}
+	e.ResetStats()
+	u := e.UAlloc(256, CacheLine)
+	e.UTouch(u, 64)
+	if got := e.Cycles(); got != costs.UntrustedLineCycles {
+		t.Errorf("untrusted touch = %d cycles, want %d", got, costs.UntrustedLineCycles)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	e := newTestEnclave(8)
+	e.Advance(uint64(e.Costs().CPUHz)) // exactly one simulated second
+	if got := e.Seconds(); got < 0.999 || got > 1.001 {
+		t.Errorf("Seconds() = %v, want 1.0", got)
+	}
+}
+
+func TestInsecureCostsDisableSGXOverheads(t *testing.T) {
+	c := InsecureCosts()
+	if c.EnclaveLineCycles != c.UntrustedLineCycles {
+		t.Error("insecure model should price enclave memory like DRAM")
+	}
+	if c.PageSwapCycles != 0 || c.EcallCycles != 0 || c.OcallCycles != 0 {
+		t.Error("insecure model should have no paging or edge-call cost")
+	}
+	if c.MACFixedCycles == 0 || c.CTRFixedCycles == 0 {
+		t.Error("insecure model must keep crypto costs (Aria w/o SGX still encrypts)")
+	}
+}
+
+func TestAllocDataIndependence(t *testing.T) {
+	// Property: bytes written through one allocation never leak into
+	// another, even across arena growth.
+	e := newTestEnclave(8)
+	type alloc struct {
+		p EPtr
+		n int
+		v byte
+	}
+	var allocs []alloc
+	check := func(sz uint16, v byte) bool {
+		n := int(sz%512) + 1
+		p := e.EAlloc(n, 8)
+		b := e.EBytesRaw(p, n)
+		for i := range b {
+			b[i] = v
+		}
+		allocs = append(allocs, alloc{p, n, v})
+		for _, a := range allocs {
+			bb := e.EBytesRaw(a.p, a.n)
+			for _, got := range bb {
+				if got != a.v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUntrustedRawBypassesAccounting(t *testing.T) {
+	e := newTestEnclave(8)
+	u := e.UAlloc(64, 1)
+	e.ResetStats()
+	_ = e.UBytesRaw(u, 64)
+	if e.Cycles() != 0 {
+		t.Error("UBytesRaw must not charge cycles (attacker-side access)")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	e := newTestEnclave(4)
+	p := e.EAlloc(16, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds enclave access did not panic")
+		}
+	}()
+	e.EBytes(p, 1<<30)
+}

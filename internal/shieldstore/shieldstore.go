@@ -1,0 +1,546 @@
+// Package shieldstore reimplements ShieldStore (Kim et al., EuroSys 2019),
+// the state-of-the-art comparator of the Aria paper. It is faithful to the
+// design the paper describes and measures against:
+//
+//   - the whole store (hash table, KV pairs, security metadata) lives in
+//     untrusted memory;
+//   - every entry carries its own encryption counter and MAC;
+//   - each hash bucket is protected by a single-level Merkle construction:
+//     the bucket root — a MAC over all entry MACs in the chain — is pinned
+//     in the EPC, and the number of roots is fixed by an EPC budget
+//     (64 MB ≈ 4M roots in the paper's configuration);
+//   - entries carry a key hint so a chain walk decrypts only candidates.
+//
+// The defining property (and weakness, §III) is bucket-granularity
+// verification: any Get must read every entry MAC in the bucket and fold
+// them into the root for comparison, and any Put must additionally
+// recompute the root — cost grows with chain length, and hot keys pay the
+// same as cold ones.
+package shieldstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/ariakv/aria/internal/alloc"
+	"github.com/ariakv/aria/internal/seccrypto"
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+// Errors mirroring the core engine's surface.
+var (
+	ErrNotFound  = errors.New("shieldstore: key not found")
+	ErrIntegrity = errors.New("shieldstore: integrity verification failed (attack detected)")
+	ErrTooLarge  = errors.New("shieldstore: key or value exceeds configured maximum")
+	ErrEmptyKey  = errors.New("shieldstore: empty key")
+)
+
+// Entry layout in untrusted memory:
+//
+//	offset  0: next (8)
+//	offset  8: hint (4)
+//	offset 12: counter (16)
+//	offset 28: klen (2)
+//	offset 30: vlen (2)
+//	offset 32: enc(key ‖ value)
+//	offset 32+klen+vlen: MAC (16)
+const (
+	entOffNext  = 0
+	entOffHint  = 8
+	entOffCtr   = 12
+	entOffKLen  = 28
+	entOffVLen  = 30
+	entOffKV    = 32
+	entOverhead = entOffKV + seccrypto.MACSize
+)
+
+// Options configures a ShieldStore instance.
+type Options struct {
+	// RootBudgetBytes is the EPC budget for bucket roots; the bucket
+	// count is RootBudgetBytes/16 (the paper's ShieldStore uses 64 MB ≈
+	// 4M roots). This is the knob multi-tenant and scaling experiments
+	// shrink.
+	RootBudgetBytes int
+	// MaxKeySize / MaxValueSize bound entries (defaults 256/4096).
+	MaxKeySize   int
+	MaxValueSize int
+	// EncKey / MACKey are the session keys.
+	EncKey []byte
+	MACKey []byte
+	// Seed initialises counters deterministically.
+	Seed uint64
+}
+
+// Store is one ShieldStore instance.
+type Store struct {
+	enc  *sgx.Enclave
+	cip  *seccrypto.Cipher
+	heap *alloc.Heap
+
+	nbuckets int
+	buckets  sgx.UPtr // untrusted head-pointer array
+	roots    sgx.EPtr // EPC root MAC array (16 B per bucket)
+	counts   []uint32 // trusted per-bucket chain lengths
+
+	maxKey, maxVal int
+	scratch        sgx.EPtr
+	scratchN       int
+	ctrSeed        uint64
+	live           int
+	gets, puts     uint64
+}
+
+// New creates a ShieldStore in the given enclave.
+func New(enc *sgx.Enclave, opts Options) (*Store, error) {
+	if opts.RootBudgetBytes <= 0 {
+		opts.RootBudgetBytes = 64 << 20
+	}
+	if opts.MaxKeySize <= 0 {
+		opts.MaxKeySize = 256
+	}
+	if opts.MaxValueSize <= 0 {
+		opts.MaxValueSize = 4096
+	}
+	if opts.EncKey == nil {
+		opts.EncKey = []byte("shieldstore-enc0")
+	}
+	if opts.MACKey == nil {
+		opts.MACKey = []byte("shieldstore-mac0")
+	}
+	cip, err := seccrypto.New(opts.EncKey, opts.MACKey)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.RootBudgetBytes / seccrypto.MACSize
+	if n < 16 {
+		n = 16
+	}
+	s := &Store{
+		enc:      enc,
+		cip:      cip,
+		heap:     alloc.New(enc, false),
+		nbuckets: n,
+		buckets:  enc.UAlloc(n*8, sgx.CacheLine),
+		roots:    enc.EAlloc(n*seccrypto.MACSize, sgx.CacheLine),
+		counts:   make([]uint32, n),
+		maxKey:   opts.MaxKeySize,
+		maxVal:   opts.MaxValueSize,
+		ctrSeed:  opts.Seed*0x9E3779B97F4A7C15 + 0xABCD,
+	}
+	s.scratchN = 2 * (entOverhead + opts.MaxKeySize + opts.MaxValueSize)
+	s.scratch = enc.EAlloc(s.scratchN, sgx.CacheLine)
+	// Empty buckets get a well-defined root so the very first insert is
+	// verified against trusted state.
+	var mac [16]byte
+	s.emptyRoot(&mac)
+	for b := 0; b < n; b++ {
+		copy(enc.EBytesRaw(s.roots+sgx.EPtr(b*seccrypto.MACSize), 16), mac[:])
+	}
+	enc.ETouch(s.roots, n*seccrypto.MACSize)
+	return s, nil
+}
+
+// foldTag domain-separates bucket folds from entry MACs. Bucket identity is
+// bound by the root's position in the EPC root array, which the attacker
+// cannot rewrite.
+var foldTag = [8]byte{'s', 's', 'f', 'o', 'l', 'd', '0', '1'}
+
+func (s *Store) emptyRoot(out *[16]byte) {
+	s.cip.MAC(out, foldTag[:])
+}
+
+func (s *Store) bucketSlot(b int) sgx.UPtr { return s.buckets + sgx.UPtr(b*8) }
+
+func (s *Store) hashKey(key []byte) (int, uint32) {
+	const prime = 1099511628211
+	h1 := uint64(14695981039346656037)
+	h2 := uint64(0x9E3779B97F4A7C15)
+	for _, c := range key {
+		h1 = (h1 ^ uint64(c)) * prime
+		h2 = (h2 ^ uint64(c)) * prime
+	}
+	s.enc.ChargeHash()
+	return int(h1 % uint64(s.nbuckets)), uint32(h2)
+}
+
+// verifyBucket walks the chain at bucket b, reading every entry's stored
+// MAC, folds them into the bucket MAC, and compares it with the EPC root.
+// This is ShieldStore's bucket-granularity verification: its cost is what
+// Aria's Secure Cache avoids for hot keys. It returns the chain's blocks.
+func (s *Store) verifyBucket(b int) ([]sgx.UPtr, error) {
+	blocks, fold, err := s.foldBucket(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) != int(s.counts[b]) {
+		return nil, fmt.Errorf("%w: bucket %d chain length %d != trusted count %d",
+			ErrIntegrity, b, len(blocks), s.counts[b])
+	}
+	stored := s.enc.EBytes(s.roots+sgx.EPtr(b*16), 16)
+	if string(stored) != string(fold[:]) {
+		return nil, fmt.Errorf("%w: bucket %d root mismatch (tamper or replay)", ErrIntegrity, b)
+	}
+	return blocks, nil
+}
+
+// foldBucket walks the chain at bucket b, copies every entry's stored MAC
+// into enclave scratch (read amplification: 16 B per chain entry), and
+// computes the bucket MAC as one CMAC over the ordered MAC array. It
+// returns the chain's blocks and the fold. Callers that also need to scan
+// for a key reuse the same walk via the blocks slice, so verification and
+// lookup share one pass over the chain.
+func (s *Store) foldBucket(b int) ([]sgx.UPtr, [16]byte, error) {
+	var fold [16]byte
+	var blocks []sgx.UPtr
+	// The MAC array is staged in the seal half of scratch (bounded by
+	// chain length; chains beyond the scratch capacity fold in batches).
+	half := s.scratchN / 2
+	stage := s.enc.EBytesRaw(s.scratch+sgx.EPtr(half), half)
+	staged := 0
+	hdrTag := foldTag
+	parts := [][]byte{hdrTag[:]}
+	cur := s.readPtr(s.bucketSlot(b))
+	for cur != sgx.NilU {
+		// Wild or cyclic chain pointers are detected, not dereferenced.
+		if !s.enc.UValid(cur, entOverhead) || len(blocks) > int(s.counts[b]) {
+			return nil, fold, fmt.Errorf("%w: bucket %d chain corrupted", ErrIntegrity, b)
+		}
+		blocks = append(blocks, cur)
+		hdr := s.enc.UBytes(cur, entOffKV)
+		klen := int(binary.LittleEndian.Uint16(hdr[entOffKLen:]))
+		vlen := int(binary.LittleEndian.Uint16(hdr[entOffVLen:]))
+		if klen == 0 || klen > s.maxKey || vlen > s.maxVal {
+			return nil, fold, fmt.Errorf("%w: implausible entry at %#x", ErrIntegrity, cur)
+		}
+		if !s.enc.UValid(cur, entOverhead+klen+vlen) {
+			return nil, fold, fmt.Errorf("%w: entry at %#x extends past the arena", ErrIntegrity, cur)
+		}
+		macAddr := cur + sgx.UPtr(entOffKV+klen+vlen)
+		entMAC := s.enc.UBytes(macAddr, 16)
+		if staged+16 <= len(stage) {
+			copy(stage[staged:], entMAC)
+			s.enc.ETouch(s.scratch+sgx.EPtr(half+staged), 16)
+			staged += 16
+		} else {
+			// Extremely long chain: flush the staged prefix into
+			// the fold and keep going.
+			s.enc.ChargeMAC(8 + staged + 16)
+			var sub [16]byte
+			s.cip.MAC(&sub, hdrTag[:], stage[:staged], fold[:])
+			fold = sub
+			parts = [][]byte{hdrTag[:], fold[:]}
+			staged = 0
+			copy(stage, entMAC)
+			staged = 16
+		}
+		cur = sgx.UPtr(binary.LittleEndian.Uint64(hdr[entOffNext:]))
+	}
+	parts = append(parts, stage[:staged])
+	total := 8 + staged
+	for _, p := range parts[1 : len(parts)-1] {
+		total += len(p)
+	}
+	s.enc.ChargeMAC(total)
+	var out [16]byte
+	s.cip.MAC(&out, parts...)
+	return blocks, out, nil
+}
+
+// updateRoot refolds the bucket MAC after a mutation and stores it in the
+// EPC (the extra Put-side cost the paper calls out).
+func (s *Store) updateRoot(b int) {
+	_, fold, err := s.foldBucket(b)
+	if err != nil {
+		// A fold error here means the store's own just-written state
+		// is implausible, which cannot happen absent memory
+		// corruption; surface it loudly.
+		panic(err)
+	}
+	copy(s.enc.EBytes(s.roots+sgx.EPtr(b*16), 16), fold[:])
+}
+
+func (s *Store) readPtr(addr sgx.UPtr) sgx.UPtr {
+	return sgx.UPtr(binary.LittleEndian.Uint64(s.enc.UBytes(addr, 8)))
+}
+
+// openEntry stages and decrypts the (already bucket-verified) entry,
+// additionally checking its own MAC binds its content to its counter.
+func (s *Store) openEntry(block sgx.UPtr) (keyB, valB []byte, ctr [16]byte, next sgx.UPtr, err error) {
+	if !s.enc.UValid(block, entOffKV) {
+		return nil, nil, ctr, 0, fmt.Errorf("%w: entry pointer %#x out of range", ErrIntegrity, block)
+	}
+	hdr := s.enc.UBytes(block, entOffKV)
+	klen := int(binary.LittleEndian.Uint16(hdr[entOffKLen:]))
+	vlen := int(binary.LittleEndian.Uint16(hdr[entOffVLen:]))
+	if klen == 0 || klen > s.maxKey || vlen > s.maxVal {
+		return nil, nil, ctr, 0, fmt.Errorf("%w: implausible entry at %#x", ErrIntegrity, block)
+	}
+	total := entOverhead + klen + vlen
+	if !s.enc.UValid(block, total) {
+		return nil, nil, ctr, 0, fmt.Errorf("%w: entry at %#x extends past the arena", ErrIntegrity, block)
+	}
+	s.enc.CopyIn(s.scratch, block, total)
+	buf := s.enc.EBytesRaw(s.scratch, total)
+	next = sgx.UPtr(binary.LittleEndian.Uint64(buf[entOffNext:]))
+	copy(ctr[:], buf[entOffCtr:])
+	macOff := entOffKV + klen + vlen
+	s.enc.ChargeMAC(macOff - entOffHint)
+	if !s.cip.VerifyMAC(buf[macOff:macOff+16], buf[entOffHint:macOff]) {
+		return nil, nil, ctr, 0, fmt.Errorf("%w: entry at %#x", ErrIntegrity, block)
+	}
+	s.enc.ChargeCTR(klen + vlen)
+	s.cip.CTRCrypt(&ctr, buf[entOffKV:macOff], buf[entOffKV:macOff])
+	return buf[entOffKV : entOffKV+klen], buf[entOffKV+klen : macOff], ctr, next, nil
+}
+
+// sealEntry writes a fresh entry image (counter already incremented).
+func (s *Store) sealEntry(block sgx.UPtr, next sgx.UPtr, hint uint32, ctr [16]byte, key, value []byte) {
+	total := entOverhead + len(key) + len(value)
+	half := s.scratchN / 2
+	buf := s.enc.EBytesRaw(s.scratch+sgx.EPtr(half), total)
+	s.enc.ETouch(s.scratch+sgx.EPtr(half), total)
+	binary.LittleEndian.PutUint64(buf[entOffNext:], uint64(next))
+	binary.LittleEndian.PutUint32(buf[entOffHint:], hint)
+	copy(buf[entOffCtr:], ctr[:])
+	binary.LittleEndian.PutUint16(buf[entOffKLen:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(buf[entOffVLen:], uint16(len(value)))
+	kv := buf[entOffKV : entOffKV+len(key)+len(value)]
+	copy(kv, key)
+	copy(kv[len(key):], value)
+	s.enc.ChargeCTR(len(kv))
+	s.cip.CTRCrypt(&ctr, kv, kv)
+	macOff := entOffKV + len(key) + len(value)
+	var mac [16]byte
+	s.enc.ChargeMAC(macOff - entOffHint)
+	s.cip.MAC(&mac, buf[entOffHint:macOff])
+	copy(buf[macOff:], mac[:])
+	s.enc.CopyOut(block, s.scratch+sgx.EPtr(half), total)
+}
+
+func bump(ctr *[16]byte) {
+	for i := 0; i < 16; i++ {
+		ctr[i]++
+		if ctr[i] != 0 {
+			break
+		}
+	}
+}
+
+func (s *Store) freshCounter() [16]byte {
+	s.ctrSeed ^= s.ctrSeed << 13
+	s.ctrSeed ^= s.ctrSeed >> 7
+	s.ctrSeed ^= s.ctrSeed << 17
+	var c [16]byte
+	binary.LittleEndian.PutUint64(c[:8], s.ctrSeed*0x2545F4914F6CDD1D)
+	binary.LittleEndian.PutUint64(c[8:], uint64(s.live)+1)
+	return c
+}
+
+func (s *Store) check(key []byte, vlen int) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > s.maxKey || vlen > s.maxVal {
+		return ErrTooLarge
+	}
+	return nil
+}
+
+// Get returns a copy of the value under key.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	if err := s.check(key, 0); err != nil {
+		return nil, err
+	}
+	s.gets++
+	b, hint := s.hashKey(key)
+	// Bucket-granularity verification first (every Get pays it).
+	if _, err := s.verifyBucket(b); err != nil {
+		return nil, err
+	}
+	cur := s.readPtr(s.bucketSlot(b))
+	for cur != sgx.NilU {
+		hdr := s.enc.UBytes(cur, 12)
+		next := sgx.UPtr(binary.LittleEndian.Uint64(hdr[entOffNext:]))
+		if binary.LittleEndian.Uint32(hdr[entOffHint:]) == hint {
+			k, v, _, n2, err := s.openEntry(cur)
+			if err != nil {
+				return nil, err
+			}
+			if string(k) == string(key) {
+				out := make([]byte, len(v))
+				copy(out, v)
+				return out, nil
+			}
+			next = n2
+		}
+		cur = next
+	}
+	if err := s.verifyEntries(b); err != nil {
+		return nil, err
+	}
+	return nil, ErrNotFound
+}
+
+// verifyEntries recomputes every entry MAC in a bucket from its content and
+// compares it with the stored MAC. The fast path skips entries whose hint
+// does not match, so a tampered hint would otherwise turn an existing key
+// into a silent miss; misses therefore re-verify the chain entry by entry.
+func (s *Store) verifyEntries(b int) error {
+	cur := s.readPtr(s.bucketSlot(b))
+	walked := 0
+	for cur != sgx.NilU {
+		if !s.enc.UValid(cur, entOverhead) || walked > int(s.counts[b]) {
+			return fmt.Errorf("%w: bucket %d chain corrupted", ErrIntegrity, b)
+		}
+		walked++
+		_, _, _, next, err := s.openEntry(cur)
+		if err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Put inserts or updates a KV pair.
+func (s *Store) Put(key, value []byte) error {
+	if err := s.check(key, len(value)); err != nil {
+		return err
+	}
+	s.puts++
+	b, hint := s.hashKey(key)
+	if _, err := s.verifyBucket(b); err != nil {
+		return err
+	}
+	// Find an existing entry (chain already validated by verifyBucket).
+	prevAddr := s.bucketSlot(b)
+	cur := s.readPtr(prevAddr)
+	walked := 0
+	for cur != sgx.NilU {
+		if !s.enc.UValid(cur, entOverhead) || walked > int(s.counts[b]) {
+			return fmt.Errorf("%w: bucket %d chain corrupted", ErrIntegrity, b)
+		}
+		walked++
+		hdr := s.enc.UBytes(cur, 12)
+		next := sgx.UPtr(binary.LittleEndian.Uint64(hdr[entOffNext:]))
+		if binary.LittleEndian.Uint32(hdr[entOffHint:]) == hint {
+			k, _, ctr, n2, err := s.openEntry(cur)
+			if err != nil {
+				return err
+			}
+			if string(k) == string(key) {
+				bump(&ctr)
+				need := entOverhead + len(key) + len(value)
+				if s.heap.BlockSize(cur) >= need {
+					s.sealEntry(cur, n2, hint, ctr, key, value)
+				} else {
+					nb, err := s.heap.Alloc(need)
+					if err != nil {
+						return err
+					}
+					s.sealEntry(nb, n2, hint, ctr, key, value)
+					s.writePtr(prevAddr, nb)
+					if err := s.heap.Free(cur); err != nil {
+						return err
+					}
+				}
+				s.updateRoot(b)
+				return nil
+			}
+			next = n2
+		}
+		prevAddr = cur + entOffNext
+		cur = next
+	}
+	if err := s.verifyEntries(b); err != nil {
+		return err
+	}
+	// Insert at head (ShieldStore chains from the bucket slot).
+	ctr := s.freshCounter()
+	block, err := s.heap.Alloc(entOverhead + len(key) + len(value))
+	if err != nil {
+		return err
+	}
+	head := s.readPtr(s.bucketSlot(b))
+	s.sealEntry(block, head, hint, ctr, key, value)
+	s.writePtr(s.bucketSlot(b), block)
+	s.counts[b]++
+	s.live++
+	s.updateRoot(b)
+	return nil
+}
+
+// Delete removes a key.
+func (s *Store) Delete(key []byte) error {
+	if err := s.check(key, 0); err != nil {
+		return err
+	}
+	b, hint := s.hashKey(key)
+	if _, err := s.verifyBucket(b); err != nil {
+		return err
+	}
+	prevAddr := s.bucketSlot(b)
+	cur := s.readPtr(prevAddr)
+	dwalked := 0
+	for cur != sgx.NilU {
+		if !s.enc.UValid(cur, entOverhead) || dwalked > int(s.counts[b]) {
+			return fmt.Errorf("%w: bucket %d chain corrupted", ErrIntegrity, b)
+		}
+		dwalked++
+		hdr := s.enc.UBytes(cur, 12)
+		next := sgx.UPtr(binary.LittleEndian.Uint64(hdr[entOffNext:]))
+		if binary.LittleEndian.Uint32(hdr[entOffHint:]) == hint {
+			k, _, _, n2, err := s.openEntry(cur)
+			if err != nil {
+				return err
+			}
+			if string(k) == string(key) {
+				s.writePtr(prevAddr, n2)
+				if err := s.heap.Free(cur); err != nil {
+					return err
+				}
+				s.counts[b]--
+				s.live--
+				s.updateRoot(b)
+				return nil
+			}
+			next = n2
+		}
+		prevAddr = cur + entOffNext
+		cur = next
+	}
+	if err := s.verifyEntries(b); err != nil {
+		return err
+	}
+	return ErrNotFound
+}
+
+func (s *Store) writePtr(addr sgx.UPtr, v sgx.UPtr) {
+	binary.LittleEndian.PutUint64(s.enc.UBytes(addr, 8), uint64(v))
+}
+
+// Keys returns the number of live entries.
+func (s *Store) Keys() int { return s.live }
+
+// Buckets returns the bucket (root) count.
+func (s *Store) Buckets() int { return s.nbuckets }
+
+// VerifyIntegrity audits every bucket.
+func (s *Store) VerifyIntegrity() error {
+	for b := 0; b < s.nbuckets; b++ {
+		blocks, err := s.verifyBucket(b)
+		if err != nil {
+			return err
+		}
+		for _, blk := range blocks {
+			if _, _, _, _, err := s.openEntry(blk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Enclave exposes the enclave for throughput accounting.
+func (s *Store) Enclave() *sgx.Enclave { return s.enc }

@@ -1,0 +1,227 @@
+package shieldstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ariakv/aria/internal/sgx"
+)
+
+func newStore(t *testing.T, rootBudget int) *Store {
+	t.Helper()
+	enc := sgx.New(sgx.Config{EPCBytes: 64 << 20})
+	s, err := New(enc, Options{RootBudgetBytes: rootBudget, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("ss-key-%06d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("ss-val-%d", i*3)) }
+
+func TestPutGetDelete(t *testing.T) {
+	s := newStore(t, 1<<10) // 64 buckets: chains form quickly
+	for i := 0; i < 300; i++ {
+		if err := s.Put(key(i), value(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		got, err := s.Get(key(i))
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("get %d: %v (%q)", i, err, got)
+		}
+	}
+	for i := 0; i < 300; i += 2 {
+		if err := s.Delete(key(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		_, err := s.Get(key(i))
+		if i%2 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key %d: %v", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateValue(t *testing.T) {
+	s := newStore(t, 1<<10)
+	_ = s.Put(key(1), []byte("old"))
+	if err := s.Put(key(1), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(key(1))
+	if string(got) != "new" {
+		t.Errorf("update = %q", got)
+	}
+	if s.Keys() != 1 {
+		t.Errorf("keys = %d", s.Keys())
+	}
+	// Growing update relocates the block.
+	big := bytes.Repeat([]byte("z"), 500)
+	if err := s.Put(key(1), big); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get(key(1))
+	if !bytes.Equal(got, big) {
+		t.Error("grown update mismatch")
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOpsMirror(t *testing.T) {
+	s := newStore(t, 1<<10)
+	mirror := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 4000; op++ {
+		k := key(rng.Intn(200))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := make([]byte, rng.Intn(80)+1)
+			rng.Read(v)
+			if err := s.Put(k, v); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			mirror[string(k)] = v
+		case 4:
+			err := s.Delete(k)
+			if _, ok := mirror[string(k)]; ok && err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			delete(mirror, string(k))
+		default:
+			got, err := s.Get(k)
+			want, ok := mirror[string(k)]
+			if ok && (err != nil || !bytes.Equal(got, want)) {
+				t.Fatalf("op %d get: %v", op, err)
+			}
+			if !ok && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d get missing: %v", op, err)
+			}
+		}
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// attackerFind locates an entry block from outside the enclave.
+func attackerFind(s *Store, k []byte) (block sgx.UPtr, size int) {
+	b, hint := s.hashKey(k)
+	cur := sgx.UPtr(binary.LittleEndian.Uint64(s.enc.UBytesRaw(s.bucketSlot(b), 8)))
+	for cur != sgx.NilU {
+		hdr := s.enc.UBytesRaw(cur, entOffKV)
+		if binary.LittleEndian.Uint32(hdr[entOffHint:]) == hint {
+			klen := int(binary.LittleEndian.Uint16(hdr[entOffKLen:]))
+			vlen := int(binary.LittleEndian.Uint16(hdr[entOffVLen:]))
+			return cur, entOverhead + klen + vlen
+		}
+		cur = sgx.UPtr(binary.LittleEndian.Uint64(hdr[entOffNext:]))
+	}
+	return sgx.NilU, 0
+}
+
+func TestTamperDetected(t *testing.T) {
+	s := newStore(t, 1<<10)
+	_ = s.Put(key(1), value(1))
+	block, _ := attackerFind(s, key(1))
+	s.enc.UBytesRaw(block+entOffKV, 1)[0] ^= 1
+	if _, err := s.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tamper: err = %v", err)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	s := newStore(t, 1<<10)
+	_ = s.Put(key(1), []byte("balance=100"))
+	block, size := attackerFind(s, key(1))
+	snap := append([]byte(nil), s.enc.UBytesRaw(block, size)...)
+	if err := s.Put(key(1), []byte("balance=000")); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := attackerFind(s, key(1))
+	if b2 != block {
+		t.Skip("entry relocated")
+	}
+	copy(s.enc.UBytesRaw(block, size), snap)
+	if _, err := s.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("replay: err = %v (bucket root must catch stale MACs)", err)
+	}
+}
+
+func TestUnauthorizedDeletionDetected(t *testing.T) {
+	s := newStore(t, 1<<10)
+	_ = s.Put(key(1), value(1))
+	b, _ := s.hashKey(key(1))
+	// Clear the bucket head.
+	binary.LittleEndian.PutUint64(s.enc.UBytesRaw(s.bucketSlot(b), 8), 0)
+	if _, err := s.Get(key(1)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("unauthorized deletion: err = %v", err)
+	}
+}
+
+func TestHintTamperDetected(t *testing.T) {
+	s := newStore(t, 1<<10)
+	_ = s.Put(key(1), value(1))
+	block, _ := attackerFind(s, key(1))
+	s.enc.UBytesRaw(block+entOffHint, 1)[0] ^= 0xff
+	_, err := s.Get(key(1))
+	if !errors.Is(err, ErrIntegrity) {
+		t.Errorf("hint tamper must not cause a silent miss: err = %v", err)
+	}
+}
+
+func TestVerificationCostGrowsWithChain(t *testing.T) {
+	// The bucket-granularity amplification: with fewer roots (longer
+	// chains), each Get performs more MAC folds.
+	run := func(rootBudget int) (uint64, uint64) {
+		s := newStore(t, rootBudget)
+		s.Enclave().SetMeasuring(false)
+		for i := 0; i < 512; i++ {
+			if err := s.Put(key(i), value(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Enclave().SetMeasuring(true)
+		s.Enclave().ResetStats()
+		for i := 0; i < 512; i++ {
+			if _, err := s.Get(key(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := s.Enclave().Stats()
+		return st.MACBytes, st.Cycles
+	}
+	shortBytes, shortCycles := run(64 << 10) // 4096 buckets -> chains ~0.1
+	longBytes, longCycles := run(1 << 9)     // 32 buckets -> chains ~16
+	if longBytes <= shortBytes*2 {
+		t.Errorf("MAC bytes: long-chain %d vs short-chain %d; expected read amplification", longBytes, shortBytes)
+	}
+	if longCycles <= shortCycles {
+		t.Errorf("cycles: long-chain %d vs short-chain %d", longCycles, shortCycles)
+	}
+}
+
+func TestConfidentiality(t *testing.T) {
+	s := newStore(t, 1<<10)
+	secret := []byte("SS-TOP-SECRET-PLAINTEXT-998877")
+	_ = s.Put([]byte("classified"), secret)
+	um := s.enc.UBytesRaw(sgx.UPtr(0), s.enc.UntrustedUsedBytes())
+	if bytes.Contains(um, secret) {
+		t.Error("plaintext leaked to untrusted memory")
+	}
+}

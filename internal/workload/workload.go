@@ -1,0 +1,289 @@
+// Package workload generates the two request streams the Aria paper
+// evaluates with: YCSB microbenchmarks (uniform and Zipfian key popularity,
+// configurable read ratio and value size) and the Facebook ETC production
+// workload (mixed tiny/small/large values with Zipfian access to the small
+// classes).
+//
+// Generators are deterministic given a seed, so every experiment reproduces
+// identical request streams across runs and machines.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Dist selects the key-popularity distribution.
+type Dist int
+
+const (
+	// Uniform picks every key with equal probability.
+	Uniform Dist = iota
+	// Zipfian uses the YCSB scrambled-Zipfian distribution.
+	Zipfian
+)
+
+func (d Dist) String() string {
+	if d == Zipfian {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// DefaultKeySize matches the paper's fixed 16-byte keys.
+const DefaultKeySize = 16
+
+// Config parameterises a generator.
+type Config struct {
+	// Keys is the keyspace size (distinct keys).
+	Keys int
+	// Dist selects uniform or Zipfian popularity.
+	Dist Dist
+	// Skew is the Zipfian theta (paper default 0.99; Figure 16b sweeps
+	// 0.8–1.2).
+	Skew float64
+	// ReadRatio is the fraction of Get operations (0.0–1.0).
+	ReadRatio float64
+	// ValueSize is the fixed value size for YCSB runs. Ignored in ETC
+	// mode.
+	ValueSize int
+	// ETC switches to the Facebook ETC value-size mix: 40% tiny
+	// (1–13 B), 55% small (14–300 B), 5% large (>300 B); Zipfian access
+	// over tiny+small, uniform over large.
+	ETC bool
+	// KeySize is the key length (default 16).
+	KeySize int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// Op is one generated request.
+type Op struct {
+	Read  bool
+	Key   []byte
+	Value []byte // nil for reads
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	zip *zipfGen
+
+	// ETC split: keys [0, smallEnd) are tiny+small (Zipfian), keys
+	// [smallEnd, Keys) are large (uniform).
+	smallEnd int
+
+	keyBuf []byte
+	valBuf []byte
+}
+
+// New creates a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Keys <= 0 {
+		return nil, fmt.Errorf("workload: keyspace %d must be positive", cfg.Keys)
+	}
+	if cfg.KeySize <= 0 {
+		cfg.KeySize = DefaultKeySize
+	}
+	if cfg.KeySize < 10 {
+		return nil, fmt.Errorf("workload: key size %d too small to encode the keyspace", cfg.KeySize)
+	}
+	if cfg.Skew == 0 {
+		cfg.Skew = 0.99
+	}
+	if cfg.ValueSize <= 0 && !cfg.ETC {
+		cfg.ValueSize = 16
+	}
+	g := &Generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed | 1)),
+		keyBuf: make([]byte, cfg.KeySize),
+		valBuf: make([]byte, 1200),
+	}
+	g.smallEnd = cfg.Keys
+	if cfg.ETC {
+		g.smallEnd = cfg.Keys * 95 / 100
+		if g.smallEnd < 1 {
+			g.smallEnd = 1
+		}
+	}
+	if cfg.Dist == Zipfian || cfg.ETC {
+		g.zip = newZipf(g.smallEnd, cfg.Skew, cfg.Seed)
+	}
+	return g, nil
+}
+
+// Keys returns the keyspace size.
+func (g *Generator) Keys() int { return g.cfg.Keys }
+
+// KeyAt encodes key index i into a fixed-size key. The encoding is stable:
+// load phases and request phases agree on it.
+func (g *Generator) KeyAt(i int) []byte {
+	k := g.keyBuf
+	k[0] = 'k'
+	for j := 1; j < len(k)-8; j++ {
+		k[j] = '0'
+	}
+	binary.BigEndian.PutUint64(k[len(k)-8:], uint64(i))
+	return k
+}
+
+// valueSizeFor returns the deterministic value size of key i.
+func (g *Generator) valueSizeFor(i int) int {
+	if !g.cfg.ETC {
+		return g.cfg.ValueSize
+	}
+	h := splitmix(uint64(i) + 0x1234)
+	tinyEnd := g.cfg.Keys * 40 / 100
+	switch {
+	case i < tinyEnd:
+		return 1 + int(h%13) // tiny: 1–13 B
+	case i < g.smallEnd:
+		return 14 + int(h%287) // small: 14–300 B
+	default:
+		return 301 + int(h%724) // large: 301–1024 B
+	}
+}
+
+// ValueAt fills a deterministic value for key i (content derived from the
+// index so correctness checks can recompute it).
+func (g *Generator) ValueAt(i int) []byte {
+	n := g.valueSizeFor(i)
+	v := g.valBuf[:n]
+	s := splitmix(uint64(i) ^ 0xBEEF)
+	for j := range v {
+		v[j] = byte('a' + (s+uint64(j*131))%26)
+	}
+	return v
+}
+
+// nextIndex draws the next key index from the configured distribution.
+func (g *Generator) nextIndex() int {
+	if g.cfg.ETC {
+		// 5% of requests go uniformly to the large class (matching its
+		// key share); the rest follow the Zipfian over tiny+small.
+		if g.smallEnd < g.cfg.Keys && g.rng.Float64() < 0.05 {
+			return g.smallEnd + g.rng.Intn(g.cfg.Keys-g.smallEnd)
+		}
+		return g.zip.next(g.rng)
+	}
+	if g.cfg.Dist == Zipfian {
+		return g.zip.next(g.rng)
+	}
+	return g.rng.Intn(g.cfg.Keys)
+}
+
+// Next fills op with the next request. The Key and Value slices are reused
+// across calls; consumers must not retain them.
+func (g *Generator) Next(op *Op) {
+	i := g.nextIndex()
+	op.Key = g.KeyAt(i)
+	if g.rng.Float64() < g.cfg.ReadRatio {
+		op.Read = true
+		op.Value = nil
+		return
+	}
+	op.Read = false
+	op.Value = g.ValueAt(i)
+}
+
+// splitmix is SplitMix64: a cheap, well-distributed hash for deterministic
+// per-key derivations.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ---- YCSB scrambled Zipfian --------------------------------------------------
+
+// zipfGen implements the YCSB ZipfianGenerator (Gray's method) with the
+// scrambled variant: the rank drawn from the Zipfian is hashed across the
+// keyspace so hot keys are spread rather than clustered at low indices.
+//
+// Gray's closed-form method is only valid for theta < 1 (its alpha term is
+// 1/(1-theta)); for the unprecedented skew levels the paper also evaluates
+// (theta >= 1, Figure 16b) it falls back to math/rand's rejection-sampling
+// Zipf, which covers s > 1.
+type zipfGen struct {
+	n             int
+	theta         float64
+	alpha         float64
+	zetan         float64
+	zeta2         float64
+	eta           float64
+	halfPowTheta  float64
+	scrambleSpace int
+	heavy         *rand.Zipf // theta >= 1 sampler
+}
+
+// zetaCache memoises the O(n) zeta sums, which dominate generator setup for
+// large keyspaces.
+var zetaCache sync.Map // struct{n int; theta float64} -> float64
+
+func zeta(n int, theta float64) float64 {
+	type key struct {
+		n     int
+		theta float64
+	}
+	if v, ok := zetaCache.Load(key{n, theta}); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Store(key{n, theta}, sum)
+	return sum
+}
+
+func newZipf(n int, theta float64, seed int64) *zipfGen {
+	z := &zipfGen{
+		n:             n,
+		theta:         theta,
+		scrambleSpace: n,
+	}
+	if theta >= 1 {
+		s := theta
+		if s <= 1 {
+			s = 1.0001 // rand.Zipf requires s > 1
+		}
+		z.heavy = rand.NewZipf(rand.New(rand.NewSource(seed^0x5bf0)), s, 1, uint64(n-1))
+		return z
+	}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.halfPowTheta = 1.0 + math.Pow(0.5, theta)
+	return z
+}
+
+// next draws a scrambled Zipfian rank in [0, n).
+func (z *zipfGen) next(rng *rand.Rand) int {
+	var rank int
+	if z.heavy != nil {
+		rank = int(z.heavy.Uint64())
+	} else {
+		u := rng.Float64()
+		uz := u * z.zetan
+		switch {
+		case uz < 1.0:
+			rank = 0
+		case uz < z.halfPowTheta:
+			rank = 1
+		default:
+			rank = int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		}
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// Scramble: spread the hot ranks across the keyspace.
+	return int(splitmix(uint64(rank)) % uint64(z.scrambleSpace))
+}

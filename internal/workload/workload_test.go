@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestKeyEncodingStableAndUnique(t *testing.T) {
+	g, err := New(Config{Keys: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		k := string(g.KeyAt(i))
+		if len(k) != DefaultKeySize {
+			t.Fatalf("key size %d", len(k))
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key for index %d", i)
+		}
+		seen[k] = true
+	}
+	// Stable across calls.
+	k1 := append([]byte(nil), g.KeyAt(42)...)
+	_ = g.KeyAt(43)
+	if !bytes.Equal(k1, g.KeyAt(42)) {
+		t.Error("KeyAt not stable")
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	g, _ := New(Config{Keys: 100, ValueSize: 64, Seed: 1})
+	v1 := append([]byte(nil), g.ValueAt(7)...)
+	_ = g.ValueAt(8)
+	if !bytes.Equal(v1, g.ValueAt(7)) {
+		t.Error("ValueAt not deterministic")
+	}
+	if len(v1) != 64 {
+		t.Errorf("value size = %d, want 64", len(v1))
+	}
+}
+
+func TestReadRatio(t *testing.T) {
+	for _, ratio := range []float64{0, 0.5, 0.95, 1.0} {
+		g, _ := New(Config{Keys: 1000, ReadRatio: ratio, Seed: 9})
+		reads := 0
+		var op Op
+		const n = 20000
+		for i := 0; i < n; i++ {
+			g.Next(&op)
+			if op.Read {
+				reads++
+				if op.Value != nil {
+					t.Fatal("read op carries a value")
+				}
+			} else if op.Value == nil {
+				t.Fatal("write op without value")
+			}
+		}
+		got := float64(reads) / n
+		if math.Abs(got-ratio) > 0.02 {
+			t.Errorf("read ratio %.2f: observed %.3f", ratio, got)
+		}
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	g, _ := New(Config{Keys: 100, Dist: Uniform, ReadRatio: 1, Seed: 3})
+	counts := make(map[string]int)
+	var op Op
+	for i := 0; i < 50000; i++ {
+		g.Next(&op)
+		counts[string(op.Key)]++
+	}
+	if len(counts) != 100 {
+		t.Fatalf("uniform touched %d keys, want 100", len(counts))
+	}
+	for k, c := range counts {
+		if c < 300 || c > 700 {
+			t.Errorf("key %q count %d far from uniform 500", k, c)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g, _ := New(Config{Keys: 10000, Dist: Zipfian, Skew: 0.99, ReadRatio: 1, Seed: 3})
+	counts := make(map[string]int)
+	var op Op
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g.Next(&op)
+		counts[string(op.Key)]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	// Zipf 0.99: the hottest key draws a few percent of all requests and
+	// the top-10 a large chunk.
+	if float64(freqs[0])/n < 0.02 {
+		t.Errorf("hottest key share %.4f too small for zipf 0.99", float64(freqs[0])/n)
+	}
+	top10 := 0
+	for _, f := range freqs[:10] {
+		top10 += f
+	}
+	if float64(top10)/n < 0.15 {
+		t.Errorf("top-10 share %.4f too small", float64(top10)/n)
+	}
+}
+
+func TestHigherSkewIsMoreConcentrated(t *testing.T) {
+	share := func(skew float64) float64 {
+		g, _ := New(Config{Keys: 10000, Dist: Zipfian, Skew: skew, ReadRatio: 1, Seed: 3})
+		counts := make(map[string]int)
+		var op Op
+		const n = 100000
+		for i := 0; i < n; i++ {
+			g.Next(&op)
+			counts[string(op.Key)]++
+		}
+		freqs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			freqs = append(freqs, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+		top := 0
+		for i := 0; i < 100 && i < len(freqs); i++ {
+			top += freqs[i]
+		}
+		return float64(top) / n
+	}
+	s08, s12 := share(0.8), share(1.2)
+	if s12 <= s08 {
+		t.Errorf("skew 1.2 top-100 share %.3f not above skew 0.8 share %.3f", s12, s08)
+	}
+}
+
+func TestZipfianScrambleSpreads(t *testing.T) {
+	// Scrambled Zipfian: hot keys must not all be low indices.
+	g, _ := New(Config{Keys: 10000, Dist: Zipfian, ReadRatio: 1, Seed: 3})
+	counts := make(map[string]int)
+	var op Op
+	for i := 0; i < 100000; i++ {
+		g.Next(&op)
+		counts[string(op.Key)]++
+	}
+	type kv struct {
+		k string
+		c int
+	}
+	var all []kv
+	for k, c := range counts {
+		all = append(all, kv{k, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	lowIdx := 0
+	for _, e := range all[:20] {
+		idx := int(e.k[len(e.k)-1]) | int(e.k[len(e.k)-2])<<8
+		if idx < 100 {
+			lowIdx++
+		}
+	}
+	if lowIdx > 10 {
+		t.Errorf("%d of top-20 hot keys have low indices; scramble not working", lowIdx)
+	}
+}
+
+func TestETCSizeMix(t *testing.T) {
+	g, _ := New(Config{Keys: 10000, ETC: true, Seed: 3})
+	tiny, small, large := 0, 0, 0
+	for i := 0; i < 10000; i++ {
+		switch n := len(g.ValueAt(i)); {
+		case n <= 13:
+			tiny++
+		case n <= 300:
+			small++
+		default:
+			large++
+		}
+	}
+	if tiny != 4000 || small != 5500 || large != 500 {
+		t.Errorf("ETC mix tiny/small/large = %d/%d/%d, want 4000/5500/500", tiny, small, large)
+	}
+}
+
+func TestETCLargeClassTraffic(t *testing.T) {
+	g, _ := New(Config{Keys: 10000, ETC: true, ReadRatio: 1, Seed: 3})
+	largeReqs := 0
+	var op Op
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g.Next(&op)
+		idx := int(uint64(op.Key[len(op.Key)-1]) | uint64(op.Key[len(op.Key)-2])<<8 |
+			uint64(op.Key[len(op.Key)-3])<<16)
+		if idx >= 9500 {
+			largeReqs++
+		}
+	}
+	got := float64(largeReqs) / n
+	if math.Abs(got-0.05) > 0.01 {
+		t.Errorf("large-class request share = %.3f, want ~0.05", got)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	mk := func() []string {
+		g, _ := New(Config{Keys: 1000, Dist: Zipfian, ReadRatio: 0.5, Seed: 77})
+		var ops []string
+		var op Op
+		for i := 0; i < 500; i++ {
+			g.Next(&op)
+			ops = append(ops, string(op.Key))
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at op %d", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Keys: 0}); err == nil {
+		t.Error("accepted zero keyspace")
+	}
+	if _, err := New(Config{Keys: 10, KeySize: 4}); err == nil {
+		t.Error("accepted undersized keys")
+	}
+}

@@ -1,0 +1,144 @@
+package kvnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/ariakv/aria"
+)
+
+// Client is a connection to an aria server. It is safe for concurrent use;
+// requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response frame.
+func (c *Client) roundTrip(op byte, key, value []byte, limit uint32) (byte, []byte, error) {
+	if err := writeFrame(c.conn, encodeRequest(op, key, value, limit)); err != nil {
+		return 0, nil, err
+	}
+	resp, err := readFrame(c.conn, 16+maxValueWire)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(resp) < 1 {
+		return 0, nil, errMalformed
+	}
+	return resp[0], resp[1:], nil
+}
+
+func statusErr(status byte, body []byte) error {
+	switch status {
+	case stOK:
+		return nil
+	case stNotFound:
+		return ErrNotFound
+	case stIntegrity:
+		return fmt.Errorf("%w: %s", ErrIntegrityRemote, body)
+	default:
+		return fmt.Errorf("kvnet: server error: %s", body)
+	}
+}
+
+// Get fetches a value.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, body, err := c.roundTrip(opGet, key, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Put stores a pair.
+func (c *Client) Put(key, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, body, err := c.roundTrip(opPut, key, value, 0)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, body, err := c.roundTrip(opDelete, key, nil, 0)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// Stats fetches the server store's counters.
+func (c *Client) Stats() (aria.Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out aria.Stats
+	status, body, err := c.roundTrip(opStats, nil, nil, 0)
+	if err != nil {
+		return out, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(body, &out)
+	return out, err
+}
+
+// Scan streams pairs with start <= key < end (nil end = unbounded, limit 0 =
+// unlimited) in key order, invoking fn for each; fn returning false stops
+// consuming (the remainder of the stream is drained).
+func (c *Client) Scan(start, end []byte, limit uint32, fn func(key, value []byte) bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, encodeRequest(opScan, start, end, limit)); err != nil {
+		return err
+	}
+	keepGoing := true
+	for {
+		resp, err := readFrame(c.conn, 16+maxValueWire)
+		if err != nil {
+			return err
+		}
+		if len(resp) < 1 {
+			return errMalformed
+		}
+		switch resp[0] {
+		case stMore:
+			k, v, err := decodePair(resp[1:])
+			if err != nil {
+				return err
+			}
+			if keepGoing && !fn(k, v) {
+				keepGoing = false
+			}
+		case stDone:
+			return nil
+		default:
+			return statusErr(resp[0], resp[1:])
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package kvnet provides a client/server layer over an aria.Store,
+// mirroring the paper's deployment model: the store runs inside an enclave
+// on an untrusted host, and clients reach it over a channel whose
+// protection the paper delegates to SGX remote attestation (§II-B). The
+// wire protocol here is the post-attestation session: framing plus typed
+// status codes; transport security is assumed established, exactly as the
+// paper assumes it.
+//
+// Each request entering the store pays one ECALL on the simulated enclave,
+// modelling the edge-call cost a networked deployment adds over the
+// paper's server-side-generated workloads.
+package kvnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op codes.
+const (
+	opGet    = 1
+	opPut    = 2
+	opDelete = 3
+	opStats  = 4
+	opScan   = 5
+)
+
+// Status codes.
+const (
+	stOK        = 0
+	stNotFound  = 1
+	stIntegrity = 2
+	stBadReq    = 3
+	stError     = 4
+	stMore      = 5 // scan: another pair follows
+	stDone      = 6 // scan: end of range
+)
+
+// Wire limits.
+const (
+	maxKeyWire   = 1 << 16
+	maxValueWire = 1 << 24
+)
+
+var (
+	// ErrIntegrityRemote reports that the server detected an attack.
+	ErrIntegrityRemote = errors.New("kvnet: server detected an integrity violation")
+	// ErrNotFound mirrors aria.ErrNotFound across the wire.
+	ErrNotFound = errors.New("kvnet: key not found")
+	// errMalformed reports a framing violation.
+	errMalformed = errors.New("kvnet: malformed frame")
+)
+
+// request is one decoded client request.
+type request struct {
+	op    byte
+	key   []byte
+	value []byte // put: value; scan: exclusive end key (may be empty)
+	limit uint32 // scan only
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame with a size cap.
+func readFrame(r io.Reader, maxLen int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > maxLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", errMalformed, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encodeRequest builds a request frame payload.
+func encodeRequest(op byte, key, value []byte, limit uint32) []byte {
+	buf := make([]byte, 0, 1+2+len(key)+4+len(value)+4)
+	buf = append(buf, op)
+	var k2 [2]byte
+	binary.BigEndian.PutUint16(k2[:], uint16(len(key)))
+	buf = append(buf, k2[:]...)
+	buf = append(buf, key...)
+	var v4 [4]byte
+	binary.BigEndian.PutUint32(v4[:], uint32(len(value)))
+	buf = append(buf, v4[:]...)
+	buf = append(buf, value...)
+	binary.BigEndian.PutUint32(v4[:], limit)
+	buf = append(buf, v4[:]...)
+	return buf
+}
+
+// decodeRequest parses a request frame payload.
+func decodeRequest(buf []byte) (request, error) {
+	var rq request
+	if len(buf) < 7 {
+		return rq, errMalformed
+	}
+	rq.op = buf[0]
+	klen := int(binary.BigEndian.Uint16(buf[1:3]))
+	rest := buf[3:]
+	if len(rest) < klen+4 {
+		return rq, errMalformed
+	}
+	rq.key = rest[:klen]
+	rest = rest[klen:]
+	vlen := int(binary.BigEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) < vlen+4 {
+		return rq, errMalformed
+	}
+	rq.value = rest[:vlen]
+	rq.limit = binary.BigEndian.Uint32(rest[vlen : vlen+4])
+	return rq, nil
+}
+
+// encodeResponse builds a response frame payload: status byte + body.
+func encodeResponse(status byte, body []byte) []byte {
+	out := make([]byte, 1+len(body))
+	out[0] = status
+	copy(out[1:], body)
+	return out
+}
+
+// encodePair builds a scan-stream pair body.
+func encodePair(key, value []byte) []byte {
+	out := make([]byte, 2+len(key)+len(value))
+	binary.BigEndian.PutUint16(out[:2], uint16(len(key)))
+	copy(out[2:], key)
+	copy(out[2+len(key):], value)
+	return out
+}
+
+// decodePair splits a scan-stream pair body.
+func decodePair(body []byte) (key, value []byte, err error) {
+	if len(body) < 2 {
+		return nil, nil, errMalformed
+	}
+	klen := int(binary.BigEndian.Uint16(body[:2]))
+	if len(body) < 2+klen {
+		return nil, nil, errMalformed
+	}
+	return body[2 : 2+klen], body[2+klen:], nil
+}

@@ -1,0 +1,185 @@
+package kvnet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/ariakv/aria"
+)
+
+// Server serves an aria.Store over TCP. The store engines are
+// single-threaded by design (they model one enclave thread, matching the
+// paper's single-threaded evaluation), so requests from all connections are
+// serialized through one mutex; concurrency buys connection handling, not
+// operation parallelism.
+type Server struct {
+	store aria.Store
+	mu    sync.Mutex // serializes store access (one enclave thread)
+
+	lis     net.Listener
+	wg      sync.WaitGroup
+	closing chan struct{}
+	logf    func(format string, args ...any)
+}
+
+// NewServer wraps a store.
+func NewServer(store aria.Store) *Server {
+	return &Server{
+		store:   store,
+		closing: make(chan struct{}),
+		logf:    log.Printf,
+	}
+}
+
+// SetLogf replaces the server's logger (tests use a silent one).
+func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// Serve accepts connections on lis until Close. It returns after the
+// listener fails or is closed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.lis = lis
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Addr returns the bound address (valid after Serve starts).
+func (s *Server) Addr() net.Addr {
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closing)
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := readFrame(conn, 16+maxKeyWire+maxValueWire)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		rq, err := decodeRequest(frame)
+		if err != nil {
+			_ = writeFrame(conn, encodeResponse(stBadReq, []byte(err.Error())))
+			return
+		}
+		if err := s.serve(conn, rq); err != nil {
+			s.logf("kvnet: connection error: %v", err)
+			return
+		}
+	}
+}
+
+// serve executes one request against the store and writes the response.
+func (s *Server) serve(conn net.Conn, rq request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Crossing into the enclave costs one ECALL per request.
+	if ec, ok := s.store.(aria.EdgeCaller); ok {
+		ec.ChargeEcall()
+	}
+	switch rq.op {
+	case opGet:
+		v, err := s.store.Get(rq.key)
+		if err != nil {
+			return writeFrame(conn, errResponse(err))
+		}
+		return writeFrame(conn, encodeResponse(stOK, v))
+	case opPut:
+		if err := s.store.Put(rq.key, rq.value); err != nil {
+			return writeFrame(conn, errResponse(err))
+		}
+		return writeFrame(conn, encodeResponse(stOK, nil))
+	case opDelete:
+		if err := s.store.Delete(rq.key); err != nil {
+			return writeFrame(conn, errResponse(err))
+		}
+		return writeFrame(conn, encodeResponse(stOK, nil))
+	case opStats:
+		body, err := json.Marshal(s.store.Stats())
+		if err != nil {
+			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+		}
+		return writeFrame(conn, encodeResponse(stOK, body))
+	case opScan:
+		r, ok := s.store.(aria.Ranger)
+		if !ok {
+			return writeFrame(conn, encodeResponse(stBadReq, []byte(aria.ErrNoScan.Error())))
+		}
+		var end []byte
+		if len(rq.value) > 0 {
+			end = rq.value
+		}
+		limit := rq.limit
+		var streamErr error
+		err := r.Scan(rq.key, end, func(k, v []byte) bool {
+			if streamErr = writeFrame(conn, encodeResponse(stMore, encodePair(k, v))); streamErr != nil {
+				return false
+			}
+			if limit > 0 {
+				limit--
+				if limit == 0 {
+					return false
+				}
+			}
+			return true
+		})
+		if streamErr != nil {
+			return streamErr
+		}
+		if err != nil {
+			return writeFrame(conn, errResponse(err))
+		}
+		return writeFrame(conn, encodeResponse(stDone, nil))
+	default:
+		return writeFrame(conn, encodeResponse(stBadReq, []byte(fmt.Sprintf("unknown op %d", rq.op))))
+	}
+}
+
+func errResponse(err error) []byte {
+	switch {
+	case errors.Is(err, aria.ErrNotFound):
+		return encodeResponse(stNotFound, nil)
+	case errors.Is(err, aria.ErrIntegrity):
+		return encodeResponse(stIntegrity, []byte(err.Error()))
+	default:
+		return encodeResponse(stError, []byte(err.Error()))
+	}
+}
