@@ -1,0 +1,30 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet fuzz check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The chaos and resilience suites must stay clean under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Explore the wire-format decoders beyond the seeded corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzDecodePair -fuzztime=$(FUZZTIME) ./kvnet
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -31,6 +31,7 @@ package aria
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/ariakv/aria/internal/baseline"
 	"github.com/ariakv/aria/internal/core"
@@ -104,7 +105,103 @@ var (
 	ErrTooLarge  = errors.New("aria: key or value exceeds configured maximum")
 	ErrEmptyKey  = errors.New("aria: empty key")
 	ErrNoScan    = errors.New("aria: scheme does not support range scans")
+	// ErrQuarantined marks an operation on a key that an earlier operation
+	// found tampered under the Quarantine policy. It always arrives
+	// wrapped together with ErrIntegrity.
+	ErrQuarantined = errors.New("aria: key quarantined after earlier tamper detection")
 )
+
+// IntegrityPolicy selects how a store behaves after detecting tampering.
+type IntegrityPolicy int
+
+const (
+	// FailStop (the default) preserves fail-fast semantics: every
+	// operation that touches tampered state returns ErrIntegrity, trusted
+	// state is never corrupted by the detection, and Stats().Health()
+	// reports HealthFailed so operators can retire the instance. The
+	// store does not guess at blast radius: each operation re-verifies
+	// and fails on its own evidence.
+	FailStop IntegrityPolicy = iota
+	// Quarantine degrades instead of failing: a key whose verification
+	// fails is marked poisoned and every later operation on it
+	// short-circuits with ErrIntegrity (wrapping ErrQuarantined), while
+	// untampered keys keep serving. Stats().Health() reports
+	// HealthDegraded and QuarantinedKeys counts the poisoned set.
+	Quarantine
+)
+
+func (p IntegrityPolicy) String() string {
+	switch p {
+	case Quarantine:
+		return "quarantine"
+	default:
+		return "failstop"
+	}
+}
+
+// HealthState summarizes a store's integrity condition.
+type HealthState string
+
+const (
+	// HealthOK means no integrity failure has been detected.
+	HealthOK HealthState = "ok"
+	// HealthDegraded means tampering was detected under Quarantine:
+	// poisoned keys fail, the rest keep serving.
+	HealthDegraded HealthState = "degraded"
+	// HealthFailed means tampering was detected under FailStop: the
+	// instance should be retired and re-attested.
+	HealthFailed HealthState = "failed"
+)
+
+// integrityGuard implements the store-level integrity-failure policy. It
+// observes every operation's outcome, latches detected violations, and
+// (under Quarantine) poisons tampered keys.
+type integrityGuard struct {
+	policy   IntegrityPolicy
+	mu       sync.Mutex
+	failures uint64
+	poisoned map[string]struct{}
+}
+
+// pre short-circuits operations on quarantined keys before any untrusted
+// state is touched.
+func (g *integrityGuard) pre(key []byte) error {
+	if g.policy != Quarantine {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, bad := g.poisoned[string(key)]; bad {
+		return fmt.Errorf("%w: %w", ErrIntegrity, ErrQuarantined)
+	}
+	return nil
+}
+
+// observe records an operation's outcome. Key may be nil for whole-store
+// operations (audits, scans), which are counted but cannot be poisoned.
+func (g *integrityGuard) observe(key []byte, err error) error {
+	if err == nil || !errors.Is(err, ErrIntegrity) {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.failures++
+	if g.policy == Quarantine && len(key) > 0 {
+		if g.poisoned == nil {
+			g.poisoned = make(map[string]struct{})
+		}
+		g.poisoned[string(key)] = struct{}{}
+	}
+	return err
+}
+
+func (g *integrityGuard) fill(st *Stats) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st.IntegrityPolicy = g.policy
+	st.IntegrityFailures = g.failures
+	st.QuarantinedKeys = len(g.poisoned)
+}
 
 // Options configures a store. Zero values get paper defaults.
 type Options struct {
@@ -151,6 +248,9 @@ type Options struct {
 	// MaxKeySize / MaxValueSize bound entries (defaults 256 / 4096).
 	MaxKeySize   int
 	MaxValueSize int
+	// IntegrityPolicy selects what happens after tamper detection
+	// (default FailStop; see the policy docs).
+	IntegrityPolicy IntegrityPolicy
 	// Seed drives deterministic initialisation.
 	Seed uint64
 	// MeasureOff creates the store with cycle accounting disabled (bulk
@@ -187,6 +287,26 @@ type Stats struct {
 
 	// EPCUsedBytes is the allocated enclave heap.
 	EPCUsedBytes int
+
+	// Integrity-failure policy state (see IntegrityPolicy and Health).
+	IntegrityPolicy   IntegrityPolicy
+	IntegrityFailures uint64
+	QuarantinedKeys   int
+}
+
+// Health summarizes the store's integrity condition: HealthOK while no
+// tampering has been detected, HealthDegraded when a Quarantine store is
+// serving around poisoned keys, HealthFailed when a FailStop store has
+// detected an attack and should be retired.
+func (s Stats) Health() HealthState {
+	switch {
+	case s.IntegrityFailures == 0:
+		return HealthOK
+	case s.IntegrityPolicy == Quarantine:
+		return HealthDegraded
+	default:
+		return HealthFailed
+	}
 }
 
 // Store is the public interface every scheme implements.
@@ -278,7 +398,8 @@ func Open(opts Options) (Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &coreStore{e: e, enc: enc, scheme: opts.Scheme}, nil
+		return &coreStore{e: e, enc: enc, scheme: opts.Scheme,
+			g: integrityGuard{policy: opts.IntegrityPolicy}}, nil
 	case ShieldStoreScheme:
 		s, err := shieldstore.New(enc, shieldstore.Options{
 			RootBudgetBytes: opts.ShieldStoreRootBytes,
@@ -289,7 +410,8 @@ func Open(opts Options) (Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &shieldStore{s: s, enc: enc}, nil
+		return &shieldStore{s: s, enc: enc,
+			g: integrityGuard{policy: opts.IntegrityPolicy}}, nil
 	case BaselineHash, BaselineTree:
 		s, err := baseline.New(enc, baseline.Options{
 			ExpectedKeys: opts.ExpectedKeys,
@@ -302,7 +424,8 @@ func Open(opts Options) (Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &baseStore{s: s, enc: enc, scheme: opts.Scheme}, nil
+		return &baseStore{s: s, enc: enc, scheme: opts.Scheme,
+			g: integrityGuard{policy: opts.IntegrityPolicy}}, nil
 	}
 	return nil, fmt.Errorf("aria: unknown scheme %v", opts.Scheme)
 }
@@ -331,22 +454,39 @@ type coreStore struct {
 	e      *core.Engine
 	enc    *sgx.Enclave
 	scheme Scheme
+	g      integrityGuard
 }
 
 func (c *coreStore) mapErr(err error) error {
 	return mapErr(err, core.ErrNotFound, core.ErrIntegrity, core.ErrTooLarge, core.ErrEmptyKey)
 }
 
-func (c *coreStore) Put(key, value []byte) error { return c.mapErr(c.e.Put(key, value)) }
-
-func (c *coreStore) Get(key []byte) ([]byte, error) {
-	v, err := c.e.Get(key)
-	return v, c.mapErr(err)
+func (c *coreStore) Put(key, value []byte) error {
+	if err := c.g.pre(key); err != nil {
+		return err
+	}
+	return c.g.observe(key, c.mapErr(c.e.Put(key, value)))
 }
 
-func (c *coreStore) Delete(key []byte) error { return c.mapErr(c.e.Delete(key)) }
+func (c *coreStore) Get(key []byte) ([]byte, error) {
+	if err := c.g.pre(key); err != nil {
+		return nil, err
+	}
+	v, err := c.e.Get(key)
+	if err = c.g.observe(key, c.mapErr(err)); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
 
-func (c *coreStore) VerifyIntegrity() error { return c.mapErr(c.e.VerifyIntegrity()) }
+func (c *coreStore) Delete(key []byte) error {
+	if err := c.g.pre(key); err != nil {
+		return err
+	}
+	return c.g.observe(key, c.mapErr(c.e.Delete(key)))
+}
+
+func (c *coreStore) VerifyIntegrity() error { return c.g.observe(nil, c.mapErr(c.e.VerifyIntegrity())) }
 
 func (c *coreStore) SetMeasuring(on bool) { c.enc.SetMeasuring(on) }
 
@@ -364,6 +504,7 @@ func (c *coreStore) Stats() Stats {
 	}
 	st.StopSwap = es.Cache.StopSwap
 	st.PinnedLevels = es.Cache.PinnedLevels
+	c.g.fill(&st)
 	return st
 }
 
@@ -372,6 +513,7 @@ func (c *coreStore) Stats() Stats {
 type shieldStore struct {
 	s   *shieldstore.Store
 	enc *sgx.Enclave
+	g   integrityGuard
 }
 
 func (s *shieldStore) mapErr(err error) error {
@@ -379,16 +521,32 @@ func (s *shieldStore) mapErr(err error) error {
 		shieldstore.ErrTooLarge, shieldstore.ErrEmptyKey)
 }
 
-func (s *shieldStore) Put(key, value []byte) error { return s.mapErr(s.s.Put(key, value)) }
-
-func (s *shieldStore) Get(key []byte) ([]byte, error) {
-	v, err := s.s.Get(key)
-	return v, s.mapErr(err)
+func (s *shieldStore) Put(key, value []byte) error {
+	if err := s.g.pre(key); err != nil {
+		return err
+	}
+	return s.g.observe(key, s.mapErr(s.s.Put(key, value)))
 }
 
-func (s *shieldStore) Delete(key []byte) error { return s.mapErr(s.s.Delete(key)) }
+func (s *shieldStore) Get(key []byte) ([]byte, error) {
+	if err := s.g.pre(key); err != nil {
+		return nil, err
+	}
+	v, err := s.s.Get(key)
+	if err = s.g.observe(key, s.mapErr(err)); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
 
-func (s *shieldStore) VerifyIntegrity() error { return s.mapErr(s.s.VerifyIntegrity()) }
+func (s *shieldStore) Delete(key []byte) error {
+	if err := s.g.pre(key); err != nil {
+		return err
+	}
+	return s.g.observe(key, s.mapErr(s.s.Delete(key)))
+}
+
+func (s *shieldStore) VerifyIntegrity() error { return s.g.observe(nil, s.mapErr(s.s.VerifyIntegrity())) }
 
 func (s *shieldStore) SetMeasuring(on bool) { s.enc.SetMeasuring(on) }
 
@@ -397,15 +555,20 @@ func (s *shieldStore) ResetStats() { s.enc.ResetStats() }
 func (s *shieldStore) Stats() Stats {
 	st := baseStats(ShieldStoreScheme, s.enc)
 	st.Keys = s.s.Keys()
+	s.g.fill(&st)
 	return st
 }
 
 // ---- Baseline -------------------------------------------------------------------
 
+// baseStore keeps everything in the EPC: hardware protects it, so the
+// integrity guard is inert — it exists only so Stats reports the policy
+// uniformly across schemes.
 type baseStore struct {
 	s      *baseline.Store
 	enc    *sgx.Enclave
 	scheme Scheme
+	g      integrityGuard
 }
 
 func (b *baseStore) mapErr(err error) error {
@@ -434,6 +597,7 @@ func (b *baseStore) ResetStats() { b.enc.ResetStats() }
 func (b *baseStore) Stats() Stats {
 	st := baseStats(b.scheme, b.enc)
 	st.Keys = b.s.Keys()
+	b.g.fill(&st)
 	return st
 }
 
@@ -462,13 +626,14 @@ type Ranger interface {
 }
 
 // Scan implements Ranger for engine-backed stores; non-ordered indexes
-// return ErrNoScan.
+// return ErrNoScan. Integrity failures mid-scan are counted by the guard
+// but cannot be attributed to one key, so nothing is quarantined.
 func (c *coreStore) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 	err := c.e.Scan(start, end, fn)
 	if errors.Is(err, core.ErrNoScan) {
 		return ErrNoScan
 	}
-	return c.mapErr(err)
+	return c.g.observe(nil, c.mapErr(err))
 }
 
 // ---- fault injection -------------------------------------------------------------

@@ -6,18 +6,27 @@
 // Usage:
 //
 //	aria-server [-addr :7970] [-scheme aria-h] [-keys 1000000] [-epc 91]
+//	            [-policy failstop|quarantine] [-max-conns 1024]
+//	            [-idle-timeout 2m] [-write-timeout 30s] [-drain-timeout 5s]
 //
 // Talk to it with the kvnet client package, e.g.:
 //
 //	cl, _ := kvnet.Dial("localhost:7970")
 //	cl.Put([]byte("k"), []byte("v"))
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
+// requests finish (bounded by -drain-timeout), then the process exits.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/ariakv/aria"
 	"github.com/ariakv/aria/kvnet"
@@ -34,12 +43,22 @@ var schemes = map[string]aria.Scheme{
 	"baseline-t":  aria.BaselineTree,
 }
 
+var policies = map[string]aria.IntegrityPolicy{
+	"failstop":   aria.FailStop,
+	"quarantine": aria.Quarantine,
+}
+
 func main() {
 	var (
-		addr       = flag.String("addr", ":7970", "listen address")
-		schemeName = flag.String("scheme", "aria-h", "store scheme")
-		keys       = flag.Int("keys", 1_000_000, "expected key count")
-		epcMB      = flag.Int("epc", 91, "simulated EPC size in MB")
+		addr         = flag.String("addr", ":7970", "listen address")
+		schemeName   = flag.String("scheme", "aria-h", "store scheme")
+		keys         = flag.Int("keys", 1_000_000, "expected key count")
+		epcMB        = flag.Int("epc", 91, "simulated EPC size in MB")
+		policyName   = flag.String("policy", "failstop", "integrity-failure policy: failstop or quarantine")
+		maxConns     = flag.Int("max-conns", 1024, "simultaneous connection limit (excess is shed)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "per-connection idle/read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write timeout")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "shutdown drain bound for in-flight requests")
 	)
 	flag.Parse()
 
@@ -48,17 +67,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
 		os.Exit(2)
 	}
+	policy, ok := policies[*policyName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown integrity policy %q (want failstop or quarantine)\n", *policyName)
+		os.Exit(2)
+	}
 	st, err := aria.Open(aria.Options{
-		Scheme:       scheme,
-		EPCBytes:     *epcMB << 20,
-		ExpectedKeys: *keys,
+		Scheme:          scheme,
+		EPCBytes:        *epcMB << 20,
+		ExpectedKeys:    *keys,
+		IntegrityPolicy: policy,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := kvnet.NewServer(st)
-	log.Printf("aria-server: %s store, EPC %d MB, listening on %s", scheme, *epcMB, *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	srv := kvnet.NewServerConfig(st, kvnet.ServerConfig{
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drainTimeout,
+	})
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("aria-server: %v received, draining (up to %v)", sig, *drainTimeout)
+		srv.Close()
+	}()
+
+	log.Printf("aria-server: %s store, EPC %d MB, policy %s, listening on %s",
+		scheme, *epcMB, policy, *addr)
+	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, kvnet.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	log.Printf("aria-server: shut down cleanly (health: %s)", st.Stats().Health())
 }

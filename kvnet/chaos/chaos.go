@@ -1,0 +1,275 @@
+// Package chaos provides a deterministic, seedable TCP fault proxy for
+// robustness testing of the kvnet client/server pair. The proxy sits
+// between a client and a server and injects faults — dropped connections,
+// delays, truncated streams, and bit flips — at byte offsets fixed by the
+// seed, so a given (seed, byte stream) pair always faults at the same
+// points regardless of TCP segmentation or goroutine scheduling.
+//
+// Each proxied connection derives two independent fault lanes (one per
+// direction) from the proxy seed and a per-connection counter, so the
+// fault schedule is reproducible across runs even when connections are
+// retried in different wall-clock order.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault kinds, chosen by weight at each injection point.
+const (
+	kindDrop = iota
+	kindDelay
+	kindTruncate
+	kindCorrupt
+)
+
+// Faults configures injection for one direction of a proxied connection.
+type Faults struct {
+	// MeanBytes is the average number of forwarded bytes between injected
+	// faults; 0 disables injection for this direction.
+	MeanBytes int
+	// Drop, Delay, Truncate, and Corrupt weight the choice of fault at
+	// each injection point. Drop closes both halves without forwarding
+	// the rest of the stream; Truncate forwards up to the fault offset
+	// first; Delay sleeps up to MaxDelay; Corrupt flips one bit-pattern
+	// in the byte at the fault offset and keeps forwarding.
+	Drop, Delay, Truncate, Corrupt int
+	// MaxDelay bounds each injected delay (default 2ms).
+	MaxDelay time.Duration
+}
+
+func (f Faults) weightSum() int { return f.Drop + f.Delay + f.Truncate + f.Corrupt }
+
+// Config configures a Proxy.
+type Config struct {
+	// Seed fixes the fault schedule.
+	Seed uint64
+	// Up applies to client→server bytes, Down to server→client bytes.
+	Up, Down Faults
+	// ChunkSize is the forwarding buffer size (default 4096).
+	ChunkSize int
+}
+
+// Stats counts injected faults (atomically updated; read any time).
+type Stats struct {
+	Conns, Drops, Delays, Truncates, Corrupts uint64
+}
+
+// Proxy is a running fault proxy. Create with New, point clients at
+// Addr(), and Close when done.
+type Proxy struct {
+	target string
+	cfg    Config
+	lis    net.Listener
+
+	connID   atomic.Uint64
+	drops    atomic.Uint64
+	delays   atomic.Uint64
+	truncs   atomic.Uint64
+	corrupts atomic.Uint64
+
+	mu     sync.Mutex
+	active map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 4096
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		cfg:    cfg,
+		lis:    lis,
+		active: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Stats returns the injected-fault counters so far.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:     p.connID.Load(),
+		Drops:     p.drops.Load(),
+		Delays:    p.delays.Load(),
+		Truncates: p.truncs.Load(),
+		Corrupts:  p.corrupts.Load(),
+	}
+}
+
+// Close stops accepting, severs all proxied connections, and waits for
+// the forwarding goroutines to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	err := p.lis.Close()
+	for c := range p.active {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.active[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.active, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cconn, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		id := p.connID.Add(1)
+		sconn, err := net.Dial("tcp", p.target)
+		if err != nil {
+			cconn.Close()
+			continue
+		}
+		if !p.track(cconn) || !p.track(sconn) {
+			cconn.Close()
+			sconn.Close()
+			return
+		}
+		var once sync.Once
+		closeBoth := func() {
+			once.Do(func() {
+				cconn.Close()
+				sconn.Close()
+				p.untrack(cconn)
+				p.untrack(sconn)
+			})
+		}
+		p.wg.Add(2)
+		go p.pipe(sconn, cconn, p.cfg.Up, laneSeed(p.cfg.Seed, id, 0), closeBoth)
+		go p.pipe(cconn, sconn, p.cfg.Down, laneSeed(p.cfg.Seed, id, 1), closeBoth)
+	}
+}
+
+// laneSeed derives a per-connection, per-direction rng seed.
+func laneSeed(seed, id, dir uint64) int64 {
+	x := seed ^ (id*2+dir)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int64(x & 0x7fffffffffffffff)
+}
+
+// nextFault draws the next fault's absolute stream offset and kind.
+func nextFault(rng *rand.Rand, f Faults, pos uint64) (uint64, int) {
+	gap := uint64(1 + f.MeanBytes/2 + rng.Intn(f.MeanBytes+1))
+	w := rng.Intn(f.weightSum())
+	switch {
+	case w < f.Drop:
+		return pos + gap, kindDrop
+	case w < f.Drop+f.Delay:
+		return pos + gap, kindDelay
+	case w < f.Drop+f.Delay+f.Truncate:
+		return pos + gap, kindTruncate
+	default:
+		return pos + gap, kindCorrupt
+	}
+}
+
+// pipe forwards src→dst, injecting faults at rng-predetermined byte
+// offsets. Any exit severs both halves of the proxied connection.
+func (p *Proxy) pipe(dst, src net.Conn, f Faults, seed int64, closeBoth func()) {
+	defer p.wg.Done()
+	defer closeBoth()
+	inject := f.MeanBytes > 0 && f.weightSum() > 0
+	rng := rand.New(rand.NewSource(seed))
+	maxDelay := f.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	var pos, at uint64
+	var kind int
+	if inject {
+		at, kind = nextFault(rng, f, 0)
+	}
+	buf := make([]byte, p.cfg.ChunkSize)
+	for {
+		n, rerr := src.Read(buf)
+		b := buf[:n]
+		for len(b) > 0 {
+			if !inject || pos+uint64(len(b)) <= at {
+				if _, err := dst.Write(b); err != nil {
+					return
+				}
+				pos += uint64(len(b))
+				b = nil
+				break
+			}
+			// The fault offset lands inside this chunk.
+			cut := int(at - pos)
+			switch kind {
+			case kindDrop:
+				p.drops.Add(1)
+				return
+			case kindTruncate:
+				p.truncs.Add(1)
+				if cut > 0 {
+					_, _ = dst.Write(b[:cut])
+				}
+				return
+			case kindDelay:
+				p.delays.Add(1)
+				if cut > 0 {
+					if _, err := dst.Write(b[:cut]); err != nil {
+						return
+					}
+				}
+				time.Sleep(time.Duration(1 + rng.Int63n(int64(maxDelay))))
+				pos += uint64(cut)
+				b = b[cut:]
+			case kindCorrupt:
+				p.corrupts.Add(1)
+				mask := byte(1 + rng.Intn(255))
+				if cut > 0 {
+					if _, err := dst.Write(b[:cut]); err != nil {
+						return
+					}
+				}
+				flipped := []byte{b[cut] ^ mask}
+				if _, err := dst.Write(flipped); err != nil {
+					return
+				}
+				pos += uint64(cut) + 1
+				b = b[cut+1:]
+			}
+			at, kind = nextFault(rng, f, pos)
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package kvnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/kvnet/chaos"
+)
+
+// chaosFaults is the per-direction fault mix for the workload tests:
+// faults land on average every `mean` forwarded bytes, split across all
+// four kinds.
+func chaosFaults(mean int) chaos.Faults {
+	return chaos.Faults{
+		MeanBytes: mean,
+		Drop:      2,
+		Delay:     3,
+		Truncate:  2,
+		Corrupt:   3,
+		MaxDelay:  2 * time.Millisecond,
+	}
+}
+
+// TestChaosWorkloadNoLostAcks drives a mixed 1k-op workload through the
+// fault proxy and asserts the core durability contract: every write the
+// client saw acknowledged (and not later overwritten/deleted) is present
+// with the acknowledged value once the dust settles.
+func TestChaosWorkloadNoLostAcks(t *testing.T) {
+	st, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaHash,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 4096,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerConfig(st, ServerConfig{
+		IdleTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		DrainTimeout: 200 * time.Millisecond,
+		MaxConns:     64,
+	})
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	// Every fault kind runs in both directions: the per-frame CRC turns
+	// any in-transit corruption into a detected, retriable failure, so a
+	// flipped bit can neither fake an ack nor ack a damaged write.
+	px, err := chaos.New(lis.Addr().String(), chaos.Config{
+		Seed: 42,
+		Up:   chaosFaults(700),
+		Down: chaosFaults(700),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	cl, err := DialConfig(px.Addr(), ClientConfig{
+		Retry:       fastRetry(8),
+		DialTimeout: time.Second,
+		OpTimeout:   500 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// expected tracks, per key, the last acknowledged state — but only
+	// while no unacknowledged op has muddied it since ("certain").
+	type state struct {
+		value   string
+		deleted bool
+		certain bool
+	}
+	expected := make(map[string]state)
+	key := func(i int) string { return fmt.Sprintf("ck-%03d", i) }
+
+	rng := rand.New(rand.NewSource(1))
+	var acks, failures int
+	for i := 0; i < 1000; i++ {
+		k := key(rng.Intn(200))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // put
+			v := fmt.Sprintf("v-%d", i)
+			if err := cl.Put([]byte(k), []byte(v)); err == nil {
+				expected[k] = state{value: v, certain: true}
+				acks++
+			} else {
+				expected[k] = state{certain: false}
+				failures++
+			}
+		case 6, 7, 8: // get: liveness only; value checked post-hoc
+			if _, err := cl.Get([]byte(k)); err != nil &&
+				!errors.Is(err, ErrNotFound) {
+				failures++
+			}
+		case 9: // delete
+			if err := cl.Delete([]byte(k)); err == nil ||
+				errors.Is(err, ErrNotFound) {
+				expected[k] = state{deleted: true, certain: true}
+				acks++
+			} else {
+				expected[k] = state{certain: false}
+				failures++
+			}
+		}
+	}
+	cl.Close()
+	px.Close()
+	srv.Close()
+
+	if acks == 0 {
+		t.Fatal("no operation was ever acknowledged — proxy too hostile for a meaningful test")
+	}
+	ps := px.Stats()
+	if ps.Drops+ps.Truncates+ps.Corrupts == 0 {
+		t.Fatalf("proxy injected no faults (stats %+v) — test is vacuous", ps)
+	}
+	t.Logf("chaos: %d acks, %d client-visible failures, proxy %+v", acks, failures, ps)
+
+	// Verify acknowledged state directly against the store.
+	lost := 0
+	for k, s := range expected {
+		if !s.certain {
+			continue
+		}
+		v, err := st.Get([]byte(k))
+		switch {
+		case s.deleted:
+			if !errors.Is(err, aria.ErrNotFound) {
+				lost++
+				t.Errorf("key %s: acked delete but Get = %q, %v", k, v, err)
+			}
+		default:
+			if err != nil || string(v) != s.value {
+				lost++
+				t.Errorf("key %s: acked write %q lost (got %q, %v)", k, s.value, v, err)
+			}
+		}
+	}
+	if lost != 0 {
+		t.Fatalf("%d acknowledged writes lost", lost)
+	}
+	if err := st.VerifyIntegrity(); err != nil {
+		t.Fatalf("store integrity after chaos run: %v", err)
+	}
+}
+
+// TestChaosScansStayConsistent runs scans through the proxy: a scan either
+// completes with correctly ordered, uncorrupted pairs, fails cleanly, or
+// reports ErrScanInterrupted — it never delivers duplicate keys.
+func TestChaosScansStayConsistent(t *testing.T) {
+	st, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaBPTree,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 4096,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerConfig(st, ServerConfig{
+		IdleTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		DrainTimeout: 200 * time.Millisecond,
+	})
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	for i := 0; i < 300; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("sk-%04d", i)), []byte(fmt.Sprintf("sv-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Faults only on the response path, where scan streams live.
+	px, err := chaos.New(lis.Addr().String(), chaos.Config{
+		Seed: 99,
+		Down: chaos.Faults{MeanBytes: 2000, Drop: 1, Delay: 2, Truncate: 1, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	cl, err := DialConfig(px.Addr(), ClientConfig{
+		Retry:     fastRetry(6),
+		OpTimeout: 500 * time.Millisecond,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	completed, interrupted := 0, 0
+	for round := 0; round < 30; round++ {
+		seen := make(map[string]bool)
+		prev := ""
+		err := cl.Scan(nil, nil, 0, func(k, v []byte) bool {
+			ks := string(k)
+			if seen[ks] {
+				t.Fatalf("scan delivered duplicate key %q", ks)
+			}
+			if ks <= prev {
+				t.Fatalf("scan order violated: %q after %q", ks, prev)
+			}
+			seen[ks] = true
+			prev = ks
+			return true
+		})
+		switch {
+		case err == nil:
+			if len(seen) != 300 {
+				t.Fatalf("completed scan returned %d keys, want 300", len(seen))
+			}
+			completed++
+		case errors.Is(err, ErrScanInterrupted):
+			interrupted++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no scan ever completed through the proxy")
+	}
+	t.Logf("chaos scans: %d completed, %d interrupted", completed, interrupted)
+}

@@ -2,45 +2,324 @@ package kvnet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/ariakv/aria"
 )
 
-// Client is a connection to an aria server. It is safe for concurrent use;
-// requests are serialized over one connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+var (
+	// ErrClientClosed is returned by every operation after Close.
+	ErrClientClosed = errors.New("kvnet: client closed")
+	// ErrServerBusy reports that the server shed the connection at its
+	// connection limit. The request was not processed, so retrying any
+	// operation — idempotent or not — is safe.
+	ErrServerBusy = errors.New("kvnet: server busy (connection limit)")
+	// ErrScanInterrupted reports a transport failure after a scan already
+	// delivered pairs; the client does not restart the stream because the
+	// callback would observe duplicates.
+	ErrScanInterrupted = errors.New("kvnet: scan interrupted mid-stream")
+	// ErrFrameCorrupt reports that a frame failed its checksum: the bytes
+	// were altered in transit. Corrupt requests are rejected by the server
+	// before processing (safe to retry); corrupt responses surface as
+	// transport failures.
+	ErrFrameCorrupt = errors.New("kvnet: frame corrupted in transit")
+)
+
+// RetryPolicy tunes the client's automatic retries. Transport failures on
+// idempotent operations (Get, Scan, Stats) are always retried; Put and
+// Delete are retried only when the failure happened before the request
+// could have reached the server (dial errors and stBusy shedding), so a
+// non-idempotent request is never silently applied twice.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// InitialBackoff is the sleep before the second attempt (default 10ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the sleep between attempts (default 500ms).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// Jitter randomizes each sleep by ±Jitter fraction (default 0.2).
+	Jitter float64
 }
 
-// Dial connects to a server.
+// DefaultRetryPolicy returns the policy Dial uses.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    4,
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     500 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         0.2,
+	}
+}
+
+// NoRetry returns a policy that disables retries entirely.
+func NoRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+func (p *RetryPolicy) fillDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy().MaxAttempts
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = DefaultRetryPolicy().InitialBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultRetryPolicy().MaxBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+}
+
+// ClientConfig tunes a client's resilience behaviour. Zero values select
+// the defaults; a negative OpTimeout disables per-operation deadlines.
+type ClientConfig struct {
+	// Retry is the retry policy (zero value: DefaultRetryPolicy; use
+	// NoRetry to disable).
+	Retry RetryPolicy
+	// DialTimeout bounds each (re)connection attempt (default 5s).
+	DialTimeout time.Duration
+	// OpTimeout bounds each request/response exchange; for scans it
+	// applies per frame, so a long stream that keeps making progress is
+	// not cut off (default 30s).
+	OpTimeout time.Duration
+	// Seed makes the retry jitter deterministic (tests); 0 uses 1.
+	Seed int64
+}
+
+func (c *ClientConfig) fillDefaults() {
+	if c.Retry == (RetryPolicy{}) {
+		c.Retry = DefaultRetryPolicy()
+	} else {
+		c.Retry.fillDefaults()
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Client is a connection to an aria server. It is safe for concurrent use;
+// requests are serialized over one connection. A broken connection is
+// redialed transparently on the next operation.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu  sync.Mutex // serializes operations; guards rng
+	rng *rand.Rand
+
+	st     sync.Mutex // guards conn and closed; Close never waits on mu
+	conn   net.Conn
+	closed bool
+}
+
+// Dial connects to a server with the default resilience config.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a server with explicit resilience settings. The
+// initial connection is established eagerly so configuration errors
+// surface immediately; later reconnects happen lazily per operation.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.fillDefaults()
+	c := &Client{
+		addr: addr,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c.conn = conn
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. It is idempotent, safe to call while an
+// operation is in flight (the operation fails with ErrClientClosed), and
+// never blocks behind an in-flight request.
+func (c *Client) Close() error {
+	c.st.Lock()
+	if c.closed {
+		c.st.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.st.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
 
-// roundTrip sends one request and reads one response frame.
-func (c *Client) roundTrip(op byte, key, value []byte, limit uint32) (byte, []byte, error) {
-	if err := writeFrame(c.conn, encodeRequest(op, key, value, limit)); err != nil {
-		return 0, nil, err
+// netOpError marks a transport-level failure inside one attempt. The
+// connection is dropped; retryable says whether this operation may run
+// again on a fresh connection.
+type netOpError struct {
+	err       error
+	retryable bool
+}
+
+func (e *netOpError) Error() string { return e.err.Error() }
+func (e *netOpError) Unwrap() error { return e.err }
+
+// acquireConn returns the live connection, redialing if the previous one
+// was dropped.
+func (c *Client) acquireConn() (net.Conn, error) {
+	c.st.Lock()
+	if c.closed {
+		c.st.Unlock()
+		return nil, ErrClientClosed
 	}
-	resp, err := readFrame(c.conn, 16+maxValueWire)
+	if c.conn != nil {
+		conn := c.conn
+		c.st.Unlock()
+		return conn, nil
+	}
+	c.st.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
-	if len(resp) < 1 {
-		return 0, nil, errMalformed
+	c.st.Lock()
+	if c.closed {
+		c.st.Unlock()
+		conn.Close()
+		return nil, ErrClientClosed
 	}
-	return resp[0], resp[1:], nil
+	c.conn = conn
+	c.st.Unlock()
+	return conn, nil
+}
+
+// dropConn discards a connection after a transport failure.
+func (c *Client) dropConn(conn net.Conn) {
+	c.st.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.st.Unlock()
+	conn.Close()
+}
+
+func (c *Client) isClosed() bool {
+	c.st.Lock()
+	defer c.st.Unlock()
+	return c.closed
+}
+
+// backoff sleeps before retry attempt n (1-based) with exponential growth
+// and deterministic jitter.
+func (c *Client) backoff(n int) {
+	p := c.cfg.Retry
+	d := float64(p.InitialBackoff)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*c.rng.Float64()-1)
+	}
+	if d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// do runs op with reconnect + retry handling. Dial failures are always
+// retryable (the request never left the client); op signals transport
+// failures with *netOpError and decides their retryability itself. Any
+// other error is a definitive server response and is returned as-is.
+func (c *Client) do(op func(conn net.Conn) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.backoff(attempt - 1)
+		}
+		conn, err := c.acquireConn()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return err
+			}
+			lastErr = err
+			continue // connect-phase failure: retryable for every op
+		}
+		if c.cfg.OpTimeout > 0 {
+			_ = conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+		}
+		err = op(conn)
+		if err == nil {
+			return nil
+		}
+		var ne *netOpError
+		if !errors.As(err, &ne) {
+			return err // definitive response from the server
+		}
+		c.dropConn(conn)
+		if c.isClosed() {
+			return ErrClientClosed
+		}
+		lastErr = ne.err
+		if !ne.retryable {
+			return ne.err
+		}
+	}
+	return lastErr
+}
+
+// unary performs one request/response exchange. idempotent controls
+// whether mid-exchange transport failures are retried.
+func (c *Client) unary(op byte, key, value []byte, limit uint32, idempotent bool) (byte, []byte, error) {
+	var status byte
+	var body []byte
+	err := c.do(func(conn net.Conn) error {
+		if err := writeFrame(conn, encodeRequest(op, key, value, limit)); err != nil {
+			return &netOpError{err: err, retryable: idempotent}
+		}
+		resp, err := readFrame(conn, maxFrameWire)
+		if err != nil {
+			return &netOpError{err: err, retryable: idempotent}
+		}
+		if len(resp) < 1 {
+			return &netOpError{err: errMalformed, retryable: idempotent}
+		}
+		switch resp[0] {
+		case stBusy:
+			// The server shed the connection before reading the request:
+			// retrying is safe even for non-idempotent operations.
+			return &netOpError{err: ErrServerBusy, retryable: true}
+		case stCorrupt:
+			// The request was damaged in transit and rejected before
+			// processing: retrying is safe even for Put/Delete.
+			return &netOpError{err: fmt.Errorf("%w (request)", ErrFrameCorrupt), retryable: true}
+		}
+		status, body = resp[0], resp[1:]
+		return nil
+	})
+	return status, body, err
 }
 
 func statusErr(status byte, body []byte) error {
@@ -51,6 +330,8 @@ func statusErr(status byte, body []byte) error {
 		return ErrNotFound
 	case stIntegrity:
 		return fmt.Errorf("%w: %s", ErrIntegrityRemote, body)
+	case stBusy:
+		return ErrServerBusy
 	default:
 		return fmt.Errorf("kvnet: server error: %s", body)
 	}
@@ -58,9 +339,7 @@ func statusErr(status byte, body []byte) error {
 
 // Get fetches a value.
 func (c *Client) Get(key []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, body, err := c.roundTrip(opGet, key, nil, 0)
+	status, body, err := c.unary(opGet, key, nil, 0, true)
 	if err != nil {
 		return nil, err
 	}
@@ -70,22 +349,21 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 	return body, nil
 }
 
-// Put stores a pair.
+// Put stores a pair. A Put whose request may already have reached the
+// server is not retried automatically; callers that treat their writes as
+// idempotent can simply call Put again on error.
 func (c *Client) Put(key, value []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, body, err := c.roundTrip(opPut, key, value, 0)
+	status, body, err := c.unary(opPut, key, value, 0, false)
 	if err != nil {
 		return err
 	}
 	return statusErr(status, body)
 }
 
-// Delete removes a key.
+// Delete removes a key. Like Put, it is only retried on connect-phase
+// failures.
 func (c *Client) Delete(key []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, body, err := c.roundTrip(opDelete, key, nil, 0)
+	status, body, err := c.unary(opDelete, key, nil, 0, false)
 	if err != nil {
 		return err
 	}
@@ -94,10 +372,8 @@ func (c *Client) Delete(key []byte) error {
 
 // Stats fetches the server store's counters.
 func (c *Client) Stats() (aria.Stats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out aria.Stats
-	status, body, err := c.roundTrip(opStats, nil, nil, 0)
+	status, body, err := c.unary(opStats, nil, nil, 0, true)
 	if err != nil {
 		return out, err
 	}
@@ -108,37 +384,57 @@ func (c *Client) Stats() (aria.Stats, error) {
 	return out, err
 }
 
-// Scan streams pairs with start <= key < end (nil end = unbounded, limit 0 =
-// unlimited) in key order, invoking fn for each; fn returning false stops
-// consuming (the remainder of the stream is drained).
+// Scan streams pairs with start <= key < end (nil end = unbounded, limit 0
+// = unlimited) in key order, invoking fn for each; fn returning false stops
+// consuming (the remainder of the stream is drained). A transport failure
+// before the first pair is retried like any idempotent operation; after
+// pairs have been delivered the scan fails with ErrScanInterrupted instead
+// of restarting, so fn never observes duplicates.
 func (c *Client) Scan(start, end []byte, limit uint32, fn func(key, value []byte) bool) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, encodeRequest(opScan, start, end, limit)); err != nil {
-		return err
-	}
-	keepGoing := true
-	for {
-		resp, err := readFrame(c.conn, 16+maxValueWire)
-		if err != nil {
-			return err
+	return c.do(func(conn net.Conn) error {
+		delivered := false
+		fail := func(err error) error {
+			if delivered {
+				return &netOpError{err: fmt.Errorf("%w: %v", ErrScanInterrupted, err), retryable: false}
+			}
+			return &netOpError{err: err, retryable: true}
 		}
-		if len(resp) < 1 {
-			return errMalformed
+		if err := writeFrame(conn, encodeRequest(opScan, start, end, limit)); err != nil {
+			return fail(err)
 		}
-		switch resp[0] {
-		case stMore:
-			k, v, err := decodePair(resp[1:])
+		keepGoing := true
+		for {
+			if c.cfg.OpTimeout > 0 {
+				_ = conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+			}
+			resp, err := readFrame(conn, maxFrameWire)
 			if err != nil {
-				return err
+				return fail(err)
 			}
-			if keepGoing && !fn(k, v) {
-				keepGoing = false
+			if len(resp) < 1 {
+				return fail(errMalformed)
 			}
-		case stDone:
-			return nil
-		default:
-			return statusErr(resp[0], resp[1:])
+			switch resp[0] {
+			case stMore:
+				k, v, err := decodePair(resp[1:])
+				if err != nil {
+					return fail(err)
+				}
+				delivered = true
+				if keepGoing && !fn(k, v) {
+					keepGoing = false
+				}
+			case stDone:
+				return nil
+			case stBusy:
+				return &netOpError{err: ErrServerBusy, retryable: true}
+			case stCorrupt:
+				// The scan request never decoded server-side, so no pair
+				// can have been delivered; fail() keeps this retryable.
+				return fail(fmt.Errorf("%w (request)", ErrFrameCorrupt))
+			default:
+				return statusErr(resp[0], resp[1:])
+			}
 		}
-	}
+	})
 }

@@ -1,0 +1,147 @@
+package kvnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// Fuzz harnesses for the wire decoders. They run their seed corpus under
+// plain `go test`; `go test -fuzz=FuzzDecodeRequest ./kvnet` explores
+// further. The invariants: the decoders never panic, never accept length
+// fields beyond the wire limits, and never return altered bytes as valid.
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(encodeRequest(opGet, []byte("k"), nil, 0))
+	f.Add(encodeRequest(opPut, []byte("key"), []byte("value"), 0))
+	f.Add(encodeRequest(opScan, []byte("a"), []byte("z"), 100))
+	f.Add(encodeRequest(opDelete, bytes.Repeat([]byte("k"), 300), nil, 0))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2})
+	f.Add([]byte{opPut, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{opPut, 0, 1, 'k', 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rq, err := decodeRequest(data)
+		if err != nil {
+			return
+		}
+		if len(rq.key) > maxKeyWire {
+			t.Fatalf("decoded key of %d bytes exceeds wire limit", len(rq.key))
+		}
+		if len(rq.value) > maxValueWire {
+			t.Fatalf("decoded value of %d bytes exceeds wire limit", len(rq.value))
+		}
+		// A successfully decoded request re-encodes to an equivalent one.
+		rt, err := decodeRequest(encodeRequest(rq.op, rq.key, rq.value, rq.limit))
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if rt.op != rq.op || !bytes.Equal(rt.key, rq.key) ||
+			!bytes.Equal(rt.value, rq.value) || rt.limit != rq.limit {
+			t.Fatalf("round trip mismatch: %+v vs %+v", rt, rq)
+		}
+	})
+}
+
+func frameBytes(payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(nil))
+	f.Add(frameBytes([]byte("hello")))
+	f.Add(frameBytes(encodeRequest(opPut, []byte("k"), []byte("v"), 0)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 5, 0, 0, 0, 0, 'a', 'b'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(bytes.NewReader(data), maxFrameWire)
+		if err != nil {
+			return
+		}
+		if len(payload) > maxFrameWire {
+			t.Fatalf("frame of %d bytes exceeds the cap it was read with", len(payload))
+		}
+		// An accepted frame must carry a matching checksum.
+		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(data[4:8]) {
+			t.Fatal("readFrame accepted a frame with a bad checksum")
+		}
+	})
+}
+
+func FuzzDecodePair(f *testing.F) {
+	f.Add(encodePair([]byte("k"), []byte("v")))
+	f.Add(encodePair(nil, nil))
+	f.Add([]byte{9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, v, err := decodePair(data)
+		if err != nil {
+			return
+		}
+		rk, rv, err := decodePair(encodePair(k, v))
+		if err != nil || !bytes.Equal(rk, k) || !bytes.Equal(rv, v) {
+			t.Fatalf("pair round trip: %q/%q vs %q/%q (%v)", rk, rv, k, v, err)
+		}
+	})
+}
+
+// TestSingleBitFlipAlwaysDetected flips every byte of a small frame in
+// turn and asserts readFrame never hands back altered bytes as valid.
+func TestSingleBitFlipAlwaysDetected(t *testing.T) {
+	orig := frameBytes(encodeRequest(opPut, []byte("key"), []byte("value"), 0))
+	for i := range orig {
+		for _, mask := range []byte{0x01, 0x80, 0xff} {
+			damaged := append([]byte(nil), orig...)
+			damaged[i] ^= mask
+			payload, err := readFrame(bytes.NewReader(damaged), maxFrameWire)
+			if err == nil {
+				t.Fatalf("flip at byte %d (mask %#x) accepted: payload %q", i, mask, payload)
+			}
+		}
+	}
+}
+
+// TestCorruptRequestRejectedBeforeProcessing corrupts a Put frame on the
+// wire and asserts the server answers stCorrupt without touching the
+// store, then closes the connection.
+func TestCorruptRequestRejectedBeforeProcessing(t *testing.T) {
+	st := openStore(t)
+	srv := startServerConfig(t, st, ServerConfig{
+		IdleTimeout:  time.Second,
+		WriteTimeout: time.Second,
+		DrainTimeout: 100 * time.Millisecond,
+	})
+	conn, err := net.Dial("tcp", waitAddr(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	frame := frameBytes(encodeRequest(opPut, []byte("poison"), []byte("v"), 0))
+	frame[len(frame)-1] ^= 0x40 // damage the value byte in transit
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	resp, err := readFrame(conn, maxFrameWire)
+	if err != nil {
+		t.Fatalf("no response to corrupt frame: %v", err)
+	}
+	if len(resp) < 1 || resp[0] != stCorrupt {
+		t.Fatalf("response status = %d, want stCorrupt", resp[0])
+	}
+	// The damaged write must not have been applied.
+	if _, err := st.Get([]byte("poison")); !errors.Is(err, aria.ErrNotFound) {
+		t.Fatalf("corrupt put reached the store: %v", err)
+	}
+}

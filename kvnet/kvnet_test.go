@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/ariakv/aria"
 )
@@ -134,9 +135,22 @@ func TestScanOnHashStore(t *testing.T) {
 	}
 }
 
+// waitAddr polls until Serve has published the bound address.
+func waitAddr(t *testing.T, srv *Server) string {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			return a.String()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("server never published its address")
+	return ""
+}
+
 func TestConcurrentClients(t *testing.T) {
 	srv, _ := startServer(t, aria.AriaHash)
-	addr := srv.Addr().String()
+	addr := waitAddr(t, srv)
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
 	for c := 0; c < 8; c++ {

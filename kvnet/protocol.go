@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -36,12 +37,22 @@ const (
 	stError     = 4
 	stMore      = 5 // scan: another pair follows
 	stDone      = 6 // scan: end of range
+	stBusy      = 7 // server at connection limit; retry later
+	stCorrupt   = 8 // request frame failed its checksum; not processed, retry safe
 )
 
 // Wire limits.
 const (
 	maxKeyWire   = 1 << 16
 	maxValueWire = 1 << 24
+
+	// maxFrameWire bounds every frame in either direction. A request
+	// carries op+lengths+key+value (≤ 11+maxKeyWire+maxValueWire); the
+	// largest response is a scan pair (status + 2-byte key length + key +
+	// value, ≤ 3+maxKeyWire+maxValueWire). Client and server MUST read
+	// with the same cap: a reader cap smaller than the writer's maximum
+	// kills the connection on legitimate near-max pairs.
+	maxFrameWire = 16 + maxKeyWire + maxValueWire
 )
 
 var (
@@ -51,7 +62,21 @@ var (
 	ErrNotFound = errors.New("kvnet: key not found")
 	// errMalformed reports a framing violation.
 	errMalformed = errors.New("kvnet: malformed frame")
+	// errCorruptFrame reports a frame whose checksum does not match: the
+	// bytes were altered in transit. The stream may be desynchronized, so
+	// the connection must be closed after reporting it.
+	errCorruptFrame = errors.New("kvnet: frame checksum mismatch")
 )
+
+// Every frame is protected by a CRC32-C over its payload, carried in the
+// header. This is corruption *detection*, not authentication — the threat
+// model still delegates channel protection to SGX remote attestation
+// (§II-B); the checksum exists so that line noise or a faulty middlebox
+// can never turn a damaged request into an acknowledged wrong write.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHdrSize is the frame header: 4-byte length + 4-byte CRC32-C.
+const frameHdrSize = 8
 
 // request is one decoded client request.
 type request struct {
@@ -61,10 +86,11 @@ type request struct {
 	limit uint32 // scan only
 }
 
-// writeFrame writes a length-prefixed frame.
+// writeFrame writes a length-prefixed, checksummed frame.
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	var hdr [frameHdrSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -72,19 +98,24 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame with a size cap.
+// readFrame reads one frame with a size cap and verifies its checksum.
+// A checksum mismatch returns errCorruptFrame; the caller must treat the
+// stream as desynchronized and close the connection.
 func readFrame(r io.Reader, maxLen int) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if int(n) > maxLen {
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if int64(n) > int64(maxLen) {
 		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", errMalformed, n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
+	}
+	if crc32.Checksum(buf, crcTable) != binary.BigEndian.Uint32(hdr[4:]) {
+		return nil, errCorruptFrame
 	}
 	return buf, nil
 }
@@ -106,7 +137,9 @@ func encodeRequest(op byte, key, value []byte, limit uint32) []byte {
 	return buf
 }
 
-// decodeRequest parses a request frame payload.
+// decodeRequest parses a request frame payload. It rejects length fields
+// that exceed the wire limits before using them, so a hostile frame can
+// never drive an oversized slice or an overflowing index.
 func decodeRequest(buf []byte) (request, error) {
 	var rq request
 	if len(buf) < 7 {
@@ -114,13 +147,20 @@ func decodeRequest(buf []byte) (request, error) {
 	}
 	rq.op = buf[0]
 	klen := int(binary.BigEndian.Uint16(buf[1:3]))
+	if klen > maxKeyWire {
+		return rq, errMalformed
+	}
 	rest := buf[3:]
 	if len(rest) < klen+4 {
 		return rq, errMalformed
 	}
 	rq.key = rest[:klen]
 	rest = rest[klen:]
-	vlen := int(binary.BigEndian.Uint32(rest[:4]))
+	vlen64 := uint64(binary.BigEndian.Uint32(rest[:4]))
+	if vlen64 > maxValueWire {
+		return rq, errMalformed
+	}
+	vlen := int(vlen64)
 	rest = rest[4:]
 	if len(rest) < vlen+4 {
 		return rq, errMalformed

@@ -4,32 +4,100 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/ariakv/aria"
 )
+
+// Server lifecycle states (Server.state).
+const (
+	stateNew = iota
+	stateServing
+	stateClosed
+)
+
+var (
+	// ErrServerClosed is returned by Serve and ListenAndServe after Close.
+	ErrServerClosed = errors.New("kvnet: server closed")
+	// errAlreadyServing is returned by a second concurrent Serve call.
+	errAlreadyServing = errors.New("kvnet: Serve called twice on the same Server")
+)
+
+// ServerConfig tunes the server's robustness limits. Zero values select
+// the defaults below; use a negative duration to disable a timeout.
+type ServerConfig struct {
+	// MaxConns caps simultaneous connections; beyond it new connections
+	// are shed with an stBusy response and closed (default 1024).
+	MaxConns int
+	// IdleTimeout bounds how long a connection may sit between requests,
+	// including the time to read one full request frame (default 2m).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response frame write (default 30s).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight connections
+	// before force-closing them (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (c *ServerConfig) fillDefaults() {
+	if c.MaxConns == 0 {
+		c.MaxConns = 1024
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+}
 
 // Server serves an aria.Store over TCP. The store engines are
 // single-threaded by design (they model one enclave thread, matching the
 // paper's single-threaded evaluation), so requests from all connections are
 // serialized through one mutex; concurrency buys connection handling, not
 // operation parallelism.
+//
+// A handler panic is confined to its connection: the client receives an
+// stError response and the connection closes, but the process and the
+// other connections keep serving.
 type Server struct {
 	store aria.Store
+	cfg   ServerConfig
 	mu    sync.Mutex // serializes store access (one enclave thread)
 
-	lis     net.Listener
-	wg      sync.WaitGroup
-	closing chan struct{}
-	logf    func(format string, args ...any)
+	state     atomic.Int32
+	lisMu     sync.Mutex
+	lis       net.Listener
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	shed      atomic.Uint64 // connections refused at the limit
+	logf      func(format string, args ...any)
 }
 
-// NewServer wraps a store.
+// NewServer wraps a store with default limits.
 func NewServer(store aria.Store) *Server {
+	return NewServerConfig(store, ServerConfig{})
+}
+
+// NewServerConfig wraps a store with explicit limits.
+func NewServerConfig(store aria.Store, cfg ServerConfig) *Server {
+	cfg.fillDefaults()
 	return &Server{
 		store:   store,
+		cfg:     cfg,
+		conns:   make(map[net.Conn]struct{}),
 		closing: make(chan struct{}),
 		logf:    log.Printf,
 	}
@@ -38,26 +106,73 @@ func NewServer(store aria.Store) *Server {
 // SetLogf replaces the server's logger (tests use a silent one).
 func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
 
+// ShedConns reports how many connections were refused at the limit.
+func (s *Server) ShedConns() uint64 { return s.shed.Load() }
+
 // Serve accepts connections on lis until Close. It returns after the
-// listener fails or is closed.
+// listener fails or is closed. Calling Serve twice, or after Close,
+// returns an error instead of corrupting server state.
 func (s *Server) Serve(lis net.Listener) error {
+	if !s.state.CompareAndSwap(stateNew, stateServing) {
+		lis.Close()
+		if s.state.Load() == stateClosed {
+			return ErrServerClosed
+		}
+		return errAlreadyServing
+	}
+	s.lisMu.Lock()
 	s.lis = lis
+	s.lisMu.Unlock()
+	// Close may have raced between the CAS and the listener store; make
+	// sure a concurrent Close always finds a listener to shut down.
+	select {
+	case <-s.closing:
+		lis.Close()
+		return ErrServerClosed
+	default:
+	}
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			select {
 			case <-s.closing:
-				return nil
+				return ErrServerClosed
 			default:
 				return err
 			}
 		}
+		s.connMu.Lock()
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.connMu.Unlock()
+			s.shed.Add(1)
+			go s.shedConn(conn)
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
 		}()
 	}
+}
+
+// shedConn tells an over-limit connection to go away and closes it.
+// The half-close + drain lets the stBusy frame reach a client whose
+// request is still in flight: closing with unread bytes pending would
+// send an RST that can discard the response on the way.
+func (s *Server) shedConn(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	_ = writeFrame(conn, encodeResponse(stBusy, []byte("server at connection limit")))
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+		_, _ = io.Copy(io.Discard, io.LimitReader(conn, maxFrameWire))
+	}
+	_ = conn.Close()
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -69,42 +184,117 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(lis)
 }
 
-// Addr returns the bound address (valid after Serve starts).
+// Addr returns the bound address (nil until Serve has started).
 func (s *Server) Addr() net.Addr {
+	s.lisMu.Lock()
+	defer s.lisMu.Unlock()
 	if s.lis == nil {
 		return nil
 	}
 	return s.lis.Addr()
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, lets in-flight connections finish for up to
+// DrainTimeout, then force-closes the stragglers. It is idempotent;
+// subsequent calls return the first call's result.
 func (s *Server) Close() error {
-	close(s.closing)
-	var err error
-	if s.lis != nil {
-		err = s.lis.Close()
-	}
-	s.wg.Wait()
-	return err
+	s.closeOnce.Do(func() {
+		prev := s.state.Swap(stateClosed)
+		close(s.closing)
+		s.lisMu.Lock()
+		lis := s.lis
+		s.lisMu.Unlock()
+		if lis != nil {
+			s.closeErr = lis.Close()
+		}
+		if prev != stateServing {
+			return
+		}
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		if s.cfg.DrainTimeout > 0 {
+			select {
+			case <-done:
+				return
+			case <-time.After(s.cfg.DrainTimeout):
+				s.connMu.Lock()
+				for c := range s.conns {
+					_ = c.Close()
+				}
+				s.connMu.Unlock()
+			}
+		}
+		<-done
+	})
+	return s.closeErr
+}
+
+func (s *Server) forget(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 func (s *Server) handle(conn net.Conn) {
+	defer s.forget(conn)
 	defer conn.Close()
 	for {
-		frame, err := readFrame(conn, 16+maxKeyWire+maxValueWire)
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		frame, err := readFrame(conn, maxFrameWire)
 		if err != nil {
-			return // EOF or broken connection
+			switch {
+			case errors.Is(err, errCorruptFrame):
+				// The request was damaged in transit and never decoded:
+				// tell the client it is safe to retry, then resync by
+				// closing the (possibly desynchronized) stream.
+				s.touchWrite(conn)
+				_ = writeFrame(conn, encodeResponse(stCorrupt, []byte(err.Error())))
+			case errors.Is(err, errMalformed):
+				s.touchWrite(conn)
+				_ = writeFrame(conn, encodeResponse(stBadReq, []byte(err.Error())))
+			}
+			return // EOF, timeout, or broken connection
 		}
 		rq, err := decodeRequest(frame)
 		if err != nil {
+			s.touchWrite(conn)
 			_ = writeFrame(conn, encodeResponse(stBadReq, []byte(err.Error())))
 			return
 		}
-		if err := s.serve(conn, rq); err != nil {
-			s.logf("kvnet: connection error: %v", err)
+		s.touchWrite(conn)
+		if err := s.serveRecover(conn, rq); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("kvnet: connection error: %v", err)
+			}
 			return
 		}
 	}
+}
+
+// touchWrite pushes the connection's write deadline forward.
+func (s *Server) touchWrite(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// serveRecover runs one request, converting a handler panic into an
+// stError response plus connection close instead of process death.
+func (s *Server) serveRecover(conn net.Conn, rq request) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.logf("kvnet: panic serving op %d: %v", rq.op, p)
+			s.touchWrite(conn)
+			_ = writeFrame(conn, encodeResponse(stError, []byte(fmt.Sprintf("internal error: %v", p))))
+			err = fmt.Errorf("kvnet: handler panic: %v", p)
+		}
+	}()
+	return s.serve(conn, rq)
 }
 
 // serve executes one request against the store and writes the response.
@@ -150,6 +340,7 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		limit := rq.limit
 		var streamErr error
 		err := r.Scan(rq.key, end, func(k, v []byte) bool {
+			s.touchWrite(conn)
 			if streamErr = writeFrame(conn, encodeResponse(stMore, encodePair(k, v))); streamErr != nil {
 				return false
 			}
