@@ -1,7 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz check clean
+.PHONY: all build test race vet fuzz check bench-json clean
+
+# Parameters for the committed BENCH_*.json snapshots: big enough caches
+# that shard scaling isn't quantization-bound, small enough to run in
+# seconds.
+BENCH_SCALE ?= 128
+BENCH_OPS ?= 20000
 
 all: check
 
@@ -23,6 +29,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodePair -fuzztime=$(FUZZTIME) ./kvnet
+
+# Regenerate the committed machine-readable benchmark snapshots.
+bench-json:
+	$(GO) run ./cmd/aria-bench -exp xshard -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(GO) run ./cmd/aria-bench -exp fig9 -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 
 check: build vet test race
 

@@ -251,6 +251,14 @@ type Options struct {
 	// IntegrityPolicy selects what happens after tamper detection
 	// (default FailStop; see the policy docs).
 	IntegrityPolicy IntegrityPolicy
+	// Shards hash-partitions the keyspace across this many independent
+	// enclave instances, each with a 1/N share of every EPC budget above
+	// (the paper's multi-tenant split, §VI-D5). Operations on different
+	// shards run concurrently; the returned store is safe for use from
+	// multiple goroutines and implements ConcurrentStore and Sharded.
+	// Default 1: a single enclave, identical to the store this option
+	// did not exist for.
+	Shards int
 	// Seed drives deterministic initialisation.
 	Seed uint64
 	// MeasureOff creates the store with cycle accounting disabled (bulk
@@ -331,8 +339,20 @@ type Store interface {
 }
 
 // Open creates a store of the selected scheme inside a fresh simulated
-// enclave.
+// enclave — or, with Options.Shards > 1, a hash-partitioned family of
+// them behind one Store (see sharded.go).
 func Open(opts Options) (Store, error) {
+	opts = optsWithDefaults(opts)
+	if opts.Shards > 1 {
+		return openSharded(opts)
+	}
+	return openStore(opts)
+}
+
+// optsWithDefaults fills zero values with the paper defaults. It runs on
+// the aggregate options before any shard split, so defaults derive from
+// the total budgets.
+func optsWithDefaults(opts Options) Options {
 	if opts.EPCBytes <= 0 {
 		opts.EPCBytes = 91 << 20
 	}
@@ -356,6 +376,11 @@ func Open(opts Options) (Store, error) {
 			opts.ShieldStoreRootBytes = opts.EPCBytes / 10 * 7
 		}
 	}
+	return opts
+}
+
+// openStore builds one single-enclave store from already-filled options.
+func openStore(opts Options) (Store, error) {
 	costs := sgx.DefaultCosts()
 	if opts.WithoutSGX {
 		costs = sgx.InsecureCosts()

@@ -172,6 +172,7 @@ func BenchmarkFig15MerkleArity(b *testing.B)   { benchExperiment(b, "fig15") }
 func BenchmarkFig16aMultiTenant(b *testing.B)  { benchExperiment(b, "fig16a") }
 func BenchmarkFig16bSkewness(b *testing.B)     { benchExperiment(b, "fig16b") }
 func BenchmarkMemTableAnalysis(b *testing.B)   { benchExperiment(b, "memtab") }
+func BenchmarkXShardScaling(b *testing.B)      { benchExperiment(b, "xshard") }
 
 // BenchmarkLoadPhase measures bulk-load speed (Puts of fresh keys).
 func BenchmarkLoadPhase(b *testing.B) {

@@ -6,17 +6,24 @@
 //	aria-bench -list
 //	aria-bench -exp fig9 [-scale 16] [-ops 100000] [-seed 42]
 //	aria-bench -exp all
+//	aria-bench -exp xshard -json .
 //
 // Scale divides every keyspace and EPC budget by the same factor, which
 // preserves the ratios that drive the results (see DESIGN.md §1). Scale 1
 // reproduces the paper's absolute sizes and needs ~32 GB of RAM for the
 // largest points; the default (16) fits comfortably on a laptop.
+//
+// -json DIR additionally writes each experiment's rows as structured data
+// to DIR/BENCH_<exp>.json (numeric cells parsed — throughputs in ops/s),
+// so results can be committed and diffed across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/ariakv/aria/internal/bench"
@@ -24,11 +31,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig2, table1, fig9..fig16b, memtab) or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.Int("scale", 16, "divide keyspaces and EPC budgets by this factor (1 = paper size)")
-		ops   = flag.Int("ops", 100000, "measured operations per data point")
-		seed  = flag.Int64("seed", 42, "workload seed")
+		exp     = flag.String("exp", "", "experiment id (fig2, table1, fig9..fig16b, memtab, x*) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Int("scale", 16, "divide keyspaces and EPC budgets by this factor (1 = paper size)")
+		ops     = flag.Int("ops", 100000, "measured operations per data point")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		jsonDir = flag.String("json", "", "also write BENCH_<exp>.json into this directory")
 	)
 	flag.Parse()
 
@@ -46,9 +54,28 @@ func main() {
 	p := bench.Params{Scale: *scale, Ops: *ops, Seed: *seed}
 	run := func(e bench.Experiment) {
 		start := time.Now()
-		if err := e.Run(p, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+		if *jsonDir == "" {
+			if err := e.Run(p, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		} else {
+			rep, err := bench.RunCollect(e, p, os.Stdout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			buf, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: encode report: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: write report: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("   [wrote %s]\n", path)
 		}
 		fmt.Printf("   [%s done in %.1fs wall]\n", e.ID, time.Since(start).Seconds())
 	}

@@ -6,8 +6,13 @@
 // Usage:
 //
 //	aria-server [-addr :7970] [-scheme aria-h] [-keys 1000000] [-epc 91]
-//	            [-policy failstop|quarantine] [-max-conns 1024]
+//	            [-shards 1] [-policy failstop|quarantine] [-max-conns 1024]
 //	            [-idle-timeout 2m] [-write-timeout 30s] [-drain-timeout 5s]
+//
+// -shards N hash-partitions the keyspace across N independent enclave
+// instances, each with a 1/N slice of the EPC budget; the server then
+// handles requests to different shards concurrently instead of behind one
+// global lock.
 //
 // Talk to it with the kvnet client package, e.g.:
 //
@@ -53,7 +58,8 @@ func main() {
 		addr         = flag.String("addr", ":7970", "listen address")
 		schemeName   = flag.String("scheme", "aria-h", "store scheme")
 		keys         = flag.Int("keys", 1_000_000, "expected key count")
-		epcMB        = flag.Int("epc", 91, "simulated EPC size in MB")
+		epcMB        = flag.Int("epc", 91, "simulated EPC size in MB (total, split across shards)")
+		shards       = flag.Int("shards", 1, "hash-partition across this many independent enclaves")
 		policyName   = flag.String("policy", "failstop", "integrity-failure policy: failstop or quarantine")
 		maxConns     = flag.Int("max-conns", 1024, "simultaneous connection limit (excess is shed)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "per-connection idle/read timeout")
@@ -77,6 +83,7 @@ func main() {
 		EPCBytes:        *epcMB << 20,
 		ExpectedKeys:    *keys,
 		IntegrityPolicy: policy,
+		Shards:          *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -96,8 +103,8 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("aria-server: %s store, EPC %d MB, policy %s, listening on %s",
-		scheme, *epcMB, policy, *addr)
+	log.Printf("aria-server: %s store, EPC %d MB, %d shard(s), policy %s, listening on %s",
+		scheme, *epcMB, *shards, policy, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, kvnet.ErrServerClosed) {
 		log.Fatal(err)
 	}

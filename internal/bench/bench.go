@@ -222,6 +222,7 @@ func newTable(cols ...string) *table { return &table{header: cols} }
 func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
 
 func (t *table) write(w io.Writer) {
+	t.capture() // feed the -json report, when one is being collected
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
 		widths[i] = len(h)

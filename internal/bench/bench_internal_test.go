@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "table1", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16a", "fig16b", "memtab",
-		"xswap", "xscan",
+		"xswap", "xscan", "xshard",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
@@ -167,6 +168,113 @@ func TestScalingPreservesShape(t *testing.T) {
 	rel := r64 / r128
 	if rel < 0.8 || rel > 1.25 {
 		t.Errorf("Aria/SS ratio drifts across scales: %.3f at 1/64 vs %.3f at 1/128", r64, r128)
+	}
+}
+
+// TestShardScalingUniform is the acceptance check for the sharded store's
+// scale-out claim: with the total EPC budget held constant, 8 shards under
+// uniform traffic must deliver at least 3x the simulated throughput of one
+// shard, because per-shard clocks advance independently and the aggregate
+// charges only the slowest shard.
+func TestShardScalingUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard scaling sweep is slow")
+	}
+	// Scale 1/128 and up keeps per-shard caches big enough that slot
+	// quantization doesn't distort the comparison (at 1/512 a shard's
+	// cache holds only a few hundred slots and scaling collapses).
+	p := Params{Scale: 128, Ops: 16000, Warmup: 4000, Seed: 7}.withDefaults()
+	keys := p.keys10M()
+	wcfg := ycsb(keys, workload.Uniform, 0.95, 16, 0.99, 7)
+	thrAt := func(n int) float64 {
+		opts := p.baseOptions(aria.AriaHash, keys)
+		opts.Shards = n
+		r, err := runPoint(p, opts, wcfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		return r.Throughput
+	}
+	t1 := thrAt(1)
+	t8 := thrAt(8)
+	if t1 <= 0 || t8 <= 0 {
+		t.Fatal("degenerate throughput")
+	}
+	if speedup := t8 / t1; speedup < 3 {
+		t.Errorf("8-shard uniform speedup = %.2fx, want >= 3x (t1=%.0f t8=%.0f)",
+			speedup, t1, t8)
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"500", 500, true},
+		{"123K", 123000, true},
+		{"2.34M", 2.34e6, true},
+		{"1.25x", 1.25, true},
+		{"87%", 87, true},
+		{"uniform-R95", 0, false},
+		{"true", 0, false},
+		{"", 0, false},
+		{"K", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseMetric(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("parseMetric(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestRunCollectCapturesTables checks the -json plumbing end to end: the
+// captured report mirrors the printed table, numeric columns parsed.
+func TestRunCollectCapturesTables(t *testing.T) {
+	e, ok := Lookup("memtab")
+	if !ok {
+		t.Fatal("memtab not registered")
+	}
+	var buf bytes.Buffer
+	rep, err := RunCollect(e, Params{Scale: 1024, Ops: 100}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("RunCollect suppressed the text output")
+	}
+	if rep.Experiment != "memtab" || rep.Scale != 1024 {
+		t.Errorf("report params = %+v", rep)
+	}
+	if len(rep.Tables) == 0 {
+		t.Fatal("no tables captured")
+	}
+	tbl := rep.Tables[0]
+	if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+		t.Fatalf("empty capture: %+v", tbl)
+	}
+	numeric := false
+	for _, r := range tbl.Rows {
+		if len(r.Cells) == 0 {
+			t.Fatal("captured row has no cells")
+		}
+		if len(r.Values) > 0 {
+			numeric = true
+		}
+	}
+	if !numeric {
+		t.Error("no numeric cells parsed from any row")
+	}
+	// Capture must be off again after the run: a table written now must
+	// not append to the returned report.
+	before := len(rep.Tables)
+	tb := newTable("a")
+	tb.add("1")
+	tb.write(io.Discard)
+	if len(rep.Tables) != before {
+		t.Error("collector still active after RunCollect returned")
 	}
 }
 

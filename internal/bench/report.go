@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Machine-readable experiment output. RunCollect captures every table an
+// experiment prints into a Report, with numeric cells parsed back out of
+// their display form, so `aria-bench -json` can persist per-row ops/s and
+// the perf trajectory stays diffable across PRs.
+
+// Row is one captured table row: the display cells verbatim, plus every
+// cell that parses as a number keyed by its column header (throughputs in
+// ops/s, ratios as plain floats).
+type Row struct {
+	Cells  []string           `json:"cells"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// TableData is one captured table.
+type TableData struct {
+	Header []string `json:"header"`
+	Rows   []Row    `json:"rows"`
+}
+
+// Report is everything one experiment run printed, plus the parameters
+// that produced it (scale matters when comparing across commits).
+type Report struct {
+	Experiment string      `json:"experiment"`
+	Title      string      `json:"title"`
+	Scale      int         `json:"scale"`
+	Ops        int         `json:"ops"`
+	Seed       int64       `json:"seed"`
+	Tables     []TableData `json:"tables"`
+}
+
+var (
+	collectMu  sync.Mutex
+	collecting *Report
+)
+
+// RunCollect runs the experiment with table capture enabled: rows still
+// print to w as usual, and the returned Report carries the same rows in
+// structured form. Captures are serialized — concurrent RunCollect calls
+// would interleave their tables.
+func RunCollect(e Experiment, p Params, w io.Writer) (*Report, error) {
+	filled := p.withDefaults()
+	rep := &Report{
+		Experiment: e.ID,
+		Title:      e.Title,
+		Scale:      filled.Scale,
+		Ops:        filled.Ops,
+		Seed:       filled.Seed,
+	}
+	collectMu.Lock()
+	collecting = rep
+	collectMu.Unlock()
+	defer func() {
+		collectMu.Lock()
+		collecting = nil
+		collectMu.Unlock()
+	}()
+	if err := e.Run(p, w); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// capture records a printed table into the active report, if any.
+func (t *table) capture() {
+	collectMu.Lock()
+	defer collectMu.Unlock()
+	if collecting == nil {
+		return
+	}
+	td := TableData{Header: t.header}
+	for _, cells := range t.rows {
+		row := Row{Cells: cells}
+		for i, c := range cells {
+			if i >= len(t.header) {
+				break
+			}
+			if v, ok := parseMetric(c); ok {
+				if row.Values == nil {
+					row.Values = make(map[string]float64)
+				}
+				row.Values[t.header[i]] = v
+			}
+		}
+		td.Rows = append(td.Rows, row)
+	}
+	collecting.Tables = append(collecting.Tables, td)
+}
+
+// parseMetric inverts the display formats the tables use: kops suffixes
+// ("500", "123K", "2.34M" — ops/s), ratio suffixes ("1.25x"), percents
+// ("50%"), and bare numbers. Anything else is not a metric.
+func parseMetric(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	mult := 1.0
+	switch s[len(s)-1] {
+	case 'K':
+		mult, s = 1e3, s[:len(s)-1]
+	case 'M':
+		mult, s = 1e6, s[:len(s)-1]
+	case 'x', '%':
+		s = s[:len(s)-1]
+	}
+	if s == "" || strings.ContainsAny(s, " abcdefghijklmnopqrstuvwxyz") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v * mult, true
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+// xshard measures scale-out across the sharded store (Options.Shards): the
+// same total EPC budget and keyspace split across 1/2/4/8 independent
+// enclaves. Each shard runs its own simulated clock, so the aggregate
+// SimSeconds is the slowest shard's clock — the wall time of a perfectly
+// parallel deployment. Uniform traffic spreads evenly and should scale
+// near-linearly; Zipf-0.99 concentrates the hot set on few shards, so the
+// straggler shard bounds the aggregate and exposes the skew penalty the
+// paper's single-enclave design sidesteps.
+
+func init() {
+	register("xshard", "Extension: throughput vs shard count, uniform and Zipf-0.99", xshard)
+}
+
+func xshard(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "xshard", "1/2/4/8 shards, constant total EPC, R95")
+	keys := p.keys10M()
+	t := newTable("workload", "shards", "throughput", "speedup", "hit-ratio")
+	for _, wl := range []struct {
+		name string
+		dist workload.Dist
+	}{
+		{"uniform-R95", workload.Uniform},
+		{"zipf0.99-R95", workload.Zipfian},
+	} {
+		base := 0.0
+		for _, n := range []int{1, 2, 4, 8} {
+			opts := p.baseOptions(aria.AriaHash, keys)
+			opts.Shards = n
+			r, err := runPoint(p, opts, ycsb(keys, wl.dist, 0.95, 16, 0.99, p.Seed))
+			if err != nil {
+				return fmt.Errorf("xshard %s n=%d: %w", wl.name, n, err)
+			}
+			if n == 1 {
+				base = r.Throughput
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = r.Throughput / base
+			}
+			t.add(wl.name, fmt.Sprintf("%d", n), kops(r.Throughput),
+				fmt.Sprintf("%.2fx", speedup),
+				fmt.Sprintf("%.0f%%", r.Stats.CacheHitRatio*100))
+		}
+	}
+	t.write(w)
+	return nil
+}

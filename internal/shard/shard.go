@@ -1,0 +1,113 @@
+// Package shard partitions a keyspace across N independent store
+// instances. It is the machinery behind aria.Options.Shards: each shard is
+// a complete single-enclave Aria store with a 1/N slice of the EPC budget
+// (the paper's multi-tenant split, §VI-D5), and this package supplies the
+// pieces that are store-agnostic — the deterministic key router, the
+// budget splitter, and the k-way merge that turns N per-shard ordered
+// scans into one globally ordered stream.
+//
+// The package deliberately knows nothing about the aria root package (the
+// dependency points the other way); everything here operates on keys,
+// byte budgets, and scan callbacks.
+package shard
+
+import "math/bits"
+
+// fnv-1a 64-bit, inlined rather than importing hash/fnv: the router is on
+// the per-operation fast path and must not allocate.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Router deterministically assigns keys to one of N shards. The zero
+// value routes everything to shard 0.
+type Router struct {
+	n int
+}
+
+// NewRouter returns a router over n shards (n < 1 is treated as 1).
+func NewRouter(n int) Router {
+	if n < 1 {
+		n = 1
+	}
+	return Router{n: n}
+}
+
+// Shards returns the shard count.
+func (r Router) Shards() int {
+	if r.n < 1 {
+		return 1
+	}
+	return r.n
+}
+
+// Pick returns the shard index for key. The mapping depends only on the
+// key bytes and the shard count, so it is stable across processes and
+// restarts — a requirement for any future persistent or distributed
+// deployment of the same partitioning.
+func (r Router) Pick(key []byte) int {
+	if r.n <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	// FNV-1a's high bits avalanche poorly on short, similar keys, and the
+	// multiply-shift reduction below consumes exactly those bits — so run
+	// the 64-bit murmur3 finalizer first to spread the entropy.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	// Multiply-shift reduction avoids the modulo bias of h % n and is
+	// cheaper than a division.
+	hi, _ := bits.Mul64(h, uint64(r.n))
+	return int(hi)
+}
+
+// SplitBudget divides a byte budget fairly across n shards: every shard
+// gets total/n and the first total%n shards get one extra byte, so the
+// slices always sum to the original budget. Non-positive budgets are
+// sentinels (0 = "use the default", negative = "disabled") and are passed
+// through to every shard unchanged.
+func SplitBudget(total, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int, n)
+	if total <= 0 {
+		for i := range out {
+			out[i] = total
+		}
+		return out
+	}
+	each, extra := total/n, total%n
+	for i := range out {
+		out[i] = each
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// SplitKeys divides an expected-key count across n shards, rounding up so
+// each shard's index and counter area are sized for its fair share plus
+// hash-routing slack.
+func SplitKeys(total, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if total <= 0 {
+		return total
+	}
+	per := (total + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	return per
+}

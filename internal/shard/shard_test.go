@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRouterDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		r := NewRouter(n)
+		for i := 0; i < 1000; i++ {
+			key := []byte(fmt.Sprintf("key-%06d", i))
+			s := r.Pick(key)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: Pick out of range: %d", n, s)
+			}
+			if again := r.Pick(key); again != s {
+				t.Fatalf("n=%d: Pick not deterministic: %d then %d", n, s, again)
+			}
+		}
+	}
+}
+
+func TestRouterBalance(t *testing.T) {
+	const n, keys = 8, 100_000
+	r := NewRouter(n)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.Pick([]byte(fmt.Sprintf("balance-key-%08d", i)))]++
+	}
+	// FNV over distinct keys should land within ±20% of the fair share.
+	fair := keys / n
+	for i, c := range counts {
+		if c < fair*8/10 || c > fair*12/10 {
+			t.Errorf("shard %d holds %d keys, fair share %d (counts %v)", i, c, fair, counts)
+		}
+	}
+}
+
+func TestRouterDegenerate(t *testing.T) {
+	r := NewRouter(0)
+	if r.Shards() != 1 {
+		t.Errorf("Shards() = %d, want 1", r.Shards())
+	}
+	if r.Pick([]byte("anything")) != 0 {
+		t.Error("single-shard router must route everything to 0")
+	}
+	var zero Router
+	if zero.Pick([]byte("k")) != 0 || zero.Shards() != 1 {
+		t.Error("zero-value router must behave as one shard")
+	}
+}
+
+func TestSplitBudgetSumsExactly(t *testing.T) {
+	for _, tc := range []struct{ total, n int }{
+		{100, 4}, {101, 4}, {103, 4}, {7, 8}, {91 << 20, 3}, {1, 1},
+	} {
+		parts := SplitBudget(tc.total, tc.n)
+		if len(parts) != tc.n {
+			t.Fatalf("SplitBudget(%d,%d) returned %d parts", tc.total, tc.n, len(parts))
+		}
+		sum := 0
+		for _, p := range parts {
+			sum += p
+		}
+		if sum != tc.total {
+			t.Errorf("SplitBudget(%d,%d) sums to %d", tc.total, tc.n, sum)
+		}
+		// Fairness: no two shares differ by more than one byte.
+		for _, p := range parts {
+			if p < parts[0]-1 || p > parts[0]+1 {
+				t.Errorf("SplitBudget(%d,%d) unfair: %v", tc.total, tc.n, parts)
+			}
+		}
+	}
+}
+
+func TestSplitBudgetSentinels(t *testing.T) {
+	// 0 ("use default") and negative ("disabled") budgets must reach every
+	// shard unchanged, not divided into meaninglessness.
+	for _, total := range []int{0, -1} {
+		for _, p := range SplitBudget(total, 4) {
+			if p != total {
+				t.Errorf("SplitBudget(%d,4) altered sentinel: got %d", total, p)
+			}
+		}
+	}
+}
+
+func TestSplitKeys(t *testing.T) {
+	if got := SplitKeys(1000, 4); got != 250 {
+		t.Errorf("SplitKeys(1000,4) = %d", got)
+	}
+	if got := SplitKeys(1001, 4); got != 251 {
+		t.Errorf("SplitKeys(1001,4) = %d, want rounded up", got)
+	}
+	if got := SplitKeys(2, 8); got != 1 {
+		t.Errorf("SplitKeys(2,8) = %d", got)
+	}
+	if got := SplitKeys(0, 4); got != 0 {
+		t.Errorf("SplitKeys sentinel altered: %d", got)
+	}
+}

@@ -1,0 +1,377 @@
+package kvnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/kvnet/chaos"
+)
+
+// Concurrency tests for the capability-detected serving path: a store
+// declaring ConcurrentSafe() lets two in-flight requests overlap inside
+// the server, while every other store keeps the old one-global-lock path.
+
+// gatedStore wraps a store and stalls Get on one chosen key until
+// released, making "a request is in flight inside the store" observable.
+// ConcurrentSafe is forwarded as configured, so the same wrapper drives
+// both the concurrent path and the serialized control.
+type gatedStore struct {
+	aria.Store
+	gate    string
+	other   []byte        // a loaded key on a different shard than gate
+	entered chan struct{} // closed when the gated Get has entered the store
+	release chan struct{} // the gated Get returns once this closes
+	safe    bool
+}
+
+func (g *gatedStore) Get(key []byte) ([]byte, error) {
+	if string(key) == g.gate {
+		close(g.entered)
+		<-g.release
+	}
+	return g.Store.Get(key)
+}
+
+func (g *gatedStore) ConcurrentSafe() bool { return g.safe }
+
+// twoShardKeys returns two loaded keys that route to different shards.
+func twoShardKeys(t *testing.T, st aria.Store) (a, b []byte) {
+	t.Helper()
+	sh, ok := st.(aria.Sharded)
+	if !ok {
+		t.Fatal("store is not sharded")
+	}
+	for i := 0; i < 256; i++ {
+		k := []byte(fmt.Sprintf("gk-%04d", i))
+		if err := st.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case a == nil:
+			a = k
+		case b == nil && sh.ShardFor(k) != sh.ShardFor(a):
+			b = k
+		}
+	}
+	if b == nil {
+		t.Fatal("could not find keys on two different shards")
+	}
+	return a, b
+}
+
+func startGatedServer(t *testing.T, safe bool) (*gatedStore, *Client, *Client) {
+	t.Helper()
+	st, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaHash,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 1024,
+		Seed:         7,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := twoShardKeys(t, st)
+	gs := &gatedStore{
+		Store:   st,
+		gate:    string(a),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+		safe:    safe,
+	}
+	gs.other = b
+	t.Cleanup(func() {
+		select {
+		case <-gs.release:
+		default:
+			close(gs.release)
+		}
+	})
+
+	srv := NewServer(gs)
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+
+	dial := func() *Client {
+		cl, err := Dial(lis.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	return gs, dial(), dial()
+}
+
+// TestConcurrentStoreRequestsOverlap is the acceptance check for the
+// removed global mutex: with a sharded (concurrency-safe) store, a
+// request to shard B completes while a request to shard A is still
+// blocked inside the store — impossible under the old one-lock server.
+func TestConcurrentStoreRequestsOverlap(t *testing.T) {
+	gs, cl1, cl2 := startGatedServer(t, true)
+
+	gateDone := make(chan error, 1)
+	go func() {
+		_, err := cl1.Get([]byte(gs.gate))
+		gateDone <- err
+	}()
+	select {
+	case <-gs.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gated request never reached the store")
+	}
+
+	// The gated request is parked inside the store. A request to a
+	// different shard must complete anyway.
+	otherDone := make(chan error, 1)
+	go func() {
+		_, err := cl2.Get(gs.other)
+		otherDone <- err
+	}()
+	select {
+	case err := <-otherDone:
+		if err != nil {
+			t.Fatalf("overlapping request failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request to a different shard did not overlap an in-flight request")
+	}
+
+	close(gs.release)
+	if err := <-gateDone; err != nil {
+		t.Fatalf("gated request failed after release: %v", err)
+	}
+}
+
+// TestPlainStoreRequestsSerialize is the control: the same store without
+// the ConcurrentSafe declaration keeps the old behaviour — the second
+// request waits for the first to leave the store.
+func TestPlainStoreRequestsSerialize(t *testing.T) {
+	gs, cl1, cl2 := startGatedServer(t, false)
+
+	gateDone := make(chan error, 1)
+	go func() {
+		_, err := cl1.Get([]byte(gs.gate))
+		gateDone <- err
+	}()
+	select {
+	case <-gs.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gated request never reached the store")
+	}
+
+	otherDone := make(chan error, 1)
+	go func() {
+		_, err := cl2.Get(gs.other)
+		otherDone <- err
+	}()
+	select {
+	case err := <-otherDone:
+		t.Fatalf("serialized server let requests overlap (err=%v)", err)
+	case <-time.After(300 * time.Millisecond):
+		// Expected: the second request is queued on the global lock.
+	}
+
+	close(gs.release)
+	if err := <-gateDone; err != nil {
+		t.Fatalf("gated request failed after release: %v", err)
+	}
+	if err := <-otherDone; err != nil {
+		t.Fatalf("queued request failed after release: %v", err)
+	}
+}
+
+// TestShardedServerRoundTrip drives the full wire protocol against a
+// sharded store: point ops, stats aggregation, and concurrent clients.
+func TestShardedServerRoundTrip(t *testing.T) {
+	st, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaHash,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 4096,
+		Seed:         7,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	cl, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 400; i++ {
+		if err := cl.Put([]byte(fmt.Sprintf("sk-%04d", i)), []byte(fmt.Sprintf("sv-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 400; i += 13 {
+		v, err := cl.Get([]byte(fmt.Sprintf("sk-%04d", i)))
+		if err != nil || string(v) != fmt.Sprintf("sv-%d", i) {
+			t.Fatalf("get %d = %q, %v", i, v, err)
+		}
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keys != 400 {
+		t.Errorf("remote aggregate keys = %d, want 400", stats.Keys)
+	}
+	if stats.Ecalls == 0 {
+		t.Error("no ECALLs charged across shards")
+	}
+}
+
+// TestShardedScanOverWire checks the merged cross-shard scan through the
+// protocol: global order and exact range bounds, same as unsharded.
+func TestShardedScanOverWire(t *testing.T) {
+	st, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaBPTree,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 1024,
+		Seed:         7,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+	cl, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 300; i++ {
+		if err := cl.Put([]byte(fmt.Sprintf("wk-%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	if err := cl.Scan([]byte("wk-0050"), []byte("wk-0070"), 0, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 20 || keys[0] != "wk-0050" || keys[19] != "wk-0069" {
+		t.Fatalf("sharded wire scan = %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("wire scan order violated: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+// TestShardedChaosScansStayConsistent reruns the chaos scan-consistency
+// suite against a sharded store: through transport faults, the merged
+// scan either completes in order, fails cleanly, or reports
+// ErrScanInterrupted — and never delivers duplicates, preserving the
+// single-store semantics through the k-way merge.
+func TestShardedChaosScansStayConsistent(t *testing.T) {
+	st, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaBPTree,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 4096,
+		Seed:         7,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerConfig(st, ServerConfig{
+		IdleTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		DrainTimeout: 200 * time.Millisecond,
+	})
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	for i := 0; i < 300; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("ck-%04d", i)), []byte(fmt.Sprintf("cv-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	px, err := chaos.New(lis.Addr().String(), chaos.Config{
+		Seed: 99,
+		Down: chaos.Faults{MeanBytes: 2000, Drop: 1, Delay: 2, Truncate: 1, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	cl, err := DialConfig(px.Addr(), ClientConfig{
+		Retry:     fastRetry(6),
+		OpTimeout: 500 * time.Millisecond,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	completed, interrupted := 0, 0
+	for round := 0; round < 30; round++ {
+		seen := make(map[string]bool)
+		prev := ""
+		err := cl.Scan(nil, nil, 0, func(k, v []byte) bool {
+			ks := string(k)
+			if seen[ks] {
+				t.Fatalf("sharded scan delivered duplicate key %q", ks)
+			}
+			if ks <= prev {
+				t.Fatalf("sharded scan order violated: %q after %q", ks, prev)
+			}
+			seen[ks] = true
+			prev = ks
+			return true
+		})
+		switch {
+		case err == nil:
+			if len(seen) != 300 {
+				t.Fatalf("completed scan returned %d keys, want 300", len(seen))
+			}
+			completed++
+		case errors.Is(err, ErrScanInterrupted):
+			interrupted++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no sharded scan ever completed through the proxy")
+	}
+	t.Logf("sharded chaos scans: %d completed, %d interrupted", completed, interrupted)
+}

@@ -59,19 +59,24 @@ func (c *ServerConfig) fillDefaults() {
 	}
 }
 
-// Server serves an aria.Store over TCP. The store engines are
+// Server serves an aria.Store over TCP. Plain store engines are
 // single-threaded by design (they model one enclave thread, matching the
-// paper's single-threaded evaluation), so requests from all connections are
-// serialized through one mutex; concurrency buys connection handling, not
-// operation parallelism.
+// paper's single-threaded evaluation), so requests from all connections
+// are serialized through one mutex; concurrency buys connection handling,
+// not operation parallelism. Stores that declare themselves safe for
+// concurrent use — aria.ConcurrentStore with ConcurrentSafe() == true,
+// e.g. a store opened with Options.Shards > 1 — skip that global mutex
+// entirely: the store serializes internally (per shard), so requests
+// touching different shards execute concurrently on different cores.
 //
 // A handler panic is confined to its connection: the client receives an
 // stError response and the connection closes, but the process and the
 // other connections keep serving.
 type Server struct {
-	store aria.Store
-	cfg   ServerConfig
-	mu    sync.Mutex // serializes store access (one enclave thread)
+	store      aria.Store
+	cfg        ServerConfig
+	mu         sync.Mutex // serializes store access (one enclave thread)
+	concurrent bool       // store locks internally; skip s.mu
 
 	state     atomic.Int32
 	lisMu     sync.Mutex
@@ -94,13 +99,17 @@ func NewServer(store aria.Store) *Server {
 // NewServerConfig wraps a store with explicit limits.
 func NewServerConfig(store aria.Store, cfg ServerConfig) *Server {
 	cfg.fillDefaults()
-	return &Server{
+	s := &Server{
 		store:   store,
 		cfg:     cfg,
 		conns:   make(map[net.Conn]struct{}),
 		closing: make(chan struct{}),
 		logf:    log.Printf,
 	}
+	if cs, ok := store.(aria.ConcurrentStore); ok && cs.ConcurrentSafe() {
+		s.concurrent = true
+	}
+	return s
 }
 
 // SetLogf replaces the server's logger (tests use a silent one).
@@ -299,8 +308,13 @@ func (s *Server) serveRecover(conn net.Conn, rq request) (err error) {
 
 // serve executes one request against the store and writes the response.
 func (s *Server) serve(conn net.Conn, rq request) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.concurrent {
+		// One enclave thread: every request takes the global lock. A
+		// concurrency-safe store serializes internally instead, so two
+		// requests on different shards overlap here.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	// Crossing into the enclave costs one ECALL per request.
 	if ec, ok := s.store.(aria.EdgeCaller); ok {
 		ec.ChargeEcall()
@@ -356,6 +370,13 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 			return streamErr
 		}
 		if err != nil {
+			if errors.Is(err, aria.ErrNoScan) {
+				// Sharded stores always expose the Ranger surface and
+				// report unsupported indexes via the sentinel instead;
+				// keep the wire response identical to a store without
+				// Ranger.
+				return writeFrame(conn, encodeResponse(stBadReq, []byte(aria.ErrNoScan.Error())))
+			}
 			return writeFrame(conn, errResponse(err))
 		}
 		return writeFrame(conn, encodeResponse(stDone, nil))

@@ -1,0 +1,287 @@
+package aria
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ariakv/aria/internal/shard"
+)
+
+// ConcurrentStore is implemented by stores that are safe for concurrent
+// use from multiple goroutines because they serialize internally at a
+// finer grain than one global lock. Frontends (kvnet) use it as a
+// capability check: a store reporting ConcurrentSafe() == true may be
+// called from many request goroutines at once, while every other store
+// keeps the conservative one-lock path (the engines model a single
+// enclave thread and are not goroutine-safe on their own).
+type ConcurrentStore interface {
+	Store
+	// ConcurrentSafe reports whether the store may be called from
+	// multiple goroutines concurrently.
+	ConcurrentSafe() bool
+}
+
+// Sharded is implemented by stores opened with Options.Shards > 1. It
+// exposes the partitioning for operations and monitoring: which shard a
+// key routes to, and per-shard statistics (the aggregate Stats() sums
+// counters and reports the slowest shard's clock).
+type Sharded interface {
+	// NumShards returns the shard count.
+	NumShards() int
+	// ShardFor returns the index of the shard serving key.
+	ShardFor(key []byte) int
+	// ShardStats returns shard i's individual snapshot.
+	ShardStats(i int) Stats
+}
+
+// openSharded builds Options.Shards independent single-enclave stores,
+// each with a fair split of every EPC budget, behind one concurrent
+// router (the per-tenant EPC split of the paper's §VI-D5, turned into a
+// scale-out unit).
+func openSharded(opts Options) (Store, error) {
+	n := opts.Shards
+	epcs := shard.SplitBudget(opts.EPCBytes, n)
+	caches := shard.SplitBudget(opts.SecureCacheBytes, n)
+	pins := shard.SplitBudget(opts.PinBudgetBytes, n)
+	roots := shard.SplitBudget(opts.ShieldStoreRootBytes, n)
+	keys := shard.SplitKeys(opts.ExpectedKeys, n)
+	s := &shardedStore{
+		shards: make([]Store, n),
+		mus:    make([]sync.Mutex, n),
+		router: shard.NewRouter(n),
+		scheme: opts.Scheme,
+	}
+	for i := 0; i < n; i++ {
+		so := opts
+		so.Shards = 1
+		so.EPCBytes = epcs[i]
+		so.SecureCacheBytes = caches[i]
+		so.PinBudgetBytes = pins[i]
+		so.ShieldStoreRootBytes = roots[i]
+		so.ExpectedKeys = keys
+		so.Seed = opts.Seed + uint64(i)
+		st, err := openStore(so)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = st
+	}
+	return s, nil
+}
+
+// shardedStore routes every operation to the shard owning its key and
+// serializes per shard, so operations on different shards run truly
+// concurrently — N enclave threads instead of one. Each shard carries its
+// own integrity guard: a quarantined key on shard 3 degrades shard 3
+// only, and the other shards keep serving untouched.
+type shardedStore struct {
+	shards []Store
+	mus    []sync.Mutex // one per shard: each engine models one enclave thread
+	router shard.Router
+	scheme Scheme
+	rr     atomic.Uint64 // round-robin for charges not tied to a key
+}
+
+func (s *shardedStore) ConcurrentSafe() bool { return true }
+
+func (s *shardedStore) NumShards() int { return len(s.shards) }
+
+func (s *shardedStore) ShardFor(key []byte) int { return s.router.Pick(key) }
+
+func (s *shardedStore) ShardStats(i int) Stats {
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].Stats()
+}
+
+func (s *shardedStore) Put(key, value []byte) error {
+	i := s.router.Pick(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].Put(key, value)
+}
+
+func (s *shardedStore) Get(key []byte) ([]byte, error) {
+	i := s.router.Pick(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].Get(key)
+}
+
+func (s *shardedStore) Delete(key []byte) error {
+	i := s.router.Pick(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].Delete(key)
+}
+
+// Stats aggregates across shards: event and operation counters sum;
+// SimCycles/SimSeconds report the slowest shard (the shards execute in
+// parallel, so the straggler's clock is the wall clock); Health() is
+// worst-of by construction, because any shard's integrity failures land
+// in the summed IntegrityFailures and the policy is uniform.
+func (s *shardedStore) Stats() Stats {
+	agg := Stats{Scheme: s.scheme}
+	stopSwap := true
+	for i := range s.shards {
+		st := s.ShardStats(i)
+		agg.Gets += st.Gets
+		agg.Puts += st.Puts
+		agg.Deletes += st.Deletes
+		agg.Keys += st.Keys
+		agg.PageSwaps += st.PageSwaps
+		agg.Ecalls += st.Ecalls
+		agg.Ocalls += st.Ocalls
+		agg.MACs += st.MACs
+		agg.CTROps += st.CTROps
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.EPCUsedBytes += st.EPCUsedBytes
+		agg.IntegrityFailures += st.IntegrityFailures
+		agg.QuarantinedKeys += st.QuarantinedKeys
+		agg.IntegrityPolicy = st.IntegrityPolicy
+		if st.SimCycles > agg.SimCycles {
+			agg.SimCycles = st.SimCycles
+			agg.SimSeconds = st.SimSeconds
+		}
+		if st.PinnedLevels > agg.PinnedLevels {
+			agg.PinnedLevels = st.PinnedLevels
+		}
+		stopSwap = stopSwap && st.StopSwap
+	}
+	if lookups := agg.CacheHits + agg.CacheMisses; lookups > 0 {
+		agg.CacheHitRatio = float64(agg.CacheHits) / float64(lookups)
+	}
+	agg.StopSwap = stopSwap
+	return agg
+}
+
+// VerifyIntegrity audits every shard and joins their errors, so one
+// tampered shard cannot mask — or abort the audit of — the others.
+func (s *shardedStore) VerifyIntegrity() error {
+	var errs []error
+	for i := range s.shards {
+		s.mus[i].Lock()
+		err := s.shards[i].VerifyIntegrity()
+		s.mus[i].Unlock()
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *shardedStore) SetMeasuring(on bool) {
+	for i := range s.shards {
+		s.mus[i].Lock()
+		s.shards[i].SetMeasuring(on)
+		s.mus[i].Unlock()
+	}
+}
+
+func (s *shardedStore) ResetStats() {
+	for i := range s.shards {
+		s.mus[i].Lock()
+		s.shards[i].ResetStats()
+		s.mus[i].Unlock()
+	}
+}
+
+// Scan merges the per-shard ordered scans into one globally ordered
+// stream (shards hold disjoint keys, so no duplicates can occur). Each
+// shard's lock is held per pulled batch, not across the whole merge, so
+// point operations on other shards proceed while a scan runs. Schemes
+// without an ordered index return ErrNoScan, same as unsharded.
+func (s *shardedStore) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	scans := make([]shard.ScanFunc, len(s.shards))
+	for i := range s.shards {
+		i := i
+		scans[i] = func(start, end []byte, fn func(k, v []byte) bool) error {
+			s.mus[i].Lock()
+			defer s.mus[i].Unlock()
+			r, ok := s.shards[i].(Ranger)
+			if !ok {
+				return ErrNoScan
+			}
+			return r.Scan(start, end, fn)
+		}
+	}
+	return shard.Merge(scans, start, end, 0, fn)
+}
+
+// ChargeEcall distributes per-request enclave-entry charges round-robin:
+// the frontend does not know which shard a request will route to when it
+// crosses the trust boundary, and over many requests the charge lands
+// evenly, matching N enclaves each paying their own entries.
+func (s *shardedStore) ChargeEcall() {
+	i := int(s.rr.Add(1)-1) % len(s.shards)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	if ec, ok := s.shards[i].(EdgeCaller); ok {
+		ec.ChargeEcall()
+	}
+}
+
+// ---- fault injection across shards ---------------------------------------------
+
+// The sharded store exposes the Corrupter surface as the concatenation of
+// its shards' untrusted arenas (shard 0 first), so attack demos and tests
+// target a byte of one specific shard's memory. Shards whose scheme keeps
+// everything in the EPC (baselines) contribute zero bytes.
+
+func (s *shardedStore) UntrustedSize() int {
+	total := 0
+	for _, st := range s.shards {
+		if c, ok := st.(Corrupter); ok {
+			total += c.UntrustedSize()
+		}
+	}
+	return total
+}
+
+func (s *shardedStore) FlipUntrustedByte(offset int, mask byte) bool {
+	if offset < 0 {
+		return false
+	}
+	for _, st := range s.shards {
+		c, ok := st.(Corrupter)
+		if !ok {
+			continue
+		}
+		n := c.UntrustedSize()
+		if offset < n {
+			return c.FlipUntrustedByte(offset, mask)
+		}
+		offset -= n
+	}
+	return false
+}
+
+func (s *shardedStore) SnapshotUntrusted() []byte {
+	var out []byte
+	for _, st := range s.shards {
+		if c, ok := st.(Corrupter); ok {
+			out = append(out, c.SnapshotUntrusted()...)
+		}
+	}
+	return out
+}
+
+func (s *shardedStore) RestoreUntrusted(snap []byte) {
+	for _, st := range s.shards {
+		c, ok := st.(Corrupter)
+		if !ok {
+			continue
+		}
+		n := c.UntrustedSize()
+		if n > len(snap) {
+			n = len(snap)
+		}
+		c.RestoreUntrusted(snap[:n])
+		snap = snap[n:]
+		if len(snap) == 0 {
+			return
+		}
+	}
+}
