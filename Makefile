@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz check bench-json clean
+.PHONY: all build test race vet fuzz docs-check metrics-guard check bench-json clean
 
 # Parameters for the committed BENCH_*.json snapshots: big enough caches
 # that shard scaling isn't quantization-bound, small enough to run in
@@ -30,12 +30,21 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodePair -fuzztime=$(FUZZTIME) ./kvnet
 
+# Every exported identifier in the public API surface must carry godoc.
+docs-check:
+	$(GO) run ./internal/docslint . kvnet obs
+
+# Prove the disabled-metrics path costs <2% vs the raw store on the
+# fig9-style microbench (skipped unless METRICS_GUARD=1).
+metrics-guard:
+	METRICS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard -v .
+
 # Regenerate the committed machine-readable benchmark snapshots.
 bench-json:
 	$(GO) run ./cmd/aria-bench -exp xshard -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp fig9 -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 
-check: build vet test race
+check: build vet docs-check test race
 
 clean:
 	$(GO) clean ./...

@@ -38,6 +38,7 @@ import (
 	"github.com/ariakv/aria/internal/securecache"
 	"github.com/ariakv/aria/internal/sgx"
 	"github.com/ariakv/aria/internal/shieldstore"
+	"github.com/ariakv/aria/obs"
 )
 
 // Scheme selects one of the designs evaluated in the paper.
@@ -67,6 +68,8 @@ const (
 	AriaBPTree
 )
 
+// String returns the scheme's benchmark-table name (e.g. "aria-h"),
+// matching the labels used in EXPERIMENTS.md and the metric catalogue.
 func (s Scheme) String() string {
 	switch s {
 	case AriaHash:
@@ -130,6 +133,7 @@ const (
 	Quarantine
 )
 
+// String returns "failstop" or "quarantine".
 func (p IntegrityPolicy) String() string {
 	switch p {
 	case Quarantine:
@@ -245,8 +249,9 @@ type Options struct {
 	BucketLoad int
 	// BTreeDegree is the B-tree minimum degree (default 8).
 	BTreeDegree int
-	// MaxKeySize / MaxValueSize bound entries (defaults 256 / 4096).
-	MaxKeySize   int
+	// MaxKeySize bounds key length in bytes (default 256).
+	MaxKeySize int
+	// MaxValueSize bounds value length in bytes (default 4096).
 	MaxValueSize int
 	// IntegrityPolicy selects what happens after tamper detection
 	// (default FailStop; see the policy docs).
@@ -264,42 +269,58 @@ type Options struct {
 	// MeasureOff creates the store with cycle accounting disabled (bulk
 	// load); call Store.SetMeasuring(true) before the measured window.
 	MeasureOff bool
+	// Metrics, when non-nil, instruments the store into the given
+	// registry: per-operation latency histograms (wall nanoseconds and
+	// simulated cycles), operation/error counters, and scrape-time
+	// enclave event counters (page swaps, ECALLs/OCALLs, MACs, Secure
+	// Cache hits/misses), all labelled by shard. The registry becomes the
+	// single synchronized read path into the store's counters, so it is
+	// safe to scrape while operations run. nil (the default) disables
+	// instrumentation entirely — the returned store is the same object a
+	// build without metrics produces, so the disabled path has zero
+	// overhead. See docs/OPERATIONS.md for the metric catalogue.
+	Metrics *obs.Registry
 }
 
 // Stats is a point-in-time snapshot of a store and its enclave.
 type Stats struct {
-	Scheme  Scheme
-	Gets    uint64
-	Puts    uint64
-	Deletes uint64
-	Keys    int
+	Scheme  Scheme // which Scheme the store runs
+	Gets    uint64 // Get operations since open/ResetStats
+	Puts    uint64 // Put operations since open/ResetStats
+	Deletes uint64 // Delete operations since open/ResetStats
+	Keys    int    // live keys currently stored
 
 	// SimCycles is the simulated clock; SimSeconds converts it at the
 	// nominal 3.6 GHz.
 	SimCycles  uint64
-	SimSeconds float64
+	SimSeconds float64 // SimCycles expressed in seconds at 3.6 GHz
 
-	// Enclave event counts.
+	// PageSwaps counts EPC page evictions (4 KB granularity) in the
+	// enclave simulator; the remaining fields count other priced
+	// enclave events.
 	PageSwaps uint64
-	Ecalls    uint64
-	Ocalls    uint64
-	MACs      uint64
-	CTROps    uint64
+	Ecalls    uint64 // enclave entries (edge calls in)
+	Ocalls    uint64 // enclave exits (edge calls out)
+	MACs      uint64 // AES-CMAC computations/verifications
+	CTROps    uint64 // AES-CTR encrypt/decrypt operations
 
-	// Secure Cache behaviour (zero for schemes without one).
+	// CacheHits counts Secure Cache node hits (zero for schemes
+	// without a Secure Cache), and the fields below describe the rest
+	// of its behaviour.
 	CacheHits     uint64
-	CacheMisses   uint64
-	CacheHitRatio float64
-	StopSwap      bool
-	PinnedLevels  int
+	CacheMisses   uint64  // Secure Cache node misses
+	CacheHitRatio float64 // CacheHits / (CacheHits + CacheMisses)
+	StopSwap      bool    // whether stop-swap mode engaged (paper §IV-E)
+	PinnedLevels  int     // Merkle levels pinned resident in the EPC
 
 	// EPCUsedBytes is the allocated enclave heap.
 	EPCUsedBytes int
 
-	// Integrity-failure policy state (see IntegrityPolicy and Health).
+	// IntegrityPolicy echoes the policy the store was opened with (see
+	// IntegrityPolicy and Health).
 	IntegrityPolicy   IntegrityPolicy
-	IntegrityFailures uint64
-	QuarantinedKeys   int
+	IntegrityFailures uint64 // tamper detections since open
+	QuarantinedKeys   int    // keys poisoned under Quarantine
 }
 
 // Health summarizes the store's integrity condition: HealthOK while no
@@ -346,7 +367,14 @@ func Open(opts Options) (Store, error) {
 	if opts.Shards > 1 {
 		return openSharded(opts)
 	}
-	return openStore(opts)
+	st, err := openStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Metrics != nil {
+		return meter(st, opts.Metrics, "0"), nil
+	}
+	return st, nil
 }
 
 // optsWithDefaults fills zero values with the paper defaults. It runs on
@@ -571,7 +599,9 @@ func (s *shieldStore) Delete(key []byte) error {
 	return s.g.observe(key, s.mapErr(s.s.Delete(key)))
 }
 
-func (s *shieldStore) VerifyIntegrity() error { return s.g.observe(nil, s.mapErr(s.s.VerifyIntegrity())) }
+func (s *shieldStore) VerifyIntegrity() error {
+	return s.g.observe(nil, s.mapErr(s.s.VerifyIntegrity()))
+}
 
 func (s *shieldStore) SetMeasuring(on bool) { s.enc.SetMeasuring(on) }
 
@@ -730,6 +760,7 @@ func (s *shieldStore) RestoreUntrusted(snap []byte) {
 // it per request, modelling the edge-call cost a real deployment pays when
 // requests originate outside the enclave.
 type EdgeCaller interface {
+	// ChargeEcall charges the simulated enclave one ECALL entry cost.
 	ChargeEcall()
 }
 

@@ -19,15 +19,23 @@
 //	cl, _ := kvnet.Dial("localhost:7970")
 //	cl.Put([]byte("k"), []byte("v"))
 //
+// -metrics-addr :9100 additionally serves an observability endpoint on
+// the given address (off by default): /metrics in Prometheus text
+// format, /debug/vars as expvar JSON, and /healthz reporting the store's
+// integrity condition. See docs/OPERATIONS.md for the metric catalogue.
+//
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
 // requests finish (bounded by -drain-timeout), then the process exits.
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +43,7 @@ import (
 
 	"github.com/ariakv/aria"
 	"github.com/ariakv/aria/kvnet"
+	"github.com/ariakv/aria/obs"
 )
 
 var schemes = map[string]aria.Scheme{
@@ -65,6 +74,7 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "per-connection idle/read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "shutdown drain bound for in-flight requests")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /healthz on this address (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -78,12 +88,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown integrity policy %q (want failstop or quarantine)\n", *policyName)
 		os.Exit(2)
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	st, err := aria.Open(aria.Options{
 		Scheme:          scheme,
 		EPCBytes:        *epcMB << 20,
 		ExpectedKeys:    *keys,
 		IntegrityPolicy: policy,
 		Shards:          *shards,
+		Metrics:         reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +108,12 @@ func main() {
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drainTimeout,
+		Metrics:      reg,
 	})
+
+	if reg != nil {
+		go serveMetrics(*metricsAddr, reg, st)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -109,4 +129,27 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("aria-server: shut down cleanly (health: %s)", st.Stats().Health())
+}
+
+// serveMetrics exposes the observability endpoint: Prometheus text on
+// /metrics, the full registry snapshot as expvar JSON on /debug/vars,
+// and a liveness/integrity probe on /healthz (HTTP 200 while the store
+// is healthy or degraded, 503 once it has fail-stopped).
+func serveMetrics(addr string, reg *obs.Registry, st aria.Store) {
+	expvar.Publish("aria", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := st.Stats().Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h == aria.HealthFailed {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"health": string(h)})
+	})
+	log.Printf("aria-server: metrics on http://%s/metrics", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("aria-server: metrics endpoint failed: %v", err)
+	}
 }

@@ -1,11 +1,21 @@
-// Command ariactl is an interactive shell over the public aria API: open a
-// store of any scheme, issue put/get/del, inspect stats, and run the
-// integrity audit — including after hand-corrupting untrusted memory with
-// the attack commands, which demonstrates detection end to end.
+// Command ariactl is an interactive shell over the aria API: open a
+// store of any scheme (or connect to a running aria-server), issue
+// put/get/del, inspect stats, and run the integrity audit — including
+// after hand-corrupting untrusted memory with the attack commands, which
+// demonstrates detection end to end.
 //
 // Usage:
 //
 //	ariactl [-scheme aria-h] [-keys 100000] [-epc 91]
+//	ariactl -connect host:7970
+//	ariactl -connect host:7970 -watch [-interval 1s]
+//
+// -connect attaches to a live aria-server over the kvnet protocol
+// instead of opening an in-process store; every command then operates on
+// the remote store. -watch skips the shell and streams a one-line
+// operations view (op rates, cache hit ratio, paging, health) every
+// -interval until interrupted — the terminal companion to the /metrics
+// endpoint (see docs/OPERATIONS.md).
 //
 // Commands:
 //
@@ -13,8 +23,10 @@
 //	get <key>             fetch a value
 //	del <key>             delete a key
 //	fill <n>              bulk-load n deterministic pairs
+//	scan [start] [end]    ordered range scan (tree schemes)
 //	stats                 operation/enclave counters
-//	verify                full offline integrity audit
+//	stats watch [sec]     live delta view, one line per second
+//	verify                full offline integrity audit (local only)
 //	help, quit
 package main
 
@@ -23,9 +35,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/kvnet"
 )
 
 var schemes = map[string]aria.Scheme{
@@ -39,30 +54,92 @@ var schemes = map[string]aria.Scheme{
 	"baseline-t":  aria.BaselineTree,
 }
 
+// backend abstracts over an in-process store and a kvnet connection so
+// the shell commands work identically in both modes.
+type backend interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	Scan(start, end []byte, fn func(key, value []byte) bool) error
+	Stats() (aria.Stats, error)
+	Verify() error
+}
+
+// localBackend serves commands from an in-process store.
+type localBackend struct{ st aria.Store }
+
+func (b *localBackend) Put(k, v []byte) error        { return b.st.Put(k, v) }
+func (b *localBackend) Get(k []byte) ([]byte, error) { return b.st.Get(k) }
+func (b *localBackend) Delete(k []byte) error        { return b.st.Delete(k) }
+func (b *localBackend) Stats() (aria.Stats, error)   { return b.st.Stats(), nil }
+func (b *localBackend) Verify() error                { return b.st.VerifyIntegrity() }
+func (b *localBackend) Scan(start, end []byte, fn func(k, v []byte) bool) error {
+	r, ok := b.st.(aria.Ranger)
+	if !ok {
+		return aria.ErrNoScan
+	}
+	return r.Scan(start, end, fn)
+}
+
+// remoteBackend serves commands from an aria-server over kvnet.
+type remoteBackend struct{ cl *kvnet.Client }
+
+func (b *remoteBackend) Put(k, v []byte) error        { return b.cl.Put(k, v) }
+func (b *remoteBackend) Get(k []byte) ([]byte, error) { return b.cl.Get(k) }
+func (b *remoteBackend) Delete(k []byte) error        { return b.cl.Delete(k) }
+func (b *remoteBackend) Stats() (aria.Stats, error)   { return b.cl.Stats() }
+func (b *remoteBackend) Verify() error {
+	return fmt.Errorf("verify runs in-process only: the audit walks enclave memory (use the server's /healthz or aria_health metric)")
+}
+func (b *remoteBackend) Scan(start, end []byte, fn func(k, v []byte) bool) error {
+	return b.cl.Scan(start, end, 0, fn)
+}
+
 func main() {
 	var (
 		schemeName = flag.String("scheme", "aria-h", "store scheme (aria-h, aria-t, nocache-h, nocache-t, shieldstore, baseline-h, baseline-t)")
 		keys       = flag.Int("keys", 100000, "expected key count")
 		epcMB      = flag.Int("epc", 91, "simulated EPC size in MB")
+		connect    = flag.String("connect", "", "attach to a running aria-server at this address instead of opening a store")
+		watch      = flag.Bool("watch", false, "stream the live stats view instead of the shell (Ctrl-C to stop)")
+		interval   = flag.Duration("interval", time.Second, "refresh interval for -watch")
 	)
 	flag.Parse()
 
-	scheme, ok := schemes[*schemeName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+	var be backend
+	if *connect != "" {
+		cl, err := kvnet.Dial(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		be = &remoteBackend{cl: cl}
+		fmt.Printf("connected to aria-server at %s. Type 'help'.\n", *connect)
+	} else {
+		scheme, ok := schemes[*schemeName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+			os.Exit(2)
+		}
+		st, err := aria.Open(aria.Options{
+			Scheme:       scheme,
+			EPCBytes:     *epcMB << 20,
+			ExpectedKeys: *keys,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		be = &localBackend{st: st}
+		fmt.Printf("aria %s store ready (EPC %d MB, expecting %d keys). Type 'help'.\n",
+			scheme, *epcMB, *keys)
 	}
-	st, err := aria.Open(aria.Options{
-		Scheme:       scheme,
-		EPCBytes:     *epcMB << 20,
-		ExpectedKeys: *keys,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	if *watch {
+		watchStats(be, *interval, 0)
+		return
 	}
-	fmt.Printf("aria %s store ready (EPC %d MB, expecting %d keys). Type 'help'.\n",
-		scheme, *epcMB, *keys)
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -80,13 +157,13 @@ func main() {
 				fmt.Println("usage: put <key> <value>")
 				continue
 			}
-			report(st.Put([]byte(fields[1]), []byte(fields[2])))
+			report(be.Put([]byte(fields[1]), []byte(fields[2])))
 		case "get":
 			if len(fields) != 2 {
 				fmt.Println("usage: get <key>")
 				continue
 			}
-			v, err := st.Get([]byte(fields[1]))
+			v, err := be.Get([]byte(fields[1]))
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
@@ -97,25 +174,20 @@ func main() {
 				fmt.Println("usage: del <key>")
 				continue
 			}
-			report(st.Delete([]byte(fields[1])))
+			report(be.Delete([]byte(fields[1])))
 		case "fill":
 			n := 10000
 			if len(fields) > 1 {
 				fmt.Sscanf(fields[1], "%d", &n)
 			}
 			for i := 0; i < n; i++ {
-				if err := st.Put([]byte(fmt.Sprintf("fill-%08d", i)), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+				if err := be.Put([]byte(fmt.Sprintf("fill-%08d", i)), []byte(fmt.Sprintf("value-%d", i))); err != nil {
 					fmt.Println("error:", err)
 					break
 				}
 			}
 			fmt.Printf("loaded %d pairs\n", n)
 		case "scan":
-			r, ok := st.(aria.Ranger)
-			if !ok {
-				fmt.Println("error: this scheme does not support scans (try -scheme aria-bp)")
-				continue
-			}
 			var start, end []byte
 			if len(fields) > 1 {
 				start = []byte(fields[1])
@@ -124,7 +196,7 @@ func main() {
 				end = []byte(fields[2])
 			}
 			n := 0
-			err := r.Scan(start, end, func(k, v []byte) bool {
+			err := be.Scan(start, end, func(k, v []byte) bool {
 				fmt.Printf("%s = %q\n", k, v)
 				n++
 				return n < 100
@@ -135,25 +207,71 @@ func main() {
 				fmt.Println("... (truncated at 100 pairs)")
 			}
 		case "stats":
-			s := st.Stats()
-			fmt.Printf("keys=%d gets=%d puts=%d dels=%d\n", s.Keys, s.Gets, s.Puts, s.Deletes)
+			if len(fields) > 1 && fields[1] == "watch" {
+				secs := 10
+				if len(fields) > 2 {
+					if n, err := strconv.Atoi(fields[2]); err == nil && n > 0 {
+						secs = n
+					}
+				}
+				watchStats(be, time.Second, secs)
+				continue
+			}
+			s, err := be.Stats()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("keys=%d gets=%d puts=%d dels=%d health=%s\n", s.Keys, s.Gets, s.Puts, s.Deletes, s.Health())
 			fmt.Printf("sim-cycles=%d (%.3fs @3.6GHz) pageswaps=%d ocalls=%d macs=%d\n",
 				s.SimCycles, s.SimSeconds, s.PageSwaps, s.Ocalls, s.MACs)
 			fmt.Printf("cache: hits=%d misses=%d ratio=%.3f stopswap=%v pinned-levels=%d\n",
 				s.CacheHits, s.CacheMisses, s.CacheHitRatio, s.StopSwap, s.PinnedLevels)
 		case "verify":
-			if err := st.VerifyIntegrity(); err != nil {
+			if err := be.Verify(); err != nil {
 				fmt.Println("AUDIT FAILED:", err)
 			} else {
 				fmt.Println("audit clean: confidentiality and integrity intact")
 			}
 		case "help":
-			fmt.Println("put <k> <v> | get <k> | del <k> | scan [start] [end] | fill <n> | stats | verify | quit")
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan [start] [end] | fill <n> | stats [watch [sec]] | verify | quit")
 		case "quit", "exit":
 			return
 		default:
 			fmt.Println("unknown command; try 'help'")
 		}
+	}
+}
+
+// watchStats prints one delta line per interval: operation rates since
+// the previous sample, cache behaviour, paging, and health. seconds 0
+// streams until the process is interrupted.
+func watchStats(be backend, interval time.Duration, seconds int) {
+	prev, err := be.Stats()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("    gets/s    puts/s    dels/s    hit%   swaps/s     keys  health")
+	t0 := time.Now()
+	for i := 0; seconds == 0 || i < seconds; i++ {
+		time.Sleep(interval)
+		cur, err := be.Stats()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		dt := interval.Seconds()
+		rate := func(now, before uint64) float64 { return float64(now-before) / dt }
+		hit := cur.CacheHitRatio * 100
+		if d := (cur.CacheHits + cur.CacheMisses) - (prev.CacheHits + prev.CacheMisses); d > 0 {
+			hit = 100 * float64(cur.CacheHits-prev.CacheHits) / float64(d)
+		}
+		fmt.Printf("%10.0f%10.0f%10.0f%8.1f%10.0f%9d  %s  [%s]\n",
+			rate(cur.Gets, prev.Gets), rate(cur.Puts, prev.Puts), rate(cur.Deletes, prev.Deletes),
+			hit, rate(cur.PageSwaps, prev.PageSwaps), cur.Keys, cur.Health(),
+			time.Since(t0).Truncate(time.Second))
+		prev = cur
 	}
 }
 

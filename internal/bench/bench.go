@@ -95,8 +95,15 @@ func (p Params) baseOptions(scheme aria.Scheme, keys int) aria.Options {
 }
 
 // buildStore opens a store and bulk-loads the full keyspace with the
-// generator's deterministic values (measurement off).
+// generator's deterministic values (measurement off). While a -json
+// report is being collected the store is opened with a fresh metrics
+// registry, so measure() can report latency histograms; instrumentation
+// only reads the simulated clock, so the measured results are identical
+// either way (TestMeteredSimCyclesUnchanged pins this).
 func buildStore(opts aria.Options, gen *workload.Generator) (aria.Store, error) {
+	if reg := newPointRegistry(); reg != nil {
+		opts.Metrics = reg
+	}
 	st, err := aria.Open(opts)
 	if err != nil {
 		return nil, err
@@ -122,6 +129,12 @@ func measure(st aria.Store, gen *workload.Generator, warmup, ops int) (Result, e
 	}
 	st.SetMeasuring(true)
 	st.ResetStats()
+	reg := currentRegistry()
+	if reg != nil {
+		// Drop warmup and load-phase samples: the report's histograms
+		// cover exactly the measured window, like the counters.
+		reg.Reset()
+	}
 	for i := 0; i < ops; i++ {
 		gen.Next(&op)
 		if err := apply(st, &op); err != nil {
@@ -130,6 +143,9 @@ func measure(st aria.Store, gen *workload.Generator, warmup, ops int) (Result, e
 	}
 	stats := st.Stats()
 	st.SetMeasuring(false)
+	if reg != nil {
+		captureLatency(reg, stats.Scheme, ops)
+	}
 	r := Result{Scheme: stats.Scheme, Stats: stats}
 	if stats.SimSeconds > 0 {
 		r.Throughput = float64(ops) / stats.SimSeconds

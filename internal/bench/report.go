@@ -5,6 +5,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/obs"
 )
 
 // Machine-readable experiment output. RunCollect captures every table an
@@ -35,12 +38,76 @@ type Report struct {
 	Ops        int         `json:"ops"`
 	Seed       int64       `json:"seed"`
 	Tables     []TableData `json:"tables"`
+	// Latency carries one entry per measured data point, in measurement
+	// order: per-operation latency histograms from the obs registry the
+	// harness attaches to each store while collecting. Simulated-cycle
+	// quantiles are deterministic for a given seed and scale; wall-ns
+	// quantiles depend on the machine and are informational.
+	Latency []LatencyPoint `json:"latency,omitempty"`
+}
+
+// LatencyPoint is the latency distribution of one measured window,
+// keyed by operation ("get", "put", ...). Only operations the workload
+// actually issued appear.
+type LatencyPoint struct {
+	Scheme    string                           `json:"scheme"`
+	Ops       int                              `json:"ops"`
+	WallNs    map[string]obs.HistogramSnapshot `json:"wall_ns,omitempty"`
+	SimCycles map[string]obs.HistogramSnapshot `json:"sim_cycles,omitempty"`
 }
 
 var (
 	collectMu  sync.Mutex
 	collecting *Report
+	activeReg  *obs.Registry // registry of the store being measured, when collecting
 )
+
+// newPointRegistry returns a fresh registry for the next store when a
+// report is being collected, nil otherwise — plain runs keep the
+// zero-instrumentation path.
+func newPointRegistry() *obs.Registry {
+	collectMu.Lock()
+	defer collectMu.Unlock()
+	if collecting == nil {
+		return nil
+	}
+	activeReg = obs.NewRegistry()
+	return activeReg
+}
+
+// currentRegistry returns the registry attached to the store under
+// measurement, nil when not collecting.
+func currentRegistry() *obs.Registry {
+	collectMu.Lock()
+	defer collectMu.Unlock()
+	return activeReg
+}
+
+// captureLatency appends one measured window's per-op histograms
+// (merged across shards) to the active report.
+func captureLatency(reg *obs.Registry, scheme aria.Scheme, ops int) {
+	snap := reg.Snapshot()
+	pt := LatencyPoint{Scheme: scheme.String(), Ops: ops}
+	for _, op := range []string{"get", "put", "delete", "scan"} {
+		if h, ok := snap.Histogram("aria_op_wall_ns", obs.Labels{"op": op}); ok && h.Count > 0 {
+			if pt.WallNs == nil {
+				pt.WallNs = make(map[string]obs.HistogramSnapshot)
+			}
+			pt.WallNs[op] = h
+		}
+		if h, ok := snap.Histogram("aria_op_sim_cycles", obs.Labels{"op": op}); ok && h.Count > 0 {
+			if pt.SimCycles == nil {
+				pt.SimCycles = make(map[string]obs.HistogramSnapshot)
+			}
+			pt.SimCycles[op] = h
+		}
+	}
+	collectMu.Lock()
+	if collecting != nil {
+		collecting.Latency = append(collecting.Latency, pt)
+	}
+	collectMu.Unlock()
+}
 
 // RunCollect runs the experiment with table capture enabled: rows still
 // print to w as usual, and the returned Report carries the same rows in
@@ -61,6 +128,7 @@ func RunCollect(e Experiment, p Params, w io.Writer) (*Report, error) {
 	defer func() {
 		collectMu.Lock()
 		collecting = nil
+		activeReg = nil
 		collectMu.Unlock()
 	}()
 	if err := e.Run(p, w); err != nil {

@@ -1,0 +1,166 @@
+// Command docslint fails when an exported identifier in the given
+// directories lacks a doc comment. It is the `make docs-check` CI gate
+// for the public API surface (root package, kvnet, obs): every exported
+// type, function, method, interface method, struct field, constant, and
+// variable must carry godoc. Test files are skipped. A const/var/type
+// block's doc comment covers all of its specs; otherwise each exported
+// spec needs its own doc or trailing line comment.
+//
+// Usage:
+//
+//	go run ./internal/docslint DIR...
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docslint DIR...")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		p, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("docslint: %d exported identifier(s) missing doc comments\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("docslint: %s: %w", dir, err)
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc.Text() == "" && receiverExported(d) {
+						what := "function"
+						if d.Recv != nil {
+							what = "method"
+						}
+						report(d.Pos(), what, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// receiverExported reports whether d is a plain function or a method
+// whose receiver base type is exported. Methods on unexported types
+// never surface in godoc, so they are exempt even when their names are
+// exported (interface implementations, mostly).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintGenDecl checks a const/var/type declaration. A documented block
+// covers its specs; an undocumented one requires per-spec comments.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	blockDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !blockDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if s.Name.IsExported() {
+				lintTypeMembers(s, report)
+			}
+		case *ast.ValueSpec:
+			if blockDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+				continue
+			}
+			kind := "constant"
+			if d.Tok == token.VAR {
+				kind = "variable"
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// lintTypeMembers checks exported fields of exported structs and
+// exported methods of exported interfaces.
+func lintTypeMembers(s *ast.TypeSpec, report func(token.Pos, string, string)) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if f.Doc.Text() != "" || f.Comment.Text() != "" {
+				continue
+			}
+			for _, name := range f.Names {
+				if name.IsExported() {
+					report(name.Pos(), "field", s.Name.Name+"."+name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc.Text() != "" || m.Comment.Text() != "" {
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					report(name.Pos(), "interface method", s.Name.Name+"."+name.Name)
+				}
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/obs"
 )
 
 var (
@@ -95,6 +96,13 @@ type ClientConfig struct {
 	OpTimeout time.Duration
 	// Seed makes the retry jitter deterministic (tests); 0 uses 1.
 	Seed int64
+	// Metrics, when non-nil, instruments the client into the given
+	// registry: operation counts and caller-observed latency histograms
+	// (retries and backoff included) by operation, retry/redial counts,
+	// and how often the server answered stBusy or stCorrupt. nil (the
+	// default) disables client instrumentation. See docs/OPERATIONS.md
+	// for the metric catalogue.
+	Metrics *obs.Registry
 }
 
 func (c *ClientConfig) fillDefaults() {
@@ -127,6 +135,8 @@ type Client struct {
 	st     sync.Mutex // guards conn and closed; Close never waits on mu
 	conn   net.Conn
 	closed bool
+
+	met *clientMetrics // nil when ClientConfig.Metrics is nil (no-op hooks)
 }
 
 // Dial connects to a server with the default resilience config.
@@ -143,6 +153,9 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		addr: addr,
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Metrics != nil {
+		c.met = newClientMetrics(cfg.Metrics)
 	}
 	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
@@ -200,6 +213,7 @@ func (c *Client) acquireConn() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.met.redialed()
 	c.st.Lock()
 	if c.closed {
 		c.st.Unlock()
@@ -257,6 +271,7 @@ func (c *Client) do(op func(conn net.Conn) error) error {
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.Retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
+			c.met.retried()
 			c.backoff(attempt - 1)
 		}
 		conn, err := c.acquireConn()
@@ -295,6 +310,8 @@ func (c *Client) do(op func(conn net.Conn) error) error {
 func (c *Client) unary(op byte, key, value []byte, limit uint32, idempotent bool) (byte, []byte, error) {
 	var status byte
 	var body []byte
+	t0 := time.Now()
+	defer func() { c.met.request(op, uint64(time.Since(t0))) }()
 	err := c.do(func(conn net.Conn) error {
 		if err := writeFrame(conn, encodeRequest(op, key, value, limit)); err != nil {
 			return &netOpError{err: err, retryable: idempotent}
@@ -310,10 +327,12 @@ func (c *Client) unary(op byte, key, value []byte, limit uint32, idempotent bool
 		case stBusy:
 			// The server shed the connection before reading the request:
 			// retrying is safe even for non-idempotent operations.
+			c.met.sawBusy()
 			return &netOpError{err: ErrServerBusy, retryable: true}
 		case stCorrupt:
 			// The request was damaged in transit and rejected before
 			// processing: retrying is safe even for Put/Delete.
+			c.met.sawCorrupt()
 			return &netOpError{err: fmt.Errorf("%w (request)", ErrFrameCorrupt), retryable: true}
 		}
 		status, body = resp[0], resp[1:]
@@ -391,6 +410,8 @@ func (c *Client) Stats() (aria.Stats, error) {
 // pairs have been delivered the scan fails with ErrScanInterrupted instead
 // of restarting, so fn never observes duplicates.
 func (c *Client) Scan(start, end []byte, limit uint32, fn func(key, value []byte) bool) error {
+	t0 := time.Now()
+	defer func() { c.met.request(opScan, uint64(time.Since(t0))) }()
 	return c.do(func(conn net.Conn) error {
 		delivered := false
 		fail := func(err error) error {
@@ -427,10 +448,12 @@ func (c *Client) Scan(start, end []byte, limit uint32, fn func(key, value []byte
 			case stDone:
 				return nil
 			case stBusy:
+				c.met.sawBusy()
 				return &netOpError{err: ErrServerBusy, retryable: true}
 			case stCorrupt:
 				// The scan request never decoded server-side, so no pair
 				// can have been delivered; fail() keeps this retryable.
+				c.met.sawCorrupt()
 				return fail(fmt.Errorf("%w (request)", ErrFrameCorrupt))
 			default:
 				return statusErr(resp[0], resp[1:])

@@ -1,0 +1,90 @@
+package kvnet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/obs"
+)
+
+// TestDocsMetricsParity enforces that docs/OPERATIONS.md documents
+// exactly the metric families the live endpoint emits — no undocumented
+// metric, no documented ghost. It builds a registry covering every
+// layer (sharded store, kvnet server, kvnet client), renders the
+// Prometheus output, and compares the family set against the names in
+// the catalogue tables.
+func TestDocsMetricsParity(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Store layer: a sharded store registers per-op instruments eagerly
+	// and its collectors emit the Stats-mirror families at scrape time.
+	if _, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaHash,
+		EPCBytes:     8 << 20,
+		ExpectedKeys: 64,
+		Shards:       2,
+		Metrics:      reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Network layer: constructing the instrument sets registers every
+	// server and client family without needing live traffic.
+	newServerMetrics(reg)
+	newClientMetrics(reg)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	emitted := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			emitted[strings.Fields(line)[2]] = true
+		}
+	}
+	if len(emitted) == 0 {
+		t.Fatal("no metric families emitted")
+	}
+
+	doc, err := os.ReadFile(filepath.Join("..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Catalogue rows are markdown table lines whose first cell is the
+	// backticked family name.
+	nameRe := regexp.MustCompile("^\\| `((?:aria|kvnet)_[a-z0-9_]+)`")
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if m := nameRe.FindStringSubmatch(line); m != nil {
+			if documented[m[1]] {
+				t.Errorf("docs/OPERATIONS.md lists %s twice", m[1])
+			}
+			documented[m[1]] = true
+		}
+	}
+
+	var missing, ghosts []string
+	for name := range emitted {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !emitted[name] {
+			ghosts = append(ghosts, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(ghosts)
+	if len(missing) > 0 {
+		t.Errorf("emitted but not documented in docs/OPERATIONS.md: %v", missing)
+	}
+	if len(ghosts) > 0 {
+		t.Errorf("documented in docs/OPERATIONS.md but never emitted: %v", ghosts)
+	}
+}

@@ -1,0 +1,241 @@
+package kvnet
+
+import (
+	"net"
+
+	"github.com/ariakv/aria/obs"
+)
+
+// This file wires the obs registry through the network layer. Both the
+// server and the client take an optional *obs.Registry in their configs;
+// nil (the default) means every hook below is a nil-receiver no-op that
+// the branch predictor eats, and no instrument is ever registered. The
+// metric catalogue lives in docs/OPERATIONS.md; the parity test keeps
+// the two in sync.
+
+// opNames maps wire op codes to metric label values.
+var opNames = [opScan + 1]string{
+	opGet:    "get",
+	opPut:    "put",
+	opDelete: "delete",
+	opStats:  "stats",
+	opScan:   "scan",
+}
+
+// Server-side metric family names.
+const (
+	metricSrvRequests   = "kvnet_requests_total"
+	metricSrvDuration   = "kvnet_request_duration_ns"
+	metricSrvBytesRead  = "kvnet_bytes_read_total"
+	metricSrvBytesWrite = "kvnet_bytes_written_total"
+	metricSrvActive     = "kvnet_active_conns"
+	metricSrvConns      = "kvnet_conns_total"
+	metricSrvShed       = "kvnet_shed_conns_total"
+	metricSrvCorrupt    = "kvnet_corrupt_frames_total"
+	metricSrvBadReq     = "kvnet_bad_requests_total"
+	metricSrvPanics     = "kvnet_panics_total"
+)
+
+// Client-side metric family names.
+const (
+	metricCliRequests = "kvnet_client_requests_total"
+	metricCliDuration = "kvnet_client_request_ns"
+	metricCliRetries  = "kvnet_client_retries_total"
+	metricCliRedials  = "kvnet_client_redials_total"
+	metricCliBusy     = "kvnet_client_busy_total"
+	metricCliCorrupt  = "kvnet_client_corrupt_total"
+)
+
+// serverMetrics holds the server's instruments. A nil *serverMetrics is
+// valid and turns every method into a no-op, so call sites never branch
+// on whether metrics are enabled.
+type serverMetrics struct {
+	requests [opScan + 1]*obs.Counter
+	duration [opScan + 1]*obs.Histogram
+
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	activeConns  *obs.Gauge
+	connsTotal   *obs.Counter
+	shedConns    *obs.Counter
+	corrupt      *obs.Counter
+	badReq       *obs.Counter
+	panics       *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{
+		bytesRead: reg.Counter(metricSrvBytesRead,
+			"Bytes read from admitted client connections.", nil),
+		bytesWritten: reg.Counter(metricSrvBytesWrite,
+			"Bytes written to admitted client connections.", nil),
+		activeConns: reg.Gauge(metricSrvActive,
+			"Client connections currently admitted.", nil),
+		connsTotal: reg.Counter(metricSrvConns,
+			"Client connections admitted since start.", nil),
+		shedConns: reg.Counter(metricSrvShed,
+			"Connections refused with stBusy at the MaxConns limit.", nil),
+		corrupt: reg.Counter(metricSrvCorrupt,
+			"Request frames rejected by checksum (stCorrupt sent).", nil),
+		badReq: reg.Counter(metricSrvBadReq,
+			"Malformed or unknown requests rejected (stBadReq sent).", nil),
+		panics: reg.Counter(metricSrvPanics,
+			"Handler panics converted to stError responses.", nil),
+	}
+	for op := byte(opGet); op <= opScan; op++ {
+		l := obs.Labels{"op": opNames[op]}
+		m.requests[op] = reg.Counter(metricSrvRequests,
+			"Requests served, by operation.", l)
+		m.duration[op] = reg.Histogram(metricSrvDuration,
+			"Request service time in nanoseconds (store call plus response write).", l)
+	}
+	return m
+}
+
+func (m *serverMetrics) connOpened() {
+	if m == nil {
+		return
+	}
+	m.connsTotal.Inc()
+	m.activeConns.Add(1)
+}
+
+func (m *serverMetrics) connClosed() {
+	if m == nil {
+		return
+	}
+	m.activeConns.Add(-1)
+}
+
+func (m *serverMetrics) connShed() {
+	if m != nil {
+		m.shedConns.Inc()
+	}
+}
+
+func (m *serverMetrics) corruptFrame() {
+	if m != nil {
+		m.corrupt.Inc()
+	}
+}
+
+func (m *serverMetrics) badRequest() {
+	if m != nil {
+		m.badReq.Inc()
+	}
+}
+
+func (m *serverMetrics) panicked() {
+	if m != nil {
+		m.panics.Inc()
+	}
+}
+
+// request records one served request. Unknown op codes were already
+// counted as bad requests and carry no instrument.
+func (m *serverMetrics) request(op byte, ns uint64) {
+	if m == nil || int(op) >= len(m.requests) || m.requests[op] == nil {
+		return
+	}
+	m.requests[op].Inc()
+	m.duration[op].Record(ns)
+}
+
+// wrap wires a connection's reads and writes into the byte counters.
+func (m *serverMetrics) wrap(conn net.Conn) net.Conn {
+	if m == nil {
+		return conn
+	}
+	return &countingConn{Conn: conn, read: m.bytesRead, written: m.bytesWritten}
+}
+
+// countingConn counts bytes as they cross the wire. Counters are atomic,
+// so concurrent connections share them without coordination.
+type countingConn struct {
+	net.Conn
+	read    *obs.Counter
+	written *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.read.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.written.Add(uint64(n))
+	}
+	return n, err
+}
+
+// clientMetrics holds the client's instruments; nil is a no-op set, same
+// contract as serverMetrics.
+type clientMetrics struct {
+	requests [opScan + 1]*obs.Counter
+	duration [opScan + 1]*obs.Histogram
+
+	retries *obs.Counter
+	redials *obs.Counter
+	busy    *obs.Counter
+	corrupt *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	m := &clientMetrics{
+		retries: reg.Counter(metricCliRetries,
+			"Operation attempts beyond the first (retry policy fired).", nil),
+		redials: reg.Counter(metricCliRedials,
+			"Lazy reconnects after a dropped connection.", nil),
+		busy: reg.Counter(metricCliBusy,
+			"stBusy shed responses received from the server.", nil),
+		corrupt: reg.Counter(metricCliCorrupt,
+			"stCorrupt responses received (request damaged in transit).", nil),
+	}
+	for op := byte(opGet); op <= opScan; op++ {
+		l := obs.Labels{"op": opNames[op]}
+		m.requests[op] = reg.Counter(metricCliRequests,
+			"Client operations completed (any outcome), by operation.", l)
+		m.duration[op] = reg.Histogram(metricCliDuration,
+			"Client operation latency in nanoseconds, retries included.", l)
+	}
+	return m
+}
+
+// request records one completed client operation, retries and backoff
+// included — the latency the caller actually experienced.
+func (m *clientMetrics) request(op byte, ns uint64) {
+	if m == nil {
+		return
+	}
+	m.requests[op].Inc()
+	m.duration[op].Record(ns)
+}
+
+func (m *clientMetrics) retried() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *clientMetrics) redialed() {
+	if m != nil {
+		m.redials.Inc()
+	}
+}
+
+func (m *clientMetrics) sawBusy() {
+	if m != nil {
+		m.busy.Inc()
+	}
+}
+
+func (m *clientMetrics) sawCorrupt() {
+	if m != nil {
+		m.corrupt.Inc()
+	}
+}

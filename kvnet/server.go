@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/obs"
 )
 
 // Server lifecycle states (Server.state).
@@ -42,6 +43,13 @@ type ServerConfig struct {
 	// DrainTimeout bounds how long Close waits for in-flight connections
 	// before force-closing them (default 5s).
 	DrainTimeout time.Duration
+	// Metrics, when non-nil, instruments the server into the given
+	// registry: request counts and service-time histograms by operation,
+	// wire bytes in/out, connection admission/shedding, corrupt and
+	// malformed frame counts, and handler panics. nil (the default)
+	// disables network instrumentation entirely. See docs/OPERATIONS.md
+	// for the metric catalogue.
+	Metrics *obs.Registry
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -89,6 +97,7 @@ type Server struct {
 	closeErr  error
 	shed      atomic.Uint64 // connections refused at the limit
 	logf      func(format string, args ...any)
+	met       *serverMetrics // nil when ServerConfig.Metrics is nil (no-op hooks)
 }
 
 // NewServer wraps a store with default limits.
@@ -108,6 +117,9 @@ func NewServerConfig(store aria.Store, cfg ServerConfig) *Server {
 	}
 	if cs, ok := store.(aria.ConcurrentStore); ok && cs.ConcurrentSafe() {
 		s.concurrent = true
+	}
+	if cfg.Metrics != nil {
+		s.met = newServerMetrics(cfg.Metrics)
 	}
 	return s
 }
@@ -154,11 +166,13 @@ func (s *Server) Serve(lis net.Listener) error {
 		if len(s.conns) >= s.cfg.MaxConns {
 			s.connMu.Unlock()
 			s.shed.Add(1)
+			s.met.connShed()
 			go s.shedConn(conn)
 			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
+		s.met.connOpened()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -250,33 +264,43 @@ func (s *Server) forget(conn net.Conn) {
 func (s *Server) handle(conn net.Conn) {
 	defer s.forget(conn)
 	defer conn.Close()
+	defer s.met.connClosed()
+	// The wrapper counts wire bytes; deadlines and Close pass through to
+	// the underlying connection.
+	wire := s.met.wrap(conn)
 	for {
 		if s.cfg.IdleTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			_ = wire.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		frame, err := readFrame(conn, maxFrameWire)
+		frame, err := readFrame(wire, maxFrameWire)
 		if err != nil {
 			switch {
 			case errors.Is(err, errCorruptFrame):
 				// The request was damaged in transit and never decoded:
 				// tell the client it is safe to retry, then resync by
 				// closing the (possibly desynchronized) stream.
-				s.touchWrite(conn)
-				_ = writeFrame(conn, encodeResponse(stCorrupt, []byte(err.Error())))
+				s.met.corruptFrame()
+				s.touchWrite(wire)
+				_ = writeFrame(wire, encodeResponse(stCorrupt, []byte(err.Error())))
 			case errors.Is(err, errMalformed):
-				s.touchWrite(conn)
-				_ = writeFrame(conn, encodeResponse(stBadReq, []byte(err.Error())))
+				s.met.badRequest()
+				s.touchWrite(wire)
+				_ = writeFrame(wire, encodeResponse(stBadReq, []byte(err.Error())))
 			}
 			return // EOF, timeout, or broken connection
 		}
 		rq, err := decodeRequest(frame)
 		if err != nil {
-			s.touchWrite(conn)
-			_ = writeFrame(conn, encodeResponse(stBadReq, []byte(err.Error())))
+			s.met.badRequest()
+			s.touchWrite(wire)
+			_ = writeFrame(wire, encodeResponse(stBadReq, []byte(err.Error())))
 			return
 		}
-		s.touchWrite(conn)
-		if err := s.serveRecover(conn, rq); err != nil {
+		s.touchWrite(wire)
+		t0 := time.Now()
+		err = s.serveRecover(wire, rq)
+		s.met.request(rq.op, uint64(time.Since(t0)))
+		if err != nil {
 			if !errors.Is(err, net.ErrClosed) {
 				s.logf("kvnet: connection error: %v", err)
 			}
@@ -297,6 +321,7 @@ func (s *Server) touchWrite(conn net.Conn) {
 func (s *Server) serveRecover(conn net.Conn, rq request) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			s.met.panicked()
 			s.logf("kvnet: panic serving op %d: %v", rq.op, p)
 			s.touchWrite(conn)
 			_ = writeFrame(conn, encodeResponse(stError, []byte(fmt.Sprintf("internal error: %v", p))))
@@ -381,6 +406,7 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		}
 		return writeFrame(conn, encodeResponse(stDone, nil))
 	default:
+		s.met.badRequest()
 		return writeFrame(conn, encodeResponse(stBadReq, []byte(fmt.Sprintf("unknown op %d", rq.op))))
 	}
 }

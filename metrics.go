@@ -1,0 +1,295 @@
+package aria
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/ariakv/aria/internal/sgx"
+	"github.com/ariakv/aria/obs"
+)
+
+// This file wires the obs metrics registry through the store core. When
+// Options.Metrics is nil (the default), none of this code runs: Open
+// returns the raw store and the hot path is bit-identical to a build
+// without metrics — the disabled-overhead guarantee is structural, not a
+// branch (TestMetricsDisabledPathUnchanged asserts it, and the CI
+// overhead guard benchmarks it).
+//
+// When a registry is supplied, every single-enclave store is wrapped in a
+// meteredStore carrying a shard label ("0" for an unsharded store, the
+// shard index under Options.Shards). The wrapper records per-operation
+// latency in wall nanoseconds AND simulated cycles, and registers a
+// scrape-time collector that reads the store's Stats() under the
+// wrapper's own lock — making the registry the single synchronized read
+// path into the enclave simulator's plain (non-atomic) counters.
+
+// Metric family names emitted by the store layer. docs/OPERATIONS.md
+// documents each; the parity test enforces that the catalogue and the
+// endpoint never drift apart.
+const (
+	metricOpWallNs          = "aria_op_wall_ns"
+	metricOpSimCycles       = "aria_op_sim_cycles"
+	metricOpsTotal          = "aria_ops_total"
+	metricOpErrorsTotal     = "aria_op_errors_total"
+	metricSimCyclesTotal    = "aria_sim_cycles_total"
+	metricPageSwapsTotal    = "aria_page_swaps_total"
+	metricEcallsTotal       = "aria_ecalls_total"
+	metricOcallsTotal       = "aria_ocalls_total"
+	metricMACsTotal         = "aria_macs_total"
+	metricCTROpsTotal       = "aria_ctr_ops_total"
+	metricCacheHitsTotal    = "aria_cache_hits_total"
+	metricCacheMissesTotal  = "aria_cache_misses_total"
+	metricCacheHitRatio     = "aria_cache_hit_ratio"
+	metricEPCUsedBytes      = "aria_epc_used_bytes"
+	metricKeys              = "aria_keys"
+	metricIntegrityFailures = "aria_integrity_failures_total"
+	metricQuarantinedKeys   = "aria_quarantined_keys"
+	metricHealth            = "aria_health"
+	metricStopSwap          = "aria_stop_swap"
+	metricPinnedLevels      = "aria_pinned_levels"
+)
+
+// opKind indexes the per-operation instrument arrays.
+type opKind int
+
+const (
+	opKindGet opKind = iota
+	opKindPut
+	opKindDelete
+	opKindScan
+	opKindCount
+)
+
+var opKindNames = [opKindCount]string{"get", "put", "delete", "scan"}
+
+// meteredStore wraps one single-enclave store with instrumentation and a
+// mutex that serializes operations AND stats reads. The engines model one
+// enclave thread and are not goroutine-safe; the wrapper's lock is what
+// lets a /metrics scrape run concurrently with live traffic without
+// racing the simulator's plain counters.
+type meteredStore struct {
+	inner Store
+	enc   *sgx.Enclave // nil only if a future scheme lacks a simulator
+	mu    sync.Mutex   // serializes ops and stats reads (one enclave thread)
+
+	wall   [opKindCount]*obs.Histogram
+	cycles [opKindCount]*obs.Histogram
+	ops    [opKindCount]*obs.Counter
+	errs   [opKindCount]*obs.Counter
+}
+
+// enclaveOf extracts the simulated enclave behind a single-scheme store.
+func enclaveOf(s Store) *sgx.Enclave {
+	switch t := s.(type) {
+	case *coreStore:
+		return t.enc
+	case *shieldStore:
+		return t.enc
+	case *baseStore:
+		return t.enc
+	}
+	return nil
+}
+
+// meter wraps a single-enclave store with instruments labelled
+// {op, shard} and registers its scrape-time collector.
+func meter(inner Store, reg *obs.Registry, shard string) *meteredStore {
+	m := &meteredStore{inner: inner, enc: enclaveOf(inner)}
+	for k := opKind(0); k < opKindCount; k++ {
+		l := obs.Labels{"op": opKindNames[k], "shard": shard}
+		m.wall[k] = reg.Histogram(metricOpWallNs,
+			"Store operation latency in wall-clock nanoseconds.", l)
+		m.cycles[k] = reg.Histogram(metricOpSimCycles,
+			"Store operation latency in simulated enclave cycles.", l)
+		m.ops[k] = reg.Counter(metricOpsTotal,
+			"Store operations started, by op and shard.", l)
+		m.errs[k] = reg.Counter(metricOpErrorsTotal,
+			"Store operations failed (not-found excluded), by op and shard.", l)
+	}
+	sl := obs.Labels{"shard": shard}
+	reg.RegisterCollector(func(emit obs.Emit) {
+		st := m.Stats() // takes m.mu: the synchronized read path
+		emit(metricSimCyclesTotal, "Simulated enclave clock, cycles.", obs.TypeCounter, sl, float64(st.SimCycles))
+		emit(metricPageSwapsTotal, "EPC secure-paging swaps (paging penalties paid).", obs.TypeCounter, sl, float64(st.PageSwaps))
+		emit(metricEcallsTotal, "Enclave entries (ECALLs).", obs.TypeCounter, sl, float64(st.Ecalls))
+		emit(metricOcallsTotal, "Enclave exits (OCALLs).", obs.TypeCounter, sl, float64(st.Ocalls))
+		emit(metricMACsTotal, "CMAC computations.", obs.TypeCounter, sl, float64(st.MACs))
+		emit(metricCTROpsTotal, "AES-CTR encrypt/decrypt operations.", obs.TypeCounter, sl, float64(st.CTROps))
+		emit(metricCacheHitsTotal, "Secure Cache (EPC) hits.", obs.TypeCounter, sl, float64(st.CacheHits))
+		emit(metricCacheMissesTotal, "Secure Cache (EPC) misses.", obs.TypeCounter, sl, float64(st.CacheMisses))
+		emit(metricCacheHitRatio, "Secure Cache hit ratio, 0..1.", obs.TypeGauge, sl, st.CacheHitRatio)
+		emit(metricEPCUsedBytes, "Allocated enclave heap bytes.", obs.TypeGauge, sl, float64(st.EPCUsedBytes))
+		emit(metricKeys, "Live keys in the store.", obs.TypeGauge, sl, float64(st.Keys))
+		emit(metricIntegrityFailures, "Detected integrity violations.", obs.TypeCounter, sl, float64(st.IntegrityFailures))
+		emit(metricQuarantinedKeys, "Keys poisoned under the Quarantine policy.", obs.TypeGauge, sl, float64(st.QuarantinedKeys))
+		emit(metricHealth, "Store health: 0 ok, 1 degraded, 2 failed.", obs.TypeGauge, sl, healthValue(st.Health()))
+		emit(metricStopSwap, "Secure Cache stop-swap mode engaged (0/1).", obs.TypeGauge, sl, boolValue(st.StopSwap))
+		emit(metricPinnedLevels, "Merkle levels pinned in the EPC.", obs.TypeGauge, sl, float64(st.PinnedLevels))
+	})
+	return m
+}
+
+func healthValue(h HealthState) float64 {
+	switch h {
+	case HealthDegraded:
+		return 1
+	case HealthFailed:
+		return 2
+	}
+	return 0
+}
+
+func boolValue(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// simCycles reads the enclave clock without building a full Stats
+// snapshot; callers hold m.mu.
+func (m *meteredStore) simCycles() uint64 {
+	if m.enc == nil {
+		return 0
+	}
+	return m.enc.Cycles()
+}
+
+// observe records one finished operation. Not-found is a normal outcome
+// for Get/Delete, not an operational error.
+func (m *meteredStore) observe(k opKind, t0 time.Time, c0 uint64, err error) {
+	m.ops[k].Inc()
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		m.errs[k].Inc()
+	}
+	m.wall[k].Record(uint64(time.Since(t0)))
+	m.cycles[k].Record(m.simCycles() - c0)
+}
+
+// Put implements Store.
+func (m *meteredStore) Put(key, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	err := m.inner.Put(key, value)
+	m.observe(opKindPut, t0, c0, err)
+	return err
+}
+
+// Get implements Store.
+func (m *meteredStore) Get(key []byte) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	v, err := m.inner.Get(key)
+	m.observe(opKindGet, t0, c0, err)
+	return v, err
+}
+
+// Delete implements Store.
+func (m *meteredStore) Delete(key []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	err := m.inner.Delete(key)
+	m.observe(opKindDelete, t0, c0, err)
+	return err
+}
+
+// Scan implements Ranger; one whole scan is one observation. A store
+// whose index is unordered reports ErrNoScan, same as unwrapped.
+func (m *meteredStore) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.inner.(Ranger)
+	if !ok {
+		return ErrNoScan
+	}
+	t0, c0 := time.Now(), m.simCycles()
+	err := r.Scan(start, end, fn)
+	m.observe(opKindScan, t0, c0, err)
+	return err
+}
+
+// Stats implements Store. Holding m.mu makes this safe to call while
+// another goroutine operates on the store — the fix for the snapshot
+// races a live /metrics scrape would otherwise hit.
+func (m *meteredStore) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Stats()
+}
+
+// VerifyIntegrity implements Store.
+func (m *meteredStore) VerifyIntegrity() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.VerifyIntegrity()
+}
+
+// SetMeasuring implements Store.
+func (m *meteredStore) SetMeasuring(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inner.SetMeasuring(on)
+}
+
+// ResetStats implements Store.
+func (m *meteredStore) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inner.ResetStats()
+}
+
+// ChargeEcall implements EdgeCaller.
+func (m *meteredStore) ChargeEcall() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ec, ok := m.inner.(EdgeCaller); ok {
+		ec.ChargeEcall()
+	}
+}
+
+// The Corrupter surface passes through so attack demos and chaos tests
+// work unchanged on a metered store; schemes without untrusted memory
+// contribute zero bytes, matching the sharded aggregation contract.
+
+// UntrustedSize implements Corrupter.
+func (m *meteredStore) UntrustedSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.inner.(Corrupter); ok {
+		return c.UntrustedSize()
+	}
+	return 0
+}
+
+// FlipUntrustedByte implements Corrupter.
+func (m *meteredStore) FlipUntrustedByte(offset int, mask byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.inner.(Corrupter); ok {
+		return c.FlipUntrustedByte(offset, mask)
+	}
+	return false
+}
+
+// SnapshotUntrusted implements Corrupter.
+func (m *meteredStore) SnapshotUntrusted() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.inner.(Corrupter); ok {
+		return c.SnapshotUntrusted()
+	}
+	return nil
+}
+
+// RestoreUntrusted implements Corrupter.
+func (m *meteredStore) RestoreUntrusted(snap []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.inner.(Corrupter); ok {
+		c.RestoreUntrusted(snap)
+	}
+}

@@ -1,0 +1,546 @@
+// Package obs is the observability subsystem of the reproduction: a
+// dependency-free metrics registry with atomic counters, gauges, and
+// log-bucketed latency histograms, exposed in Prometheus text format and
+// as structured snapshots (expvar / BENCH_*.json).
+//
+// Design goals, in order:
+//
+//  1. Zero cost when disabled. Nothing in this package is consulted
+//     unless a component was handed a *Registry; a nil registry means the
+//     instrumented code path simply does not exist (aria.Open returns the
+//     raw store, kvnet skips its counters entirely).
+//  2. Cheap when enabled. Counters and histogram records are single
+//     atomic operations; no locks, no allocation, no map lookups on the
+//     hot path. All name/label resolution happens once, at registration.
+//  3. Synchronized reads. Sources whose state is not atomic (the sgx
+//     enclave simulator is plain single-threaded fields) publish through
+//     a Collector that runs at scrape time under the source's own lock,
+//     making the registry the single safe read path for live stores.
+//
+// The histogram uses power-of-two buckets (bucket i counts values v with
+// bits.Len64(v) == i), which makes Record one subtraction and one atomic
+// add, and still yields quantile estimates well within the 2x bucket
+// resolution — plenty for the cycle- and nanosecond-scale latencies the
+// store emits. See docs/OPERATIONS.md for the full metric catalogue.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type distinguishes the metric kinds the registry can hold.
+type Type int
+
+// Metric kinds, matching the Prometheus exposition types emitted for them.
+const (
+	// TypeCounter is a monotonically increasing count.
+	TypeCounter Type = iota
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+	// TypeHistogram is a distribution over power-of-two buckets.
+	TypeHistogram
+)
+
+// String returns the Prometheus exposition name of the type
+// ("counter", "gauge", "histogram").
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Labels attaches constant dimensions to a metric series (e.g. op="get",
+// shard="3"). Labels are fixed at registration; the hot path never touches
+// them.
+type Labels map[string]string
+
+// encode renders labels deterministically ({a="1",b="2"}, keys sorted).
+// An empty label set encodes to "".
+func (l Labels) encode() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(l[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// clone copies a label set so callers can reuse their map.
+func (l Labels) clone() Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- Counter --------------------------------------------------------------------
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// reset zeroes the counter (start of a measured window).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// ---- Gauge ----------------------------------------------------------------------
+
+// Gauge is a float64 that can move in both directions. All methods are
+// safe for concurrent use and lock-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// ---- Histogram ------------------------------------------------------------------
+
+// histBuckets is the bucket count: bucket 0 holds exact zeros, bucket i
+// (1..64) holds values v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i.
+const histBuckets = 65
+
+// Histogram is a distribution of uint64 samples over power-of-two
+// buckets. Record is two atomic adds plus one atomic max; quantiles are
+// estimated at snapshot time by linear interpolation inside the bucket
+// where the target rank falls, clamped to the observed maximum.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// reset zeroes every bucket (start of a measured window). Not atomic with
+// respect to concurrent Record calls; callers quiesce writers first, as
+// the bench harness does between warmup and the measured run.
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Snapshot captures the histogram's current state. Concurrent Record
+// calls may land between bucket reads; each bucket read is atomic and the
+// snapshot is internally consistent enough for monitoring (counts can lag
+// the sum by in-flight samples, never corrupt).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: make([]uint64, histBuckets),
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram with the
+// standard quantiles precomputed. It is the shape the bench harness
+// serializes into BENCH_*.json.
+type HistogramSnapshot struct {
+	// Count is the number of recorded samples.
+	Count uint64 `json:"count"`
+	// Sum is the sum of all recorded samples.
+	Sum uint64 `json:"sum"`
+	// Max is the largest recorded sample (exact, not bucketed).
+	Max uint64 `json:"max"`
+	// P50 is the median estimate (log-bucket interpolation, clamped
+	// to Max), and P95/P99 the matching tail quantiles.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"` // 95th-percentile estimate
+	P99 float64 `json:"p99"` // 99th-percentile estimate
+	// Buckets holds per-bucket counts; Buckets[i] counts samples v with
+	// bits.Len64(v) == i. Excluded from JSON: quantiles carry the signal.
+	Buckets []uint64 `json:"-"`
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = math.Ldexp(1, i-1) // 2^(i-1)
+	hi = math.Ldexp(1, i) - 1
+	return lo, hi
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the bucket
+// containing the target rank and interpolating linearly inside it. The
+// estimate is clamped to [0, Max]; an empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if float64(cum) >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - float64(cum-n)) / float64(n)
+			v := lo + frac*(hi-lo)
+			if mx := float64(s.Max); v > mx {
+				v = mx
+			}
+			return v
+		}
+	}
+	return float64(s.Max)
+}
+
+// Merge returns the combination of s and o, as if every sample recorded
+// in either had been recorded in one histogram. The sharded store emits
+// one histogram per shard; Merge produces the aggregate view.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:   s.Count + o.Count,
+		Sum:     s.Sum + o.Sum,
+		Max:     s.Max,
+		Buckets: make([]uint64, histBuckets),
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		if i < len(s.Buckets) {
+			out.Buckets[i] += s.Buckets[i]
+		}
+		if i < len(o.Buckets) {
+			out.Buckets[i] += o.Buckets[i]
+		}
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
+	return out
+}
+
+// ---- Registry -------------------------------------------------------------------
+
+// metric is one registered series: a name, a fixed label set, and exactly
+// one of counter/gauge/histogram.
+type metric struct {
+	name    string
+	help    string
+	typ     Type
+	labels  Labels
+	lkey    string // labels.encode(), cached
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Emit publishes one collector-computed value at scrape time. Collectors
+// may emit TypeCounter (monotonic, e.g. enclave event ledgers) or
+// TypeGauge values; histograms are always registered statically.
+type Emit func(name, help string, typ Type, labels Labels, value float64)
+
+// Collector is a scrape-time callback: it reads state that is not safe to
+// read lock-free (a live store's enclave counters) under whatever lock the
+// source requires, and emits the values. Collectors run on every
+// WritePrometheus and Snapshot call.
+type Collector func(emit Emit)
+
+// Registry holds a set of named metrics plus scrape-time collectors. The
+// zero value is not usable; call NewRegistry. A nil *Registry must never
+// be instrumented against — components treat nil as "metrics disabled"
+// and skip registration entirely.
+type Registry struct {
+	mu         sync.Mutex
+	metrics    []*metric
+	byID       map[string]*metric
+	familyType map[string]Type
+	collectors []Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*metric), familyType: make(map[string]Type)}
+}
+
+// lookup returns the existing series for (name, labels) or registers a
+// new one. Registering a family name with a different type than before
+// panics: that is a programming error, not an operational condition.
+func (r *Registry) lookup(name, help string, typ Type, labels Labels) *metric {
+	lkey := labels.encode()
+	id := name + lkey
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ft, ok := r.familyType[name]; ok && ft != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, typ, ft))
+	}
+	r.familyType[name] = typ
+	if m, ok := r.byID[id]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, typ: typ, labels: labels.clone(), lkey: lkey}
+	switch typ {
+	case TypeCounter:
+		m.counter = &Counter{}
+	case TypeGauge:
+		m.gauge = &Gauge{}
+	case TypeHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics = append(r.metrics, m)
+	r.byID[id] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, TypeCounter, labels).counter
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, TypeGauge, labels).gauge
+}
+
+// Histogram registers (or returns the existing) histogram series.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return r.lookup(name, help, TypeHistogram, labels).hist
+}
+
+// RegisterCollector adds a scrape-time callback. See Collector.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Reset zeroes every counter and histogram and sets every gauge to zero
+// (start of a measured window — the bench harness calls it alongside
+// Store.ResetStats). Collector-backed values are views of external state
+// and are unaffected.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		switch m.typ {
+		case TypeCounter:
+			m.counter.reset()
+		case TypeGauge:
+			m.gauge.Set(0)
+		case TypeHistogram:
+			m.hist.reset()
+		}
+	}
+}
+
+// SeriesPoint is one series in a Snapshot: the flattened value of a
+// counter or gauge, or the histogram snapshot.
+type SeriesPoint struct {
+	// Name is the metric family name.
+	Name string `json:"name"`
+	// Labels is the series' fixed label set (may be empty).
+	Labels Labels `json:"labels,omitempty"`
+	// Type is the metric kind ("counter", "gauge", "histogram").
+	Type string `json:"type"`
+	// Value is the counter or gauge value (0 for histograms).
+	Value float64 `json:"value"`
+	// Histogram carries the distribution for histogram series.
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every series in a registry,
+// including collector-emitted ones, sorted by name then label set. It is
+// what `expvar` publishes and what the bench harness consumes.
+type Snapshot struct {
+	// Series lists every metric series, sorted by (name, labels).
+	Series []SeriesPoint `json:"series"`
+}
+
+// Histogram returns the merged histogram across every series of the given
+// family name (e.g. the per-shard op-latency histograms merged into the
+// store-wide distribution), and whether any series matched. The optional
+// match filter keeps only series whose labels contain every given pair.
+func (s Snapshot) Histogram(name string, match Labels) (HistogramSnapshot, bool) {
+	var out HistogramSnapshot
+	found := false
+	for _, sp := range s.Series {
+		if sp.Name != name || sp.Histogram == nil {
+			continue
+		}
+		if !labelsMatch(sp.Labels, match) {
+			continue
+		}
+		if !found {
+			out = *sp.Histogram
+			found = true
+			continue
+		}
+		out = out.Merge(*sp.Histogram)
+	}
+	return out, found
+}
+
+// Value returns the summed value across every counter/gauge series of the
+// family, filtered like Histogram, and whether any series matched.
+func (s Snapshot) Value(name string, match Labels) (float64, bool) {
+	total, found := 0.0, false
+	for _, sp := range s.Series {
+		if sp.Name != name || sp.Histogram != nil {
+			continue
+		}
+		if !labelsMatch(sp.Labels, match) {
+			continue
+		}
+		total += sp.Value
+		found = true
+	}
+	return total, found
+}
+
+func labelsMatch(have, want Labels) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// gather returns every series — static and collector-emitted — sorted by
+// (name, label key). Collector callbacks run outside the registry lock so
+// they may freely take source locks of their own.
+func (r *Registry) gather() []*metric {
+	r.mu.Lock()
+	static := make([]*metric, len(r.metrics))
+	copy(static, r.metrics)
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	out := static
+	for _, c := range collectors {
+		c(func(name, help string, typ Type, labels Labels, value float64) {
+			m := &metric{name: name, help: help, typ: typ, labels: labels.clone(), lkey: labels.encode()}
+			switch typ {
+			case TypeGauge:
+				m.gauge = &Gauge{}
+				m.gauge.Set(value)
+			default: // collectors may only emit scalars; treat as counter
+				m.typ = TypeCounter
+				m.counter = &Counter{}
+				m.counter.Add(uint64(value))
+			}
+			out = append(out, m)
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].lkey < out[j].lkey
+	})
+	return out
+}
+
+// Snapshot captures every series, running collectors.
+func (r *Registry) Snapshot() Snapshot {
+	ms := r.gather()
+	snap := Snapshot{Series: make([]SeriesPoint, 0, len(ms))}
+	for _, m := range ms {
+		sp := SeriesPoint{Name: m.name, Labels: m.labels, Type: m.typ.String()}
+		switch m.typ {
+		case TypeCounter:
+			sp.Value = float64(m.counter.Load())
+		case TypeGauge:
+			sp.Value = m.gauge.Load()
+		case TypeHistogram:
+			h := m.hist.Snapshot()
+			sp.Histogram = &h
+		}
+		snap.Series = append(snap.Series, sp)
+	}
+	return snap
+}

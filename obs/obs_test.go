@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		name   string
+		value  uint64
+		bucket int
+	}{
+		{"zero", 0, 0},
+		{"one", 1, 1},
+		{"two", 2, 2},
+		{"three", 3, 2},
+		{"four", 4, 3},
+		{"pow2-boundary-low", 1023, 10},
+		{"pow2-boundary", 1024, 11},
+		{"pow2-boundary-high", 2047, 11},
+		{"large", 1 << 40, 41},
+		{"max", math.MaxUint64, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			h.Record(tc.value)
+			s := h.Snapshot()
+			if s.Buckets[tc.bucket] != 1 {
+				t.Fatalf("Record(%d): bucket %d count = %d, want 1 (buckets %v)",
+					tc.value, tc.bucket, s.Buckets[tc.bucket], nonzero(s.Buckets))
+			}
+			if s.Count != 1 || s.Sum != tc.value || s.Max != tc.value {
+				t.Fatalf("Record(%d): count=%d sum=%d max=%d", tc.value, s.Count, s.Sum, s.Max)
+			}
+		})
+	}
+}
+
+func nonzero(b []uint64) map[int]uint64 {
+	out := map[int]uint64{}
+	for i, n := range b {
+		if n > 0 {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []uint64
+		q       float64
+		want    float64
+		// tolerance as a fraction of want (log buckets are 2x-wide, so
+		// exact-value tests use samples at bucket boundaries or rely on
+		// max clamping).
+		tol float64
+	}{
+		{"empty", nil, 0.5, 0, 0},
+		{"single", []uint64{100}, 0.5, 100, 0},            // clamped to max
+		{"single-p99", []uint64{100}, 0.99, 100, 0},       // clamped to max
+		{"all-equal", []uint64{7, 7, 7, 7}, 0.95, 7, 0.1}, // within bucket [4,7]
+		{"zeros", []uint64{0, 0, 0, 0}, 0.99, 0, 0},
+		{"uniform-1-to-1024", ramp(1, 1024), 0.5, 512, 0.5},
+		{"uniform-1-to-1024-p99", ramp(1, 1024), 0.99, 1013, 0.3},
+		{"bimodal-p50", bimodal(100, 10, 100, 1000), 0.5, 10, 1.0},
+		{"bimodal-p99", bimodal(100, 10, 100, 1000), 0.99, 1000, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.samples {
+				h.Record(v)
+			}
+			got := h.Snapshot().Quantile(tc.q)
+			if tc.want == 0 {
+				if got != 0 {
+					t.Fatalf("Quantile(%v) = %v, want 0", tc.q, got)
+				}
+				return
+			}
+			if diff := math.Abs(got-tc.want) / tc.want; diff > tc.tol {
+				t.Fatalf("Quantile(%v) = %v, want %v ± %.0f%%", tc.q, got, tc.want, tc.tol*100)
+			}
+		})
+	}
+}
+
+func ramp(lo, hi uint64) []uint64 {
+	out := make([]uint64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func bimodal(nLow int, low uint64, nHigh int, high uint64) []uint64 {
+	var out []uint64
+	for i := 0; i < nLow; i++ {
+		out = append(out, low)
+	}
+	for i := 0; i < nHigh; i++ {
+		out = append(out, high)
+	}
+	return out
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v < 100000; v = v*3/2 + 1 {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= float64(s.Max)) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v max=%d", s.P50, s.P95, s.P99, s.Max)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for v := uint64(0); v < 1000; v++ {
+		whole.Record(v)
+		if v%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	w := whole.Snapshot()
+	if m.Count != w.Count || m.Sum != w.Sum || m.Max != w.Max {
+		t.Fatalf("merge: count/sum/max = %d/%d/%d, want %d/%d/%d",
+			m.Count, m.Sum, m.Max, w.Count, w.Sum, w.Max)
+	}
+	for i := range w.Buckets {
+		if m.Buckets[i] != w.Buckets[i] {
+			t.Fatalf("merge: bucket %d = %d, want %d", i, m.Buckets[i], w.Buckets[i])
+		}
+	}
+	if m.P99 != w.P99 {
+		t.Fatalf("merge: p99 = %v, want %v", m.P99, w.P99)
+	}
+}
+
+func TestRegistryLookupAndTypes(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs_total", "requests", Labels{"op": "get"})
+	c2 := r.Counter("reqs_total", "requests", Labels{"op": "get"})
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c3 := r.Counter("reqs_total", "requests", Labels{"op": "put"})
+	if c1 == c3 {
+		t.Fatal("different labels must return distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a name with a different type must panic")
+		}
+	}()
+	r.Gauge("reqs_total", "requests", nil)
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h", "", nil)
+	c.Add(5)
+	g.Set(3.5)
+	h.Record(42)
+	r.Reset()
+	if c.Load() != 0 || g.Load() != 0 {
+		t.Fatalf("after Reset: counter=%d gauge=%v", c.Load(), g.Load())
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("after Reset: histogram %+v", s)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops", "", Labels{"shard": "0"}).Add(3)
+	r.Counter("ops", "", Labels{"shard": "1"}).Add(4)
+	r.Histogram("lat", "", Labels{"shard": "0", "op": "get"}).Record(8)
+	r.Histogram("lat", "", Labels{"shard": "1", "op": "get"}).Record(16)
+	r.Histogram("lat", "", Labels{"shard": "0", "op": "put"}).Record(1 << 30)
+	snap := r.Snapshot()
+
+	if v, ok := snap.Value("ops", nil); !ok || v != 7 {
+		t.Fatalf("Value(ops) = %v, %v; want 7, true", v, ok)
+	}
+	if v, ok := snap.Value("ops", Labels{"shard": "1"}); !ok || v != 4 {
+		t.Fatalf("Value(ops, shard=1) = %v, %v; want 4, true", v, ok)
+	}
+	h, ok := snap.Histogram("lat", Labels{"op": "get"})
+	if !ok || h.Count != 2 || h.Max != 16 {
+		t.Fatalf("Histogram(lat, op=get): ok=%v count=%d max=%d", ok, h.Count, h.Max)
+	}
+	if _, ok := snap.Value("missing", nil); ok {
+		t.Fatal("Value(missing) reported found")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	backing := 41.0
+	r.RegisterCollector(func(emit Emit) {
+		emit("live_value", "scrape-time value", TypeGauge, Labels{"shard": "0"}, backing)
+		emit("live_count", "scrape-time counter", TypeCounter, nil, 9)
+	})
+	backing = 42
+	snap := r.Snapshot()
+	if v, ok := snap.Value("live_value", nil); !ok || v != 42 {
+		t.Fatalf("collector gauge = %v, %v; want 42", v, ok)
+	}
+	if v, ok := snap.Value("live_count", nil); !ok || v != 9 {
+		t.Fatalf("collector counter = %v, %v; want 9", v, ok)
+	}
+}
+
+// TestRegistryConcurrency hammers every metric kind from many goroutines
+// while snapshots and scrapes run; meaningful under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h", "", nil)
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Record(seed * uint64(i))
+				// Concurrent registration of the same series must be safe.
+				r.Counter("c", "", nil).Add(0)
+			}
+		}(uint64(w + 1))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Load(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Snapshot().Count; got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := g.Load(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE pair per metric family,
+// then the family's series sorted by label set. Histograms emit
+// cumulative <name>_bucket series with power-of-two `le` bounds (up to
+// the highest non-empty bucket, then +Inf), plus <name>_sum and
+// <name>_count. Output is deterministic for a given registry state, which
+// the golden-file test relies on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ms := r.gather()
+	lastFamily := ""
+	for _, m := range ms {
+		if m.name != lastFamily {
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+				return err
+			}
+			lastFamily = m.name
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch m.typ {
+	case TypeCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.lkey, m.counter.Load())
+		return err
+	case TypeGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.lkey,
+			strconv.FormatFloat(m.gauge.Load(), 'g', -1, 64))
+		return err
+	case TypeHistogram:
+		return writeHistogram(w, m)
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative bucket form Prometheus expects.
+func writeHistogram(w io.Writer, m *metric) error {
+	s := m.hist.Snapshot()
+	top := -1
+	for i, n := range s.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		_, hi := bucketBounds(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.name, withLE(m.lkey, strconv.FormatFloat(hi, 'g', -1, 64)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLE(m.lkey, "+Inf"), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.name, m.lkey, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.lkey, s.Count)
+	return err
+}
+
+// withLE splices the `le` bucket-bound label into an encoded label set.
+func withLE(lkey, le string) string {
+	if lkey == "" {
+		return `{le="` + le + `"}`
+	}
+	// lkey is `{a="1",...}`: insert before the closing brace.
+	return lkey[:len(lkey)-1] + `,le="` + le + `"}`
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics (aria-server does this behind the
+// -metrics-addr flag).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFixtureRegistry populates a registry with one metric of every kind,
+// with fixed values, so the exposition output is fully deterministic.
+func buildFixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("aria_ops_total", "Total store operations.", Labels{"op": "get", "shard": "0"}).Add(42)
+	r.Counter("aria_ops_total", "Total store operations.", Labels{"op": "put", "shard": "0"}).Add(7)
+	r.Gauge("aria_epc_used_bytes", "Allocated enclave heap bytes.", Labels{"shard": "0"}).Set(1048576)
+	h := r.Histogram("aria_op_wall_ns", "Wall-clock op latency (ns).", Labels{"op": "get", "shard": "0"})
+	h.Record(0)
+	h.Record(1)
+	h.Record(3)
+	h.Record(900)
+	h.Record(1024)
+	r.Histogram("aria_op_sim_cycles", "Simulated-cycle op latency.", Labels{"op": "get", "shard": "0"})
+	r.RegisterCollector(func(emit Emit) {
+		emit("aria_keys", "Live key count.", TypeGauge, Labels{"shard": "0"}, 12)
+		emit("aria_macs_total", "CMAC computations.", TypeCounter, Labels{"shard": "0"}, 99)
+	})
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixtureRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden_metrics.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (set UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Prometheus output drifted from %s (set UPDATE_GOLDEN=1 to regenerate).\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, buf.String(), want)
+	}
+}
+
+// TestWritePrometheusFormat checks structural invariants independent of
+// the golden file: every series line parses, TYPE precedes its series,
+// and histogram bucket counts are cumulative and end with +Inf.
+func TestWritePrometheusFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixtureRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]string{}
+	sawInf := false
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("series %q appears before its TYPE line (base %q, typed %v)", line, base, typed)
+		}
+		if strings.Contains(line, `le="+Inf"`) {
+			sawInf = true
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("series line without value: %q", line)
+		}
+	}
+	if !sawInf {
+		t.Fatal("histogram output lacks a +Inf bucket")
+	}
+	if typed["aria_op_wall_ns"] != "histogram" || typed["aria_ops_total"] != "counter" {
+		t.Fatalf("unexpected TYPE map: %v", typed)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	buildFixtureRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "aria_ops_total{op=\"get\",shard=\"0\"} 42") {
+		t.Fatalf("body missing expected series:\n%s", rec.Body.String())
+	}
+}

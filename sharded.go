@@ -2,6 +2,7 @@ package aria
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -64,6 +65,11 @@ func openSharded(opts Options) (Store, error) {
 		st, err := openStore(so)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Metrics != nil {
+			// Each shard gets its own instruments, labelled shard="i":
+			// the per-shard breakout the aggregate Stats() cannot give.
+			st = meter(st, opts.Metrics, strconv.Itoa(i))
 		}
 		s.shards[i] = st
 	}
@@ -228,50 +234,76 @@ func (s *shardedStore) ChargeEcall() {
 // The sharded store exposes the Corrupter surface as the concatenation of
 // its shards' untrusted arenas (shard 0 first), so attack demos and tests
 // target a byte of one specific shard's memory. Shards whose scheme keeps
-// everything in the EPC (baselines) contribute zero bytes.
+// everything in the EPC (baselines) contribute zero bytes. Every access
+// takes the shard's lock: the enclave simulator's arenas are plain
+// memory, so an unlocked read (even a size probe) races with concurrent
+// writers on other goroutines — the -race-visible hole these helpers had
+// before the metrics scrape path made concurrent snapshots routine.
 
+// corrupter returns shard i's Corrupter surface under its lock, or nil.
+func (s *shardedStore) corrupter(i int) (Corrupter, func()) {
+	s.mus[i].Lock()
+	c, ok := s.shards[i].(Corrupter)
+	if !ok {
+		s.mus[i].Unlock()
+		return nil, nil
+	}
+	return c, s.mus[i].Unlock
+}
+
+// UntrustedSize implements Corrupter across shards.
 func (s *shardedStore) UntrustedSize() int {
 	total := 0
-	for _, st := range s.shards {
-		if c, ok := st.(Corrupter); ok {
+	for i := range s.shards {
+		if c, unlock := s.corrupter(i); c != nil {
 			total += c.UntrustedSize()
+			unlock()
 		}
 	}
 	return total
 }
 
+// FlipUntrustedByte implements Corrupter across shards: the offset
+// addresses the concatenation of per-shard arenas.
 func (s *shardedStore) FlipUntrustedByte(offset int, mask byte) bool {
 	if offset < 0 {
 		return false
 	}
-	for _, st := range s.shards {
-		c, ok := st.(Corrupter)
-		if !ok {
+	for i := range s.shards {
+		c, unlock := s.corrupter(i)
+		if c == nil {
 			continue
 		}
 		n := c.UntrustedSize()
 		if offset < n {
-			return c.FlipUntrustedByte(offset, mask)
+			flipped := c.FlipUntrustedByte(offset, mask)
+			unlock()
+			return flipped
 		}
+		unlock()
 		offset -= n
 	}
 	return false
 }
 
+// SnapshotUntrusted implements Corrupter across shards.
 func (s *shardedStore) SnapshotUntrusted() []byte {
 	var out []byte
-	for _, st := range s.shards {
-		if c, ok := st.(Corrupter); ok {
+	for i := range s.shards {
+		if c, unlock := s.corrupter(i); c != nil {
 			out = append(out, c.SnapshotUntrusted()...)
+			unlock()
 		}
 	}
 	return out
 }
 
+// RestoreUntrusted implements Corrupter across shards, splitting the
+// snapshot back into per-shard arena prefixes.
 func (s *shardedStore) RestoreUntrusted(snap []byte) {
-	for _, st := range s.shards {
-		c, ok := st.(Corrupter)
-		if !ok {
+	for i := range s.shards {
+		c, unlock := s.corrupter(i)
+		if c == nil {
 			continue
 		}
 		n := c.UntrustedSize()
@@ -279,6 +311,7 @@ func (s *shardedStore) RestoreUntrusted(snap []byte) {
 			n = len(snap)
 		}
 		c.RestoreUntrusted(snap[:n])
+		unlock()
 		snap = snap[n:]
 		if len(snap) == 0 {
 			return
