@@ -1,7 +1,15 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz docs-check metrics-guard check bench-json clean
+# Pinned analysis tool versions so CI runs are reproducible.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+# Total statement coverage must not fall below this floor (see cover).
+COVER_BASELINE ?= 78.0
+
+.PHONY: all build test race vet fuzz docs-check metrics-guard lint cover \
+	bench-smoke bench-smoke-demo check bench-json clean
 
 # Parameters for the committed BENCH_*.json snapshots: big enough caches
 # that shard scaling isn't quantization-bound, small enough to run in
@@ -29,6 +37,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodePair -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzDecodeBatchRequest -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzParseBatchRecord -fuzztime=$(FUZZTIME) ./kvnet
 
 # Every exported identifier in the public API surface must carry godoc.
 docs-check:
@@ -39,10 +49,37 @@ docs-check:
 metrics-guard:
 	METRICS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard -v .
 
+# Static analysis, pinned. Run on a machine with module-proxy access; the
+# tools are fetched by `go run`, never added to go.mod.
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# Coverage gate: total statement coverage must stay at or above
+# COVER_BASELINE. Writes cover.html for the CI artifact.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	$(GO) tool cover -html=cover.out -o cover.html
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t=$$total -v b=$(COVER_BASELINE) 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_BASELINE)% baseline"; exit 1; }
+
+# Deterministic bench-regression smoke: re-run the committed BENCH_*.json
+# snapshots in-process and fail on >5% drift in any table value.
+bench-smoke:
+	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor' -v ./internal/bench
+
+# Prove the smoke guard has teeth: pricing enclave memory 6% higher must
+# push the committed tables out of tolerance.
+bench-smoke-demo:
+	! BENCH_GUARD=1 ARIA_COST_PERTURB=1.06 $(GO) test -count=1 -run TestBenchRegressionGuard ./internal/bench
+
 # Regenerate the committed machine-readable benchmark snapshots.
 bench-json:
 	$(GO) run ./cmd/aria-bench -exp xshard -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp fig9 -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(GO) run ./cmd/aria-bench -exp batch -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 
 check: build vet docs-check test race
 

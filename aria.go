@@ -304,6 +304,14 @@ type Stats struct {
 	MACs      uint64 // AES-CMAC computations/verifications
 	CTROps    uint64 // AES-CTR encrypt/decrypt operations
 
+	// Batches counts batched enclave entries (one per MGet/MPut/MDelete
+	// reaching this store) and BatchedKeys the keys they carried, so
+	// BatchedKeys/Batches is the realized batch size and comparing
+	// Batches against Ecalls shows how much of the edge-call budget the
+	// batch path amortized.
+	Batches     uint64
+	BatchedKeys uint64 // keys carried by batched entries (see Batches)
+
 	// CacheHits counts Secure Cache node hits (zero for schemes
 	// without a Secure Cache), and the fields below describe the rest
 	// of its behaviour.
@@ -346,6 +354,21 @@ type Store interface {
 	Get(key []byte) ([]byte, error)
 	// Delete removes a key.
 	Delete(key []byte) error
+	// MGet fetches a batch of keys through one enclave entry: the whole
+	// batch pays a single ECALL/OCALL round trip and one boundary copy
+	// per direction instead of per key. Results are positional: vals[i]
+	// is keys[i]'s value or nil. The error slice is nil when every key
+	// succeeded; otherwise it has len(keys) entries with nil at the
+	// successful positions (ErrNotFound per absent key).
+	MGet(keys [][]byte) (vals [][]byte, errs []error)
+	// MPut applies a batch of writes through one enclave entry, with the
+	// same amortized edge accounting and positional error contract as
+	// MGet.
+	MPut(pairs []KV) []error
+	// MDelete removes a batch of keys through one enclave entry, with
+	// the same amortized edge accounting and positional error contract
+	// as MGet.
+	MDelete(keys [][]byte) []error
 	// Stats returns a snapshot of operation and enclave counters.
 	Stats() Stats
 	// VerifyIntegrity audits the entire store offline, returning
@@ -667,6 +690,8 @@ func baseStats(scheme Scheme, enc *sgx.Enclave) Stats {
 		Ocalls:       es.Ocalls,
 		MACs:         es.MACs,
 		CTROps:       es.CTROps,
+		Batches:      es.Batches,
+		BatchedKeys:  es.BatchedOps,
 		EPCUsedBytes: enc.EPCUsedBytes(),
 	}
 }

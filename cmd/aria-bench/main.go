@@ -36,6 +36,7 @@ func main() {
 		scale   = flag.Int("scale", 16, "divide keyspaces and EPC budgets by this factor (1 = paper size)")
 		ops     = flag.Int("ops", 100000, "measured operations per data point")
 		seed    = flag.Int64("seed", 42, "workload seed")
+		batch   = flag.Int("batch", 0, "batch experiment: measure only sizes {1, N} instead of the full sweep")
 		jsonDir = flag.String("json", "", "also write BENCH_<exp>.json into this directory")
 	)
 	flag.Parse()
@@ -51,7 +52,7 @@ func main() {
 		return
 	}
 
-	p := bench.Params{Scale: *scale, Ops: *ops, Seed: *seed}
+	p := bench.Params{Scale: *scale, Ops: *ops, Seed: *seed, Batch: *batch}
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		if *jsonDir == "" {

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+// batch measures the edge-cost amortization of the native batch path:
+// the same keys issued as MGet/MPut batches of growing size, against the
+// batch=1 arm as the single-op reference. Every batch pays one simulated
+// ECALL/OCALL plus one boundary copy regardless of size, so cycles/key
+// falls toward the pure per-key work as the batch grows; hotness-unaware
+// schemes with heavy per-key verification (ShieldStore's bucket-chain
+// MACs) keep a higher floor than Aria's cached path.
+
+func init() {
+	register("batch", "Extension: batched MGet/MPut edge-cost amortization vs batch size", batchExp)
+}
+
+// defaultBatchSizes is the sweep; 1 is the single-op reference arm.
+var defaultBatchSizes = []int{1, 4, 16, 64, 256}
+
+func (p Params) batchSizes() []int {
+	if p.Batch > 1 {
+		return []int{1, p.Batch}
+	}
+	return defaultBatchSizes
+}
+
+func batchExp(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "batch", "MGet/MPut batch-size sweep, uniform, 16B values")
+	// A quarter-size keyspace keeps bucket chains short and the working
+	// set cache-resident: per-key work stays low, so the per-batch edge
+	// cost dominates and the amortization effect is measured cleanly
+	// rather than being buried under chain-verification work.
+	keys := p.keys10M() / 4
+	if keys < 4096 {
+		keys = 4096
+	}
+	schemes := []aria.Scheme{
+		aria.AriaHash, aria.ShieldStoreScheme, aria.BaselineHash, aria.NoCacheHash,
+	}
+	sizes := p.batchSizes()
+
+	tg := newTable("scheme", "batch", "keys-per-sec", "cycles-per-key", "speedup")
+	tp := newTable("scheme", "batch", "keys-per-sec", "cycles-per-key", "speedup")
+	for _, scheme := range schemes {
+		wcfg := ycsb(keys, workload.Uniform, 1.0, 16, 0.99, p.Seed)
+		loadGen, err := workload.New(wcfg)
+		if err != nil {
+			return err
+		}
+		st, err := buildStore(p.baseOptions(scheme, keys), loadGen)
+		if err != nil {
+			return fmt.Errorf("batch %v: %w", scheme, err)
+		}
+		var baseGet, basePut float64
+		for _, b := range sizes {
+			get, err := measureBatch(st, wcfg, p, b, true)
+			if err != nil {
+				return fmt.Errorf("batch %v mget b=%d: %w", scheme, b, err)
+			}
+			put, err := measureBatch(st, wcfg, p, b, false)
+			if err != nil {
+				return fmt.Errorf("batch %v mput b=%d: %w", scheme, b, err)
+			}
+			if b == 1 {
+				baseGet, basePut = get.cyclesPerKey, put.cyclesPerKey
+			}
+			tg.add(scheme.String(), fmt.Sprintf("%d", b), kops(get.keysPerSec),
+				fmt.Sprintf("%.0f", get.cyclesPerKey),
+				fmt.Sprintf("%.2fx", safeDiv(baseGet, get.cyclesPerKey)))
+			tp.add(scheme.String(), fmt.Sprintf("%d", b), kops(put.keysPerSec),
+				fmt.Sprintf("%.0f", put.cyclesPerKey),
+				fmt.Sprintf("%.2fx", safeDiv(basePut, put.cyclesPerKey)))
+		}
+	}
+	fmt.Fprintf(w, "   [MGet]\n")
+	tg.write(w)
+	fmt.Fprintf(w, "   [MPut]\n")
+	tp.write(w)
+	return nil
+}
+
+type batchPoint struct {
+	keysPerSec   float64
+	cyclesPerKey float64
+}
+
+// measureBatch replays p.Ops keys against st as batches of b keys and
+// reports per-key cost on the simulated clock. Reads draw existing keys;
+// writes re-put them with the generator's values (steady-state overwrite,
+// no allocation churn between arms).
+func measureBatch(st aria.Store, wcfg workload.Config, p Params, b int, read bool) (batchPoint, error) {
+	gen, err := workload.New(wcfg)
+	if err != nil {
+		return batchPoint{}, err
+	}
+	var op workload.Op
+	next := func() ([]byte, []byte) {
+		gen.Next(&op)
+		return op.Key, op.Value
+	}
+	issue := func(n int) error {
+		if read {
+			keys := make([][]byte, n)
+			for i := range keys {
+				keys[i], _ = next()
+			}
+			_, errs := st.MGet(keys)
+			for i, e := range errs {
+				if e != nil && e != aria.ErrNotFound {
+					return fmt.Errorf("mget key %d: %w", i, e)
+				}
+			}
+			return nil
+		}
+		pairs := make([]aria.KV, n)
+		for i := range pairs {
+			k, _ := next()
+			pairs[i] = aria.KV{Key: k, Value: gen.ValueAt(0)}
+		}
+		for i, e := range st.MPut(pairs) {
+			if e != nil {
+				return fmt.Errorf("mput key %d: %w", i, e)
+			}
+		}
+		return nil
+	}
+	st.SetMeasuring(false)
+	for done := 0; done < p.Warmup; done += b {
+		if err := issue(b); err != nil {
+			return batchPoint{}, err
+		}
+	}
+	st.SetMeasuring(true)
+	st.ResetStats()
+	total := 0
+	for total < p.Ops {
+		if err := issue(b); err != nil {
+			return batchPoint{}, err
+		}
+		total += b
+	}
+	stats := st.Stats()
+	st.SetMeasuring(false)
+	pt := batchPoint{}
+	if total > 0 {
+		pt.cyclesPerKey = float64(stats.SimCycles) / float64(total)
+	}
+	if stats.SimSeconds > 0 {
+		pt.keysPerSec = float64(total) / stats.SimSeconds
+	}
+	return pt, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

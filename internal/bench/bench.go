@@ -34,6 +34,9 @@ type Params struct {
 	// TreeOpsDivisor reduces measured ops for B-tree stores, which cost
 	// ~10x per op (default 4).
 	TreeOpsDivisor int
+	// Batch, when >1, narrows the batch experiment's sweep to {1, Batch}
+	// (0 runs the default size sweep).
+	Batch int
 }
 
 func (p Params) withDefaults() Params {

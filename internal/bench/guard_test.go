@@ -1,0 +1,117 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/ariakv/aria/internal/bench"
+)
+
+// TestBenchRegressionGuard re-runs the committed benchmark snapshots
+// in-process and fails if any table value drifts more than guardTolerance
+// from BENCH_<exp>.json. The simulated clock is deterministic for a given
+// seed and scale, so on an unchanged tree the drift is exactly zero; the
+// tolerance absorbs only intentional small reshuffles (e.g. map iteration
+// feeding an accumulator differently across Go versions). A cost-model or
+// algorithm change that moves sim-cycles/op by more than 5% fails the
+// guard — ARIA_COST_PERTURB=1.06 demonstrates this (see Makefile
+// bench-smoke-demo).
+//
+// Skipped unless BENCH_GUARD=1: the fig9 grid takes ~1 minute.
+func TestBenchRegressionGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
+	}
+	const guardTolerance = 0.05
+	for _, exp := range []string{"fig9", "batch"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			want := loadReport(t, exp)
+			e, ok := bench.Lookup(exp)
+			if !ok {
+				t.Fatalf("experiment %q not registered", exp)
+			}
+			p := bench.Params{Scale: want.Scale, Ops: want.Ops, Seed: want.Seed}
+			got, err := bench.RunCollect(e, p, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Tables) != len(want.Tables) {
+				t.Fatalf("table count changed: got %d, committed %d", len(got.Tables), len(want.Tables))
+			}
+			for ti, wt := range want.Tables {
+				gt := got.Tables[ti]
+				if len(gt.Rows) != len(wt.Rows) {
+					t.Fatalf("table %d: row count changed: got %d, committed %d", ti, len(gt.Rows), len(wt.Rows))
+				}
+				for ri, wr := range wt.Rows {
+					gr := gt.Rows[ri]
+					for col, wv := range wr.Values {
+						gv, ok := gr.Values[col]
+						if !ok {
+							t.Errorf("table %d row %v: column %q no longer numeric", ti, wr.Cells, col)
+							continue
+						}
+						if wv == 0 {
+							continue
+						}
+						if drift := math.Abs(gv-wv) / math.Abs(wv); drift > guardTolerance {
+							t.Errorf("table %d row %v col %q: %.4g vs committed %.4g (drift %.1f%% > %.0f%%)",
+								ti, wr.Cells, col, gv, wv, drift*100, guardTolerance*100)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchAmortizationFloor pins the headline batching claim against the
+// committed snapshot: for the shielded scheme, MGet at batch=64 costs at
+// most a quarter of the single-op (batch=1) sim-cycles per key.
+func TestBatchAmortizationFloor(t *testing.T) {
+	rep := loadReport(t, "batch")
+	if len(rep.Tables) == 0 {
+		t.Fatal("BENCH_batch.json has no tables")
+	}
+	mget := rep.Tables[0] // first table is the MGet sweep
+	perKey := func(scheme string, batch int) float64 {
+		t.Helper()
+		for _, r := range mget.Rows {
+			if len(r.Cells) >= 2 && r.Cells[0] == scheme && r.Cells[1] == strconv.Itoa(batch) {
+				if v, ok := r.Values["cycles-per-key"]; ok {
+					return v
+				}
+			}
+		}
+		t.Fatalf("no cycles-per-key row for %s batch=%d", scheme, batch)
+		return 0
+	}
+	for _, scheme := range []string{"shieldstore", "aria-h"} {
+		single := perKey(scheme, 1)
+		batched := perKey(scheme, 64)
+		if ratio := batched / single; ratio > 0.25 {
+			t.Errorf("%s: MGet@64 = %.0f cycles/key vs %.0f single (%.3fx > 0.25x)",
+				scheme, batched, single, ratio)
+		}
+	}
+}
+
+func loadReport(t *testing.T, exp string) *bench.Report {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", fmt.Sprintf("BENCH_%s.json", exp)))
+	if err != nil {
+		t.Fatalf("read committed snapshot: %v", err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parse committed snapshot: %v", err)
+	}
+	return &rep
+}

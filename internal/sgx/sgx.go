@@ -68,6 +68,12 @@ type Stats struct {
 	EnclaveLines   uint64
 	UntrustedLines uint64
 	Hashes         uint64
+	// Batches counts batched edge crossings (BatchEnter calls) and
+	// BatchedOps the operations they amortized: BatchedOps/Batches is the
+	// realized batch size, and comparing Batches against Ecalls shows how
+	// much of the edge-call budget the batch path carried.
+	Batches    uint64
+	BatchedOps uint64
 }
 
 type pageState struct {
@@ -390,6 +396,42 @@ func (e *Enclave) Ocall() {
 	}
 	e.stats.Ocalls++
 	e.cycles += e.costs.OcallCycles
+}
+
+// BatchEnter charges one batched entry into the enclave: a single ECALL
+// plus one boundary copy of the n-byte marshalled request (an untrusted
+// read and an enclave write per cache line), amortized over ops
+// operations. The enclave staging buffer is assumed EPC-resident, so the
+// copy prices MEE line overhead but not secure paging — batching exists
+// precisely to keep the per-operation edge cost off the hot path, and a
+// resident staging area is how a real enclave server achieves that.
+func (e *Enclave) BatchEnter(ops, n int) {
+	if !e.measuring {
+		return
+	}
+	e.stats.Batches++
+	e.stats.BatchedOps += uint64(ops)
+	e.stats.Ecalls++
+	e.cycles += e.costs.EcallCycles
+	ln := lines(n)
+	e.stats.UntrustedLines += ln
+	e.stats.EnclaveLines += ln
+	e.cycles += ln * (e.costs.UntrustedLineCycles + e.costs.EnclaveLineCycles)
+}
+
+// BatchExit charges the matching batched exit: one OCALL (the response
+// leaves the enclave and is handed to the host's send path) plus the
+// boundary copy-out of the n-byte marshalled response.
+func (e *Enclave) BatchExit(n int) {
+	if !e.measuring {
+		return
+	}
+	e.stats.Ocalls++
+	e.cycles += e.costs.OcallCycles
+	ln := lines(n)
+	e.stats.UntrustedLines += ln
+	e.stats.EnclaveLines += ln
+	e.cycles += ln * (e.costs.UntrustedLineCycles + e.costs.EnclaveLineCycles)
 }
 
 // ChargeMAC accounts one CMAC computation over n bytes.

@@ -1,0 +1,524 @@
+package kvnet
+
+// Batched operations on the wire. A batch request is one frame carrying
+// op + record count + per-key records; the response is a stream of stMore
+// frames (each packing as many per-key result records as fit under the
+// shared maxFrameWire cap) terminated by an stDone frame carrying the
+// total record count. The client cross-checks that total against the
+// batch it sent, so a cut stream can never be mistaken for a complete
+// response — a partial batch is never delivered.
+//
+// Request records:
+//
+//	opMGet/opMDelete:  klen u16 | key
+//	opMPut:            klen u16 | key | vlen u32 | value
+//
+// Response records, in request order across the stMore stream:
+//
+//	opMGet:            status | blen u32 | body (value on stOK, else message)
+//	opMPut/opMDelete:  status | mlen u16 | message (empty on stOK/stNotFound)
+//
+// Batches whose marshalled request would exceed maxFrameWire are split by
+// the client into several requests; each sub-batch follows the same
+// idempotency rules as its unary counterpart (MGet sub-batches retry on
+// any transport failure, MPut/MDelete only when the request cannot have
+// reached the server).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// ErrTooLarge reports a batch record whose key or value exceeds the wire
+// limits. The record is rejected client-side — it is never sent — and the
+// rest of the batch proceeds.
+var ErrTooLarge = errors.New("kvnet: key or value exceeds wire limits")
+
+// batchReqOverhead is the fixed request prefix: op byte + record count.
+const batchReqOverhead = 5
+
+// encodeBatchKeys builds an opMGet/opMDelete request payload.
+func encodeBatchKeys(op byte, keys [][]byte) []byte {
+	n := batchReqOverhead
+	for _, k := range keys {
+		n += 2 + len(k)
+	}
+	buf := make([]byte, batchReqOverhead, n)
+	buf[0] = op
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(keys)))
+	var k2 [2]byte
+	for _, k := range keys {
+		binary.BigEndian.PutUint16(k2[:], uint16(len(k)))
+		buf = append(buf, k2[:]...)
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+// encodeBatchPairs builds an opMPut request payload.
+func encodeBatchPairs(pairs []aria.KV) []byte {
+	n := batchReqOverhead
+	for _, p := range pairs {
+		n += 2 + len(p.Key) + 4 + len(p.Value)
+	}
+	buf := make([]byte, batchReqOverhead, n)
+	buf[0] = opMPut
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(pairs)))
+	var k2 [2]byte
+	var v4 [4]byte
+	for _, p := range pairs {
+		binary.BigEndian.PutUint16(k2[:], uint16(len(p.Key)))
+		buf = append(buf, k2[:]...)
+		buf = append(buf, p.Key...)
+		binary.BigEndian.PutUint32(v4[:], uint32(len(p.Value)))
+		buf = append(buf, v4[:]...)
+		buf = append(buf, p.Value...)
+	}
+	return buf
+}
+
+// decodeBatchRequest parses a batch request payload. Like decodeRequest it
+// validates every length field before using it, and it bounds the record
+// count by the bytes actually present before allocating, so a hostile
+// count can never drive an oversized allocation.
+func decodeBatchRequest(buf []byte) (request, error) {
+	var rq request
+	if len(buf) < batchReqOverhead {
+		return rq, errMalformed
+	}
+	rq.op = buf[0]
+	count := binary.BigEndian.Uint32(buf[1:5])
+	rest := buf[5:]
+	minRec := uint64(2)
+	if rq.op == opMPut {
+		minRec = 6
+	}
+	if uint64(count)*minRec > uint64(len(rest)) {
+		return rq, errMalformed
+	}
+	rq.mkeys = make([][]byte, 0, count)
+	if rq.op == opMPut {
+		rq.mvals = make([][]byte, 0, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 2 {
+			return rq, errMalformed
+		}
+		klen := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if klen > maxKeyWire || len(rest) < klen {
+			return rq, errMalformed
+		}
+		rq.mkeys = append(rq.mkeys, rest[:klen])
+		rest = rest[klen:]
+		if rq.op != opMPut {
+			continue
+		}
+		if len(rest) < 4 {
+			return rq, errMalformed
+		}
+		vlen64 := uint64(binary.BigEndian.Uint32(rest[:4]))
+		if vlen64 > maxValueWire {
+			return rq, errMalformed
+		}
+		rest = rest[4:]
+		vlen := int(vlen64)
+		if len(rest) < vlen {
+			return rq, errMalformed
+		}
+		rq.mvals = append(rq.mvals, rest[:vlen])
+		rest = rest[vlen:]
+	}
+	if len(rest) != 0 {
+		return rq, errMalformed
+	}
+	return rq, nil
+}
+
+// encodeMGetRecord builds one opMGet response record.
+func encodeMGetRecord(status byte, body []byte) []byte {
+	out := make([]byte, 5+len(body))
+	out[0] = status
+	binary.BigEndian.PutUint32(out[1:5], uint32(len(body)))
+	copy(out[5:], body)
+	return out
+}
+
+// encodeWriteRecord builds one opMPut/opMDelete response record.
+func encodeWriteRecord(status byte, msg []byte) []byte {
+	if len(msg) > 1<<16-1 {
+		msg = msg[:1<<16-1]
+	}
+	out := make([]byte, 3+len(msg))
+	out[0] = status
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(msg)))
+	copy(out[3:], msg)
+	return out
+}
+
+// parseBatchRecord consumes one response record for op from body,
+// returning the remainder.
+func parseBatchRecord(op byte, body []byte) (status byte, rec, rest []byte, err error) {
+	if op == opMGet {
+		if len(body) < 5 {
+			return 0, nil, nil, errMalformed
+		}
+		blen := int(binary.BigEndian.Uint32(body[1:5]))
+		if blen > maxValueWire || len(body) < 5+blen {
+			return 0, nil, nil, errMalformed
+		}
+		return body[0], body[5 : 5+blen], body[5+blen:], nil
+	}
+	if len(body) < 3 {
+		return 0, nil, nil, errMalformed
+	}
+	mlen := int(binary.BigEndian.Uint16(body[1:3]))
+	if len(body) < 3+mlen {
+		return 0, nil, nil, errMalformed
+	}
+	return body[0], body[3 : 3+mlen], body[3+mlen:], nil
+}
+
+// batchStatus maps a per-key store error onto a wire status + message,
+// mirroring errResponse for the unary path.
+func batchStatus(err error) (byte, []byte) {
+	switch {
+	case err == nil:
+		return stOK, nil
+	case errors.Is(err, aria.ErrNotFound):
+		return stNotFound, nil
+	case errors.Is(err, aria.ErrIntegrity):
+		return stIntegrity, []byte(err.Error())
+	default:
+		return stError, []byte(err.Error())
+	}
+}
+
+// errAt indexes a positional error slice that may be nil (all succeeded).
+func errAt(errs []error, i int) error {
+	if errs == nil {
+		return nil
+	}
+	return errs[i]
+}
+
+// ---- server side ---------------------------------------------------------------
+
+// streamBatch writes n response records as a chunked stMore stream under
+// the frame cap, then the stDone total the client verifies.
+func (s *Server) streamBatch(conn net.Conn, n int, record func(i int) []byte) error {
+	const maxBody = maxFrameWire - 1 // encodeResponse prepends the status byte
+	body := make([]byte, 4, 64<<10)
+	count := 0
+	flush := func() error {
+		if count == 0 {
+			return nil
+		}
+		binary.BigEndian.PutUint32(body[:4], uint32(count))
+		s.touchWrite(conn)
+		if err := writeFrame(conn, encodeResponse(stMore, body)); err != nil {
+			return err
+		}
+		body = body[:4]
+		count = 0
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		rec := record(i)
+		if len(body)+len(rec) > maxBody {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		body = append(body, rec...)
+		count++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	var total [4]byte
+	binary.BigEndian.PutUint32(total[:], uint32(n))
+	s.touchWrite(conn)
+	return writeFrame(conn, encodeResponse(stDone, total[:]))
+}
+
+// serveBatch executes one decoded batch request against the store's native
+// batch path (which charges its own amortized edge costs — the per-request
+// ECALL the unary path pays is deliberately skipped for batches) and
+// streams the per-key results back.
+func (s *Server) serveBatch(conn net.Conn, rq request) error {
+	s.met.batchKeys(rq.op, len(rq.mkeys))
+	switch rq.op {
+	case opMGet:
+		vals, errs := s.store.MGet(rq.mkeys)
+		return s.streamBatch(conn, len(rq.mkeys), func(i int) []byte {
+			if err := errAt(errs, i); err != nil {
+				st, msg := batchStatus(err)
+				return encodeMGetRecord(st, msg)
+			}
+			return encodeMGetRecord(stOK, vals[i])
+		})
+	case opMPut:
+		pairs := make([]aria.KV, len(rq.mkeys))
+		for i := range pairs {
+			pairs[i] = aria.KV{Key: rq.mkeys[i], Value: rq.mvals[i]}
+		}
+		errs := s.store.MPut(pairs)
+		return s.streamBatch(conn, len(pairs), func(i int) []byte {
+			st, msg := batchStatus(errAt(errs, i))
+			return encodeWriteRecord(st, msg)
+		})
+	default: // opMDelete; decode admits nothing else into the batch range
+		errs := s.store.MDelete(rq.mkeys)
+		return s.streamBatch(conn, len(rq.mkeys), func(i int) []byte {
+			st, msg := batchStatus(errAt(errs, i))
+			return encodeWriteRecord(st, msg)
+		})
+	}
+}
+
+// ---- client side ---------------------------------------------------------------
+
+// batchCall runs one sub-batch exchange: write the request frame, consume
+// the stMore stream, cross-check the stDone total. deliver receives each
+// record in request order (0-based within this sub-batch); on a retry it
+// is re-invoked from the start, overwriting the previous attempt's
+// positional results.
+func (c *Client) batchCall(op byte, payload []byte, n int, idempotent bool,
+	deliver func(j int, status byte, body []byte)) error {
+	return c.do(func(conn net.Conn) error {
+		tfail := func(err error) error { return &netOpError{err: err, retryable: idempotent} }
+		if err := writeFrame(conn, payload); err != nil {
+			return tfail(err)
+		}
+		got := 0
+		for {
+			if c.cfg.OpTimeout > 0 {
+				_ = conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+			}
+			resp, err := readFrame(conn, maxFrameWire)
+			if err != nil {
+				return tfail(err)
+			}
+			if len(resp) < 1 {
+				return tfail(errMalformed)
+			}
+			switch resp[0] {
+			case stMore:
+				body := resp[1:]
+				if len(body) < 4 {
+					return tfail(errMalformed)
+				}
+				cnt := binary.BigEndian.Uint32(body[:4])
+				body = body[4:]
+				for i := uint32(0); i < cnt; i++ {
+					var status byte
+					var rec []byte
+					status, rec, body, err = parseBatchRecord(op, body)
+					if err != nil {
+						return tfail(err)
+					}
+					if got >= n {
+						return tfail(fmt.Errorf("%w: more records than requested", errMalformed))
+					}
+					deliver(got, status, rec)
+					got++
+				}
+				if len(body) != 0 {
+					return tfail(errMalformed)
+				}
+			case stDone:
+				if len(resp) != 5 || binary.BigEndian.Uint32(resp[1:5]) != uint32(n) || got != n {
+					return tfail(fmt.Errorf("%w: partial batch response (%d of %d records)",
+						errMalformed, got, n))
+				}
+				return nil
+			case stBusy:
+				// Shed before the request was read: safe to retry even for
+				// writes, and no record can have been delivered yet.
+				c.met.sawBusy()
+				return &netOpError{err: ErrServerBusy, retryable: true}
+			case stCorrupt:
+				// Rejected by checksum before decoding: same guarantees.
+				c.met.sawCorrupt()
+				return &netOpError{err: fmt.Errorf("%w (request)", ErrFrameCorrupt), retryable: true}
+			default:
+				// Whole-batch failure (stBadReq/stError): definitive.
+				return statusErr(resp[0], resp[1:])
+			}
+		}
+	})
+}
+
+// batchPlan greedily walks positions [0, n), calling reject for records
+// the wire cannot carry and run(start, end) for each contiguous sub-batch
+// whose marshalled records fit one request frame. size(i) is record i's
+// request bytes; ok(i) false rejects it. Returns how many extra requests
+// the split produced.
+func batchPlan(n int, size func(i int) int, ok func(i int) bool,
+	reject func(i int), run func(start, end int)) int {
+	const budget = maxFrameWire - batchReqOverhead
+	calls := 0
+	emit := func(start, end int) {
+		if start < end {
+			run(start, end)
+			calls++
+		}
+	}
+	start, used := 0, 0
+	for i := 0; i < n; i++ {
+		if !ok(i) {
+			emit(start, i)
+			reject(i)
+			start, used = i+1, 0
+			continue
+		}
+		rec := size(i)
+		if used+rec > budget && used > 0 {
+			emit(start, i)
+			start, used = i, 0
+		}
+		used += rec
+	}
+	emit(start, n)
+	if calls > 1 {
+		return calls - 1
+	}
+	return 0
+}
+
+// MGet fetches a batch of keys in one round trip (or several, if the
+// marshalled batch exceeds the frame cap and must be split). Results are
+// positional with the same contract as aria.Store.MGet; a sub-batch that
+// ultimately fails fills only its own positions with the failure, and the
+// remaining sub-batches still run. MGet is idempotent: sub-batches are
+// retried on any transport failure.
+func (c *Client) MGet(keys [][]byte) ([][]byte, []error) {
+	vals := make([][]byte, len(keys))
+	var errs []error
+	setErr := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(keys))
+		}
+		errs[i] = err
+	}
+	t0 := time.Now()
+	defer func() { c.met.request(opMGet, uint64(time.Since(t0))) }()
+	c.met.batchKeys(opMGet, len(keys))
+	splits := batchPlan(len(keys),
+		func(i int) int { return 2 + len(keys[i]) },
+		func(i int) bool { return len(keys[i]) < maxKeyWire },
+		func(i int) { setErr(i, ErrTooLarge) },
+		func(start, end int) {
+			sub := keys[start:end]
+			err := c.batchCall(opMGet, encodeBatchKeys(opMGet, sub), len(sub), true,
+				func(j int, status byte, body []byte) {
+					p := start + j
+					if status == stOK {
+						vals[p] = body
+						if errs != nil {
+							errs[p] = nil
+						}
+						return
+					}
+					vals[p] = nil
+					setErr(p, statusErr(status, body))
+				})
+			if err != nil {
+				for p := start; p < end; p++ {
+					vals[p] = nil
+					setErr(p, err)
+				}
+			}
+		})
+	c.met.batchSplit(splits)
+	return vals, errs
+}
+
+// MPut applies a batch of writes with the same positional contract as
+// aria.Store.MPut. Like Put, a sub-batch whose request may already have
+// reached the server is not retried; connect-phase failures, stBusy
+// shedding, and stCorrupt rejections are, because the server provably did
+// not process them.
+func (c *Client) MPut(pairs []aria.KV) []error {
+	var errs []error
+	setErr := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(pairs))
+		}
+		errs[i] = err
+	}
+	t0 := time.Now()
+	defer func() { c.met.request(opMPut, uint64(time.Since(t0))) }()
+	c.met.batchKeys(opMPut, len(pairs))
+	splits := batchPlan(len(pairs),
+		func(i int) int { return 2 + len(pairs[i].Key) + 4 + len(pairs[i].Value) },
+		func(i int) bool {
+			return len(pairs[i].Key) < maxKeyWire && len(pairs[i].Value) <= maxValueWire
+		},
+		func(i int) { setErr(i, ErrTooLarge) },
+		func(start, end int) {
+			sub := pairs[start:end]
+			err := c.batchCall(opMPut, encodeBatchPairs(sub), len(sub), false,
+				func(j int, status byte, body []byte) {
+					if status == stOK {
+						if errs != nil {
+							errs[start+j] = nil
+						}
+						return
+					}
+					setErr(start+j, statusErr(status, body))
+				})
+			if err != nil {
+				for p := start; p < end; p++ {
+					setErr(p, err)
+				}
+			}
+		})
+	c.met.batchSplit(splits)
+	return errs
+}
+
+// MDelete removes a batch of keys with the same positional contract as
+// aria.Store.MDelete and the same retry rules as MPut.
+func (c *Client) MDelete(keys [][]byte) []error {
+	var errs []error
+	setErr := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(keys))
+		}
+		errs[i] = err
+	}
+	t0 := time.Now()
+	defer func() { c.met.request(opMDelete, uint64(time.Since(t0))) }()
+	c.met.batchKeys(opMDelete, len(keys))
+	splits := batchPlan(len(keys),
+		func(i int) int { return 2 + len(keys[i]) },
+		func(i int) bool { return len(keys[i]) < maxKeyWire },
+		func(i int) { setErr(i, ErrTooLarge) },
+		func(start, end int) {
+			sub := keys[start:end]
+			err := c.batchCall(opMDelete, encodeBatchKeys(opMDelete, sub), len(sub), false,
+				func(j int, status byte, body []byte) {
+					if status == stOK {
+						if errs != nil {
+							errs[start+j] = nil
+						}
+						return
+					}
+					setErr(start+j, statusErr(status, body))
+				})
+			if err != nil {
+				for p := start; p < end; p++ {
+					setErr(p, err)
+				}
+			}
+		})
+	c.met.batchSplit(splits)
+	return errs
+}

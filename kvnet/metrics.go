@@ -14,12 +14,15 @@ import (
 // the two in sync.
 
 // opNames maps wire op codes to metric label values.
-var opNames = [opScan + 1]string{
-	opGet:    "get",
-	opPut:    "put",
-	opDelete: "delete",
-	opStats:  "stats",
-	opScan:   "scan",
+var opNames = [opMDelete + 1]string{
+	opGet:     "get",
+	opPut:     "put",
+	opDelete:  "delete",
+	opStats:   "stats",
+	opScan:    "scan",
+	opMGet:    "mget",
+	opMPut:    "mput",
+	opMDelete: "mdelete",
 }
 
 // Server-side metric family names.
@@ -34,6 +37,7 @@ const (
 	metricSrvCorrupt    = "kvnet_corrupt_frames_total"
 	metricSrvBadReq     = "kvnet_bad_requests_total"
 	metricSrvPanics     = "kvnet_panics_total"
+	metricSrvBatchKeys  = "kvnet_batch_keys"
 )
 
 // Client-side metric family names.
@@ -44,14 +48,17 @@ const (
 	metricCliRedials  = "kvnet_client_redials_total"
 	metricCliBusy     = "kvnet_client_busy_total"
 	metricCliCorrupt  = "kvnet_client_corrupt_total"
+	metricCliBatchKey = "kvnet_client_batch_keys"
+	metricCliSplits   = "kvnet_client_batch_splits_total"
 )
 
 // serverMetrics holds the server's instruments. A nil *serverMetrics is
 // valid and turns every method into a no-op, so call sites never branch
 // on whether metrics are enabled.
 type serverMetrics struct {
-	requests [opScan + 1]*obs.Counter
-	duration [opScan + 1]*obs.Histogram
+	requests [opMDelete + 1]*obs.Counter
+	duration [opMDelete + 1]*obs.Histogram
+	batchSz  [opMDelete + 1]*obs.Histogram // batch ops only
 
 	bytesRead    *obs.Counter
 	bytesWritten *obs.Counter
@@ -82,14 +89,27 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		panics: reg.Counter(metricSrvPanics,
 			"Handler panics converted to stError responses.", nil),
 	}
-	for op := byte(opGet); op <= opScan; op++ {
+	for op := byte(opGet); op <= opMDelete; op++ {
 		l := obs.Labels{"op": opNames[op]}
 		m.requests[op] = reg.Counter(metricSrvRequests,
 			"Requests served, by operation.", l)
 		m.duration[op] = reg.Histogram(metricSrvDuration,
 			"Request service time in nanoseconds (store call plus response write).", l)
 	}
+	for op := byte(opMGet); op <= opMDelete; op++ {
+		m.batchSz[op] = reg.Histogram(metricSrvBatchKeys,
+			"Keys per batch request served, by operation.",
+			obs.Labels{"op": opNames[op]})
+	}
 	return m
+}
+
+// batchKeys records the size of one served batch request.
+func (m *serverMetrics) batchKeys(op byte, n int) {
+	if m == nil || int(op) >= len(m.batchSz) || m.batchSz[op] == nil {
+		return
+	}
+	m.batchSz[op].Record(uint64(n))
 }
 
 func (m *serverMetrics) connOpened() {
@@ -176,13 +196,15 @@ func (c *countingConn) Write(p []byte) (int, error) {
 // clientMetrics holds the client's instruments; nil is a no-op set, same
 // contract as serverMetrics.
 type clientMetrics struct {
-	requests [opScan + 1]*obs.Counter
-	duration [opScan + 1]*obs.Histogram
+	requests [opMDelete + 1]*obs.Counter
+	duration [opMDelete + 1]*obs.Histogram
+	batchSz  [opMDelete + 1]*obs.Histogram // batch ops only
 
 	retries *obs.Counter
 	redials *obs.Counter
 	busy    *obs.Counter
 	corrupt *obs.Counter
+	splits  *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -195,15 +217,37 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 			"stBusy shed responses received from the server.", nil),
 		corrupt: reg.Counter(metricCliCorrupt,
 			"stCorrupt responses received (request damaged in transit).", nil),
+		splits: reg.Counter(metricCliSplits,
+			"Extra requests produced by splitting oversized batches.", nil),
 	}
-	for op := byte(opGet); op <= opScan; op++ {
+	for op := byte(opGet); op <= opMDelete; op++ {
 		l := obs.Labels{"op": opNames[op]}
 		m.requests[op] = reg.Counter(metricCliRequests,
 			"Client operations completed (any outcome), by operation.", l)
 		m.duration[op] = reg.Histogram(metricCliDuration,
 			"Client operation latency in nanoseconds, retries included.", l)
 	}
+	for op := byte(opMGet); op <= opMDelete; op++ {
+		m.batchSz[op] = reg.Histogram(metricCliBatchKey,
+			"Keys per batch operation issued, by operation.",
+			obs.Labels{"op": opNames[op]})
+	}
 	return m
+}
+
+// batchKeys records the size of one issued batch operation.
+func (m *clientMetrics) batchKeys(op byte, n int) {
+	if m == nil || int(op) >= len(m.batchSz) || m.batchSz[op] == nil {
+		return
+	}
+	m.batchSz[op].Record(uint64(n))
+}
+
+// batchSplit records extra requests produced by splitting one batch.
+func (m *clientMetrics) batchSplit(n int) {
+	if m != nil && n > 0 {
+		m.splits.Add(uint64(n))
+	}
 }
 
 // request records one completed client operation, retries and backoff

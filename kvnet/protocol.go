@@ -19,13 +19,17 @@ import (
 	"io"
 )
 
-// Op codes.
+// Op codes. The batch ops (opMGet and above) carry multi-record payloads
+// and stream multi-record responses; see batch.go for their wire layout.
 const (
-	opGet    = 1
-	opPut    = 2
-	opDelete = 3
-	opStats  = 4
-	opScan   = 5
+	opGet     = 1
+	opPut     = 2
+	opDelete  = 3
+	opStats   = 4
+	opScan    = 5
+	opMGet    = 6
+	opMPut    = 7
+	opMDelete = 8
 )
 
 // Status codes.
@@ -84,6 +88,9 @@ type request struct {
 	key   []byte
 	value []byte // put: value; scan: exclusive end key (may be empty)
 	limit uint32 // scan only
+
+	mkeys [][]byte // batch ops: keys, in request order
+	mvals [][]byte // opMPut: values aligned with mkeys
 }
 
 // writeFrame writes a length-prefixed, checksummed frame.
@@ -142,6 +149,9 @@ func encodeRequest(op byte, key, value []byte, limit uint32) []byte {
 // never drive an oversized slice or an overflowing index.
 func decodeRequest(buf []byte) (request, error) {
 	var rq request
+	if len(buf) >= 1 && buf[0] >= opMGet && buf[0] <= opMDelete {
+		return decodeBatchRequest(buf)
+	}
 	if len(buf) < 7 {
 		return rq, errMalformed
 	}

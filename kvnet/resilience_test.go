@@ -61,7 +61,7 @@ type bigPairStore struct {
 	key, value []byte
 }
 
-func (s *bigPairStore) Put(key, value []byte) error  { return nil }
+func (s *bigPairStore) Put(key, value []byte) error { return nil }
 func (s *bigPairStore) Get(key []byte) ([]byte, error) {
 	if bytes.Equal(key, s.key) {
 		return s.value, nil
@@ -69,10 +69,34 @@ func (s *bigPairStore) Get(key []byte) ([]byte, error) {
 	return nil, aria.ErrNotFound
 }
 func (s *bigPairStore) Delete(key []byte) error { return aria.ErrNotFound }
-func (s *bigPairStore) Stats() aria.Stats       { return aria.Stats{Keys: 1} }
-func (s *bigPairStore) VerifyIntegrity() error  { return nil }
-func (s *bigPairStore) SetMeasuring(on bool)    {}
-func (s *bigPairStore) ResetStats()             {}
+func (s *bigPairStore) MGet(keys [][]byte) ([][]byte, []error) {
+	vals := make([][]byte, len(keys))
+	var errs []error
+	for i, k := range keys {
+		v, err := s.Get(k)
+		if err != nil {
+			if errs == nil {
+				errs = make([]error, len(keys))
+			}
+			errs[i] = err
+			continue
+		}
+		vals[i] = v
+	}
+	return vals, errs
+}
+func (s *bigPairStore) MPut(pairs []aria.KV) []error { return nil }
+func (s *bigPairStore) MDelete(keys [][]byte) []error {
+	errs := make([]error, len(keys))
+	for i := range errs {
+		errs[i] = aria.ErrNotFound
+	}
+	return errs
+}
+func (s *bigPairStore) Stats() aria.Stats      { return aria.Stats{Keys: 1} }
+func (s *bigPairStore) VerifyIntegrity() error { return nil }
+func (s *bigPairStore) SetMeasuring(on bool)   {}
+func (s *bigPairStore) ResetStats()            {}
 func (s *bigPairStore) Scan(start, end []byte, fn func(k, v []byte) bool) error {
 	fn(s.key, s.value)
 	return nil

@@ -340,7 +340,12 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 	}
-	// Crossing into the enclave costs one ECALL per request.
+	// Crossing into the enclave costs one ECALL per request. Batch ops
+	// skip this: their native store path charges one amortized batched
+	// entry for the whole request instead.
+	if rq.op >= opMGet && rq.op <= opMDelete {
+		return s.serveBatch(conn, rq)
+	}
 	if ec, ok := s.store.(aria.EdgeCaller); ok {
 		ec.ChargeEcall()
 	}

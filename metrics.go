@@ -48,6 +48,13 @@ const (
 	metricHealth            = "aria_health"
 	metricStopSwap          = "aria_stop_swap"
 	metricPinnedLevels      = "aria_pinned_levels"
+	metricBatchSize         = "aria_batch_size"
+	metricBatchWallNs       = "aria_batch_wall_ns"
+	metricBatchSimCycles    = "aria_batch_sim_cycles"
+	metricBatchKeySimCycles = "aria_batch_key_sim_cycles"
+	metricBatchesTotal      = "aria_batches_total"
+	metricBatchKeysTotal    = "aria_batch_keys_total"
+	metricBatchKeyErrors    = "aria_batch_key_errors_total"
 )
 
 // opKind indexes the per-operation instrument arrays.
@@ -63,6 +70,18 @@ const (
 
 var opKindNames = [opKindCount]string{"get", "put", "delete", "scan"}
 
+// batchKind indexes the per-batch-operation instrument arrays.
+type batchKind int
+
+const (
+	batchKindMGet batchKind = iota
+	batchKindMPut
+	batchKindMDelete
+	batchKindCount
+)
+
+var batchKindNames = [batchKindCount]string{"mget", "mput", "mdelete"}
+
 // meteredStore wraps one single-enclave store with instrumentation and a
 // mutex that serializes operations AND stats reads. The engines model one
 // enclave thread and are not goroutine-safe; the wrapper's lock is what
@@ -77,6 +96,14 @@ type meteredStore struct {
 	cycles [opKindCount]*obs.Histogram
 	ops    [opKindCount]*obs.Counter
 	errs   [opKindCount]*obs.Counter
+
+	bsize      [batchKindCount]*obs.Histogram
+	bwall      [batchKindCount]*obs.Histogram
+	bcycles    [batchKindCount]*obs.Histogram
+	bkeyCycles [batchKindCount]*obs.Histogram
+	batches    [batchKindCount]*obs.Counter
+	bkeys      [batchKindCount]*obs.Counter
+	bkeyErrs   [batchKindCount]*obs.Counter
 }
 
 // enclaveOf extracts the simulated enclave behind a single-scheme store.
@@ -106,6 +133,23 @@ func meter(inner Store, reg *obs.Registry, shard string) *meteredStore {
 			"Store operations started, by op and shard.", l)
 		m.errs[k] = reg.Counter(metricOpErrorsTotal,
 			"Store operations failed (not-found excluded), by op and shard.", l)
+	}
+	for k := batchKind(0); k < batchKindCount; k++ {
+		l := obs.Labels{"op": batchKindNames[k], "shard": shard}
+		m.bsize[k] = reg.Histogram(metricBatchSize,
+			"Keys per batch operation.", l)
+		m.bwall[k] = reg.Histogram(metricBatchWallNs,
+			"Whole-batch latency in wall-clock nanoseconds.", l)
+		m.bcycles[k] = reg.Histogram(metricBatchSimCycles,
+			"Whole-batch latency in simulated enclave cycles.", l)
+		m.bkeyCycles[k] = reg.Histogram(metricBatchKeySimCycles,
+			"Amortized per-key simulated cycles within a batch.", l)
+		m.batches[k] = reg.Counter(metricBatchesTotal,
+			"Batch operations started, by op and shard.", l)
+		m.bkeys[k] = reg.Counter(metricBatchKeysTotal,
+			"Keys carried by batch operations, by op and shard.", l)
+		m.bkeyErrs[k] = reg.Counter(metricBatchKeyErrors,
+			"Keys that failed inside a batch (not-found excluded), by op and shard.", l)
 	}
 	sl := obs.Labels{"shard": shard}
 	reg.RegisterCollector(func(emit obs.Emit) {
@@ -165,6 +209,58 @@ func (m *meteredStore) observe(k opKind, t0 time.Time, c0 uint64, err error) {
 	}
 	m.wall[k].Record(uint64(time.Since(t0)))
 	m.cycles[k].Record(m.simCycles() - c0)
+}
+
+// observeBatch records one finished batch operation: realized batch size,
+// whole-batch latency in both clocks, the amortized per-key cycle cost, and
+// per-key failures (not-found is a normal outcome, not an error).
+func (m *meteredStore) observeBatch(k batchKind, n int, t0 time.Time, c0 uint64, errs []error) {
+	m.batches[k].Inc()
+	m.bkeys[k].Add(uint64(n))
+	var bad uint64
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, ErrNotFound) {
+			bad++
+		}
+	}
+	m.bkeyErrs[k].Add(bad)
+	m.bsize[k].Record(uint64(n))
+	m.bwall[k].Record(uint64(time.Since(t0)))
+	dc := m.simCycles() - c0
+	m.bcycles[k].Record(dc)
+	if n > 0 {
+		m.bkeyCycles[k].Record(dc / uint64(n))
+	}
+}
+
+// MGet implements Store.
+func (m *meteredStore) MGet(keys [][]byte) ([][]byte, []error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	vals, errs := m.inner.MGet(keys)
+	m.observeBatch(batchKindMGet, len(keys), t0, c0, errs)
+	return vals, errs
+}
+
+// MPut implements Store.
+func (m *meteredStore) MPut(pairs []KV) []error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	errs := m.inner.MPut(pairs)
+	m.observeBatch(batchKindMPut, len(pairs), t0, c0, errs)
+	return errs
+}
+
+// MDelete implements Store.
+func (m *meteredStore) MDelete(keys [][]byte) []error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	errs := m.inner.MDelete(keys)
+	m.observeBatch(batchKindMDelete, len(keys), t0, c0, errs)
+	return errs
 }
 
 // Put implements Store.

@@ -122,6 +122,125 @@ func (s *shardedStore) Delete(key []byte) error {
 	return s.shards[i].Delete(key)
 }
 
+// ---- batched operations across shards -------------------------------------------
+
+// splitIdx partitions batch positions by owning shard: splitIdx(keys)[sh]
+// lists the positions in the original batch whose keys route to shard sh.
+// Keeping positions (not keys) is what makes reassembly order-preserving.
+func (s *shardedStore) splitIdx(keys [][]byte) [][]int {
+	pos := make([][]int, len(s.shards))
+	for i, k := range keys {
+		sh := s.router.Pick(k)
+		pos[sh] = append(pos[sh], i)
+	}
+	return pos
+}
+
+// scatter fans one sub-batch per involved shard out to parallel
+// goroutines — N enclaves each entered once — and waits for all of them.
+// run receives the shard index and that shard's batch positions under the
+// shard's lock.
+func (s *shardedStore) scatter(pos [][]int, run func(sh int, idx []int)) {
+	var wg sync.WaitGroup
+	for sh, idx := range pos {
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, idx []int) {
+			defer wg.Done()
+			s.mus[sh].Lock()
+			defer s.mus[sh].Unlock()
+			run(sh, idx)
+		}(sh, idx)
+	}
+	wg.Wait()
+}
+
+// MGet fans the batch out across shards in parallel and reassembles the
+// results in the caller's key order. Each shard charges its own batched
+// enclave entry for its sub-batch.
+func (s *shardedStore) MGet(keys [][]byte) ([][]byte, []error) {
+	vals := make([][]byte, len(keys))
+	var emu sync.Mutex
+	var errs []error
+	s.scatter(s.splitIdx(keys), func(sh int, idx []int) {
+		sub := make([][]byte, len(idx))
+		for j, p := range idx {
+			sub[j] = keys[p]
+		}
+		vs, es := s.shards[sh].MGet(sub)
+		for j, p := range idx {
+			vals[p] = vs[j] // disjoint positions: goroutines never collide
+		}
+		if es == nil {
+			return
+		}
+		emu.Lock()
+		defer emu.Unlock()
+		for j, p := range idx {
+			if es[j] != nil {
+				errs = batchErr(errs, len(keys), p, es[j])
+			}
+		}
+	})
+	return vals, errs
+}
+
+// MPut fans the write batch out across shards in parallel with the same
+// order-preserving reassembly as MGet.
+func (s *shardedStore) MPut(pairs []KV) []error {
+	keys := make([][]byte, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.Key
+	}
+	var emu sync.Mutex
+	var errs []error
+	s.scatter(s.splitIdx(keys), func(sh int, idx []int) {
+		sub := make([]KV, len(idx))
+		for j, p := range idx {
+			sub[j] = pairs[p]
+		}
+		es := s.shards[sh].MPut(sub)
+		if es == nil {
+			return
+		}
+		emu.Lock()
+		defer emu.Unlock()
+		for j, p := range idx {
+			if es[j] != nil {
+				errs = batchErr(errs, len(pairs), p, es[j])
+			}
+		}
+	})
+	return errs
+}
+
+// MDelete fans the delete batch out across shards in parallel with the
+// same order-preserving reassembly as MGet.
+func (s *shardedStore) MDelete(keys [][]byte) []error {
+	var emu sync.Mutex
+	var errs []error
+	s.scatter(s.splitIdx(keys), func(sh int, idx []int) {
+		sub := make([][]byte, len(idx))
+		for j, p := range idx {
+			sub[j] = keys[p]
+		}
+		es := s.shards[sh].MDelete(sub)
+		if es == nil {
+			return
+		}
+		emu.Lock()
+		defer emu.Unlock()
+		for j, p := range idx {
+			if es[j] != nil {
+				errs = batchErr(errs, len(keys), p, es[j])
+			}
+		}
+	})
+	return errs
+}
+
 // Stats aggregates across shards: event and operation counters sum;
 // SimCycles/SimSeconds report the slowest shard (the shards execute in
 // parallel, so the straggler's clock is the wall clock); Health() is
@@ -141,6 +260,8 @@ func (s *shardedStore) Stats() Stats {
 		agg.Ocalls += st.Ocalls
 		agg.MACs += st.MACs
 		agg.CTROps += st.CTROps
+		agg.Batches += st.Batches
+		agg.BatchedKeys += st.BatchedKeys
 		agg.CacheHits += st.CacheHits
 		agg.CacheMisses += st.CacheMisses
 		agg.EPCUsedBytes += st.EPCUsedBytes
