@@ -8,8 +8,8 @@ GOVULNCHECK_VERSION ?= v1.1.3
 # Total statement coverage must not fall below this floor (see cover).
 COVER_BASELINE ?= 78.0
 
-.PHONY: all build test race vet fuzz docs-check metrics-guard lint cover \
-	bench-smoke bench-smoke-demo check bench-json clean
+.PHONY: all build test race vet fuzz fuzz-smoke docs-check metrics-guard \
+	lint cover bench-smoke bench-smoke-demo check bench-json clean
 
 # Parameters for the committed BENCH_*.json snapshots: big enough caches
 # that shard scaling isn't quantization-bound, small enough to run in
@@ -32,17 +32,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Explore the wire-format decoders beyond the seeded corpus.
+# Explore the wire-format and WAL-record decoders beyond the seeded corpus.
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodePair -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodeBatchRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzParseBatchRecord -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./wal
+
+# CI's fuzzing pass: every fuzzer above for 30 seconds each. The seeded
+# corpora under testdata/ run on every plain `go test` regardless.
+FUZZSMOKETIME ?= 30s
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=$(FUZZSMOKETIME)
 
 # Every exported identifier in the public API surface must carry godoc.
 docs-check:
-	$(GO) run ./internal/docslint . kvnet obs
+	$(GO) run ./internal/docslint . kvnet obs wal
 
 # Prove the disabled-metrics path costs <2% vs the raw store on the
 # fig9-style microbench (skipped unless METRICS_GUARD=1).
@@ -80,6 +87,7 @@ bench-json:
 	$(GO) run ./cmd/aria-bench -exp xshard -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp fig9 -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp batch -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(GO) run ./cmd/aria-bench -exp persist -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 
 check: build vet docs-check test race
 

@@ -39,6 +39,7 @@ import (
 	"github.com/ariakv/aria/internal/sgx"
 	"github.com/ariakv/aria/internal/shieldstore"
 	"github.com/ariakv/aria/obs"
+	"github.com/ariakv/aria/wal"
 )
 
 // Scheme selects one of the designs evaluated in the paper.
@@ -112,6 +113,24 @@ var (
 	// found tampered under the Quarantine policy. It always arrives
 	// wrapped together with ErrIntegrity.
 	ErrQuarantined = errors.New("aria: key quarantined after earlier tamper detection")
+	// ErrNotDurable marks a Checkpoint on a store opened without
+	// Options.DataDir: there is no WAL or snapshot lineage to
+	// checkpoint.
+	ErrNotDurable = errors.New("aria: store was opened without DataDir (not durable)")
+)
+
+// FsyncPolicy selects when a durable store's WAL flushes to stable
+// storage (alias of wal.FsyncPolicy; only meaningful with
+// Options.DataDir).
+type FsyncPolicy = wal.FsyncPolicy
+
+// Fsync policies: FsyncBatch group-commits each append call with one
+// fsync (the default), FsyncAlways syncs every record, FsyncNever
+// leaves flushing to the OS.
+const (
+	FsyncBatch  = wal.FsyncBatch
+	FsyncAlways = wal.FsyncAlways
+	FsyncNever  = wal.FsyncNever
 )
 
 // IntegrityPolicy selects how a store behaves after detecting tampering.
@@ -264,6 +283,27 @@ type Options struct {
 	// Default 1: a single enclave, identical to the store this option
 	// did not exist for.
 	Shards int
+	// DataDir, when non-empty, makes the store durable: every
+	// successful write is sealed (AES-CTR + chained CMAC under
+	// seed-derived keys, simulating SGX sealing) and appended to a
+	// write-ahead log in this directory, checkpoints write atomic
+	// sealed snapshots, and Open recovers the committed state — newest
+	// valid snapshot plus WAL replay, stopping cleanly at a torn tail
+	// and routing tampered records through IntegrityPolicy. With
+	// Shards > 1 each shard keeps its own lineage in a shard-<i>
+	// subdirectory, recovered in parallel. The returned store
+	// implements Durable. Empty (the default) keeps the store purely
+	// in-memory.
+	DataDir string
+	// Fsync selects when the WAL flushes (default FsyncBatch: one
+	// fsync per append call, so batched writes group-commit). Only
+	// meaningful with DataDir.
+	Fsync FsyncPolicy
+	// CheckpointEvery takes a background checkpoint after this many
+	// logged records (0, the default, disables automatic checkpoints;
+	// explicit Durable.Checkpoint calls always work). Only meaningful
+	// with DataDir.
+	CheckpointEvery int
 	// Seed drives deterministic initialisation.
 	Seed uint64
 	// MeasureOff creates the store with cycle accounting disabled (bulk
@@ -329,6 +369,19 @@ type Stats struct {
 	IntegrityPolicy   IntegrityPolicy
 	IntegrityFailures uint64 // tamper detections since open
 	QuarantinedKeys   int    // keys poisoned under Quarantine
+
+	// WALAppends counts group-committed WAL append calls; the
+	// durability counters below are all zero unless the store was
+	// opened with Options.DataDir.
+	WALAppends uint64
+	WALRecords uint64 // records sealed into the WAL
+	WALBytes   uint64 // sealed bytes appended, framing included
+	WALFsyncs  uint64 // fsyncs issued by the fsync policy
+	// Checkpoints counts sealed snapshots taken since open.
+	Checkpoints uint64
+	// RecoveredRecords counts records recovery restored at Open:
+	// snapshot pairs loaded plus WAL records replayed.
+	RecoveredRecords uint64
 }
 
 // Health summarizes the store's integrity condition: HealthOK while no
@@ -393,6 +446,12 @@ func Open(opts Options) (Store, error) {
 	st, err := openStore(opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.DataDir != "" {
+		st, err = openDurable(st, opts, opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if opts.Metrics != nil {
 		return meter(st, opts.Metrics, "0"), nil

@@ -26,14 +26,20 @@
 //	scan [start] [end]    ordered range scan (tree schemes)
 //	stats                 operation/enclave counters
 //	stats watch [sec]     live delta view, one line per second
+//	checkpoint            sealed snapshot + WAL truncation (needs -data-dir / durable server)
 //	verify                full offline integrity audit (local only)
 //	help, quit
+//
+// -data-dir DIR opens the local store durable (sealed WAL + snapshots
+// under DIR), recovering any committed state already there; checkpoint
+// then works locally. Against -connect, checkpoint asks the server.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -62,6 +68,7 @@ type backend interface {
 	Delete(key []byte) error
 	Scan(start, end []byte, fn func(key, value []byte) bool) error
 	Stats() (aria.Stats, error)
+	Checkpoint() error
 	Verify() error
 }
 
@@ -73,6 +80,13 @@ func (b *localBackend) Get(k []byte) ([]byte, error) { return b.st.Get(k) }
 func (b *localBackend) Delete(k []byte) error        { return b.st.Delete(k) }
 func (b *localBackend) Stats() (aria.Stats, error)   { return b.st.Stats(), nil }
 func (b *localBackend) Verify() error                { return b.st.VerifyIntegrity() }
+func (b *localBackend) Checkpoint() error {
+	d, ok := b.st.(aria.Durable)
+	if !ok {
+		return aria.ErrNotDurable
+	}
+	return d.Checkpoint()
+}
 func (b *localBackend) Scan(start, end []byte, fn func(k, v []byte) bool) error {
 	r, ok := b.st.(aria.Ranger)
 	if !ok {
@@ -88,6 +102,7 @@ func (b *remoteBackend) Put(k, v []byte) error        { return b.cl.Put(k, v) }
 func (b *remoteBackend) Get(k []byte) ([]byte, error) { return b.cl.Get(k) }
 func (b *remoteBackend) Delete(k []byte) error        { return b.cl.Delete(k) }
 func (b *remoteBackend) Stats() (aria.Stats, error)   { return b.cl.Stats() }
+func (b *remoteBackend) Checkpoint() error            { return b.cl.Checkpoint() }
 func (b *remoteBackend) Verify() error {
 	return fmt.Errorf("verify runs in-process only: the audit walks enclave memory (use the server's /healthz or aria_health metric)")
 }
@@ -103,6 +118,7 @@ func main() {
 		connect    = flag.String("connect", "", "attach to a running aria-server at this address instead of opening a store")
 		watch      = flag.Bool("watch", false, "stream the live stats view instead of the shell (Ctrl-C to stop)")
 		interval   = flag.Duration("interval", time.Second, "refresh interval for -watch")
+		dataDir    = flag.String("data-dir", "", "open the local store durable: sealed WAL + snapshots under this directory")
 	)
 	flag.Parse()
 
@@ -126,10 +142,17 @@ func main() {
 			Scheme:       scheme,
 			EPCBytes:     *epcMB << 20,
 			ExpectedKeys: *keys,
+			DataDir:      *dataDir,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if d, ok := st.(aria.Durable); ok {
+			defer d.Close()
+			if rec := st.Stats().RecoveredRecords; rec > 0 {
+				fmt.Printf("recovered %d records from %s\n", rec, *dataDir)
+			}
 		}
 		be = &localBackend{st: st}
 		fmt.Printf("aria %s store ready (EPC %d MB, expecting %d keys). Type 'help'.\n",
@@ -137,7 +160,7 @@ func main() {
 	}
 
 	if *watch {
-		watchStats(be, *interval, 0)
+		watchStats(os.Stdout, be, *interval, 0)
 		return
 	}
 
@@ -214,7 +237,7 @@ func main() {
 						secs = n
 					}
 				}
-				watchStats(be, time.Second, secs)
+				watchStats(os.Stdout, be, time.Second, secs)
 				continue
 			}
 			s, err := be.Stats()
@@ -227,6 +250,16 @@ func main() {
 				s.SimCycles, s.SimSeconds, s.PageSwaps, s.Ocalls, s.MACs)
 			fmt.Printf("cache: hits=%d misses=%d ratio=%.3f stopswap=%v pinned-levels=%d\n",
 				s.CacheHits, s.CacheMisses, s.CacheHitRatio, s.StopSwap, s.PinnedLevels)
+			if s.WALAppends > 0 || s.Checkpoints > 0 || s.RecoveredRecords > 0 {
+				fmt.Printf("wal: appends=%d records=%d bytes=%d fsyncs=%d ckpts=%d recovered=%d\n",
+					s.WALAppends, s.WALRecords, s.WALBytes, s.WALFsyncs, s.Checkpoints, s.RecoveredRecords)
+			}
+		case "checkpoint":
+			if err := be.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("checkpoint written: sealed snapshot on disk, obsolete WAL segments removed")
+			}
 		case "verify":
 			if err := be.Verify(); err != nil {
 				fmt.Println("AUDIT FAILED:", err)
@@ -234,7 +267,7 @@ func main() {
 				fmt.Println("audit clean: confidentiality and integrity intact")
 			}
 		case "help":
-			fmt.Println("put <k> <v> | get <k> | del <k> | scan [start] [end] | fill <n> | stats [watch [sec]] | verify | quit")
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan [start] [end] | fill <n> | stats [watch [sec]] | checkpoint | verify | quit")
 		case "quit", "exit":
 			return
 		default:
@@ -243,36 +276,48 @@ func main() {
 	}
 }
 
+// watchHeader is the column header of the live stats view. The first
+// block mirrors the in-memory operations view; the wsync/s and ckpts
+// columns surface the durability families (zero on non-durable stores).
+const watchHeader = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys  health"
+
 // watchStats prints one delta line per interval: operation rates since
-// the previous sample, cache behaviour, paging, and health. seconds 0
-// streams until the process is interrupted.
-func watchStats(be backend, interval time.Duration, seconds int) {
+// the previous sample, cache behaviour, paging, WAL fsync rate,
+// checkpoints taken, and health. seconds 0 streams until the process is
+// interrupted.
+func watchStats(w io.Writer, be backend, interval time.Duration, seconds int) {
 	prev, err := be.Stats()
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(w, "error:", err)
 		return
 	}
-	fmt.Println("    gets/s    puts/s    dels/s    hit%   swaps/s     keys  health")
+	fmt.Fprintln(w, watchHeader)
 	t0 := time.Now()
 	for i := 0; seconds == 0 || i < seconds; i++ {
 		time.Sleep(interval)
 		cur, err := be.Stats()
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(w, "error:", err)
 			return
 		}
-		dt := interval.Seconds()
-		rate := func(now, before uint64) float64 { return float64(now-before) / dt }
-		hit := cur.CacheHitRatio * 100
-		if d := (cur.CacheHits + cur.CacheMisses) - (prev.CacheHits + prev.CacheMisses); d > 0 {
-			hit = 100 * float64(cur.CacheHits-prev.CacheHits) / float64(d)
-		}
-		fmt.Printf("%10.0f%10.0f%10.0f%8.1f%10.0f%9d  %s  [%s]\n",
-			rate(cur.Gets, prev.Gets), rate(cur.Puts, prev.Puts), rate(cur.Deletes, prev.Deletes),
-			hit, rate(cur.PageSwaps, prev.PageSwaps), cur.Keys, cur.Health(),
-			time.Since(t0).Truncate(time.Second))
+		fmt.Fprint(w, watchLine(prev, cur, interval, time.Since(t0)))
 		prev = cur
 	}
+}
+
+// watchLine formats one delta row of the watch view from two samples.
+func watchLine(prev, cur aria.Stats, interval, elapsed time.Duration) string {
+	dt := interval.Seconds()
+	rate := func(now, before uint64) float64 { return float64(now-before) / dt }
+	hit := cur.CacheHitRatio * 100
+	if d := (cur.CacheHits + cur.CacheMisses) - (prev.CacheHits + prev.CacheMisses); d > 0 {
+		hit = 100 * float64(cur.CacheHits-prev.CacheHits) / float64(d)
+	}
+	return fmt.Sprintf("%10.0f%10.0f%10.0f%8.1f%10.0f%10.0f%7d%9d  %s  [%s]\n",
+		rate(cur.Gets, prev.Gets), rate(cur.Puts, prev.Puts), rate(cur.Deletes, prev.Deletes),
+		hit, rate(cur.PageSwaps, prev.PageSwaps), rate(cur.WALFsyncs, prev.WALFsyncs),
+		cur.Checkpoints, cur.Keys, cur.Health(),
+		elapsed.Truncate(time.Second))
 }
 
 func report(err error) {

@@ -1,0 +1,160 @@
+package main
+
+// Tests for the -watch output formatting: column layout, rate
+// computation from sample deltas, hit-ratio fallback, and the
+// durability columns (wsync/s, ckpts) fed by the WAL metric families.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// scriptedBackend replays a fixed sequence of Stats samples, one per
+// call, so watchStats output is deterministic.
+type scriptedBackend struct {
+	samples []aria.Stats
+	errAt   int // return an error on the i-th call (-1: never)
+	calls   int
+}
+
+func (b *scriptedBackend) Stats() (aria.Stats, error) {
+	i := b.calls
+	b.calls++
+	if b.errAt >= 0 && i == b.errAt {
+		return aria.Stats{}, aria.ErrNotDurable
+	}
+	if i >= len(b.samples) {
+		i = len(b.samples) - 1
+	}
+	return b.samples[i], nil
+}
+
+func (b *scriptedBackend) Put(k, v []byte) error        { return nil }
+func (b *scriptedBackend) Get(k []byte) ([]byte, error) { return nil, aria.ErrNotFound }
+func (b *scriptedBackend) Delete(k []byte) error        { return nil }
+func (b *scriptedBackend) Scan(start, end []byte, fn func(k, v []byte) bool) error {
+	return aria.ErrNoScan
+}
+func (b *scriptedBackend) Checkpoint() error { return aria.ErrNotDurable }
+func (b *scriptedBackend) Verify() error     { return nil }
+
+func TestWatchLineFormatsDurabilityColumns(t *testing.T) {
+	prev := aria.Stats{
+		Gets: 100, Puts: 50, Deletes: 10,
+		CacheHits: 80, CacheMisses: 20,
+		PageSwaps: 5, WALFsyncs: 40, Checkpoints: 1, Keys: 900,
+	}
+	cur := aria.Stats{
+		Gets: 300, Puts: 150, Deletes: 30,
+		CacheHits: 170, CacheMisses: 30, // delta 90/100 hits → 90.0%
+		PageSwaps: 15, WALFsyncs: 140, Checkpoints: 3, Keys: 1000,
+	}
+	line := watchLine(prev, cur, time.Second, 3*time.Second)
+
+	fields := strings.Fields(line)
+	// gets/s puts/s dels/s hit% swaps/s wsync/s ckpts keys health [elapsed]
+	want := []string{"200", "100", "20", "90.0", "10", "100", "3", "1000"}
+	if len(fields) < len(want) {
+		t.Fatalf("line has %d fields, want at least %d: %q", len(fields), len(want), line)
+	}
+	for i, w := range want {
+		if fields[i] != w {
+			t.Errorf("field %d = %q, want %q (line %q)", i, fields[i], w, line)
+		}
+	}
+	if !strings.Contains(line, "[3s]") {
+		t.Errorf("line %q missing elapsed marker [3s]", line)
+	}
+}
+
+func TestWatchLineZeroDurabilityOnNonDurableStore(t *testing.T) {
+	prev := aria.Stats{Gets: 10}
+	cur := aria.Stats{Gets: 20, CacheHits: 1}
+	line := watchLine(prev, cur, time.Second, time.Second)
+	fields := strings.Fields(line)
+	if len(fields) < 8 {
+		t.Fatalf("line has %d fields: %q", len(fields), line)
+	}
+	if fields[5] != "0" || fields[6] != "0" {
+		t.Errorf("non-durable store should show wsync/s=0 ckpts=0, got %q %q (line %q)",
+			fields[5], fields[6], line)
+	}
+}
+
+func TestWatchLineHitRatioFallsBackToLifetime(t *testing.T) {
+	// No cache traffic between samples: the hit% column must fall back
+	// to the lifetime ratio instead of dividing by zero.
+	prev := aria.Stats{CacheHits: 75, CacheMisses: 25, CacheHitRatio: 0.75}
+	cur := aria.Stats{CacheHits: 75, CacheMisses: 25, CacheHitRatio: 0.75}
+	line := watchLine(prev, cur, time.Second, time.Second)
+	if !strings.Contains(line, "75.0") {
+		t.Errorf("expected lifetime hit ratio 75.0 in line %q", line)
+	}
+}
+
+func TestWatchStatsHeaderAndRows(t *testing.T) {
+	be := &scriptedBackend{
+		errAt: -1,
+		samples: []aria.Stats{
+			{Gets: 0, WALFsyncs: 0},
+			{Gets: 7, WALFsyncs: 2, Checkpoints: 1, Keys: 7},
+			{Gets: 14, WALFsyncs: 4, Checkpoints: 1, Keys: 14},
+		},
+	}
+	var buf bytes.Buffer
+	watchStats(&buf, be, time.Millisecond, 2)
+	out := buf.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if lines[0] != watchHeader {
+		t.Errorf("header = %q, want %q", lines[0], watchHeader)
+	}
+	for _, col := range []string{"gets/s", "wsync/s", "ckpts", "health"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("header missing column %q: %q", col, lines[0])
+		}
+	}
+	// Rates are per interval (1ms), so a delta of 7 gets prints 7000/s.
+	if !strings.Contains(lines[1], "7000") {
+		t.Errorf("row 1 missing 7000 gets/s: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "2000") {
+		t.Errorf("row 1 missing 2000 wsync/s: %q", lines[1])
+	}
+	if be.calls != 3 {
+		t.Errorf("backend sampled %d times, want 3", be.calls)
+	}
+}
+
+func TestWatchStatsReportsBackendError(t *testing.T) {
+	be := &scriptedBackend{errAt: 1, samples: []aria.Stats{{}}}
+	var buf bytes.Buffer
+	watchStats(&buf, be, time.Millisecond, 5)
+	out := buf.String()
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("expected error report, got:\n%s", out)
+	}
+	if be.calls != 2 {
+		t.Errorf("watch should stop on the first failed sample; sampled %d times", be.calls)
+	}
+}
+
+func TestWatchStatsErrorOnFirstSample(t *testing.T) {
+	be := &scriptedBackend{errAt: 0}
+	var buf bytes.Buffer
+	watchStats(&buf, be, time.Millisecond, 5)
+	out := buf.String()
+	if strings.Contains(out, watchHeader) {
+		t.Errorf("header should not print when the first sample fails:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("expected error report, got:\n%s", out)
+	}
+}

@@ -1,0 +1,416 @@
+package aria
+
+// The crash matrix: the durability subsystem's core property, tested
+// exhaustively. A scripted workload is written through a durable store
+// with FsyncAlways (every record individually committed), then the
+// resulting WAL is attacked one byte at a time:
+//
+//   - truncated to EVERY length 0..len(file): reopening must recover
+//     exactly the committed prefix — the state after the last record
+//     that fits entirely in the truncated file — because a crash can
+//     only shorten an append-only log;
+//   - EVERY byte flipped in place: under FailStop the reopen must fail
+//     with ErrIntegrity (the log is evidence); under Quarantine it must
+//     come up degraded with exactly the records before the flipped one.
+//
+// The same property is asserted per shard on a sharded store, where
+// each shard keeps an independent WAL lineage.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// crashOpts keeps the store as small as the schemes allow, because the
+// matrix reopens it hundreds of times.
+func crashOpts(dir string) Options {
+	opts := durableOpts(dir)
+	opts.EPCBytes = 16 << 20
+	opts.ExpectedKeys = 512
+	opts.Fsync = FsyncAlways
+	return opts
+}
+
+// crashOp is one scripted mutation; del selects Delete over Put.
+type crashOp struct {
+	key, value string
+	del        bool
+}
+
+// crashScript is the workload the matrix replays: inserts, an
+// overwrite, and a delete, so recovered state is order-sensitive.
+var crashScript = []crashOp{
+	{key: "alpha", value: "1"},
+	{key: "bravo", value: "2"},
+	{key: "charlie", value: "3"},
+	{key: "alpha", value: "1-rewritten"},
+	{key: "delta", value: "4"},
+	{key: "bravo", del: true},
+	{key: "echo", value: "5"},
+	{key: "foxtrot", value: "6"},
+}
+
+// apply runs ops[0:k] into a fresh map: the expected state after a
+// committed prefix of k records.
+func apply(ops []crashOp, k int) map[string]string {
+	want := make(map[string]string)
+	for _, op := range ops[:k] {
+		if op.del {
+			delete(want, op.key)
+		} else {
+			want[op.key] = op.value
+		}
+	}
+	return want
+}
+
+// buildCrashWAL writes the script through a durable store one op per
+// record and returns the segment file's bytes plus ends[k] = file
+// length once op k is durable (ends[0] = 0). FsyncAlways means each op
+// is fully committed before the next, so ends[] are exactly the legal
+// crash points.
+func buildCrashWAL(t *testing.T, dir string) (data []byte, ends []int64, segName string) {
+	t.Helper()
+	st := mustOpen(t, crashOpts(dir))
+	seg := singleSegment(t, dir)
+	segName = filepath.Base(seg)
+	ends = append(ends, 0)
+	for _, op := range crashScript {
+		var err error
+		if op.del {
+			err = st.Delete([]byte(op.key))
+		} else {
+			err = st.Put([]byte(op.key), []byte(op.value))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, fi.Size())
+	}
+	mustClose(t, st)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != ends[len(ends)-1] {
+		t.Fatalf("segment is %d bytes, expected %d after the last op", len(data), ends[len(ends)-1])
+	}
+	return data, ends, segName
+}
+
+// singleSegment returns the path of dir's only WAL segment.
+func singleSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("found %d WAL segments in %s, want exactly 1", len(segs), dir)
+	}
+	return segs[0]
+}
+
+// committedPrefix maps a file length to the number of fully-contained
+// records: the largest k with ends[k] <= size.
+func committedPrefix(ends []int64, size int64) int {
+	k := 0
+	for i, e := range ends {
+		if e <= size {
+			k = i
+		}
+	}
+	return k
+}
+
+// corruptedRecord maps a byte offset to the 1-based record holding it.
+func corruptedRecord(ends []int64, off int64) int {
+	for k := 1; k < len(ends); k++ {
+		if off < ends[k] {
+			return k
+		}
+	}
+	return len(ends) - 1
+}
+
+// writeCrashCopy materialises one matrix cell: the original log bytes
+// with the given mutation, in a fresh directory under the original
+// segment file name (the name encodes the first sequence number).
+func writeCrashCopy(t *testing.T, segName string, data []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCrashMatrixTruncation(t *testing.T) {
+	data, ends, segName := buildCrashWAL(t, t.TempDir())
+	for size := int64(0); size <= int64(len(data)); size++ {
+		k := committedPrefix(ends, size)
+		dir := writeCrashCopy(t, segName, data[:size])
+		st, err := Open(crashOpts(dir))
+		if err != nil {
+			t.Fatalf("truncate to %d bytes: reopen failed: %v (a cut is a crash, never tampering)", size, err)
+		}
+		if got := st.Stats().RecoveredRecords; got != uint64(k) {
+			t.Fatalf("truncate to %d bytes: recovered %d records, want committed prefix %d", size, got, k)
+		}
+		want := apply(crashScript, k)
+		if got := dump(t, st); !mapsEqual(got, want) {
+			t.Fatalf("truncate to %d bytes: state %v, want committed prefix state %v", size, got, want)
+		}
+		mustClose(t, st)
+	}
+}
+
+func TestCrashMatrixByteFlipFailStop(t *testing.T) {
+	data, _, segName := buildCrashWAL(t, t.TempDir())
+	for off := int64(0); off < int64(len(data)); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		dir := writeCrashCopy(t, segName, mut)
+		opts := crashOpts(dir)
+		opts.IntegrityPolicy = FailStop
+		st, err := Open(opts)
+		if err == nil {
+			mustClose(t, st)
+			t.Fatalf("flip at offset %d: FailStop open succeeded on a tampered log", off)
+		}
+		if !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("flip at offset %d: error %v does not wrap ErrIntegrity", off, err)
+		}
+	}
+}
+
+func TestCrashMatrixByteFlipQuarantine(t *testing.T) {
+	data, ends, segName := buildCrashWAL(t, t.TempDir())
+	for off := int64(0); off < int64(len(data)); off++ {
+		bad := corruptedRecord(ends, off)
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		dir := writeCrashCopy(t, segName, mut)
+		opts := crashOpts(dir)
+		opts.IntegrityPolicy = Quarantine
+		st, err := Open(opts)
+		if err != nil {
+			t.Fatalf("flip at offset %d: Quarantine open failed: %v", off, err)
+		}
+		stats := st.Stats()
+		if stats.Health() != HealthDegraded {
+			t.Fatalf("flip at offset %d: health %v, want degraded", off, stats.Health())
+		}
+		if got := stats.RecoveredRecords; got != uint64(bad-1) {
+			t.Fatalf("flip at offset %d (record %d): recovered %d records, want %d", off, bad, got, bad-1)
+		}
+		want := apply(crashScript, bad-1)
+		if got := dump(t, st); !mapsEqual(got, want) {
+			t.Fatalf("flip at offset %d: state %v, want salvaged prefix %v", off, got, want)
+		}
+		mustClose(t, st)
+	}
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashMatrixSharded asserts the per-shard property: cutting or
+// corrupting one shard's WAL affects exactly that shard's committed
+// suffix while every other shard recovers in full.
+func TestCrashMatrixSharded(t *testing.T) {
+	const shards = 2
+	srcDir := t.TempDir()
+	opts := crashOpts(srcDir)
+	opts.Shards = shards
+	opts.EPCBytes = 32 << 20
+	st := mustOpen(t, opts)
+
+	segs := make([]string, shards)
+	for i := range segs {
+		segs[i] = singleSegment(t, filepath.Join(srcDir, fmt.Sprintf("shard-%d", i)))
+	}
+	segSize := func(i int) int64 {
+		fi, err := os.Stat(segs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+
+	// Per-shard op history, attributed by watching which shard's
+	// segment grew: shardEnds[i][k] = shard i's file length after its
+	// k-th op, shardOps[i] the ops routed to it.
+	shardEnds := make([][]int64, shards)
+	shardOps := make([][]crashOp, shards)
+	for i := range shardEnds {
+		shardEnds[i] = []int64{0}
+	}
+	for _, op := range crashScript {
+		var err error
+		if op.del {
+			err = st.Delete([]byte(op.key))
+		} else {
+			err = st.Put([]byte(op.key), []byte(op.value))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		grew := -1
+		for i := 0; i < shards; i++ {
+			if sz := segSize(i); sz > shardEnds[i][len(shardEnds[i])-1] {
+				if grew != -1 {
+					t.Fatalf("op %q grew two shards", op.key)
+				}
+				grew = i
+				shardEnds[i] = append(shardEnds[i], sz)
+				shardOps[i] = append(shardOps[i], op)
+			}
+		}
+		if grew == -1 {
+			t.Fatalf("op %q grew no shard's WAL", op.key)
+		}
+	}
+	mustClose(t, st)
+	for i := 0; i < shards; i++ {
+		if len(shardOps[i]) == 0 {
+			t.Fatalf("shard %d received no ops; pick keys that spread across shards", i)
+		}
+	}
+
+	data := make([][]byte, shards)
+	for i := range data {
+		b, err := os.ReadFile(segs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[i] = b
+	}
+
+	// checkState verifies every key in the script through Get, since a
+	// hash-partitioned store has no ordered Scan.
+	checkState := func(t *testing.T, st Store, want map[string]string, context string) {
+		t.Helper()
+		seen := make(map[string]bool)
+		for _, op := range crashScript {
+			if seen[op.key] {
+				continue
+			}
+			seen[op.key] = true
+			v, err := st.Get([]byte(op.key))
+			wantV, present := want[op.key]
+			switch {
+			case present && err != nil:
+				t.Fatalf("%s: Get(%s): %v, want %q", context, op.key, err, wantV)
+			case present && string(v) != wantV:
+				t.Fatalf("%s: Get(%s) = %q, want %q", context, op.key, v, wantV)
+			case !present && !errors.Is(err, ErrNotFound):
+				t.Fatalf("%s: Get(%s) = %q, %v, want ErrNotFound", context, op.key, v, err)
+			}
+		}
+	}
+
+	// cloneDirs writes all shards intact except victim, which gets mut.
+	cloneDirs := func(t *testing.T, victim int, mut []byte) string {
+		t.Helper()
+		dir := t.TempDir()
+		for i := 0; i < shards; i++ {
+			b := data[i]
+			if i == victim {
+				b = mut
+			}
+			sub := filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(sub, filepath.Base(segs[i])), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+
+	// expectedState merges shard v's committed prefix of k ops with the
+	// full history of every other shard.
+	expectedState := func(victim, k int) map[string]string {
+		want := make(map[string]string)
+		for _, op := range crashScript {
+			mine := false
+			for _, vop := range shardOps[victim] {
+				if vop == op {
+					mine = true
+				}
+			}
+			if mine {
+				continue
+			}
+			if op.del {
+				delete(want, op.key)
+			} else {
+				want[op.key] = op.value
+			}
+		}
+		for _, op := range shardOps[victim][:k] {
+			if op.del {
+				delete(want, op.key)
+			} else {
+				want[op.key] = op.value
+			}
+		}
+		return want
+	}
+
+	for victim := 0; victim < shards; victim++ {
+		t.Run(fmt.Sprintf("truncate-shard-%d", victim), func(t *testing.T) {
+			for size := int64(0); size <= int64(len(data[victim])); size++ {
+				k := committedPrefix(shardEnds[victim], size)
+				dir := cloneDirs(t, victim, data[victim][:size])
+				o := crashOpts(dir)
+				o.Shards = shards
+				o.EPCBytes = 32 << 20
+				st, err := Open(o)
+				if err != nil {
+					t.Fatalf("shard %d cut to %d bytes: reopen failed: %v", victim, size, err)
+				}
+				checkState(t, st, expectedState(victim, k),
+					fmt.Sprintf("shard %d cut to %d bytes (prefix %d)", victim, size, k))
+				mustClose(t, st)
+			}
+		})
+		t.Run(fmt.Sprintf("flip-shard-%d", victim), func(t *testing.T) {
+			for off := int64(0); off < int64(len(data[victim])); off++ {
+				mut := append([]byte(nil), data[victim]...)
+				mut[off] ^= 0x40
+				dir := cloneDirs(t, victim, mut)
+				o := crashOpts(dir)
+				o.Shards = shards
+				o.EPCBytes = 32 << 20
+				o.IntegrityPolicy = FailStop
+				st, err := Open(o)
+				if err == nil {
+					mustClose(t, st)
+					t.Fatalf("shard %d flip at %d: FailStop open succeeded on a tampered shard", victim, off)
+				}
+				if !errors.Is(err, ErrIntegrity) {
+					t.Fatalf("shard %d flip at %d: %v does not wrap ErrIntegrity", victim, off, err)
+				}
+			}
+		})
+	}
+}

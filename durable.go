@@ -1,0 +1,588 @@
+package aria
+
+// Durability: the sealed WAL + snapshot wrapper (DESIGN.md §10). A
+// store opened with Options.DataDir is wrapped in a durableStore that
+// logs every successful write to a sealed write-ahead log (package
+// wal), takes atomic sealed snapshots, and recovers the committed
+// state on Open. The wrapper sits between the scheme store and the
+// metrics wrapper:
+//
+//	openStore → durableStore (DataDir != "") → meteredStore (Metrics != nil)
+//
+// Everything the wrapper persists leaves the enclave's trust boundary,
+// so each append charges the simulator the way real sealing would: the
+// AES-CTR encryption and CMAC of the record (ChargeCTR/ChargeMAC), one
+// OCALL plus the boundary copy of the sealed bytes (SealOut), and one
+// further OCALL per fsync the policy issues. Recovery charges the
+// mirror-image SealIn path. The cost accounting the paper's figures
+// rest on therefore stays honest when durability is on — and is
+// untouched when it is off, since Open never builds the wrapper then.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/ariakv/aria/internal/seal"
+	"github.com/ariakv/aria/internal/sgx"
+	"github.com/ariakv/aria/wal"
+)
+
+// Durable is implemented by stores opened with Options.DataDir set
+// (and by the metrics and sharding wrappers above them, which pass
+// through — a sharded or metered store over non-durable shards returns
+// ErrNotDurable from Checkpoint and makes Close a no-op).
+type Durable interface {
+	// Checkpoint writes an atomic sealed snapshot of the keyspace
+	// (write-temp + rename), then truncates the WAL segments the
+	// snapshot made obsolete. Safe to call at any time; the sharded
+	// store checkpoints every shard in parallel.
+	Checkpoint() error
+	// Close stops the background checkpointer, flushes the WAL, and
+	// closes its files. The store must not be used after Close.
+	Close() error
+}
+
+// WAL record payload opcodes.
+const (
+	walOpPut    = 1
+	walOpDelete = 2
+)
+
+// encodeWalRecord builds a WAL payload: op (1) || klen (2, LE) || key
+// [|| value]. The value length is implied by the record length.
+func encodeWalRecord(op byte, key, value []byte) []byte {
+	p := make([]byte, 3+len(key)+len(value))
+	p[0] = op
+	binary.LittleEndian.PutUint16(p[1:3], uint16(len(key)))
+	copy(p[3:], key)
+	copy(p[3+len(key):], value)
+	return p
+}
+
+// decodeWalRecord splits a WAL payload back into op, key, and value.
+func decodeWalRecord(p []byte) (op byte, key, value []byte, err error) {
+	if len(p) < 3 {
+		return 0, nil, nil, errors.New("aria: wal record too short")
+	}
+	klen := int(binary.LittleEndian.Uint16(p[1:3]))
+	if len(p) < 3+klen {
+		return 0, nil, nil, errors.New("aria: wal record key overruns payload")
+	}
+	return p[0], p[3 : 3+klen], p[3+klen:], nil
+}
+
+// durableStore makes one single-enclave store crash-safe. All
+// operations (reads included) serialize on mu, because the background
+// checkpointer reads the inner store concurrently with live traffic
+// and the engines model a single enclave thread.
+type durableStore struct {
+	inner  Store
+	enc    *sgx.Enclave
+	policy IntegrityPolicy
+
+	mu     sync.Mutex
+	log    *wal.Log
+	sealer *seal.Sealer
+	dir    string
+	// keys shadows the live key set: hash-indexed schemes cannot
+	// enumerate their contents, so the checkpointer iterates this set
+	// (sorted, for deterministic snapshots) and Gets each key.
+	keys            map[string]struct{}
+	checkpointEvery int
+	sinceCkpt       int
+
+	recovered   uint64 // records restored at Open (snapshot + replay)
+	recFailures uint64 // tamper detections during recovery (Quarantine)
+	checkpoints uint64
+	ckptErr     error // last background checkpoint failure
+
+	ckptC  chan struct{}
+	stopC  chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// openDurable wraps inner with WAL + snapshot durability rooted at
+// dir, running crash recovery first: load the newest valid snapshot,
+// replay the WAL above it, stop cleanly at a torn tail, and route
+// tampering through the integrity policy — FailStop fails the Open
+// (wrapping ErrIntegrity, log left untouched as evidence), Quarantine
+// salvages the valid prefix, counts the failure, and serves degraded.
+func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("aria: create data dir: %w", err)
+	}
+	d := &durableStore{
+		inner:           inner,
+		enc:             enclaveOf(inner),
+		policy:          opts.IntegrityPolicy,
+		sealer:          seal.New(opts.Seed),
+		dir:             dir,
+		keys:            make(map[string]struct{}),
+		checkpointEvery: opts.CheckpointEvery,
+		ckptC:           make(chan struct{}, 1),
+		stopC:           make(chan struct{}),
+	}
+
+	// 1. Newest valid snapshot. Under Quarantine a tampered snapshot is
+	// counted and skipped in favour of an older one; under FailStop it
+	// fails the Open.
+	snaps, err := wal.Snapshots(dir)
+	if err != nil {
+		return nil, fmt.Errorf("aria: list snapshots: %w", err)
+	}
+	coveredSeq := uint64(0)
+	for _, path := range snaps {
+		covered, pairs, rerr := wal.ReadSnapshot(path, d.sealer)
+		if rerr != nil {
+			if !errors.Is(rerr, wal.ErrTampered) {
+				return nil, fmt.Errorf("aria: read snapshot: %w", rerr)
+			}
+			if d.policy != Quarantine {
+				return nil, fmt.Errorf("%w: %w", ErrIntegrity, rerr)
+			}
+			d.recFailures++
+			continue
+		}
+		for _, p := range pairs {
+			if err := inner.Put(p.Key, p.Value); err != nil {
+				return nil, fmt.Errorf("aria: restore snapshot pair: %w", err)
+			}
+			d.keys[string(p.Key)] = struct{}{}
+			d.chargeSealIn(len(p.Key) + len(p.Value) + 2)
+		}
+		coveredSeq = covered
+		d.recovered += uint64(len(pairs))
+		break
+	}
+
+	// 2. WAL replay above the snapshot.
+	log, err := wal.Open(wal.Options{Dir: dir, Sealer: d.sealer, Fsync: opts.Fsync})
+	if err != nil {
+		return nil, fmt.Errorf("aria: open wal: %w", err)
+	}
+	replay := func(seq uint64, payload []byte) error {
+		op, key, value, derr := decodeWalRecord(payload)
+		if derr != nil {
+			// An undecodable payload authenticated correctly, so it is
+			// a logic-level corruption, not tampering: fail regardless
+			// of policy rather than guess.
+			return derr
+		}
+		d.chargeSealIn(len(payload))
+		switch op {
+		case walOpPut:
+			if err := inner.Put(key, value); err != nil {
+				return fmt.Errorf("aria: replay put: %w", err)
+			}
+			d.keys[string(key)] = struct{}{}
+		case walOpDelete:
+			if err := inner.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
+				return fmt.Errorf("aria: replay delete: %w", err)
+			}
+			delete(d.keys, string(key))
+		default:
+			return fmt.Errorf("aria: unknown wal opcode %d", op)
+		}
+		d.recovered++
+		return nil
+	}
+	_, err = log.Recover(coveredSeq, replay)
+	if err != nil {
+		if !errors.Is(err, wal.ErrTampered) {
+			log.Close()
+			return nil, err
+		}
+		if d.policy != Quarantine {
+			log.Close()
+			return nil, fmt.Errorf("%w: %w", ErrIntegrity, err)
+		}
+		// Quarantine: salvage the verified prefix and serve degraded.
+		// Records past the first tampered byte are untrusted and lost.
+		d.recFailures++
+		if terr := log.TruncateTail(); terr != nil {
+			log.Close()
+			return nil, fmt.Errorf("aria: salvage wal: %w", terr)
+		}
+	}
+	d.log = log
+
+	if d.checkpointEvery > 0 {
+		d.wg.Add(1)
+		go d.checkpointLoop()
+	}
+	return d, nil
+}
+
+// checkpointLoop runs automatic checkpoints triggered by record count;
+// it is the only goroutine touching the store besides callers, and it
+// synchronizes on d.mu like everyone else.
+func (d *durableStore) checkpointLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stopC:
+			return
+		case <-d.ckptC:
+			d.mu.Lock()
+			if !d.closed {
+				if err := d.checkpointLocked(); err != nil {
+					// Remembered, surfaced by Close; the next
+					// checkpoint retries, and the WAL still holds
+					// every record, so no durability is lost.
+					d.ckptErr = err
+				}
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// chargeAppend prices one durable append: seal crypto per record,
+// one boundary crossing for the group, one OCALL per fsync issued.
+func (d *durableStore) chargeAppend(payloadBytes []int, res wal.AppendResult) {
+	if d.enc == nil {
+		return
+	}
+	for _, n := range payloadBytes {
+		d.enc.ChargeCTR(n)
+		d.enc.ChargeMAC(n + seal.Overhead)
+	}
+	d.enc.SealOut(res.Bytes)
+	for i := 0; i < res.Fsyncs; i++ {
+		d.enc.Ocall()
+	}
+}
+
+// chargeSealIn prices unsealing one recovered record.
+func (d *durableStore) chargeSealIn(payloadBytes int) {
+	if d.enc == nil {
+		return
+	}
+	d.enc.SealIn(payloadBytes + seal.Overhead)
+	d.enc.ChargeCTR(payloadBytes)
+	d.enc.ChargeMAC(payloadBytes + seal.Overhead)
+}
+
+// logRecords appends the payloads as one group commit, charges the
+// simulator, and arms the automatic checkpointer.
+func (d *durableStore) logRecords(payloads ...[]byte) error {
+	sizes := make([]int, len(payloads))
+	for i, p := range payloads {
+		sizes[i] = len(p)
+	}
+	res, err := d.log.Append(payloads...)
+	if err != nil {
+		return fmt.Errorf("aria: wal append: %w", err)
+	}
+	d.chargeAppend(sizes, res)
+	d.sinceCkpt += len(payloads)
+	if d.checkpointEvery > 0 && d.sinceCkpt >= d.checkpointEvery {
+		d.sinceCkpt = 0
+		select {
+		case d.ckptC <- struct{}{}:
+		default: // a checkpoint is already pending
+		}
+	}
+	return nil
+}
+
+// Put implements Store: the in-memory write must succeed first, then
+// the record is sealed and appended (committed = applied + logged).
+func (d *durableStore) Put(key, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.inner.Put(key, value); err != nil {
+		return err
+	}
+	if err := d.logRecords(encodeWalRecord(walOpPut, key, value)); err != nil {
+		return err
+	}
+	d.keys[string(key)] = struct{}{}
+	return nil
+}
+
+// Get implements Store (reads never touch the WAL).
+func (d *durableStore) Get(key []byte) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Get(key)
+}
+
+// Delete implements Store.
+func (d *durableStore) Delete(key []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.inner.Delete(key); err != nil {
+		return err
+	}
+	if err := d.logRecords(encodeWalRecord(walOpDelete, key, nil)); err != nil {
+		return err
+	}
+	delete(d.keys, string(key))
+	return nil
+}
+
+// MGet implements Store.
+func (d *durableStore) MGet(keys [][]byte) ([][]byte, []error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.MGet(keys)
+}
+
+// MPut implements Store: the batch's successful writes are sealed and
+// appended as one group commit — one segment append, one fsync under
+// FsyncBatch — which is where batching's edge amortization carries
+// over to durability.
+func (d *durableStore) MPut(pairs []KV) []error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	errs := d.inner.MPut(pairs)
+	recs := make([][]byte, 0, len(pairs))
+	ok := make([]int, 0, len(pairs))
+	for i, p := range pairs {
+		if errs == nil || errs[i] == nil {
+			recs = append(recs, encodeWalRecord(walOpPut, p.Key, p.Value))
+			ok = append(ok, i)
+		}
+	}
+	if len(recs) == 0 {
+		return errs
+	}
+	if err := d.logRecords(recs...); err != nil {
+		// The writes applied in memory but are not durable: report the
+		// append failure at every position that would otherwise succeed.
+		for _, i := range ok {
+			errs = batchErr(errs, len(pairs), i, err)
+		}
+		return errs
+	}
+	for _, i := range ok {
+		d.keys[string(pairs[i].Key)] = struct{}{}
+	}
+	return errs
+}
+
+// MDelete implements Store, with the same group commit as MPut.
+func (d *durableStore) MDelete(keys [][]byte) []error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	errs := d.inner.MDelete(keys)
+	recs := make([][]byte, 0, len(keys))
+	ok := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if errs == nil || errs[i] == nil {
+			recs = append(recs, encodeWalRecord(walOpDelete, k, nil))
+			ok = append(ok, i)
+		}
+	}
+	if len(recs) == 0 {
+		return errs
+	}
+	if err := d.logRecords(recs...); err != nil {
+		for _, i := range ok {
+			errs = batchErr(errs, len(keys), i, err)
+		}
+		return errs
+	}
+	for _, i := range ok {
+		delete(d.keys, string(keys[i]))
+	}
+	return errs
+}
+
+// Checkpoint implements Durable.
+func (d *durableStore) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errors.New("aria: checkpoint on closed store")
+	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked rotates the WAL so the snapshot boundary aligns
+// with a segment boundary, seals the keyspace into an atomic snapshot,
+// and truncates the segments the snapshot made obsolete. Callers hold
+// d.mu.
+func (d *durableStore) checkpointLocked() error {
+	covered := d.log.NextSeq() - 1
+	if err := d.log.Rotate(); err != nil {
+		return fmt.Errorf("aria: checkpoint rotate: %w", err)
+	}
+	names := make([]string, 0, len(d.keys))
+	for k := range d.keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	pairs := make([]wal.Pair, 0, len(names))
+	total := 0
+	for _, k := range names {
+		v, err := d.inner.Get([]byte(k))
+		switch {
+		case err == nil:
+			pairs = append(pairs, wal.Pair{Key: []byte(k), Value: v})
+			total += len(k) + len(v) + 2
+		case errors.Is(err, ErrNotFound):
+			// The shadow set can briefly overapproximate; skip.
+		case errors.Is(err, ErrIntegrity) && d.policy == Quarantine:
+			// A poisoned key has no trustworthy value to persist; the
+			// snapshot carries the surviving keys and the store stays
+			// degraded.
+		default:
+			return fmt.Errorf("aria: checkpoint read %q: %w", k, err)
+		}
+	}
+	bytes, err := wal.WriteSnapshot(d.dir, d.sealer, covered, pairs)
+	if err != nil {
+		return fmt.Errorf("aria: write snapshot: %w", err)
+	}
+	if d.enc != nil {
+		for _, p := range pairs {
+			d.enc.ChargeCTR(len(p.Key) + len(p.Value) + 2)
+			d.enc.ChargeMAC(len(p.Key) + len(p.Value) + 2 + seal.Overhead)
+		}
+		d.enc.SealOut(int(bytes))
+		d.enc.Ocall() // the snapshot fsync
+	}
+	if err := wal.PruneSnapshots(d.dir, covered); err != nil {
+		return fmt.Errorf("aria: prune snapshots: %w", err)
+	}
+	if err := d.log.TruncateThrough(covered); err != nil {
+		return fmt.Errorf("aria: truncate wal: %w", err)
+	}
+	d.checkpoints++
+	d.sinceCkpt = 0
+	return nil
+}
+
+// Close implements Durable: stop the checkpointer, flush, close. It
+// returns the last background checkpoint failure, if any, so operators
+// see it even without metrics.
+func (d *durableStore) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.stopC)
+	d.wg.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.log.Sync()
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = d.ckptErr
+	}
+	return err
+}
+
+// Stats implements Store, adding the durability counters.
+func (d *durableStore) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.inner.Stats()
+	ls := d.log.Stats()
+	st.WALAppends = ls.Appends
+	st.WALRecords = ls.Records
+	st.WALBytes = ls.Bytes
+	st.WALFsyncs = ls.Fsyncs
+	st.Checkpoints = d.checkpoints
+	st.RecoveredRecords = d.recovered
+	// Tampering found during recovery counts like tampering found live:
+	// it flips Health() to degraded under Quarantine.
+	st.IntegrityFailures += d.recFailures
+	return st
+}
+
+// VerifyIntegrity implements Store.
+func (d *durableStore) VerifyIntegrity() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.VerifyIntegrity()
+}
+
+// SetMeasuring implements Store.
+func (d *durableStore) SetMeasuring(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inner.SetMeasuring(on)
+}
+
+// ResetStats implements Store.
+func (d *durableStore) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inner.ResetStats()
+}
+
+// Scan implements Ranger when the inner store does.
+func (d *durableStore) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.inner.(Ranger)
+	if !ok {
+		return ErrNoScan
+	}
+	return r.Scan(start, end, fn)
+}
+
+// ChargeEcall implements EdgeCaller.
+func (d *durableStore) ChargeEcall() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ec, ok := d.inner.(EdgeCaller); ok {
+		ec.ChargeEcall()
+	}
+}
+
+// The Corrupter surface passes through so attack demos target the
+// in-memory arenas of a durable store unchanged; the on-disk files are
+// attacked directly through the filesystem instead.
+
+// UntrustedSize implements Corrupter.
+func (d *durableStore) UntrustedSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.inner.(Corrupter); ok {
+		return c.UntrustedSize()
+	}
+	return 0
+}
+
+// FlipUntrustedByte implements Corrupter.
+func (d *durableStore) FlipUntrustedByte(offset int, mask byte) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.inner.(Corrupter); ok {
+		return c.FlipUntrustedByte(offset, mask)
+	}
+	return false
+}
+
+// SnapshotUntrusted implements Corrupter.
+func (d *durableStore) SnapshotUntrusted() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.inner.(Corrupter); ok {
+		return c.SnapshotUntrusted()
+	}
+	return nil
+}
+
+// RestoreUntrusted implements Corrupter.
+func (d *durableStore) RestoreUntrusted(snap []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.inner.(Corrupter); ok {
+		c.RestoreUntrusted(snap)
+	}
+}

@@ -1,0 +1,470 @@
+package aria
+
+// Tests for the sealed durability wrapper: persistence across reopen,
+// group commit, checkpoint/truncate, tamper handling under both
+// integrity policies, sharded recovery, and the cost accounting of the
+// sealing boundary. The exhaustive crash matrix lives in
+// crash_matrix_test.go.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria/obs"
+)
+
+// durableOpts returns small-store options rooted at dir. Callers mutate
+// the result for policy/fsync/shard variations.
+func durableOpts(dir string) Options {
+	return Options{
+		Scheme:               AriaBPTree,
+		EPCBytes:             32 << 20,
+		ExpectedKeys:         2048,
+		SecureCacheBytes:     1 << 20,
+		PinBudgetBytes:       64 << 10,
+		ShieldStoreRootBytes: 16 << 10,
+		Seed:                 5,
+		DataDir:              dir,
+	}
+}
+
+func mustOpen(t *testing.T, opts Options) Store {
+	t.Helper()
+	st, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustClose(t *testing.T, st Store) {
+	t.Helper()
+	d, ok := st.(Durable)
+	if !ok {
+		t.Fatalf("store %T is not Durable", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// dump scans the whole keyspace into a map for state comparison.
+func dump(t *testing.T, st Store) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	r, ok := st.(Ranger)
+	if !ok {
+		t.Fatalf("store %T has no Scan", st)
+	}
+	if err := r.Scan(nil, nil, func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return out
+}
+
+func TestDurablePersistsAcrossReopen(t *testing.T) {
+	for _, scheme := range []Scheme{AriaHash, AriaBPTree} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := durableOpts(dir)
+			opts.Scheme = scheme
+
+			st := mustOpen(t, opts)
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("key-%05d", i))
+				if err := st.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+			}
+			for i := 0; i < 200; i += 3 {
+				if err := st.Delete([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+					t.Fatalf("delete %d: %v", i, err)
+				}
+			}
+			mustClose(t, st)
+
+			st2 := mustOpen(t, opts)
+			defer mustClose(t, st2)
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("key-%05d", i))
+				v, err := st2.Get(k)
+				if i%3 == 0 {
+					if !errors.Is(err, ErrNotFound) {
+						t.Fatalf("deleted key %d resurrected: %v", i, err)
+					}
+					continue
+				}
+				if err != nil || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+					t.Fatalf("get %d after reopen: %v", i, err)
+				}
+			}
+			stats := st2.Stats()
+			if stats.RecoveredRecords == 0 {
+				t.Error("RecoveredRecords = 0 after replaying a WAL")
+			}
+			if stats.IntegrityFailures != 0 {
+				t.Errorf("IntegrityFailures = %d on a clean log", stats.IntegrityFailures)
+			}
+		})
+	}
+}
+
+func TestDurableBatchIsOneGroupCommit(t *testing.T) {
+	st := mustOpen(t, durableOpts(t.TempDir()))
+	defer mustClose(t, st)
+
+	before := st.Stats()
+	pairs := make([]KV, 50)
+	for i := range pairs {
+		pairs[i] = KV{Key: []byte(fmt.Sprintf("b-%03d", i)), Value: []byte("v")}
+	}
+	if errs := st.MPut(pairs); errs != nil {
+		t.Fatalf("mput: %v", errs)
+	}
+	after := st.Stats()
+	if got := after.WALAppends - before.WALAppends; got != 1 {
+		t.Errorf("WALAppends delta = %d, want 1 (group commit)", got)
+	}
+	if got := after.WALRecords - before.WALRecords; got != 50 {
+		t.Errorf("WALRecords delta = %d, want 50", got)
+	}
+	if got := after.WALFsyncs - before.WALFsyncs; got != 1 {
+		t.Errorf("WALFsyncs delta = %d, want 1 under FsyncBatch", got)
+	}
+
+	// 50 singleton puts cost 50 appends and 50 fsyncs: the edge the
+	// batch amortizes.
+	before = after
+	for i := range pairs {
+		if err := st.Put([]byte(fmt.Sprintf("s-%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after = st.Stats()
+	if got := after.WALFsyncs - before.WALFsyncs; got != 50 {
+		t.Errorf("singleton WALFsyncs delta = %d, want 50", got)
+	}
+}
+
+func TestDurableFsyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		policy FsyncPolicy
+		want   uint64 // fsyncs for one 10-record batch
+	}{
+		{FsyncBatch, 1},
+		{FsyncAlways, 10},
+		{FsyncNever, 0},
+	} {
+		t.Run(tc.policy.String(), func(t *testing.T) {
+			opts := durableOpts(t.TempDir())
+			opts.Fsync = tc.policy
+			st := mustOpen(t, opts)
+			defer mustClose(t, st)
+			pairs := make([]KV, 10)
+			for i := range pairs {
+				pairs[i] = KV{Key: []byte(fmt.Sprintf("k-%d", i)), Value: []byte("v")}
+			}
+			before := st.Stats().WALFsyncs
+			if errs := st.MPut(pairs); errs != nil {
+				t.Fatalf("mput: %v", errs)
+			}
+			if got := st.Stats().WALFsyncs - before; got != tc.want {
+				t.Errorf("fsyncs = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDurableCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts(dir)
+	st := mustOpen(t, opts)
+
+	for i := 0; i < 100; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dump(t, st)
+	if err := st.(Durable).Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if got := st.Stats().Checkpoints; got != 1 {
+		t.Errorf("Checkpoints = %d, want 1", got)
+	}
+	// The snapshot covers every record, so exactly one (empty, active)
+	// segment should remain alongside one snapshot.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Errorf("segments after checkpoint = %d (%v), want 1", len(segs), segs)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.seal"))
+	if len(snaps) != 1 {
+		t.Errorf("snapshots after checkpoint = %d (%v), want 1", len(snaps), snaps)
+	}
+
+	// Writes after the checkpoint land in the new lineage tail.
+	for i := 100; i < 120; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprintf("key-%05d", i)] = fmt.Sprintf("val-%d", i)
+	}
+	mustClose(t, st)
+
+	st2 := mustOpen(t, opts)
+	defer mustClose(t, st2)
+	got := dump(t, st2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+	// Snapshot restore + short replay, not a 120-record replay.
+	if rec := st2.Stats().RecoveredRecords; rec != 120 {
+		t.Errorf("RecoveredRecords = %d, want 120 (100 snapshot pairs + 20 replayed)", rec)
+	}
+}
+
+func TestDurableBackgroundCheckpointer(t *testing.T) {
+	opts := durableOpts(t.TempDir())
+	opts.CheckpointEvery = 10
+	st := mustOpen(t, opts)
+	defer mustClose(t, st)
+
+	for i := 0; i < 40; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDurableTamperedWALFailStop(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts(dir)
+	st := mustOpen(t, opts)
+	for i := 0; i < 20; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustClose(t, st)
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) == 0 {
+		t.Fatal("no wal segment written")
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(opts)
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("FailStop open of tampered wal: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestDurableTamperedWALQuarantineSalvages(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts(dir)
+	opts.IntegrityPolicy = Quarantine
+	st := mustOpen(t, opts)
+	for i := 0; i < 20; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustClose(t, st)
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the back half: a prefix must survive.
+	data[len(data)*3/4] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, opts)
+	defer mustClose(t, st2)
+	stats := st2.Stats()
+	if stats.IntegrityFailures == 0 {
+		t.Error("IntegrityFailures = 0 after salvaging a tampered wal")
+	}
+	if stats.Health() != HealthDegraded {
+		t.Errorf("Health = %v, want degraded", stats.Health())
+	}
+	if stats.RecoveredRecords == 0 {
+		t.Error("no prefix salvaged")
+	}
+	// The salvaged store accepts new writes and survives another cycle.
+	if err := st2.Put([]byte("after-salvage"), []byte("ok")); err != nil {
+		t.Fatalf("put after salvage: %v", err)
+	}
+}
+
+func TestDurableShardedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts(dir)
+	opts.Shards = 4
+	st := mustOpen(t, opts)
+	for i := 0; i < 200; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustClose(t, st)
+
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%d", i))); err != nil {
+			t.Errorf("shard-%d lineage dir missing: %v", i, err)
+		}
+	}
+
+	st2 := mustOpen(t, opts)
+	defer mustClose(t, st2)
+	for i := 0; i < 200; i++ {
+		v, err := st2.Get([]byte(fmt.Sprintf("key-%05d", i)))
+		if err != nil || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("get %d after sharded reopen: %v", i, err)
+		}
+	}
+	if rec := st2.Stats().RecoveredRecords; rec != 200 {
+		t.Errorf("aggregate RecoveredRecords = %d, want 200", rec)
+	}
+	if err := st2.(Durable).Checkpoint(); err != nil {
+		t.Fatalf("sharded checkpoint: %v", err)
+	}
+	if ck := st2.Stats().Checkpoints; ck != 4 {
+		t.Errorf("aggregate Checkpoints = %d, want 4 (one per shard)", ck)
+	}
+}
+
+func TestDurableNotDurableSentinel(t *testing.T) {
+	opts := durableOpts("")
+	opts.DataDir = ""
+
+	// Unsharded, unmetered: the raw store has no Durable surface at all.
+	plain := mustOpen(t, opts)
+	if _, ok := plain.(Durable); ok {
+		t.Error("non-durable plain store unexpectedly implements Durable")
+	}
+
+	// Sharded: the router always exposes Durable and reports the
+	// sentinel per shard.
+	so := opts
+	so.Shards = 2
+	sh := mustOpen(t, so)
+	if err := sh.(Durable).Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("sharded non-durable Checkpoint: %v, want ErrNotDurable", err)
+	}
+	if err := sh.(Durable).Close(); err != nil {
+		t.Errorf("sharded non-durable Close: %v, want nil no-op", err)
+	}
+}
+
+func TestDurableSealingIsCharged(t *testing.T) {
+	base := durableOpts("")
+	base.DataDir = ""
+	dry := mustOpen(t, base)
+
+	wet := mustOpen(t, durableOpts(t.TempDir()))
+	defer mustClose(t, wet)
+
+	run := func(st Store) Stats {
+		for i := 0; i < 50; i++ {
+			if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("value")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st.Stats()
+	}
+	ds, ws := run(dry), run(wet)
+	if ws.Ocalls <= ds.Ocalls {
+		t.Errorf("durable Ocalls %d not above in-memory %d (sealing boundary unpriced)", ws.Ocalls, ds.Ocalls)
+	}
+	if ws.MACs <= ds.MACs {
+		t.Errorf("durable MACs %d not above in-memory %d", ws.MACs, ds.MACs)
+	}
+	if ws.CTROps <= ds.CTROps {
+		t.Errorf("durable CTROps %d not above in-memory %d", ws.CTROps, ds.CTROps)
+	}
+	if ws.SimCycles <= ds.SimCycles {
+		t.Errorf("durable SimCycles %d not above in-memory %d", ws.SimCycles, ds.SimCycles)
+	}
+}
+
+func TestDurableMetricsFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := durableOpts(t.TempDir())
+	opts.Metrics = reg
+	st := mustOpen(t, opts)
+	defer mustClose(t, st)
+
+	for i := 0; i < 30; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.(Durable).Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, family := range []string{
+		metricWALAppends, metricWALRecords, metricWALBytes,
+		metricWALFsyncs, metricCheckpoints, metricCheckpointWallNs,
+		metricRecoveredRecords,
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("family %s missing from scrape", family)
+		}
+	}
+	if !strings.Contains(text, metricWALRecords+`{shard="0"} 30`) {
+		t.Errorf("wal records total not 30 in scrape:\n%s", grepMetric(text, metricWALRecords))
+	}
+	if !strings.Contains(text, metricCheckpoints+`{shard="0"} 1`) {
+		t.Errorf("checkpoints total not 1 in scrape:\n%s", grepMetric(text, metricCheckpoints))
+	}
+}
+
+// grepMetric pulls one family's lines out of a scrape for error output.
+func grepMetric(text, family string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, family) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

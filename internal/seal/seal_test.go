@@ -1,0 +1,77 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	s := New(42)
+	chain := s.ChainInit("test", 7)
+	payloads := [][]byte{[]byte("alpha"), []byte(""), bytes.Repeat([]byte{0xAB}, 300)}
+	c := chain
+	var recs [][]byte
+	for i, p := range payloads {
+		rec, next := s.Seal(uint64(7+i), 1, c, p)
+		recs = append(recs, rec)
+		c = next
+	}
+	c = chain
+	for i, rec := range recs {
+		seq, p, next, err := s.Open(1, c, rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if seq != uint64(7+i) {
+			t.Fatalf("record %d: seq %d, want %d", i, seq, 7+i)
+		}
+		if !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("record %d: payload mismatch", i)
+		}
+		c = next
+	}
+}
+
+func TestOpenRejectsFlippedBytes(t *testing.T) {
+	s := New(1)
+	chain := s.ChainInit("test", 0)
+	rec, _ := s.Seal(0, 0, chain, []byte("payload"))
+	for i := range rec {
+		bad := append([]byte(nil), rec...)
+		bad[i] ^= 0x01
+		if _, _, _, err := s.Open(0, chain, bad); !errors.Is(err, ErrTampered) {
+			t.Fatalf("flip at byte %d not detected: %v", i, err)
+		}
+	}
+}
+
+func TestOpenRejectsWrongChainAndSeed(t *testing.T) {
+	s := New(1)
+	chain := s.ChainInit("test", 0)
+	rec, next := s.Seal(0, 0, chain, []byte("first"))
+	rec2, _ := s.Seal(1, 0, next, []byte("second"))
+	// Reordering: record 2 against the initial chain.
+	if _, _, _, err := s.Open(0, chain, rec2); !errors.Is(err, ErrTampered) {
+		t.Fatalf("reordered record not detected: %v", err)
+	}
+	// A different seed (enclave identity) cannot open the record.
+	other := New(2)
+	if _, _, _, err := other.Open(0, other.ChainInit("test", 0), rec); !errors.Is(err, ErrTampered) {
+		t.Fatalf("foreign-seed open not detected: %v", err)
+	}
+	// A different salt (lineage purpose) fails as well.
+	if _, _, _, err := s.Open(9, chain, rec); !errors.Is(err, ErrTampered) {
+		t.Fatalf("cross-salt open not detected: %v", err)
+	}
+}
+
+func TestOpenRejectsShortRecord(t *testing.T) {
+	s := New(1)
+	chain := s.ChainInit("test", 0)
+	for n := 0; n < Overhead; n++ {
+		if _, _, _, err := s.Open(0, chain, make([]byte, n)); !errors.Is(err, ErrTampered) {
+			t.Fatalf("short record (%d bytes) not rejected: %v", n, err)
+		}
+	}
+}

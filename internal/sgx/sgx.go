@@ -434,6 +434,39 @@ func (e *Enclave) BatchExit(n int) {
 	e.cycles += ln * (e.costs.UntrustedLineCycles + e.costs.EnclaveLineCycles)
 }
 
+// SealOut charges pushing n sealed bytes out of the enclave to
+// untrusted storage: one OCALL (the host write performed on behalf of
+// enclave code) plus the boundary copy of the sealed bytes (both-side
+// line charges), mirroring BatchExit. This is the extra edge cost every
+// durable append pays on top of the in-memory operation; fsyncs are
+// charged separately as plain Ocalls by the caller.
+func (e *Enclave) SealOut(n int) {
+	if !e.measuring {
+		return
+	}
+	e.stats.Ocalls++
+	e.cycles += e.costs.OcallCycles
+	ln := lines(n)
+	e.stats.UntrustedLines += ln
+	e.stats.EnclaveLines += ln
+	e.cycles += ln * (e.costs.UntrustedLineCycles + e.costs.EnclaveLineCycles)
+}
+
+// SealIn charges pulling n sealed bytes back into the enclave during
+// recovery: one OCALL (the host read) plus the boundary copy-in,
+// mirroring SealOut in the opposite direction.
+func (e *Enclave) SealIn(n int) {
+	if !e.measuring {
+		return
+	}
+	e.stats.Ocalls++
+	e.cycles += e.costs.OcallCycles
+	ln := lines(n)
+	e.stats.UntrustedLines += ln
+	e.stats.EnclaveLines += ln
+	e.cycles += ln * (e.costs.UntrustedLineCycles + e.costs.EnclaveLineCycles)
+}
+
 // ChargeMAC accounts one CMAC computation over n bytes.
 func (e *Enclave) ChargeMAC(n int) {
 	if !e.measuring {

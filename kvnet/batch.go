@@ -26,7 +26,6 @@ package kvnet
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -34,10 +33,12 @@ import (
 	"github.com/ariakv/aria"
 )
 
-// ErrTooLarge reports a batch record whose key or value exceeds the wire
-// limits. The record is rejected client-side — it is never sent — and the
-// rest of the batch proceeds.
-var ErrTooLarge = errors.New("kvnet: key or value exceeds wire limits")
+// ErrTooLarge reports a key or value exceeding the wire or store
+// limits. Oversized batch records are rejected client-side — never
+// sent — and the rest of the batch proceeds; the same sentinel comes
+// back for records the store itself refuses, wrapping aria.ErrTooLarge
+// in both cases.
+var ErrTooLarge = fmt.Errorf("kvnet: key or value exceeds wire limits: %w", aria.ErrTooLarge)
 
 // batchReqOverhead is the fixed request prefix: op byte + record count.
 const batchReqOverhead = 5
@@ -187,16 +188,11 @@ func parseBatchRecord(op byte, body []byte) (status byte, rec, rest []byte, err 
 // batchStatus maps a per-key store error onto a wire status + message,
 // mirroring errResponse for the unary path.
 func batchStatus(err error) (byte, []byte) {
-	switch {
-	case err == nil:
+	if err == nil {
 		return stOK, nil
-	case errors.Is(err, aria.ErrNotFound):
-		return stNotFound, nil
-	case errors.Is(err, aria.ErrIntegrity):
-		return stIntegrity, []byte(err.Error())
-	default:
-		return stError, []byte(err.Error())
 	}
+	resp := errResponse(err)
+	return resp[0], resp[1:]
 }
 
 // errAt indexes a positional error slice that may be nil (all succeeded).

@@ -341,6 +341,9 @@ func (c *Client) unary(op byte, key, value []byte, limit uint32, idempotent bool
 	return status, body, err
 }
 
+// statusErr maps a response status back onto the sentinel errResponse
+// encoded from, so errors.Is against the aria sentinels holds on the
+// client exactly as it would against the store in-process.
 func statusErr(status byte, body []byte) error {
 	switch status {
 	case stOK:
@@ -351,6 +354,14 @@ func statusErr(status byte, body []byte) error {
 		return fmt.Errorf("%w: %s", ErrIntegrityRemote, body)
 	case stBusy:
 		return ErrServerBusy
+	case stTooLarge:
+		return ErrTooLarge
+	case stEmptyKey:
+		return ErrEmptyKey
+	case stNoScan:
+		return ErrNoScan
+	case stNotDurable:
+		return ErrNotDurable
 	default:
 		return fmt.Errorf("kvnet: server error: %s", body)
 	}
@@ -383,6 +394,18 @@ func (c *Client) Put(key, value []byte) error {
 // failures.
 func (c *Client) Delete(key []byte) error {
 	status, body, err := c.unary(opDelete, key, nil, 0, false)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// Checkpoint asks the server to write a sealed snapshot and truncate
+// the WAL it makes obsolete. A server whose store was opened without a
+// data dir answers ErrNotDurable. Checkpointing twice is harmless, so
+// transport failures are retried like idempotent operations.
+func (c *Client) Checkpoint() error {
+	status, body, err := c.unary(opCheckpoint, nil, nil, 0, true)
 	if err != nil {
 		return err
 	}

@@ -17,32 +17,43 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"github.com/ariakv/aria"
 )
 
 // Op codes. The batch ops (opMGet and above) carry multi-record payloads
 // and stream multi-record responses; see batch.go for their wire layout.
 const (
-	opGet     = 1
-	opPut     = 2
-	opDelete  = 3
-	opStats   = 4
-	opScan    = 5
-	opMGet    = 6
-	opMPut    = 7
-	opMDelete = 8
+	opGet        = 1
+	opPut        = 2
+	opDelete     = 3
+	opStats      = 4
+	opScan       = 5
+	opMGet       = 6
+	opMPut       = 7
+	opMDelete    = 8
+	opCheckpoint = 9
 )
 
-// Status codes.
+// Status codes. Typed store sentinels each get their own code so
+// errors.Is keeps working across the wire: the server maps a sentinel
+// to its status, the client maps the status back to an error wrapping
+// the same aria sentinel (see errResponse/statusErr and the round-trip
+// table test).
 const (
-	stOK        = 0
-	stNotFound  = 1
-	stIntegrity = 2
-	stBadReq    = 3
-	stError     = 4
-	stMore      = 5 // scan: another pair follows
-	stDone      = 6 // scan: end of range
-	stBusy      = 7 // server at connection limit; retry later
-	stCorrupt   = 8 // request frame failed its checksum; not processed, retry safe
+	stOK         = 0
+	stNotFound   = 1
+	stIntegrity  = 2
+	stBadReq     = 3
+	stError      = 4
+	stMore       = 5  // scan: another pair follows
+	stDone       = 6  // scan: end of range
+	stBusy       = 7  // server at connection limit; retry later
+	stCorrupt    = 8  // request frame failed its checksum; not processed, retry safe
+	stTooLarge   = 9  // key or value exceeds the store's limits
+	stEmptyKey   = 10 // empty or nil key
+	stNoScan     = 11 // store's index does not support range scans
+	stNotDurable = 12 // checkpoint on a store opened without a data dir
 )
 
 // Wire limits.
@@ -59,11 +70,20 @@ const (
 	maxFrameWire = 16 + maxKeyWire + maxValueWire
 )
 
+// The exported sentinels wrap their aria counterparts, so a caller can
+// match either the kvnet name or the aria sentinel with errors.Is —
+// the typed error survives the wire round trip.
 var (
 	// ErrIntegrityRemote reports that the server detected an attack.
-	ErrIntegrityRemote = errors.New("kvnet: server detected an integrity violation")
+	ErrIntegrityRemote = fmt.Errorf("kvnet: server detected an integrity violation: %w", aria.ErrIntegrity)
 	// ErrNotFound mirrors aria.ErrNotFound across the wire.
-	ErrNotFound = errors.New("kvnet: key not found")
+	ErrNotFound = fmt.Errorf("kvnet: %w", aria.ErrNotFound)
+	// ErrEmptyKey mirrors aria.ErrEmptyKey across the wire.
+	ErrEmptyKey = fmt.Errorf("kvnet: %w", aria.ErrEmptyKey)
+	// ErrNoScan mirrors aria.ErrNoScan across the wire.
+	ErrNoScan = fmt.Errorf("kvnet: %w", aria.ErrNoScan)
+	// ErrNotDurable mirrors aria.ErrNotDurable across the wire.
+	ErrNotDurable = fmt.Errorf("kvnet: %w", aria.ErrNotDurable)
 	// errMalformed reports a framing violation.
 	errMalformed = errors.New("kvnet: malformed frame")
 	// errCorruptFrame reports a frame whose checksum does not match: the

@@ -372,10 +372,19 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
 		}
 		return writeFrame(conn, encodeResponse(stOK, body))
+	case opCheckpoint:
+		d, ok := s.store.(aria.Durable)
+		if !ok {
+			return writeFrame(conn, errResponse(aria.ErrNotDurable))
+		}
+		if err := d.Checkpoint(); err != nil {
+			return writeFrame(conn, errResponse(err))
+		}
+		return writeFrame(conn, encodeResponse(stOK, nil))
 	case opScan:
 		r, ok := s.store.(aria.Ranger)
 		if !ok {
-			return writeFrame(conn, encodeResponse(stBadReq, []byte(aria.ErrNoScan.Error())))
+			return writeFrame(conn, errResponse(aria.ErrNoScan))
 		}
 		var end []byte
 		if len(rq.value) > 0 {
@@ -400,13 +409,9 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 			return streamErr
 		}
 		if err != nil {
-			if errors.Is(err, aria.ErrNoScan) {
-				// Sharded stores always expose the Ranger surface and
-				// report unsupported indexes via the sentinel instead;
-				// keep the wire response identical to a store without
-				// Ranger.
-				return writeFrame(conn, encodeResponse(stBadReq, []byte(aria.ErrNoScan.Error())))
-			}
+			// Sharded stores always expose the Ranger surface and report
+			// unsupported indexes via the sentinel instead; errResponse
+			// keeps the wire response identical to a store without Ranger.
 			return writeFrame(conn, errResponse(err))
 		}
 		return writeFrame(conn, encodeResponse(stDone, nil))
@@ -422,6 +427,14 @@ func errResponse(err error) []byte {
 		return encodeResponse(stNotFound, nil)
 	case errors.Is(err, aria.ErrIntegrity):
 		return encodeResponse(stIntegrity, []byte(err.Error()))
+	case errors.Is(err, aria.ErrTooLarge):
+		return encodeResponse(stTooLarge, []byte(err.Error()))
+	case errors.Is(err, aria.ErrEmptyKey):
+		return encodeResponse(stEmptyKey, nil)
+	case errors.Is(err, aria.ErrNoScan):
+		return encodeResponse(stNoScan, nil)
+	case errors.Is(err, aria.ErrNotDurable):
+		return encodeResponse(stNotDurable, nil)
 	default:
 		return encodeResponse(stError, []byte(err.Error()))
 	}

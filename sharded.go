@@ -2,6 +2,8 @@ package aria
 
 import (
 	"errors"
+	"fmt"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,6 +55,12 @@ func openSharded(opts Options) (Store, error) {
 		router: shard.NewRouter(n),
 		scheme: opts.Scheme,
 	}
+	// Shards build in parallel: with Options.DataDir each shard owns a
+	// WAL+snapshot lineage in its shard-<i> subdirectory, and crash
+	// recovery (snapshot load + WAL replay) runs concurrently across
+	// shards — N independent enclaves recovering at once.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
 	for i := 0; i < n; i++ {
 		so := opts
 		so.Shards = 1
@@ -62,16 +70,39 @@ func openSharded(opts Options) (Store, error) {
 		so.ShieldStoreRootBytes = roots[i]
 		so.ExpectedKeys = keys
 		so.Seed = opts.Seed + uint64(i)
-		st, err := openStore(so)
-		if err != nil {
-			return nil, err
+		wg.Add(1)
+		go func(i int, so Options) {
+			defer wg.Done()
+			st, err := openStore(so)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if opts.DataDir != "" {
+				st, err = openDurable(st, so, filepath.Join(opts.DataDir, fmt.Sprintf("shard-%d", i)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if opts.Metrics != nil {
+				// Each shard gets its own instruments, labelled
+				// shard="i": the per-shard breakout the aggregate
+				// Stats() cannot give.
+				st = meter(st, opts.Metrics, strconv.Itoa(i))
+			}
+			s.shards[i] = st
+		}(i, so)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		// Close whatever opened so no WAL file handles leak.
+		for _, st := range s.shards {
+			if d, ok := st.(Durable); ok {
+				d.Close()
+			}
 		}
-		if opts.Metrics != nil {
-			// Each shard gets its own instruments, labelled shard="i":
-			// the per-shard breakout the aggregate Stats() cannot give.
-			st = meter(st, opts.Metrics, strconv.Itoa(i))
-		}
-		s.shards[i] = st
+		return nil, err
 	}
 	return s, nil
 }
@@ -268,6 +299,12 @@ func (s *shardedStore) Stats() Stats {
 		agg.IntegrityFailures += st.IntegrityFailures
 		agg.QuarantinedKeys += st.QuarantinedKeys
 		agg.IntegrityPolicy = st.IntegrityPolicy
+		agg.WALAppends += st.WALAppends
+		agg.WALRecords += st.WALRecords
+		agg.WALBytes += st.WALBytes
+		agg.WALFsyncs += st.WALFsyncs
+		agg.Checkpoints += st.Checkpoints
+		agg.RecoveredRecords += st.RecoveredRecords
 		if st.SimCycles > agg.SimCycles {
 			agg.SimCycles = st.SimCycles
 			agg.SimSeconds = st.SimSeconds
@@ -282,6 +319,52 @@ func (s *shardedStore) Stats() Stats {
 	}
 	agg.StopSwap = stopSwap
 	return agg
+}
+
+// Checkpoint snapshots every shard in parallel — N independent
+// WAL+snapshot lineages checkpointing at once — and joins the per-shard
+// errors. Opened without DataDir the shards are not durable and every
+// one reports ErrNotDurable.
+func (s *shardedStore) Checkpoint() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.mus[i].Lock()
+			defer s.mus[i].Unlock()
+			d, ok := s.shards[i].(Durable)
+			if !ok {
+				errs[i] = ErrNotDurable
+				return
+			}
+			errs[i] = d.Checkpoint()
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close flushes and closes every durable shard's log. Non-durable
+// shards have nothing to release and close as a no-op, so Close is
+// always safe to defer regardless of how the store was opened.
+func (s *shardedStore) Close() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.mus[i].Lock()
+			defer s.mus[i].Unlock()
+			if d, ok := s.shards[i].(Durable); ok {
+				errs[i] = d.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // VerifyIntegrity audits every shard and joins their errors, so one

@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ariakv/aria/internal/seal"
+)
+
+// fuzzSegment builds a valid two-record segment under the fuzz seed
+// sealer, used to seed the corpus with structurally correct inputs the
+// mutator can perturb.
+func fuzzSegment() []byte {
+	s := seal.New(99)
+	chain := s.ChainInit(chainLabel, 1)
+	var out []byte
+	for i, p := range [][]byte{[]byte("fuzz-record-one"), []byte("two")} {
+		rec, next := s.Seal(uint64(1+i), saltRecords, chain, p)
+		var hdr [headerBytes]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(hdr[4:8], ^uint32(len(rec)))
+		out = append(out, hdr[:]...)
+		out = append(out, rec...)
+		chain = next
+	}
+	return out
+}
+
+// FuzzWALRecord feeds arbitrary bytes to the segment parser as the
+// contents of a recovered segment file. The parser must never panic,
+// must classify every input as clean, torn, or tampered, and must keep
+// the torn/tampered distinction sound: an input that is a strict prefix
+// of valid records may be torn but never tampered.
+func FuzzWALRecord(f *testing.F) {
+	valid := fuzzSegment()
+	f.Add([]byte{})
+	f.Add([]byte("go test fuzz"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add(valid[:headerBytes-3])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[headerBytes+3] ^= 0x80
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		l, err := Open(Options{Dir: dir, Sealer: seal.New(99)})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		var replayed uint64
+		info, err := l.Recover(0, func(seq uint64, payload []byte) error {
+			replayed++
+			return nil
+		})
+		l.Close()
+		if err != nil {
+			if !errors.Is(err, ErrTampered) {
+				t.Fatalf("recover returned non-tamper error: %v", err)
+			}
+			return
+		}
+		if replayed != info.Replayed || info.Verified != info.Replayed {
+			t.Fatalf("inconsistent recovery accounting: replayed %d, info %+v", replayed, info)
+		}
+		// Whatever survived recovery must be a clean log: a second
+		// recovery replays the same records with no torn tail.
+		l2, err := Open(Options{Dir: dir, Sealer: seal.New(99)})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		info2, err := l2.Recover(0, nil)
+		l2.Close()
+		if err != nil {
+			t.Fatalf("re-recover of cleaned log failed: %v", err)
+		}
+		if info2.Torn || info2.Replayed != info.Replayed {
+			t.Fatalf("cleaned log unstable: first %+v, second %+v", info, info2)
+		}
+	})
+}

@@ -1,0 +1,652 @@
+// Package wal implements the sealed write-ahead log and snapshot files
+// of Aria's durability subsystem (DESIGN.md §10).
+//
+// Everything the package writes lives outside the enclave's trust
+// boundary, so every record is sealed (AES-128-CTR encrypted and
+// CMAC-authenticated, internal/seal) before it reaches the host file
+// system, and the MACs are chained record-to-record: a log that has
+// been reordered, spliced, replayed, or bit-flipped fails verification
+// at the first bad record. A log that was merely cut short by a crash
+// — a torn tail — is distinguished from tampering by construction (see
+// the framing below) and recovery stops cleanly at the last complete
+// record.
+//
+// On-disk framing of one log record:
+//
+//	length       uint32  little endian, bytes following this header
+//	lengthCheck  uint32  ^length (ones' complement)
+//	sealed record        seq (8) || ciphertext || CMAC (16), internal/seal
+//
+// The redundant lengthCheck is what separates the two failure modes: a
+// crash can only shorten an append-only file, so recovery sees either
+// fewer than 8 header bytes or fewer body bytes than a *valid* header
+// declares — both torn. A flipped bit in the header breaks the
+// length/lengthCheck pair, and a flipped bit anywhere else breaks the
+// CMAC — both tampering, routed to the store's IntegrityPolicy.
+//
+// The package is deliberately free of simulator dependencies; the
+// durable store wrapper in the root package charges the enclave
+// simulator for seal work and boundary crossings (sgx.SealOut/SealIn).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/ariakv/aria/internal/seal"
+)
+
+const (
+	// headerBytes is the per-record framing overhead: length + lengthCheck.
+	headerBytes = 8
+	// maxRecordBytes bounds a single record's declared body length; a
+	// valid-looking header announcing more than this is tampering, not a
+	// huge record.
+	maxRecordBytes = 1 << 26
+	// segPrefix and segSuffix frame WAL segment file names:
+	// wal-<firstSeq, 20 digits>.log.
+	segPrefix = "wal-"
+	segSuffix = ".log"
+	// saltRecords is the keystream domain for WAL records ("ariaWLOG"),
+	// distinct from saltSnapshot so a WAL record and a snapshot record
+	// with equal sequence numbers never share a counter block.
+	saltRecords = 0x61726961574c4f47
+	// chainLabel seeds each segment's MAC chain together with the
+	// segment's first sequence number.
+	chainLabel = "aria-wal-segment"
+)
+
+// ErrTampered reports that the log or a snapshot failed verification in
+// a way a crash cannot produce: a broken header pair, a MAC failure, a
+// sequence gap, or a missing interior segment. It wraps seal.ErrTampered
+// where a record MAC was involved.
+var ErrTampered = errors.New("wal: log failed verification (tampering detected)")
+
+// ErrNotRecovered reports an Append or Rotate on a Log whose Recover
+// has not completed: the append position and chain state are unknown
+// until the existing records have been verified.
+var ErrNotRecovered = errors.New("wal: log not recovered yet")
+
+// FsyncPolicy selects when the log issues fsync on the active segment.
+type FsyncPolicy int
+
+const (
+	// FsyncBatch (the default) issues one fsync per Append call, so a
+	// batched write (MPut/MDelete) is group-committed: one segment
+	// append, one fsync, regardless of batch size.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncAlways issues one write+fsync per record, the strictest
+	// (and slowest) durability setting.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS entirely; a crash can lose
+	// recent records but never corrupts the committed prefix.
+	FsyncNever
+)
+
+// String returns "batch", "always", or "never".
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "batch"
+	}
+}
+
+// ParseFsyncPolicy maps "batch", "always", and "never" to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "batch":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return FsyncBatch, fmt.Errorf("wal: unknown fsync policy %q (want batch, always, or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding the segment and snapshot files. It
+	// is created if missing.
+	Dir string
+	// Sealer seals and opens records. Required.
+	Sealer *seal.Sealer
+	// Fsync selects the flush policy (default FsyncBatch).
+	Fsync FsyncPolicy
+	// SegmentBytes rotates the active segment once it exceeds this
+	// size (default 4 MB).
+	SegmentBytes int
+}
+
+// Stats counts the log's I/O since Open.
+type Stats struct {
+	// Appends counts Append calls (group commits).
+	Appends uint64
+	// Records counts records sealed into the log.
+	Records uint64
+	// Bytes counts sealed bytes written, framing included.
+	Bytes uint64
+	// Fsyncs counts fsync calls issued by the policy.
+	Fsyncs uint64
+}
+
+// AppendResult reports what one Append wrote, so the caller can charge
+// the enclave simulator for the boundary crossing and the fsyncs.
+type AppendResult struct {
+	// Bytes is the framed size of the group written to the segment.
+	Bytes int
+	// Fsyncs is how many fsync calls the policy issued.
+	Fsyncs int
+	// FirstSeq and LastSeq bound the sequence numbers assigned.
+	FirstSeq, LastSeq uint64
+}
+
+// RecoverInfo reports what Recover found.
+type RecoverInfo struct {
+	// Verified counts records that passed verification (including ones
+	// at or below afterSeq that were skipped, not replayed).
+	Verified uint64
+	// Replayed counts records handed to the replay function.
+	Replayed uint64
+	// TornBytes is the size of the torn tail discarded from the active
+	// segment (0 when the log ended cleanly).
+	TornBytes int64
+	// Torn reports whether a torn tail was found (a crash artifact,
+	// not tampering).
+	Torn bool
+}
+
+// segment is one on-disk log file; firstSeq is encoded in its name.
+type segment struct {
+	path     string
+	firstSeq uint64
+}
+
+// Log is a sealed append-only write-ahead log over one directory.
+// It is not safe for concurrent use; the durable store wrapper
+// serializes access.
+type Log struct {
+	opts      Options
+	segs      []segment
+	active    *os.File
+	activeLen int64
+	chain     seal.Chain
+	nextSeq   uint64
+	recovered bool
+	stats     Stats
+
+	// tamper recovery state consumed by TruncateTail: the segment
+	// index and offset where the valid prefix ends when Recover
+	// returned ErrTampered. badSeg == -1 means no tamper point;
+	// badSeg == dropAll means nothing is salvageable (structural
+	// tamper before any record verified) and the lineage restarts at
+	// salvageStart.
+	badSeg       int
+	badOff       int64
+	salvageStart uint64
+}
+
+// dropAll marks a tamper point where no prefix is salvageable.
+const dropAll = -2
+
+// Open scans dir for segment files and returns a Log positioned for
+// Recover. The directory is created if missing. No record is read yet.
+func Open(opts Options) (*Log, error) {
+	if opts.Sealer == nil {
+		return nil, errors.New("wal: Options.Sealer is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	l := &Log{opts: opts, badSeg: -1}
+	for _, e := range entries {
+		name := e.Name()
+		var first uint64
+		if !e.Type().IsRegular() || !parseSegName(name, &first) {
+			continue
+		}
+		l.segs = append(l.segs, segment{path: filepath.Join(opts.Dir, name), firstSeq: first})
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].firstSeq < l.segs[j].firstSeq })
+	return l, nil
+}
+
+// parseSegName extracts the first sequence number from a segment file
+// name, reporting whether the name is a well-formed segment name.
+func parseSegName(name string, first *uint64) bool {
+	if len(name) != len(segPrefix)+20+len(segSuffix) ||
+		name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+		return false
+	}
+	var v uint64
+	for _, c := range name[len(segPrefix) : len(name)-len(segSuffix)] {
+		if c < '0' || c > '9' {
+			return false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	*first = v
+	return true
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix)
+}
+
+// Recover verifies every segment in order, replaying records with
+// sequence numbers above afterSeq through fn. A torn tail on the final
+// segment is truncated away and reported in RecoverInfo; any other
+// defect returns ErrTampered (use TruncateTail to salvage the valid
+// prefix under a Quarantine policy). After a successful Recover the log
+// accepts Appends continuing the verified chain.
+func (l *Log) Recover(afterSeq uint64, fn func(seq uint64, payload []byte) error) (RecoverInfo, error) {
+	var info RecoverInfo
+	if l.recovered {
+		return info, errors.New("wal: Recover called twice")
+	}
+	l.salvageStart = afterSeq + 1
+	if len(l.segs) == 0 {
+		// Fresh directory: start a new lineage right after the snapshot.
+		if err := l.startSegment(afterSeq + 1); err != nil {
+			return info, err
+		}
+		l.recovered = true
+		return info, nil
+	}
+	if first := l.segs[0].firstSeq; first > afterSeq+1 {
+		// The records between the snapshot and the oldest segment are
+		// gone: history was removed, which a crash cannot do. Nothing
+		// after the gap can be safely replayed.
+		l.badSeg = dropAll
+		return info, fmt.Errorf("%w: oldest segment starts at seq %d but snapshot covers only %d", ErrTampered, first, afterSeq)
+	}
+	nextSeq := uint64(0)
+	prevEnd := int64(0)
+	for i, s := range l.segs {
+		if i > 0 && s.firstSeq != nextSeq {
+			// A missing interior range: the prefix through segment i-1
+			// is intact, everything from segment i on is untrusted.
+			l.badSeg, l.badOff = i-1, prevEnd
+			return info, fmt.Errorf("%w: segment %s does not continue at seq %d", ErrTampered, filepath.Base(s.path), nextSeq)
+		}
+		last := i == len(l.segs)-1
+		end, chain, next, err := l.verifySegment(i, afterSeq, last, fn, &info)
+		if err != nil {
+			return info, err
+		}
+		nextSeq = next
+		prevEnd = end
+		if last {
+			l.chain = chain
+			l.activeLen = end
+			l.nextSeq = next
+		}
+	}
+	// Reopen the final segment for appending, dropping any torn tail so
+	// the append invariant (file = framed records) holds again.
+	tail := l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return info, fmt.Errorf("wal: reopen tail segment: %w", err)
+	}
+	if info.Torn {
+		if err := f.Truncate(l.activeLen); err != nil {
+			f.Close()
+			return info, fmt.Errorf("wal: drop torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(l.activeLen, 0); err != nil {
+		f.Close()
+		return info, fmt.Errorf("wal: seek tail segment: %w", err)
+	}
+	l.active = f
+	l.recovered = true
+	return info, nil
+}
+
+// verifySegment walks one segment file, verifying the MAC chain and
+// sequence continuity, replaying records above afterSeq. It returns the
+// offset where valid records end, the chain state there, and the next
+// expected sequence number. Torn tails are only legal on the last
+// segment; on tamper it records the salvage point for TruncateTail.
+func (l *Log) verifySegment(idx int, afterSeq uint64, last bool, fn func(uint64, []byte) error, info *RecoverInfo) (int64, seal.Chain, uint64, error) {
+	s := l.segs[idx]
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return 0, seal.Chain{}, 0, fmt.Errorf("wal: read segment: %w", err)
+	}
+	chain := l.opts.Sealer.ChainInit(chainLabel, s.firstSeq)
+	want := s.firstSeq
+	off := int64(0)
+	tamper := func(format string, args ...any) (int64, seal.Chain, uint64, error) {
+		l.badSeg, l.badOff = idx, off
+		return off, chain, want, fmt.Errorf("%w: segment %s offset %d: %s", ErrTampered, filepath.Base(s.path), off, fmt.Sprintf(format, args...))
+	}
+	for int64(len(data))-off > 0 {
+		rest := data[off:]
+		if len(rest) < headerBytes {
+			// Fewer bytes than a header: only a cut can leave this.
+			if !last {
+				return tamper("segment cut short mid-lineage")
+			}
+			info.Torn, info.TornBytes = true, int64(len(rest))
+			break
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		check := binary.LittleEndian.Uint32(rest[4:8])
+		if check != ^length {
+			return tamper("record header check mismatch")
+		}
+		if length < seal.Overhead || length > maxRecordBytes {
+			return tamper("record length %d out of range", length)
+		}
+		if int64(len(rest)) < headerBytes+int64(length) {
+			// Valid header, short body: torn mid-record.
+			if !last {
+				return tamper("segment cut short mid-lineage")
+			}
+			info.Torn, info.TornBytes = true, int64(len(rest))
+			break
+		}
+		rec := rest[headerBytes : headerBytes+int64(length)]
+		seq, payload, next, err := l.opts.Sealer.Open(saltRecords, chain, rec)
+		if err != nil {
+			return tamper("%v", err)
+		}
+		if seq != want {
+			return tamper("sequence %d where %d expected", seq, want)
+		}
+		info.Verified++
+		if seq > afterSeq {
+			if fn != nil {
+				if err := fn(seq, payload); err != nil {
+					return off, chain, want, err
+				}
+			}
+			info.Replayed++
+		}
+		chain = next
+		want = seq + 1
+		off += headerBytes + int64(length)
+	}
+	return off, chain, want, nil
+}
+
+// TruncateTail salvages the valid prefix after Recover returned
+// ErrTampered: the tampered suffix of the failing segment and every
+// later segment are removed, and the log becomes appendable again. This
+// is the Quarantine path — availability over forensics; under FailStop
+// the log is left untouched as evidence.
+func (l *Log) TruncateTail() error {
+	if l.recovered {
+		return errors.New("wal: TruncateTail on a recovered log")
+	}
+	if l.badSeg == dropAll {
+		// Structural tamper before any record verified: no prefix is
+		// salvageable, so the lineage restarts empty right after the
+		// snapshot.
+		for _, s := range l.segs {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: remove unsalvageable segment: %w", err)
+			}
+		}
+		l.segs = nil
+		if err := l.startSegment(l.salvageStart); err != nil {
+			return err
+		}
+		l.badSeg = -1
+		l.recovered = true
+		return nil
+	}
+	if l.badSeg < 0 {
+		return errors.New("wal: TruncateTail without a recorded tamper point")
+	}
+	for _, s := range l.segs[l.badSeg+1:] {
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: remove tampered segment: %w", err)
+		}
+	}
+	l.segs = l.segs[:l.badSeg+1]
+	tail := l.segs[l.badSeg]
+	f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen salvaged segment: %w", err)
+	}
+	if err := f.Truncate(l.badOff); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: truncate tampered suffix: %w", err)
+	}
+	if _, err := f.Seek(l.badOff, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: seek salvaged segment: %w", err)
+	}
+	// Re-derive the append state by re-verifying the salvaged prefix.
+	chain := l.opts.Sealer.ChainInit(chainLabel, tail.firstSeq)
+	want := tail.firstSeq
+	data, err := os.ReadFile(tail.path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: reread salvaged segment: %w", err)
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		rec := data[off+headerBytes : off+headerBytes+int64(length)]
+		_, _, next, err := l.opts.Sealer.Open(saltRecords, chain, rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: salvaged prefix no longer verifies: %w", err)
+		}
+		chain = next
+		want++
+		off += headerBytes + int64(length)
+	}
+	l.active = f
+	l.activeLen = l.badOff
+	l.chain = chain
+	l.nextSeq = want
+	l.badSeg = -1
+	l.recovered = true
+	return nil
+}
+
+// startSegment creates a fresh active segment whose first record will
+// carry firstSeq, resetting the MAC chain to the segment's initial
+// value.
+func (l *Log) startSegment(firstSeq uint64) error {
+	path := filepath.Join(l.opts.Dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.segs = append(l.segs, segment{path: path, firstSeq: firstSeq})
+	l.active = f
+	l.activeLen = 0
+	l.chain = l.opts.Sealer.ChainInit(chainLabel, firstSeq)
+	l.nextSeq = firstSeq
+	return nil
+}
+
+// NextSeq returns the sequence number the next appended record will
+// carry.
+func (l *Log) NextSeq() uint64 { return l.nextSeq }
+
+// Append seals the payloads as consecutive records and writes them as
+// one group to the active segment, flushing per the fsync policy:
+// FsyncBatch commits the whole group with a single fsync (this is the
+// group commit MPut/MDelete ride on), FsyncAlways writes and syncs each
+// record, FsyncNever just writes. The segment is rotated first if it
+// has outgrown Options.SegmentBytes, so a group never straddles
+// segments.
+func (l *Log) Append(payloads ...[]byte) (AppendResult, error) {
+	var res AppendResult
+	if !l.recovered {
+		return res, ErrNotRecovered
+	}
+	if len(payloads) == 0 {
+		return res, nil
+	}
+	if l.activeLen >= int64(l.opts.SegmentBytes) {
+		if err := l.Rotate(); err != nil {
+			return res, err
+		}
+	}
+	res.FirstSeq = l.nextSeq
+	chain := l.chain
+	// Seal every record first so a write error cannot leave the chain
+	// state ahead of the file contents.
+	frames := make([][]byte, len(payloads))
+	seq := l.nextSeq
+	for i, p := range payloads {
+		frames[i], chain = l.frame(seq, chain, p)
+		seq++
+	}
+	write := func(b []byte) error {
+		n, err := l.active.Write(b)
+		if err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		l.activeLen += int64(n)
+		res.Bytes += n
+		return nil
+	}
+	sync := func() error {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		res.Fsyncs++
+		return nil
+	}
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		for _, fr := range frames {
+			if err := write(fr); err != nil {
+				return res, err
+			}
+			if err := sync(); err != nil {
+				return res, err
+			}
+		}
+	default:
+		var group []byte
+		for _, fr := range frames {
+			group = append(group, fr...)
+		}
+		if err := write(group); err != nil {
+			return res, err
+		}
+		if l.opts.Fsync == FsyncBatch {
+			if err := sync(); err != nil {
+				return res, err
+			}
+		}
+	}
+	l.chain = chain
+	l.nextSeq = seq
+	res.LastSeq = seq - 1
+	l.stats.Appends++
+	l.stats.Records += uint64(len(payloads))
+	l.stats.Bytes += uint64(res.Bytes)
+	l.stats.Fsyncs += uint64(res.Fsyncs)
+	return res, nil
+}
+
+// frame seals one payload and wraps it in the length/lengthCheck
+// header, returning the framed bytes and the successor chain.
+func (l *Log) frame(seq uint64, chain seal.Chain, payload []byte) ([]byte, seal.Chain) {
+	rec, next := l.opts.Sealer.Seal(seq, saltRecords, chain, payload)
+	framed := make([]byte, headerBytes+len(rec))
+	binary.LittleEndian.PutUint32(framed[:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(framed[4:8], ^uint32(len(rec)))
+	copy(framed[headerBytes:], rec)
+	return framed, next
+}
+
+// Rotate closes the active segment (with a final fsync unless the
+// policy is FsyncNever) and starts a new one at the next sequence
+// number. The checkpointer rotates before snapshotting so the snapshot
+// boundary aligns with a segment boundary.
+func (l *Log) Rotate() error {
+	if !l.recovered {
+		return ErrNotRecovered
+	}
+	if l.activeLen == 0 {
+		// The active segment holds no records, so its replacement would
+		// carry the same first sequence number — the same file name.
+		return nil
+	}
+	if l.opts.Fsync != FsyncNever {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync before rotate: %w", err)
+		}
+		l.stats.Fsyncs++
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return l.startSegment(l.nextSeq)
+}
+
+// TruncateThrough removes segments every record of which has sequence
+// number at or below seq — the obsolete prefix a snapshot covering seq
+// makes redundant. The active segment is never removed.
+func (l *Log) TruncateThrough(seq uint64) error {
+	if !l.recovered {
+		return ErrNotRecovered
+	}
+	keep := l.segs[:0]
+	for i, s := range l.segs {
+		// A segment's records end where the next segment starts; the
+		// last (active) segment is always kept.
+		if i+1 < len(l.segs) && l.segs[i+1].firstSeq <= seq+1 {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: remove obsolete segment: %w", err)
+			}
+			continue
+		}
+		keep = append(keep, s)
+	}
+	l.segs = keep
+	return nil
+}
+
+// Sync flushes the active segment regardless of policy (used on drain).
+func (l *Log) Sync() error {
+	if !l.recovered {
+		return ErrNotRecovered
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.stats.Fsyncs++
+	return nil
+}
+
+// Stats returns the I/O counters since Open.
+func (l *Log) Stats() Stats { return l.stats }
+
+// Close closes the active segment file. Under FsyncNever pending bytes
+// are flushed by the OS, not by Close.
+func (l *Log) Close() error {
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Close()
+	l.active = nil
+	return err
+}

@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ariakv/aria/internal/seal"
+)
+
+func openLog(t *testing.T, dir string, policy FsyncPolicy, segBytes int) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, Sealer: seal.New(99), Fsync: policy, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func recoverAll(t *testing.T, l *Log, afterSeq uint64) ([][]byte, RecoverInfo) {
+	t.Helper()
+	var got [][]byte
+	info, err := l.Recover(afterSeq, func(seq uint64, payload []byte) error {
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, info
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncBatch, FsyncAlways, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openLog(t, dir, policy, 1<<20)
+			if _, err := l.Append([]byte("x")); !errors.Is(err, ErrNotRecovered) {
+				t.Fatalf("append before recover: %v", err)
+			}
+			recoverAll(t, l, 0)
+			var want [][]byte
+			for i := 0; i < 10; i++ {
+				p := []byte(fmt.Sprintf("record-%d", i))
+				want = append(want, p)
+				if _, err := l.Append(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2 := openLog(t, dir, policy, 1<<20)
+			got, info := recoverAll(t, l2, 0)
+			if info.Torn {
+				t.Fatal("clean log reported torn")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("record %d mismatch", i)
+				}
+			}
+			// Appends continue the chain after recovery.
+			if _, err := l2.Append([]byte("after")); err != nil {
+				t.Fatal(err)
+			}
+			l2.Close()
+		})
+	}
+}
+
+func TestGroupCommitFsyncCounts(t *testing.T) {
+	group := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	cases := []struct {
+		policy FsyncPolicy
+		want   int
+	}{{FsyncBatch, 1}, {FsyncAlways, 3}, {FsyncNever, 0}}
+	for _, c := range cases {
+		t.Run(c.policy.String(), func(t *testing.T) {
+			l := openLog(t, t.TempDir(), c.policy, 1<<20)
+			recoverAll(t, l, 0)
+			res, err := l.Append(group...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fsyncs != c.want {
+				t.Fatalf("fsyncs = %d, want %d", res.Fsyncs, c.want)
+			}
+			if res.FirstSeq != 1 || res.LastSeq != 3 {
+				t.Fatalf("seq range [%d,%d], want [1,3]", res.FirstSeq, res.LastSeq)
+			}
+			if st := l.Stats(); st.Appends != 1 || st.Records != 3 || st.Bytes != uint64(res.Bytes) {
+				t.Fatalf("stats %+v inconsistent with result %+v", st, res)
+			}
+			l.Close()
+		})
+	}
+}
+
+func TestRotationAndTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncNever, 64) // tiny segments force rotation
+	recoverAll(t, l, 0)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(l.segs))
+	}
+	// Truncating through the second segment's start leaves later ones.
+	cut := l.segs[2].firstSeq - 1
+	if err := l.TruncateThrough(cut); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2 := openLog(t, dir, FsyncNever, 64)
+	got, _ := recoverAll(t, l2, cut)
+	if want := 20 - int(cut); len(got) != want {
+		t.Fatalf("replayed %d records after truncation, want %d", len(got), want)
+	}
+	l2.Close()
+}
+
+func TestTornTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncBatch, 1<<20)
+	recoverAll(t, l, 0)
+	var sizes []int64
+	total := int64(0)
+	for i := 0; i < 5; i++ {
+		res, err := l.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(res.Bytes)
+		sizes = append(sizes, total)
+	}
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	pristine, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(0); cut <= int64(len(pristine)); cut++ {
+		if err := os.WriteFile(seg, pristine[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2 := openLog(t, dir, FsyncBatch, 1<<20)
+		got, info := recoverAll(t, l2, 0)
+		// The recovered records must be exactly the committed prefix:
+		// every record whose bytes fully fit under the cut.
+		want := 0
+		for _, s := range sizes {
+			if s <= cut {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), want)
+		}
+		boundary := cut == 0
+		for _, s := range sizes {
+			boundary = boundary || s == cut
+		}
+		if info.Torn == boundary {
+			t.Fatalf("cut %d: torn=%v, want %v", cut, info.Torn, !boundary)
+		}
+		l2.Close()
+	}
+}
+
+func TestFlippedByteIsTampering(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncBatch, 1<<20)
+	recoverAll(t, l, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	pristine, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := range pristine {
+		bad := append([]byte(nil), pristine...)
+		bad[off] ^= 0x10
+		if err := os.WriteFile(seg, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2 := openLog(t, dir, FsyncBatch, 1<<20)
+		_, err := l2.Recover(0, nil)
+		if !errors.Is(err, ErrTampered) {
+			t.Fatalf("flip at offset %d: err = %v, want ErrTampered", off, err)
+		}
+		l2.Close()
+	}
+}
+
+func TestTruncateTailSalvagesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncBatch, 1<<20)
+	recoverAll(t, l, 0)
+	var bound int64
+	for i := 0; i < 4; i++ {
+		res, err := l.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			bound += int64(res.Bytes)
+		} else if i == 0 {
+			bound = int64(res.Bytes)
+		}
+	}
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[bound+headerBytes+2] ^= 0xFF // corrupt record 3's body
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, FsyncBatch, 1<<20)
+	var replayed int
+	_, err = l2.Recover(0, func(uint64, []byte) error { replayed++; return nil })
+	if !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered", err)
+	}
+	if err := l2.TruncateTail(); err != nil {
+		t.Fatal(err)
+	}
+	// The salvaged log accepts appends and replays only the prefix.
+	if _, err := l2.Append([]byte("salvaged")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3 := openLog(t, dir, FsyncBatch, 1<<20)
+	got, _ := recoverAll(t, l3, 0)
+	if len(got) != 3 { // records 0, 1 (valid prefix) + "salvaged"
+		t.Fatalf("replayed %d records after salvage, want 3", len(got))
+	}
+	if !bytes.Equal(got[2], []byte("salvaged")) {
+		t.Fatalf("last record = %q, want %q", got[2], "salvaged")
+	}
+	l3.Close()
+}
+
+func TestMissingHistoryIsTampering(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncNever, 64)
+	recoverAll(t, l, 0)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := l.segs[0].path
+	mid := l.segs[1].path
+	l.Close()
+
+	// Deleting an interior segment leaves a sequence gap.
+	if err := os.Remove(mid); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, FsyncNever, 64)
+	if _, err := l2.Recover(0, nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("interior segment removal: err = %v, want ErrTampered", err)
+	}
+	l2.Close()
+
+	// Deleting the oldest segment removes history the snapshot does not
+	// cover.
+	if err := os.Remove(first); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openLog(t, dir, FsyncNever, 64)
+	if _, err := l3.Recover(0, nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("history removal: err = %v, want ErrTampered", err)
+	}
+	l3.Close()
+}
+
+func TestSnapshotRoundTripAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(7)
+	pairs := []Pair{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("bb"), Value: bytes.Repeat([]byte{0xCD}, 100)},
+		{Key: []byte("empty"), Value: nil},
+	}
+	if _, err := WriteSnapshot(dir, s, 10, pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(dir, s, 25, pairs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || filepath.Base(snaps[0]) != SnapshotName(25) {
+		t.Fatalf("snapshots = %v, want newest-first with %s first", snaps, SnapshotName(25))
+	}
+	covered, got, err := ReadSnapshot(filepath.Join(dir, SnapshotName(10)), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 10 || len(got) != len(pairs) {
+		t.Fatalf("covered=%d pairs=%d, want 10/%d", covered, len(got), len(pairs))
+	}
+	for i := range pairs {
+		if !bytes.Equal(got[i].Key, pairs[i].Key) || !bytes.Equal(got[i].Value, pairs[i].Value) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	if err := PruneSnapshots(dir, 25); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ = Snapshots(dir)
+	if len(snaps) != 1 || filepath.Base(snaps[0]) != SnapshotName(25) {
+		t.Fatalf("after prune: %v, want only %s", snaps, SnapshotName(25))
+	}
+}
+
+func TestSnapshotTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(7)
+	pairs := []Pair{{Key: []byte("key"), Value: []byte("value")}}
+	if _, err := WriteSnapshot(dir, s, 3, pairs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SnapshotName(3))
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := range pristine {
+		bad := append([]byte(nil), pristine...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadSnapshot(path, s); !errors.Is(err, ErrTampered) {
+			t.Fatalf("flip at %d: err = %v, want ErrTampered", off, err)
+		}
+	}
+	// Truncation of a renamed snapshot is also tampering.
+	if err := os.WriteFile(path, pristine[:len(pristine)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(path, s); !errors.Is(err, ErrTampered) {
+		t.Fatalf("truncated snapshot: err = %v, want ErrTampered", err)
+	}
+	// A wrong seed (different enclave identity) cannot read it.
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(path, seal.New(8)); !errors.Is(err, ErrTampered) {
+		t.Fatalf("foreign-seed read: err = %v, want ErrTampered", err)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncBatch, FsyncAlways, FsyncNever} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
