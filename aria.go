@@ -448,6 +448,12 @@ func Open(opts Options) (Store, error) {
 		return nil, err
 	}
 	if opts.DataDir != "" {
+		// Refuse to open a directory that a sharded store claimed: its
+		// manifest records Shards > 1, and recovering only the top-level
+		// lineage would present an empty store (see manifest.go).
+		if err := checkShardManifest(opts.DataDir, opts.Seed, 1); err != nil {
+			return nil, err
+		}
 		st, err = openDurable(st, opts, opts.DataDir)
 		if err != nil {
 			return nil, err

@@ -302,6 +302,10 @@ func TestCrashMatrixSharded(t *testing.T) {
 		}
 		data[i] = b
 	}
+	manifest, err := os.ReadFile(filepath.Join(srcDir, manifestName))
+	if err != nil {
+		t.Fatalf("sharded store published no manifest: %v", err)
+	}
 
 	// checkState verifies every key in the script through Get, since a
 	// hash-partitioned store has no ordered Scan.
@@ -327,9 +331,14 @@ func TestCrashMatrixSharded(t *testing.T) {
 	}
 
 	// cloneDirs writes all shards intact except victim, which gets mut.
+	// The manifest rides along: a crash image always includes it, since
+	// it is published before any shard lineage exists.
 	cloneDirs := func(t *testing.T, victim int, mut []byte) string {
 		t.Helper()
 		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
 		for i := 0; i < shards; i++ {
 			b := data[i]
 			if i == victim {

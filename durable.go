@@ -52,15 +52,26 @@ const (
 	walOpDelete = 2
 )
 
+// maxWalKey bounds key length to what the WAL and snapshot framing's
+// uint16 length prefix can carry. A longer key would wrap the prefix
+// and replay would silently reconstruct a different key/value split —
+// corruption no MAC can catch, so openDurable refuses to build a
+// durable store whose Options.MaxKeySize admits such keys, and the
+// encoders below guard against it outright.
+const maxWalKey = 1<<16 - 1
+
 // encodeWalRecord builds a WAL payload: op (1) || klen (2, LE) || key
 // [|| value]. The value length is implied by the record length.
-func encodeWalRecord(op byte, key, value []byte) []byte {
+func encodeWalRecord(op byte, key, value []byte) ([]byte, error) {
+	if len(key) > maxWalKey {
+		return nil, fmt.Errorf("%w: key of %d bytes exceeds the durable framing limit %d", ErrTooLarge, len(key), maxWalKey)
+	}
 	p := make([]byte, 3+len(key)+len(value))
 	p[0] = op
 	binary.LittleEndian.PutUint16(p[1:3], uint16(len(key)))
 	copy(p[3:], key)
 	copy(p[3+len(key):], value)
-	return p
+	return p, nil
 }
 
 // decodeWalRecord splits a WAL payload back into op, key, and value.
@@ -94,6 +105,14 @@ type durableStore struct {
 	keys            map[string]struct{}
 	checkpointEvery int
 	sinceCkpt       int
+	// lastSnapCovered is the covered seq of the newest snapshot loaded
+	// or written (valid when hasSnap). Checkpoints retain the previous
+	// generation — snapshots and WAL records are only pruned up to this
+	// value, never up to the snapshot just written — so recovery under
+	// Quarantine always has an older snapshot plus the WAL above it to
+	// fall back to when the newest snapshot is tampered.
+	lastSnapCovered uint64
+	hasSnap         bool
 
 	recovered   uint64 // records restored at Open (snapshot + replay)
 	recFailures uint64 // tamper detections during recovery (Quarantine)
@@ -113,6 +132,9 @@ type durableStore struct {
 // (wrapping ErrIntegrity, log left untouched as evidence), Quarantine
 // salvages the valid prefix, counts the failure, and serves degraded.
 func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
+	if opts.MaxKeySize > maxWalKey {
+		return nil, fmt.Errorf("aria: Options.DataDir requires MaxKeySize <= %d (got %d): longer keys do not fit the WAL record framing", maxWalKey, opts.MaxKeySize)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("aria: create data dir: %w", err)
 	}
@@ -156,6 +178,7 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 			d.chargeSealIn(len(p.Key) + len(p.Value) + 2)
 		}
 		coveredSeq = covered
+		d.lastSnapCovered, d.hasSnap = covered, true
 		d.recovered += uint64(len(pairs))
 		break
 	}
@@ -291,15 +314,21 @@ func (d *durableStore) logRecords(payloads ...[]byte) error {
 	return nil
 }
 
-// Put implements Store: the in-memory write must succeed first, then
-// the record is sealed and appended (committed = applied + logged).
+// Put implements Store: the record is encoded first (so an
+// unloggable key is rejected before it touches memory), then the
+// in-memory write must succeed, then the record is sealed and appended
+// (committed = applied + logged).
 func (d *durableStore) Put(key, value []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	rec, err := encodeWalRecord(walOpPut, key, value)
+	if err != nil {
+		return err
+	}
 	if err := d.inner.Put(key, value); err != nil {
 		return err
 	}
-	if err := d.logRecords(encodeWalRecord(walOpPut, key, value)); err != nil {
+	if err := d.logRecords(rec); err != nil {
 		return err
 	}
 	d.keys[string(key)] = struct{}{}
@@ -317,10 +346,14 @@ func (d *durableStore) Get(key []byte) ([]byte, error) {
 func (d *durableStore) Delete(key []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	rec, err := encodeWalRecord(walOpDelete, key, nil)
+	if err != nil {
+		return err
+	}
 	if err := d.inner.Delete(key); err != nil {
 		return err
 	}
-	if err := d.logRecords(encodeWalRecord(walOpDelete, key, nil)); err != nil {
+	if err := d.logRecords(rec); err != nil {
 		return err
 	}
 	delete(d.keys, string(key))
@@ -346,7 +379,14 @@ func (d *durableStore) MPut(pairs []KV) []error {
 	ok := make([]int, 0, len(pairs))
 	for i, p := range pairs {
 		if errs == nil || errs[i] == nil {
-			recs = append(recs, encodeWalRecord(walOpPut, p.Key, p.Value))
+			rec, err := encodeWalRecord(walOpPut, p.Key, p.Value)
+			if err != nil {
+				// Unreachable while openDurable caps MaxKeySize, kept
+				// as a positional error rather than silent corruption.
+				errs = batchErr(errs, len(pairs), i, err)
+				continue
+			}
+			recs = append(recs, rec)
 			ok = append(ok, i)
 		}
 	}
@@ -376,7 +416,12 @@ func (d *durableStore) MDelete(keys [][]byte) []error {
 	ok := make([]int, 0, len(keys))
 	for i, k := range keys {
 		if errs == nil || errs[i] == nil {
-			recs = append(recs, encodeWalRecord(walOpDelete, k, nil))
+			rec, err := encodeWalRecord(walOpDelete, k, nil)
+			if err != nil {
+				errs = batchErr(errs, len(keys), i, err)
+				continue
+			}
+			recs = append(recs, rec)
 			ok = append(ok, i)
 		}
 	}
@@ -407,10 +452,19 @@ func (d *durableStore) Checkpoint() error {
 
 // checkpointLocked rotates the WAL so the snapshot boundary aligns
 // with a segment boundary, seals the keyspace into an atomic snapshot,
-// and truncates the segments the snapshot made obsolete. Callers hold
+// and prunes what the *previous* snapshot generation no longer needs:
+// snapshots older than the previous one and WAL segments at or below
+// its covered seq. Keeping two generations means a tampered newest
+// snapshot still has a working fallback (older snapshot + retained WAL)
+// under Quarantine, instead of silently wiping the store. Callers hold
 // d.mu.
 func (d *durableStore) checkpointLocked() error {
 	covered := d.log.NextSeq() - 1
+	if d.hasSnap && covered == d.lastSnapCovered {
+		// No record was logged since the last snapshot: re-sealing an
+		// identical snapshot would only churn the files.
+		return nil
+	}
 	if err := d.log.Rotate(); err != nil {
 		return fmt.Errorf("aria: checkpoint rotate: %w", err)
 	}
@@ -449,12 +503,20 @@ func (d *durableStore) checkpointLocked() error {
 		d.enc.SealOut(int(bytes))
 		d.enc.Ocall() // the snapshot fsync
 	}
-	if err := wal.PruneSnapshots(d.dir, covered); err != nil {
+	// Prune up to the previous generation only. On the first checkpoint
+	// there is no previous snapshot: the floor is 0, so the full WAL is
+	// retained and remains a complete fallback on its own.
+	keep := uint64(0)
+	if d.hasSnap {
+		keep = d.lastSnapCovered
+	}
+	if err := wal.PruneSnapshots(d.dir, keep); err != nil {
 		return fmt.Errorf("aria: prune snapshots: %w", err)
 	}
-	if err := d.log.TruncateThrough(covered); err != nil {
+	if err := d.log.TruncateThrough(keep); err != nil {
 		return fmt.Errorf("aria: truncate wal: %w", err)
 	}
+	d.lastSnapCovered, d.hasSnap = covered, true
 	d.checkpoints++
 	d.sinceCkpt = 0
 	return nil

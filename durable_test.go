@@ -189,36 +189,72 @@ func TestDurableCheckpointTruncatesWAL(t *testing.T) {
 	opts := durableOpts(dir)
 	st := mustOpen(t, opts)
 
-	for i := 0; i < 100; i++ {
-		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
-			t.Fatal(err)
+	putRange := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	want := dump(t, st)
-	if err := st.(Durable).Checkpoint(); err != nil {
-		t.Fatalf("checkpoint: %v", err)
+	ckpt := func() {
+		t.Helper()
+		if err := st.(Durable).Checkpoint(); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
 	}
+	count := func(pattern string) int {
+		t.Helper()
+		m, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(m)
+	}
+
+	// First checkpoint: there is no previous snapshot generation, so the
+	// full WAL stays as the fallback — one closed segment plus the fresh
+	// active one, and one snapshot.
+	putRange(0, 100)
+	ckpt()
 	if got := st.Stats().Checkpoints; got != 1 {
 		t.Errorf("Checkpoints = %d, want 1", got)
 	}
-	// The snapshot covers every record, so exactly one (empty, active)
-	// segment should remain alongside one snapshot.
-	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
-	if len(segs) != 1 {
-		t.Errorf("segments after checkpoint = %d (%v), want 1", len(segs), segs)
+	if got := count("wal-*.log"); got != 2 {
+		t.Errorf("segments after first checkpoint = %d, want 2 (previous generation retained)", got)
 	}
-	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.seal"))
-	if len(snaps) != 1 {
-		t.Errorf("snapshots after checkpoint = %d (%v), want 1", len(snaps), snaps)
+	if got := count("snap-*.seal"); got != 1 {
+		t.Errorf("snapshots after first checkpoint = %d, want 1", got)
 	}
 
-	// Writes after the checkpoint land in the new lineage tail.
-	for i := 100; i < 120; i++ {
-		if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
-			t.Fatal(err)
-		}
-		want[fmt.Sprintf("key-%05d", i)] = fmt.Sprintf("val-%d", i)
+	// Second checkpoint: the store now retains two snapshot generations
+	// and prunes WAL history only up to the older one, so a tampered
+	// newest snapshot always leaves a working fallback.
+	putRange(100, 120)
+	ckpt()
+	if got := count("snap-*.seal"); got != 2 {
+		t.Errorf("snapshots after second checkpoint = %d, want 2 generations", got)
 	}
+	if got := count("wal-*.log"); got != 2 {
+		t.Errorf("segments after second checkpoint = %d, want 2 (replay above the older snapshot)", got)
+	}
+
+	// Third checkpoint: the oldest generation is now obsolete and gets
+	// pruned — retention stays bounded at two.
+	putRange(120, 130)
+	ckpt()
+	if got := count("snap-*.seal"); got != 2 {
+		t.Errorf("snapshots after third checkpoint = %d, want 2 (oldest pruned)", got)
+	}
+	if got := count("wal-*.log"); got != 2 {
+		t.Errorf("segments after third checkpoint = %d, want 2 (oldest pruned)", got)
+	}
+	// A checkpoint with nothing new logged is a no-op, not a file churn.
+	ckpt()
+	if got := st.Stats().Checkpoints; got != 3 {
+		t.Errorf("Checkpoints = %d, want 3 (empty checkpoint skipped)", got)
+	}
+	want := dump(t, st)
 	mustClose(t, st)
 
 	st2 := mustOpen(t, opts)
@@ -232,9 +268,96 @@ func TestDurableCheckpointTruncatesWAL(t *testing.T) {
 			t.Fatalf("key %q = %q, want %q", k, got[k], v)
 		}
 	}
-	// Snapshot restore + short replay, not a 120-record replay.
-	if rec := st2.Stats().RecoveredRecords; rec != 120 {
-		t.Errorf("RecoveredRecords = %d, want 120 (100 snapshot pairs + 20 replayed)", rec)
+	// Snapshot restore + skip of already-covered WAL records, not a
+	// 130-record replay.
+	if rec := st2.Stats().RecoveredRecords; rec != 130 {
+		t.Errorf("RecoveredRecords = %d, want 130 (snapshot pairs, nothing replayed)", rec)
+	}
+}
+
+// TestDurableTamperedSnapshotFallsBack is the reason two snapshot
+// generations are retained: flipping a byte in the newest snapshot must
+// not cost any committed data. Under Quarantine the store comes up
+// degraded but complete — older snapshot plus the retained WAL above it
+// — and under FailStop the open refuses.
+func TestDurableTamperedSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts(dir)
+	opts.IntegrityPolicy = Quarantine
+	st := mustOpen(t, opts)
+	put := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	put(0, 50)
+	if err := st.(Durable).Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	put(50, 70)
+	if err := st.(Durable).Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	put(70, 80) // tail records beyond the newest snapshot
+	want := dump(t, st)
+	mustClose(t, st)
+
+	// Flip one byte in the newest snapshot.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.seal"))
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("snapshots = %v (err %v), want 2 generations", snaps, err)
+	}
+	newest := snaps[len(snaps)-1] // glob sorts ascending; highest covered last
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// FailStop: tampered snapshot refuses the open.
+	fs := opts
+	fs.IntegrityPolicy = FailStop
+	if _, err := Open(fs); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("FailStop open of tampered snapshot: %v, want ErrIntegrity", err)
+	}
+
+	// Quarantine: degraded but with the complete committed state.
+	st2 := mustOpen(t, opts)
+	defer mustClose(t, st2)
+	stats := st2.Stats()
+	if stats.IntegrityFailures == 0 {
+		t.Error("IntegrityFailures = 0 after skipping a tampered snapshot")
+	}
+	if stats.Health() != HealthDegraded {
+		t.Errorf("Health = %v, want degraded", stats.Health())
+	}
+	if got := dump(t, st2); !mapsEqual(got, want) {
+		t.Fatalf("fallback recovery lost data: %d keys recovered, want %d", len(got), len(want))
+	}
+}
+
+// TestDurableRejectsUnframeableMaxKeySize pins the WAL framing guard: a
+// durable store must refuse a MaxKeySize the uint16 key-length prefix
+// cannot represent (silent key/value re-splitting on replay otherwise),
+// while the purely in-memory store is free to allow it.
+func TestDurableRejectsUnframeableMaxKeySize(t *testing.T) {
+	opts := durableOpts(t.TempDir())
+	opts.MaxKeySize = 1 << 16
+	if _, err := Open(opts); err == nil || !strings.Contains(err.Error(), "MaxKeySize") {
+		t.Fatalf("durable Open with MaxKeySize 65536: err = %v, want framing-limit error", err)
+	}
+	opts.Shards = 2
+	if _, err := Open(opts); err == nil {
+		t.Fatal("sharded durable Open with MaxKeySize 65536 succeeded")
+	}
+	if _, err := encodeWalRecord(walOpPut, make([]byte, 1<<16), nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("encodeWalRecord oversize key: %v, want ErrTooLarge", err)
 	}
 }
 
@@ -364,6 +487,96 @@ func TestDurableShardedRecovery(t *testing.T) {
 	if ck := st2.Stats().Checkpoints; ck != 4 {
 		t.Errorf("aggregate Checkpoints = %d, want 4 (one per shard)", ck)
 	}
+}
+
+// TestDurableShardManifest pins the sealed shard manifest: a durable
+// sharded store records its shard count in DataDir, and every reopen —
+// with a different count, as an unsharded store, after the manifest is
+// deleted, or after it is tampered with — fails loudly instead of
+// recovering lineages under the wrong router and stranding keys.
+func TestDurableShardManifest(t *testing.T) {
+	newShardedDir := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		opts := durableOpts(dir)
+		opts.Shards = 4
+		st := mustOpen(t, opts)
+		for i := 0; i < 40; i++ {
+			if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustClose(t, st)
+		return dir
+	}
+
+	t.Run("shard-count-mismatch", func(t *testing.T) {
+		dir := newShardedDir(t)
+		opts := durableOpts(dir)
+		opts.Shards = 2
+		if _, err := Open(opts); err == nil || !strings.Contains(err.Error(), "4-shard") {
+			t.Fatalf("reopen with Shards=2 of a 4-shard dir: %v, want shard-count error", err)
+		}
+	})
+
+	t.Run("unsharded-reopen", func(t *testing.T) {
+		dir := newShardedDir(t)
+		if _, err := Open(durableOpts(dir)); err == nil || !strings.Contains(err.Error(), "4-shard") {
+			t.Fatalf("unsharded reopen of a 4-shard dir: %v, want shard-count error", err)
+		}
+	})
+
+	t.Run("deleted-manifest", func(t *testing.T) {
+		dir := newShardedDir(t)
+		if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+			t.Fatal(err)
+		}
+		opts := durableOpts(dir)
+		opts.Shards = 4
+		if _, err := Open(opts); !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("sharded reopen without manifest: %v, want ErrIntegrity", err)
+		}
+		// The unsharded path must refuse too: it would otherwise start an
+		// empty top-level lineage over the shard subdirectories.
+		if _, err := Open(durableOpts(dir)); !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("unsharded reopen without manifest: %v, want ErrIntegrity", err)
+		}
+	})
+
+	t.Run("tampered-manifest", func(t *testing.T) {
+		dir := newShardedDir(t)
+		path := filepath.Join(dir, manifestName)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x01
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		opts := durableOpts(dir)
+		opts.Shards = 4
+		if _, err := Open(opts); !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("reopen with tampered manifest: %v, want ErrIntegrity", err)
+		}
+	})
+
+	t.Run("sharded-over-single", func(t *testing.T) {
+		dir := t.TempDir()
+		st := mustOpen(t, durableOpts(dir))
+		if err := st.Put([]byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		mustClose(t, st)
+		opts := durableOpts(dir)
+		opts.Shards = 4
+		if _, err := Open(opts); !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("sharded open of an unsharded dir: %v, want ErrIntegrity", err)
+		}
+		// The original unsharded layout stays manifest-free and reopens.
+		st2 := mustOpen(t, durableOpts(dir))
+		mustClose(t, st2)
+	})
 }
 
 func TestDurableNotDurableSentinel(t *testing.T) {

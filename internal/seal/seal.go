@@ -6,15 +6,29 @@
 //
 // A sealed record is
 //
-//	seq (8 bytes, little endian) || ciphertext || CMAC (16 bytes)
+//	seq (8, LE) || epoch (8, LE) || ciphertext || CMAC (16 bytes)
 //
 // where the CMAC covers the previous record's MAC (the chain), the
-// lineage salt, the sequence number, and the ciphertext. Chaining the MACs makes
-// reordering, splicing, and replay of records detectable: record n+1
-// verifies only against record n's authenticator, and the first record
-// of a lineage verifies only against a chain value derived from the
-// lineage label. Sequence numbers are bound into both the MAC and the
-// CTR counter block, so no two records ever share a keystream.
+// lineage salt, the sequence number, the epoch, and the ciphertext.
+// Chaining the MACs makes reordering, splicing, and replay of records
+// detectable: record n+1 verifies only against record n's
+// authenticator, and the first record of a lineage verifies only
+// against a chain value derived from the lineage label.
+//
+// The epoch is a random 64-bit value drawn once per Sealer (one sealing
+// session — in Aria, one process lifetime of a durable store). It is
+// XORed into the CTR counter block's salt half, so the keystream of a
+// record is a function of (key, salt, epoch, seq). This is what makes
+// sequence-number reuse across crash recoveries safe: when recovery
+// truncates a torn tail or salvages a tampered log, the next append
+// re-issues the dropped record's sequence number — but through a new
+// Sealer with a fresh epoch, so the re-sealed record never shares a
+// keystream with the ciphertext the host may have kept from before the
+// crash (no two-time pad). The epoch travels in the clear inside the
+// record (it is a nonce, not a secret) and is authenticated by the
+// CMAC, so the host can neither choose it nor swap it without breaking
+// the chain. Two sessions collide only if their random epochs collide
+// (probability 2^-64 per pair).
 //
 // Like internal/seccrypto, the package is simulator-free: cycle
 // accounting for sealing is the caller's responsibility (see
@@ -22,6 +36,7 @@
 package seal
 
 import (
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -30,8 +45,8 @@ import (
 )
 
 // Overhead is the number of bytes Seal adds around a payload: the
-// 8-byte sequence number prefix and the 16-byte CMAC suffix.
-const Overhead = 8 + seccrypto.MACSize
+// 8-byte sequence number, the 8-byte epoch, and the 16-byte CMAC.
+const Overhead = 16 + seccrypto.MACSize
 
 // ErrTampered reports that a sealed record failed authentication: its
 // MAC did not verify against the expected chain value, which covers
@@ -45,12 +60,18 @@ type Chain [seccrypto.MACSize]byte
 // Sealer seals and opens records under keys derived from the store
 // seed, simulating the enclave-bound key EGETKEY would return on real
 // hardware: the same seed (enclave identity) always derives the same
-// keys, and a different seed cannot open the records.
+// keys, and a different seed cannot open the records. Each Sealer
+// carries a fresh random epoch that is folded into every keystream it
+// produces (see the package comment), so two Sealers never encrypt
+// under the same counter blocks even when they seal the same sequence
+// numbers.
 type Sealer struct {
-	c *seccrypto.Cipher
+	c     *seccrypto.Cipher
+	epoch uint64
 }
 
-// New derives a Sealer's encryption and MAC keys from the store seed.
+// New derives a Sealer's encryption and MAC keys from the store seed
+// and draws the session epoch.
 func New(seed uint64) *Sealer {
 	var m [8 + 12]byte
 	binary.LittleEndian.PutUint64(m[:8], seed)
@@ -61,8 +82,19 @@ func New(seed uint64) *Sealer {
 		// Unreachable: the derived keys are always the right size.
 		panic(err)
 	}
-	return &Sealer{c: c}
+	var e [8]byte
+	if _, err := rand.Read(e[:]); err != nil {
+		// Unreachable in practice: the platform CSPRNG never fails on
+		// supported targets, and a sealer without a fresh epoch must
+		// not seal anything.
+		panic(err)
+	}
+	return &Sealer{c: c, epoch: binary.LittleEndian.Uint64(e[:])}
 }
+
+// Epoch returns the sealer's session epoch (exposed for tests that
+// assert keystream separation across sessions).
+func (s *Sealer) Epoch() uint64 { return s.epoch }
 
 // ChainInit returns the initial chain value for a record lineage,
 // binding the lineage label and its starting sequence number so a
@@ -75,27 +107,31 @@ func (s *Sealer) ChainInit(label string, start uint64) Chain {
 	return out
 }
 
-// Seal encrypts payload under (seq, salt) and returns the sealed record
-// together with the successor chain value. The salt partitions the
-// keystream by purpose (WAL records vs snapshot records), so equal
-// sequence numbers in different lineages never reuse a counter block.
+// Seal encrypts payload under (seq, salt, epoch) and returns the sealed
+// record together with the successor chain value. The salt partitions
+// the keystream by purpose (WAL records vs snapshot records — callers
+// may fold further lineage identity into it), and the sealer's epoch is
+// XORed in so no other sealing session shares the counter blocks.
 func (s *Sealer) Seal(seq, salt uint64, chain Chain, payload []byte) ([]byte, Chain) {
 	rec := make([]byte, Overhead+len(payload))
 	binary.LittleEndian.PutUint64(rec[:8], seq)
-	ctr := seccrypto.CounterBlock(seq, salt)
-	s.c.CTRCrypt(&ctr, rec[8:8+len(payload)], payload)
+	binary.LittleEndian.PutUint64(rec[8:16], s.epoch)
+	ctr := seccrypto.CounterBlock(seq, salt^s.epoch)
+	s.c.CTRCrypt(&ctr, rec[16:16+len(payload)], payload)
 	var saltB [8]byte
 	binary.LittleEndian.PutUint64(saltB[:], salt)
 	var mac [seccrypto.MACSize]byte
-	s.c.MAC(&mac, chain[:], saltB[:], rec[:8+len(payload)])
-	copy(rec[8+len(payload):], mac[:])
+	s.c.MAC(&mac, chain[:], saltB[:], rec[:16+len(payload)])
+	copy(rec[16+len(payload):], mac[:])
 	return rec, mac
 }
 
 // Open verifies rec against the expected chain value and decrypts it,
 // returning the sequence number, the payload, and the successor chain.
-// Any authentication failure — including a record too short to carry
-// the seal framing — returns ErrTampered.
+// The record's own (authenticated) epoch drives the keystream, so a
+// sealer opens records written by any earlier session under the same
+// seed. Any authentication failure — including a record too short to
+// carry the seal framing — returns ErrTampered.
 func (s *Sealer) Open(salt uint64, chain Chain, rec []byte) (seq uint64, payload []byte, next Chain, err error) {
 	if len(rec) < Overhead {
 		return 0, nil, chain, ErrTampered
@@ -108,9 +144,10 @@ func (s *Sealer) Open(salt uint64, chain Chain, rec []byte) (seq uint64, payload
 		return 0, nil, chain, ErrTampered
 	}
 	seq = binary.LittleEndian.Uint64(rec[:8])
-	payload = make([]byte, len(body)-8)
-	ctr := seccrypto.CounterBlock(seq, salt)
-	s.c.CTRCrypt(&ctr, payload, body[8:])
+	epoch := binary.LittleEndian.Uint64(rec[8:16])
+	payload = make([]byte, len(body)-16)
+	ctr := seccrypto.CounterBlock(seq, salt^epoch)
+	s.c.CTRCrypt(&ctr, payload, body[16:])
 	copy(next[:], mac)
 	return seq, payload, next, nil
 }

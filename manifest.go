@@ -1,0 +1,161 @@
+package aria
+
+// The shard manifest. A sharded durable store splits DataDir into one
+// WAL+snapshot lineage per shard (shard-<i>/), but the hash router that
+// assigns keys to shards lives only in Options.Shards — nothing about
+// the partitioning is derivable from the lineages themselves. Reopening
+// an existing DataDir with a different shard count would recover every
+// lineage into its old index while the router maps keys differently:
+// committed keys silently become unreachable instead of failing loudly.
+//
+// openSharded therefore publishes a small sealed manifest
+// (manifest.seal) in DataDir recording the shard count, and every
+// subsequent Open — sharded or not — must agree with it. The manifest
+// is sealed like any other durable record (internal/seal: AES-CTR +
+// CMAC under seed-derived keys, its own salt and chain label), so the
+// host cannot forge a different count; and because a directory that
+// holds lineage state without a manifest can only mean the manifest was
+// deleted, that case is treated as tampering, not as a fresh store.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/ariakv/aria/internal/seal"
+)
+
+const (
+	// manifestName is the manifest's file name inside DataDir.
+	manifestName = "manifest.seal"
+	// saltManifest is the manifest's keystream domain ("ariaMANF"),
+	// distinct from the WAL and snapshot domains in package wal.
+	saltManifest = 0x617269614d414e46
+	// manifestLabel seeds the manifest's (single-record) MAC chain.
+	manifestLabel = "aria-shard-manifest"
+	// manifestMagic opens the manifest payload.
+	manifestMagic = "ariashard1"
+)
+
+// readShardManifest returns the shard count recorded in dir's manifest;
+// ok is false when no manifest file exists. A manifest that fails
+// verification returns an error wrapping seal.ErrTampered.
+func readShardManifest(dir string, s *seal.Sealer) (shards int, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("aria: read shard manifest: %w", err)
+	}
+	seq, payload, _, err := s.Open(saltManifest, s.ChainInit(manifestLabel, 0), data)
+	if err != nil || seq != 0 {
+		return 0, false, fmt.Errorf("aria: shard manifest failed verification: %w", seal.ErrTampered)
+	}
+	if len(payload) != len(manifestMagic)+4 || !strings.HasPrefix(string(payload), manifestMagic) {
+		return 0, false, fmt.Errorf("aria: shard manifest malformed: %w", seal.ErrTampered)
+	}
+	n := int(binary.LittleEndian.Uint32(payload[len(manifestMagic):]))
+	if n <= 0 {
+		return 0, false, fmt.Errorf("aria: shard manifest count %d: %w", n, seal.ErrTampered)
+	}
+	return n, true, nil
+}
+
+// writeShardManifest atomically publishes dir's manifest (write-temp +
+// rename + directory fsync, like a snapshot).
+func writeShardManifest(dir string, s *seal.Sealer, shards int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("aria: create data dir: %w", err)
+	}
+	payload := make([]byte, len(manifestMagic)+4)
+	copy(payload, manifestMagic)
+	binary.LittleEndian.PutUint32(payload[len(manifestMagic):], uint32(shards))
+	rec, _ := s.Seal(0, saltManifest, s.ChainInit(manifestLabel, 0), payload)
+	final := filepath.Join(dir, manifestName)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, rec, 0o644); err != nil {
+		return fmt.Errorf("aria: write shard manifest: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("aria: publish shard manifest: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // best-effort, as for snapshot renames
+		d.Close()
+	}
+	return nil
+}
+
+// durableStateKind classifies what lineage state dir already holds:
+// "" (nothing), "sharded" (shard-<i> subdirectories), or "single"
+// (WAL segments or snapshots at the top level).
+func durableStateKind(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("aria: read data dir: %w", err)
+	}
+	kind := ""
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir() && strings.HasPrefix(name, "shard-"):
+			return "sharded", nil
+		case strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "snap-"):
+			kind = "single"
+		}
+	}
+	return kind, nil
+}
+
+// checkShardManifest reconciles Options.Shards with what DataDir
+// records, creating the manifest when a sharded store first claims a
+// fresh directory. shards is the effective count (1 for an unsharded
+// store). It returns a configuration error on a count mismatch and an
+// ErrIntegrity-wrapped error when the manifest is tampered or has been
+// deleted out from under existing lineage state.
+func checkShardManifest(dir string, seed uint64, shards int) error {
+	s := seal.New(seed)
+	n, ok, err := readShardManifest(dir, s)
+	if err != nil {
+		if errors.Is(err, seal.ErrTampered) {
+			return fmt.Errorf("%w: %w", ErrIntegrity, err)
+		}
+		return err
+	}
+	if ok {
+		if n != shards {
+			return fmt.Errorf("aria: DataDir %s holds a %d-shard store but Options.Shards requests %d; reopen with Shards=%d (re-partitioning needs an explicit migration)", dir, n, shards, n)
+		}
+		return nil
+	}
+	kind, err := durableStateKind(dir)
+	if err != nil {
+		return err
+	}
+	switch {
+	case shards > 1 && kind != "":
+		// A sharded open over existing lineage state without a manifest:
+		// either the manifest was removed (tampering — a crash cannot
+		// delete a published file) or the directory belongs to an
+		// unsharded store.
+		return fmt.Errorf("%w: aria: DataDir %s holds existing %s state but no shard manifest", ErrIntegrity, dir, kind)
+	case shards == 1 && kind == "sharded":
+		// Unsharded open over shard subdirectories: without this check
+		// the store would start an empty top-level lineage and silently
+		// hide every committed key.
+		return fmt.Errorf("%w: aria: DataDir %s holds sharded state but no shard manifest", ErrIntegrity, dir)
+	case shards > 1:
+		return writeShardManifest(dir, s, shards)
+	}
+	// An unsharded store over a fresh or single-lineage directory keeps
+	// the historical manifest-free layout.
+	return nil
+}

@@ -44,6 +44,14 @@ type Sharded interface {
 // scale-out unit).
 func openSharded(opts Options) (Store, error) {
 	n := opts.Shards
+	if opts.DataDir != "" {
+		// The shard count must agree with what DataDir records before
+		// any lineage is touched: recovering N lineages under a
+		// different router would silently strand committed keys.
+		if err := checkShardManifest(opts.DataDir, opts.Seed, n); err != nil {
+			return nil, err
+		}
+	}
 	epcs := shard.SplitBudget(opts.EPCBytes, n)
 	caches := shard.SplitBudget(opts.SecureCacheBytes, n)
 	pins := shard.SplitBudget(opts.PinBudgetBytes, n)

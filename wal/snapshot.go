@@ -29,11 +29,19 @@ const (
 	snapSuffix = ".seal"
 	tmpSuffix  = ".tmp"
 	// saltSnapshot is the keystream domain for snapshot records
-	// ("ariaSNAP"), distinct from saltRecords.
+	// ("ariaSNAP"), distinct from saltRecords. Each snapshot file
+	// additionally XORs its covered sequence number into the salt
+	// (snapSalt), so two snapshots — whose internal sequence numbers
+	// both start at 0 — never share a counter block, on top of the
+	// per-session epoch internal/seal already folds in.
 	saltSnapshot = 0x61726961534e4150
 	// snapChainLabel seeds a snapshot's MAC chain together with its
-	// covered sequence number.
-	snapChainLabel = "aria-snapshot"
+	// covered sequence number ("-v2": see chainLabel).
+	snapChainLabel = "aria-snapshot-v2"
+	// maxSnapshotKey bounds a snapshot pair's key to what the uint16
+	// length prefix can frame; WriteSnapshot rejects longer keys so the
+	// prefix can never wrap and silently re-split key and value.
+	maxSnapshotKey = 1<<16 - 1
 	// snapMagic opens the header record.
 	snapMagic = "ariasnap1"
 )
@@ -98,10 +106,20 @@ func Snapshots(dir string) ([]string, error) {
 	return paths, nil
 }
 
+// snapSalt is the keystream domain of one snapshot file: the snapshot
+// base salt distinguished per covered sequence number.
+func snapSalt(coveredSeq uint64) uint64 { return saltSnapshot ^ coveredSeq }
+
 // WriteSnapshot seals pairs into an atomic snapshot covering
 // coveredSeq: written to a temporary file, fsynced, renamed into place,
-// directory fsynced. It returns the snapshot's size in bytes.
+// directory fsynced. It returns the snapshot's size in bytes. Keys
+// longer than 65535 bytes do not fit the pair framing and are rejected.
 func WriteSnapshot(dir string, s *seal.Sealer, coveredSeq uint64, pairs []Pair) (int64, error) {
+	for _, p := range pairs {
+		if len(p.Key) > maxSnapshotKey {
+			return 0, fmt.Errorf("wal: snapshot key of %d bytes exceeds the %d-byte framing limit", len(p.Key), maxSnapshotKey)
+		}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("wal: create dir: %w", err)
 	}
@@ -116,7 +134,7 @@ func WriteSnapshot(dir string, s *seal.Sealer, coveredSeq uint64, pairs []Pair) 
 	seq := uint64(0)
 	var written int64
 	emit := func(payload []byte) error {
-		rec, next := s.Seal(seq, saltSnapshot, chain, payload)
+		rec, next := s.Seal(seq, snapSalt(coveredSeq), chain, payload)
 		var hdr [headerBytes]byte
 		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(rec)))
 		binary.LittleEndian.PutUint32(hdr[4:8], ^uint32(len(rec)))
@@ -205,7 +223,7 @@ func ReadSnapshot(path string, s *seal.Sealer) (uint64, []Pair, error) {
 			return nil, fmt.Errorf("%w: snapshot %s: bad record framing at offset %d", ErrTampered, filepath.Base(path), off)
 		}
 		rec := rest[headerBytes : headerBytes+int64(length)]
-		gotSeq, payload, nc, err := s.Open(saltSnapshot, chain, rec)
+		gotSeq, payload, nc, err := s.Open(snapSalt(declared), chain, rec)
 		if err != nil || gotSeq != seq {
 			return nil, fmt.Errorf("%w: snapshot %s: record %d failed authentication", ErrTampered, filepath.Base(path), seq)
 		}

@@ -15,7 +15,7 @@
 //
 //	length       uint32  little endian, bytes following this header
 //	lengthCheck  uint32  ^length (ones' complement)
-//	sealed record        seq (8) || ciphertext || CMAC (16), internal/seal
+//	sealed record        seq (8) || epoch (8) || ciphertext || CMAC (16)
 //
 // The redundant lengthCheck is what separates the two failure modes: a
 // crash can only shorten an append-only file, so recovery sees either
@@ -23,6 +23,15 @@
 // declares — both torn. A flipped bit in the header breaks the
 // length/lengthCheck pair, and a flipped bit anywhere else breaks the
 // CMAC — both tampering, routed to the store's IntegrityPolicy.
+//
+// The per-record epoch (internal/seal) is what makes truncation-then-
+// reappend safe against a host that keeps copies: recovery rewinds the
+// next sequence number when it drops a torn tail or salvages a
+// tampered suffix, but the re-sealed record is produced by a new
+// sealing session whose fresh random epoch is folded into the CTR
+// counter block — a re-used sequence number never re-uses keystream,
+// so the host cannot XOR pre- and post-crash ciphertexts into
+// plaintext.
 //
 // The package is deliberately free of simulator dependencies; the
 // durable store wrapper in the root package charges the enclave
@@ -56,8 +65,10 @@ const (
 	// with equal sequence numbers never share a counter block.
 	saltRecords = 0x61726961574c4f47
 	// chainLabel seeds each segment's MAC chain together with the
-	// segment's first sequence number.
-	chainLabel = "aria-wal-segment"
+	// segment's first sequence number ("-v2": the sealed-record format
+	// gained the epoch field, and bumping the label makes v1 records
+	// fail verification outright instead of decrypting to garbage).
+	chainLabel = "aria-wal-segment-v2"
 )
 
 // ErrTampered reports that the log or a snapshot failed verification in

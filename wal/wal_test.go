@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -256,6 +257,94 @@ func TestTruncateTailSalvagesPrefix(t *testing.T) {
 		t.Fatalf("last record = %q, want %q", got[2], "salvaged")
 	}
 	l3.Close()
+}
+
+// TestTornReappendDoesNotReuseKeystream models the two-time-pad attack
+// the epoch defends against: the host keeps a copy of the log, forces a
+// truncation that is indistinguishable from a crash (cut mid-record),
+// and watches recovery re-seal a different payload under the same
+// sequence number. XORing the kept and re-sealed ciphertexts must not
+// reveal the XOR of the plaintexts.
+func TestTornReappendDoesNotReuseKeystream(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncBatch, 1<<20)
+	recoverAll(t, l, 0)
+	p1 := bytes.Repeat([]byte{0xAA}, 64)
+	if _, err := l.Append(p1); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	pristine, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "crash": the record loses its final byte, so recovery drops it
+	// and the next append re-issues sequence number 1.
+	if err := os.WriteFile(seg, pristine[:len(pristine)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, FsyncBatch, 1<<20) // fresh sealer = fresh epoch
+	if _, info := recoverAll(t, l2, 0); !info.Torn {
+		t.Fatal("cut record not reported torn")
+	}
+	p2 := bytes.Repeat([]byte{0x55}, 64)
+	if res, err := l2.Append(p2); err != nil || res.FirstSeq != 1 {
+		t.Fatalf("re-append: res=%+v err=%v, want seq 1", res, err)
+	}
+	l2.Close()
+	resealed, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both records sit at the same offsets: header, then seq+epoch (16
+	// bytes of seal prefix), then the 64 ciphertext bytes.
+	ct1 := pristine[headerBytes+16 : headerBytes+16+len(p1)]
+	ct2 := resealed[headerBytes+16 : headerBytes+16+len(p2)]
+	reuse := true
+	for i := range ct1 {
+		if ct1[i]^ct2[i] != p1[i]^p2[i] {
+			reuse = false
+			break
+		}
+	}
+	if reuse {
+		t.Fatal("re-sealed record shares the dropped record's keystream (two-time pad)")
+	}
+}
+
+// TestSnapshotsDoNotShareKeystream pins the snapshot-side counter-block
+// separation: every snapshot's record sequence numbers start at 0, so
+// two snapshots written by one session (same epoch) must be kept apart
+// by the covered-seq fold in their salt.
+func TestSnapshotsDoNotShareKeystream(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(7)
+	pair := []Pair{{Key: []byte("k"), Value: bytes.Repeat([]byte{0xEE}, 48)}}
+	if _, err := WriteSnapshot(dir, s, 1, pair); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(dir, s, 2, pair); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dir, SnapshotName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, SnapshotName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pair record is the second record of each file and identical in
+	// plaintext; under a shared keystream its ciphertext would be
+	// byte-identical across the two files.
+	first := int64(headerBytes) + int64(binary.LittleEndian.Uint32(a[:4]))
+	recA := a[first+headerBytes+16:]
+	recB := b[first+headerBytes+16:]
+	n := len(pair[0].Key) + len(pair[0].Value) + 2
+	if bytes.Equal(recA[:n], recB[:n]) {
+		t.Fatal("two snapshots encrypted an identical pair to identical ciphertext (shared keystream)")
+	}
 }
 
 func TestMissingHistoryIsTampering(t *testing.T) {
