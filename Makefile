@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 COVER_BASELINE ?= 78.0
 
 .PHONY: all build test race vet fuzz fuzz-smoke docs-check metrics-guard \
-	lint cover bench-smoke bench-smoke-demo check bench-json clean
+	lint cover bench-smoke bench-smoke-demo check bench-json chaos-repl clean
 
 # Parameters for the committed BENCH_*.json snapshots: big enough caches
 # that shard scaling isn't quantization-bound, small enough to run in
@@ -49,7 +49,15 @@ fuzz-smoke:
 
 # Every exported identifier in the public API surface must carry godoc.
 docs-check:
-	$(GO) run ./internal/docslint . kvnet obs wal
+	$(GO) run ./internal/docslint . kvnet obs wal repl
+
+# Replication chaos suite under the race detector: kill-primary failover
+# with zero acknowledged-write loss, partition staleness bounds, link
+# flap convergence, and graceful drain/redial (see repl/repl_test.go).
+chaos-repl:
+	$(GO) test -race -count=1 -v -run \
+		'TestFailoverZeroAckedWriteLoss|TestStalenessBoundAcrossPartition|TestLinkFlapConvergence|TestGracefulDrainRedial' \
+		./repl
 
 # Prove the disabled-metrics path costs <2% vs the raw store on the
 # fig9-style microbench (skipped unless METRICS_GUARD=1).
@@ -88,6 +96,7 @@ bench-json:
 	$(GO) run ./cmd/aria-bench -exp fig9 -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp batch -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp persist -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(GO) run ./cmd/aria-bench -exp repl -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 
 check: build vet docs-check test race
 

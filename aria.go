@@ -117,6 +117,17 @@ var (
 	// Options.DataDir: there is no WAL or snapshot lineage to
 	// checkpoint.
 	ErrNotDurable = errors.New("aria: store was opened without DataDir (not durable)")
+	// ErrFenced marks an operation on a node that a newer replication
+	// generation has fenced: a promoted replica took over, and this
+	// node's lineage must be re-seeded before it can serve again.
+	ErrFenced = errors.New("aria: node fenced by a newer replication generation")
+	// ErrReadOnlyReplica marks a write sent to a replica: replicas apply
+	// only the primary's sealed WAL stream and serve reads.
+	ErrReadOnlyReplica = errors.New("aria: replica is read-only (writes go to the primary)")
+	// ErrLagging marks a watermarked read on a replica that has not yet
+	// applied the client's watermark; the client may wait and retry or
+	// fail over to the primary.
+	ErrLagging = errors.New("aria: replica lags behind the read's watermark")
 )
 
 // FsyncPolicy selects when a durable store's WAL flushes to stable
@@ -382,6 +393,18 @@ type Stats struct {
 	// RecoveredRecords counts records recovery restored at Open:
 	// snapshot pairs loaded plus WAL records replayed.
 	RecoveredRecords uint64
+
+	// ReplRole is the node's replication role ("primary", "replica",
+	// "fenced") when replication is active; empty otherwise. The
+	// replication fields are filled by the serving layer, not the store
+	// itself.
+	ReplRole string
+	// ReplGeneration is the sealed replication generation the node
+	// serves under (zero when replication is inactive).
+	ReplGeneration uint64
+	// ReplLag is a replica's apply lag in sequence numbers behind the
+	// primary's last known next sequence (zero on a primary).
+	ReplLag uint64
 }
 
 // Health summarizes the store's integrity condition: HealthOK while no

@@ -9,6 +9,7 @@
 //	            [-shards 1] [-policy failstop|quarantine] [-max-conns 1024]
 //	            [-idle-timeout 2m] [-write-timeout 30s] [-drain-timeout 5s]
 //	            [-data-dir DIR] [-fsync batch|always|never] [-checkpoint-every N]
+//	            [-primary] [-replica-of HOST:PORT] [-promote] [-sync-replicas N]
 //
 // -shards N hash-partitions the keyspace across N independent enclave
 // instances, each with a 1/N slice of the EPC budget; the server then
@@ -26,6 +27,15 @@
 // start recovers from the snapshot instead of replaying the full WAL.
 // With -shards each shard keeps its own WAL+snapshot lineage in
 // DIR/shard-<i> and recovery runs in parallel across shards.
+//
+// Replication (requires -data-dir): -primary publishes the sealed WAL
+// to subscribing replicas; -replica-of HOST:PORT runs this store as a
+// read replica of that primary, bootstrapping from its newest sealed
+// snapshot and replaying the stream through the durable apply path.
+// -sync-replicas N makes the primary acknowledge a write only after N
+// replicas applied it. -promote opens an ex-replica's data directory as
+// the new primary, bumping the sealed generation so the fenced
+// ex-primary's late writes are rejected (see docs/OPERATIONS.md §9).
 //
 // Talk to it with the kvnet client package, e.g.:
 //
@@ -57,6 +67,7 @@ import (
 	"github.com/ariakv/aria"
 	"github.com/ariakv/aria/kvnet"
 	"github.com/ariakv/aria/obs"
+	"github.com/ariakv/aria/repl"
 	"github.com/ariakv/aria/wal"
 )
 
@@ -92,6 +103,10 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "persist writes to a sealed WAL under this directory (empty: in-memory only)")
 		fsyncName    = flag.String("fsync", "batch", "WAL flush policy: batch (one fsync per request), always, or never")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "automatic sealed snapshot every N logged records (0: only on shutdown)")
+		primary      = flag.Bool("primary", false, "publish the sealed WAL to subscribing replicas (requires -data-dir)")
+		replicaOf    = flag.String("replica-of", "", "run as a read replica of the primary at this address (requires -data-dir)")
+		promote      = flag.Bool("promote", false, "promote this data directory's replica lineage to primary (implies -primary)")
+		syncReplicas = flag.Int("sync-replicas", 0, "acknowledge writes only after this many replicas applied them (implies -primary)")
 	)
 	flag.Parse()
 
@@ -114,7 +129,7 @@ func main() {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 	}
-	st, err := aria.Open(aria.Options{
+	opts := aria.Options{
 		Scheme:          scheme,
 		EPCBytes:        *epcMB << 20,
 		ExpectedKeys:    *keys,
@@ -124,22 +139,59 @@ func main() {
 		DataDir:         *dataDir,
 		Fsync:           fsync,
 		CheckpointEvery: *ckptEvery,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+
+	replicated := *primary || *promote || *syncReplicas > 0 || *replicaOf != ""
+	var (
+		st   aria.Store
+		node *repl.Node
+	)
+	switch {
+	case replicated && *dataDir == "":
+		fmt.Fprintln(os.Stderr, "replication needs a WAL to ship: pass -data-dir")
+		os.Exit(2)
+	case *replicaOf != "" && (*primary || *promote || *syncReplicas > 0):
+		fmt.Fprintln(os.Stderr, "-replica-of conflicts with -primary/-promote/-sync-replicas")
+		os.Exit(2)
+	case replicated:
+		rcfg := repl.Config{
+			SyncReplicas: *syncReplicas,
+			Promote:      *promote,
+			Metrics:      reg,
+			Logf:         log.Printf,
+		}
+		if *replicaOf != "" {
+			node, err = repl.OpenReplica(opts, *replicaOf, rcfg)
+		} else {
+			node, err = repl.OpenPrimary(opts, rcfg)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = node.Store()
+		log.Printf("aria-server: replication role %s, generation %d", node.Role(), node.Generation())
+	default:
+		st, err = aria.Open(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *dataDir != "" {
 		if rec := st.Stats().RecoveredRecords; rec > 0 {
 			log.Printf("aria-server: recovered %d records from %s", rec, *dataDir)
 		}
 	}
-	srv := kvnet.NewServerConfig(st, kvnet.ServerConfig{
+	scfg := kvnet.ServerConfig{
 		MaxConns:     *maxConns,
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drainTimeout,
 		Metrics:      reg,
-	})
+	}
+	if node != nil {
+		scfg.Repl = node
+	}
+	srv := kvnet.NewServerConfig(st, scfg)
 
 	if reg != nil {
 		go serveMetrics(*metricsAddr, reg, st)
@@ -160,6 +212,8 @@ func main() {
 	}
 	// Drain complete: checkpoint so the next start recovers from the
 	// snapshot instead of replaying the whole WAL, then close the log.
+	// A replication node is closed as a whole — its appliers or
+	// publishers first, then the durable store underneath.
 	if *dataDir != "" {
 		d, ok := st.(aria.Durable)
 		if !ok {
@@ -168,8 +222,14 @@ func main() {
 			if err := d.Checkpoint(); err != nil {
 				log.Printf("aria-server: final checkpoint failed: %v (WAL still holds every record)", err)
 			}
-			if err := d.Close(); err != nil {
-				log.Printf("aria-server: close store: %v", err)
+			cerr := error(nil)
+			if node != nil {
+				cerr = node.Close()
+			} else {
+				cerr = d.Close()
+			}
+			if cerr != nil {
+				log.Printf("aria-server: close store: %v", cerr)
 			}
 		}
 	}

@@ -13,9 +13,9 @@
 // -connect attaches to a live aria-server over the kvnet protocol
 // instead of opening an in-process store; every command then operates on
 // the remote store. -watch skips the shell and streams a one-line
-// operations view (op rates, cache hit ratio, paging, health) every
-// -interval until interrupted — the terminal companion to the /metrics
-// endpoint (see docs/OPERATIONS.md).
+// operations view (op rates, cache hit ratio, paging, replication lag
+// and generation, health) every -interval until interrupted — the
+// terminal companion to the /metrics endpoint (see docs/OPERATIONS.md).
 //
 // Commands:
 //
@@ -254,6 +254,9 @@ func main() {
 				fmt.Printf("wal: appends=%d records=%d bytes=%d fsyncs=%d ckpts=%d recovered=%d\n",
 					s.WALAppends, s.WALRecords, s.WALBytes, s.WALFsyncs, s.Checkpoints, s.RecoveredRecords)
 			}
+			if s.ReplRole != "" {
+				fmt.Printf("repl: role=%s generation=%d lag=%d\n", s.ReplRole, s.ReplGeneration, s.ReplLag)
+			}
 		case "checkpoint":
 			if err := be.Checkpoint(); err != nil {
 				fmt.Println("error:", err)
@@ -278,8 +281,11 @@ func main() {
 
 // watchHeader is the column header of the live stats view. The first
 // block mirrors the in-memory operations view; the wsync/s and ckpts
-// columns surface the durability families (zero on non-durable stores).
-const watchHeader = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys  health"
+// columns surface the durability families (zero on non-durable stores);
+// lag and gen surface the replication overlay (lag is a replica's apply
+// gap in sequence numbers, gen the sealed generation prefixed with the
+// role initial — p3, r3, f3 — or "-" when replication is inactive).
+const watchHeader = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys     lag  gen   health"
 
 // watchStats prints one delta line per interval: operation rates since
 // the previous sample, cache behaviour, paging, WAL fsync rate,
@@ -313,11 +319,21 @@ func watchLine(prev, cur aria.Stats, interval, elapsed time.Duration) string {
 	if d := (cur.CacheHits + cur.CacheMisses) - (prev.CacheHits + prev.CacheMisses); d > 0 {
 		hit = 100 * float64(cur.CacheHits-prev.CacheHits) / float64(d)
 	}
-	return fmt.Sprintf("%10.0f%10.0f%10.0f%8.1f%10.0f%10.0f%7d%9d  %s  [%s]\n",
+	return fmt.Sprintf("%10.0f%10.0f%10.0f%8.1f%10.0f%10.0f%7d%9d%8d%5s   %s  [%s]\n",
 		rate(cur.Gets, prev.Gets), rate(cur.Puts, prev.Puts), rate(cur.Deletes, prev.Deletes),
 		hit, rate(cur.PageSwaps, prev.PageSwaps), rate(cur.WALFsyncs, prev.WALFsyncs),
-		cur.Checkpoints, cur.Keys, cur.Health(),
+		cur.Checkpoints, cur.Keys, cur.ReplLag, genCell(cur), cur.Health(),
 		elapsed.Truncate(time.Second))
+}
+
+// genCell renders the replication generation column: the role initial
+// plus the sealed generation (p3 = primary gen 3, r3 = replica, f3 =
+// fenced), or "-" when the store is not replicated.
+func genCell(s aria.Stats) string {
+	if s.ReplRole == "" {
+		return "-"
+	}
+	return fmt.Sprintf("%s%d", s.ReplRole[:1], s.ReplGeneration)
 }
 
 func report(err error) {

@@ -56,8 +56,8 @@ func TestWatchLineFormatsDurabilityColumns(t *testing.T) {
 	line := watchLine(prev, cur, time.Second, 3*time.Second)
 
 	fields := strings.Fields(line)
-	// gets/s puts/s dels/s hit% swaps/s wsync/s ckpts keys health [elapsed]
-	want := []string{"200", "100", "20", "90.0", "10", "100", "3", "1000"}
+	// gets/s puts/s dels/s hit% swaps/s wsync/s ckpts keys lag gen health [elapsed]
+	want := []string{"200", "100", "20", "90.0", "10", "100", "3", "1000", "0", "-"}
 	if len(fields) < len(want) {
 		t.Fatalf("line has %d fields, want at least %d: %q", len(fields), len(want), line)
 	}
@@ -82,6 +82,31 @@ func TestWatchLineZeroDurabilityOnNonDurableStore(t *testing.T) {
 	if fields[5] != "0" || fields[6] != "0" {
 		t.Errorf("non-durable store should show wsync/s=0 ckpts=0, got %q %q (line %q)",
 			fields[5], fields[6], line)
+	}
+}
+
+func TestWatchLineReplicationColumns(t *testing.T) {
+	// A replica behind the primary shows its apply lag and its sealed
+	// generation prefixed with the role initial.
+	cur := aria.Stats{Keys: 5, ReplRole: "replica", ReplGeneration: 3, ReplLag: 12}
+	line := watchLine(aria.Stats{}, cur, time.Second, time.Second)
+	fields := strings.Fields(line)
+	if len(fields) < 10 {
+		t.Fatalf("line has %d fields: %q", len(fields), line)
+	}
+	if fields[8] != "12" || fields[9] != "r3" {
+		t.Errorf("lag/gen columns = %q %q, want 12 r3 (line %q)", fields[8], fields[9], line)
+	}
+
+	// Primary and fenced roles keep the same cell shape.
+	if got := genCell(aria.Stats{ReplRole: "primary", ReplGeneration: 7}); got != "p7" {
+		t.Errorf("primary genCell = %q, want p7", got)
+	}
+	if got := genCell(aria.Stats{ReplRole: "fenced", ReplGeneration: 2}); got != "f2" {
+		t.Errorf("fenced genCell = %q, want f2", got)
+	}
+	if got := genCell(aria.Stats{}); got != "-" {
+		t.Errorf("non-replicated genCell = %q, want -", got)
 	}
 }
 
@@ -116,7 +141,7 @@ func TestWatchStatsHeaderAndRows(t *testing.T) {
 	if lines[0] != watchHeader {
 		t.Errorf("header = %q, want %q", lines[0], watchHeader)
 	}
-	for _, col := range []string{"gets/s", "wsync/s", "ckpts", "health"} {
+	for _, col := range []string{"gets/s", "wsync/s", "ckpts", "lag", "gen", "health"} {
 		if !strings.Contains(lines[0], col) {
 			t.Errorf("header missing column %q: %q", col, lines[0])
 		}

@@ -123,6 +123,11 @@ type durableStore struct {
 	stopC  chan struct{}
 	wg     sync.WaitGroup
 	closed bool
+
+	// commitHook, when set, runs after every group of records commits
+	// to the WAL (still under d.mu); the replication publisher uses it
+	// to wake subscribers without polling.
+	commitHook func()
 }
 
 // openDurable wraps inner with WAL + snapshot durability rooted at
@@ -311,7 +316,33 @@ func (d *durableStore) logRecords(payloads ...[]byte) error {
 		default: // a checkpoint is already pending
 		}
 	}
+	if d.commitHook != nil {
+		d.commitHook()
+	}
 	return nil
+}
+
+// WALShards implements Replicable: a single durable store is one
+// lineage.
+func (d *durableStore) WALShards() int { return 1 }
+
+// WALShardDir implements Replicable: the lineage's directory.
+func (d *durableStore) WALShardDir(int) string { return d.dir }
+
+// WALShardNextSeq implements Replicable: the next sequence number the
+// lineage will assign (last committed + 1).
+func (d *durableStore) WALShardNextSeq(int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.NextSeq()
+}
+
+// SetCommitHook implements Replicable. The hook runs under the store's
+// write lock and must not block.
+func (d *durableStore) SetCommitHook(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.commitHook = fn
 }
 
 // Put implements Store: the record is encoded first (so an

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "table1", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16a", "fig16b", "memtab",
-		"xswap", "xscan", "xshard", "batch", "persist",
+		"xswap", "xscan", "xshard", "batch", "persist", "repl",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

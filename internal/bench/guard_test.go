@@ -29,7 +29,7 @@ func TestBenchRegressionGuard(t *testing.T) {
 		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
 	}
 	const guardTolerance = 0.05
-	for _, exp := range []string{"fig9", "batch", "persist"} {
+	for _, exp := range []string{"fig9", "batch", "persist", "repl"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			want := loadReport(t, exp)

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/internal/workload"
+)
+
+// repl measures read scale-out across full-copy read replicas: 1, 2,
+// and 4 identical stores, reads round-robined across the fleet and
+// every write applied on every copy (the repl package's sealed-WAL
+// shipping replays the primary's writes on each replica). Each store
+// runs its own simulated clock, so the fleet's wall time is the slowest
+// copy's clock. Unlike sharding (xshard), where Zipf-0.99 concentrates
+// the hot set on one straggler shard, replication keeps every copy able
+// to serve every key — read throughput scales with the fleet even under
+// skew, at the price of n-fold write amplification. That contrast is
+// the point of the experiment: replicas are the skew-robust way to
+// scale a read-heavy deployment of a single-enclave store.
+
+func init() {
+	register("repl", "Extension: read scale-out at 1/2/4 replicas, uniform and Zipf-0.99", repl)
+}
+
+func repl(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	banner(w, p, "repl", "1/2/4 full-copy replicas, R95, every write applied on every copy")
+	keys := p.keys10M()
+	t := newTable("workload", "replicas", "throughput", "speedup", "write-amp")
+	for _, wl := range []struct {
+		name string
+		dist workload.Dist
+	}{
+		{"uniform-R95", workload.Uniform},
+		{"zipf0.99-R95", workload.Zipfian},
+	} {
+		base := 0.0
+		for _, n := range []int{1, 2, 4} {
+			thr, err := replPoint(p, keys, wl.dist, n)
+			if err != nil {
+				return fmt.Errorf("repl %s n=%d: %w", wl.name, n, err)
+			}
+			if n == 1 {
+				base = thr
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = thr / base
+			}
+			t.add(wl.name, fmt.Sprintf("%d", n), kops(thr),
+				fmt.Sprintf("%.2fx", speedup),
+				fmt.Sprintf("%dx", n))
+		}
+	}
+	t.write(w)
+	return nil
+}
+
+// replPoint builds n full copies of the store, replays one workload
+// with reads round-robined and writes fanned out to every copy, and
+// returns the fleet throughput: measured ops over the slowest copy's
+// simulated clock.
+func replPoint(p Params, keys int, dist workload.Dist, n int) (float64, error) {
+	wcfg := ycsb(keys, dist, 0.95, 16, 0.99, p.Seed)
+	stores := make([]aria.Store, n)
+	for i := range stores {
+		loadGen, err := workload.New(wcfg)
+		if err != nil {
+			return 0, err
+		}
+		st, err := buildStore(p.baseOptions(aria.AriaHash, keys), loadGen)
+		if err != nil {
+			return 0, err
+		}
+		stores[i] = st
+	}
+	gen, err := workload.New(wcfg)
+	if err != nil {
+		return 0, err
+	}
+	route := func(ops int, rr int) (int, error) {
+		var op workload.Op
+		for i := 0; i < ops; i++ {
+			gen.Next(&op)
+			if op.Read {
+				if _, err := stores[rr%n].Get(op.Key); err != nil && err != aria.ErrNotFound {
+					return rr, err
+				}
+				rr++
+				continue
+			}
+			for _, st := range stores {
+				if err := st.Put(op.Key, op.Value); err != nil {
+					return rr, err
+				}
+			}
+		}
+		return rr, nil
+	}
+	rr, err := route(p.Warmup, 0)
+	if err != nil {
+		return 0, err
+	}
+	for _, st := range stores {
+		st.SetMeasuring(true)
+		st.ResetStats()
+	}
+	if _, err := route(p.Ops, rr); err != nil {
+		return 0, err
+	}
+	slowest := 0.0
+	for _, st := range stores {
+		s := st.Stats()
+		st.SetMeasuring(false)
+		if s.SimSeconds > slowest {
+			slowest = s.SimSeconds
+		}
+	}
+	if slowest <= 0 {
+		return 0, nil
+	}
+	return float64(p.Ops) / slowest, nil
+}

@@ -72,6 +72,10 @@ type Proxy struct {
 	truncs   atomic.Uint64
 	corrupts atomic.Uint64
 
+	partitioned atomic.Bool
+	bhUp        atomic.Bool // discard client→server bytes
+	bhDown      atomic.Bool // discard server→client bytes
+
 	mu     sync.Mutex
 	active map[net.Conn]struct{}
 	closed bool
@@ -126,6 +130,49 @@ func (p *Proxy) Close() error {
 	return err
 }
 
+// Partition severs every proxied connection and refuses new ones until
+// Heal, simulating a full network partition between the two endpoints.
+func (p *Proxy) Partition() {
+	p.partitioned.Store(true)
+	p.mu.Lock()
+	for c := range p.active {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Heal lifts a Partition; new connections flow again (existing ones
+// were severed and must be redialed).
+func (p *Proxy) Heal() { p.partitioned.Store(false) }
+
+// SetBlackhole discards bytes in the chosen directions without closing
+// connections — the half-open failure a crashed peer or asymmetric
+// route produces, which desynchronizes streams instead of ending them.
+// Both false restores normal forwarding for subsequently read bytes.
+func (p *Proxy) SetBlackhole(up, down bool) {
+	p.bhUp.Store(up)
+	p.bhDown.Store(down)
+}
+
+// Flap runs n partition/heal cycles, holding the partition for down and
+// the healed link for up each cycle. It blocks until done.
+func (p *Proxy) Flap(n int, down, up time.Duration) {
+	for i := 0; i < n; i++ {
+		p.Partition()
+		time.Sleep(down)
+		p.Heal()
+		time.Sleep(up)
+	}
+}
+
+// blackholed reports whether dir (0 = up, 1 = down) currently discards.
+func (p *Proxy) blackholed(dir uint64) bool {
+	if dir == 0 {
+		return p.bhUp.Load()
+	}
+	return p.bhDown.Load()
+}
+
 func (p *Proxy) track(c net.Conn) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -149,6 +196,10 @@ func (p *Proxy) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if p.partitioned.Load() {
+			cconn.Close()
+			continue
+		}
 		id := p.connID.Add(1)
 		sconn, err := net.Dial("tcp", p.target)
 		if err != nil {
@@ -170,8 +221,8 @@ func (p *Proxy) acceptLoop() {
 			})
 		}
 		p.wg.Add(2)
-		go p.pipe(sconn, cconn, p.cfg.Up, laneSeed(p.cfg.Seed, id, 0), closeBoth)
-		go p.pipe(cconn, sconn, p.cfg.Down, laneSeed(p.cfg.Seed, id, 1), closeBoth)
+		go p.pipe(sconn, cconn, p.cfg.Up, laneSeed(p.cfg.Seed, id, 0), 0, closeBoth)
+		go p.pipe(cconn, sconn, p.cfg.Down, laneSeed(p.cfg.Seed, id, 1), 1, closeBoth)
 	}
 }
 
@@ -201,8 +252,9 @@ func nextFault(rng *rand.Rand, f Faults, pos uint64) (uint64, int) {
 }
 
 // pipe forwards src→dst, injecting faults at rng-predetermined byte
-// offsets. Any exit severs both halves of the proxied connection.
-func (p *Proxy) pipe(dst, src net.Conn, f Faults, seed int64, closeBoth func()) {
+// offsets. Any exit severs both halves of the proxied connection. dir
+// names the lane (0 = up, 1 = down) for blackhole checks.
+func (p *Proxy) pipe(dst, src net.Conn, f Faults, seed int64, dir uint64, closeBoth func()) {
 	defer p.wg.Done()
 	defer closeBoth()
 	inject := f.MeanBytes > 0 && f.weightSum() > 0
@@ -220,6 +272,14 @@ func (p *Proxy) pipe(dst, src net.Conn, f Faults, seed int64, closeBoth func()) 
 	for {
 		n, rerr := src.Read(buf)
 		b := buf[:n]
+		if p.blackholed(dir) {
+			// Swallow the bytes without closing anything: to the peers
+			// the link looks alive but silent, and any bytes discarded
+			// mid-frame leave the stream desynchronized — exactly what a
+			// half-open connection does.
+			b = nil
+			pos += uint64(n)
+		}
 		for len(b) > 0 {
 			if !inject || pos+uint64(len(b)) <= at {
 				if _, err := dst.Write(b); err != nil {

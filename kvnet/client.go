@@ -362,6 +362,14 @@ func statusErr(status byte, body []byte) error {
 		return ErrNoScan
 	case stNotDurable:
 		return ErrNotDurable
+	case stFenced:
+		return ErrFenced
+	case stReadOnly:
+		return ErrReadOnlyReplica
+	case stLagging:
+		return ErrLagging
+	case stDraining:
+		return ErrDraining
 	default:
 		return fmt.Errorf("kvnet: server error: %s", body)
 	}

@@ -33,6 +33,17 @@ const (
 	opMPut       = 7
 	opMDelete    = 8
 	opCheckpoint = 9
+
+	// Replication ops (see repl.go for their wire layout). opSubscribe
+	// opens a long-lived tail stream of sealed WAL records;
+	// opSegmentCatchup is its finite form, ending with stDone once the
+	// subscriber has caught up. opReplAck flows subscriber→publisher on
+	// the subscribe connection, carrying the applied sequence number.
+	opSubscribe        = 10
+	opReplAck          = 11
+	opSegmentCatchup   = 12
+	opSnapshotTransfer = 13
+	opReplStatus       = 14
 )
 
 // Status codes. Typed store sentinels each get their own code so
@@ -54,6 +65,20 @@ const (
 	stEmptyKey   = 10 // empty or nil key
 	stNoScan     = 11 // store's index does not support range scans
 	stNotDurable = 12 // checkpoint on a store opened without a data dir
+
+	// Replication statuses (see repl.go). Subscribe streams interleave
+	// stSegStart/stReplRec/stReplBeat frames; stDraining, stFenced, and
+	// stSnapAvail terminate them with a typed reason, and stDone ends a
+	// finite catch-up or snapshot stream.
+	stSegStart  = 13 // subscribe: segment boundary; body = first seq (u64 BE)
+	stReplRec   = 14 // subscribe: body = one sealed WAL record, verbatim
+	stReplBeat  = 15 // subscribe: heartbeat; body = publisher next seq (u64 BE)
+	stSnapAvail = 16 // subscribe: afterSeq predates retained WAL; body = snapshot covered seq (u64 BE)
+	stDraining  = 17 // subscribe: server shutting down; redial another node
+	stFenced    = 18 // node fenced by a newer replication generation
+	stReadOnly  = 19 // write sent to a replica
+	stLagging   = 20 // watermarked read not yet applied; body = violating watermark entry
+	stSnapChunk = 21 // snapshot transfer: body = raw snapshot file bytes
 )
 
 // Wire limits.
@@ -68,6 +93,12 @@ const (
 	// with the same cap: a reader cap smaller than the writer's maximum
 	// kills the connection on legitimate near-max pairs.
 	maxFrameWire = 16 + maxKeyWire + maxValueWire
+
+	// maxReplFrameWire caps subscribe/snapshot stream frames. A sealed
+	// WAL record carries a whole Put (key + value + wal framing + seal
+	// overhead), which can exceed a request frame by the sealing
+	// overhead, so replication readers use a slightly larger cap.
+	maxReplFrameWire = maxFrameWire + 128
 )
 
 // The exported sentinels wrap their aria counterparts, so a caller can
@@ -84,6 +115,18 @@ var (
 	ErrNoScan = fmt.Errorf("kvnet: %w", aria.ErrNoScan)
 	// ErrNotDurable mirrors aria.ErrNotDurable across the wire.
 	ErrNotDurable = fmt.Errorf("kvnet: %w", aria.ErrNotDurable)
+	// ErrFenced mirrors aria.ErrFenced across the wire: the node was
+	// fenced by a newer replication generation and must be re-seeded.
+	ErrFenced = fmt.Errorf("kvnet: %w", aria.ErrFenced)
+	// ErrReadOnlyReplica mirrors aria.ErrReadOnlyReplica across the
+	// wire: writes go to the primary.
+	ErrReadOnlyReplica = fmt.Errorf("kvnet: %w", aria.ErrReadOnlyReplica)
+	// ErrLagging mirrors aria.ErrLagging across the wire: the replica
+	// has not yet applied the read's watermark.
+	ErrLagging = fmt.Errorf("kvnet: %w", aria.ErrLagging)
+	// ErrDraining reports that the server closed a subscribe stream to
+	// shut down gracefully; the subscriber should redial.
+	ErrDraining = errors.New("kvnet: server draining; redial")
 	// errMalformed reports a framing violation.
 	errMalformed = errors.New("kvnet: malformed frame")
 	// errCorruptFrame reports a frame whose checksum does not match: the

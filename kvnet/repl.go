@@ -1,0 +1,667 @@
+package kvnet
+
+// Replication on the wire. A primary streams its sealed WAL records to
+// subscribed replicas verbatim — the sealed bytes authenticate
+// themselves, so the network needs no more trust than the disk — and
+// replicas push applied-sequence acks back on the same connection. The
+// wire layer stays policy-free: all replication decisions (fencing,
+// catch-up, snapshot bootstrap, sync acks) live behind the ReplBackend
+// interface a server is configured with, implemented by the repl
+// package. The layouts:
+//
+//	opSubscribe / opSegmentCatchup request:
+//	    key = shard u32 BE | afterSeq u64 BE | generation u64 BE
+//	opReplAck (subscriber → publisher, on the subscribe connection):
+//	    key = shard u32 BE | appliedSeq u64 BE
+//	opSnapshotTransfer request:
+//	    key = shard u32 BE
+//	watermark entry (write response body, GetAt request value):
+//	    shard u32 BE | seq u64 BE
+//
+// A subscribe stream answers with stSegStart/stReplRec/stReplBeat
+// frames and ends with a typed reason: stDraining (server shutdown),
+// stFenced (subscriber or publisher fenced), stSnapAvail (afterSeq
+// predates the retained WAL; bootstrap from a snapshot), or stDone
+// (catch-up complete).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// Replication roles reported by ReplBackend.Role and ReplInfo.Role.
+const (
+	// RolePrimary accepts writes and publishes its WAL to subscribers.
+	RolePrimary = "primary"
+	// RoleReplica applies the primary's stream and serves reads.
+	RoleReplica = "replica"
+	// RoleFenced is an ex-primary a newer generation has fenced; it
+	// serves nothing until re-seeded.
+	RoleFenced = "fenced"
+)
+
+// ReplEvent kinds (ReplEvent.Kind).
+const (
+	// EvSegStart marks a segment boundary; Seq is the segment's first
+	// sequence number and resets the subscriber's verification chain.
+	EvSegStart = byte(iota + 1)
+	// EvRecord carries one sealed WAL record in Rec.
+	EvRecord
+	// EvHeartbeat reports the publisher's next sequence number in Seq
+	// while the subscriber is caught up.
+	EvHeartbeat
+	// EvSnapshotNeeded reports that afterSeq predates the retained WAL;
+	// Seq is the newest snapshot's covered sequence number. The stream
+	// ends after it.
+	EvSnapshotNeeded
+)
+
+// ReplEvent is one event on a subscribe stream, produced by a
+// ReplBackend on the server and consumed from a Subscription on the
+// client.
+type ReplEvent struct {
+	// Kind is one of the Ev* constants.
+	Kind byte
+	// Seq carries the kind-specific sequence number (see the kinds).
+	Seq uint64
+	// Rec is the sealed record bytes for EvRecord, nil otherwise.
+	Rec []byte
+}
+
+// ReplBackend is the replication policy surface a Server exposes over
+// the wire. The kvnet layer translates between frames and these calls;
+// the repl package implements them for primaries and replicas.
+type ReplBackend interface {
+	// Role returns the node's current role (RolePrimary, RoleReplica,
+	// or RoleFenced).
+	Role() string
+	// Generation returns the sealed replication generation the node
+	// serves under.
+	Generation() uint64
+	// Shards returns the number of WAL lineages the node replicates.
+	Shards() int
+	// AppliedSeq returns the highest sequence number shard has applied
+	// (on a primary: committed).
+	AppliedSeq(shard uint32) uint64
+	// Lag returns the node's apply lag behind the primary in sequence
+	// numbers (zero on a primary).
+	Lag() uint64
+	// Watermark returns the watermark sequence for a write that just
+	// committed on shard.
+	Watermark(shard uint32) uint64
+	// ShardForKey routes a key to its WAL shard.
+	ShardForKey(key []byte) uint32
+	// WaitCommitted blocks until the configured number of replicas
+	// acked appliedSeq >= seq on shard, or fails after the configured
+	// timeout. A nil error with no sync replicas configured is
+	// immediate.
+	WaitCommitted(shard uint32, seq uint64) error
+	// Subscribe streams shard's sealed WAL from afterSeq+1 via emit.
+	// gen is the subscriber's generation for fencing checks. With tail
+	// set it follows the live log until stop closes (emitting
+	// heartbeats while caught up); otherwise it returns nil once caught
+	// up. acks delivers the subscriber's applied sequence numbers.
+	// Returning aria.ErrFenced (wrapped) tells the wire layer to end
+	// the stream with stFenced.
+	Subscribe(shard uint32, afterSeq, gen uint64, tail bool, acks <-chan uint64, stop <-chan struct{}, emit func(ReplEvent) error) error
+	// SnapshotPath returns the newest snapshot file for shard and the
+	// sequence it covers, or an error wrapping aria.ErrNotFound when
+	// none exists.
+	SnapshotPath(shard uint32) (path string, covered uint64, err error)
+}
+
+// ReplInfo is the opReplStatus response: the node's replication state
+// as JSON, consumed by replicas (to learn the primary's generation) and
+// by operators via ariactl.
+type ReplInfo struct {
+	// Role is the node's role (RolePrimary, RoleReplica, RoleFenced).
+	Role string
+	// Generation is the node's sealed replication generation.
+	Generation uint64
+	// Shards is the number of replicated WAL lineages.
+	Shards int
+	// Lag is the node's apply lag in sequence numbers (replicas only).
+	Lag uint64
+	// Applied is the per-shard highest applied sequence number.
+	Applied []uint64
+}
+
+// Watermark names one shard's committed sequence number, returned by
+// PutW/DeleteW and passed to GetAt for read-your-writes reads.
+type Watermark struct {
+	// Shard is the WAL shard the write landed on.
+	Shard uint32
+	// Seq is the sequence number the write committed at (or before).
+	Seq uint64
+}
+
+// watermarkBytes is one encoded watermark entry: shard u32 + seq u64.
+const watermarkBytes = 12
+
+// encodeWatermark encodes one watermark entry.
+func encodeWatermark(shard uint32, seq uint64) []byte {
+	out := make([]byte, watermarkBytes)
+	binary.BigEndian.PutUint32(out[:4], shard)
+	binary.BigEndian.PutUint64(out[4:], seq)
+	return out
+}
+
+// decodeWatermarks parses a concatenation of watermark entries.
+func decodeWatermarks(body []byte) ([]Watermark, error) {
+	if len(body)%watermarkBytes != 0 {
+		return nil, errMalformed
+	}
+	marks := make([]Watermark, 0, len(body)/watermarkBytes)
+	for off := 0; off < len(body); off += watermarkBytes {
+		marks = append(marks, Watermark{
+			Shard: binary.BigEndian.Uint32(body[off : off+4]),
+			Seq:   binary.BigEndian.Uint64(body[off+4 : off+watermarkBytes]),
+		})
+	}
+	return marks, nil
+}
+
+// encodeSubscribeKey builds the opSubscribe/opSegmentCatchup key.
+func encodeSubscribeKey(shard uint32, afterSeq, gen uint64) []byte {
+	out := make([]byte, 20)
+	binary.BigEndian.PutUint32(out[:4], shard)
+	binary.BigEndian.PutUint64(out[4:12], afterSeq)
+	binary.BigEndian.PutUint64(out[12:20], gen)
+	return out
+}
+
+// decodeSubscribeKey parses the opSubscribe/opSegmentCatchup key.
+func decodeSubscribeKey(key []byte) (shard uint32, afterSeq, gen uint64, err error) {
+	if len(key) != 20 {
+		return 0, 0, 0, errMalformed
+	}
+	return binary.BigEndian.Uint32(key[:4]),
+		binary.BigEndian.Uint64(key[4:12]),
+		binary.BigEndian.Uint64(key[12:20]), nil
+}
+
+// u64be encodes one big-endian uint64 (stSegStart/stReplBeat bodies).
+func u64be(v uint64) []byte {
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], v)
+	return out[:]
+}
+
+// ---- server side ---------------------------------------------------------------
+
+// replGate rejects requests the node's role forbids: a fenced node
+// serves nothing but stats (reads AND writes fail, so a partitioned
+// ex-primary can never answer stale data as if it were live), and a
+// replica rejects writes. It returns the response to send, or nil to
+// let the request through.
+func (s *Server) replGate(rq request) []byte {
+	b := s.cfg.Repl
+	if b == nil {
+		return nil
+	}
+	switch b.Role() {
+	case RoleFenced:
+		switch rq.op {
+		case opStats, opReplStatus:
+			return nil
+		}
+		return errResponse(aria.ErrFenced)
+	case RoleReplica:
+		switch rq.op {
+		case opPut, opDelete, opMPut, opMDelete, opCheckpoint:
+			return errResponse(aria.ErrReadOnlyReplica)
+		}
+	}
+	return nil
+}
+
+// replWriteAck produces a write response body for a replicated
+// primary: the write's watermark entry, after any configured
+// synchronous replication wait. Non-replicated servers return a nil
+// body, which old clients already expect.
+func (s *Server) replWriteAck(key []byte) ([]byte, error) {
+	b := s.cfg.Repl
+	if b == nil || b.Role() != RolePrimary {
+		return nil, nil
+	}
+	shard := b.ShardForKey(key)
+	seq := b.Watermark(shard)
+	if err := b.WaitCommitted(shard, seq); err != nil {
+		return nil, fmt.Errorf("kvnet: write applied locally but not acked by replicas: %w", err)
+	}
+	return encodeWatermark(shard, seq), nil
+}
+
+// replLagCheck enforces a GetAt watermark list against the node's
+// applied state: the first entry the node has not applied yet comes
+// back as stLagging. A primary trivially satisfies its own watermarks.
+func (s *Server) replLagCheck(marks []byte) []byte {
+	b := s.cfg.Repl
+	if b == nil {
+		return nil // watermarks are advisory on a non-replicated server
+	}
+	wm, err := decodeWatermarks(marks)
+	if err != nil {
+		return encodeResponse(stBadReq, []byte("kvnet: malformed watermark list"))
+	}
+	if b.Role() == RolePrimary {
+		return nil
+	}
+	for _, m := range wm {
+		if b.AppliedSeq(m.Shard) < m.Seq {
+			return encodeResponse(stLagging, encodeWatermark(m.Shard, m.Seq))
+		}
+	}
+	return nil
+}
+
+// replOverlay fills the replication fields of a stats snapshot.
+func (s *Server) replOverlay(st aria.Stats) aria.Stats {
+	if b := s.cfg.Repl; b != nil {
+		st.ReplRole = b.Role()
+		st.ReplGeneration = b.Generation()
+		st.ReplLag = b.Lag()
+	}
+	return st
+}
+
+// serveReplStatus answers opReplStatus with the node's ReplInfo.
+func (s *Server) serveReplStatus(conn net.Conn) error {
+	b := s.cfg.Repl
+	if b == nil {
+		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
+	}
+	info := ReplInfo{
+		Role:       b.Role(),
+		Generation: b.Generation(),
+		Shards:     b.Shards(),
+		Lag:        b.Lag(),
+	}
+	for i := 0; i < info.Shards; i++ {
+		info.Applied = append(info.Applied, b.AppliedSeq(uint32(i)))
+	}
+	body, err := json.Marshal(info)
+	if err != nil {
+		return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+	}
+	return writeFrame(conn, encodeResponse(stOK, body))
+}
+
+// snapChunkBytes is the snapshot transfer chunk size.
+const snapChunkBytes = 1 << 20
+
+// serveSnapshotTransfer streams the newest snapshot file for the
+// requested shard: stOK with the covered sequence, stSnapChunk frames
+// with the raw sealed file bytes (verbatim — any same-seed sealer can
+// open them), then stDone.
+func (s *Server) serveSnapshotTransfer(conn net.Conn, rq request) error {
+	b := s.cfg.Repl
+	if b == nil {
+		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
+	}
+	if len(rq.key) != 4 {
+		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: malformed snapshot request")))
+	}
+	shard := binary.BigEndian.Uint32(rq.key)
+	path, covered, err := b.SnapshotPath(shard)
+	if err != nil {
+		return writeFrame(conn, errResponse(err))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+	}
+	defer f.Close()
+	if err := writeFrame(conn, encodeResponse(stOK, u64be(covered))); err != nil {
+		return err
+	}
+	buf := make([]byte, snapChunkBytes)
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			s.touchWrite(conn)
+			if err := writeFrame(conn, encodeResponse(stSnapChunk, buf[:n])); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr // mid-stream failure: close without stDone, client rejects
+		}
+	}
+	s.touchWrite(conn)
+	return writeFrame(conn, encodeResponse(stDone, nil))
+}
+
+// serveSubscribe owns a subscribe/catch-up connection: it spawns a
+// reader for the subscriber's opReplAck frames and drives the
+// backend's Subscribe, translating events to frames. The connection is
+// dedicated to the stream; the handler returns when it ends.
+func (s *Server) serveSubscribe(conn net.Conn, rq request) error {
+	b := s.cfg.Repl
+	if b == nil {
+		s.touchWrite(conn)
+		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
+	}
+	shard, afterSeq, gen, err := decodeSubscribeKey(rq.key)
+	if err != nil {
+		s.met.badRequest()
+		s.touchWrite(conn)
+		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: malformed subscribe request")))
+	}
+	tail := rq.op == opSubscribe
+
+	// The ack reader feeds a capacity-1 keep-latest mailbox: acks are
+	// cumulative, so only the newest matters and the reader never
+	// blocks behind a slow publisher loop. Reader exit (conn death)
+	// also ends the subscription.
+	acks := make(chan uint64, 1)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			_ = conn.SetReadDeadline(time.Time{}) // acks are sparse; the stream has its own liveness
+			frame, err := readFrame(conn, maxFrameWire)
+			if err != nil {
+				return
+			}
+			arq, err := decodeRequest(frame)
+			if err != nil || arq.op != opReplAck || len(arq.key) != watermarkBytes {
+				return
+			}
+			seq := binary.BigEndian.Uint64(arq.key[4:])
+			select {
+			case acks <- seq:
+			default:
+				select {
+				case <-acks:
+				default:
+				}
+				select {
+				case acks <- seq:
+				default:
+				}
+			}
+		}
+	}()
+
+	// stop closes on server drain, connection death, or handler exit.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	handlerDone := make(chan struct{})
+	defer close(handlerDone)
+	go func() {
+		select {
+		case <-s.closing:
+		case <-readerDone:
+		case <-handlerDone:
+		}
+		stopOnce.Do(func() { close(stop) })
+	}()
+
+	emit := func(ev ReplEvent) error {
+		s.touchWrite(conn)
+		switch ev.Kind {
+		case EvSegStart:
+			return writeFrame(conn, encodeResponse(stSegStart, u64be(ev.Seq)))
+		case EvRecord:
+			return writeFrame(conn, encodeResponse(stReplRec, ev.Rec))
+		case EvHeartbeat:
+			return writeFrame(conn, encodeResponse(stReplBeat, u64be(ev.Seq)))
+		case EvSnapshotNeeded:
+			return writeFrame(conn, encodeResponse(stSnapAvail, u64be(ev.Seq)))
+		default:
+			return fmt.Errorf("kvnet: unknown repl event kind %d", ev.Kind)
+		}
+	}
+	err = b.Subscribe(shard, afterSeq, gen, tail, acks, stop, emit)
+	switch {
+	case errors.Is(err, aria.ErrFenced):
+		s.touchWrite(conn)
+		return writeFrame(conn, encodeResponse(stFenced, []byte(err.Error())))
+	case err != nil:
+		return err
+	}
+	select {
+	case <-s.closing:
+		// Graceful drain: a typed goodbye so the subscriber redials
+		// instead of interpreting the close as a failure.
+		s.touchWrite(conn)
+		return writeFrame(conn, encodeResponse(stDraining, nil))
+	default:
+	}
+	if !tail {
+		s.touchWrite(conn)
+		return writeFrame(conn, encodeResponse(stDone, nil))
+	}
+	return nil
+}
+
+// ---- client side ---------------------------------------------------------------
+
+// PutW stores a pair and returns the write's watermark. On a
+// non-replicated server the watermark is zero-valued; the retry rules
+// match Put.
+func (c *Client) PutW(key, value []byte) (Watermark, error) {
+	status, body, err := c.unary(opPut, key, value, 0, false)
+	if err != nil {
+		return Watermark{}, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return Watermark{}, err
+	}
+	return parseWatermark(body)
+}
+
+// DeleteW removes a key and returns the write's watermark, like PutW.
+func (c *Client) DeleteW(key []byte) (Watermark, error) {
+	status, body, err := c.unary(opDelete, key, nil, 0, false)
+	if err != nil {
+		return Watermark{}, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return Watermark{}, err
+	}
+	return parseWatermark(body)
+}
+
+// parseWatermark reads the optional watermark body of a write response.
+func parseWatermark(body []byte) (Watermark, error) {
+	if len(body) == 0 {
+		return Watermark{}, nil // not a replicated primary
+	}
+	marks, err := decodeWatermarks(body)
+	if err != nil || len(marks) != 1 {
+		return Watermark{}, fmt.Errorf("kvnet: malformed watermark in write response")
+	}
+	return marks[0], nil
+}
+
+// GetAt fetches a value, requiring the serving node to have applied
+// every given watermark. A replica that has not yet caught up answers
+// ErrLagging (the caller may wait and retry, or fail over to the
+// primary); a primary always satisfies its own watermarks.
+func (c *Client) GetAt(key []byte, marks []Watermark) ([]byte, error) {
+	wm := make([]byte, 0, len(marks)*watermarkBytes)
+	for _, m := range marks {
+		wm = append(wm, encodeWatermark(m.Shard, m.Seq)...)
+	}
+	status, body, err := c.unary(opGet, key, wm, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReplStatus fetches the server's replication state.
+func (c *Client) ReplStatus() (ReplInfo, error) {
+	var info ReplInfo
+	status, body, err := c.unary(opReplStatus, nil, nil, 0, true)
+	if err != nil {
+		return info, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return info, err
+	}
+	err = json.Unmarshal(body, &info)
+	return info, err
+}
+
+// Subscription is a client-side subscribe stream: a dedicated
+// connection carrying sealed WAL records one way and applied-sequence
+// acks the other. It is not retried or redialed internally — the
+// replica applier owns that policy.
+type Subscription struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes ack writes against each other
+}
+
+// DialSubscribe opens a subscribe (tail=true) or catch-up (tail=false)
+// stream for one shard, starting after afterSeq, identifying the
+// subscriber's replication generation for fencing.
+func DialSubscribe(addr string, shard uint32, afterSeq, gen uint64, tail bool, dialTimeout time.Duration) (*Subscription, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	op := byte(opSegmentCatchup)
+	if tail {
+		op = opSubscribe
+	}
+	if err := writeFrame(conn, encodeRequest(op, encodeSubscribeKey(shard, afterSeq, gen), nil, 0)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Subscription{conn: conn}, nil
+}
+
+// Next returns the stream's next event, waiting at most timeout (<= 0
+// waits forever). Terminal conditions come back as errors: io.EOF for
+// a completed catch-up (stDone), ErrDraining, ErrFenced (matching
+// aria.ErrFenced), or the transport failure that ended the stream.
+func (s *Subscription) Next(timeout time.Duration) (ReplEvent, error) {
+	if timeout > 0 {
+		_ = s.conn.SetReadDeadline(time.Now().Add(timeout))
+	} else {
+		_ = s.conn.SetReadDeadline(time.Time{})
+	}
+	resp, err := readFrame(s.conn, maxReplFrameWire)
+	if err != nil {
+		return ReplEvent{}, err
+	}
+	if len(resp) < 1 {
+		return ReplEvent{}, errMalformed
+	}
+	body := resp[1:]
+	seqBody := func() (uint64, error) {
+		if len(body) != 8 {
+			return 0, errMalformed
+		}
+		return binary.BigEndian.Uint64(body), nil
+	}
+	switch resp[0] {
+	case stSegStart:
+		seq, err := seqBody()
+		return ReplEvent{Kind: EvSegStart, Seq: seq}, err
+	case stReplRec:
+		return ReplEvent{Kind: EvRecord, Rec: body}, nil
+	case stReplBeat:
+		seq, err := seqBody()
+		return ReplEvent{Kind: EvHeartbeat, Seq: seq}, err
+	case stSnapAvail:
+		seq, err := seqBody()
+		return ReplEvent{Kind: EvSnapshotNeeded, Seq: seq}, err
+	case stDone:
+		return ReplEvent{}, io.EOF
+	case stDraining:
+		return ReplEvent{}, ErrDraining
+	case stFenced:
+		return ReplEvent{}, fmt.Errorf("%w: %s", ErrFenced, body)
+	default:
+		return ReplEvent{}, statusErr(resp[0], body)
+	}
+}
+
+// Ack reports the subscriber's highest applied sequence number for the
+// stream's shard back to the publisher.
+func (s *Subscription) Ack(shard uint32, appliedSeq uint64) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	key := make([]byte, watermarkBytes)
+	binary.BigEndian.PutUint32(key[:4], shard)
+	binary.BigEndian.PutUint64(key[4:], appliedSeq)
+	return writeFrame(s.conn, encodeRequest(opReplAck, key, nil, 0))
+}
+
+// Close closes the stream's connection.
+func (s *Subscription) Close() error { return s.conn.Close() }
+
+// FetchSnapshot transfers the newest sealed snapshot file for shard
+// from addr, returning its covered sequence and raw bytes (verbatim —
+// the caller writes them under wal.SnapshotName(covered) and lets its
+// own sealer verify them at open). timeout bounds each frame.
+func FetchSnapshot(addr string, shard uint32, timeout time.Duration) (uint64, []byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	key := make([]byte, 4)
+	binary.BigEndian.PutUint32(key, shard)
+	if err := writeFrame(conn, encodeRequest(opSnapshotTransfer, key, nil, 0)); err != nil {
+		return 0, nil, err
+	}
+	touch := func() {
+		if timeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		}
+	}
+	touch()
+	resp, err := readFrame(conn, maxReplFrameWire)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(resp) < 1 {
+		return 0, nil, errMalformed
+	}
+	if resp[0] != stOK {
+		return 0, nil, statusErr(resp[0], resp[1:])
+	}
+	if len(resp) != 9 {
+		return 0, nil, errMalformed
+	}
+	covered := binary.BigEndian.Uint64(resp[1:])
+	var data []byte
+	for {
+		touch()
+		resp, err := readFrame(conn, maxReplFrameWire)
+		if err != nil {
+			return 0, nil, fmt.Errorf("kvnet: snapshot transfer cut short: %w", err)
+		}
+		if len(resp) < 1 {
+			return 0, nil, errMalformed
+		}
+		switch resp[0] {
+		case stSnapChunk:
+			data = append(data, resp[1:]...)
+		case stDone:
+			return covered, data, nil
+		default:
+			return 0, nil, statusErr(resp[0], resp[1:])
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package kvnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// fakeBackend is a scriptable ReplBackend for wire-level tests: the
+// repl package's real policy is tested end to end in its own package;
+// here we pin the frame translation and the typed status codes.
+type fakeBackend struct {
+	role    string
+	gen     uint64
+	applied uint64
+	lag     uint64
+	subErr  error // returned by Subscribe after events
+	events  []ReplEvent
+	waitErr error
+}
+
+func (f *fakeBackend) Role() string                  { return f.role }
+func (f *fakeBackend) Generation() uint64            { return f.gen }
+func (f *fakeBackend) Shards() int                   { return 1 }
+func (f *fakeBackend) AppliedSeq(uint32) uint64      { return f.applied }
+func (f *fakeBackend) Lag() uint64                   { return f.lag }
+func (f *fakeBackend) Watermark(uint32) uint64       { return f.applied }
+func (f *fakeBackend) ShardForKey([]byte) uint32     { return 0 }
+func (f *fakeBackend) WaitCommitted(uint32, uint64) error {
+	return f.waitErr
+}
+func (f *fakeBackend) SnapshotPath(uint32) (string, uint64, error) {
+	return "", 0, fmt.Errorf("no snapshot: %w", aria.ErrNotFound)
+}
+
+func (f *fakeBackend) Subscribe(_ uint32, _, _ uint64, tail bool, _ <-chan uint64, stop <-chan struct{}, emit func(ReplEvent) error) error {
+	for _, ev := range f.events {
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	if f.subErr != nil {
+		return f.subErr
+	}
+	if !tail {
+		return nil
+	}
+	// Tail mode: heartbeat until the server drains or the conn dies.
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(5 * time.Millisecond):
+		}
+		if err := emit(ReplEvent{Kind: EvHeartbeat, Seq: f.applied + 1}); err != nil {
+			return err
+		}
+	}
+}
+
+func startReplServer(t *testing.T, b ReplBackend) (*Server, *Client) {
+	t.Helper()
+	st, err := aria.Open(aria.Options{EPCBytes: 16 << 20, ExpectedKeys: 1024, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerConfig(st, ServerConfig{Repl: b})
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+// TestReplicaRejectsWritesTyped pins the read-only replica sentinel
+// across the wire, both kvnet and aria spellings.
+func TestReplicaRejectsWritesTyped(t *testing.T) {
+	_, c := startReplServer(t, &fakeBackend{role: RoleReplica, gen: 3})
+	err := c.Put([]byte("k"), []byte("v"))
+	if !errors.Is(err, ErrReadOnlyReplica) || !errors.Is(err, aria.ErrReadOnlyReplica) {
+		t.Fatalf("replica write: got %v, want ErrReadOnlyReplica", err)
+	}
+	if err := c.Delete([]byte("k")); !errors.Is(err, aria.ErrReadOnlyReplica) {
+		t.Fatalf("replica delete: got %v", err)
+	}
+	// Reads pass the gate (key absent, so NotFound).
+	if _, err := c.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("replica read: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestFencedRejectsEverythingTyped pins that a fenced node serves
+// neither reads nor writes and that the sentinel survives the wire.
+func TestFencedRejectsEverythingTyped(t *testing.T) {
+	_, c := startReplServer(t, &fakeBackend{role: RoleFenced, gen: 1})
+	if err := c.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrFenced) || !errors.Is(err, aria.ErrFenced) {
+		t.Fatalf("fenced write: got %v, want ErrFenced", err)
+	}
+	if _, err := c.Get([]byte("k")); !errors.Is(err, aria.ErrFenced) {
+		t.Fatalf("fenced read: got %v, want ErrFenced", err)
+	}
+	// Stats stays reachable so operators can see the fenced role.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("fenced stats: %v", err)
+	}
+	if st.ReplRole != RoleFenced || st.ReplGeneration != 1 {
+		t.Fatalf("fenced stats overlay = %q gen %d", st.ReplRole, st.ReplGeneration)
+	}
+}
+
+// TestWatermarkAndLaggingRead pins the PutW watermark body and the
+// stLagging path for a watermarked read a replica has not caught up to.
+func TestWatermarkAndLaggingRead(t *testing.T) {
+	b := &fakeBackend{role: RolePrimary, gen: 2, applied: 41}
+	_, c := startReplServer(t, b)
+	wm, err := c.PutW([]byte("k"), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The store committed one record on top of the fake's applied seq;
+	// the fake reports a constant, so the watermark echoes it.
+	if wm.Seq != 41 || wm.Shard != 0 {
+		t.Fatalf("watermark = %+v", wm)
+	}
+	// A primary satisfies its own watermarks.
+	if _, err := c.GetAt([]byte("k"), []Watermark{wm}); err != nil {
+		t.Fatalf("GetAt on primary: %v", err)
+	}
+
+	// The same read against a lagging replica comes back typed.
+	lb := &fakeBackend{role: RoleReplica, gen: 2, applied: 40}
+	_, lc := startReplServer(t, lb)
+	_, err = lc.GetAt([]byte("k"), []Watermark{{Shard: 0, Seq: 41}})
+	if !errors.Is(err, ErrLagging) || !errors.Is(err, aria.ErrLagging) {
+		t.Fatalf("lagging read: got %v, want ErrLagging", err)
+	}
+	// A watermark it has applied passes the gate.
+	if _, err := lc.GetAt([]byte("k"), []Watermark{{Shard: 0, Seq: 40}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("caught-up read: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestWriteSyncTimeoutSurfaced pins that a WaitCommitted failure turns
+// into a write error (the write IS locally durable; the client must
+// treat it as in doubt, not as lost).
+func TestWriteSyncTimeoutSurfaced(t *testing.T) {
+	b := &fakeBackend{role: RolePrimary, gen: 1, waitErr: errors.New("0/1 sync replicas acked")}
+	_, c := startReplServer(t, b)
+	err := c.Put([]byte("k"), []byte("v"))
+	if err == nil {
+		t.Fatal("want sync-replication error, got nil")
+	}
+}
+
+// TestSubscribeDrainTyped pins the graceful-drain goodbye: closing the
+// server mid-subscription delivers stDraining, not a bare conn reset,
+// so the subscriber knows to redial rather than report a failure.
+func TestSubscribeDrainTyped(t *testing.T) {
+	srv, _ := startReplServer(t, &fakeBackend{role: RolePrimary, gen: 1, applied: 7})
+	sub, err := DialSubscribe(srv.Addr().String(), 0, 7, 1, true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// First event: a heartbeat proving the stream is live.
+	ev, err := sub.Next(2 * time.Second)
+	if err != nil || ev.Kind != EvHeartbeat {
+		t.Fatalf("first event = %+v, %v", ev, err)
+	}
+	go srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ev, err = sub.Next(2 * time.Second)
+		if err == nil && ev.Kind == EvHeartbeat {
+			if time.Now().After(deadline) {
+				t.Fatal("no drain notice before deadline")
+			}
+			continue
+		}
+		break
+	}
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("drain: got %v, want ErrDraining", err)
+	}
+}
+
+// TestSubscribeFencedTyped pins the stFenced stream ending for a stale
+// subscriber generation, surviving as both sentinels.
+func TestSubscribeFencedTyped(t *testing.T) {
+	b := &fakeBackend{
+		role:   RolePrimary,
+		gen:    5,
+		subErr: fmt.Errorf("subscriber generation 2 predates 5: %w", aria.ErrFenced),
+	}
+	srv, _ := startReplServer(t, b)
+	sub, err := DialSubscribe(srv.Addr().String(), 0, 10, 2, true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	_, err = sub.Next(2 * time.Second)
+	if !errors.Is(err, ErrFenced) || !errors.Is(err, aria.ErrFenced) {
+		t.Fatalf("fenced subscribe: got %v, want ErrFenced", err)
+	}
+}
+
+// TestCatchupEndsWithDone pins the finite catch-up stream shape:
+// scripted events, then io.EOF from stDone.
+func TestCatchupEndsWithDone(t *testing.T) {
+	b := &fakeBackend{
+		role: RolePrimary,
+		gen:  1,
+		events: []ReplEvent{
+			{Kind: EvSegStart, Seq: 1},
+			{Kind: EvRecord, Rec: []byte("sealed-bytes")},
+		},
+	}
+	srv, _ := startReplServer(t, b)
+	sub, err := DialSubscribe(srv.Addr().String(), 0, 0, 1, false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ev, err := sub.Next(2 * time.Second)
+	if err != nil || ev.Kind != EvSegStart || ev.Seq != 1 {
+		t.Fatalf("ev1 = %+v, %v", ev, err)
+	}
+	ev, err = sub.Next(2 * time.Second)
+	if err != nil || ev.Kind != EvRecord || string(ev.Rec) != "sealed-bytes" {
+		t.Fatalf("ev2 = %+v, %v", ev, err)
+	}
+	if _, err = sub.Next(2 * time.Second); !errors.Is(err, io.EOF) {
+		t.Fatalf("end: got %v, want io.EOF", err)
+	}
+}
+
+// TestSnapshotTransferNotFoundTyped pins the typed miss for a primary
+// without a snapshot.
+func TestSnapshotTransferNotFoundTyped(t *testing.T) {
+	srv, _ := startReplServer(t, &fakeBackend{role: RolePrimary, gen: 1})
+	_, _, err := FetchSnapshot(srv.Addr().String(), 0, time.Second)
+	if !errors.Is(err, aria.ErrNotFound) {
+		t.Fatalf("snapshot miss: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestReplStatus pins the opReplStatus JSON round trip.
+func TestReplStatus(t *testing.T) {
+	_, c := startReplServer(t, &fakeBackend{role: RoleReplica, gen: 9, applied: 123, lag: 4})
+	info, err := c.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Role != RoleReplica || info.Generation != 9 || info.Shards != 1 ||
+		info.Lag != 4 || len(info.Applied) != 1 || info.Applied[0] != 123 {
+		t.Fatalf("ReplStatus = %+v", info)
+	}
+}

@@ -50,6 +50,12 @@ type ServerConfig struct {
 	// disables network instrumentation entirely. See docs/OPERATIONS.md
 	// for the metric catalogue.
 	Metrics *obs.Registry
+	// Repl, when non-nil, enables the replication surface: subscribe
+	// and snapshot-transfer streams, role-based request gating (a
+	// replica rejects writes, a fenced node rejects everything),
+	// watermark bodies on write responses, and watermarked reads. See
+	// the repl package for implementations.
+	Repl ReplBackend
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -297,6 +303,15 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.touchWrite(wire)
+		if rq.op == opSubscribe || rq.op == opSegmentCatchup {
+			// The connection becomes a dedicated replication stream; the
+			// handler owns it until the stream ends, then the connection
+			// closes (a subscriber redials to resume).
+			if err := s.serveSubscribe(wire, rq); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.logf("kvnet: subscribe stream error: %v", err)
+			}
+			return
+		}
 		t0 := time.Now()
 		err = s.serveRecover(wire, rq)
 		s.met.request(rq.op, uint64(time.Since(t0)))
@@ -340,6 +355,18 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 	}
+	// Role gating comes first: a fenced ex-primary must answer with its
+	// typed sentinel before any store access, and a replica rejects
+	// writes the same way.
+	if resp := s.replGate(rq); resp != nil {
+		return writeFrame(conn, resp)
+	}
+	if rq.op == opReplStatus {
+		return s.serveReplStatus(conn)
+	}
+	if rq.op == opSnapshotTransfer {
+		return s.serveSnapshotTransfer(conn, rq)
+	}
 	// Crossing into the enclave costs one ECALL per request. Batch ops
 	// skip this: their native store path charges one amortized batched
 	// entry for the whole request instead.
@@ -351,6 +378,14 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 	}
 	switch rq.op {
 	case opGet:
+		// A watermarked read (GetAt) carries its watermark list in the
+		// value field; a replica that has not applied them yet answers
+		// stLagging instead of stale data.
+		if len(rq.value) > 0 {
+			if resp := s.replLagCheck(rq.value); resp != nil {
+				return writeFrame(conn, resp)
+			}
+		}
 		v, err := s.store.Get(rq.key)
 		if err != nil {
 			return writeFrame(conn, errResponse(err))
@@ -360,14 +395,22 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		if err := s.store.Put(rq.key, rq.value); err != nil {
 			return writeFrame(conn, errResponse(err))
 		}
-		return writeFrame(conn, encodeResponse(stOK, nil))
+		body, err := s.replWriteAck(rq.key)
+		if err != nil {
+			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+		}
+		return writeFrame(conn, encodeResponse(stOK, body))
 	case opDelete:
 		if err := s.store.Delete(rq.key); err != nil {
 			return writeFrame(conn, errResponse(err))
 		}
-		return writeFrame(conn, encodeResponse(stOK, nil))
+		body, err := s.replWriteAck(rq.key)
+		if err != nil {
+			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+		}
+		return writeFrame(conn, encodeResponse(stOK, body))
 	case opStats:
-		body, err := json.Marshal(s.store.Stats())
+		body, err := json.Marshal(s.replOverlay(s.store.Stats()))
 		if err != nil {
 			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
 		}
@@ -435,6 +478,12 @@ func errResponse(err error) []byte {
 		return encodeResponse(stNoScan, nil)
 	case errors.Is(err, aria.ErrNotDurable):
 		return encodeResponse(stNotDurable, nil)
+	case errors.Is(err, aria.ErrFenced):
+		return encodeResponse(stFenced, []byte(err.Error()))
+	case errors.Is(err, aria.ErrReadOnlyReplica):
+		return encodeResponse(stReadOnly, nil)
+	case errors.Is(err, aria.ErrLagging):
+		return encodeResponse(stLagging, nil)
 	default:
 		return encodeResponse(stError, []byte(err.Error()))
 	}

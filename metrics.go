@@ -402,6 +402,34 @@ func (m *meteredStore) ChargeEcall() {
 // contribute zero bytes, matching the sharded aggregation contract.
 
 // UntrustedSize implements Corrupter.
+// WALShards implements Replicable by delegation; a non-durable inner
+// store reports zero lineages (not replicable). These forwarders do
+// not take m.mu: the inner store's own lock protects them, and the
+// commit hook fires while a write already holds m.mu.
+func (m *meteredStore) WALShards() int {
+	if r, ok := m.inner.(Replicable); ok {
+		return r.WALShards()
+	}
+	return 0
+}
+
+// WALShardDir implements Replicable by delegation.
+func (m *meteredStore) WALShardDir(i int) string {
+	return m.inner.(Replicable).WALShardDir(i)
+}
+
+// WALShardNextSeq implements Replicable by delegation.
+func (m *meteredStore) WALShardNextSeq(i int) uint64 {
+	return m.inner.(Replicable).WALShardNextSeq(i)
+}
+
+// SetCommitHook implements Replicable by delegation.
+func (m *meteredStore) SetCommitHook(fn func()) {
+	if r, ok := m.inner.(Replicable); ok {
+		r.SetCommitHook(fn)
+	}
+}
+
 func (m *meteredStore) UntrustedSize() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,69 @@
+package repl
+
+import (
+	"github.com/ariakv/aria/obs"
+)
+
+// Replication metric family names. The catalogue rows live in
+// docs/OPERATIONS.md; the parity test in this package keeps the two in
+// sync, exactly as kvnet's does for its families.
+const (
+	metricLag        = "repl_lag_seq"
+	metricBytes      = "repl_bytes_streamed_total"
+	metricRedials    = "repl_redials_total"
+	metricPromotions = "repl_promotions_total"
+)
+
+// metrics holds a node's instruments. A nil *metrics is valid and turns
+// every method into a no-op, so call sites never branch on whether an
+// obs registry was configured.
+type metrics struct {
+	lag        *obs.Gauge   // replica: max shard lag behind the primary
+	bytes      *obs.Counter // primary: sealed record bytes streamed out
+	redials    *obs.Counter // replica: subscribe stream (re)dials
+	promotions *obs.Counter // replica→primary promotions on this node
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		lag: reg.Gauge(metricLag,
+			"Replica staleness: largest per-shard gap between the primary's last known sequence and the locally applied one.", nil),
+		bytes: reg.Counter(metricBytes,
+			"Sealed WAL record bytes streamed to subscribers.", nil),
+		redials: reg.Counter(metricRedials,
+			"Subscribe streams dialed, including the first dial and every redial after a drop.", nil),
+		promotions: reg.Counter(metricPromotions,
+			"Replica-to-primary promotions performed on this node.", nil),
+	}
+}
+
+func (m *metrics) setLag(v uint64) {
+	if m == nil {
+		return
+	}
+	m.lag.Set(float64(v))
+}
+
+func (m *metrics) addBytes(n int) {
+	if m == nil {
+		return
+	}
+	m.bytes.Add(uint64(n))
+}
+
+func (m *metrics) redial() {
+	if m == nil {
+		return
+	}
+	m.redials.Inc()
+}
+
+func (m *metrics) promoted() {
+	if m == nil {
+		return
+	}
+	m.promotions.Inc()
+}

@@ -1,0 +1,74 @@
+package aria
+
+// Replication support surface. A durable store exposes its sealed WAL
+// lineages to the repl package through Replicable: the publisher reads
+// segment files straight off each shard's directory (the sealed bytes
+// are the replication stream — see wal/stream.go), and a replica node
+// applies verified payloads back through the normal write path with
+// ApplyWALPayload so its own WAL re-seals the same operations under
+// the same sequence numbers.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Replicable is implemented by durable stores whose sealed WAL
+// lineages can be shipped to replicas. A store opened without DataDir
+// reports zero WAL shards, signaling that it cannot be replicated.
+type Replicable interface {
+	// WALShards returns the number of independent WAL lineages (one
+	// per shard; zero when the store is not durable).
+	WALShards() int
+	// WALShardDir returns the directory holding shard i's segment and
+	// snapshot files.
+	WALShardDir(i int) string
+	// WALShardNextSeq returns the next sequence number shard i's
+	// lineage will assign; every record below it is committed.
+	WALShardNextSeq(i int) uint64
+	// SetCommitHook installs fn to run after every committed WAL
+	// append on any shard. fn runs under a shard's write lock and must
+	// not block; pass nil to clear.
+	SetCommitHook(fn func())
+}
+
+// ApplyWALPayload applies one verified WAL record payload through st's
+// normal write path, so a replica's own WAL logs the identical
+// operation under the identical sequence number (each Put/Delete
+// appends exactly one record). A Delete of a key the replica does not
+// hold is a divergence — the primary logged an operation the replica's
+// state cannot replay — and fails loudly instead of silently skipping
+// a sequence number.
+func ApplyWALPayload(st Store, payload []byte) error {
+	op, key, value, err := decodeWalRecord(payload)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case walOpPut:
+		return st.Put(key, value)
+	case walOpDelete:
+		if err := st.Delete(key); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				return fmt.Errorf("%w: replicated delete of absent key (replica diverged)", ErrIntegrity)
+			}
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("aria: unknown wal op %d", op)
+	}
+}
+
+// InitDataDir prepares dir to be opened with the given seed and shard
+// count, writing the sealed shard manifest a fresh sharded data
+// directory requires. It is how a replica bootstraps an empty data
+// directory before placing transferred snapshots into the per-shard
+// lineage directories and calling Open. On a non-empty directory it
+// verifies the manifest instead, exactly as Open does.
+func InitDataDir(dir string, seed uint64, shards int) error {
+	if shards < 1 {
+		shards = 1
+	}
+	return checkShardManifest(dir, seed, shards)
+}

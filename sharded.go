@@ -140,6 +140,39 @@ func (s *shardedStore) ShardStats(i int) Stats {
 	return s.shards[i].Stats()
 }
 
+// WALShards implements Replicable: one lineage per shard when every
+// shard is durable, zero (not replicable) otherwise.
+func (s *shardedStore) WALShards() int {
+	for _, sh := range s.shards {
+		r, ok := sh.(Replicable)
+		if !ok || r.WALShards() == 0 {
+			return 0
+		}
+	}
+	return len(s.shards)
+}
+
+// WALShardDir implements Replicable for shard i's lineage.
+func (s *shardedStore) WALShardDir(i int) string {
+	return s.shards[i].(Replicable).WALShardDir(0)
+}
+
+// WALShardNextSeq implements Replicable for shard i's lineage (the
+// shard's own lock serializes against concurrent appends).
+func (s *shardedStore) WALShardNextSeq(i int) uint64 {
+	return s.shards[i].(Replicable).WALShardNextSeq(0)
+}
+
+// SetCommitHook implements Replicable, fanning the same hook out to
+// every shard's lineage.
+func (s *shardedStore) SetCommitHook(fn func()) {
+	for _, sh := range s.shards {
+		if r, ok := sh.(Replicable); ok {
+			r.SetCommitHook(fn)
+		}
+	}
+}
+
 func (s *shardedStore) Put(key, value []byte) error {
 	i := s.router.Pick(key)
 	s.mus[i].Lock()

@@ -462,6 +462,140 @@ func TestSnapshotTamperDetected(t *testing.T) {
 	}
 }
 
+// TestRecoverAfterSeqAtSegmentBoundary pins the catch-up edge case
+// replication leans on: recovering with afterSeq equal to the last
+// sequence of a segment replays exactly from the next segment's first
+// record, while the whole lineage is still verified.
+func TestRecoverAfterSeqAtSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncNever, 64) // tiny segments force rotation
+	recoverAll(t, l, 0)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(l.segs))
+	}
+	boundary := l.segs[1].firstSeq - 1 // last record of the first segment
+	l.Close()
+	l2 := openLog(t, dir, FsyncNever, 64)
+	var first uint64
+	var replayed int
+	info, err := l2.Recover(boundary, func(seq uint64, _ []byte) error {
+		if replayed == 0 {
+			first = seq
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Verified != 20 {
+		t.Fatalf("verified %d records, want all 20", info.Verified)
+	}
+	if first != boundary+1 {
+		t.Fatalf("replay started at seq %d, want %d (next segment's first record)", first, boundary+1)
+	}
+	if want := 20 - int(boundary); replayed != want {
+		t.Fatalf("replayed %d records, want %d", replayed, want)
+	}
+	if l2.NextSeq() != 21 {
+		t.Fatalf("NextSeq = %d, want 21", l2.NextSeq())
+	}
+	l2.Close()
+}
+
+// TestRecoverAfterSeqBeyondNextSeq pins what happens when the caller's
+// afterSeq overshoots the log: everything is still verified, nothing is
+// replayed, and NextSeq lands at the true log end — not afterSeq+1 — so
+// appends continue the real lineage.
+func TestRecoverAfterSeqBeyondNextSeq(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncBatch, 1<<20)
+	recoverAll(t, l, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l2 := openLog(t, dir, FsyncBatch, 1<<20)
+	got, info := recoverAll(t, l2, 100)
+	if len(got) != 0 || info.Replayed != 0 {
+		t.Fatalf("replayed %d records with afterSeq beyond the log, want 0", len(got))
+	}
+	if info.Verified != 5 {
+		t.Fatalf("verified %d records, want 5", info.Verified)
+	}
+	if l2.NextSeq() != 6 {
+		t.Fatalf("NextSeq = %d, want 6 (true log end, not afterSeq+1)", l2.NextSeq())
+	}
+	if res, err := l2.Append([]byte("after")); err != nil || res.FirstSeq != 6 {
+		t.Fatalf("append after overshoot recover: res=%+v err=%v, want seq 6", res, err)
+	}
+	l2.Close()
+}
+
+// TestRecoverResumesAfterTruncateTailSalvage pins catch-up across a
+// salvage: after TruncateTail drops a tampered suffix and new appends
+// reuse those sequence numbers, a later Recover from a snapshot
+// boundary replays only the surviving lineage.
+func TestRecoverResumesAfterTruncateTailSalvage(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, FsyncBatch, 1<<20)
+	recoverAll(t, l, 0)
+	var bound int64
+	for i := 0; i < 4; i++ {
+		res, err := l.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			bound = int64(res.Bytes)
+		} else if i == 1 {
+			bound += int64(res.Bytes)
+		}
+	}
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[bound+headerBytes+2] ^= 0xFF // corrupt record 3's body
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, FsyncBatch, 1<<20)
+	if _, err := l2.Recover(0, nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered", err)
+	}
+	if err := l2.TruncateTail(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := l2.Append([]byte("salvaged")); err != nil || res.FirstSeq != 3 {
+		t.Fatalf("salvage append: res=%+v err=%v, want seq 3", res, err)
+	}
+	l2.Close()
+	// A catch-up recover from seq 2 (as if a snapshot covered the valid
+	// prefix) replays only the re-issued record.
+	l3 := openLog(t, dir, FsyncBatch, 1<<20)
+	got, info := recoverAll(t, l3, 2)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("salvaged")) {
+		t.Fatalf("replayed %v, want only the salvaged record", got)
+	}
+	if info.Torn {
+		t.Fatal("salvaged log reported torn")
+	}
+	if l3.NextSeq() != 4 {
+		t.Fatalf("NextSeq = %d, want 4", l3.NextSeq())
+	}
+	l3.Close()
+}
+
 func TestParseFsyncPolicy(t *testing.T) {
 	for _, p := range []FsyncPolicy{FsyncBatch, FsyncAlways, FsyncNever} {
 		got, err := ParseFsyncPolicy(p.String())
