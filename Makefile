@@ -9,7 +9,8 @@ GOVULNCHECK_VERSION ?= v1.1.3
 COVER_BASELINE ?= 78.0
 
 .PHONY: all build test race vet fuzz fuzz-smoke docs-check metrics-guard \
-	lint cover bench-smoke bench-smoke-demo check bench-json chaos-repl clean
+	lint cover bench-smoke bench-smoke-demo check bench-json chaos-repl \
+	chaos-ccache clean
 
 # Parameters for the committed BENCH_*.json snapshots: big enough caches
 # that shard scaling isn't quantization-bound, small enough to run in
@@ -39,6 +40,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodePair -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodeBatchRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzParseBatchRecord -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzDecodeInvalEntries -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./wal
 
 # CI's fuzzing pass: every fuzzer above for 30 seconds each. The seeded
@@ -49,7 +51,7 @@ fuzz-smoke:
 
 # Every exported identifier in the public API surface must carry godoc.
 docs-check:
-	$(GO) run ./internal/docslint . kvnet obs wal repl
+	$(GO) run ./internal/docslint . kvnet obs wal repl ccache
 
 # Replication chaos suite under the race detector: kill-primary failover
 # with zero acknowledged-write loss, partition staleness bounds, link
@@ -58,6 +60,14 @@ chaos-repl:
 	$(GO) test -race -count=1 -v -run \
 		'TestFailoverZeroAckedWriteLoss|TestStalenessBoundAcrossPartition|TestLinkFlapConvergence|TestGracefulDrainRedial' \
 		./repl
+
+# Client-cache chaos suite under the race detector: partition/flap/
+# blackhole cycles with zero stale reads past an acked invalidation,
+# cold drop on redial, and the typed drain goodbye (see ccache).
+chaos-ccache:
+	$(GO) test -race -count=1 -v -run \
+		'TestChaosCcacheZeroStaleReads|TestCacheColdOnRedial|TestCacheDrainTyped' \
+		./ccache
 
 # Prove the disabled-metrics path costs <2% vs the raw store on the
 # fig9-style microbench (skipped unless METRICS_GUARD=1).
@@ -83,7 +93,7 @@ cover:
 # Deterministic bench-regression smoke: re-run the committed BENCH_*.json
 # snapshots in-process and fail on >5% drift in any table value.
 bench-smoke:
-	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor' -v ./internal/bench
+	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor|TestCcacheSpeedupFloor' -v ./internal/bench
 
 # Prove the smoke guard has teeth: pricing enclave memory 6% higher must
 # push the committed tables out of tolerance.
@@ -97,6 +107,7 @@ bench-json:
 	$(GO) run ./cmd/aria-bench -exp batch -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp persist -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp repl -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(GO) run ./cmd/aria-bench -exp ccache -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 
 check: build vet docs-check test race
 

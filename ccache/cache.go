@@ -1,0 +1,420 @@
+package ccache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ariakv/aria/kvnet"
+	"github.com/ariakv/aria/obs"
+)
+
+// Config tunes a Cache. Zero values select the defaults.
+type Config struct {
+	// Client configures the underlying kvnet data client Open dials.
+	Client kvnet.ClientConfig
+	// MaxEntries bounds cached entries (default 65536).
+	MaxEntries int
+	// MaxBytes bounds the cached payload footprint (default 64 MiB;
+	// negative = unbounded).
+	MaxBytes int64
+	// Shards is the LRU lock-shard count, rounded up to a power of two
+	// (default 256). More shards narrow the fill-guard blast radius: an
+	// invalidation only kills in-flight fills on its own shard.
+	Shards int
+	// HeartbeatTimeout is how long the invalidation stream may stay
+	// silent before the cache presumes it dead and drops cold (default
+	// 3s; the server heartbeats every ServerConfig.InvalHeartbeat).
+	HeartbeatTimeout time.Duration
+	// RedialBackoff is the initial pause before re-dialing a lost
+	// stream; it doubles per failure up to 2s (default 50ms).
+	RedialBackoff time.Duration
+	// Metrics, when non-nil, instruments the cache into the given
+	// registry (ccache_* families; see docs/OPERATIONS.md).
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives stream lifecycle notices.
+	Logf func(format string, args ...any)
+}
+
+// maxRedialBackoff caps the stream redial backoff.
+const maxRedialBackoff = 2 * time.Second
+
+func (c *Config) fillDefaults() {
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 3 * time.Second
+	}
+	if c.RedialBackoff == 0 {
+		c.RedialBackoff = 50 * time.Millisecond
+	}
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts reads served locally with zero network hops.
+	Hits uint64
+	// Misses counts armed reads that fetched from the server.
+	Misses uint64
+	// Bypass counts reads passed through while cold.
+	Bypass uint64
+	// Invalidations counts stream entries applied.
+	Invalidations uint64
+	// FillRaces counts fills discarded by the generation guard.
+	FillRaces uint64
+	// ColdDrops counts drops to cold (stream loss, drain, redial).
+	ColdDrops uint64
+	// Redials counts invalidation streams established.
+	Redials uint64
+	// Drains counts streams ended by the server's typed drain goodbye.
+	Drains uint64
+	// Entries and Bytes describe the current footprint.
+	Entries int
+	// Bytes is the approximate cached payload footprint.
+	Bytes int64
+	// Armed reports whether hits are currently being served.
+	Armed bool
+}
+
+// HitRatio returns hits over armed reads (0 when none happened).
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache fronts a kvnet client with a coherent local LRU. All methods
+// are safe for concurrent use. See the package comment for the
+// coherence contract.
+type Cache struct {
+	addr string
+	cl   *kvnet.Client
+	cfg  Config
+	lru  *LRU
+	met  *metrics
+
+	armed atomic.Bool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	bypass    atomic.Uint64
+	invals    atomic.Uint64
+	fillRaces atomic.Uint64
+	coldDrops atomic.Uint64
+	redials   atomic.Uint64
+	drains    atomic.Uint64
+
+	// marks tracks the highest write watermark this client produced (or
+	// adopted via UseWatermark) per WAL shard; misses read with them so
+	// a lagging replica answers ErrLagging instead of stale data.
+	marksMu sync.Mutex
+	marks   map[uint32]uint64
+
+	// seqSeen tracks the highest invalidation seq applied per WAL
+	// shard — the "version floor" below which no cached value survives.
+	seqMu   sync.Mutex
+	seqSeen map[uint32]uint64
+
+	hookMu  sync.Mutex
+	onInval func(kvnet.InvalEntry) // test hook; called per applied entry
+
+	subMu sync.Mutex
+	sub   *kvnet.InvalSub // live stream, closed by Close to unblock Next
+
+	closeC    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Open dials addr for data and for the invalidation stream, returning
+// a cache that starts cold and arms itself once the stream delivers
+// its hello frame. Against a server without InvalPush (or a replica)
+// the cache never arms and every read passes through — correct, just
+// not accelerated.
+func Open(addr string, cfg Config) (*Cache, error) {
+	cfg.fillDefaults()
+	cl, err := kvnet.DialConfig(addr, cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		addr:    addr,
+		cl:      cl,
+		cfg:     cfg,
+		lru:     NewLRU(cfg.MaxEntries, cfg.MaxBytes, cfg.Shards),
+		marks:   make(map[uint32]uint64),
+		seqSeen: make(map[uint32]uint64),
+		closeC:  make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		c.met = newMetrics(cfg.Metrics)
+	}
+	c.wg.Add(1)
+	go c.watch()
+	return c, nil
+}
+
+// Client exposes the underlying data client for operations the cache
+// does not mediate (Scan, Stats, Checkpoint, batches).
+func (c *Cache) Client() *kvnet.Client { return c.cl }
+
+// Close stops the invalidation stream and closes the data client.
+func (c *Cache) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closeC)
+		c.subMu.Lock()
+		if c.sub != nil {
+			_ = c.sub.Close()
+		}
+		c.subMu.Unlock()
+	})
+	c.wg.Wait()
+	return c.cl.Close()
+}
+
+func (c *Cache) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Get returns key's value, serving from the local cache when armed and
+// warm. A miss fetches through the client — with the recorded
+// watermarks when any exist, so a lagging replica answers
+// kvnet.ErrLagging instead of stale data — and fills the cache under a
+// generation guard. The returned slice must not be modified when it
+// was served from cache.
+func (c *Cache) Get(key []byte) ([]byte, error) {
+	if !c.armed.Load() {
+		c.bypass.Add(1)
+		c.met.bypassed()
+		return c.fetch(key)
+	}
+	if v, ok := c.lru.Get(key); ok {
+		c.hits.Add(1)
+		c.met.hit()
+		return v, nil
+	}
+	tok := c.lru.Begin(key)
+	v, err := c.fetch(key)
+	c.misses.Add(1)
+	c.met.miss()
+	if err != nil {
+		return nil, err
+	}
+	if !c.lru.Commit(tok, key, v) {
+		c.fillRaces.Add(1)
+		c.met.fillRace()
+	}
+	c.met.size(c.lru.Len(), c.lru.Bytes())
+	return v, nil
+}
+
+// fetch reads through the client, watermarked when this client has
+// produced (or adopted) any write watermarks.
+func (c *Cache) fetch(key []byte) ([]byte, error) {
+	marks := c.watermarks()
+	if len(marks) > 0 {
+		return c.cl.GetAt(key, marks)
+	}
+	return c.cl.Get(key)
+}
+
+// Put writes through the client and synchronously invalidates the
+// local entry — read-your-writes holds even before the server's own
+// invalidation frame arrives. The entry is invalidated on error too:
+// a failed write may still have been applied server-side.
+func (c *Cache) Put(key, value []byte) error {
+	wm, err := c.cl.PutW(key, value)
+	c.selfInvalidate(key, wm)
+	return err
+}
+
+// Delete removes key through the client, invalidating like Put.
+func (c *Cache) Delete(key []byte) error {
+	wm, err := c.cl.DeleteW(key)
+	c.selfInvalidate(key, wm)
+	return err
+}
+
+// selfInvalidate drops the local entry for a key this client just
+// wrote (bumping the shard generation, so a fill racing the write dies
+// too) and records the write's watermark for future misses.
+func (c *Cache) selfInvalidate(key []byte, wm kvnet.Watermark) {
+	c.lru.InvalidateKey(key)
+	c.met.size(c.lru.Len(), c.lru.Bytes())
+	if wm != (kvnet.Watermark{}) {
+		c.UseWatermark(wm)
+	}
+}
+
+// UseWatermark adopts a write watermark produced elsewhere (e.g. by a
+// writer client when this cache fronts a replica): later misses read
+// with it, so a node that has not applied the write answers
+// kvnet.ErrLagging instead of stale data.
+func (c *Cache) UseWatermark(wm kvnet.Watermark) {
+	c.marksMu.Lock()
+	if wm.Seq > c.marks[wm.Shard] {
+		c.marks[wm.Shard] = wm.Seq
+	}
+	c.marksMu.Unlock()
+}
+
+// watermarks snapshots the recorded write watermarks (nil when none).
+func (c *Cache) watermarks() []kvnet.Watermark {
+	c.marksMu.Lock()
+	defer c.marksMu.Unlock()
+	if len(c.marks) == 0 {
+		return nil
+	}
+	out := make([]kvnet.Watermark, 0, len(c.marks))
+	for shard, seq := range c.marks {
+		out = append(out, kvnet.Watermark{Shard: shard, Seq: seq})
+	}
+	return out
+}
+
+// SeqSeen returns the highest invalidation sequence applied for one
+// WAL shard — the version floor: no cached value older than it can be
+// served.
+func (c *Cache) SeqSeen(shard uint32) uint64 {
+	c.seqMu.Lock()
+	defer c.seqMu.Unlock()
+	return c.seqSeen[shard]
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Bypass:        c.bypass.Load(),
+		Invalidations: c.invals.Load(),
+		FillRaces:     c.fillRaces.Load(),
+		ColdDrops:     c.coldDrops.Load(),
+		Redials:       c.redials.Load(),
+		Drains:        c.drains.Load(),
+		Entries:       c.lru.Len(),
+		Bytes:         c.lru.Bytes(),
+		Armed:         c.armed.Load(),
+	}
+}
+
+// setInvalHook installs a per-entry callback (tests observe acked
+// invalidations through it).
+func (c *Cache) setInvalHook(fn func(kvnet.InvalEntry)) {
+	c.hookMu.Lock()
+	c.onInval = fn
+	c.hookMu.Unlock()
+}
+
+func (c *Cache) invalHook() func(kvnet.InvalEntry) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	return c.onInval
+}
+
+// watch owns the invalidation stream for the cache's lifetime: dial,
+// consume until loss, drop cold, back off, redial. The cache is armed
+// only between a stream's hello frame and its first sign of trouble.
+func (c *Cache) watch() {
+	defer c.wg.Done()
+	backoff := c.cfg.RedialBackoff
+	for {
+		select {
+		case <-c.closeC:
+			return
+		default:
+		}
+		dialTimeout := c.cfg.Client.DialTimeout
+		if dialTimeout == 0 {
+			dialTimeout = 5 * time.Second
+		}
+		sub, err := kvnet.DialInvalSub(c.addr, dialTimeout)
+		if err == nil {
+			c.subMu.Lock()
+			c.sub = sub
+			c.subMu.Unlock()
+			c.redials.Add(1)
+			c.met.redialed()
+			err = c.consume(sub)
+			c.subMu.Lock()
+			c.sub = nil
+			c.subMu.Unlock()
+			_ = sub.Close()
+			if errors.Is(err, kvnet.ErrDraining) {
+				c.drains.Add(1)
+				c.met.drained()
+				c.logf("ccache: server draining; cache cold until redial")
+			} else {
+				c.logf("ccache: invalidation stream lost: %v", err)
+			}
+			backoff = c.cfg.RedialBackoff
+		}
+		select {
+		case <-c.closeC:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxRedialBackoff {
+			backoff = maxRedialBackoff
+		}
+	}
+}
+
+// consume arms the cache on the stream's hello frame and applies
+// entries until the stream errors, times out past the heartbeat
+// window, or drains. Disarm-then-drop runs on every exit path: the
+// cache is never warm without a live stream.
+func (c *Cache) consume(sub *kvnet.InvalSub) error {
+	// Hello: the server sends its first heartbeat only after the hub
+	// registration, so arming here guarantees every later commit is
+	// either pushed to this stream or happened before — in which case
+	// any fill issued from now on observes it.
+	ev, err := sub.Next(c.cfg.HeartbeatTimeout)
+	if err != nil {
+		return err
+	}
+	c.lru.DropAll()
+	c.armed.Store(true)
+	c.met.setArmed(true)
+	defer func() {
+		c.armed.Store(false)
+		c.lru.DropAll()
+		c.coldDrops.Add(1)
+		c.met.droppedCold()
+		c.met.setArmed(false)
+		c.met.size(0, 0)
+	}()
+	for {
+		c.apply(ev)
+		ev, err = sub.Next(c.cfg.HeartbeatTimeout)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// apply folds one stream event into the cache.
+func (c *Cache) apply(ev kvnet.InvalEvent) {
+	if len(ev.Entries) == 0 {
+		return // heartbeat
+	}
+	hook := c.invalHook()
+	for _, e := range ev.Entries {
+		c.lru.Invalidate(e.Hash)
+		c.invals.Add(1)
+		c.seqMu.Lock()
+		if e.Seq > c.seqSeen[e.Shard] {
+			c.seqSeen[e.Shard] = e.Seq
+		}
+		c.seqMu.Unlock()
+		if hook != nil {
+			hook(e)
+		}
+	}
+	c.met.invalidated(len(ev.Entries))
+	c.met.size(c.lru.Len(), c.lru.Bytes())
+}

@@ -1,0 +1,408 @@
+package ccache
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/kvnet"
+	"github.com/ariakv/aria/kvnet/chaos"
+	"github.com/ariakv/aria/repl"
+)
+
+// ---- helpers -------------------------------------------------------------
+
+func openTestStore(t *testing.T) aria.Store {
+	t.Helper()
+	st, err := aria.Open(aria.Options{
+		Scheme:       aria.AriaHash,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 4096,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// startServer runs a kvnet server over a fresh in-memory store with
+// invalidation push enabled and fast heartbeats, returning its address.
+func startServer(t *testing.T, cfg kvnet.ServerConfig) (*kvnet.Server, string) {
+	t.Helper()
+	if cfg.InvalHeartbeat == 0 {
+		cfg.InvalHeartbeat = 20 * time.Millisecond
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 200 * time.Millisecond
+	}
+	srv := kvnet.NewServerConfig(openTestStore(t), cfg)
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// fastConfig keeps the suite quick: tight heartbeat window and redials,
+// no client retries (failures surface immediately).
+func fastConfig() Config {
+	return Config{
+		Client:           kvnet.ClientConfig{Retry: kvnet.NoRetry(), DialTimeout: 2 * time.Second},
+		HeartbeatTimeout: 250 * time.Millisecond,
+		RedialBackoff:    10 * time.Millisecond,
+	}
+}
+
+func openCache(t *testing.T, addr string, cfg Config) *Cache {
+	t.Helper()
+	c, err := Open(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func waitArmed(t *testing.T, c *Cache) {
+	t.Helper()
+	waitFor(t, 3*time.Second, "cache to arm", func() bool { return c.Stats().Armed })
+}
+
+// ---- tests ---------------------------------------------------------------
+
+// TestCacheServesHits: the tentpole happy path. Once armed, a repeated
+// read is served locally, and a remote write pushes the entry out so
+// the next read refetches the new value.
+func TestCacheServesHits(t *testing.T) {
+	_, addr := startServer(t, kvnet.ServerConfig{InvalPush: true})
+	c := openCache(t, addr, fastConfig())
+	waitArmed(t, c)
+
+	if err := c.Put([]byte("hot"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// First read misses and fills; the next ones hit.
+	for i := 0; i < 3; i++ {
+		v, err := c.Get([]byte("hot"))
+		if err != nil || string(v) != "v1" {
+			t.Fatalf("read %d: %q, %v", i, v, err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits < 2 || st.Misses < 1 {
+		t.Fatalf("stats after warm reads: %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("nothing cached: %+v", st)
+	}
+
+	// Another client writes: the server's push must invalidate our copy
+	// and the cache converge on the new value (bounded by push latency).
+	other, err := kvnet.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.Put([]byte("hot"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "remote write to invalidate the cached copy", func() bool {
+		v, err := c.Get([]byte("hot"))
+		return err == nil && string(v) == "v2"
+	})
+	if got := c.Stats(); got.Invalidations == 0 {
+		t.Fatalf("no invalidations applied: %+v", got)
+	}
+}
+
+// TestCacheReadYourWrites: the first leg of the coherence contract,
+// under concurrency and the race detector. Writers on disjoint keys
+// share one cache; every read after a goroutine's own write must
+// return exactly that write, even while other goroutines' traffic and
+// the server's invalidation stream churn the same LRU shards.
+func TestCacheReadYourWrites(t *testing.T) {
+	_, addr := startServer(t, kvnet.ServerConfig{InvalPush: true})
+	c := openCache(t, addr, Config{
+		Client:           kvnet.ClientConfig{Retry: kvnet.NoRetry(), DialTimeout: 2 * time.Second},
+		HeartbeatTimeout: 250 * time.Millisecond,
+		RedialBackoff:    10 * time.Millisecond,
+		// Few shards on purpose: cross-key invalidations then share
+		// fill-guard generations, maximizing fill races.
+		Shards: 2,
+	})
+	waitArmed(t, c)
+
+	const writers, rounds = 8, 40
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("w%d", w))
+			for i := 0; i < rounds; i++ {
+				want := fmt.Sprintf("v%d-%d", w, i)
+				if err := c.Put(key, []byte(want)); err != nil {
+					errc <- fmt.Errorf("writer %d put %d: %w", w, i, err)
+					return
+				}
+				// Both the immediate read (forced miss via the
+				// synchronous self-invalidation) and a follow-up (may
+				// hit) must observe the write.
+				for r := 0; r < 2; r++ {
+					got, err := c.Get(key)
+					if err != nil {
+						errc <- fmt.Errorf("writer %d read %d.%d: %w", w, i, r, err)
+						return
+					}
+					if string(got) != want {
+						errc <- fmt.Errorf("writer %d read %d.%d: got %q, want %q (read-your-writes broken)", w, i, r, got, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestCacheColdOnRedial: the second leg of the contract. Severing the
+// connection must drop the cache cold (no hit can outlive the stream
+// that kept it honest); after the heal it re-arms and refetches the
+// value written while it was dark — never the pre-partition bytes.
+func TestCacheColdOnRedial(t *testing.T) {
+	_, addr := startServer(t, kvnet.ServerConfig{InvalPush: true})
+	proxy, err := chaos.New(addr, chaos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	c := openCache(t, proxy.Addr(), fastConfig())
+	waitArmed(t, c)
+	if err := c.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if v, err := c.Get([]byte("k")); err != nil || string(v) != "v1" {
+			t.Fatalf("warm read: %q, %v", v, err)
+		}
+	}
+
+	proxy.Partition()
+	waitFor(t, 3*time.Second, "partition to drop the cache cold", func() bool {
+		st := c.Stats()
+		return !st.Armed && st.Entries == 0 && st.ColdDrops >= 1
+	})
+
+	// While the cache is dark, a direct client (bypassing the proxy)
+	// moves the key. The cache can never learn of this write through a
+	// dead stream — only the cold drop protects the next read.
+	direct, err := kvnet.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	if err := direct.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.Heal()
+	waitArmed(t, c)
+	// The data client's pooled connection died with the partition; with
+	// NoRetry the first read may surface that. Retry transient errors —
+	// but any read that *succeeds* must return v2: serving v1 here would
+	// be a stale serve across the redial.
+	waitFor(t, 3*time.Second, "post-heal read", func() bool {
+		v, err := c.Get([]byte("k"))
+		if err != nil {
+			return false
+		}
+		if string(v) != "v2" {
+			t.Fatalf("post-heal read %q; stale serve across redial", v)
+		}
+		return true
+	})
+	if st := c.Stats(); st.Redials < 2 {
+		t.Fatalf("expected a re-established stream, got %+v", st)
+	}
+}
+
+// TestCacheDrainTyped pins the satellite fix end to end: a graceful
+// server drain reaches the cache as the typed ErrDraining goodbye
+// (counted in Drains), not an anonymous connection reset, and the
+// cache disarms.
+func TestCacheDrainTyped(t *testing.T) {
+	srv, addr := startServer(t, kvnet.ServerConfig{InvalPush: true})
+	c := openCache(t, addr, fastConfig())
+	waitArmed(t, c)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "typed drain goodbye", func() bool {
+		st := c.Stats()
+		return st.Drains >= 1 && !st.Armed
+	})
+}
+
+// TestCacheNeverArmsWithoutPush: against a server without InvalPush
+// the cache stays cold forever and reads pass through — correct, just
+// not accelerated.
+func TestCacheNeverArmsWithoutPush(t *testing.T) {
+	_, addr := startServer(t, kvnet.ServerConfig{})
+	c := openCache(t, addr, fastConfig())
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if v, err := c.Get([]byte("k")); err != nil || string(v) != "v" {
+			t.Fatalf("pass-through read: %q, %v", v, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := c.Stats()
+	if st.Armed || st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("cache armed against a push-less server: %+v", st)
+	}
+	if st.Bypass == 0 {
+		t.Fatalf("reads not counted as bypass: %+v", st)
+	}
+}
+
+// ---- replica interaction -------------------------------------------------
+
+func replOpts(dir string) aria.Options {
+	return aria.Options{
+		Scheme:       aria.AriaHash,
+		EPCBytes:     16 << 20,
+		ExpectedKeys: 4096,
+		Seed:         7,
+		Shards:       2,
+		DataDir:      dir,
+		Fsync:        aria.FsyncNever,
+	}
+}
+
+func fastReplCfg() repl.Config {
+	return repl.Config{
+		AckEvery:      1,
+		RedialBackoff: 20 * time.Millisecond,
+		PollInterval:  5 * time.Millisecond,
+		DialTimeout:   2 * time.Second,
+		StreamTimeout: 2 * time.Second,
+		WaitTimeout:   5 * time.Second,
+	}
+}
+
+func serveReplNode(t *testing.T, n *repl.Node) (*kvnet.Server, string) {
+	t.Helper()
+	srv := kvnet.NewServerConfig(n.Store(), kvnet.ServerConfig{
+		Repl:           n,
+		InvalPush:      true, // enabled on purpose: replicas must still refuse
+		InvalHeartbeat: 20 * time.Millisecond,
+		DrainTimeout:   250 * time.Millisecond,
+	})
+	srv.SetLogf(func(string, ...any) {})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// TestCacheFrontsReplicaLagging: the third leg of the contract. A
+// cache in front of a replica never arms (the replica refuses the
+// invalidation stream — its applier bypasses the publish hook), so
+// nothing is ever cached; with an adopted write watermark, reads
+// against a lagging replica surface kvnet.ErrLagging instead of stale
+// data, and catch up to the fresh value after the heal.
+func TestCacheFrontsReplicaLagging(t *testing.T) {
+	primary, err := repl.OpenPrimary(replOpts(t.TempDir()), fastReplCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	_, pAddr := serveReplNode(t, primary)
+
+	// The replica subscribes through a chaos proxy so the test can make
+	// it lag on demand.
+	proxy, err := chaos.New(pAddr, chaos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	replica, err := repl.OpenReplica(replOpts(t.TempDir()), proxy.Addr(), fastReplCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	_, rAddr := serveReplNode(t, replica)
+
+	pc, err := kvnet.Dial(pAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	// Baseline write, applied by the replica while the link is healthy.
+	wm0, err := pc.PutW([]byte("base"), []byte("b0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := openCache(t, rAddr, fastConfig())
+	c.UseWatermark(wm0)
+	waitFor(t, 5*time.Second, "replica to apply the baseline", func() bool {
+		v, err := c.Get([]byte("base"))
+		return err == nil && string(v) == "b0"
+	})
+
+	// Partition the replication stream and write on the primary.
+	proxy.Partition()
+	wm, err := pc.PutW([]byte("fresh"), []byte("f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.UseWatermark(wm)
+	if _, err := c.Get([]byte("fresh")); !errors.Is(err, kvnet.ErrLagging) {
+		t.Fatalf("read on lagging replica = %v, want kvnet.ErrLagging", err)
+	}
+
+	proxy.Heal()
+	waitFor(t, 5*time.Second, "replica to catch up past the watermark", func() bool {
+		v, err := c.Get([]byte("fresh"))
+		return err == nil && string(v) == "f1"
+	})
+
+	st := c.Stats()
+	if st.Armed || st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("cache warmed in front of a replica: %+v", st)
+	}
+	if st.Bypass == 0 {
+		t.Fatalf("replica reads not passed through: %+v", st)
+	}
+}

@@ -1,0 +1,230 @@
+// The ccache chaos suite: a real server, a fault proxy, and a cache
+// that gets partitioned, flapped, and blackholed while writers churn.
+// The headline gate is zero stale reads past an acked invalidation:
+// once the cache has applied the invalidation for a write, no later
+// read — hit, miss, or bypass — may return anything older than that
+// write. The oracle is exact because apply() invalidates the LRU
+// before the test hook observes the entry, so the recorded floor never
+// runs ahead of the cache's own state.
+package ccache
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria/kvnet"
+	"github.com/ariakv/aria/kvnet/chaos"
+)
+
+// chaosKeys is the hot set the chaos workload churns.
+func chaosKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("chaos-key-%03d", i))
+	}
+	return keys
+}
+
+// encVer/decVer carry a write's version number in its value.
+func encVer(v uint64) []byte { return []byte(fmt.Sprintf("%016d", v)) }
+
+func decVer(t *testing.T, b []byte) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		t.Fatalf("unparseable version value %q: %v", b, err)
+	}
+	return v
+}
+
+// TestChaosCcacheZeroStaleReads drives concurrent readers through a
+// cache whose connections run through a fault proxy — partition, link
+// flap, blackhole (heartbeat silence), heal — while a writer (direct,
+// unproxied) advances versioned values. Invariant: a read may lag (push
+// latency, that is the contract) but may never return a version older
+// than an invalidation the cache has already applied.
+func TestChaosCcacheZeroStaleReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	_, addr := startServer(t, kvnet.ServerConfig{InvalPush: true})
+	proxy, err := chaos.New(addr, chaos.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c := openCache(t, proxy.Addr(), Config{
+		// OpTimeout matters: a blackholed connection swallows responses,
+		// and a read blocked on one must fail fast, not sit out the 30s
+		// default.
+		Client: kvnet.ClientConfig{
+			Retry:       kvnet.NoRetry(),
+			DialTimeout: 2 * time.Second,
+			OpTimeout:   500 * time.Millisecond,
+		},
+		HeartbeatTimeout: 250 * time.Millisecond,
+		RedialBackoff:    10 * time.Millisecond,
+		Shards:           8, // coarse shards widen the fill-guard blast radius on purpose
+	})
+
+	keys := chaosKeys(16)
+	keyOf := make(map[uint64]string, len(keys))
+	for _, k := range keys {
+		h := kvnet.InvalHash(k)
+		if prev, dup := keyOf[h]; dup {
+			t.Fatalf("test keys collide: %q and %q", prev, k)
+		}
+		keyOf[h] = string(k)
+	}
+
+	// Oracle state. wrote[k] is the highest version whose Put has
+	// returned; floor[h] is the stale-read floor — raised to wrote[k]
+	// when the cache applies an invalidation for k's hash, at which
+	// point the LRU has already dropped the entry and bumped the shard
+	// generation, so every later cached value must be >= wrote[k].
+	var oracleMu sync.Mutex
+	wrote := make(map[string]uint64, len(keys))
+	floor := make(map[uint64]uint64, len(keys))
+	c.setInvalHook(func(e kvnet.InvalEntry) {
+		oracleMu.Lock()
+		if k, ok := keyOf[e.Hash]; ok {
+			if v := wrote[k]; v > floor[e.Hash] {
+				floor[e.Hash] = v
+			}
+		}
+		oracleMu.Unlock()
+	})
+
+	// The writer bypasses the proxy: the server's state advances even
+	// while the cache is dark, which is exactly what makes a stale
+	// post-heal serve possible if the cold-drop logic were broken.
+	writer, err := kvnet.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	for _, k := range keys {
+		if err := writer.Put(k, encVer(1)); err != nil {
+			t.Fatal(err)
+		}
+		oracleMu.Lock()
+		wrote[string(k)] = 1
+		oracleMu.Unlock()
+	}
+	waitArmed(t, c)
+
+	var (
+		stop       atomic.Bool
+		violations atomic.Uint64
+		goodReads  atomic.Uint64
+		wg         sync.WaitGroup
+	)
+	// Writer loop: round-robin version bumps, full speed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ver := make(map[string]uint64, len(keys))
+		for _, k := range keys {
+			ver[string(k)] = 1
+		}
+		for i := 0; !stop.Load(); i++ {
+			k := keys[i%len(keys)]
+			next := ver[string(k)] + 1
+			if err := writer.Put(k, encVer(next)); err != nil {
+				continue // server never goes away; be safe anyway
+			}
+			ver[string(k)] = next
+			oracleMu.Lock()
+			if next > wrote[string(k)] {
+				wrote[string(k)] = next
+			}
+			oracleMu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	// Reader loops: snapshot the floor, then read through the cache.
+	// Errors are expected while partitioned; successes are checked.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; !stop.Load(); i++ {
+				k := keys[i%len(keys)]
+				h := kvnet.InvalHash(k)
+				oracleMu.Lock()
+				min := floor[h]
+				oracleMu.Unlock()
+				v, err := c.Get(k)
+				if err != nil {
+					continue
+				}
+				if got := decVer(t, v); got < min {
+					violations.Add(1)
+					t.Errorf("stale read: key %q version %d, acked-invalidation floor %d", k, got, min)
+				}
+				goodReads.Add(1)
+			}
+		}(r)
+	}
+
+	start := time.Now()
+	mark := func(what string) { t.Logf("%8.2fs %s", time.Since(start).Seconds(), what) }
+	// The chaos schedule. Between injuries, wait for the cache to
+	// re-arm so each phase actually exercises a warm cache.
+	time.Sleep(200 * time.Millisecond) // healthy warm traffic
+	mark("warm done")
+
+	proxy.Partition()
+	time.Sleep(150 * time.Millisecond)
+	proxy.Heal()
+	mark("healed")
+	waitArmed(t, c)
+	mark("rearmed after partition")
+	time.Sleep(100 * time.Millisecond)
+
+	proxy.Flap(3, 30*time.Millisecond, 60*time.Millisecond)
+	mark("flapped")
+	waitArmed(t, c)
+	mark("rearmed after flap")
+	time.Sleep(100 * time.Millisecond)
+
+	// Blackhole: connections stay up but nothing flows — only the
+	// heartbeat timeout can save the cache from serving forever-stale
+	// hits off a silently dead stream.
+	proxy.SetBlackhole(true, true)
+	waitFor(t, 3*time.Second, "heartbeat silence to drop the cache cold", func() bool {
+		return !c.Stats().Armed
+	})
+	mark("went cold in blackhole")
+	proxy.SetBlackhole(false, false)
+	waitArmed(t, c)
+	mark("rearmed after blackhole")
+	time.Sleep(100 * time.Millisecond)
+
+	stop.Store(true)
+	mark("stopping")
+	wg.Wait()
+	mark("workers joined")
+
+	st := c.Stats()
+	if violations.Load() != 0 {
+		t.Fatalf("%d stale reads past an acked invalidation (stats %+v)", violations.Load(), st)
+	}
+	if goodReads.Load() == 0 {
+		t.Fatal("no successful reads; the chaos schedule starved the workload")
+	}
+	if st.Hits == 0 {
+		t.Errorf("no cache hits; the suite never exercised the warm path: %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Errorf("no invalidations applied; the oracle never engaged: %+v", st)
+	}
+	if st.ColdDrops < 2 || st.Redials < 2 {
+		t.Errorf("chaos schedule too gentle: %+v", st)
+	}
+	t.Logf("chaos stats: reads=%d %+v", goodReads.Load(), st)
+}

@@ -1,0 +1,70 @@
+package ccache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/ariakv/aria/obs"
+)
+
+// TestDocsMetricsParity keeps the ccache_* rows of the metric
+// catalogue in docs/OPERATIONS.md in lockstep with the families this
+// package registers, mirroring the kvnet and repl parity tests.
+func TestDocsMetricsParity(t *testing.T) {
+	reg := obs.NewRegistry()
+	newMetrics(reg)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	emitted := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			emitted[strings.Fields(line)[2]] = true
+		}
+	}
+	if len(emitted) == 0 {
+		t.Fatal("no metric families emitted")
+	}
+
+	doc, err := os.ReadFile(filepath.Join("..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameRe := regexp.MustCompile("^\\| `(ccache_[a-z0-9_]+)`")
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if m := nameRe.FindStringSubmatch(line); m != nil {
+			if documented[m[1]] {
+				t.Errorf("docs/OPERATIONS.md lists %s twice", m[1])
+			}
+			documented[m[1]] = true
+		}
+	}
+
+	var missing, ghosts []string
+	for name := range emitted {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !emitted[name] {
+			ghosts = append(ghosts, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(ghosts)
+	if len(missing) > 0 {
+		t.Errorf("emitted but not documented in docs/OPERATIONS.md: %v", missing)
+	}
+	if len(ghosts) > 0 {
+		t.Errorf("documented in docs/OPERATIONS.md but never emitted: %v", ghosts)
+	}
+}

@@ -1,0 +1,183 @@
+package ccache
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ariakv/aria/kvnet"
+)
+
+// fill inserts key=val through the production Begin/Commit path.
+func fill(t *testing.T, l *LRU, key, val string) {
+	t.Helper()
+	tok := l.Begin([]byte(key))
+	if !l.Commit(tok, []byte(key), []byte(val)) {
+		t.Fatalf("clean fill of %q rejected", key)
+	}
+}
+
+func TestLRUFillAndGet(t *testing.T) {
+	l := NewLRU(16, -1, 1)
+	fill(t, l, "k1", "v1")
+	if v, ok := l.Get([]byte("k1")); !ok || string(v) != "v1" {
+		t.Fatalf("Get(k1) = %q, %v", v, ok)
+	}
+	if _, ok := l.Get([]byte("absent")); ok {
+		t.Fatal("Get(absent) hit")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+// TestLRUEvictionOrder pins the replacement policy: a Get promotes, so
+// the least recently used entry goes first when the bound trips.
+func TestLRUEvictionOrder(t *testing.T) {
+	l := NewLRU(4, -1, 1)
+	for i := 0; i < 4; i++ {
+		fill(t, l, fmt.Sprintf("k%d", i), "v")
+	}
+	// Promote k0: k1 is now the coldest.
+	if _, ok := l.Get([]byte("k0")); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	fill(t, l, "k4", "v")
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if _, ok := l.Get([]byte("k1")); ok {
+		t.Fatal("k1 survived; LRU order broken")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := l.Get([]byte(k)); !ok {
+			t.Fatalf("%s evicted; LRU order broken", k)
+		}
+	}
+}
+
+// TestLRUByteBound: the byte budget evicts from the tail until the
+// footprint fits, and the accounting survives refreshes.
+func TestLRUByteBound(t *testing.T) {
+	// Room for ~3 entries of 100B payload + overhead.
+	l := NewLRU(1<<20, 3*(100+entryOverheadBytes)+10, 1)
+	big := make([]byte, 100)
+	for i := 0; i < 8; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		tok := l.Begin(key)
+		l.Commit(tok, key, big)
+	}
+	if l.Len() > 3 {
+		t.Fatalf("Len = %d, want <= 3", l.Len())
+	}
+	if max := int64(3*(100+entryOverheadBytes) + 10); l.Bytes() > max {
+		t.Fatalf("Bytes = %d, want <= %d", l.Bytes(), max)
+	}
+	// Refreshing one key with a much larger value must re-run the byte
+	// eviction, not just swap the slice.
+	key := []byte("key-7")
+	tok := l.Begin(key)
+	if !l.Commit(tok, key, make([]byte, 250)) {
+		t.Fatal("refresh rejected")
+	}
+	if max := int64(3*(100+entryOverheadBytes) + 10 + 250); l.Bytes() > max {
+		t.Fatalf("Bytes after refresh = %d, over budget", l.Bytes())
+	}
+}
+
+// TestLRUFillRaceGuard pins the coherence-critical property: any
+// invalidation (even for a key that is not cached, even a full drop)
+// touching the shard between Begin and Commit kills the fill.
+func TestLRUFillRaceGuard(t *testing.T) {
+	l := NewLRU(16, -1, 1)
+
+	tok := l.Begin([]byte("k"))
+	l.Invalidate(kvnet.InvalHash([]byte("k")))
+	if l.Commit(tok, []byte("k"), []byte("stale")) {
+		t.Fatal("commit survived an invalidation of the same key")
+	}
+	if _, ok := l.Get([]byte("k")); ok {
+		t.Fatal("stale fill was cached")
+	}
+
+	// An invalidation for a *different* (absent) key on the same shard
+	// must still kill the fill: with one shard the guard is coarse by
+	// design — never stale, occasionally over-cautious.
+	tok = l.Begin([]byte("k"))
+	l.Invalidate(kvnet.InvalHash([]byte("unrelated-and-absent")))
+	if l.Commit(tok, []byte("k"), []byte("stale")) {
+		t.Fatal("commit survived a same-shard invalidation")
+	}
+
+	// DropAll bumps every shard.
+	tok = l.Begin([]byte("k"))
+	l.DropAll()
+	if l.Commit(tok, []byte("k"), []byte("stale")) {
+		t.Fatal("commit survived DropAll")
+	}
+
+	// And an undisturbed fill goes through.
+	tok = l.Begin([]byte("k"))
+	if !l.Commit(tok, []byte("k"), []byte("fresh")) {
+		t.Fatal("clean fill rejected")
+	}
+	if v, _ := l.Get([]byte("k")); string(v) != "fresh" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestLRUInvalidateCounts(t *testing.T) {
+	l := NewLRU(16, -1, 4)
+	fill(t, l, "a", "1")
+	fill(t, l, "b", "2")
+	if n := l.InvalidateKey([]byte("a")); n != 1 {
+		t.Fatalf("InvalidateKey(a) = %d, want 1", n)
+	}
+	if n := l.InvalidateKey([]byte("a")); n != 0 {
+		t.Fatalf("second InvalidateKey(a) = %d, want 0", n)
+	}
+	if _, ok := l.Get([]byte("b")); !ok {
+		t.Fatal("b collateral-evicted by a's invalidation")
+	}
+	l.DropAll()
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Fatalf("after DropAll: Len=%d Bytes=%d", l.Len(), l.Bytes())
+	}
+}
+
+// TestLRURefreshKeepsSingleEntry: two racing fills of the same key end
+// as one entry with the later value, bytes accounted once.
+func TestLRURefreshKeepsSingleEntry(t *testing.T) {
+	l := NewLRU(16, -1, 1)
+	tok1 := l.Begin([]byte("k"))
+	tok2 := l.Begin([]byte("k"))
+	if !l.Commit(tok1, []byte("k"), []byte("first")) {
+		t.Fatal("first commit rejected")
+	}
+	if !l.Commit(tok2, []byte("k"), []byte("second-longer")) {
+		t.Fatal("second commit rejected (no invalidation happened)")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	if v, _ := l.Get([]byte("k")); string(v) != "second-longer" {
+		t.Fatalf("got %q", v)
+	}
+	want := int64(len("k")+len("second-longer")) + entryOverheadBytes
+	if l.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", l.Bytes(), want)
+	}
+}
+
+// TestLRUShardNeverExceedsEntryBudget: rounding shards up to a power
+// of two must not grant more total entries than asked for.
+func TestLRUShardCapping(t *testing.T) {
+	l := NewLRU(2, -1, 256) // 2 entries, absurd shard count
+	for i := 0; i < 64; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		tok := l.Begin(key)
+		l.Commit(tok, key, []byte("v"))
+	}
+	if l.Len() > 2 {
+		t.Fatalf("Len = %d, want <= 2 (shards wider than budget)", l.Len())
+	}
+}

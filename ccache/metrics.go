@@ -1,0 +1,130 @@
+package ccache
+
+import "github.com/ariakv/aria/obs"
+
+// Metric family names. The catalogue lives in docs/OPERATIONS.md; the
+// parity test keeps the two in sync.
+const (
+	metricHits      = "ccache_hits_total"
+	metricMisses    = "ccache_misses_total"
+	metricBypass    = "ccache_bypass_total"
+	metricInvals    = "ccache_invalidations_total"
+	metricFillRaces = "ccache_fill_races_total"
+	metricColdDrops = "ccache_cold_drops_total"
+	metricRedials   = "ccache_redials_total"
+	metricDrains    = "ccache_drains_total"
+	metricEntries   = "ccache_entries"
+	metricBytes     = "ccache_bytes"
+	metricArmed     = "ccache_armed"
+)
+
+// metrics holds the cache's instruments. A nil *metrics is valid and
+// turns every method into a no-op, so call sites never branch on
+// whether metrics are enabled (same contract as kvnet and repl).
+type metrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	bypass    *obs.Counter
+	invals    *obs.Counter
+	fillRaces *obs.Counter
+	coldDrops *obs.Counter
+	redials   *obs.Counter
+	drains    *obs.Counter
+	entries   *obs.Gauge
+	bytes     *obs.Gauge
+	armed     *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		hits: reg.Counter(metricHits,
+			"Reads served from the local cache (zero network hops).", nil),
+		misses: reg.Counter(metricMisses,
+			"Armed reads that went to the server.", nil),
+		bypass: reg.Counter(metricBypass,
+			"Reads passed through while the cache was cold (stream down).", nil),
+		invals: reg.Counter(metricInvals,
+			"Invalidation entries applied from the server's stream.", nil),
+		fillRaces: reg.Counter(metricFillRaces,
+			"Fills discarded because an invalidation raced the fetch.", nil),
+		coldDrops: reg.Counter(metricColdDrops,
+			"Times the cache dropped to cold (stream loss, drain, or redial).", nil),
+		redials: reg.Counter(metricRedials,
+			"Invalidation stream (re)connections established.", nil),
+		drains: reg.Counter(metricDrains,
+			"Streams ended by the server's typed ErrDraining goodbye.", nil),
+		entries: reg.Gauge(metricEntries,
+			"Entries currently cached.", nil),
+		bytes: reg.Gauge(metricBytes,
+			"Approximate cached payload bytes, per-entry overhead included.", nil),
+		armed: reg.Gauge(metricArmed,
+			"1 while the invalidation stream is live and the cache serves hits.", nil),
+	}
+}
+
+func (m *metrics) hit() {
+	if m != nil {
+		m.hits.Inc()
+	}
+}
+
+func (m *metrics) miss() {
+	if m != nil {
+		m.misses.Inc()
+	}
+}
+
+func (m *metrics) bypassed() {
+	if m != nil {
+		m.bypass.Inc()
+	}
+}
+
+func (m *metrics) invalidated(n int) {
+	if m != nil {
+		m.invals.Add(uint64(n))
+	}
+}
+
+func (m *metrics) fillRace() {
+	if m != nil {
+		m.fillRaces.Inc()
+	}
+}
+
+func (m *metrics) droppedCold() {
+	if m != nil {
+		m.coldDrops.Inc()
+	}
+}
+
+func (m *metrics) redialed() {
+	if m != nil {
+		m.redials.Inc()
+	}
+}
+
+func (m *metrics) drained() {
+	if m != nil {
+		m.drains.Inc()
+	}
+}
+
+func (m *metrics) setArmed(v bool) {
+	if m == nil {
+		return
+	}
+	if v {
+		m.armed.Set(1)
+	} else {
+		m.armed.Set(0)
+	}
+}
+
+func (m *metrics) size(entries int, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.entries.Set(float64(entries))
+	m.bytes.Set(float64(bytes))
+}

@@ -107,6 +107,7 @@ func main() {
 		replicaOf    = flag.String("replica-of", "", "run as a read replica of the primary at this address (requires -data-dir)")
 		promote      = flag.Bool("promote", false, "promote this data directory's replica lineage to primary (implies -primary)")
 		syncReplicas = flag.Int("sync-replicas", 0, "acknowledge writes only after this many replicas applied them (implies -primary)")
+		invalPush    = flag.Bool("inval-push", false, "push cache invalidations to subscribed ccache clients (primaries and standalone servers only)")
 	)
 	flag.Parse()
 
@@ -186,6 +187,7 @@ func main() {
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drainTimeout,
+		InvalPush:    *invalPush,
 		Metrics:      reg,
 	}
 	if node != nil {

@@ -8,14 +8,19 @@
 //
 //	ariactl [-scheme aria-h] [-keys 100000] [-epc 91]
 //	ariactl -connect host:7970
+//	ariactl -connect host:7970 -ccache
 //	ariactl -connect host:7970 -watch [-interval 1s]
 //
 // -connect attaches to a live aria-server over the kvnet protocol
 // instead of opening an in-process store; every command then operates on
-// the remote store. -watch skips the shell and streams a one-line
+// the remote store. -ccache additionally fronts the connection with the
+// coherent client cache (package ccache): hot reads are served locally,
+// kept fresh by the server's invalidation stream (the server must run
+// with -inval-push). -watch skips the shell and streams a one-line
 // operations view (op rates, cache hit ratio, paging, replication lag
-// and generation, health) every -interval until interrupted — the
-// terminal companion to the /metrics endpoint (see docs/OPERATIONS.md).
+// and generation, health — plus cc-hit% under -ccache) every -interval
+// until interrupted — the terminal companion to the /metrics endpoint
+// (see docs/OPERATIONS.md).
 //
 // Commands:
 //
@@ -46,6 +51,7 @@ import (
 	"time"
 
 	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/ccache"
 	"github.com/ariakv/aria/kvnet"
 )
 
@@ -110,6 +116,29 @@ func (b *remoteBackend) Scan(start, end []byte, fn func(k, v []byte) bool) error
 	return b.cl.Scan(start, end, 0, fn)
 }
 
+// ccacheBackend fronts a remote server with the coherent client cache
+// (-ccache): reads of hot keys are served locally with zero network
+// hops, kept fresh by the server's invalidation stream. Everything the
+// cache does not mediate goes through the underlying client.
+type ccacheBackend struct{ c *ccache.Cache }
+
+func (b *ccacheBackend) Put(k, v []byte) error        { return b.c.Put(k, v) }
+func (b *ccacheBackend) Get(k []byte) ([]byte, error) { return b.c.Get(k) }
+func (b *ccacheBackend) Delete(k []byte) error        { return b.c.Delete(k) }
+func (b *ccacheBackend) Stats() (aria.Stats, error)   { return b.c.Client().Stats() }
+func (b *ccacheBackend) Checkpoint() error            { return b.c.Client().Checkpoint() }
+func (b *ccacheBackend) Verify() error {
+	return fmt.Errorf("verify runs in-process only: the audit walks enclave memory (use the server's /healthz or aria_health metric)")
+}
+func (b *ccacheBackend) Scan(start, end []byte, fn func(k, v []byte) bool) error {
+	return b.c.Client().Scan(start, end, 0, fn)
+}
+func (b *ccacheBackend) CacheStats() ccache.Stats { return b.c.Stats() }
+
+// cacheStatser is implemented by backends that carry a client cache;
+// the watch view adds the cc-hit% column when it is present.
+type cacheStatser interface{ CacheStats() ccache.Stats }
+
 func main() {
 	var (
 		schemeName = flag.String("scheme", "aria-h", "store scheme (aria-h, aria-t, nocache-h, nocache-t, shieldstore, baseline-h, baseline-t)")
@@ -119,11 +148,25 @@ func main() {
 		watch      = flag.Bool("watch", false, "stream the live stats view instead of the shell (Ctrl-C to stop)")
 		interval   = flag.Duration("interval", time.Second, "refresh interval for -watch")
 		dataDir    = flag.String("data-dir", "", "open the local store durable: sealed WAL + snapshots under this directory")
+		useCcache  = flag.Bool("ccache", false, "front -connect with the coherent client cache (server needs -inval-push); adds the cc-hit% watch column")
 	)
 	flag.Parse()
 
 	var be backend
-	if *connect != "" {
+	if *useCcache && *connect == "" {
+		fmt.Fprintln(os.Stderr, "-ccache requires -connect: the cache fronts a remote server")
+		os.Exit(2)
+	}
+	if *connect != "" && *useCcache {
+		c, err := ccache.Open(*connect, ccache.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		be = &ccacheBackend{c: c}
+		fmt.Printf("connected to aria-server at %s (coherent client cache on). Type 'help'.\n", *connect)
+	} else if *connect != "" {
 		cl, err := kvnet.Dial(*connect)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -257,6 +300,11 @@ func main() {
 			if s.ReplRole != "" {
 				fmt.Printf("repl: role=%s generation=%d lag=%d\n", s.ReplRole, s.ReplGeneration, s.ReplLag)
 			}
+			if cs, ok := be.(cacheStatser); ok {
+				cc := cs.CacheStats()
+				fmt.Printf("ccache: armed=%v hits=%d misses=%d bypass=%d ratio=%.3f entries=%d invals=%d cold-drops=%d\n",
+					cc.Armed, cc.Hits, cc.Misses, cc.Bypass, cc.HitRatio(), cc.Entries, cc.Invalidations, cc.ColdDrops)
+			}
 		case "checkpoint":
 			if err := be.Checkpoint(); err != nil {
 				fmt.Println("error:", err)
@@ -287,17 +335,31 @@ func main() {
 // role initial — p3, r3, f3 — or "-" when replication is inactive).
 const watchHeader = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys     lag  gen   health"
 
+// watchHeaderCC is the header when the backend fronts the server with
+// the coherent client cache: cc-hit% (local cache hit ratio over the
+// sample window; "cold" while the invalidation stream is down) slots
+// in before health.
+const watchHeaderCC = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys     lag  gen  cc-hit%   health"
+
 // watchStats prints one delta line per interval: operation rates since
 // the previous sample, cache behaviour, paging, WAL fsync rate,
 // checkpoints taken, and health. seconds 0 streams until the process is
-// interrupted.
+// interrupted. A backend carrying a client cache gets the cc-hit%
+// column as well.
 func watchStats(w io.Writer, be backend, interval time.Duration, seconds int) {
 	prev, err := be.Stats()
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
 		return
 	}
-	fmt.Fprintln(w, watchHeader)
+	cs, hasCC := be.(cacheStatser)
+	var prevCC ccache.Stats
+	if hasCC {
+		prevCC = cs.CacheStats()
+		fmt.Fprintln(w, watchHeaderCC)
+	} else {
+		fmt.Fprintln(w, watchHeader)
+	}
 	t0 := time.Now()
 	for i := 0; seconds == 0 || i < seconds; i++ {
 		time.Sleep(interval)
@@ -306,24 +368,50 @@ func watchStats(w io.Writer, be backend, interval time.Duration, seconds int) {
 			fmt.Fprintln(w, "error:", err)
 			return
 		}
-		fmt.Fprint(w, watchLine(prev, cur, interval, time.Since(t0)))
+		extra := ""
+		if hasCC {
+			curCC := cs.CacheStats()
+			extra = ccCell(prevCC, curCC)
+			prevCC = curCC
+		}
+		fmt.Fprint(w, watchLineExtra(prev, cur, extra, interval, time.Since(t0)))
 		prev = cur
 	}
 }
 
 // watchLine formats one delta row of the watch view from two samples.
 func watchLine(prev, cur aria.Stats, interval, elapsed time.Duration) string {
+	return watchLineExtra(prev, cur, "", interval, elapsed)
+}
+
+// watchLineExtra is watchLine with an optional pre-formatted column
+// block inserted between gen and health (the cc-hit% cell).
+func watchLineExtra(prev, cur aria.Stats, extra string, interval, elapsed time.Duration) string {
 	dt := interval.Seconds()
 	rate := func(now, before uint64) float64 { return float64(now-before) / dt }
 	hit := cur.CacheHitRatio * 100
 	if d := (cur.CacheHits + cur.CacheMisses) - (prev.CacheHits + prev.CacheMisses); d > 0 {
 		hit = 100 * float64(cur.CacheHits-prev.CacheHits) / float64(d)
 	}
-	return fmt.Sprintf("%10.0f%10.0f%10.0f%8.1f%10.0f%10.0f%7d%9d%8d%5s   %s  [%s]\n",
+	return fmt.Sprintf("%10.0f%10.0f%10.0f%8.1f%10.0f%10.0f%7d%9d%8d%5s%s   %s  [%s]\n",
 		rate(cur.Gets, prev.Gets), rate(cur.Puts, prev.Puts), rate(cur.Deletes, prev.Deletes),
 		hit, rate(cur.PageSwaps, prev.PageSwaps), rate(cur.WALFsyncs, prev.WALFsyncs),
-		cur.Checkpoints, cur.Keys, cur.ReplLag, genCell(cur), cur.Health(),
+		cur.Checkpoints, cur.Keys, cur.ReplLag, genCell(cur), extra, cur.Health(),
 		elapsed.Truncate(time.Second))
+}
+
+// ccCell renders the cc-hit% column: the client cache's hit ratio over
+// the sample window ("cold" while the invalidation stream is down and
+// every read bypasses the cache).
+func ccCell(prev, cur ccache.Stats) string {
+	if !cur.Armed {
+		return fmt.Sprintf("%9s", "cold")
+	}
+	ratio := cur.HitRatio() * 100
+	if d := (cur.Hits + cur.Misses) - (prev.Hits + prev.Misses); d > 0 {
+		ratio = 100 * float64(cur.Hits-prev.Hits) / float64(d)
+	}
+	return fmt.Sprintf("%8.1f%%", ratio)
 }
 
 // genCell renders the replication generation column: the role initial

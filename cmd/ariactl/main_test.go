@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/ccache"
 )
 
 // scriptedBackend replays a fixed sequence of Stats samples, one per
@@ -181,5 +182,89 @@ func TestWatchStatsErrorOnFirstSample(t *testing.T) {
 	}
 	if !strings.Contains(out, "error:") {
 		t.Errorf("expected error report, got:\n%s", out)
+	}
+}
+
+// scriptedCCBackend is scriptedBackend plus a scripted client-cache
+// stats sequence, so the -ccache watch view is deterministic too.
+type scriptedCCBackend struct {
+	scriptedBackend
+	cc      []ccache.Stats
+	ccCalls int
+}
+
+func (b *scriptedCCBackend) CacheStats() ccache.Stats {
+	i := b.ccCalls
+	b.ccCalls++
+	if i >= len(b.cc) {
+		i = len(b.cc) - 1
+	}
+	return b.cc[i]
+}
+
+func TestWatchStatsCcacheColumn(t *testing.T) {
+	be := &scriptedCCBackend{
+		scriptedBackend: scriptedBackend{
+			errAt:   -1,
+			samples: []aria.Stats{{}, {Gets: 5, Keys: 5}, {Gets: 10, Keys: 10}},
+		},
+		cc: []ccache.Stats{
+			{Armed: true, Hits: 0, Misses: 0},
+			{Armed: true, Hits: 90, Misses: 10}, // window: 90/100 -> 90.0%
+			{Armed: false, Hits: 90, Misses: 10},
+		},
+	}
+	var buf bytes.Buffer
+	watchStats(&buf, be, time.Millisecond, 2)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if lines[0] != watchHeaderCC {
+		t.Errorf("header = %q, want %q", lines[0], watchHeaderCC)
+	}
+	if !strings.Contains(lines[0], "cc-hit%") {
+		t.Errorf("header missing cc-hit%% column: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "90.0%") {
+		t.Errorf("row 1 missing 90.0%% cc hit rate: %q", lines[1])
+	}
+	// The stream went down before the second sample: the cell must say
+	// cold, never a stale percentage.
+	if !strings.Contains(lines[2], "cold") {
+		t.Errorf("row 2 should show cold cache: %q", lines[2])
+	}
+}
+
+func TestCcCellWindowAndFallback(t *testing.T) {
+	// Window delta dominates when traffic flowed.
+	got := ccCell(ccache.Stats{Armed: true, Hits: 10, Misses: 10},
+		ccache.Stats{Armed: true, Hits: 40, Misses: 20})
+	if !strings.Contains(got, "75.0%") {
+		t.Errorf("window cc cell = %q, want 75.0%%", got)
+	}
+	// No traffic between samples: fall back to the lifetime ratio.
+	s := ccache.Stats{Armed: true, Hits: 30, Misses: 10}
+	if got := ccCell(s, s); !strings.Contains(got, "75.0%") {
+		t.Errorf("lifetime cc cell = %q, want 75.0%%", got)
+	}
+	if got := ccCell(ccache.Stats{}, ccache.Stats{Armed: false}); !strings.Contains(got, "cold") {
+		t.Errorf("disarmed cc cell = %q, want cold", got)
+	}
+}
+
+// TestWatchLineExtraInsertsBeforeHealth pins the cc column position:
+// between gen and health, so the base columns (indices 0-9) keep their
+// positions whether or not the cache is on.
+func TestWatchLineExtraInsertsBeforeHealth(t *testing.T) {
+	cur := aria.Stats{Keys: 3, ReplRole: "primary", ReplGeneration: 2}
+	line := watchLineExtra(aria.Stats{}, cur, "    99.9%", time.Second, time.Second)
+	fields := strings.Fields(line)
+	if len(fields) < 12 {
+		t.Fatalf("line has %d fields: %q", len(fields), line)
+	}
+	if fields[9] != "p2" || fields[10] != "99.9%" {
+		t.Errorf("gen/cc fields = %q %q, want p2 99.9%% (line %q)", fields[9], fields[10], line)
 	}
 }

@@ -29,7 +29,7 @@ func TestBenchRegressionGuard(t *testing.T) {
 		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
 	}
 	const guardTolerance = 0.05
-	for _, exp := range []string{"fig9", "batch", "persist", "repl"} {
+	for _, exp := range []string{"fig9", "batch", "persist", "repl", "ccache"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			want := loadReport(t, exp)
@@ -100,6 +100,39 @@ func TestBatchAmortizationFloor(t *testing.T) {
 			t.Errorf("%s: MGet@64 = %.0f cycles/key vs %.0f single (%.3fx > 0.25x)",
 				scheme, batched, single, ratio)
 		}
+	}
+}
+
+// TestCcacheSpeedupFloor pins the client-cache headline against the
+// committed snapshot: at Zipf-0.99 read-only with the largest swept
+// cache, client-observed read throughput is at least 5x the cache-off
+// baseline. The uniform rows are the control — no skew, no win — so a
+// regression here means the cache stopped exploiting skew, not that
+// the workload moved.
+func TestCcacheSpeedupFloor(t *testing.T) {
+	rep := loadReport(t, "ccache")
+	if len(rep.Tables) == 0 {
+		t.Fatal("BENCH_ccache.json has no tables")
+	}
+	speedup := func(workload, cache string) float64 {
+		t.Helper()
+		for _, r := range rep.Tables[0].Rows {
+			if len(r.Cells) >= 2 && r.Cells[0] == workload && r.Cells[1] == cache {
+				if v, ok := r.Values["speedup"]; ok {
+					return v
+				}
+			}
+		}
+		t.Fatalf("no speedup row for %s cache=%s", workload, cache)
+		return 0
+	}
+	if s := speedup("zipf0.99-R100", "75%"); s < 5.0 {
+		t.Errorf("zipf0.99-R100 @75%% cache: %.2fx speedup, want >= 5x", s)
+	}
+	// The control must stay a non-win: a tiny cache under uniform load
+	// buying >1.5x would mean the harness is no longer charging misses.
+	if s := speedup("uniform-R95", "1%"); s > 1.5 {
+		t.Errorf("uniform-R95 @1%% cache: %.2fx speedup; control should be flat", s)
 	}
 }
 

@@ -265,12 +265,14 @@ func (s *Server) serveBatch(conn net.Conn, rq request) error {
 			pairs[i] = aria.KV{Key: rq.mkeys[i], Value: rq.mvals[i]}
 		}
 		errs := s.store.MPut(pairs)
+		s.invalPublishBatch(rq.mkeys, errs)
 		return s.streamBatch(conn, len(pairs), func(i int) []byte {
 			st, msg := batchStatus(errAt(errs, i))
 			return encodeWriteRecord(st, msg)
 		})
 	default: // opMDelete; decode admits nothing else into the batch range
 		errs := s.store.MDelete(rq.mkeys)
+		s.invalPublishBatch(rq.mkeys, errs)
 		return s.streamBatch(conn, len(rq.mkeys), func(i int) []byte {
 			st, msg := batchStatus(errAt(errs, i))
 			return encodeWriteRecord(st, msg)

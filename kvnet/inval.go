@@ -1,0 +1,372 @@
+package kvnet
+
+// Invalidation push for coherent client-side caches (the ccache
+// package). A client that caches values locally opens a dedicated
+// opInvalSub stream; the server pushes one (key-hash, shard, seq) entry
+// for every write it commits, so the client can evict before serving
+// stale bytes. The stream reuses the subscribe machinery's heartbeat
+// (stReplBeat) and graceful-drain (stDraining) frames, so liveness and
+// shutdown behave exactly like a replication subscription. The layouts:
+//
+//	opInvalSub request:
+//	    key = empty, value = empty
+//	stInvalRec response body:
+//	    N × (keyHash u64 BE | shard u32 BE | seq u64 BE)
+//	stReplBeat response body:
+//	    highest locally assigned seq u64 BE (advisory; 0 under repl)
+//
+// Versioning: on a replicated primary, seq is the write's WAL
+// watermark (ReplBackend.Watermark, same value a PutW response
+// carries), so cache versions and replication watermarks share one
+// clock. A non-replicated server numbers its writes with a local
+// atomic counter — still monotone, which is all the coherence contract
+// needs. Entries carry a hash, not the key: the cache invalidates the
+// whole hash bucket, so a collision costs a spurious eviction, never a
+// stale serve.
+//
+// Delivery policy: a subscriber that cannot keep up (its buffered
+// channel overflows) has its stream terminated rather than ever
+// blocking the write path; the client observes stream loss, drops its
+// cache cold, and redials. Losing invalidations is therefore always
+// converted into losing the whole cache — coherence-safe by
+// construction.
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// InvalEntry is one pushed invalidation: the write's key hash
+// (InvalHash), its WAL shard, and the sequence number versioning it.
+type InvalEntry struct {
+	// Hash is InvalHash of the written key.
+	Hash uint64
+	// Shard is the WAL shard the write landed on (0 when not replicated).
+	Shard uint32
+	// Seq is the write's version: its WAL watermark on a replicated
+	// primary, a server-local monotone counter otherwise.
+	Seq uint64
+}
+
+// invalEntryBytes is one encoded invalidation entry.
+const invalEntryBytes = 20
+
+// invalBatchMax bounds entries coalesced into one stInvalRec frame.
+const invalBatchMax = 128
+
+// InvalHash hashes a key for invalidation matching: FNV-1a 64,
+// computed identically by the server (when pushing) and the cache
+// (when indexing), so an entry always finds its bucket.
+func InvalHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// encodeInvalEntries builds an stInvalRec body.
+func encodeInvalEntries(entries []InvalEntry) []byte {
+	out := make([]byte, len(entries)*invalEntryBytes)
+	for i, e := range entries {
+		off := i * invalEntryBytes
+		binary.BigEndian.PutUint64(out[off:off+8], e.Hash)
+		binary.BigEndian.PutUint32(out[off+8:off+12], e.Shard)
+		binary.BigEndian.PutUint64(out[off+12:off+20], e.Seq)
+	}
+	return out
+}
+
+// decodeInvalEntries parses an stInvalRec body. The length must be a
+// positive multiple of the entry size; the frame cap already bounds the
+// count, so a hostile body can never drive an oversized allocation.
+func decodeInvalEntries(body []byte) ([]InvalEntry, error) {
+	if len(body) == 0 || len(body)%invalEntryBytes != 0 {
+		return nil, errMalformed
+	}
+	entries := make([]InvalEntry, len(body)/invalEntryBytes)
+	for i := range entries {
+		off := i * invalEntryBytes
+		entries[i] = InvalEntry{
+			Hash:  binary.BigEndian.Uint64(body[off : off+8]),
+			Shard: binary.BigEndian.Uint32(body[off+8 : off+12]),
+			Seq:   binary.BigEndian.Uint64(body[off+12 : off+20]),
+		}
+	}
+	return entries, nil
+}
+
+// ---- server side ---------------------------------------------------------------
+
+// invalHub fans committed-write invalidations out to every subscribed
+// stream. Publishing never blocks: a full subscriber is killed instead
+// (see the delivery policy above).
+type invalHub struct {
+	mu       sync.Mutex
+	subs     map[*invalConn]struct{}
+	localSeq atomic.Uint64 // write numbering when no repl backend versions writes
+}
+
+// invalConn is one subscribed stream's mailbox.
+type invalConn struct {
+	ch   chan InvalEntry
+	kill chan struct{} // closed on overflow; the handler drops the stream
+	once sync.Once
+}
+
+func (c *invalConn) dead() { c.once.Do(func() { close(c.kill) }) }
+
+func (c *invalConn) isDead() bool {
+	select {
+	case <-c.kill:
+		return true
+	default:
+		return false
+	}
+}
+
+func newInvalHub() *invalHub {
+	return &invalHub{subs: make(map[*invalConn]struct{})}
+}
+
+func (h *invalHub) add(c *invalConn) {
+	h.mu.Lock()
+	h.subs[c] = struct{}{}
+	h.mu.Unlock()
+}
+
+func (h *invalHub) remove(c *invalConn) {
+	h.mu.Lock()
+	delete(h.subs, c)
+	h.mu.Unlock()
+}
+
+// publish delivers one entry to every live subscriber. Ordering
+// matters for coherence: publish is called only after the store commit,
+// so a subscriber registered before the commit always receives the
+// entry, and one registered after can only have fetched post-commit
+// bytes — either way no stale value survives.
+func (h *invalHub) publish(e InvalEntry) {
+	h.mu.Lock()
+	for c := range h.subs {
+		if c.isDead() {
+			continue
+		}
+		select {
+		case c.ch <- e:
+		default:
+			c.dead()
+		}
+	}
+	h.mu.Unlock()
+}
+
+// invalPublish pushes an invalidation for one committed write. On a
+// replicated primary the entry carries the write's WAL watermark; a
+// plain server numbers writes locally.
+func (s *Server) invalPublish(key []byte) {
+	h := s.inval
+	if h == nil {
+		return
+	}
+	var shard uint32
+	var seq uint64
+	if b := s.cfg.Repl; b != nil {
+		shard = b.ShardForKey(key)
+		seq = b.Watermark(shard)
+	} else {
+		seq = h.localSeq.Add(1)
+	}
+	h.publish(InvalEntry{Hash: InvalHash(key), Shard: shard, Seq: seq})
+	s.met.invalPushed()
+}
+
+// invalPublishBatch pushes invalidations for a batch write's
+// successfully applied keys (a per-key failure leaves that key's cached
+// value valid, so it is deliberately not pushed).
+func (s *Server) invalPublishBatch(keys [][]byte, errs []error) {
+	if s.inval == nil {
+		return
+	}
+	for i, k := range keys {
+		if errAt(errs, i) == nil {
+			s.invalPublish(k)
+		}
+	}
+}
+
+// serveInvalSub owns an invalidation stream: it registers a mailbox
+// with the hub and forwards entries as coalesced stInvalRec frames,
+// interleaving heartbeats, until the connection dies, the mailbox
+// overflows, or the server drains (a typed stDraining goodbye, shared
+// with repl subscribe). Only a node whose writes flow through this
+// server can push complete invalidations, so replicas — whose applier
+// bypasses the kvnet write path — refuse the stream and the cache in
+// front of them stays deliberately cold.
+func (s *Server) serveInvalSub(conn net.Conn) error {
+	if s.inval == nil {
+		s.touchWrite(conn)
+		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: invalidation push not enabled")))
+	}
+	if b := s.cfg.Repl; b != nil && b.Role() != RolePrimary {
+		s.touchWrite(conn)
+		if b.Role() == RoleFenced {
+			return writeFrame(conn, errResponse(aria.ErrFenced))
+		}
+		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: invalidation push serves primaries only")))
+	}
+	ic := &invalConn{
+		ch:   make(chan InvalEntry, s.cfg.InvalBuffer),
+		kill: make(chan struct{}),
+	}
+	s.inval.add(ic)
+	defer s.inval.remove(ic)
+	s.met.invalSubOpened()
+	defer s.met.invalSubClosed()
+
+	// The client sends nothing after the request; the reader exists to
+	// notice connection death while the stream idles.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			_ = conn.SetReadDeadline(time.Time{})
+			if _, err := readFrame(conn, maxFrameWire); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Hello heartbeat: sent after hub registration, so a client that has
+	// seen any frame knows every later commit will reach its stream.
+	s.touchWrite(conn)
+	if err := writeFrame(conn, encodeResponse(stReplBeat, u64be(s.inval.localSeq.Load()))); err != nil {
+		return err
+	}
+
+	ticker := time.NewTicker(s.cfg.InvalHeartbeat)
+	defer ticker.Stop()
+	buf := make([]InvalEntry, 0, invalBatchMax)
+	for {
+		// Overflow outranks buffered entries: the client must go cold.
+		select {
+		case <-ic.kill:
+			s.met.invalOverflow()
+			return nil
+		default:
+		}
+		select {
+		case <-s.closing:
+			s.touchWrite(conn)
+			return writeFrame(conn, encodeResponse(stDraining, nil))
+		case <-readerDone:
+			return nil
+		case <-ic.kill:
+			s.met.invalOverflow()
+			return nil
+		case e := <-ic.ch:
+			buf = append(buf[:0], e)
+		coalesce:
+			for len(buf) < invalBatchMax {
+				select {
+				case e2 := <-ic.ch:
+					buf = append(buf, e2)
+				default:
+					break coalesce
+				}
+			}
+			s.touchWrite(conn)
+			if err := writeFrame(conn, encodeResponse(stInvalRec, encodeInvalEntries(buf))); err != nil {
+				return err
+			}
+		case <-ticker.C:
+			s.touchWrite(conn)
+			if err := writeFrame(conn, encodeResponse(stReplBeat, u64be(s.inval.localSeq.Load()))); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ---- client side ---------------------------------------------------------------
+
+// InvalEvent is one frame on an invalidation stream: a batch of
+// entries, or a heartbeat proving the stream is live while idle.
+type InvalEvent struct {
+	// Entries holds the pushed invalidations (nil on a heartbeat).
+	Entries []InvalEntry
+	// Beat marks a heartbeat frame.
+	Beat bool
+	// Seq is the heartbeat's advisory sequence body.
+	Seq uint64
+}
+
+// InvalSub is a client-side invalidation stream on its own dedicated
+// connection. It is not redialed internally — the ccache package owns
+// that policy, because a broken stream must drop the cache cold before
+// re-arming.
+type InvalSub struct {
+	conn net.Conn
+}
+
+// DialInvalSub opens an invalidation stream. The server answers with a
+// hello heartbeat once the subscription is registered; a cache must not
+// serve from warm state until it has seen that first frame.
+func DialInvalSub(addr string, dialTimeout time.Duration) (*InvalSub, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, encodeRequest(opInvalSub, nil, nil, 0)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &InvalSub{conn: conn}, nil
+}
+
+// Next returns the stream's next event, waiting at most timeout (<= 0
+// waits forever). Terminal conditions come back as errors: ErrDraining
+// on graceful server shutdown, or the transport failure that ended the
+// stream. A timeout is the cache's heartbeat-liveness failure — the
+// stream is presumed dead and the cache must go cold.
+func (s *InvalSub) Next(timeout time.Duration) (InvalEvent, error) {
+	if timeout > 0 {
+		_ = s.conn.SetReadDeadline(time.Now().Add(timeout))
+	} else {
+		_ = s.conn.SetReadDeadline(time.Time{})
+	}
+	resp, err := readFrame(s.conn, maxFrameWire)
+	if err != nil {
+		return InvalEvent{}, err
+	}
+	if len(resp) < 1 {
+		return InvalEvent{}, errMalformed
+	}
+	body := resp[1:]
+	switch resp[0] {
+	case stInvalRec:
+		entries, err := decodeInvalEntries(body)
+		if err != nil {
+			return InvalEvent{}, err
+		}
+		return InvalEvent{Entries: entries}, nil
+	case stReplBeat:
+		if len(body) != 8 {
+			return InvalEvent{}, errMalformed
+		}
+		return InvalEvent{Beat: true, Seq: binary.BigEndian.Uint64(body)}, nil
+	case stDraining:
+		return InvalEvent{}, ErrDraining
+	default:
+		return InvalEvent{}, statusErr(resp[0], body)
+	}
+}
+
+// Close closes the stream's connection.
+func (s *InvalSub) Close() error { return s.conn.Close() }

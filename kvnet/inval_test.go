@@ -1,0 +1,297 @@
+package kvnet
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// startInvalServer starts a server with invalidation push enabled and a
+// fast heartbeat, returning it with a connected data client.
+func startInvalServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	st := openStore(t)
+	srv := startServerConfig(t, st, ServerConfig{
+		InvalPush:      true,
+		InvalHeartbeat: 25 * time.Millisecond,
+		DrainTimeout:   200 * time.Millisecond,
+	})
+	cl, err := Dial(waitAddr(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+// collectInvals reads events until n entries arrived or the deadline
+// passed, skipping heartbeats.
+func collectInvals(t *testing.T, sub *InvalSub, n int, deadline time.Duration) []InvalEntry {
+	t.Helper()
+	var out []InvalEntry
+	stop := time.Now().Add(deadline)
+	for len(out) < n && time.Now().Before(stop) {
+		ev, err := sub.Next(time.Second)
+		if err != nil {
+			t.Fatalf("stream ended after %d/%d entries: %v", len(out), n, err)
+		}
+		out = append(out, ev.Entries...)
+	}
+	if len(out) < n {
+		t.Fatalf("collected %d/%d entries before deadline", len(out), n)
+	}
+	return out
+}
+
+// TestInvalSubStreamsWrites pins the tentpole wire contract: every
+// committed write — unary and batch, puts and deletes — arrives as an
+// entry whose hash matches InvalHash(key) and whose seq is monotone.
+func TestInvalSubStreamsWrites(t *testing.T) {
+	srv, cl := startInvalServer(t)
+	sub, err := DialInvalSub(waitAddr(t, srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Hello heartbeat confirms hub registration before any write below.
+	ev, err := sub.Next(time.Second)
+	if err != nil || !ev.Beat {
+		t.Fatalf("hello = %+v, %v; want heartbeat", ev, err)
+	}
+
+	if err := cl.Put([]byte("alpha"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put([]byte("beta"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if errs := cl.MPut([]aria.KV{
+		{Key: []byte("gamma"), Value: []byte("3")},
+		{Key: []byte("delta"), Value: []byte("4")},
+	}); errs != nil {
+		t.Fatalf("mput: %v", errs)
+	}
+	if errs := cl.MDelete([][]byte{[]byte("gamma")}); errs != nil {
+		t.Fatalf("mdelete: %v", errs)
+	}
+
+	entries := collectInvals(t, sub, 6, 3*time.Second)
+	want := []string{"alpha", "beta", "alpha", "gamma", "delta", "gamma"}
+	for i, k := range want {
+		if entries[i].Hash != InvalHash([]byte(k)) {
+			t.Errorf("entry %d: hash %#x, want InvalHash(%q)", i, entries[i].Hash, k)
+		}
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Seq <= entries[i-1].Seq {
+			t.Errorf("seq not monotone at %d: %d then %d", i, entries[i-1].Seq, entries[i].Seq)
+		}
+	}
+}
+
+// TestInvalSubHeartbeat proves an idle stream stays demonstrably live.
+func TestInvalSubHeartbeat(t *testing.T) {
+	srv, _ := startInvalServer(t)
+	sub, err := DialInvalSub(waitAddr(t, srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 0; i < 3; i++ {
+		ev, err := sub.Next(time.Second)
+		if err != nil {
+			t.Fatalf("beat %d: %v", i, err)
+		}
+		if !ev.Beat {
+			t.Fatalf("beat %d: got %+v, want heartbeat", i, ev)
+		}
+	}
+}
+
+// TestInvalSubDrainTyped pins the satellite fix: graceful server drain
+// ends invalidation streams with the same typed ErrDraining goodbye the
+// repl subscribe path uses — never a raw connection reset.
+func TestInvalSubDrainTyped(t *testing.T) {
+	srv, _ := startInvalServer(t)
+	sub, err := DialInvalSub(waitAddr(t, srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if ev, err := sub.Next(time.Second); err != nil || !ev.Beat {
+		t.Fatalf("hello = %+v, %v", ev, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	for {
+		_, err := sub.Next(2 * time.Second)
+		if err == nil {
+			continue // late heartbeat raced the close
+		}
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("drain ended stream with %v, want ErrDraining", err)
+		}
+		break
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvalSubDisabled: a server without InvalPush refuses the stream
+// with a typed response instead of hanging or resetting.
+func TestInvalSubDisabled(t *testing.T) {
+	st := openStore(t)
+	srv := startServerConfig(t, st, ServerConfig{DrainTimeout: 100 * time.Millisecond})
+	sub, err := DialInvalSub(waitAddr(t, srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := sub.Next(time.Second); err == nil || errors.Is(err, ErrDraining) {
+		t.Fatalf("disabled server answered %v, want a typed refusal", err)
+	}
+}
+
+// TestInvalSubReplicaRefused: a replica's applier bypasses the kvnet
+// write path, so it cannot push complete invalidations and must refuse
+// the stream — a cache in front of it stays cold rather than stale.
+func TestInvalSubReplicaRefused(t *testing.T) {
+	st := openStore(t)
+	srv := startServerConfig(t, st, ServerConfig{
+		InvalPush:    true,
+		Repl:         &fakeBackend{role: RoleReplica, gen: 1},
+		DrainTimeout: 100 * time.Millisecond,
+	})
+	sub, err := DialInvalSub(waitAddr(t, srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := sub.Next(time.Second); err == nil || errors.Is(err, ErrDraining) {
+		t.Fatalf("replica answered %v, want a typed refusal", err)
+	}
+}
+
+// TestInvalSubOverflowTerminatesStream: a subscriber that stops reading
+// is cut off once its mailbox overflows — the write path never blocks
+// on a slow cache, and the client observes stream loss (goes cold).
+func TestInvalSubOverflowTerminatesStream(t *testing.T) {
+	st := openStore(t)
+	srv := startServerConfig(t, st, ServerConfig{
+		InvalPush:      true,
+		InvalHeartbeat: time.Hour, // no beats: the mailbox must do the killing
+		InvalBuffer:    1,
+		DrainTimeout:   100 * time.Millisecond,
+	})
+	cl, err := Dial(waitAddr(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sub, err := DialInvalSub(waitAddr(t, srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if ev, err := sub.Next(time.Second); err != nil || !ev.Beat {
+		t.Fatalf("hello = %+v, %v", ev, err)
+	}
+	// Flood writes without reading the stream; buffer 1 overflows fast.
+	for i := 0; i < 64; i++ {
+		if err := cl.Put([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain whatever was in flight; the stream must end with a
+	// transport error (server hung up), not ErrDraining.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, err := sub.Next(time.Second)
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrDraining) {
+			t.Fatalf("overflow ended stream with ErrDraining, want transport error")
+		}
+		return
+	}
+	t.Fatal("stream survived a mailbox overflow")
+}
+
+// TestInvalEntriesRoundTrip pins the entry codec.
+func TestInvalEntriesRoundTrip(t *testing.T) {
+	in := []InvalEntry{
+		{Hash: 1, Shard: 0, Seq: 9},
+		{Hash: ^uint64(0), Shard: 3, Seq: ^uint64(0)},
+		{Hash: InvalHash([]byte("key")), Shard: 7, Seq: 42},
+	}
+	out, err := decodeInvalEntries(encodeInvalEntries(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+	for _, bad := range [][]byte{{}, {1}, bytes.Repeat([]byte{0}, invalEntryBytes-1), bytes.Repeat([]byte{0}, invalEntryBytes+1)} {
+		if _, err := decodeInvalEntries(bad); err == nil {
+			t.Errorf("decode accepted %d bytes", len(bad))
+		}
+	}
+}
+
+// FuzzDecodeInvalEntries fuzzes the invalidation-frame decoder: never
+// panic, only accept whole positive multiples of the entry size, and
+// round-trip every accepted body byte-exactly.
+func FuzzDecodeInvalEntries(f *testing.F) {
+	f.Add(encodeInvalEntries([]InvalEntry{{Hash: 1, Shard: 2, Seq: 3}}))
+	f.Add(encodeInvalEntries([]InvalEntry{
+		{Hash: InvalHash([]byte("a")), Shard: 0, Seq: 1},
+		{Hash: InvalHash([]byte("b")), Shard: 1, Seq: 2},
+	}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, invalEntryBytes))
+	f.Add(bytes.Repeat([]byte{0}, invalEntryBytes-1))
+	f.Add(bytes.Repeat([]byte{7}, invalEntryBytes*3+1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeInvalEntries(data)
+		if err != nil {
+			return
+		}
+		if len(data) == 0 || len(data)%invalEntryBytes != 0 {
+			t.Fatalf("decoder accepted %d bytes", len(data))
+		}
+		if len(entries) != len(data)/invalEntryBytes {
+			t.Fatalf("decoded %d entries from %d bytes", len(entries), len(data))
+		}
+		if !bytes.Equal(encodeInvalEntries(entries), data) {
+			t.Fatal("round trip altered bytes")
+		}
+	})
+}
+
+// TestInvalHashStable pins the hash function to FNV-1a 64: the server
+// and every client must agree forever, or invalidations stop matching
+// buckets.
+func TestInvalHashStable(t *testing.T) {
+	for _, k := range []string{"", "a", "key", "some/longer/key-0001234"} {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(k))
+		if got, want := InvalHash([]byte(k)), h.Sum64(); got != want {
+			t.Errorf("InvalHash(%q) = %#x, want %#x", k, got, want)
+		}
+	}
+}

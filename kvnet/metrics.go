@@ -38,6 +38,9 @@ const (
 	metricSrvBadReq     = "kvnet_bad_requests_total"
 	metricSrvPanics     = "kvnet_panics_total"
 	metricSrvBatchKeys  = "kvnet_batch_keys"
+	metricSrvInvalSubs  = "kvnet_inval_subs"
+	metricSrvInvalPush  = "kvnet_inval_pushed_total"
+	metricSrvInvalOver  = "kvnet_inval_overflows_total"
 )
 
 // Client-side metric family names.
@@ -68,6 +71,9 @@ type serverMetrics struct {
 	corrupt      *obs.Counter
 	badReq       *obs.Counter
 	panics       *obs.Counter
+	invalSubs    *obs.Gauge
+	invalPush    *obs.Counter
+	invalOver    *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -88,6 +94,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Malformed or unknown requests rejected (stBadReq sent).", nil),
 		panics: reg.Counter(metricSrvPanics,
 			"Handler panics converted to stError responses.", nil),
+		invalSubs: reg.Gauge(metricSrvInvalSubs,
+			"Invalidation streams currently subscribed.", nil),
+		invalPush: reg.Counter(metricSrvInvalPush,
+			"Invalidation entries published to subscribed streams.", nil),
+		invalOver: reg.Counter(metricSrvInvalOver,
+			"Invalidation streams terminated because their mailbox overflowed.", nil),
 	}
 	for op := byte(opGet); op <= opMDelete; op++ {
 		l := obs.Labels{"op": opNames[op]}
@@ -148,6 +160,30 @@ func (m *serverMetrics) badRequest() {
 func (m *serverMetrics) panicked() {
 	if m != nil {
 		m.panics.Inc()
+	}
+}
+
+func (m *serverMetrics) invalSubOpened() {
+	if m != nil {
+		m.invalSubs.Add(1)
+	}
+}
+
+func (m *serverMetrics) invalSubClosed() {
+	if m != nil {
+		m.invalSubs.Add(-1)
+	}
+}
+
+func (m *serverMetrics) invalPushed() {
+	if m != nil {
+		m.invalPush.Inc()
+	}
+}
+
+func (m *serverMetrics) invalOverflow() {
+	if m != nil {
+		m.invalOver.Inc()
 	}
 }
 

@@ -44,6 +44,12 @@ const (
 	opSegmentCatchup   = 12
 	opSnapshotTransfer = 13
 	opReplStatus       = 14
+
+	// opInvalSub opens a long-lived invalidation stream for client-side
+	// caches (see inval.go): the server pushes a (key-hash, shard, seq)
+	// entry for every committed write, reusing the subscribe stream's
+	// heartbeat (stReplBeat) and graceful-drain (stDraining) machinery.
+	opInvalSub = 15
 )
 
 // Status codes. Typed store sentinels each get their own code so
@@ -79,6 +85,7 @@ const (
 	stReadOnly  = 19 // write sent to a replica
 	stLagging   = 20 // watermarked read not yet applied; body = violating watermark entry
 	stSnapChunk = 21 // snapshot transfer: body = raw snapshot file bytes
+	stInvalRec  = 22 // inval stream: body = concatenated invalidation entries (see inval.go)
 )
 
 // Wire limits.

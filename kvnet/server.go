@@ -56,6 +56,19 @@ type ServerConfig struct {
 	// watermark bodies on write responses, and watermarked reads. See
 	// the repl package for implementations.
 	Repl ReplBackend
+	// InvalPush enables the invalidation stream (opInvalSub) for
+	// coherent client-side caches: every committed write is pushed as a
+	// (key-hash, shard, seq) entry to subscribed streams. Off by
+	// default; see inval.go and the ccache package.
+	InvalPush bool
+	// InvalHeartbeat is the idle heartbeat interval on invalidation
+	// streams (default 500ms). Caches treat heartbeat silence as stream
+	// loss and drop cold.
+	InvalHeartbeat time.Duration
+	// InvalBuffer is the per-subscriber invalidation mailbox depth
+	// (default 1024). A subscriber that falls this far behind has its
+	// stream terminated — the write path never blocks on a slow cache.
+	InvalBuffer int
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -70,6 +83,12 @@ func (c *ServerConfig) fillDefaults() {
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.InvalHeartbeat == 0 {
+		c.InvalHeartbeat = 500 * time.Millisecond
+	}
+	if c.InvalBuffer == 0 {
+		c.InvalBuffer = 1024
 	}
 }
 
@@ -104,6 +123,7 @@ type Server struct {
 	shed      atomic.Uint64 // connections refused at the limit
 	logf      func(format string, args ...any)
 	met       *serverMetrics // nil when ServerConfig.Metrics is nil (no-op hooks)
+	inval     *invalHub      // nil unless ServerConfig.InvalPush
 }
 
 // NewServer wraps a store with default limits.
@@ -126,6 +146,9 @@ func NewServerConfig(store aria.Store, cfg ServerConfig) *Server {
 	}
 	if cfg.Metrics != nil {
 		s.met = newServerMetrics(cfg.Metrics)
+	}
+	if cfg.InvalPush {
+		s.inval = newInvalHub()
 	}
 	return s
 }
@@ -312,6 +335,15 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		if rq.op == opInvalSub {
+			// Same dedication for invalidation streams: the handler owns
+			// the connection until the stream ends (drain, overflow, or
+			// connection death), then the cache redials cold.
+			if err := s.serveInvalSub(wire); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.logf("kvnet: invalidation stream error: %v", err)
+			}
+			return
+		}
 		t0 := time.Now()
 		err = s.serveRecover(wire, rq)
 		s.met.request(rq.op, uint64(time.Since(t0)))
@@ -395,6 +427,7 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		if err := s.store.Put(rq.key, rq.value); err != nil {
 			return writeFrame(conn, errResponse(err))
 		}
+		s.invalPublish(rq.key)
 		body, err := s.replWriteAck(rq.key)
 		if err != nil {
 			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
@@ -404,6 +437,7 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		if err := s.store.Delete(rq.key); err != nil {
 			return writeFrame(conn, errResponse(err))
 		}
+		s.invalPublish(rq.key)
 		body, err := s.replWriteAck(rq.key)
 		if err != nil {
 			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
