@@ -9,8 +9,8 @@ GOVULNCHECK_VERSION ?= v1.1.3
 COVER_BASELINE ?= 78.0
 
 .PHONY: all build test race vet fuzz fuzz-smoke docs-check metrics-guard \
-	lint cover bench-smoke bench-smoke-demo check bench-json chaos-repl \
-	chaos-ccache clean
+	lint cover bench-smoke bench-smoke-demo check bench-json bench-wire \
+	chaos-repl chaos-ccache clean
 
 # Parameters for the committed BENCH_*.json snapshots: big enough caches
 # that shard scaling isn't quantization-bound, small enough to run in
@@ -41,6 +41,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeBatchRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzParseBatchRecord -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodeInvalEntries -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzSplitTag -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzParseHello -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./wal
 
 # CI's fuzzing pass: every fuzzer above for 30 seconds each. The seeded
@@ -93,7 +95,7 @@ cover:
 # Deterministic bench-regression smoke: re-run the committed BENCH_*.json
 # snapshots in-process and fail on >5% drift in any table value.
 bench-smoke:
-	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor|TestCcacheSpeedupFloor' -v ./internal/bench
+	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor|TestCcacheSpeedupFloor|TestWireSpeedupFloor' -v ./internal/bench
 
 # Prove the smoke guard has teeth: pricing enclave memory 6% higher must
 # push the committed tables out of tolerance.
@@ -108,6 +110,13 @@ bench-json:
 	$(GO) run ./cmd/aria-bench -exp persist -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp repl -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp ccache -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(MAKE) bench-wire
+
+# Regenerate the wire-pipelining snapshot on its own. Wall-clock, not
+# simulated: BENCH_wire.json is pinned by the TestWireSpeedupFloor ratio
+# floor, not by the 5% drift guard.
+bench-wire:
+	$(GO) run ./cmd/aria-bench -exp wire -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 
 check: build vet docs-check test race
 

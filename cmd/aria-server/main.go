@@ -96,6 +96,7 @@ func main() {
 		shards       = flag.Int("shards", 1, "hash-partition across this many independent enclaves")
 		policyName   = flag.String("policy", "failstop", "integrity-failure policy: failstop or quarantine")
 		maxConns     = flag.Int("max-conns", 1024, "simultaneous connection limit (excess is shed)")
+		connWorkers  = flag.Int("conn-workers", 0, "pipelined requests served concurrently per connection (0: default 8)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "per-connection idle/read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "shutdown drain bound for in-flight requests")
@@ -184,6 +185,7 @@ func main() {
 	}
 	scfg := kvnet.ServerConfig{
 		MaxConns:     *maxConns,
+		ConnWorkers:  *connWorkers,
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drainTimeout,

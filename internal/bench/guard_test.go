@@ -148,3 +148,45 @@ func loadReport(t *testing.T, exp string) *bench.Report {
 	}
 	return &rep
 }
+
+// TestWireSpeedupFloor pins the multiplexed-transport headline against
+// the committed snapshot: on ONE connection, pipelining 16 requests
+// deep is at least 3x lock-step throughput. The wire experiment runs on
+// the real network stack and the wall clock, so it is deliberately NOT
+// in the 5% drift guard above — absolute numbers move with the machine.
+// The floor checks the ratio, which is a transport property; with
+// BENCH_GUARD=1 it is additionally re-verified against a live run.
+func TestWireSpeedupFloor(t *testing.T) {
+	const floor = 3.0
+	check := func(src string, rep *bench.Report) {
+		t.Helper()
+		if len(rep.Tables) == 0 {
+			t.Fatalf("%s wire report has no tables", src)
+		}
+		for _, r := range rep.Tables[0].Rows {
+			if len(r.Cells) > 0 && r.Cells[0] == "16" {
+				if v, ok := r.Values["speedup"]; !ok || v < floor {
+					t.Errorf("%s: depth-16 speedup %.2fx below the %.1fx floor", src, v, floor)
+				}
+				return
+			}
+		}
+		t.Fatalf("%s wire report has no depth-16 row", src)
+	}
+	rep := loadReport(t, "wire")
+	check("committed", rep)
+
+	if os.Getenv("BENCH_GUARD") != "1" {
+		return
+	}
+	e, ok := bench.Lookup("wire")
+	if !ok {
+		t.Fatal("experiment \"wire\" not registered")
+	}
+	p := bench.Params{Scale: rep.Scale, Ops: rep.Ops, Seed: rep.Seed}
+	got, err := bench.RunCollect(e, p, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("live", got)
+}

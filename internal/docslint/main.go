@@ -6,6 +6,13 @@
 // block's doc comment covers all of its specs; otherwise each exported
 // spec needs its own doc or trailing line comment.
 //
+// When the kvnet directory is among the arguments, docslint also
+// cross-checks the wire-protocol documentation: every backticked
+// opcode/status name (`opGet`, `stBadVersion`, ...) in docs/*.md,
+// DESIGN.md, and README.md must be a constant the kvnet package
+// actually declares, so a renamed or deleted wire name can never leave
+// a stale reference in the spec.
+//
 // Usage:
 //
 //	go run ./internal/docslint DIR...
@@ -18,6 +25,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -35,13 +43,21 @@ func main() {
 			os.Exit(1)
 		}
 		problems = append(problems, p...)
+		if filepath.Base(dir) == "kvnet" {
+			p, err := lintWireDocs("docs", dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			problems = append(problems, p...)
+		}
 	}
 	if len(problems) > 0 {
 		sort.Strings(problems)
 		for _, p := range problems {
 			fmt.Println(p)
 		}
-		fmt.Printf("docslint: %d exported identifier(s) missing doc comments\n", len(problems))
+		fmt.Printf("docslint: %d problem(s): missing doc comments or stale wire-name references\n", len(problems))
 		os.Exit(1)
 	}
 }
@@ -163,4 +179,64 @@ func lintTypeMembers(s *ast.TypeSpec, report func(token.Pos, string, string)) {
 			}
 		}
 	}
+}
+
+// wireNameRe matches a backticked wire-protocol constant reference in
+// markdown: an opcode (`opGet`) or status (`stBadVersion`).
+var wireNameRe = regexp.MustCompile("`((?:op|st)[A-Z][A-Za-z]*)`")
+
+// lintWireDocs cross-checks wire-protocol names in the markdown docs
+// against the kvnet source: every backticked op*/st* token in
+// docsDir/*.md, DESIGN.md, and README.md must be a constant declared
+// (non-test) in srcDir. Docs naming a renamed or deleted opcode,
+// status, or flag constant fail the gate.
+func lintWireDocs(docsDir, srcDir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, srcDir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("docslint: %s: %w", srcDir, err)
+	}
+	defined := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, n := range vs.Names {
+							defined[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	files, err := filepath.Glob(filepath.Join(docsDir, "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	files = append(files, "DESIGN.md", "README.md")
+	var problems []string
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			continue // optional doc absent; nothing to cross-check
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			for _, m := range wireNameRe.FindAllStringSubmatch(line, -1) {
+				if !defined[m[1]] {
+					problems = append(problems, fmt.Sprintf(
+						"%s:%d: wire name %s is not declared in %s",
+						filepath.ToSlash(f), i+1, m[1], srcDir))
+				}
+			}
+		}
+	}
+	return problems, nil
 }

@@ -27,7 +27,6 @@ package kvnet
 import (
 	"encoding/binary"
 	"fmt"
-	"net"
 	"time"
 
 	"github.com/ariakv/aria"
@@ -207,7 +206,7 @@ func errAt(errs []error, i int) error {
 
 // streamBatch writes n response records as a chunked stMore stream under
 // the frame cap, then the stDone total the client verifies.
-func (s *Server) streamBatch(conn net.Conn, n int, record func(i int) []byte) error {
+func (s *Server) streamBatch(w tagWriter, n int, record func(i int) []byte) error {
 	const maxBody = maxFrameWire - 1 // encodeResponse prepends the status byte
 	body := make([]byte, 4, 64<<10)
 	count := 0
@@ -216,8 +215,7 @@ func (s *Server) streamBatch(conn net.Conn, n int, record func(i int) []byte) er
 			return nil
 		}
 		binary.BigEndian.PutUint32(body[:4], uint32(count))
-		s.touchWrite(conn)
-		if err := writeFrame(conn, encodeResponse(stMore, body)); err != nil {
+		if err := w.send(encodeResponse(stMore, body)); err != nil {
 			return err
 		}
 		body = body[:4]
@@ -239,20 +237,19 @@ func (s *Server) streamBatch(conn net.Conn, n int, record func(i int) []byte) er
 	}
 	var total [4]byte
 	binary.BigEndian.PutUint32(total[:], uint32(n))
-	s.touchWrite(conn)
-	return writeFrame(conn, encodeResponse(stDone, total[:]))
+	return w.send(encodeResponse(stDone, total[:]))
 }
 
 // serveBatch executes one decoded batch request against the store's native
 // batch path (which charges its own amortized edge costs — the per-request
 // ECALL the unary path pays is deliberately skipped for batches) and
 // streams the per-key results back.
-func (s *Server) serveBatch(conn net.Conn, rq request) error {
+func (s *Server) serveBatch(w tagWriter, rq request) error {
 	s.met.batchKeys(rq.op, len(rq.mkeys))
 	switch rq.op {
 	case opMGet:
 		vals, errs := s.store.MGet(rq.mkeys)
-		return s.streamBatch(conn, len(rq.mkeys), func(i int) []byte {
+		return s.streamBatch(w, len(rq.mkeys), func(i int) []byte {
 			if err := errAt(errs, i); err != nil {
 				st, msg := batchStatus(err)
 				return encodeMGetRecord(st, msg)
@@ -266,14 +263,14 @@ func (s *Server) serveBatch(conn net.Conn, rq request) error {
 		}
 		errs := s.store.MPut(pairs)
 		s.invalPublishBatch(rq.mkeys, errs)
-		return s.streamBatch(conn, len(pairs), func(i int) []byte {
+		return s.streamBatch(w, len(pairs), func(i int) []byte {
 			st, msg := batchStatus(errAt(errs, i))
 			return encodeWriteRecord(st, msg)
 		})
 	default: // opMDelete; decode admits nothing else into the batch range
 		errs := s.store.MDelete(rq.mkeys)
 		s.invalPublishBatch(rq.mkeys, errs)
-		return s.streamBatch(conn, len(rq.mkeys), func(i int) []byte {
+		return s.streamBatch(w, len(rq.mkeys), func(i int) []byte {
 			st, msg := batchStatus(errAt(errs, i))
 			return encodeWriteRecord(st, msg)
 		})
@@ -289,27 +286,31 @@ func (s *Server) serveBatch(conn net.Conn, rq request) error {
 // positional results.
 func (c *Client) batchCall(op byte, payload []byte, n int, idempotent bool,
 	deliver func(j int, status byte, body []byte)) error {
-	return c.do(func(conn net.Conn) error {
+	return c.do(func(m *mux) error {
 		tfail := func(err error) error { return &netOpError{err: err, retryable: idempotent} }
-		if err := writeFrame(conn, payload); err != nil {
+		tag, cl, err := m.register(streamCallBuffer)
+		if err != nil {
+			// The mux died before the request was sent: always retryable.
+			return &netOpError{err: err, retryable: true}
+		}
+		if err := m.writeRequest(tag, payload, c.cfg.OpTimeout); err != nil {
 			return tfail(err)
 		}
 		got := 0
 		for {
-			if c.cfg.OpTimeout > 0 {
-				_ = conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
-			}
-			resp, err := readFrame(conn, maxFrameWire)
+			f, safe, err := m.await(cl, c.cfg.OpTimeout)
 			if err != nil {
-				return tfail(err)
+				// A teardown that proves the request was never processed
+				// (stBusy/stCorrupt notice) is retryable even for writes,
+				// and no record can have been delivered yet.
+				return &netOpError{err: err, retryable: idempotent || safe}
 			}
-			if len(resp) < 1 {
-				return tfail(errMalformed)
-			}
-			switch resp[0] {
+			terminal := !nonTerminal(f.resp[0])
+			switch f.resp[0] {
 			case stMore:
-				body := resp[1:]
+				body := f.resp[1:]
 				if len(body) < 4 {
+					putBuf(f.buf)
 					return tfail(errMalformed)
 				}
 				cnt := binary.BigEndian.Uint32(body[:4])
@@ -319,35 +320,39 @@ func (c *Client) batchCall(op byte, payload []byte, n int, idempotent bool,
 					var rec []byte
 					status, rec, body, err = parseBatchRecord(op, body)
 					if err != nil {
+						putBuf(f.buf)
 						return tfail(err)
 					}
 					if got >= n {
+						putBuf(f.buf)
 						return tfail(fmt.Errorf("%w: more records than requested", errMalformed))
 					}
 					deliver(got, status, rec)
 					got++
 				}
-				if len(body) != 0 {
+				rest := len(body)
+				putBuf(f.buf)
+				if rest != 0 {
 					return tfail(errMalformed)
 				}
 			case stDone:
-				if len(resp) != 5 || binary.BigEndian.Uint32(resp[1:5]) != uint32(n) || got != n {
+				bad := len(f.resp) != 5 || binary.BigEndian.Uint32(f.resp[1:5]) != uint32(n) || got != n
+				putBuf(f.buf)
+				m.deregister(tag)
+				if bad {
 					return tfail(fmt.Errorf("%w: partial batch response (%d of %d records)",
 						errMalformed, got, n))
 				}
 				return nil
-			case stBusy:
-				// Shed before the request was read: safe to retry even for
-				// writes, and no record can have been delivered yet.
-				c.met.sawBusy()
-				return &netOpError{err: ErrServerBusy, retryable: true}
-			case stCorrupt:
-				// Rejected by checksum before decoding: same guarantees.
-				c.met.sawCorrupt()
-				return &netOpError{err: fmt.Errorf("%w (request)", ErrFrameCorrupt), retryable: true}
 			default:
 				// Whole-batch failure (stBadReq/stError): definitive.
-				return statusErr(resp[0], resp[1:])
+				status := f.resp[0]
+				body := append([]byte(nil), f.resp[1:]...)
+				putBuf(f.buf)
+				if terminal {
+					m.deregister(tag)
+				}
+				return statusErr(status, body)
 			}
 		}
 	})
@@ -418,7 +423,9 @@ func (c *Client) MGet(keys [][]byte) ([][]byte, []error) {
 				func(j int, status byte, body []byte) {
 					p := start + j
 					if status == stOK {
-						vals[p] = body
+						// Copy: body aliases a pooled frame buffer that is
+						// recycled after delivery.
+						vals[p] = append([]byte(nil), body...)
 						if errs != nil {
 							errs[p] = nil
 						}

@@ -369,8 +369,42 @@ func scriptedServer(t *testing.T, script func(conn net.Conn)) string {
 	return lis.Addr().String()
 }
 
-// mgetStream builds the full well-formed response stream for n OK records.
-func mgetStream(n int) []byte {
+// scriptHello answers the server side of the v2 handshake on a scripted
+// connection.
+func scriptHello(conn net.Conn) error {
+	payload, err := readFrame(conn, maxTaggedWire)
+	if err != nil {
+		return err
+	}
+	tag, body, err := splitTag(payload)
+	if err != nil || tag != 0 {
+		return errMalformed
+	}
+	if _, ok := parseHello(body); !ok {
+		return errMalformed
+	}
+	var ver [2]byte
+	binary.BigEndian.PutUint16(ver[:], protocolVersion)
+	return writeFrame(conn, taggedPayload(0, encodeResponse(stOK, ver[:])))
+}
+
+// scriptReadRequest reads one tagged request frame off a scripted
+// connection and returns its tag.
+func scriptReadRequest(conn net.Conn) (uint32, error) {
+	payload, err := readFrame(conn, maxTaggedReplWire)
+	if err != nil {
+		return 0, err
+	}
+	tag, _, err := splitTag(payload)
+	return tag, err
+}
+
+// taggedHdr is the on-wire prefix of every v2 frame: frame header + tag.
+const taggedHdr = frameHdrSize + tagHdrSize
+
+// mgetStream builds the full well-formed response stream for n OK
+// records on one tag.
+func mgetStream(tag uint32, n int) []byte {
 	var body []byte
 	var cnt [4]byte
 	binary.BigEndian.PutUint32(cnt[:], uint32(n))
@@ -378,12 +412,12 @@ func mgetStream(n int) []byte {
 	for i := 0; i < n; i++ {
 		body = append(body, encodeMGetRecord(stOK, batchValue(i))...)
 	}
-	var buf bytes.Buffer
-	writeFrame(&buf, encodeResponse(stMore, body)) //nolint:errcheck
+	var out []byte
+	out = appendFrame(out, tag, encodeResponse(stMore, body))
 	var total [4]byte
 	binary.BigEndian.PutUint32(total[:], uint32(n))
-	writeFrame(&buf, encodeResponse(stDone, total[:])) //nolint:errcheck
-	return buf.Bytes()
+	out = appendFrame(out, tag, encodeResponse(stDone, total[:]))
+	return out
 }
 
 // TestBatchPartialNeverDelivered cuts the response stream at every
@@ -397,32 +431,35 @@ func TestBatchPartialNeverDelivered(t *testing.T) {
 	for i := range keys {
 		keys[i] = batchKey(i)
 	}
-	full := mgetStream(n)
+	// A fresh client's first operation registers the mux's first tag: 1.
+	const opTag = 1
+	full := mgetStream(opTag, n)
 	doneFrame := func(total uint32) []byte {
 		var b [4]byte
 		binary.BigEndian.PutUint32(b[:], total)
-		var buf bytes.Buffer
-		writeFrame(&buf, encodeResponse(stDone, b[:])) //nolint:errcheck
-		return buf.Bytes()
+		return appendFrame(nil, opTag, encodeResponse(stDone, b[:]))
 	}
 	// shortMore is the complete stMore frame carrying only n-2 records.
-	shortMore := mgetStream(n - 2)
-	shortMore = shortMore[:len(shortMore)-(frameHdrSize+5)]
+	shortMore := mgetStream(opTag, n-2)
+	shortMore = shortMore[:len(shortMore)-(taggedHdr+5)]
 	cases := []struct {
 		name string
 		resp []byte
 	}{
 		// Cut inside the stMore frame, after two full records crossed.
-		{"mid-frame cut", full[:frameHdrSize+5+2*(5+len(batchValue(0)))]},
+		{"mid-frame cut", full[:taggedHdr+5+2*(5+len(batchValue(0)))]},
 		// All records delivered, stream closed before stDone.
-		{"missing stDone", full[:len(full)-(frameHdrSize+5)]},
+		{"missing stDone", full[:len(full)-(taggedHdr+5)]},
 		// Records short but stDone claims the full count.
 		{"lying stDone", append(append([]byte{}, shortMore...), doneFrame(n)...)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			addr := scriptedServer(t, func(conn net.Conn) {
-				if _, err := readFrame(conn, maxFrameWire); err != nil {
+				if err := scriptHello(conn); err != nil {
+					return
+				}
+				if _, err := scriptReadRequest(conn); err != nil {
 					return
 				}
 				conn.Write(tc.resp) //nolint:errcheck
@@ -461,12 +498,16 @@ func TestBatchCorruptResponseSurfaces(t *testing.T) {
 		keys[i] = batchKey(i)
 	}
 	addr := scriptedServer(t, func(conn net.Conn) {
-		if _, err := readFrame(conn, maxFrameWire); err != nil {
+		if err := scriptHello(conn); err != nil {
 			return
 		}
-		resp := mgetStream(n)
-		resp[frameHdrSize+10] ^= 0x20 // flip a record byte under the CRC
-		conn.Write(resp)              //nolint:errcheck
+		tag, err := scriptReadRequest(conn)
+		if err != nil {
+			return
+		}
+		resp := mgetStream(tag, n)
+		resp[taggedHdr+10] ^= 0x20 // flip a record byte under the CRC
+		conn.Write(resp)           //nolint:errcheck
 	})
 	cl, err := DialConfig(addr, ClientConfig{Retry: NoRetry(), OpTimeout: time.Second})
 	if err != nil {
@@ -478,7 +519,7 @@ func TestBatchCorruptResponseSurfaces(t *testing.T) {
 		t.Fatal("corrupt batch response reported success")
 	}
 	for i := range keys {
-		if !errors.Is(errs[i], errCorruptFrame) {
+		if !errors.Is(errs[i], ErrFrameCorrupt) {
 			t.Fatalf("errs[%d] = %v, want frame checksum mismatch", i, errs[i])
 		}
 		if vals[i] != nil {
@@ -504,12 +545,16 @@ func TestBatchRetryAfterCut(t *testing.T) {
 	cut.Store(true)
 	addr := scriptedServer(t, func(conn net.Conn) {
 		if cut.Swap(false) {
-			if _, err := readFrame(conn, maxFrameWire); err != nil {
+			if err := scriptHello(conn); err != nil {
 				return
 			}
-			full := mgetStream(4)
-			conn.Write(full[:frameHdrSize+9]) //nolint:errcheck
-			return                            // close mid-frame
+			tag, err := scriptReadRequest(conn)
+			if err != nil {
+				return
+			}
+			full := mgetStream(tag, 4)
+			conn.Write(full[:taggedHdr+9]) //nolint:errcheck
+			return                         // close mid-frame
 		}
 		// Later connections: transparent proxy to the real server.
 		up, err := net.Dial("tcp", real)

@@ -88,7 +88,8 @@ type ClientConfig struct {
 	// Retry is the retry policy (zero value: DefaultRetryPolicy; use
 	// NoRetry to disable).
 	Retry RetryPolicy
-	// DialTimeout bounds each (re)connection attempt (default 5s).
+	// DialTimeout bounds each (re)connection attempt, hello handshake
+	// included (default 5s).
 	DialTimeout time.Duration
 	// OpTimeout bounds each request/response exchange; for scans it
 	// applies per frame, so a long stream that keeps making progress is
@@ -123,18 +124,22 @@ func (c *ClientConfig) fillDefaults() {
 }
 
 // Client is a connection to an aria server. It is safe for concurrent use;
-// requests are serialized over one connection. A broken connection is
-// redialed transparently on the next operation.
+// concurrent operations are pipelined over one multiplexed connection
+// using tagged frames, so responses complete out of order and a slow scan
+// does not head-of-line block the gets issued behind it. A broken
+// connection is redialed transparently on the next operation.
 type Client struct {
 	addr string
 	cfg  ClientConfig
 
-	mu  sync.Mutex // serializes operations; guards rng
-	rng *rand.Rand
+	rngMu sync.Mutex // guards rng (backoff jitter)
+	rng   *rand.Rand
 
-	st     sync.Mutex // guards conn and closed; Close never waits on mu
-	conn   net.Conn
-	closed bool
+	st      sync.Mutex // guards the fields below; Close never waits on an op
+	mx      *mux
+	pre     net.Conn      // eagerly dialed by DialConfig, consumed by the first op
+	dialing chan struct{} // non-nil while one goroutine dials+handshakes
+	closed  bool
 
 	met *clientMetrics // nil when ClientConfig.Metrics is nil (no-op hooks)
 }
@@ -146,7 +151,8 @@ func Dial(addr string) (*Client, error) {
 
 // DialConfig connects to a server with explicit resilience settings. The
 // initial connection is established eagerly so configuration errors
-// surface immediately; later reconnects happen lazily per operation.
+// surface immediately; the protocol handshake and later reconnects happen
+// lazily per operation, where the retry policy governs them.
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	cfg.fillDefaults()
 	c := &Client{
@@ -161,7 +167,7 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.conn = conn
+	c.pre = conn
 	return c, nil
 }
 
@@ -175,11 +181,14 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	conn := c.conn
-	c.conn = nil
+	m, pre := c.mx, c.pre
+	c.mx, c.pre = nil, nil
 	c.st.Unlock()
-	if conn != nil {
-		return conn.Close()
+	if pre != nil {
+		_ = pre.Close()
+	}
+	if m != nil {
+		m.fail(ErrClientClosed, false)
 	}
 	return nil
 }
@@ -195,44 +204,89 @@ type netOpError struct {
 func (e *netOpError) Error() string { return e.err.Error() }
 func (e *netOpError) Unwrap() error { return e.err }
 
-// acquireConn returns the live connection, redialing if the previous one
-// was dropped.
-func (c *Client) acquireConn() (net.Conn, error) {
-	c.st.Lock()
-	if c.closed {
+// acquireMux returns the live multiplexed connection, dialing and
+// handshaking if the previous one died. Concurrent acquirers coalesce on
+// one dial; each failed attempt is retried by whichever operation needs a
+// connection next (its retry budget pays for it).
+func (c *Client) acquireMux() (*mux, error) {
+	for {
+		c.st.Lock()
+		if c.closed {
+			c.st.Unlock()
+			return nil, ErrClientClosed
+		}
+		if c.mx != nil && !c.mx.isDead() {
+			m := c.mx
+			c.st.Unlock()
+			return m, nil
+		}
+		c.mx = nil
+		if ch := c.dialing; ch != nil {
+			c.st.Unlock()
+			<-ch // another op is dialing; re-check when it finishes
+			continue
+		}
+		ch := make(chan struct{})
+		c.dialing = ch
+		pre := c.pre
+		c.pre = nil
 		c.st.Unlock()
-		return nil, ErrClientClosed
-	}
-	if c.conn != nil {
-		conn := c.conn
+
+		m, err := c.dialMux(pre)
+
+		c.st.Lock()
+		c.dialing = nil
+		close(ch)
+		if err != nil {
+			c.st.Unlock()
+			return nil, err
+		}
+		if c.closed {
+			c.st.Unlock()
+			m.fail(ErrClientClosed, false)
+			return nil, ErrClientClosed
+		}
+		c.mx = m
 		c.st.Unlock()
-		return conn, nil
+		return m, nil
 	}
-	c.st.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
-	if err != nil {
-		return nil, err
-	}
-	c.met.redialed()
-	c.st.Lock()
-	if c.closed {
-		c.st.Unlock()
-		conn.Close()
-		return nil, ErrClientClosed
-	}
-	c.conn = conn
-	c.st.Unlock()
-	return conn, nil
 }
 
-// dropConn discards a connection after a transport failure.
-func (c *Client) dropConn(conn net.Conn) {
+// dialMux establishes one connection: TCP dial (unless DialConfig already
+// did), hello handshake, reader goroutine.
+func (c *Client) dialMux(pre net.Conn) (*mux, error) {
+	conn := pre
+	if conn == nil {
+		var err error
+		conn, err = net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		c.met.redialed()
+	}
+	if err := clientHello(conn, c.cfg.DialTimeout); err != nil {
+		_ = conn.Close()
+		if errors.Is(err, ErrServerBusy) {
+			c.met.sawBusy()
+		}
+		if errors.Is(err, ErrFrameCorrupt) {
+			c.met.sawCorrupt()
+		}
+		return nil, err
+	}
+	m := newMux(conn, c.met)
+	go m.readLoop()
+	return m, nil
+}
+
+// dropMux discards a mux after a transport failure.
+func (c *Client) dropMux(m *mux) {
 	c.st.Lock()
-	if c.conn == conn {
-		c.conn = nil
+	if c.mx == m {
+		c.mx = nil
 	}
 	c.st.Unlock()
-	conn.Close()
+	m.fail(errors.New("kvnet: connection dropped"), false)
 }
 
 func (c *Client) isClosed() bool {
@@ -254,38 +308,37 @@ func (c *Client) backoff(n int) {
 		}
 	}
 	if p.Jitter > 0 {
+		c.rngMu.Lock()
 		d *= 1 + p.Jitter*(2*c.rng.Float64()-1)
+		c.rngMu.Unlock()
 	}
 	if d > 0 {
 		time.Sleep(time.Duration(d))
 	}
 }
 
-// do runs op with reconnect + retry handling. Dial failures are always
-// retryable (the request never left the client); op signals transport
-// failures with *netOpError and decides their retryability itself. Any
-// other error is a definitive server response and is returned as-is.
-func (c *Client) do(op func(conn net.Conn) error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// do runs op with reconnect + retry handling. Connect-phase failures —
+// dial errors, stBusy shedding, a corrupt hello — are always retryable
+// (the request never left the client); op signals transport failures with
+// *netOpError and decides their retryability itself. Any other error is a
+// definitive server response and is returned as-is. A version rejection
+// is definitive too: redialing cannot change what the server speaks.
+func (c *Client) do(op func(m *mux) error) error {
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.Retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			c.met.retried()
 			c.backoff(attempt - 1)
 		}
-		conn, err := c.acquireConn()
+		m, err := c.acquireMux()
 		if err != nil {
-			if errors.Is(err, ErrClientClosed) {
+			if errors.Is(err, ErrClientClosed) || errors.Is(err, ErrBadVersion) {
 				return err
 			}
 			lastErr = err
 			continue // connect-phase failure: retryable for every op
 		}
-		if c.cfg.OpTimeout > 0 {
-			_ = conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
-		}
-		err = op(conn)
+		err = op(m)
 		if err == nil {
 			return nil
 		}
@@ -293,7 +346,7 @@ func (c *Client) do(op func(conn net.Conn) error) error {
 		if !errors.As(err, &ne) {
 			return err // definitive response from the server
 		}
-		c.dropConn(conn)
+		c.dropMux(m)
 		if c.isClosed() {
 			return ErrClientClosed
 		}
@@ -305,37 +358,33 @@ func (c *Client) do(op func(conn net.Conn) error) error {
 	return lastErr
 }
 
-// unary performs one request/response exchange. idempotent controls
-// whether mid-exchange transport failures are retried.
+// unary performs one request/response exchange on a fresh tag. idempotent
+// controls whether mid-exchange transport failures are retried; a mux
+// teardown that proves pending requests were never processed (stBusy,
+// stCorrupt notices) upgrades even non-idempotent operations to
+// retryable.
 func (c *Client) unary(op byte, key, value []byte, limit uint32, idempotent bool) (byte, []byte, error) {
 	var status byte
 	var body []byte
 	t0 := time.Now()
 	defer func() { c.met.request(op, uint64(time.Since(t0))) }()
-	err := c.do(func(conn net.Conn) error {
-		if err := writeFrame(conn, encodeRequest(op, key, value, limit)); err != nil {
-			return &netOpError{err: err, retryable: idempotent}
-		}
-		resp, err := readFrame(conn, maxFrameWire)
+	err := c.do(func(m *mux) error {
+		tag, cl, err := m.register(1)
 		if err != nil {
+			// The mux died before the request was sent: always retryable.
+			return &netOpError{err: err, retryable: true}
+		}
+		if err := m.writeRequest(tag, encodeRequest(op, key, value, limit), c.cfg.OpTimeout); err != nil {
 			return &netOpError{err: err, retryable: idempotent}
 		}
-		if len(resp) < 1 {
-			return &netOpError{err: errMalformed, retryable: idempotent}
+		f, safe, err := m.await(cl, c.cfg.OpTimeout)
+		if err != nil {
+			return &netOpError{err: err, retryable: idempotent || safe}
 		}
-		switch resp[0] {
-		case stBusy:
-			// The server shed the connection before reading the request:
-			// retrying is safe even for non-idempotent operations.
-			c.met.sawBusy()
-			return &netOpError{err: ErrServerBusy, retryable: true}
-		case stCorrupt:
-			// The request was damaged in transit and rejected before
-			// processing: retrying is safe even for Put/Delete.
-			c.met.sawCorrupt()
-			return &netOpError{err: fmt.Errorf("%w (request)", ErrFrameCorrupt), retryable: true}
-		}
-		status, body = resp[0], resp[1:]
+		status = f.resp[0]
+		body = append([]byte(nil), f.resp[1:]...)
+		putBuf(f.buf)
+		m.deregister(tag)
 		return nil
 	})
 	return status, body, err
@@ -370,6 +419,8 @@ func statusErr(status byte, body []byte) error {
 		return ErrLagging
 	case stDraining:
 		return ErrDraining
+	case stBadVersion:
+		return fmt.Errorf("%w: %s", ErrBadVersion, body)
 	default:
 		return fmt.Errorf("kvnet: server error: %s", body)
 	}
@@ -439,11 +490,12 @@ func (c *Client) Stats() (aria.Stats, error) {
 // consuming (the remainder of the stream is drained). A transport failure
 // before the first pair is retried like any idempotent operation; after
 // pairs have been delivered the scan fails with ErrScanInterrupted instead
-// of restarting, so fn never observes duplicates.
+// of restarting, so fn never observes duplicates. The stream occupies one
+// tag; other operations on the same client proceed concurrently.
 func (c *Client) Scan(start, end []byte, limit uint32, fn func(key, value []byte) bool) error {
 	t0 := time.Now()
 	defer func() { c.met.request(opScan, uint64(time.Since(t0))) }()
-	return c.do(func(conn net.Conn) error {
+	return c.do(func(m *mux) error {
 		delivered := false
 		fail := func(err error) error {
 			if delivered {
@@ -451,43 +503,41 @@ func (c *Client) Scan(start, end []byte, limit uint32, fn func(key, value []byte
 			}
 			return &netOpError{err: err, retryable: true}
 		}
-		if err := writeFrame(conn, encodeRequest(opScan, start, end, limit)); err != nil {
+		tag, cl, err := m.register(streamCallBuffer)
+		if err != nil {
+			return &netOpError{err: err, retryable: true}
+		}
+		if err := m.writeRequest(tag, encodeRequest(opScan, start, end, limit), c.cfg.OpTimeout); err != nil {
 			return fail(err)
 		}
 		keepGoing := true
 		for {
-			if c.cfg.OpTimeout > 0 {
-				_ = conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
-			}
-			resp, err := readFrame(conn, maxFrameWire)
+			f, _, err := m.await(cl, c.cfg.OpTimeout)
 			if err != nil {
 				return fail(err)
 			}
-			if len(resp) < 1 {
-				return fail(errMalformed)
-			}
-			switch resp[0] {
+			switch f.resp[0] {
 			case stMore:
-				k, v, err := decodePair(resp[1:])
-				if err != nil {
-					return fail(err)
+				k, v, perr := decodePair(f.resp[1:])
+				if perr != nil {
+					putBuf(f.buf)
+					return fail(perr)
 				}
 				delivered = true
 				if keepGoing && !fn(k, v) {
 					keepGoing = false
 				}
+				putBuf(f.buf)
 			case stDone:
+				putBuf(f.buf)
+				m.deregister(tag)
 				return nil
-			case stBusy:
-				c.met.sawBusy()
-				return &netOpError{err: ErrServerBusy, retryable: true}
-			case stCorrupt:
-				// The scan request never decoded server-side, so no pair
-				// can have been delivered; fail() keeps this retryable.
-				c.met.sawCorrupt()
-				return fail(fmt.Errorf("%w (request)", ErrFrameCorrupt))
 			default:
-				return statusErr(resp[0], resp[1:])
+				status := f.resp[0]
+				body := append([]byte(nil), f.resp[1:]...)
+				putBuf(f.buf)
+				m.deregister(tag)
+				return statusErr(status, body)
 			}
 		}
 	})

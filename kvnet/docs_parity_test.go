@@ -88,3 +88,54 @@ func TestDocsMetricsParity(t *testing.T) {
 		t.Errorf("documented in docs/OPERATIONS.md but never emitted: %v", ghosts)
 	}
 }
+
+// TestDocsProtocolParity enforces that docs/PROTOCOL.md — the normative
+// wire spec — names exactly the opcode and status constants protocol.go
+// defines: every op*/st* constant must appear backticked in the spec,
+// and the spec must not name one that no longer exists. A new opcode
+// without spec coverage, or a renamed status leaving a stale spec row,
+// fails the build.
+func TestDocsProtocolParity(t *testing.T) {
+	src, err := os.ReadFile("protocol.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	constRe := regexp.MustCompile(`(?m)^\t((?:op|st)[A-Z][A-Za-z]*)\s*=`)
+	defined := map[string]bool{}
+	for _, m := range constRe.FindAllStringSubmatch(string(src), -1) {
+		defined[m[1]] = true
+	}
+	if len(defined) < 30 {
+		t.Fatalf("only %d op*/st* constants found in protocol.go; extraction broken?", len(defined))
+	}
+
+	doc, err := os.ReadFile(filepath.Join("..", "docs", "PROTOCOL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameRe := regexp.MustCompile("`((?:op|st)[A-Z][A-Za-z]*)`")
+	named := map[string]bool{}
+	for _, m := range nameRe.FindAllStringSubmatch(string(doc), -1) {
+		named[m[1]] = true
+	}
+
+	var missing, ghosts []string
+	for c := range defined {
+		if !named[c] {
+			missing = append(missing, c)
+		}
+	}
+	for c := range named {
+		if !defined[c] {
+			ghosts = append(ghosts, c)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(ghosts)
+	if len(missing) > 0 {
+		t.Errorf("defined in protocol.go but absent from docs/PROTOCOL.md: %v", missing)
+	}
+	if len(ghosts) > 0 {
+		t.Errorf("named in docs/PROTOCOL.md but not defined in protocol.go: %v", ghosts)
+	}
+}

@@ -66,6 +66,12 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(frameBytes(nil))
 	f.Add(frameBytes([]byte("hello")))
 	f.Add(frameBytes(encodeRequest(opPut, []byte("k"), []byte("v"), 0)))
+	// Tagged (version-2) frames: hello handshake, a tagged request, a
+	// tagged response, and a frame whose payload is a bare tag.
+	f.Add(appendFrame(nil, 0, encodeHello()))
+	f.Add(appendFrame(nil, 7, encodeRequest(opGet, []byte("k"), nil, 0)))
+	f.Add(appendFrame(nil, 1<<31, encodeResponse(stOK, []byte("v"))))
+	f.Add(frameBytes(taggedPayload(42, nil)))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
 	f.Add([]byte{0, 0, 0, 5, 0, 0, 0, 0, 'a', 'b'})
 	f.Add([]byte{})
@@ -100,6 +106,42 @@ func FuzzDecodePair(f *testing.F) {
 	})
 }
 
+// FuzzSplitTag covers the version-2 tag layer: splitTag never panics,
+// and whatever it accepts round-trips through taggedPayload.
+func FuzzSplitTag(f *testing.F) {
+	f.Add(taggedPayload(0, encodeHello()))
+	f.Add(taggedPayload(1, encodeRequest(opGet, []byte("k"), nil, 0)))
+	f.Add(taggedPayload(0xffffffff, nil))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tag, body, err := splitTag(data)
+		if err != nil {
+			if len(data) >= tagHdrSize {
+				t.Fatalf("splitTag rejected a %d-byte payload", len(data))
+			}
+			return
+		}
+		rt, rb, err := splitTag(taggedPayload(tag, body))
+		if err != nil || rt != tag || !bytes.Equal(rb, body) {
+			t.Fatalf("tag round trip: %d/%q vs %d/%q (%v)", rt, rb, tag, body, err)
+		}
+	})
+}
+
+// FuzzParseHello asserts the hello parser never panics and only accepts
+// the exact magic-framed body encodeHello produces.
+func FuzzParseHello(f *testing.F) {
+	f.Add(encodeHello())
+	f.Add([]byte{opHello, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, ok := parseHello(data); ok && !bytes.Equal(data[:5], encodeHello()[:5]) {
+			t.Fatalf("parseHello accepted %x", data)
+		}
+	})
+}
+
 // TestSingleBitFlipAlwaysDetected flips every byte of a small frame in
 // turn and asserts readFrame never hands back altered bytes as valid.
 func TestSingleBitFlipAlwaysDetected(t *testing.T) {
@@ -117,8 +159,9 @@ func TestSingleBitFlipAlwaysDetected(t *testing.T) {
 }
 
 // TestCorruptRequestRejectedBeforeProcessing corrupts a Put frame on the
-// wire and asserts the server answers stCorrupt without touching the
-// store, then closes the connection.
+// wire — once before the hello and once on a live tagged connection —
+// and asserts the server answers stCorrupt without touching the store,
+// then closes the connection.
 func TestCorruptRequestRejectedBeforeProcessing(t *testing.T) {
 	st := openStore(t)
 	srv := startServerConfig(t, st, ServerConfig{
@@ -126,26 +169,60 @@ func TestCorruptRequestRejectedBeforeProcessing(t *testing.T) {
 		WriteTimeout: time.Second,
 		DrainTimeout: 100 * time.Millisecond,
 	})
-	conn, err := net.Dial("tcp", waitAddr(t, srv))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	addr := waitAddr(t, srv)
 
-	frame := frameBytes(encodeRequest(opPut, []byte("poison"), []byte("v"), 0))
-	frame[len(frame)-1] ^= 0x40 // damage the value byte in transit
-	if _, err := conn.Write(frame); err != nil {
-		t.Fatal(err)
-	}
-	conn.SetReadDeadline(time.Now().Add(time.Second))
-	resp, err := readFrame(conn, maxFrameWire)
-	if err != nil {
-		t.Fatalf("no response to corrupt frame: %v", err)
-	}
-	if len(resp) < 1 || resp[0] != stCorrupt {
-		t.Fatalf("response status = %d, want stCorrupt", resp[0])
-	}
-	// The damaged write must not have been applied.
+	t.Run("pre-hello", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		frame := frameBytes(taggedPayload(0, encodeHello()))
+		frame[len(frame)-1] ^= 0x40 // damage the hello in transit
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		resp, err := readFrame(conn, maxTaggedWire)
+		if err != nil {
+			t.Fatalf("no response to corrupt frame: %v", err)
+		}
+		// Pre-hello notices are untagged: the status leads the payload.
+		if len(resp) < 1 || resp[0] != stCorrupt {
+			t.Fatalf("response status = %d, want stCorrupt", resp[0])
+		}
+	})
+
+	t.Run("post-hello", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := clientHello(conn, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		frame := appendFrame(nil, 3, encodeRequest(opPut, []byte("poison"), []byte("v"), 0))
+		frame[len(frame)-1] ^= 0x40 // damage the value byte in transit
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		resp, err := readFrame(conn, maxTaggedWire)
+		if err != nil {
+			t.Fatalf("no response to corrupt frame: %v", err)
+		}
+		// Post-hello the notice arrives on reserved tag 0.
+		tag, body, err := splitTag(resp)
+		if err != nil || tag != 0 {
+			t.Fatalf("corrupt notice tag = %d (%v), want 0", tag, err)
+		}
+		if len(body) < 1 || body[0] != stCorrupt {
+			t.Fatalf("response status = %d, want stCorrupt", body[0])
+		}
+	})
+
+	// The damaged writes must not have been applied.
 	if _, err := st.Get([]byte("poison")); !errors.Is(err, aria.ErrNotFound) {
 		t.Fatalf("corrupt put reached the store: %v", err)
 	}

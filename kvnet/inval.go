@@ -33,6 +33,7 @@ package kvnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -201,26 +202,54 @@ func (s *Server) invalPublishBatch(keys [][]byte, errs []error) {
 	}
 }
 
-// serveInvalSub owns an invalidation stream: it registers a mailbox
-// with the hub and forwards entries as coalesced stInvalRec frames,
-// interleaving heartbeats, until the connection dies, the mailbox
-// overflows, or the server drains (a typed stDraining goodbye, shared
-// with repl subscribe). Only a node whose writes flow through this
-// server can push complete invalidations, so replicas — whose applier
-// bypasses the kvnet write path — refuse the stream and the cache in
-// front of them stays deliberately cold.
-func (s *Server) serveInvalSub(conn net.Conn) error {
+// startInvalStream validates an invalidation subscription and spawns its
+// stream goroutine — the tag becomes a server-push channel on the shared
+// connection, exactly like a replication subscription. Only a node whose
+// writes flow through this server can push complete invalidations, so
+// replicas — whose applier bypasses the kvnet write path — refuse the
+// stream and the cache in front of them stays deliberately cold.
+func (sc *srvConn) startInvalStream(tag uint32) {
+	s := sc.s
+	w := tagWriter{sc: sc, tag: tag}
 	if s.inval == nil {
-		s.touchWrite(conn)
-		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: invalidation push not enabled")))
+		s.met.badRequest()
+		_ = w.send(encodeResponse(stBadReq, []byte("kvnet: invalidation push not enabled")))
+		return
 	}
 	if b := s.cfg.Repl; b != nil && b.Role() != RolePrimary {
-		s.touchWrite(conn)
 		if b.Role() == RoleFenced {
-			return writeFrame(conn, errResponse(aria.ErrFenced))
+			_ = w.send(errResponse(aria.ErrFenced))
+			return
 		}
-		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: invalidation push serves primaries only")))
+		s.met.badRequest()
+		_ = w.send(encodeResponse(stBadReq, []byte("kvnet: invalidation push serves primaries only")))
+		return
 	}
+	if !sc.addStream(tag, nil) {
+		s.met.badRequest()
+		_ = w.send(encodeResponse(stBadReq, []byte("kvnet: tag already carries a stream")))
+		return
+	}
+	sc.streams.Add(1)
+	sc.inflight.Add(1)
+	s.met.taggedStream(1)
+	go func() {
+		defer sc.streamExit(tag)
+		if err := s.runInvalStream(w); err != nil && !errors.Is(err, net.ErrClosed) {
+			s.logf("kvnet: invalidation stream error: %v", err)
+		}
+	}()
+}
+
+// runInvalStream registers a mailbox with the hub and forwards entries
+// as coalesced stInvalRec frames, interleaving heartbeats, until the
+// connection tears down, the mailbox overflows, or the server drains (a
+// typed stDraining goodbye, shared with repl subscribe). Overflow
+// aborts the whole connection: the coherence contract turns lost
+// invalidations into a lost stream, and a cache must observe that as
+// transport failure no matter which tags share the connection.
+func (s *Server) runInvalStream(w tagWriter) error {
+	sc := w.sc
 	ic := &invalConn{
 		ch:   make(chan InvalEntry, s.cfg.InvalBuffer),
 		kill: make(chan struct{}),
@@ -230,23 +259,10 @@ func (s *Server) serveInvalSub(conn net.Conn) error {
 	s.met.invalSubOpened()
 	defer s.met.invalSubClosed()
 
-	// The client sends nothing after the request; the reader exists to
-	// notice connection death while the stream idles.
-	readerDone := make(chan struct{})
-	go func() {
-		defer close(readerDone)
-		for {
-			_ = conn.SetReadDeadline(time.Time{})
-			if _, err := readFrame(conn, maxFrameWire); err != nil {
-				return
-			}
-		}
-	}()
-
 	// Hello heartbeat: sent after hub registration, so a client that has
 	// seen any frame knows every later commit will reach its stream.
-	s.touchWrite(conn)
-	if err := writeFrame(conn, encodeResponse(stReplBeat, u64be(s.inval.localSeq.Load()))); err != nil {
+	s.met.taggedPush()
+	if err := w.send(encodeResponse(stReplBeat, u64be(s.inval.localSeq.Load()))); err != nil {
 		return err
 	}
 
@@ -258,17 +274,18 @@ func (s *Server) serveInvalSub(conn net.Conn) error {
 		select {
 		case <-ic.kill:
 			s.met.invalOverflow()
+			sc.abort()
 			return nil
 		default:
 		}
 		select {
 		case <-s.closing:
-			s.touchWrite(conn)
-			return writeFrame(conn, encodeResponse(stDraining, nil))
-		case <-readerDone:
+			return w.send(encodeResponse(stDraining, nil))
+		case <-sc.stop:
 			return nil
 		case <-ic.kill:
 			s.met.invalOverflow()
+			sc.abort()
 			return nil
 		case e := <-ic.ch:
 			buf = append(buf[:0], e)
@@ -281,13 +298,13 @@ func (s *Server) serveInvalSub(conn net.Conn) error {
 					break coalesce
 				}
 			}
-			s.touchWrite(conn)
-			if err := writeFrame(conn, encodeResponse(stInvalRec, encodeInvalEntries(buf))); err != nil {
+			s.met.taggedPush()
+			if err := w.send(encodeResponse(stInvalRec, encodeInvalEntries(buf))); err != nil {
 				return err
 			}
 		case <-ticker.C:
-			s.touchWrite(conn)
-			if err := writeFrame(conn, encodeResponse(stReplBeat, u64be(s.inval.localSeq.Load()))); err != nil {
+			s.met.taggedPush()
+			if err := w.send(encodeResponse(stReplBeat, u64be(s.inval.localSeq.Load()))); err != nil {
 				return err
 			}
 		}
@@ -307,27 +324,46 @@ type InvalEvent struct {
 	Seq uint64
 }
 
-// InvalSub is a client-side invalidation stream on its own dedicated
-// connection. It is not redialed internally — the ccache package owns
-// that policy, because a broken stream must drop the cache cold before
-// re-arming.
+// InvalSub is a client-side invalidation stream, either on its own
+// dedicated connection (DialInvalSub) or as one tag on a client's
+// multiplexed data connection (Client.InvalStream). It is not redialed
+// internally — the ccache package owns that policy, because a broken
+// stream must drop the cache cold before re-arming.
 type InvalSub struct {
-	conn net.Conn
+	src streamSrc
 }
 
-// DialInvalSub opens an invalidation stream. The server answers with a
-// hello heartbeat once the subscription is registered; a cache must not
-// serve from warm state until it has seen that first frame.
+// DialInvalSub opens an invalidation stream on a dedicated connection.
+// The server answers with a hello heartbeat once the subscription is
+// registered; a cache must not serve from warm state until it has seen
+// that first frame.
 func DialInvalSub(addr string, dialTimeout time.Duration) (*InvalSub, error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(conn, encodeRequest(opInvalSub, nil, nil, 0)); err != nil {
+	if err := clientHello(conn, dialTimeout); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return &InvalSub{conn: conn}, nil
+	src := &connStream{conn: conn}
+	if err := src.write(encodeRequest(opInvalSub, nil, nil, 0)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &InvalSub{src: src}, nil
+}
+
+// InvalStream opens an invalidation stream as one tag on this client's
+// multiplexed data connection, sharing it with unary traffic. The same
+// hello-heartbeat warm-up rule applies. Closing the stream abandons its
+// tag; the connection stays usable.
+func (c *Client) InvalStream() (*InvalSub, error) {
+	src, err := c.openMuxStream(encodeRequest(opInvalSub, nil, nil, 0))
+	if err != nil {
+		return nil, err
+	}
+	return &InvalSub{src: src}, nil
 }
 
 // Next returns the stream's next event, waiting at most timeout (<= 0
@@ -336,18 +372,11 @@ func DialInvalSub(addr string, dialTimeout time.Duration) (*InvalSub, error) {
 // stream. A timeout is the cache's heartbeat-liveness failure — the
 // stream is presumed dead and the cache must go cold.
 func (s *InvalSub) Next(timeout time.Duration) (InvalEvent, error) {
-	if timeout > 0 {
-		_ = s.conn.SetReadDeadline(time.Now().Add(timeout))
-	} else {
-		_ = s.conn.SetReadDeadline(time.Time{})
-	}
-	resp, err := readFrame(s.conn, maxFrameWire)
+	resp, release, err := s.src.next(timeout)
 	if err != nil {
 		return InvalEvent{}, err
 	}
-	if len(resp) < 1 {
-		return InvalEvent{}, errMalformed
-	}
+	defer release()
 	body := resp[1:]
 	switch resp[0] {
 	case stInvalRec:
@@ -368,5 +397,6 @@ func (s *InvalSub) Next(timeout time.Duration) (InvalEvent, error) {
 	}
 }
 
-// Close closes the stream's connection.
-func (s *InvalSub) Close() error { return s.conn.Close() }
+// Close tears the stream down: a dedicated connection closes; a shared
+// data connection stays open with the stream's tag abandoned.
+func (s *InvalSub) Close() error { return s.src.close() }

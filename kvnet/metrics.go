@@ -41,6 +41,11 @@ const (
 	metricSrvInvalSubs  = "kvnet_inval_subs"
 	metricSrvInvalPush  = "kvnet_inval_pushed_total"
 	metricSrvInvalOver  = "kvnet_inval_overflows_total"
+	metricSrvInflight   = "kvnet_inflight"
+	metricSrvPoolWork   = "kvnet_pool_workers"
+	metricSrvPoolQueue  = "kvnet_pool_queued"
+	metricSrvTaggedStr  = "kvnet_tagged_streams"
+	metricSrvTaggedPush = "kvnet_tagged_pushes_total"
 )
 
 // Client-side metric family names.
@@ -74,6 +79,11 @@ type serverMetrics struct {
 	invalSubs    *obs.Gauge
 	invalPush    *obs.Counter
 	invalOver    *obs.Counter
+	inflight     *obs.Gauge
+	poolWork     *obs.Gauge
+	poolQueue    *obs.Gauge
+	taggedStr    *obs.Gauge
+	taggedPushes *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -100,6 +110,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Invalidation entries published to subscribed streams.", nil),
 		invalOver: reg.Counter(metricSrvInvalOver,
 			"Invalidation streams terminated because their mailbox overflowed.", nil),
+		inflight: reg.Gauge(metricSrvInflight,
+			"Tagged requests admitted to connection worker pools and not yet retired.", nil),
+		poolWork: reg.Gauge(metricSrvPoolWork,
+			"Per-connection pool workers currently running, summed over connections.", nil),
+		poolQueue: reg.Gauge(metricSrvPoolQueue,
+			"Tagged requests waiting for a free pool worker, summed over connections.", nil),
+		taggedStr: reg.Gauge(metricSrvTaggedStr,
+			"Push streams (subscribe, invalidation) currently carried on tagged data connections.", nil),
+		taggedPushes: reg.Counter(metricSrvTaggedPush,
+			"Frames pushed to clients on stream tags (replication records, heartbeats, invalidations).", nil),
 	}
 	for op := byte(opGet); op <= opMDelete; op++ {
 		l := obs.Labels{"op": opNames[op]}
@@ -184,6 +204,36 @@ func (m *serverMetrics) invalPushed() {
 func (m *serverMetrics) invalOverflow() {
 	if m != nil {
 		m.invalOver.Inc()
+	}
+}
+
+func (m *serverMetrics) inflightDelta(d float64) {
+	if m != nil {
+		m.inflight.Add(d)
+	}
+}
+
+func (m *serverMetrics) poolWorkers(d float64) {
+	if m != nil {
+		m.poolWork.Add(d)
+	}
+}
+
+func (m *serverMetrics) poolQueued(d float64) {
+	if m != nil {
+		m.poolQueue.Add(d)
+	}
+}
+
+func (m *serverMetrics) taggedStream(d float64) {
+	if m != nil {
+		m.taggedStr.Add(d)
+	}
+}
+
+func (m *serverMetrics) taggedPush() {
+	if m != nil {
+		m.taggedPushes.Inc()
 	}
 }
 

@@ -1,0 +1,370 @@
+package kvnet
+
+// Client-side multiplexing. A mux owns one connection after the hello
+// handshake: operations register a tag, write their request, and wait on
+// a per-tag channel while a single reader goroutine dispatches response
+// frames by tag. Responses complete out of order, so a slow scan or
+// checkpoint no longer head-of-line blocks the gets pipelined behind it.
+//
+// Failure is connection-granular: an operation timeout, a corrupt or
+// unroutable frame, or a tag-0 notice kills the whole mux (a tag whose
+// response may still arrive can never be reused safely). The Client's
+// retry layer then redials, exactly as it redialed broken lock-step
+// connections before. The server's corrupt-frame drain makes tag-0
+// stBusy/stCorrupt notices "safe": every request still pending when the
+// notice arrives was provably never processed, so even writes retry.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// streamCallBuffer is the per-tag channel depth for streaming exchanges
+// (scan, batch, subscribe, inval). A consumer more than this many frames
+// behind backpressures the connection's reader.
+const streamCallBuffer = 64
+
+// call is one registered tag: the channel its response frames arrive on.
+type call struct {
+	ch chan muxFrame
+	// abandoned marks a stream whose consumer is gone: the reader drops
+	// this tag's frames instead of delivering them, and frees the tag on
+	// the stream's terminal frame. The server keeps pushing until the
+	// connection closes — abandoning is client-side only.
+	abandoned atomic.Bool
+}
+
+// muxFrame is one dispatched response: resp is status byte + body,
+// aliasing the pooled buf, which the consumer releases with putBuf.
+type muxFrame struct {
+	resp []byte
+	buf  *[]byte
+}
+
+// mux is one multiplexed client connection.
+type mux struct {
+	conn net.Conn
+	met  *clientMetrics // nil-safe hooks
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint32]*call
+	nextTag uint32
+
+	err      error // teardown reason; written before dead closes
+	safe     bool  // teardown proves pending requests were never processed
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+func newMux(conn net.Conn, met *clientMetrics) *mux {
+	return &mux{
+		conn:    conn,
+		met:     met,
+		pending: make(map[uint32]*call),
+		dead:    make(chan struct{}),
+	}
+}
+
+// fail kills the mux: the reason is recorded, every waiter wakes, and
+// the connection closes. safe reports that the failure proves no pending
+// request was processed (pre-hello shed, corrupt-request notice), which
+// upgrades even non-idempotent pending operations to retryable.
+func (m *mux) fail(err error, safe bool) {
+	m.deadOnce.Do(func() {
+		m.err, m.safe = err, safe
+		close(m.dead)
+		_ = m.conn.Close()
+	})
+}
+
+func (m *mux) isDead() bool {
+	select {
+	case <-m.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// register allocates a fresh tag. Tags are never reused while pending,
+// and tag 0 stays reserved for the hello and connection notices.
+func (m *mux) register(buffer int) (uint32, *call, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.isDead() {
+		return 0, nil, m.err
+	}
+	for {
+		m.nextTag++
+		if m.nextTag == 0 {
+			m.nextTag = 1
+		}
+		if _, busy := m.pending[m.nextTag]; !busy {
+			break
+		}
+	}
+	cl := &call{ch: make(chan muxFrame, buffer)}
+	m.pending[m.nextTag] = cl
+	return m.nextTag, cl, nil
+}
+
+// deregister frees a tag after its terminal frame.
+func (m *mux) deregister(tag uint32) {
+	m.mu.Lock()
+	delete(m.pending, tag)
+	m.mu.Unlock()
+}
+
+// writeRequest frames and writes one tagged request body.
+func (m *mux) writeRequest(tag uint32, body []byte, timeout time.Duration) error {
+	bp := getBuf()
+	*bp = appendFrame((*bp)[:0], tag, body)
+	m.wmu.Lock()
+	if timeout > 0 {
+		_ = m.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, err := m.conn.Write(*bp)
+	m.wmu.Unlock()
+	putBuf(bp)
+	if err != nil {
+		m.fail(err, false)
+	}
+	return err
+}
+
+// await waits for the call's next frame. A timeout is fatal to the whole
+// mux: the tag's response may still arrive later, so the tag — and with
+// it the connection — can never be trusted again. On mux death the
+// returned safe flag carries the teardown's retry guarantee.
+func (m *mux) await(cl *call, timeout time.Duration) (muxFrame, bool, error) {
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case f := <-cl.ch:
+		return f, false, nil
+	case <-m.dead:
+		// A frame may have been delivered just before death.
+		select {
+		case f := <-cl.ch:
+			return f, false, nil
+		default:
+		}
+		return muxFrame{}, m.safe, m.err
+	case <-timeoutC:
+		err := fmt.Errorf("kvnet: operation timed out after %v", timeout)
+		m.fail(err, false)
+		return muxFrame{}, false, err
+	}
+}
+
+// readLoop dispatches response frames by tag until the connection dies.
+func (m *mux) readLoop() {
+	for {
+		bp, err := readFramePooled(m.conn, maxTaggedReplWire)
+		if err != nil {
+			if errors.Is(err, errCorruptFrame) {
+				m.fail(fmt.Errorf("%w (response)", ErrFrameCorrupt), false)
+			} else {
+				m.fail(err, false)
+			}
+			return
+		}
+		tag, body, terr := splitTag(*bp)
+		if terr != nil || len(body) < 1 {
+			putBuf(bp)
+			m.fail(errMalformed, false)
+			return
+		}
+		if tag == 0 {
+			m.notice(body)
+			putBuf(bp)
+			return
+		}
+		m.mu.Lock()
+		cl := m.pending[tag]
+		m.mu.Unlock()
+		if cl == nil {
+			putBuf(bp)
+			m.fail(fmt.Errorf("kvnet: response on unknown tag %d", tag), false)
+			return
+		}
+		if cl.abandoned.Load() {
+			if !nonTerminal(body[0]) {
+				m.deregister(tag)
+			}
+			putBuf(bp)
+			continue
+		}
+		select {
+		case cl.ch <- muxFrame{resp: body, buf: bp}:
+		case <-m.dead:
+			putBuf(bp)
+			return
+		}
+	}
+}
+
+// notice handles a tag-0 connection-level frame. The only ones a server
+// sends are terminal: stBusy (shed), stCorrupt (request damaged in
+// transit; the server drained in-flight work first, so everything still
+// pending is provably unprocessed), or stBadReq for an unattributable
+// frame. All of them kill the mux.
+func (m *mux) notice(body []byte) {
+	status, msg := body[0], body[1:]
+	switch status {
+	case stBusy:
+		m.met.sawBusy()
+		m.fail(ErrServerBusy, true)
+	case stCorrupt:
+		m.met.sawCorrupt()
+		m.fail(fmt.Errorf("%w (request)", ErrFrameCorrupt), true)
+	default:
+		m.fail(fmt.Errorf("kvnet: connection notice status %d: %s", status, msg), false)
+	}
+}
+
+// clientHello performs the version handshake on a fresh connection: it
+// writes the tag-0 hello and reads the tag-0 answer. Untagged rejections
+// are classified: stBusy (shed before the hello) → ErrServerBusy,
+// stCorrupt → ErrFrameCorrupt, anything else — including a version-1
+// server misparsing the hello — → ErrBadVersion.
+func clientHello(conn net.Conn, timeout time.Duration) error {
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	}
+	if err := writeFrame(conn, taggedPayload(0, encodeHello())); err != nil {
+		return err
+	}
+	payload, err := readFrame(conn, maxTaggedWire)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return errMalformed
+	}
+	if payload[0] != 0 {
+		// Untagged: the first byte is a status, not a tag.
+		switch payload[0] {
+		case stBusy:
+			return ErrServerBusy
+		case stCorrupt:
+			return fmt.Errorf("%w (hello)", ErrFrameCorrupt)
+		default:
+			return fmt.Errorf("%w: %s", ErrBadVersion, payload[1:])
+		}
+	}
+	_, body, err := splitTag(payload)
+	if err != nil || len(body) < 1 {
+		return errMalformed
+	}
+	if body[0] != stOK {
+		return fmt.Errorf("%w: %s", ErrBadVersion, body[1:])
+	}
+	return nil
+}
+
+// streamSrc abstracts where a client-side stream's frames come from: a
+// dedicated connection (DialSubscribe, DialInvalSub) or a tag on a
+// multiplexed data connection (Client.SubscribeStream,
+// Client.InvalStream).
+type streamSrc interface {
+	// next returns the stream's next response payload (status + body).
+	// release recycles the frame's buffer and is non-nil iff err is nil;
+	// the payload must not be used after calling it.
+	next(timeout time.Duration) (resp []byte, release func(), err error)
+	// write sends a request body upstream on the stream's tag (acks).
+	write(body []byte) error
+	// close tears the stream down.
+	close() error
+}
+
+// connStream is a stream on its own dedicated connection, everything on
+// soleStreamTag.
+type connStream struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes upstream writes against each other
+}
+
+func noRelease() {}
+
+func (s *connStream) next(timeout time.Duration) ([]byte, func(), error) {
+	if timeout > 0 {
+		_ = s.conn.SetReadDeadline(time.Now().Add(timeout))
+	} else {
+		_ = s.conn.SetReadDeadline(time.Time{})
+	}
+	payload, err := readFrame(s.conn, maxTaggedReplWire)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, resp, err := splitTag(payload)
+	if err != nil || len(resp) < 1 {
+		return nil, nil, errMalformed
+	}
+	return resp, noRelease, nil
+}
+
+func (s *connStream) write(body []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrame(s.conn, taggedPayload(soleStreamTag, body))
+}
+
+func (s *connStream) close() error { return s.conn.Close() }
+
+// muxStream is a stream multiplexed on a data connection: one tag among
+// many. Closing abandons the tag client-side — the server keeps pushing
+// until the connection closes; the reader discards the frames.
+type muxStream struct {
+	m       *mux
+	tag     uint32
+	cl      *call
+	timeout time.Duration // write timeout
+}
+
+func (s *muxStream) next(timeout time.Duration) ([]byte, func(), error) {
+	f, _, err := s.m.await(s.cl, timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := f.buf
+	return f.resp, func() { putBuf(buf) }, nil
+}
+
+func (s *muxStream) write(body []byte) error {
+	return s.m.writeRequest(s.tag, body, s.timeout)
+}
+
+func (s *muxStream) close() error {
+	s.cl.abandoned.Store(true)
+	return nil
+}
+
+// openMuxStream registers a stream tag on the client's live mux and
+// sends its opening request. Streams are not retried: a dead connection
+// surfaces from the stream's first next().
+func (c *Client) openMuxStream(body []byte) (*muxStream, error) {
+	m, err := c.acquireMux()
+	if err != nil {
+		return nil, err
+	}
+	tag, cl, err := m.register(streamCallBuffer)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.writeRequest(tag, body, c.cfg.OpTimeout); err != nil {
+		return nil, err
+	}
+	return &muxStream{m: m, tag: tag, cl: cl, timeout: c.cfg.OpTimeout}, nil
+}

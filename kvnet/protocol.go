@@ -17,9 +17,24 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"github.com/ariakv/aria"
 )
+
+// protocolVersion is the wire protocol generation. Version 2 introduced
+// tagged frames: every payload after the hello exchange is prefixed with
+// a client-assigned 32-bit tag, responses complete out of order, and one
+// connection sustains many in-flight requests. A server rejects hellos
+// from any other version (and hello-less version-1 connections) with the
+// typed stBadVersion — it never limps along speaking the wrong framing.
+// The normative spec is docs/PROTOCOL.md; the parity test keeps it and
+// this file in lockstep.
+const protocolVersion = 2
+
+// helloMagic opens every hello body so a stray non-kvnet client can
+// never be mistaken for an old-version peer ("ARIA").
+const helloMagic = 0x41524941
 
 // Op codes. The batch ops (opMGet and above) carry multi-record payloads
 // and stream multi-record responses; see batch.go for their wire layout.
@@ -50,6 +65,12 @@ const (
 	// entry for every committed write, reusing the subscribe stream's
 	// heartbeat (stReplBeat) and graceful-drain (stDraining) machinery.
 	opInvalSub = 15
+
+	// opHello is the first request on every connection: tag 0, body =
+	// magic (u32 BE) + protocol version (u16 BE). The server answers on
+	// tag 0 with stOK (body = its version) or rejects the connection with
+	// stBadVersion. No other request is accepted before the hello.
+	opHello = 16
 )
 
 // Status codes. Typed store sentinels each get their own code so
@@ -86,7 +107,25 @@ const (
 	stLagging   = 20 // watermarked read not yet applied; body = violating watermark entry
 	stSnapChunk = 21 // snapshot transfer: body = raw snapshot file bytes
 	stInvalRec  = 22 // inval stream: body = concatenated invalidation entries (see inval.go)
+
+	// stBadVersion rejects a connection whose first frame is not a valid
+	// hello for this server's protocol version. It is written UNTAGGED
+	// (status byte first) so that a version-1 client — which reads the
+	// first payload byte as a status — sees a typed failure instead of
+	// misparsing a tagged frame. The connection closes after it.
+	stBadVersion = 23
 )
+
+// nonTerminal reports whether a status leaves its exchange open: more
+// frames will follow on the same tag. Everything else is terminal — the
+// server sends nothing further on the tag and the client may reuse it.
+func nonTerminal(status byte) bool {
+	switch status {
+	case stMore, stSegStart, stReplRec, stReplBeat, stSnapAvail, stSnapChunk, stInvalRec:
+		return true
+	}
+	return false
+}
 
 // Wire limits.
 const (
@@ -106,6 +145,14 @@ const (
 	// overhead), which can exceed a request frame by the sealing
 	// overhead, so replication readers use a slightly larger cap.
 	maxReplFrameWire = maxFrameWire + 128
+
+	// tagHdrSize is the tag prefix on every version-2 payload.
+	tagHdrSize = 4
+
+	// maxTaggedWire and maxTaggedReplWire are the version-2 read caps:
+	// the version-1 payload limits plus the tag prefix.
+	maxTaggedWire     = maxFrameWire + tagHdrSize
+	maxTaggedReplWire = maxReplFrameWire + tagHdrSize
 )
 
 // The exported sentinels wrap their aria counterparts, so a caller can
@@ -134,6 +181,9 @@ var (
 	// ErrDraining reports that the server closed a subscribe stream to
 	// shut down gracefully; the subscriber should redial.
 	ErrDraining = errors.New("kvnet: server draining; redial")
+	// ErrBadVersion reports that the peer speaks a different protocol
+	// version; there is no compatibility mode, so the dial fails typed.
+	ErrBadVersion = errors.New("kvnet: protocol version mismatch")
 	// errMalformed reports a framing violation.
 	errMalformed = errors.New("kvnet: malformed frame")
 	// errCorruptFrame reports a frame whose checksum does not match: the
@@ -277,4 +327,128 @@ func decodePair(body []byte) (key, value []byte, err error) {
 		return nil, nil, errMalformed
 	}
 	return body[2 : 2+klen], body[2+klen:], nil
+}
+
+// maxPooledBuf caps the size of buffers recycled through the frame pool.
+// Jumbo frames (multi-megabyte values, snapshot chunks) are allocated
+// fresh and dropped on release so a single large op cannot pin megabytes
+// inside the pool forever.
+const maxPooledBuf = 64 << 10
+
+// bufPool recycles frame buffers on both ends of the connection: the
+// readers' payload buffers and the writers' assembled wire frames. At
+// steady state (small ops) neither direction allocates per frame.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// getBuf returns a zero-length pooled buffer. Release with putBuf.
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// putBuf recycles a buffer obtained from getBuf. Safe on nil.
+func putBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// grow resizes *b to n bytes, reallocating only when capacity is short.
+func grow(b *[]byte, n int) []byte {
+	if cap(*b) < n {
+		*b = make([]byte, n)
+	}
+	*b = (*b)[:n]
+	return *b
+}
+
+// readFramePooled is readFrame with the payload read into a pooled
+// buffer. The caller owns the returned buffer and must release it with
+// putBuf once the payload (and any sub-slices of it) are dead.
+func readFramePooled(r io.Reader, maxLen int) (*[]byte, error) {
+	var hdr [frameHdrSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if int64(n) > int64(maxLen) {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", errMalformed, n)
+	}
+	bp := getBuf()
+	buf := grow(bp, int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		putBuf(bp)
+		return nil, err
+	}
+	if crc32.Checksum(buf, crcTable) != binary.BigEndian.Uint32(hdr[4:]) {
+		putBuf(bp)
+		return nil, errCorruptFrame
+	}
+	return bp, nil
+}
+
+// appendFrame appends one complete tagged wire frame — header, tag,
+// body — to dst and returns the extended slice. The CRC32-C covers
+// tag||body, exactly as readFrame expects. Appending several frames to
+// the same buffer before a single Write is the writer-side coalescing
+// primitive.
+func appendFrame(dst []byte, tag uint32, body []byte) []byte {
+	var pre [frameHdrSize + tagHdrSize]byte
+	binary.BigEndian.PutUint32(pre[:4], uint32(tagHdrSize+len(body)))
+	binary.BigEndian.PutUint32(pre[frameHdrSize:], tag)
+	start := len(dst)
+	dst = append(dst, pre[:]...)
+	dst = append(dst, body...)
+	binary.BigEndian.PutUint32(dst[start+4:start+frameHdrSize],
+		crc32.Checksum(dst[start+frameHdrSize:len(dst):len(dst)], crcTable))
+	return dst
+}
+
+// splitTag splits a version-2 payload into its tag and body.
+func splitTag(payload []byte) (uint32, []byte, error) {
+	if len(payload) < tagHdrSize {
+		return 0, nil, fmt.Errorf("%w: payload shorter than its tag", errMalformed)
+	}
+	return binary.BigEndian.Uint32(payload[:tagHdrSize]), payload[tagHdrSize:], nil
+}
+
+// taggedPayload prefixes a request or response body with its tag. The
+// hot paths build whole frames in pooled buffers via appendFrame; this
+// is the convenience form for handshakes and dedicated stream
+// connections.
+func taggedPayload(tag uint32, body []byte) []byte {
+	out := make([]byte, tagHdrSize+len(body))
+	binary.BigEndian.PutUint32(out[:tagHdrSize], tag)
+	copy(out[tagHdrSize:], body)
+	return out
+}
+
+// soleStreamTag is the tag a dedicated stream connection (DialSubscribe,
+// DialInvalSub, FetchSnapshot) puts its single exchange on. Tag 0 stays
+// reserved for the hello and connection-level notices even there.
+const soleStreamTag = 1
+
+// helloBodySize is the hello request body: op + magic (u32) + version (u16).
+const helloBodySize = 7
+
+// encodeHello builds the hello request body (tag excluded).
+func encodeHello() []byte {
+	b := make([]byte, helloBodySize)
+	b[0] = opHello
+	binary.BigEndian.PutUint32(b[1:5], helloMagic)
+	binary.BigEndian.PutUint16(b[5:7], protocolVersion)
+	return b
+}
+
+// parseHello validates a hello request body and returns the version.
+func parseHello(body []byte) (uint16, bool) {
+	if len(body) != helloBodySize || body[0] != opHello ||
+		binary.BigEndian.Uint32(body[1:5]) != helloMagic {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(body[5:7]), true
 }

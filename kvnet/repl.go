@@ -275,10 +275,10 @@ func (s *Server) replOverlay(st aria.Stats) aria.Stats {
 }
 
 // serveReplStatus answers opReplStatus with the node's ReplInfo.
-func (s *Server) serveReplStatus(conn net.Conn) error {
+func (s *Server) serveReplStatus(w tagWriter) error {
 	b := s.cfg.Repl
 	if b == nil {
-		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
+		return w.send(encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
 	}
 	info := ReplInfo{
 		Role:       b.Role(),
@@ -291,9 +291,9 @@ func (s *Server) serveReplStatus(conn net.Conn) error {
 	}
 	body, err := json.Marshal(info)
 	if err != nil {
-		return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+		return w.send(encodeResponse(stError, []byte(err.Error())))
 	}
-	return writeFrame(conn, encodeResponse(stOK, body))
+	return w.send(encodeResponse(stOK, body))
 }
 
 // snapChunkBytes is the snapshot transfer chunk size.
@@ -303,33 +303,32 @@ const snapChunkBytes = 1 << 20
 // requested shard: stOK with the covered sequence, stSnapChunk frames
 // with the raw sealed file bytes (verbatim — any same-seed sealer can
 // open them), then stDone.
-func (s *Server) serveSnapshotTransfer(conn net.Conn, rq request) error {
+func (s *Server) serveSnapshotTransfer(w tagWriter, rq request) error {
 	b := s.cfg.Repl
 	if b == nil {
-		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
+		return w.send(encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
 	}
 	if len(rq.key) != 4 {
-		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: malformed snapshot request")))
+		return w.send(encodeResponse(stBadReq, []byte("kvnet: malformed snapshot request")))
 	}
 	shard := binary.BigEndian.Uint32(rq.key)
 	path, covered, err := b.SnapshotPath(shard)
 	if err != nil {
-		return writeFrame(conn, errResponse(err))
+		return w.send(errResponse(err))
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+		return w.send(encodeResponse(stError, []byte(err.Error())))
 	}
 	defer f.Close()
-	if err := writeFrame(conn, encodeResponse(stOK, u64be(covered))); err != nil {
+	if err := w.send(encodeResponse(stOK, u64be(covered))); err != nil {
 		return err
 	}
 	buf := make([]byte, snapChunkBytes)
 	for {
 		n, rerr := f.Read(buf)
 		if n > 0 {
-			s.touchWrite(conn)
-			if err := writeFrame(conn, encodeResponse(stSnapChunk, buf[:n])); err != nil {
+			if err := w.send(encodeResponse(stSnapChunk, buf[:n])); err != nil {
 				return err
 			}
 		}
@@ -340,63 +339,76 @@ func (s *Server) serveSnapshotTransfer(conn net.Conn, rq request) error {
 			return rerr // mid-stream failure: close without stDone, client rejects
 		}
 	}
-	s.touchWrite(conn)
-	return writeFrame(conn, encodeResponse(stDone, nil))
+	return w.send(encodeResponse(stDone, nil))
 }
 
-// serveSubscribe owns a subscribe/catch-up connection: it spawns a
-// reader for the subscriber's opReplAck frames and drives the
-// backend's Subscribe, translating events to frames. The connection is
-// dedicated to the stream; the handler returns when it ends.
-func (s *Server) serveSubscribe(conn net.Conn, rq request) error {
+// addStream registers a live stream tag (acks is nil for streams that
+// carry no subscriber acks). It fails on a tag already carrying one.
+func (sc *srvConn) addStream(tag uint32, acks chan uint64) bool {
+	sc.tagMu.Lock()
+	defer sc.tagMu.Unlock()
+	if _, dup := sc.streamTags[tag]; dup {
+		return false
+	}
+	sc.streamTags[tag] = acks
+	return true
+}
+
+// streamExit unregisters a stream tag and retires its in-flight slot.
+func (sc *srvConn) streamExit(tag uint32) {
+	sc.tagMu.Lock()
+	delete(sc.streamTags, tag)
+	sc.tagMu.Unlock()
+	sc.s.met.taggedStream(-1)
+	sc.done()
+	sc.streams.Done()
+}
+
+// startSubscribe validates a subscribe/catch-up request and spawns its
+// stream goroutine. The tag becomes a server-push channel on the shared
+// connection — unary requests keep flowing on other tags while sealed
+// WAL records stream out on this one, and the subscriber's opReplAck
+// frames are routed back to it by tag (routeAck).
+func (sc *srvConn) startSubscribe(tag uint32, rq request) {
+	s := sc.s
+	w := tagWriter{sc: sc, tag: tag}
 	b := s.cfg.Repl
 	if b == nil {
-		s.touchWrite(conn)
-		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
+		s.met.badRequest()
+		_ = w.send(encodeResponse(stBadReq, []byte("kvnet: replication not enabled")))
+		return
 	}
 	shard, afterSeq, gen, err := decodeSubscribeKey(rq.key)
 	if err != nil {
 		s.met.badRequest()
-		s.touchWrite(conn)
-		return writeFrame(conn, encodeResponse(stBadReq, []byte("kvnet: malformed subscribe request")))
+		_ = w.send(encodeResponse(stBadReq, []byte("kvnet: malformed subscribe request")))
+		return
 	}
 	tail := rq.op == opSubscribe
-
-	// The ack reader feeds a capacity-1 keep-latest mailbox: acks are
+	// Acks land in a capacity-1 keep-latest mailbox: they are
 	// cumulative, so only the newest matters and the reader never
-	// blocks behind a slow publisher loop. Reader exit (conn death)
-	// also ends the subscription.
+	// blocks behind a slow publisher loop.
 	acks := make(chan uint64, 1)
-	readerDone := make(chan struct{})
+	if !sc.addStream(tag, acks) {
+		s.met.badRequest()
+		_ = w.send(encodeResponse(stBadReq, []byte("kvnet: tag already carries a stream")))
+		return
+	}
+	sc.streams.Add(1)
+	sc.inflight.Add(1)
+	s.met.taggedStream(1)
 	go func() {
-		defer close(readerDone)
-		for {
-			_ = conn.SetReadDeadline(time.Time{}) // acks are sparse; the stream has its own liveness
-			frame, err := readFrame(conn, maxFrameWire)
-			if err != nil {
-				return
-			}
-			arq, err := decodeRequest(frame)
-			if err != nil || arq.op != opReplAck || len(arq.key) != watermarkBytes {
-				return
-			}
-			seq := binary.BigEndian.Uint64(arq.key[4:])
-			select {
-			case acks <- seq:
-			default:
-				select {
-				case <-acks:
-				default:
-				}
-				select {
-				case acks <- seq:
-				default:
-				}
-			}
+		defer sc.streamExit(tag)
+		if err := s.runSubscribe(w, b, shard, afterSeq, gen, tail, acks); err != nil && !errors.Is(err, net.ErrClosed) {
+			s.logf("kvnet: subscribe stream error: %v", err)
 		}
 	}()
+}
 
-	// stop closes on server drain, connection death, or handler exit.
+// runSubscribe drives the backend's Subscribe for one stream tag,
+// translating events to frames.
+func (s *Server) runSubscribe(w tagWriter, b ReplBackend, shard uint32, afterSeq, gen uint64, tail bool, acks <-chan uint64) error {
+	// stop closes on server drain or connection teardown.
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	handlerDone := make(chan struct{})
@@ -404,32 +416,31 @@ func (s *Server) serveSubscribe(conn net.Conn, rq request) error {
 	go func() {
 		select {
 		case <-s.closing:
-		case <-readerDone:
+		case <-w.sc.stop:
 		case <-handlerDone:
 		}
 		stopOnce.Do(func() { close(stop) })
 	}()
 
 	emit := func(ev ReplEvent) error {
-		s.touchWrite(conn)
+		s.met.taggedPush()
 		switch ev.Kind {
 		case EvSegStart:
-			return writeFrame(conn, encodeResponse(stSegStart, u64be(ev.Seq)))
+			return w.send(encodeResponse(stSegStart, u64be(ev.Seq)))
 		case EvRecord:
-			return writeFrame(conn, encodeResponse(stReplRec, ev.Rec))
+			return w.send(encodeResponse(stReplRec, ev.Rec))
 		case EvHeartbeat:
-			return writeFrame(conn, encodeResponse(stReplBeat, u64be(ev.Seq)))
+			return w.send(encodeResponse(stReplBeat, u64be(ev.Seq)))
 		case EvSnapshotNeeded:
-			return writeFrame(conn, encodeResponse(stSnapAvail, u64be(ev.Seq)))
+			return w.send(encodeResponse(stSnapAvail, u64be(ev.Seq)))
 		default:
 			return fmt.Errorf("kvnet: unknown repl event kind %d", ev.Kind)
 		}
 	}
-	err = b.Subscribe(shard, afterSeq, gen, tail, acks, stop, emit)
+	err := b.Subscribe(shard, afterSeq, gen, tail, acks, stop, emit)
 	switch {
 	case errors.Is(err, aria.ErrFenced):
-		s.touchWrite(conn)
-		return writeFrame(conn, encodeResponse(stFenced, []byte(err.Error())))
+		return w.send(encodeResponse(stFenced, []byte(err.Error())))
 	case err != nil:
 		return err
 	}
@@ -437,13 +448,11 @@ func (s *Server) serveSubscribe(conn net.Conn, rq request) error {
 	case <-s.closing:
 		// Graceful drain: a typed goodbye so the subscriber redials
 		// instead of interpreting the close as a failure.
-		s.touchWrite(conn)
-		return writeFrame(conn, encodeResponse(stDraining, nil))
+		return w.send(encodeResponse(stDraining, nil))
 	default:
 	}
 	if !tail {
-		s.touchWrite(conn)
-		return writeFrame(conn, encodeResponse(stDone, nil))
+		return w.send(encodeResponse(stDone, nil))
 	}
 	return nil
 }
@@ -521,32 +530,55 @@ func (c *Client) ReplStatus() (ReplInfo, error) {
 	return info, err
 }
 
-// Subscription is a client-side subscribe stream: a dedicated
-// connection carrying sealed WAL records one way and applied-sequence
-// acks the other. It is not retried or redialed internally — the
-// replica applier owns that policy.
+// Subscription is a client-side subscribe stream carrying sealed WAL
+// records one way and applied-sequence acks the other. It runs either on
+// a dedicated connection (DialSubscribe) or as one tag on a client's
+// multiplexed data connection (Client.SubscribeStream). It is not
+// retried or redialed internally — the replica applier owns that policy.
 type Subscription struct {
-	conn net.Conn
-	wmu  sync.Mutex // serializes ack writes against each other
+	src streamSrc
+}
+
+// subscribeRequest builds the stream-opening request body.
+func subscribeRequest(shard uint32, afterSeq, gen uint64, tail bool) []byte {
+	op := byte(opSegmentCatchup)
+	if tail {
+		op = opSubscribe
+	}
+	return encodeRequest(op, encodeSubscribeKey(shard, afterSeq, gen), nil, 0)
 }
 
 // DialSubscribe opens a subscribe (tail=true) or catch-up (tail=false)
-// stream for one shard, starting after afterSeq, identifying the
-// subscriber's replication generation for fencing.
+// stream for one shard on a dedicated connection, starting after
+// afterSeq, identifying the subscriber's replication generation for
+// fencing.
 func DialSubscribe(addr string, shard uint32, afterSeq, gen uint64, tail bool, dialTimeout time.Duration) (*Subscription, error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	op := byte(opSegmentCatchup)
-	if tail {
-		op = opSubscribe
-	}
-	if err := writeFrame(conn, encodeRequest(op, encodeSubscribeKey(shard, afterSeq, gen), nil, 0)); err != nil {
+	if err := clientHello(conn, dialTimeout); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return &Subscription{conn: conn}, nil
+	src := &connStream{conn: conn}
+	if err := src.write(subscribeRequest(shard, afterSeq, gen, tail)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Subscription{src: src}, nil
+}
+
+// SubscribeStream opens the same stream as one tag on this client's
+// multiplexed data connection, sharing it with unary traffic and other
+// streams. Closing the subscription abandons its tag; the connection
+// stays usable.
+func (c *Client) SubscribeStream(shard uint32, afterSeq, gen uint64, tail bool) (*Subscription, error) {
+	src, err := c.openMuxStream(subscribeRequest(shard, afterSeq, gen, tail))
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{src: src}, nil
 }
 
 // Next returns the stream's next event, waiting at most timeout (<= 0
@@ -554,18 +586,11 @@ func DialSubscribe(addr string, shard uint32, afterSeq, gen uint64, tail bool, d
 // a completed catch-up (stDone), ErrDraining, ErrFenced (matching
 // aria.ErrFenced), or the transport failure that ended the stream.
 func (s *Subscription) Next(timeout time.Duration) (ReplEvent, error) {
-	if timeout > 0 {
-		_ = s.conn.SetReadDeadline(time.Now().Add(timeout))
-	} else {
-		_ = s.conn.SetReadDeadline(time.Time{})
-	}
-	resp, err := readFrame(s.conn, maxReplFrameWire)
+	resp, release, err := s.src.next(timeout)
 	if err != nil {
 		return ReplEvent{}, err
 	}
-	if len(resp) < 1 {
-		return ReplEvent{}, errMalformed
-	}
+	defer release()
 	body := resp[1:]
 	seqBody := func() (uint64, error) {
 		if len(body) != 8 {
@@ -578,7 +603,8 @@ func (s *Subscription) Next(timeout time.Duration) (ReplEvent, error) {
 		seq, err := seqBody()
 		return ReplEvent{Kind: EvSegStart, Seq: seq}, err
 	case stReplRec:
-		return ReplEvent{Kind: EvRecord, Rec: body}, nil
+		// Copy: body may alias a pooled frame buffer released on return.
+		return ReplEvent{Kind: EvRecord, Rec: append([]byte(nil), body...)}, nil
 	case stReplBeat:
 		seq, err := seqBody()
 		return ReplEvent{Kind: EvHeartbeat, Seq: seq}, err
@@ -599,16 +625,15 @@ func (s *Subscription) Next(timeout time.Duration) (ReplEvent, error) {
 // Ack reports the subscriber's highest applied sequence number for the
 // stream's shard back to the publisher.
 func (s *Subscription) Ack(shard uint32, appliedSeq uint64) error {
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
 	key := make([]byte, watermarkBytes)
 	binary.BigEndian.PutUint32(key[:4], shard)
 	binary.BigEndian.PutUint64(key[4:], appliedSeq)
-	return writeFrame(s.conn, encodeRequest(opReplAck, key, nil, 0))
+	return s.src.write(encodeRequest(opReplAck, key, nil, 0))
 }
 
-// Close closes the stream's connection.
-func (s *Subscription) Close() error { return s.conn.Close() }
+// Close tears the stream down: a dedicated connection closes; a shared
+// data connection stays open with the stream's tag abandoned.
+func (s *Subscription) Close() error { return s.src.close() }
 
 // FetchSnapshot transfers the newest sealed snapshot file for shard
 // from addr, returning its covered sequence and raw bytes (verbatim —
@@ -620,9 +645,12 @@ func FetchSnapshot(addr string, shard uint32, timeout time.Duration) (uint64, []
 		return 0, nil, err
 	}
 	defer conn.Close()
+	if err := clientHello(conn, timeout); err != nil {
+		return 0, nil, err
+	}
 	key := make([]byte, 4)
 	binary.BigEndian.PutUint32(key, shard)
-	if err := writeFrame(conn, encodeRequest(opSnapshotTransfer, key, nil, 0)); err != nil {
+	if err := writeFrame(conn, taggedPayload(soleStreamTag, encodeRequest(opSnapshotTransfer, key, nil, 0))); err != nil {
 		return 0, nil, err
 	}
 	touch := func() {
@@ -630,13 +658,21 @@ func FetchSnapshot(addr string, shard uint32, timeout time.Duration) (uint64, []
 			_ = conn.SetReadDeadline(time.Now().Add(timeout))
 		}
 	}
-	touch()
-	resp, err := readFrame(conn, maxReplFrameWire)
+	next := func() ([]byte, error) {
+		touch()
+		payload, err := readFrame(conn, maxTaggedReplWire)
+		if err != nil {
+			return nil, err
+		}
+		_, resp, err := splitTag(payload)
+		if err != nil || len(resp) < 1 {
+			return nil, errMalformed
+		}
+		return resp, nil
+	}
+	resp, err := next()
 	if err != nil {
 		return 0, nil, err
-	}
-	if len(resp) < 1 {
-		return 0, nil, errMalformed
 	}
 	if resp[0] != stOK {
 		return 0, nil, statusErr(resp[0], resp[1:])
@@ -647,13 +683,9 @@ func FetchSnapshot(addr string, shard uint32, timeout time.Duration) (uint64, []
 	covered := binary.BigEndian.Uint64(resp[1:])
 	var data []byte
 	for {
-		touch()
-		resp, err := readFrame(conn, maxReplFrameWire)
+		resp, err := next()
 		if err != nil {
 			return 0, nil, fmt.Errorf("kvnet: snapshot transfer cut short: %w", err)
-		}
-		if len(resp) < 1 {
-			return 0, nil, errMalformed
 		}
 		switch resp[0] {
 		case stSnapChunk:

@@ -1,6 +1,7 @@
 package kvnet
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +44,14 @@ type ServerConfig struct {
 	// DrainTimeout bounds how long Close waits for in-flight connections
 	// before force-closing them (default 5s).
 	DrainTimeout time.Duration
+	// ConnWorkers is the per-connection worker-pool size: how many
+	// requests one connection executes concurrently (default 8). Tags
+	// beyond it queue in arrival order; the pool bounds goroutines per
+	// connection no matter how deep the client pipelines. On a store
+	// that is not ConcurrentSafe the workers still serialize on the
+	// store mutex — the pool then only overlaps wire decode with store
+	// work.
+	ConnWorkers int
 	// Metrics, when non-nil, instruments the server into the given
 	// registry: request counts and service-time histograms by operation,
 	// wire bytes in/out, connection admission/shedding, corrupt and
@@ -83,6 +92,9 @@ func (c *ServerConfig) fillDefaults() {
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.ConnWorkers == 0 {
+		c.ConnWorkers = 8
 	}
 	if c.InvalHeartbeat == 0 {
 		c.InvalHeartbeat = 500 * time.Millisecond
@@ -290,68 +302,374 @@ func (s *Server) forget(conn net.Conn) {
 	s.connMu.Unlock()
 }
 
+// srvJob is one decoded request waiting for a pool worker. buf is the
+// pooled payload backing rq's slices; the worker releases it after the
+// request is served.
+type srvJob struct {
+	tag uint32
+	rq  request
+	buf *[]byte
+}
+
+// srvConn is the per-connection state of the multiplexed protocol: one
+// reader (the handle goroutine) decoding tagged frames, a bounded worker
+// pool executing requests out of order, long-lived goroutines for push
+// streams (replication subscriptions and cache invalidations — just tags
+// on the same connection), and one writer goroutine coalescing response
+// frames into writev-style flushes.
+type srvConn struct {
+	s    *Server
+	conn net.Conn // metrics-wrapped
+
+	jobs chan srvJob  // reader → workers; closed by the reader at teardown
+	wq   chan *[]byte // assembled wire frames → writer; pooled, writer releases
+
+	// stop tells stream goroutines to wind down; sends still succeed so
+	// in-flight responses can drain. down means the connection is dead:
+	// sends fail fast. abort closes both; normal teardown only stop.
+	stop     chan struct{}
+	stopOnce sync.Once
+	down     chan struct{}
+	downOnce sync.Once
+
+	workers    sync.WaitGroup
+	streams    sync.WaitGroup
+	writerDone chan struct{}
+
+	// inflight counts queued + executing requests and live streams; the
+	// reader arms the idle deadline only when it is zero, so a slow op
+	// never trips the idle reaper.
+	inflight atomic.Int64
+
+	tagMu      sync.Mutex
+	streamTags map[uint32]chan uint64 // live stream tag → ack box (nil for inval)
+}
+
+// tagWriter delivers response frames for one tag to the connection's
+// writer goroutine. payload is status byte + body, exactly what
+// encodeResponse builds.
+type tagWriter struct {
+	sc  *srvConn
+	tag uint32
+}
+
+func (t tagWriter) send(payload []byte) error {
+	bp := getBuf()
+	*bp = appendFrame((*bp)[:0], t.tag, payload)
+	select {
+	case t.sc.wq <- bp:
+		return nil
+	case <-t.sc.down:
+		putBuf(bp)
+		return net.ErrClosed
+	}
+}
+
+// quiesce signals stream goroutines to wind down.
+func (sc *srvConn) quiesce() { sc.stopOnce.Do(func() { close(sc.stop) }) }
+
+// abort force-closes the connection: pending sends fail fast and the
+// blocked reader wakes. Used on write failure and handler panic; a
+// normal teardown drains instead.
+func (sc *srvConn) abort() {
+	sc.quiesce()
+	sc.downOnce.Do(func() {
+		close(sc.down)
+		_ = sc.conn.Close()
+	})
+}
+
+// done retires one unary request. When it was the last in-flight work it
+// re-arms the idle deadline, so a reader already blocked on the next
+// header becomes reapable again.
+func (sc *srvConn) done() {
+	if sc.inflight.Add(-1) == 0 && sc.s.cfg.IdleTimeout > 0 {
+		_ = sc.conn.SetReadDeadline(time.Now().Add(sc.s.cfg.IdleTimeout))
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.forget(conn)
-	defer conn.Close()
 	defer s.met.connClosed()
 	// The wrapper counts wire bytes; deadlines and Close pass through to
 	// the underlying connection.
-	wire := s.met.wrap(conn)
+	sc := &srvConn{
+		s:          s,
+		conn:       s.met.wrap(conn),
+		jobs:       make(chan srvJob, s.cfg.ConnWorkers),
+		wq:         make(chan *[]byte, 64),
+		stop:       make(chan struct{}),
+		down:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		streamTags: make(map[uint32]chan uint64),
+	}
+	if !s.hello(sc) {
+		_ = conn.Close()
+		return
+	}
+	for i := 0; i < s.cfg.ConnWorkers; i++ {
+		sc.workers.Add(1)
+		go sc.worker()
+	}
+	s.met.poolWorkers(float64(s.cfg.ConnWorkers))
+	go sc.writer()
+	reason := sc.readLoop()
+	// Teardown. Order matters for the corrupt-frame contract: stop
+	// accepting work, let every in-flight request finish and its response
+	// reach the write queue, and only then append the tag-0 stCorrupt
+	// notice. TCP ordering then turns the drain into a guarantee the
+	// client can rely on: any request still unanswered when the client
+	// reads the notice was never processed, so blanket retry — writes
+	// included — is safe.
+	close(sc.jobs)
+	sc.quiesce()
+	sc.workers.Wait()
+	sc.streams.Wait()
+	s.met.poolWorkers(float64(-s.cfg.ConnWorkers))
+	if reason != nil {
+		var payload []byte
+		switch {
+		case errors.Is(reason, errCorruptFrame):
+			s.met.corruptFrame()
+			payload = encodeResponse(stCorrupt, []byte(reason.Error()))
+		case errors.Is(reason, errMalformed):
+			s.met.badRequest()
+			payload = encodeResponse(stBadReq, []byte(reason.Error()))
+		}
+		if payload != nil {
+			select {
+			case <-sc.down:
+			default:
+				bp := getBuf()
+				*bp = appendFrame((*bp)[:0], 0, payload)
+				sc.wq <- bp // all other producers have exited
+			}
+		}
+	}
+	close(sc.wq)
+	<-sc.writerDone
+	_ = conn.Close()
+}
+
+// hello performs the version handshake as the connection's first
+// exchange. It returns false when the connection must close instead.
+func (s *Server) hello(sc *srvConn) bool {
+	if s.cfg.IdleTimeout > 0 {
+		_ = sc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	payload, err := readFrame(sc.conn, maxTaggedWire)
+	if err != nil {
+		switch {
+		case errors.Is(err, errCorruptFrame):
+			// Damaged in transit, not a version mismatch: answer with the
+			// retryable notice, exactly like a corrupt mid-session frame.
+			s.met.corruptFrame()
+			s.touchWrite(sc.conn)
+			_ = writeFrame(sc.conn, encodeResponse(stCorrupt, []byte(err.Error())))
+		case errors.Is(err, errMalformed):
+			s.rejectVersion(sc.conn, err.Error())
+		}
+		return false
+	}
+	tag, body, err := splitTag(payload)
+	if err != nil || tag != 0 {
+		s.rejectVersion(sc.conn, "first frame is not a hello")
+		return false
+	}
+	ver, ok := parseHello(body)
+	if !ok {
+		s.rejectVersion(sc.conn, "first frame is not a hello")
+		return false
+	}
+	if ver != protocolVersion {
+		s.rejectVersion(sc.conn, fmt.Sprintf("server speaks protocol %d, client sent %d", protocolVersion, ver))
+		return false
+	}
+	s.touchWrite(sc.conn)
+	var vb [2]byte
+	binary.BigEndian.PutUint16(vb[:], protocolVersion)
+	bp := getBuf()
+	*bp = appendFrame((*bp)[:0], 0, encodeResponse(stOK, vb[:]))
+	_, werr := sc.conn.Write(*bp)
+	putBuf(bp)
+	return werr == nil
+}
+
+// rejectVersion answers a first frame that is not a valid hello. The
+// rejection is written untagged — status byte first — so a version-1
+// client parses a typed status instead of misreading a tagged frame.
+func (s *Server) rejectVersion(conn net.Conn, msg string) {
+	s.met.badRequest()
+	s.touchWrite(conn)
+	_ = writeFrame(conn, encodeResponse(stBadVersion, []byte("protocol version mismatch: "+msg)))
+}
+
+// readLoop is the connection's reader: it decodes tagged frames and
+// dispatches them — unary requests to the worker pool, subscriptions to
+// new stream goroutines, acks to their stream's mailbox — until the
+// connection dies or the stream desynchronizes. The returned error is
+// the teardown reason for frames that deserve a tag-0 notice (corrupt or
+// oversized); a clean EOF or transport error returns nil.
+func (sc *srvConn) readLoop() error {
+	s := sc.s
 	for {
 		if s.cfg.IdleTimeout > 0 {
-			_ = wire.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		}
-		frame, err := readFrame(wire, maxFrameWire)
-		if err != nil {
-			switch {
-			case errors.Is(err, errCorruptFrame):
-				// The request was damaged in transit and never decoded:
-				// tell the client it is safe to retry, then resync by
-				// closing the (possibly desynchronized) stream.
-				s.met.corruptFrame()
-				s.touchWrite(wire)
-				_ = writeFrame(wire, encodeResponse(stCorrupt, []byte(err.Error())))
-			case errors.Is(err, errMalformed):
-				s.met.badRequest()
-				s.touchWrite(wire)
-				_ = writeFrame(wire, encodeResponse(stBadReq, []byte(err.Error())))
+			if sc.inflight.Load() == 0 {
+				_ = sc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			} else {
+				// Mid-flight: a slow op must not trip the idle reaper
+				// while the client waits for its response.
+				_ = sc.conn.SetReadDeadline(time.Time{})
 			}
-			return // EOF, timeout, or broken connection
 		}
-		rq, err := decodeRequest(frame)
+		bp, err := readFramePooled(sc.conn, maxTaggedWire)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && sc.inflight.Load() > 0 {
+				// The idle deadline raced a request completion; the
+				// connection is mid-flight, not idle.
+				continue
+			}
+			if errors.Is(err, errCorruptFrame) || errors.Is(err, errMalformed) {
+				return err
+			}
+			return nil // EOF, idle timeout, or broken connection
+		}
+		tag, body, terr := splitTag(*bp)
+		if terr != nil || tag == 0 {
+			// Frame boundaries are intact (the payload was consumed), so
+			// an unattributable or reserved-tag request costs a tag-0
+			// complaint, not the connection.
 			s.met.badRequest()
-			s.touchWrite(wire)
-			_ = writeFrame(wire, encodeResponse(stBadReq, []byte(err.Error())))
-			return
+			sc.respond(0, encodeResponse(stBadReq, []byte("request on reserved tag 0")))
+			putBuf(bp)
+			continue
 		}
-		s.touchWrite(wire)
-		if rq.op == opSubscribe || rq.op == opSegmentCatchup {
-			// The connection becomes a dedicated replication stream; the
-			// handler owns it until the stream ends, then the connection
-			// closes (a subscriber redials to resume).
-			if err := s.serveSubscribe(wire, rq); err != nil && !errors.Is(err, net.ErrClosed) {
-				s.logf("kvnet: subscribe stream error: %v", err)
-			}
-			return
+		rq, derr := decodeRequest(body)
+		if derr != nil {
+			s.met.badRequest()
+			sc.respond(tag, encodeResponse(stBadReq, []byte(derr.Error())))
+			putBuf(bp)
+			continue
 		}
-		if rq.op == opInvalSub {
-			// Same dedication for invalidation streams: the handler owns
-			// the connection until the stream ends (drain, overflow, or
-			// connection death), then the cache redials cold.
-			if err := s.serveInvalSub(wire); err != nil && !errors.Is(err, net.ErrClosed) {
-				s.logf("kvnet: invalidation stream error: %v", err)
-			}
-			return
+		switch rq.op {
+		case opHello:
+			s.met.badRequest()
+			sc.respond(tag, encodeResponse(stBadReq, []byte("duplicate hello")))
+			putBuf(bp)
+		case opSubscribe, opSegmentCatchup:
+			sc.startSubscribe(tag, rq)
+			putBuf(bp)
+		case opInvalSub:
+			sc.startInvalStream(tag)
+			putBuf(bp)
+		case opReplAck:
+			sc.routeAck(tag, rq)
+			putBuf(bp)
+		default:
+			sc.inflight.Add(1)
+			s.met.inflightDelta(1)
+			s.met.poolQueued(1)
+			sc.jobs <- srvJob{tag: tag, rq: rq, buf: bp}
 		}
+	}
+}
+
+// respond enqueues a response frame from the reader, best-effort.
+func (sc *srvConn) respond(tag uint32, payload []byte) {
+	bp := getBuf()
+	*bp = appendFrame((*bp)[:0], tag, payload)
+	select {
+	case sc.wq <- bp:
+	case <-sc.down:
+		putBuf(bp)
+	}
+}
+
+// routeAck forwards a subscriber's applied-seq ack to its stream's
+// keep-latest mailbox. Acks for a tag with no live stream are dropped —
+// they are advisory progress reports, never required for correctness.
+func (sc *srvConn) routeAck(tag uint32, rq request) {
+	if len(rq.key) != watermarkBytes {
+		sc.s.met.badRequest()
+		sc.respond(tag, encodeResponse(stBadReq, []byte("bad replication ack")))
+		return
+	}
+	seq := binary.BigEndian.Uint64(rq.key[4:])
+	sc.tagMu.Lock()
+	ch := sc.streamTags[tag]
+	sc.tagMu.Unlock()
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case ch <- seq:
+			return
+		default:
+		}
+		select {
+		case <-ch: // displace the stale ack; only the latest matters
+		default:
+		}
+	}
+}
+
+// worker executes queued requests until the reader closes the job
+// channel. A panic is confined to its request: the client gets stError
+// on the tag, the connection aborts, the worker and process survive.
+func (sc *srvConn) worker() {
+	defer sc.workers.Done()
+	for job := range sc.jobs {
+		sc.s.met.poolQueued(-1)
 		t0 := time.Now()
-		err = s.serveRecover(wire, rq)
-		s.met.request(rq.op, uint64(time.Since(t0)))
-		if err != nil {
-			if !errors.Is(err, net.ErrClosed) {
-				s.logf("kvnet: connection error: %v", err)
+		panicked := sc.s.serveRecover(tagWriter{sc: sc, tag: job.tag}, job.rq)
+		sc.s.met.request(job.rq.op, uint64(time.Since(t0)))
+		putBuf(job.buf)
+		sc.s.met.inflightDelta(-1)
+		sc.done()
+		if panicked {
+			sc.abort()
+		}
+	}
+}
+
+// writer is the connection's single write path: it collects pending
+// response frames and hands them to the kernel in one writev-style flush
+// (net.Buffers), recycling the frame buffers afterwards. On a write
+// failure it aborts the connection but keeps draining the queue so no
+// producer ever blocks on a dead connection.
+func (sc *srvConn) writer() {
+	defer close(sc.writerDone)
+	var bufs net.Buffers
+	var owned []*[]byte
+	failed := false
+	for bp := range sc.wq {
+		bufs, owned = bufs[:0], owned[:0]
+		bufs = append(bufs, *bp)
+		owned = append(owned, bp)
+	gather:
+		for len(owned) < 32 {
+			select {
+			case more, ok := <-sc.wq:
+				if !ok {
+					break gather
+				}
+				bufs = append(bufs, *more)
+				owned = append(owned, more)
+			default:
+				break gather
 			}
-			return
+		}
+		if !failed {
+			sc.s.touchWrite(sc.conn)
+			if _, err := bufs.WriteTo(sc.conn); err != nil {
+				failed = true
+				sc.abort()
+			}
+		}
+		for _, b := range owned {
+			putBuf(b)
 		}
 	}
 }
@@ -364,22 +682,25 @@ func (s *Server) touchWrite(conn net.Conn) {
 }
 
 // serveRecover runs one request, converting a handler panic into an
-// stError response plus connection close instead of process death.
-func (s *Server) serveRecover(conn net.Conn, rq request) (err error) {
+// stError response plus connection abort instead of process death.
+func (s *Server) serveRecover(w tagWriter, rq request) (panicked bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.met.panicked()
 			s.logf("kvnet: panic serving op %d: %v", rq.op, p)
-			s.touchWrite(conn)
-			_ = writeFrame(conn, encodeResponse(stError, []byte(fmt.Sprintf("internal error: %v", p))))
-			err = fmt.Errorf("kvnet: handler panic: %v", p)
+			_ = w.send(encodeResponse(stError, []byte(fmt.Sprintf("internal error: %v", p))))
+			panicked = true
 		}
 	}()
-	return s.serve(conn, rq)
+	if err := s.serve(w, rq); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.logf("kvnet: connection error: %v", err)
+	}
+	return false
 }
 
-// serve executes one request against the store and writes the response.
-func (s *Server) serve(conn net.Conn, rq request) error {
+// serve executes one request against the store and emits the response
+// frames on the request's tag.
+func (s *Server) serve(w tagWriter, rq request) error {
 	if !s.concurrent {
 		// One enclave thread: every request takes the global lock. A
 		// concurrency-safe store serializes internally instead, so two
@@ -391,19 +712,19 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 	// typed sentinel before any store access, and a replica rejects
 	// writes the same way.
 	if resp := s.replGate(rq); resp != nil {
-		return writeFrame(conn, resp)
+		return w.send(resp)
 	}
 	if rq.op == opReplStatus {
-		return s.serveReplStatus(conn)
+		return s.serveReplStatus(w)
 	}
 	if rq.op == opSnapshotTransfer {
-		return s.serveSnapshotTransfer(conn, rq)
+		return s.serveSnapshotTransfer(w, rq)
 	}
 	// Crossing into the enclave costs one ECALL per request. Batch ops
 	// skip this: their native store path charges one amortized batched
 	// entry for the whole request instead.
 	if rq.op >= opMGet && rq.op <= opMDelete {
-		return s.serveBatch(conn, rq)
+		return s.serveBatch(w, rq)
 	}
 	if ec, ok := s.store.(aria.EdgeCaller); ok {
 		ec.ChargeEcall()
@@ -415,53 +736,53 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		// stLagging instead of stale data.
 		if len(rq.value) > 0 {
 			if resp := s.replLagCheck(rq.value); resp != nil {
-				return writeFrame(conn, resp)
+				return w.send(resp)
 			}
 		}
 		v, err := s.store.Get(rq.key)
 		if err != nil {
-			return writeFrame(conn, errResponse(err))
+			return w.send(errResponse(err))
 		}
-		return writeFrame(conn, encodeResponse(stOK, v))
+		return w.send(encodeResponse(stOK, v))
 	case opPut:
 		if err := s.store.Put(rq.key, rq.value); err != nil {
-			return writeFrame(conn, errResponse(err))
+			return w.send(errResponse(err))
 		}
 		s.invalPublish(rq.key)
 		body, err := s.replWriteAck(rq.key)
 		if err != nil {
-			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+			return w.send(encodeResponse(stError, []byte(err.Error())))
 		}
-		return writeFrame(conn, encodeResponse(stOK, body))
+		return w.send(encodeResponse(stOK, body))
 	case opDelete:
 		if err := s.store.Delete(rq.key); err != nil {
-			return writeFrame(conn, errResponse(err))
+			return w.send(errResponse(err))
 		}
 		s.invalPublish(rq.key)
 		body, err := s.replWriteAck(rq.key)
 		if err != nil {
-			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+			return w.send(encodeResponse(stError, []byte(err.Error())))
 		}
-		return writeFrame(conn, encodeResponse(stOK, body))
+		return w.send(encodeResponse(stOK, body))
 	case opStats:
 		body, err := json.Marshal(s.replOverlay(s.store.Stats()))
 		if err != nil {
-			return writeFrame(conn, encodeResponse(stError, []byte(err.Error())))
+			return w.send(encodeResponse(stError, []byte(err.Error())))
 		}
-		return writeFrame(conn, encodeResponse(stOK, body))
+		return w.send(encodeResponse(stOK, body))
 	case opCheckpoint:
 		d, ok := s.store.(aria.Durable)
 		if !ok {
-			return writeFrame(conn, errResponse(aria.ErrNotDurable))
+			return w.send(errResponse(aria.ErrNotDurable))
 		}
 		if err := d.Checkpoint(); err != nil {
-			return writeFrame(conn, errResponse(err))
+			return w.send(errResponse(err))
 		}
-		return writeFrame(conn, encodeResponse(stOK, nil))
+		return w.send(encodeResponse(stOK, nil))
 	case opScan:
 		r, ok := s.store.(aria.Ranger)
 		if !ok {
-			return writeFrame(conn, errResponse(aria.ErrNoScan))
+			return w.send(errResponse(aria.ErrNoScan))
 		}
 		var end []byte
 		if len(rq.value) > 0 {
@@ -470,8 +791,7 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 		limit := rq.limit
 		var streamErr error
 		err := r.Scan(rq.key, end, func(k, v []byte) bool {
-			s.touchWrite(conn)
-			if streamErr = writeFrame(conn, encodeResponse(stMore, encodePair(k, v))); streamErr != nil {
+			if streamErr = w.send(encodeResponse(stMore, encodePair(k, v))); streamErr != nil {
 				return false
 			}
 			if limit > 0 {
@@ -489,12 +809,12 @@ func (s *Server) serve(conn net.Conn, rq request) error {
 			// Sharded stores always expose the Ranger surface and report
 			// unsupported indexes via the sentinel instead; errResponse
 			// keeps the wire response identical to a store without Ranger.
-			return writeFrame(conn, errResponse(err))
+			return w.send(errResponse(err))
 		}
-		return writeFrame(conn, encodeResponse(stDone, nil))
+		return w.send(encodeResponse(stDone, nil))
 	default:
 		s.met.badRequest()
-		return writeFrame(conn, encodeResponse(stBadReq, []byte(fmt.Sprintf("unknown op %d", rq.op))))
+		return w.send(encodeResponse(stBadReq, []byte(fmt.Sprintf("unknown op %d", rq.op))))
 	}
 }
 
