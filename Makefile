@@ -5,12 +5,21 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
+# Version-suffixed tool binaries, so CI can cache them keyed on the
+# pinned versions and a version bump naturally misses the cache.
+TOOLDIR ?= $(CURDIR)/.tools
+STATICCHECK_BIN := $(TOOLDIR)/staticcheck-$(STATICCHECK_VERSION)
+GOVULNCHECK_BIN := $(TOOLDIR)/govulncheck-$(GOVULNCHECK_VERSION)
+
+# Iterations for the chaos suites; the nightly workflow raises this.
+CHAOS_COUNT ?= 1
+
 # Total statement coverage must not fall below this floor (see cover).
 COVER_BASELINE ?= 78.0
 
 .PHONY: all build test race vet fuzz fuzz-smoke docs-check metrics-guard \
-	lint cover bench-smoke bench-smoke-demo check bench-json bench-wire \
-	chaos-repl chaos-ccache clean
+	lint lint-tools cover bench-smoke bench-smoke-demo check bench-json \
+	bench-wire chaos-repl chaos-ccache clean
 
 # Parameters for the committed BENCH_*.json snapshots: big enough caches
 # that shard scaling isn't quantization-bound, small enough to run in
@@ -43,11 +52,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeInvalEntries -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzSplitTag -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzParseHello -fuzztime=$(FUZZTIME) ./kvnet
+	$(GO) test -fuzz=FuzzDecodeTxnRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./wal
 
-# CI's fuzzing pass: every fuzzer above for 30 seconds each. The seeded
-# corpora under testdata/ run on every plain `go test` regardless.
-FUZZSMOKETIME ?= 30s
+# CI's PR-path fuzzing pass: every fuzzer above, briefly. The seeded
+# corpora under testdata/ run on every plain `go test` regardless; the
+# long exploratory runs live in the nightly workflow (FUZZTIME=5m).
+FUZZSMOKETIME ?= 10s
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=$(FUZZSMOKETIME)
 
@@ -59,7 +70,7 @@ docs-check:
 # with zero acknowledged-write loss, partition staleness bounds, link
 # flap convergence, and graceful drain/redial (see repl/repl_test.go).
 chaos-repl:
-	$(GO) test -race -count=1 -v -run \
+	$(GO) test -race -count=$(CHAOS_COUNT) -v -run \
 		'TestFailoverZeroAckedWriteLoss|TestStalenessBoundAcrossPartition|TestLinkFlapConvergence|TestGracefulDrainRedial' \
 		./repl
 
@@ -67,7 +78,7 @@ chaos-repl:
 # blackhole cycles with zero stale reads past an acked invalidation,
 # cold drop on redial, and the typed drain goodbye (see ccache).
 chaos-ccache:
-	$(GO) test -race -count=1 -v -run \
+	$(GO) test -race -count=$(CHAOS_COUNT) -v -run \
 		'TestChaosCcacheZeroStaleReads|TestCacheColdOnRedial|TestCacheDrainTyped' \
 		./ccache
 
@@ -77,10 +88,24 @@ metrics-guard:
 	METRICS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard -v .
 
 # Static analysis, pinned. Run on a machine with module-proxy access; the
-# tools are fetched by `go run`, never added to go.mod.
-lint:
-	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
-	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+# tools are installed into TOOLDIR under version-suffixed names (never
+# added to go.mod), so repeated runs — and CI restores keyed on the
+# versions — skip the build entirely.
+lint-tools: $(STATICCHECK_BIN) $(GOVULNCHECK_BIN)
+
+$(STATICCHECK_BIN):
+	mkdir -p $(TOOLDIR)
+	GOBIN=$(TOOLDIR) $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	mv $(TOOLDIR)/staticcheck $(STATICCHECK_BIN)
+
+$(GOVULNCHECK_BIN):
+	mkdir -p $(TOOLDIR)
+	GOBIN=$(TOOLDIR) $(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	mv $(TOOLDIR)/govulncheck $(GOVULNCHECK_BIN)
+
+lint: lint-tools
+	$(STATICCHECK_BIN) ./...
+	$(GOVULNCHECK_BIN) ./...
 
 # Coverage gate: total statement coverage must stay at or above
 # COVER_BASELINE. Writes cover.html for the CI artifact.
@@ -95,7 +120,7 @@ cover:
 # Deterministic bench-regression smoke: re-run the committed BENCH_*.json
 # snapshots in-process and fail on >5% drift in any table value.
 bench-smoke:
-	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor|TestCcacheSpeedupFloor|TestWireSpeedupFloor' -v ./internal/bench
+	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor|TestCcacheSpeedupFloor|TestWireSpeedupFloor|TestYCSBSkewFloor' -v ./internal/bench
 
 # Prove the smoke guard has teeth: pricing enclave memory 6% higher must
 # push the committed tables out of tolerance.
@@ -110,6 +135,7 @@ bench-json:
 	$(GO) run ./cmd/aria-bench -exp persist -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp repl -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp ccache -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(GO) run ./cmd/aria-bench -exp ycsb -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(MAKE) bench-wire
 
 # Regenerate the wire-pipelining snapshot on its own. Wall-clock, not

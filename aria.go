@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/ariakv/aria/internal/baseline"
 	"github.com/ariakv/aria/internal/core"
@@ -128,6 +129,14 @@ var (
 	// applied the client's watermark; the client may wait and retry or
 	// fail over to the primary.
 	ErrLagging = errors.New("aria: replica lags behind the read's watermark")
+	// ErrCASMismatch marks a CompareAndSwap whose expected version no
+	// longer matches the key's current version: another writer got there
+	// first (or the key was deleted/expired). Re-read and retry.
+	ErrCASMismatch = errors.New("aria: compare-and-swap version mismatch")
+	// ErrTxnConflict marks a transaction commit whose version validation
+	// failed: a key in the read set changed (or appeared/disappeared)
+	// since it was read. Nothing was applied; rebuild and retry.
+	ErrTxnConflict = errors.New("aria: transaction conflict (validation failed)")
 )
 
 // FsyncPolicy selects when a durable store's WAL flushes to stable
@@ -320,6 +329,19 @@ type Options struct {
 	// MeasureOff creates the store with cycle accounting disabled (bulk
 	// load); call Store.SetMeasuring(true) before the measured window.
 	MeasureOff bool
+	// Now, when non-nil, replaces the wall clock the TTL machinery reads
+	// (expiry stamps, lazy-expiry checks, sweeper passes). Tests inject a
+	// fake clock here; nil (the default) uses time.Now. Expiry deadlines
+	// are stored as absolute timestamps, so the clock source must be
+	// monotone for expiry to behave sensibly.
+	Now func() time.Time
+	// TTLSweepEvery, when positive, starts a background sweeper that
+	// physically removes expired keys at this interval (expired keys are
+	// always logically absent on read regardless — the sweeper only
+	// reclaims memory). Each pass is charged to the cost simulator like
+	// any other enclave work. Zero (the default) disables the background
+	// goroutine: expired keys are reclaimed lazily as reads touch them.
+	TTLSweepEvery time.Duration
 	// Metrics, when non-nil, instruments the store into the given
 	// registry: per-operation latency histograms (wall nanoseconds and
 	// simulated cycles), operation/error counters, and scrape-time
@@ -394,6 +416,24 @@ type Stats struct {
 	// snapshot pairs loaded plus WAL records replayed.
 	RecoveredRecords uint64
 
+	// TxnCommits counts successfully committed multi-key transactions;
+	// the remaining transactional/TTL counters below cover the richer
+	// write semantics (CompareAndSwap, PutTTL, TxnCommit).
+	TxnCommits uint64
+	// TxnConflicts counts transaction commits rejected with
+	// ErrTxnConflict (version validation failed; nothing applied).
+	TxnConflicts uint64
+	// CASMismatches counts CompareAndSwap calls rejected with
+	// ErrCASMismatch.
+	CASMismatches uint64
+	// TTLExpired counts keys found expired by reads and reclaimed lazily.
+	TTLExpired uint64
+	// TTLSwept counts keys physically removed by background sweeper
+	// passes.
+	TTLSwept uint64
+	// TTLSweeps counts completed background sweeper passes.
+	TTLSweeps uint64
+
 	// ReplRole is the node's replication role ("primary", "replica",
 	// "fenced") when replication is active; empty otherwise. The
 	// replication fields are filled by the serving layer, not the store
@@ -422,6 +462,32 @@ func (s Stats) Health() HealthState {
 	}
 }
 
+// TxnOp is one operation of a multi-key transaction commit (see
+// Store.TxnCommit). An op either writes (put, delete, put-with-TTL) or
+// only validates (ReadOnly); any op may additionally carry a version
+// check that must hold at commit time.
+type TxnOp struct {
+	// Key is the operation's key.
+	Key []byte
+	// Value is the value to write. Ignored for deletes and read-only
+	// checks.
+	Value []byte
+	// Delete removes the key instead of writing Value.
+	Delete bool
+	// ReadOnly marks a pure validation entry: nothing is written, but
+	// the version check (which must be set) still gates the commit.
+	ReadOnly bool
+	// TTL, when positive, gives the written value a time-to-live,
+	// exactly like PutTTL. Ignored for deletes and read-only checks.
+	TTL time.Duration
+	// Check enables version validation: the key's current version must
+	// equal Version (0 = key absent) or the commit fails with
+	// ErrTxnConflict.
+	Check bool
+	// Version is the expected version when Check is set.
+	Version uint64
+}
+
 // Store is the public interface every scheme implements.
 type Store interface {
 	// Put inserts or updates a key.
@@ -445,6 +511,34 @@ type Store interface {
 	// the same amortized edge accounting and positional error contract
 	// as MGet.
 	MDelete(keys [][]byte) []error
+	// GetV returns a copy of the value stored under key together with
+	// the key's current version. Versions are assigned from a per-store
+	// monotonic counter on every successful write, so a version observed
+	// by GetV can later be handed to CompareAndSwap (or a Txn check) to
+	// detect intervening writes — including delete/recreate cycles, which
+	// always produce a fresh, strictly larger version (no ABA).
+	GetV(key []byte) (value []byte, version uint64, err error)
+	// CompareAndSwap writes value under key only if the key's current
+	// version equals expect; otherwise it returns ErrCASMismatch and
+	// changes nothing. expect == 0 means "the key must be absent"
+	// (insert-if-absent). The version check runs against trusted
+	// in-enclave metadata, so a successful CAS costs the same as a Put.
+	CompareAndSwap(key, value []byte, expect uint64) error
+	// PutTTL inserts or updates a key with a time-to-live: after ttl
+	// elapses the key is logically absent (reads return ErrNotFound) and
+	// is physically reclaimed lazily or by the background sweeper (see
+	// Options.TTLSweepEvery). ttl <= 0 stores the key without expiry,
+	// exactly like Put. Expiry deadlines are absolute timestamps sealed
+	// into the WAL and snapshots, so they survive recovery.
+	PutTTL(key, value []byte, ttl time.Duration) error
+	// TxnCommit atomically validates and applies a multi-key
+	// transaction: every op with Check set must find its key at exactly
+	// Version (0 = absent), or the whole commit fails with
+	// ErrTxnConflict and nothing is applied. On success all writes apply
+	// and become durable through one sealed WAL group-commit record, so
+	// recovery can never observe a partially applied transaction. Most
+	// callers use the Txn overlay type rather than building ops by hand.
+	TxnCommit(ops []TxnOp) error
 	// Stats returns a snapshot of operation and enclave counters.
 	Stats() Stats
 	// VerifyIntegrity audits the entire store offline, returning
@@ -562,8 +656,8 @@ func openStore(opts Options) (Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &coreStore{e: e, enc: enc, scheme: opts.Scheme,
-			g: integrityGuard{policy: opts.IntegrityPolicy}}, nil
+		return newSemStore(&coreStore{e: e, enc: enc, scheme: opts.Scheme,
+			g: integrityGuard{policy: opts.IntegrityPolicy}}, opts), nil
 	case ShieldStoreScheme:
 		s, err := shieldstore.New(enc, shieldstore.Options{
 			RootBudgetBytes: opts.ShieldStoreRootBytes,
@@ -574,8 +668,8 @@ func openStore(opts Options) (Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &shieldStore{s: s, enc: enc,
-			g: integrityGuard{policy: opts.IntegrityPolicy}}, nil
+		return newSemStore(&shieldStore{s: s, enc: enc,
+			g: integrityGuard{policy: opts.IntegrityPolicy}}, opts), nil
 	case BaselineHash, BaselineTree:
 		s, err := baseline.New(enc, baseline.Options{
 			ExpectedKeys: opts.ExpectedKeys,
@@ -588,8 +682,8 @@ func openStore(opts Options) (Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &baseStore{s: s, enc: enc, scheme: opts.Scheme,
-			g: integrityGuard{policy: opts.IntegrityPolicy}}, nil
+		return newSemStore(&baseStore{s: s, enc: enc, scheme: opts.Scheme,
+			g: integrityGuard{policy: opts.IntegrityPolicy}}, opts), nil
 	}
 	return nil, fmt.Errorf("aria: unknown scheme %v", opts.Scheme)
 }

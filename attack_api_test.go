@@ -96,10 +96,19 @@ func TestWholesaleReplayCaught(t *testing.T) {
 
 func TestBaselineOutOfAttackSurface(t *testing.T) {
 	// Baseline stores keep everything in the EPC: there is no untrusted
-	// state to corrupt, so they intentionally do not implement Corrupter.
+	// state to corrupt. The semantics layer passes the Corrupter surface
+	// through uniformly, so the contract is an empty arena — zero bytes,
+	// and no flip can ever land.
 	st := loadStore(t, BaselineHash, 10)
-	if _, ok := st.(Corrupter); ok {
-		t.Error("baseline store exposes a Corrupter over enclave memory")
+	cor, ok := st.(Corrupter)
+	if !ok {
+		t.Fatal("store does not expose the Corrupter surface")
+	}
+	if n := cor.UntrustedSize(); n != 0 {
+		t.Errorf("baseline store exposes %d untrusted bytes, want 0", n)
+	}
+	if cor.FlipUntrustedByte(0, 0x01) {
+		t.Error("flip landed on a store with no untrusted memory")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ariakv/aria"
 	"github.com/ariakv/aria/kvnet"
 	"github.com/ariakv/aria/obs"
 )
@@ -235,6 +236,46 @@ func (c *Cache) Put(key, value []byte) error {
 func (c *Cache) Delete(key []byte) error {
 	wm, err := c.cl.DeleteW(key)
 	c.selfInvalidate(key, wm)
+	return err
+}
+
+// CompareAndSwap writes key only if it is still at version expect,
+// invalidating the local entry like Put. The entry is dropped even on
+// kvnet.ErrCASMismatch: the miss forces a fresh read, which is exactly
+// what a CAS retry loop needs next.
+func (c *Cache) CompareAndSwap(key, value []byte, expect uint64) error {
+	wm, err := c.cl.CompareAndSwapW(key, value, expect)
+	c.selfInvalidate(key, wm)
+	return err
+}
+
+// PutTTL stores a pair that expires ttl from now, invalidating like
+// Put. The cached entry carries no expiry of its own — the server
+// answers not-found once the key expires, and that miss result is what
+// later Gets observe.
+func (c *Cache) PutTTL(key, value []byte, ttl time.Duration) error {
+	wm, err := c.cl.PutTTLW(key, value, ttl)
+	c.selfInvalidate(key, wm)
+	return err
+}
+
+// TxnCommit commits an optimistic multi-key transaction through the
+// client and invalidates the local entry for every key the transaction
+// wrote, adopting each returned watermark — read-your-writes holds for
+// the whole write set, exactly as it does for a single Put.
+func (c *Cache) TxnCommit(ops []aria.TxnOp) error {
+	wms, err := c.cl.TxnCommitW(ops)
+	for i := range ops {
+		if !ops[i].ReadOnly {
+			c.lru.InvalidateKey(ops[i].Key)
+		}
+	}
+	c.met.size(c.lru.Len(), c.lru.Bytes())
+	for _, wm := range wms {
+		if wm != (kvnet.Watermark{}) {
+			c.UseWatermark(wm)
+		}
+	}
 	return err
 }
 

@@ -52,11 +52,14 @@ func startServer(t *testing.T, cfg kvnet.ServerConfig) (*kvnet.Server, string) {
 }
 
 // fastConfig keeps the suite quick: tight heartbeat window and redials,
-// no client retries (failures surface immediately).
+// no client retries (failures surface immediately). The heartbeat window
+// must stay well above the 20ms server interval: under the race detector
+// a loaded scheduler can stall delivery for hundreds of milliseconds, and
+// a false timeout drops the cache cold mid-test.
 func fastConfig() Config {
 	return Config{
 		Client:           kvnet.ClientConfig{Retry: kvnet.NoRetry(), DialTimeout: 2 * time.Second},
-		HeartbeatTimeout: 250 * time.Millisecond,
+		HeartbeatTimeout: time.Second,
 		RedialBackoff:    10 * time.Millisecond,
 	}
 }
@@ -100,6 +103,12 @@ func TestCacheServesHits(t *testing.T) {
 	if err := c.Put([]byte("hot"), []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
+	// The cache's own Put comes back as a pushed invalidation. Let it
+	// land first: a fill racing that push is (correctly) discarded by
+	// the generation guard, which would cost the loop a second miss.
+	waitFor(t, 3*time.Second, "self-invalidation to be applied", func() bool {
+		return c.Stats().Invalidations >= 1
+	})
 	// First read misses and fills; the next ones hit.
 	for i := 0; i < 3; i++ {
 		v, err := c.Get([]byte("hot"))

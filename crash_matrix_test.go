@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // crashOpts keeps the store as small as the schemes allow, because the
@@ -217,6 +218,241 @@ func TestCrashMatrixByteFlipQuarantine(t *testing.T) {
 		}
 		mustClose(t, st)
 	}
+}
+
+// txnCrashStep is one scripted mutation for the transactional matrix:
+// plain puts and deletes, TTL-bearing puts, a CAS, and multi-key
+// transactions that must commit through ONE WAL record each.
+type txnCrashStep struct {
+	kind  byte // 'p' put, 'd' delete, 't' putttl, 'c' cas, 'x' txn
+	key   string
+	value string
+	ttl   time.Duration
+	ops   []txnCrashWrite // sub-writes of an 'x' step
+}
+
+// txnCrashWrite is one write inside a scripted transaction.
+type txnCrashWrite struct {
+	key, value string
+	ttl        time.Duration
+	del        bool
+}
+
+// txnCrashScript interleaves every durable record shape. All TTLs are
+// far future against the fixed clock, so sealed deadlines round-trip
+// without expiring mid-matrix.
+var txnCrashScript = []txnCrashStep{
+	{kind: 'p', key: "alpha", value: "1"},
+	{kind: 't', key: "bravo", value: "2", ttl: time.Hour},
+	{kind: 'x', ops: []txnCrashWrite{
+		{key: "golf", value: "7"},
+		{key: "alpha", value: "1-txn"},
+		{key: "hotel", value: "8", ttl: 2 * time.Hour},
+		{key: "bravo", del: true},
+	}},
+	{kind: 'c', key: "alpha", value: "1-cas"},
+	{kind: 'x', ops: []txnCrashWrite{
+		{key: "golf", del: true},
+		{key: "india", value: "9"},
+	}},
+	{kind: 't', key: "alpha", value: "1-ttl", ttl: 3 * time.Hour},
+	{kind: 'd', key: "india"},
+}
+
+// applyTxnScript computes the expected state after the first k steps:
+// a transaction's sub-writes land together or not at all.
+func applyTxnScript(k int) map[string]string {
+	want := make(map[string]string)
+	for _, step := range txnCrashScript[:k] {
+		switch step.kind {
+		case 'd':
+			delete(want, step.key)
+		case 'x':
+			for _, w := range step.ops {
+				if w.del {
+					delete(want, w.key)
+				} else {
+					want[w.key] = w.value
+				}
+			}
+		default:
+			want[step.key] = step.value
+		}
+	}
+	return want
+}
+
+// txnScriptKeys lists every key the script touches, once.
+func txnScriptKeys() []string {
+	seen := make(map[string]bool)
+	var keys []string
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, step := range txnCrashScript {
+		if step.kind == 'x' {
+			for _, w := range step.ops {
+				add(w.key)
+			}
+		} else {
+			add(step.key)
+		}
+	}
+	return keys
+}
+
+// buildTxnCrashWAL writes the transactional script through a durable
+// store under a fixed clock, one WAL record per step (a whole txn is one
+// group-commit record), and returns the segment bytes plus the legal
+// crash points, as buildCrashWAL does.
+func buildTxnCrashWAL(t *testing.T, dir string, now func() time.Time) (data []byte, ends []int64, segName string) {
+	t.Helper()
+	opts := crashOpts(dir)
+	opts.Now = now
+	st := mustOpen(t, opts)
+	seg := singleSegment(t, dir)
+	segName = filepath.Base(seg)
+	ends = append(ends, 0)
+	for i, step := range txnCrashScript {
+		var err error
+		switch step.kind {
+		case 'p':
+			err = st.Put([]byte(step.key), []byte(step.value))
+		case 'd':
+			err = st.Delete([]byte(step.key))
+		case 't':
+			err = st.PutTTL([]byte(step.key), []byte(step.value), step.ttl)
+		case 'c':
+			var ver uint64
+			if _, ver, err = st.GetV([]byte(step.key)); err == nil {
+				err = st.CompareAndSwap([]byte(step.key), []byte(step.value), ver)
+			}
+		case 'x':
+			ops := make([]TxnOp, len(step.ops))
+			for j, w := range step.ops {
+				ops[j] = TxnOp{Key: []byte(w.key), Value: []byte(w.value), TTL: w.ttl, Delete: w.del}
+			}
+			err = st.TxnCommit(ops)
+		}
+		if err != nil {
+			t.Fatalf("step %d (%c): %v", i, step.kind, err)
+		}
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz := fi.Size(); sz <= ends[len(ends)-1] {
+			t.Fatalf("step %d (%c) appended no WAL record", i, step.kind)
+		} else {
+			ends = append(ends, sz)
+		}
+	}
+	mustClose(t, st)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, ends, segName
+}
+
+// checkTxnState verifies the recovered store against want through Get,
+// which honors lazy TTL expiry (Scan may surface unreaped entries).
+func checkTxnState(t *testing.T, st Store, want map[string]string, context string) {
+	t.Helper()
+	for _, key := range txnScriptKeys() {
+		v, err := st.Get([]byte(key))
+		wantV, present := want[key]
+		switch {
+		case present && err != nil:
+			t.Fatalf("%s: Get(%s): %v, want %q", context, key, err, wantV)
+		case present && string(v) != wantV:
+			t.Fatalf("%s: Get(%s) = %q, want %q", context, key, v, wantV)
+		case !present && !errors.Is(err, ErrNotFound):
+			t.Fatalf("%s: Get(%s) = %q, %v, want ErrNotFound", context, key, v, err)
+		}
+	}
+}
+
+// TestCrashMatrixTxnTruncation cuts a WAL holding txn group-commit and
+// TTL-bearing records to every length: each reopen must recover exactly
+// the committed prefix of whole steps — in particular, a cut anywhere
+// inside a transaction's record makes ALL of its writes vanish, never
+// some of them.
+func TestCrashMatrixTxnTruncation(t *testing.T) {
+	fixed := time.Unix(1_700_000_000, 0)
+	now := func() time.Time { return fixed }
+	data, ends, segName := buildTxnCrashWAL(t, t.TempDir(), now)
+	for size := int64(0); size <= int64(len(data)); size++ {
+		k := committedPrefix(ends, size)
+		dir := writeCrashCopy(t, segName, data[:size])
+		opts := crashOpts(dir)
+		opts.Now = now
+		st, err := Open(opts)
+		if err != nil {
+			t.Fatalf("truncate to %d bytes: reopen failed: %v", size, err)
+		}
+		if got := st.Stats().RecoveredRecords; got != uint64(k) {
+			t.Fatalf("truncate to %d bytes: recovered %d records, want committed prefix %d", size, got, k)
+		}
+		checkTxnState(t, st, applyTxnScript(k),
+			fmt.Sprintf("truncate to %d bytes (prefix %d)", size, k))
+		mustClose(t, st)
+	}
+}
+
+// TestCrashMatrixTxnByteFlipFailStop flips every byte of the
+// transactional WAL: the new record shapes must be just as much
+// evidence as plain puts — FailStop refuses the whole log.
+func TestCrashMatrixTxnByteFlipFailStop(t *testing.T) {
+	fixed := time.Unix(1_700_000_000, 0)
+	now := func() time.Time { return fixed }
+	data, _, segName := buildTxnCrashWAL(t, t.TempDir(), now)
+	for off := int64(0); off < int64(len(data)); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		dir := writeCrashCopy(t, segName, mut)
+		opts := crashOpts(dir)
+		opts.Now = now
+		opts.IntegrityPolicy = FailStop
+		st, err := Open(opts)
+		if err == nil {
+			mustClose(t, st)
+			t.Fatalf("flip at offset %d: FailStop open succeeded on a tampered log", off)
+		}
+		if !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("flip at offset %d: error %v does not wrap ErrIntegrity", off, err)
+		}
+	}
+}
+
+// TestCrashMatrixTTLRecoveryClock reopens a TTL-bearing WAL under a
+// clock advanced past some deadlines: sealed expiries are absolute, so
+// recovery itself decides freshness — entries past their deadline read
+// as absent, entries inside it serve normally.
+func TestCrashMatrixTTLRecoveryClock(t *testing.T) {
+	fixed := time.Unix(1_700_000_000, 0)
+	dir := t.TempDir()
+	data, _, segName := buildTxnCrashWAL(t, dir, func() time.Time { return fixed })
+	copyDir := writeCrashCopy(t, segName, data)
+	// Reopen 150 minutes later: bravo (1h, deleted by txn anyway) and
+	// hotel (2h) are past deadline; alpha (3h) still serves.
+	opts := crashOpts(copyDir)
+	opts.Now = func() time.Time { return fixed.Add(150 * time.Minute) }
+	st := mustOpen(t, opts)
+	if v, err := st.Get([]byte("alpha")); err != nil || string(v) != "1-ttl" {
+		t.Fatalf("alpha inside its 3h deadline: %q, %v", v, err)
+	}
+	if _, err := st.Get([]byte("hotel")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("hotel past its 2h deadline: %v, want ErrNotFound", err)
+	}
+	expired := st.Stats().TTLExpired
+	if expired == 0 {
+		t.Fatalf("lazy expiry served a dead key without counting it")
+	}
+	mustClose(t, st)
 }
 
 func mapsEqual(a, b map[string]string) bool {

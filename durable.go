@@ -25,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/ariakv/aria/internal/seal"
 	"github.com/ariakv/aria/internal/sgx"
@@ -50,6 +51,17 @@ type Durable interface {
 const (
 	walOpPut    = 1
 	walOpDelete = 2
+	// walOpPutTTL is a put carrying an absolute expiry deadline: op (1)
+	// || klen (2, LE) || key || exp (8, LE, unix nanos) || value. The
+	// deadline is absolute so replay and replicas reconstruct exactly
+	// the expiry the primary committed, independent of their clocks.
+	walOpPutTTL = 3
+	// walOpTxn is one whole transaction as a single sealed record (klen
+	// 0; the body is the write list — see encodeWalTxnRecord). One
+	// record is atomic by construction: a crash either left it in the
+	// committed prefix or cut it off entirely, so recovery can never
+	// observe half a transaction.
+	walOpTxn = 4
 )
 
 // maxWalKey bounds key length to what the WAL and snapshot framing's
@@ -84,6 +96,175 @@ func decodeWalRecord(p []byte) (op byte, key, value []byte, err error) {
 		return 0, nil, nil, errors.New("aria: wal record key overruns payload")
 	}
 	return p[0], p[3 : 3+klen], p[3+klen:], nil
+}
+
+// encodeWalTTLRecord builds a walOpPutTTL payload (layout above).
+func encodeWalTTLRecord(key []byte, exp int64, value []byte) ([]byte, error) {
+	if len(key) > maxWalKey {
+		return nil, fmt.Errorf("%w: key of %d bytes exceeds the durable framing limit %d", ErrTooLarge, len(key), maxWalKey)
+	}
+	p := make([]byte, 3+len(key)+8+len(value))
+	p[0] = walOpPutTTL
+	binary.LittleEndian.PutUint16(p[1:3], uint16(len(key)))
+	copy(p[3:], key)
+	binary.LittleEndian.PutUint64(p[3+len(key):], uint64(exp))
+	copy(p[3+len(key)+8:], value)
+	return p, nil
+}
+
+// splitTTLBody splits a walOpPutTTL record's post-key bytes into the
+// expiry deadline and the value.
+func splitTTLBody(rest []byte) (exp int64, value []byte, err error) {
+	if len(rest) < 8 {
+		return 0, nil, errors.New("aria: wal ttl record too short")
+	}
+	return int64(binary.LittleEndian.Uint64(rest[:8])), rest[8:], nil
+}
+
+// Write kinds inside a walOpTxn record body.
+const (
+	txnKindPut    = 0
+	txnKindDelete = 1
+	txnKindPutTTL = 2
+)
+
+// encodeWalTxnRecord seals a transaction's resolved writes into one
+// record: op (1) || klen=0 (2) || count (4, LE) || writes, each
+// kind (1) || klen (2, LE) || key || [exp (8, LE) if put-ttl] ||
+// [vlen (4, LE) || value if put or put-ttl]. Check entries are not
+// persisted — validation happened before the record was sealed.
+func encodeWalTxnRecord(writes []txnWrite) ([]byte, error) {
+	size := 3 + 4
+	for i := range writes {
+		w := &writes[i]
+		if len(w.key) > maxWalKey {
+			return nil, fmt.Errorf("%w: key of %d bytes exceeds the durable framing limit %d", ErrTooLarge, len(w.key), maxWalKey)
+		}
+		size += 3 + len(w.key)
+		if !w.del {
+			if w.exp != 0 {
+				size += 8
+			}
+			size += 4 + len(w.value)
+		}
+	}
+	p := make([]byte, 3, size)
+	p[0] = walOpTxn
+	var u4 [4]byte
+	var u8 [8]byte
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(writes)))
+	p = append(p, u4[:]...)
+	for i := range writes {
+		w := &writes[i]
+		kind := byte(txnKindPut)
+		switch {
+		case w.del:
+			kind = txnKindDelete
+		case w.exp != 0:
+			kind = txnKindPutTTL
+		}
+		var klen [2]byte
+		binary.LittleEndian.PutUint16(klen[:], uint16(len(w.key)))
+		p = append(p, kind)
+		p = append(p, klen[:]...)
+		p = append(p, w.key...)
+		if kind == txnKindPutTTL {
+			binary.LittleEndian.PutUint64(u8[:], uint64(w.exp))
+			p = append(p, u8[:]...)
+		}
+		if kind != txnKindDelete {
+			binary.LittleEndian.PutUint32(u4[:], uint32(len(w.value)))
+			p = append(p, u4[:]...)
+			p = append(p, w.value...)
+		}
+	}
+	return p, nil
+}
+
+// decodeWalTxnBody parses a walOpTxn record's post-key bytes back into
+// the write list, rejecting any framing defect outright (the record
+// authenticated, so a defect is logic-level corruption, not tampering).
+func decodeWalTxnBody(body []byte) ([]txnWrite, error) {
+	if len(body) < 4 {
+		return nil, errors.New("aria: wal txn record too short")
+	}
+	count := int(binary.LittleEndian.Uint32(body[:4]))
+	// Every write takes at least 3 bytes; a count claiming more than
+	// the body could hold is corrupt.
+	if count < 0 || count > len(body[4:])/3+1 {
+		return nil, errors.New("aria: wal txn record count implausible")
+	}
+	rest := body[4:]
+	writes := make([]txnWrite, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 3 {
+			return nil, errors.New("aria: wal txn write truncated")
+		}
+		kind := rest[0]
+		klen := int(binary.LittleEndian.Uint16(rest[1:3]))
+		rest = rest[3:]
+		if len(rest) < klen {
+			return nil, errors.New("aria: wal txn key overruns record")
+		}
+		w := txnWrite{key: rest[:klen]}
+		rest = rest[klen:]
+		switch kind {
+		case txnKindDelete:
+			w.del = true
+		case txnKindPutTTL:
+			if len(rest) < 8 {
+				return nil, errors.New("aria: wal txn expiry truncated")
+			}
+			w.exp = int64(binary.LittleEndian.Uint64(rest[:8]))
+			rest = rest[8:]
+			fallthrough
+		case txnKindPut:
+			if len(rest) < 4 {
+				return nil, errors.New("aria: wal txn value length truncated")
+			}
+			vlen := int(binary.LittleEndian.Uint32(rest[:4]))
+			rest = rest[4:]
+			if vlen < 0 || len(rest) < vlen {
+				return nil, errors.New("aria: wal txn value overruns record")
+			}
+			w.value = rest[:vlen]
+			rest = rest[vlen:]
+		default:
+			return nil, fmt.Errorf("aria: unknown wal txn write kind %d", kind)
+		}
+		writes = append(writes, w)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("aria: wal txn record has trailing bytes")
+	}
+	return writes, nil
+}
+
+// snapMetaBytes is the per-pair metadata suffix a snapshot value
+// carries: version (8, LE) || expiry deadline (8, LE). One synthetic
+// pair with an empty key (impossible for user keys — ErrEmptyKey)
+// additionally persists the store's version clock, so recovery resumes
+// version assignment exactly where the snapshot left it.
+const snapMetaBytes = 16
+
+// encodeSnapValue appends the version/expiry suffix to a user value.
+func encodeSnapValue(value []byte, ver uint64, exp int64) []byte {
+	out := make([]byte, len(value)+snapMetaBytes)
+	copy(out, value)
+	binary.LittleEndian.PutUint64(out[len(value):], ver)
+	binary.LittleEndian.PutUint64(out[len(value)+8:], uint64(exp))
+	return out
+}
+
+// decodeSnapValue splits a snapshot pair's value back into the user
+// value and its metadata.
+func decodeSnapValue(v []byte) (value []byte, ver uint64, exp int64, err error) {
+	if len(v) < snapMetaBytes {
+		return nil, 0, 0, errors.New("aria: snapshot pair missing version metadata")
+	}
+	cut := len(v) - snapMetaBytes
+	return v[:cut], binary.LittleEndian.Uint64(v[cut:]),
+		int64(binary.LittleEndian.Uint64(v[cut+8:])), nil
 }
 
 // durableStore makes one single-enclave store crash-safe. All
@@ -155,6 +336,13 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 		stopC:           make(chan struct{}),
 	}
 
+	// The semantics layer sits directly underneath: recovery restores
+	// its per-key versions and expiry deadlines alongside the values.
+	sm, ok := inner.(semantic)
+	if !ok {
+		return nil, fmt.Errorf("aria: durable store requires the semantics layer (got %T)", inner)
+	}
+
 	// 1. Newest valid snapshot. Under Quarantine a tampered snapshot is
 	// counted and skipped in favour of an older one; under FailStop it
 	// fails the Open.
@@ -176,15 +364,28 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 			continue
 		}
 		for _, p := range pairs {
-			if err := inner.Put(p.Key, p.Value); err != nil {
+			if len(p.Key) == 0 {
+				// The synthetic version-clock pair (see snapMetaBytes).
+				if len(p.Value) != 8 {
+					return nil, errors.New("aria: snapshot version-clock pair malformed")
+				}
+				sm.setClockVersion(binary.LittleEndian.Uint64(p.Value))
+				d.chargeSealIn(len(p.Value) + 2)
+				continue
+			}
+			value, ver, exp, derr := decodeSnapValue(p.Value)
+			if derr != nil {
+				return nil, fmt.Errorf("aria: restore snapshot pair: %w", derr)
+			}
+			if err := sm.restorePair(p.Key, value, ver, exp); err != nil {
 				return nil, fmt.Errorf("aria: restore snapshot pair: %w", err)
 			}
 			d.keys[string(p.Key)] = struct{}{}
 			d.chargeSealIn(len(p.Key) + len(p.Value) + 2)
+			d.recovered++
 		}
 		coveredSeq = covered
 		d.lastSnapCovered, d.hasSnap = covered, true
-		d.recovered += uint64(len(pairs))
 		break
 	}
 
@@ -213,6 +414,30 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 				return fmt.Errorf("aria: replay delete: %w", err)
 			}
 			delete(d.keys, string(key))
+		case walOpPutTTL:
+			exp, v, derr := splitTTLBody(value)
+			if derr != nil {
+				return derr
+			}
+			if err := sm.putExpireAbs(key, v, exp); err != nil {
+				return fmt.Errorf("aria: replay ttl put: %w", err)
+			}
+			d.keys[string(key)] = struct{}{}
+		case walOpTxn:
+			writes, derr := decodeWalTxnBody(value)
+			if derr != nil {
+				return derr
+			}
+			if err := sm.applyTxnWrites(writes); err != nil {
+				return fmt.Errorf("aria: replay txn: %w", err)
+			}
+			for i := range writes {
+				if writes[i].del {
+					delete(d.keys, string(writes[i].key))
+				} else {
+					d.keys[string(writes[i].key)] = struct{}{}
+				}
+			}
 		default:
 			return fmt.Errorf("aria: unknown wal opcode %d", op)
 		}
@@ -373,6 +598,110 @@ func (d *durableStore) Get(key []byte) ([]byte, error) {
 	return d.inner.Get(key)
 }
 
+// GetV implements Store (reads never touch the WAL).
+func (d *durableStore) GetV(key []byte) ([]byte, uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.GetV(key)
+}
+
+// CompareAndSwap implements Store. A successful CAS logs a plain put
+// record: replay re-applies writes in commit order, so the semantics
+// layer reassigns the identical version without persisting it per
+// record.
+func (d *durableStore) CompareAndSwap(key, value []byte, expect uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, err := encodeWalRecord(walOpPut, key, value)
+	if err != nil {
+		return err
+	}
+	if err := d.inner.CompareAndSwap(key, value, expect); err != nil {
+		return err
+	}
+	if err := d.logRecords(rec); err != nil {
+		return err
+	}
+	d.keys[string(key)] = struct{}{}
+	return nil
+}
+
+// PutTTL implements Store: the expiry deadline is resolved to an
+// absolute timestamp once, applied, and sealed into the WAL record, so
+// recovery and replicas reconstruct exactly the committed deadline.
+func (d *durableStore) PutTTL(key, value []byte, ttl time.Duration) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sm := d.inner.(semantic)
+	var exp int64
+	if ttl > 0 {
+		exp = sm.nowNanos() + int64(ttl)
+	}
+	return d.putExpireAbsLocked(key, value, exp)
+}
+
+// putExpireAbsLocked applies and logs a put with an already-absolute
+// deadline (0 = plain put); the replica apply path enters here too.
+func (d *durableStore) putExpireAbsLocked(key, value []byte, exp int64) error {
+	var rec []byte
+	var err error
+	if exp == 0 {
+		rec, err = encodeWalRecord(walOpPut, key, value)
+	} else {
+		rec, err = encodeWalTTLRecord(key, exp, value)
+	}
+	if err != nil {
+		return err
+	}
+	if err := d.inner.(semantic).putExpireAbs(key, value, exp); err != nil {
+		return err
+	}
+	if err := d.logRecords(rec); err != nil {
+		return err
+	}
+	d.keys[string(key)] = struct{}{}
+	return nil
+}
+
+// TxnCommit implements Store: validate and apply through the semantics
+// layer, then seal the whole write set as ONE group-commit record. A
+// crash can only leave that record wholly present or wholly absent, so
+// recovery never sees a partial transaction.
+func (d *durableStore) TxnCommit(ops []TxnOp) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sm := d.inner.(semantic)
+	writes, err := sm.resolveTxn(ops)
+	if err != nil {
+		return err
+	}
+	// Encode first so an unloggable transaction is rejected before any
+	// write applies.
+	var rec []byte
+	if len(writes) > 0 {
+		if rec, err = encodeWalTxnRecord(writes); err != nil {
+			return err
+		}
+	}
+	if err := sm.commitTxn(ops, writes); err != nil {
+		return err
+	}
+	if len(writes) == 0 {
+		return nil // validation-only commit: nothing to persist
+	}
+	if err := d.logRecords(rec); err != nil {
+		return err
+	}
+	for i := range writes {
+		if writes[i].del {
+			delete(d.keys, string(writes[i].key))
+		} else {
+			d.keys[string(writes[i].key)] = struct{}{}
+		}
+	}
+	return nil
+}
+
 // Delete implements Store.
 func (d *durableStore) Delete(key []byte) error {
 	d.mu.Lock()
@@ -471,6 +800,39 @@ func (d *durableStore) MDelete(keys [][]byte) []error {
 	return errs
 }
 
+// putExpireAbs implements expiryApplier (the replica apply path).
+func (d *durableStore) putExpireAbs(key, value []byte, exp int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.putExpireAbsLocked(key, value, exp)
+}
+
+// applyTxnWrites implements txnApplier: apply an already-validated
+// transaction and re-seal it as one record, so a replica's lineage
+// carries the same atomic group commit the primary's does.
+func (d *durableStore) applyTxnWrites(writes []txnWrite) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, err := encodeWalTxnRecord(writes)
+	if err != nil {
+		return err
+	}
+	if err := d.inner.(semantic).applyTxnWrites(writes); err != nil {
+		return err
+	}
+	if err := d.logRecords(rec); err != nil {
+		return err
+	}
+	for i := range writes {
+		if writes[i].del {
+			delete(d.keys, string(writes[i].key))
+		} else {
+			d.keys[string(writes[i].key)] = struct{}{}
+		}
+	}
+	return nil
+}
+
 // Checkpoint implements Durable.
 func (d *durableStore) Checkpoint() error {
 	d.mu.Lock()
@@ -504,14 +866,22 @@ func (d *durableStore) checkpointLocked() error {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	pairs := make([]wal.Pair, 0, len(names))
+	sm := d.inner.(semantic)
+	pairs := make([]wal.Pair, 0, len(names)+1)
+	// The synthetic version-clock pair leads (empty key — impossible
+	// for user keys), so recovery restores the clock before any record
+	// above the snapshot replays.
+	var clock [8]byte
+	binary.LittleEndian.PutUint64(clock[:], sm.clockVersion())
+	pairs = append(pairs, wal.Pair{Value: clock[:]})
 	total := 0
 	for _, k := range names {
 		v, err := d.inner.Get([]byte(k))
 		switch {
 		case err == nil:
-			pairs = append(pairs, wal.Pair{Key: []byte(k), Value: v})
-			total += len(k) + len(v) + 2
+			ver, exp := sm.metaOf([]byte(k))
+			pairs = append(pairs, wal.Pair{Key: []byte(k), Value: encodeSnapValue(v, ver, exp)})
+			total += len(k) + len(v) + snapMetaBytes + 2
 		case errors.Is(err, ErrNotFound):
 			// The shadow set can briefly overapproximate; skip.
 		case errors.Is(err, ErrIntegrity) && d.policy == Quarantine:
@@ -571,6 +941,12 @@ func (d *durableStore) Close() error {
 	err := d.log.Sync()
 	if cerr := d.log.Close(); err == nil {
 		err = cerr
+	}
+	// Stop the semantics layer's background sweeper, if one runs.
+	if c, ok := d.inner.(Durable); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err == nil {
 		err = d.ckptErr

@@ -583,10 +583,15 @@ func TestDurableNotDurableSentinel(t *testing.T) {
 	opts := durableOpts("")
 	opts.DataDir = ""
 
-	// Unsharded, unmetered: the raw store has no Durable surface at all.
+	// Unsharded, unmetered: the semantics layer always exposes Durable
+	// (Close stops its expiry sweeper), but Checkpoint reports the
+	// sentinel because there is no lineage underneath.
 	plain := mustOpen(t, opts)
-	if _, ok := plain.(Durable); ok {
-		t.Error("non-durable plain store unexpectedly implements Durable")
+	if err := plain.(Durable).Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("non-durable Checkpoint: %v, want ErrNotDurable", err)
+	}
+	if err := plain.(Durable).Close(); err != nil {
+		t.Errorf("non-durable Close: %v, want nil no-op", err)
 	}
 
 	// Sharded: the router always exposes Durable and reports the

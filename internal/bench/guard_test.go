@@ -29,7 +29,7 @@ func TestBenchRegressionGuard(t *testing.T) {
 		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
 	}
 	const guardTolerance = 0.05
-	for _, exp := range []string{"fig9", "batch", "persist", "repl", "ccache"} {
+	for _, exp := range []string{"fig9", "batch", "persist", "repl", "ccache", "ycsb"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			want := loadReport(t, exp)
@@ -133,6 +133,50 @@ func TestCcacheSpeedupFloor(t *testing.T) {
 	// buying >1.5x would mean the harness is no longer charging misses.
 	if s := speedup("uniform-R95", "1%"); s > 1.5 {
 		t.Errorf("uniform-R95 @1%% cache: %.2fx speedup; control should be flat", s)
+	}
+}
+
+// TestYCSBSkewFloor pins the paper's headline on the YCSB gauntlet
+// against the committed snapshot: on the read-mostly skewed workload
+// (B, Zipf-0.99, one enclave), Aria-H must hold at least 8x the
+// encrypted baseline and at least 1.5x the no-cache scheme. The
+// committed run shows ~16x and ~2.6x, so the floors have headroom for
+// small cost-model reshuffles while still catching a lost Secure Cache
+// or a mispriced hot path.
+func TestYCSBSkewFloor(t *testing.T) {
+	rep := loadReport(t, "ycsb")
+	if len(rep.Tables) == 0 {
+		t.Fatal("BENCH_ycsb.json has no tables")
+	}
+	tput := func(workload, scheme, shards string) float64 {
+		t.Helper()
+		for _, r := range rep.Tables[0].Rows {
+			if len(r.Cells) >= 3 && r.Cells[0] == workload && r.Cells[1] == scheme && r.Cells[2] == shards {
+				if v, ok := r.Values["throughput"]; ok {
+					return v
+				}
+			}
+		}
+		t.Fatalf("no throughput row for %s/%s/%s shards", workload, scheme, shards)
+		return 0
+	}
+	ariaB := tput("B", "aria-h", "1")
+	if base := tput("B", "baseline-h", "1"); ariaB < 8*base {
+		t.Errorf("YCSB B: aria-h %.0f vs baseline-h %.0f (%.1fx < 8x floor)", ariaB, base, ariaB/base)
+	}
+	if nc := tput("B", "nocache-h", "1"); ariaB < 1.5*nc {
+		t.Errorf("YCSB B: aria-h %.0f vs nocache-h %.0f (%.2fx < 1.5x floor)", ariaB, nc, ariaB/nc)
+	}
+	// Every workload letter must be present for every scheme at both
+	// shard counts — a silently dropped cell would otherwise pass.
+	for _, wl := range []string{"A", "B", "C", "D", "E", "F"} {
+		for _, scheme := range []string{"baseline-h", "nocache-h", "shieldstore", "aria-h"} {
+			for _, shards := range []string{"1", "4"} {
+				if tput(wl, scheme, shards) <= 0 {
+					t.Errorf("YCSB %s/%s/%s: nonpositive throughput", wl, scheme, shards)
+				}
+			}
+		}
 	}
 }
 

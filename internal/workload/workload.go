@@ -161,8 +161,11 @@ func (g *Generator) ValueAt(i int) []byte {
 	return v
 }
 
-// nextIndex draws the next key index from the configured distribution.
-func (g *Generator) nextIndex() int {
+// NextIndex draws the next key index from the configured distribution.
+// Exposed for drivers that need the index itself — e.g. YCSB E's scans
+// (the index anchors a range) and YCSB F's read-modify-write (the same
+// index is read and then CAS-written).
+func (g *Generator) NextIndex() int {
 	if g.cfg.ETC {
 		// 5% of requests go uniformly to the large class (matching its
 		// key share); the rest follow the Zipfian over tiny+small.
@@ -180,7 +183,7 @@ func (g *Generator) nextIndex() int {
 // Next fills op with the next request. The Key and Value slices are reused
 // across calls; consumers must not retain them.
 func (g *Generator) Next(op *Op) {
-	i := g.nextIndex()
+	i := g.NextIndex()
 	op.Key = g.KeyAt(i)
 	if g.rng.Float64() < g.cfg.ReadRatio {
 		op.Read = true

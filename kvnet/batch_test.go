@@ -139,6 +139,7 @@ func TestBatchServerEdgeAccounting(t *testing.T) {
 // the simulated stores' small-value slabs cannot reach. It counts batch
 // calls so tests can observe client-side splitting from the server side.
 type mapStore struct {
+	aria.Store // unimplemented surface (GetV, CAS, TTL, txn) panics if reached
 	mu         sync.Mutex
 	m          map[string][]byte
 	batchCalls int

@@ -364,6 +364,12 @@ func (c *Client) do(op func(m *mux) error) error {
 // stCorrupt notices) upgrades even non-idempotent operations to
 // retryable.
 func (c *Client) unary(op byte, key, value []byte, limit uint32, idempotent bool) (byte, []byte, error) {
+	return c.unaryRaw(op, encodeRequest(op, key, value, limit), idempotent)
+}
+
+// unaryRaw is unary for ops whose request payload is pre-encoded
+// (opTxnCommit builds its own multi-op layout).
+func (c *Client) unaryRaw(op byte, payload []byte, idempotent bool) (byte, []byte, error) {
 	var status byte
 	var body []byte
 	t0 := time.Now()
@@ -374,7 +380,7 @@ func (c *Client) unary(op byte, key, value []byte, limit uint32, idempotent bool
 			// The mux died before the request was sent: always retryable.
 			return &netOpError{err: err, retryable: true}
 		}
-		if err := m.writeRequest(tag, encodeRequest(op, key, value, limit), c.cfg.OpTimeout); err != nil {
+		if err := m.writeRequest(tag, payload, c.cfg.OpTimeout); err != nil {
 			return &netOpError{err: err, retryable: idempotent}
 		}
 		f, safe, err := m.await(cl, c.cfg.OpTimeout)
@@ -417,6 +423,10 @@ func statusErr(status byte, body []byte) error {
 		return ErrReadOnlyReplica
 	case stLagging:
 		return ErrLagging
+	case stCASMismatch:
+		return fmt.Errorf("%w: %s", ErrCASMismatch, body)
+	case stTxnConflict:
+		return fmt.Errorf("%w: %s", ErrTxnConflict, body)
 	case stDraining:
 		return ErrDraining
 	case stBadVersion:

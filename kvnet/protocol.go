@@ -71,6 +71,16 @@ const (
 	// tag 0 with stOK (body = its version) or rejects the connection with
 	// stBadVersion. No other request is accepted before the hello.
 	opHello = 16
+
+	// Transactional ops. opGetV is a versioned read: the response body is
+	// version (u64 BE) + value. opCAS packs expect (u64 BE) + new value
+	// into the value field. opPutTTL packs ttl nanoseconds (u64 BE) +
+	// value into the value field. opTxnCommit carries a multi-op commit
+	// payload (see txnwire.go for its layout).
+	opGetV      = 17
+	opCAS       = 18
+	opPutTTL    = 19
+	opTxnCommit = 20
 )
 
 // Status codes. Typed store sentinels each get their own code so
@@ -114,6 +124,12 @@ const (
 	// first payload byte as a status — sees a typed failure instead of
 	// misparsing a tagged frame. The connection closes after it.
 	stBadVersion = 23
+
+	// Optimistic-concurrency outcomes. Both carry the store's error text
+	// as the body, like stError, but keep their own codes so errors.Is
+	// matches the aria sentinels across the wire.
+	stCASMismatch = 24 // compare-and-swap lost: key not at the expected version
+	stTxnConflict = 25 // transaction aborted: a version check failed at commit
 )
 
 // nonTerminal reports whether a status leaves its exchange open: more
@@ -178,6 +194,12 @@ var (
 	// ErrLagging mirrors aria.ErrLagging across the wire: the replica
 	// has not yet applied the read's watermark.
 	ErrLagging = fmt.Errorf("kvnet: %w", aria.ErrLagging)
+	// ErrCASMismatch mirrors aria.ErrCASMismatch across the wire: the
+	// key was not at the expected version.
+	ErrCASMismatch = fmt.Errorf("kvnet: %w", aria.ErrCASMismatch)
+	// ErrTxnConflict mirrors aria.ErrTxnConflict across the wire: a
+	// version check failed at commit and nothing was applied.
+	ErrTxnConflict = fmt.Errorf("kvnet: %w", aria.ErrTxnConflict)
 	// ErrDraining reports that the server closed a subscribe stream to
 	// shut down gracefully; the subscriber should redial.
 	ErrDraining = errors.New("kvnet: server draining; redial")
@@ -211,6 +233,8 @@ type request struct {
 
 	mkeys [][]byte // batch ops: keys, in request order
 	mvals [][]byte // opMPut: values aligned with mkeys
+
+	tops []aria.TxnOp // opTxnCommit: decoded transaction ops
 }
 
 // writeFrame writes a length-prefixed, checksummed frame.
@@ -271,6 +295,9 @@ func decodeRequest(buf []byte) (request, error) {
 	var rq request
 	if len(buf) >= 1 && buf[0] >= opMGet && buf[0] <= opMDelete {
 		return decodeBatchRequest(buf)
+	}
+	if len(buf) >= 1 && buf[0] == opTxnCommit {
+		return decodeTxnRequest(buf)
 	}
 	if len(buf) < 7 {
 		return rq, errMalformed

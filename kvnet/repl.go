@@ -217,7 +217,8 @@ func (s *Server) replGate(rq request) []byte {
 		return errResponse(aria.ErrFenced)
 	case RoleReplica:
 		switch rq.op {
-		case opPut, opDelete, opMPut, opMDelete, opCheckpoint:
+		case opPut, opDelete, opMPut, opMDelete, opCheckpoint,
+			opCAS, opPutTTL, opTxnCommit:
 			return errResponse(aria.ErrReadOnlyReplica)
 		}
 	}
@@ -239,6 +240,34 @@ func (s *Server) replWriteAck(key []byte) ([]byte, error) {
 		return nil, fmt.Errorf("kvnet: write applied locally but not acked by replicas: %w", err)
 	}
 	return encodeWatermark(shard, seq), nil
+}
+
+// replTxnAck is replWriteAck for a committed transaction: one watermark
+// entry per distinct WAL shard the transaction wrote, concatenated in
+// first-touch order (the same list layout GetAt accepts).
+func (s *Server) replTxnAck(ops []aria.TxnOp) ([]byte, error) {
+	b := s.cfg.Repl
+	if b == nil || b.Role() != RolePrimary {
+		return nil, nil
+	}
+	seen := make(map[uint32]bool, 2)
+	var body []byte
+	for i := range ops {
+		if ops[i].ReadOnly {
+			continue
+		}
+		shard := b.ShardForKey(ops[i].Key)
+		if seen[shard] {
+			continue
+		}
+		seen[shard] = true
+		seq := b.Watermark(shard)
+		if err := b.WaitCommitted(shard, seq); err != nil {
+			return nil, fmt.Errorf("kvnet: transaction applied locally but not acked by replicas: %w", err)
+		}
+		body = append(body, encodeWatermark(shard, seq)...)
+	}
+	return body, nil
 }
 
 // replLagCheck enforces a GetAt watermark list against the node's

@@ -58,6 +58,7 @@ func openStore(t *testing.T) aria.Store {
 // bigPairStore serves one near-wire-max pair without the enclave
 // simulator, to exercise the framing layer at its limits.
 type bigPairStore struct {
+	aria.Store // unimplemented surface (GetV, CAS, TTL, txn) panics if reached
 	key, value []byte
 }
 

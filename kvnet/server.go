@@ -764,6 +764,69 @@ func (s *Server) serve(w tagWriter, rq request) error {
 			return w.send(encodeResponse(stError, []byte(err.Error())))
 		}
 		return w.send(encodeResponse(stOK, body))
+	case opGetV:
+		// Watermarked versioned reads carry their watermark list in the
+		// value field, exactly like opGet.
+		if len(rq.value) > 0 {
+			if resp := s.replLagCheck(rq.value); resp != nil {
+				return w.send(resp)
+			}
+		}
+		v, ver, err := s.store.GetV(rq.key)
+		if err != nil {
+			return w.send(errResponse(err))
+		}
+		body := make([]byte, 8+len(v))
+		binary.BigEndian.PutUint64(body[:8], ver)
+		copy(body[8:], v)
+		return w.send(encodeResponse(stOK, body))
+	case opCAS:
+		if len(rq.value) < 8 {
+			s.met.badRequest()
+			return w.send(encodeResponse(stBadReq, []byte("cas request shorter than its version")))
+		}
+		expect := binary.BigEndian.Uint64(rq.value[:8])
+		if err := s.store.CompareAndSwap(rq.key, rq.value[8:], expect); err != nil {
+			return w.send(errResponse(err))
+		}
+		s.invalPublish(rq.key)
+		body, err := s.replWriteAck(rq.key)
+		if err != nil {
+			return w.send(encodeResponse(stError, []byte(err.Error())))
+		}
+		return w.send(encodeResponse(stOK, body))
+	case opPutTTL:
+		if len(rq.value) < 8 {
+			s.met.badRequest()
+			return w.send(encodeResponse(stBadReq, []byte("put-ttl request shorter than its ttl")))
+		}
+		ttl := time.Duration(binary.BigEndian.Uint64(rq.value[:8]))
+		if err := s.store.PutTTL(rq.key, rq.value[8:], ttl); err != nil {
+			return w.send(errResponse(err))
+		}
+		s.invalPublish(rq.key)
+		body, err := s.replWriteAck(rq.key)
+		if err != nil {
+			return w.send(encodeResponse(stError, []byte(err.Error())))
+		}
+		return w.send(encodeResponse(stOK, body))
+	case opTxnCommit:
+		if err := s.store.TxnCommit(rq.tops); err != nil {
+			return w.send(errResponse(err))
+		}
+		// Every written key invalidates client-side caches, exactly as if
+		// it had been Put individually — the commit already happened, so
+		// the invalidations describe the new state.
+		for i := range rq.tops {
+			if !rq.tops[i].ReadOnly {
+				s.invalPublish(rq.tops[i].Key)
+			}
+		}
+		body, err := s.replTxnAck(rq.tops)
+		if err != nil {
+			return w.send(encodeResponse(stError, []byte(err.Error())))
+		}
+		return w.send(encodeResponse(stOK, body))
 	case opStats:
 		body, err := json.Marshal(s.replOverlay(s.store.Stats()))
 		if err != nil {
@@ -838,6 +901,10 @@ func errResponse(err error) []byte {
 		return encodeResponse(stReadOnly, nil)
 	case errors.Is(err, aria.ErrLagging):
 		return encodeResponse(stLagging, nil)
+	case errors.Is(err, aria.ErrCASMismatch):
+		return encodeResponse(stCASMismatch, []byte(err.Error()))
+	case errors.Is(err, aria.ErrTxnConflict):
+		return encodeResponse(stTxnConflict, []byte(err.Error()))
 	default:
 		return encodeResponse(stError, []byte(err.Error()))
 	}

@@ -1,0 +1,121 @@
+package kvnet
+
+// Client surface for the transactional protocol: versioned reads,
+// compare-and-swap, TTL writes, and multi-key optimistic commits. Each
+// maps onto one wire op (see protocol.go); the typed outcomes
+// (ErrCASMismatch, ErrTxnConflict) survive the round trip via their
+// dedicated status codes, so retry loops written against the in-process
+// store work unchanged over the network.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+// GetV fetches a value together with the version the store holds it
+// at, for a later CompareAndSwap or transaction check.
+func (c *Client) GetV(key []byte) ([]byte, uint64, error) {
+	status, body, err := c.unary(opGetV, key, nil, 0, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, 0, err
+	}
+	if len(body) < 8 {
+		return nil, 0, fmt.Errorf("kvnet: versioned read response shorter than its version")
+	}
+	return body[8:], binary.BigEndian.Uint64(body[:8]), nil
+}
+
+// CompareAndSwap writes key only if it is still at version expect
+// (expect 0 = key must be absent). A lost race answers ErrCASMismatch;
+// re-read with GetV and retry. Retry rules match Put.
+func (c *Client) CompareAndSwap(key, value []byte, expect uint64) error {
+	_, err := c.CompareAndSwapW(key, value, expect)
+	return err
+}
+
+// CompareAndSwapW is CompareAndSwap returning the write's watermark,
+// like PutW.
+func (c *Client) CompareAndSwapW(key, value []byte, expect uint64) (Watermark, error) {
+	status, body, err := c.unary(opCAS, key, encodeCASValue(value, expect), 0, false)
+	if err != nil {
+		return Watermark{}, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return Watermark{}, err
+	}
+	return parseWatermark(body)
+}
+
+// PutTTL stores a pair that expires ttl from now (ttl <= 0 stores
+// without expiry). Retry rules match Put.
+func (c *Client) PutTTL(key, value []byte, ttl time.Duration) error {
+	_, err := c.PutTTLW(key, value, ttl)
+	return err
+}
+
+// PutTTLW is PutTTL returning the write's watermark, like PutW.
+func (c *Client) PutTTLW(key, value []byte, ttl time.Duration) (Watermark, error) {
+	if ttl < 0 {
+		ttl = 0
+	}
+	v := make([]byte, 8+len(value))
+	binary.BigEndian.PutUint64(v[:8], uint64(ttl))
+	copy(v[8:], value)
+	status, body, err := c.unary(opPutTTL, key, v, 0, false)
+	if err != nil {
+		return Watermark{}, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return Watermark{}, err
+	}
+	return parseWatermark(body)
+}
+
+// TxnCommit commits an optimistic multi-key transaction in one round
+// trip: every version check validates on the server and the writes
+// apply all-or-nothing. A failed check answers ErrTxnConflict with
+// nothing applied. Retry rules match Put (the commit is not idempotent).
+func (c *Client) TxnCommit(ops []aria.TxnOp) error {
+	_, err := c.TxnCommitW(ops)
+	return err
+}
+
+// TxnCommitW is TxnCommit returning one watermark per WAL shard the
+// transaction wrote (empty on a non-replicated server), for read-your-
+// writes via GetAt across every key the transaction touched.
+func (c *Client) TxnCommitW(ops []aria.TxnOp) ([]Watermark, error) {
+	payload, err := encodeTxnRequest(ops)
+	if err != nil {
+		return nil, err
+	}
+	status, body, err := c.unaryRaw(opTxnCommit, payload, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, nil
+	}
+	marks, err := decodeWatermarks(body)
+	if err != nil {
+		return nil, fmt.Errorf("kvnet: malformed watermark list in txn response")
+	}
+	return marks, nil
+}
+
+// encodeCASValue packs the expected version and the new value into the
+// request's value field.
+func encodeCASValue(value []byte, expect uint64) []byte {
+	out := make([]byte, 8+len(value))
+	binary.BigEndian.PutUint64(out[:8], expect)
+	copy(out[8:], value)
+	return out
+}

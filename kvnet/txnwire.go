@@ -1,0 +1,184 @@
+package kvnet
+
+// Wire layout for opTxnCommit. The request packs the whole transaction
+// into one frame:
+//
+//	op (1) || count (u32 BE) || count records
+//
+// each record:
+//
+//	kind (1) || check (1) || [version u64 BE, if check == 1]
+//	|| klen (u16 BE) || key
+//	|| [ttl u64 BE nanoseconds, if kind == txnKindWirePutTTL]
+//	|| [vlen (u32 BE) || value, if kind writes a value]
+//
+// kinds: 0 put, 1 delete, 2 put-with-ttl, 3 read-only version check
+// (check must be 1 and no value follows). The decoder bounds-checks
+// every length against the wire limits before use, exactly like
+// decodeRequest, so a hostile frame can never drive an oversized
+// allocation (FuzzDecodeTxnRequest leans on this).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/ariakv/aria"
+)
+
+const (
+	txnKindWirePut    = 0
+	txnKindWireDelete = 1
+	txnKindWirePutTTL = 2
+	txnKindWireCheck  = 3
+)
+
+// maxTxnWireOps bounds the op count of one transaction frame; combined
+// with the frame size cap it keeps a hostile count field from driving a
+// huge allocation.
+const maxTxnWireOps = 1 << 16
+
+// encodeTxnRequest builds an opTxnCommit request payload.
+func encodeTxnRequest(ops []aria.TxnOp) ([]byte, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("kvnet: empty transaction")
+	}
+	if len(ops) > maxTxnWireOps {
+		return nil, fmt.Errorf("kvnet: transaction of %d ops exceeds limit %d", len(ops), maxTxnWireOps)
+	}
+	buf := make([]byte, 0, 5+len(ops)*16)
+	buf = append(buf, opTxnCommit)
+	var u4 [4]byte
+	binary.BigEndian.PutUint32(u4[:], uint32(len(ops)))
+	buf = append(buf, u4[:]...)
+	var u8 [8]byte
+	for i := range ops {
+		op := &ops[i]
+		if len(op.Key) > maxKeyWire {
+			return nil, fmt.Errorf("kvnet: txn op %d: key too large for the wire", i)
+		}
+		kind := byte(txnKindWirePut)
+		switch {
+		case op.ReadOnly:
+			if !op.Check {
+				return nil, fmt.Errorf("kvnet: txn op %d: read-only op without a version check", i)
+			}
+			kind = txnKindWireCheck
+		case op.Delete:
+			kind = txnKindWireDelete
+		case op.TTL > 0:
+			kind = txnKindWirePutTTL
+		}
+		check := byte(0)
+		if op.Check {
+			check = 1
+		}
+		buf = append(buf, kind, check)
+		if op.Check {
+			binary.BigEndian.PutUint64(u8[:], op.Version)
+			buf = append(buf, u8[:]...)
+		}
+		var k2 [2]byte
+		binary.BigEndian.PutUint16(k2[:], uint16(len(op.Key)))
+		buf = append(buf, k2[:]...)
+		buf = append(buf, op.Key...)
+		if kind == txnKindWirePutTTL {
+			binary.BigEndian.PutUint64(u8[:], uint64(op.TTL))
+			buf = append(buf, u8[:]...)
+		}
+		if kind == txnKindWirePut || kind == txnKindWirePutTTL {
+			if len(op.Value) > maxValueWire {
+				return nil, fmt.Errorf("kvnet: txn op %d: value too large for the wire", i)
+			}
+			binary.BigEndian.PutUint32(u4[:], uint32(len(op.Value)))
+			buf = append(buf, u4[:]...)
+			buf = append(buf, op.Value...)
+		}
+	}
+	return buf, nil
+}
+
+// decodeTxnRequest parses an opTxnCommit request payload.
+func decodeTxnRequest(buf []byte) (request, error) {
+	var rq request
+	if len(buf) < 5 || buf[0] != opTxnCommit {
+		return rq, errMalformed
+	}
+	rq.op = buf[0]
+	count := binary.BigEndian.Uint32(buf[1:5])
+	rest := buf[5:]
+	if count == 0 || count > maxTxnWireOps || int(count) > len(rest) {
+		return rq, errMalformed
+	}
+	ops := make([]aria.TxnOp, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 2 {
+			return rq, errMalformed
+		}
+		kind, check := rest[0], rest[1]
+		rest = rest[2:]
+		if kind > txnKindWireCheck || check > 1 {
+			return rq, errMalformed
+		}
+		var op aria.TxnOp
+		if check == 1 {
+			if len(rest) < 8 {
+				return rq, errMalformed
+			}
+			op.Check = true
+			op.Version = binary.BigEndian.Uint64(rest[:8])
+			rest = rest[8:]
+		}
+		if len(rest) < 2 {
+			return rq, errMalformed
+		}
+		klen := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if klen > maxKeyWire || len(rest) < klen {
+			return rq, errMalformed
+		}
+		op.Key = rest[:klen]
+		rest = rest[klen:]
+		switch kind {
+		case txnKindWireCheck:
+			if !op.Check {
+				return rq, errMalformed
+			}
+			op.ReadOnly = true
+		case txnKindWireDelete:
+			op.Delete = true
+		case txnKindWirePutTTL, txnKindWirePut:
+			if kind == txnKindWirePutTTL {
+				if len(rest) < 8 {
+					return rq, errMalformed
+				}
+				ttl := binary.BigEndian.Uint64(rest[:8])
+				if ttl > 1<<62 {
+					return rq, errMalformed
+				}
+				op.TTL = time.Duration(ttl)
+				rest = rest[8:]
+			}
+			if len(rest) < 4 {
+				return rq, errMalformed
+			}
+			vlen64 := uint64(binary.BigEndian.Uint32(rest[:4]))
+			if vlen64 > maxValueWire {
+				return rq, errMalformed
+			}
+			vlen := int(vlen64)
+			rest = rest[4:]
+			if len(rest) < vlen {
+				return rq, errMalformed
+			}
+			op.Value = rest[:vlen]
+			rest = rest[vlen:]
+		}
+		ops = append(ops, op)
+	}
+	if len(rest) != 0 {
+		return rq, errMalformed
+	}
+	rq.tops = ops
+	return rq, nil
+}

@@ -62,6 +62,12 @@ const (
 	metricCheckpoints       = "aria_checkpoints_total"
 	metricCheckpointWallNs  = "aria_checkpoint_wall_ns"
 	metricRecoveredRecords  = "aria_recovered_records"
+	metricTxnCommits        = "aria_txn_commits_total"
+	metricTxnConflicts      = "aria_txn_conflicts_total"
+	metricCASMismatches     = "aria_txn_cas_mismatches_total"
+	metricTTLExpired        = "aria_ttl_expired_total"
+	metricTTLSwept          = "aria_ttl_swept_total"
+	metricTTLSweeps         = "aria_ttl_sweeps_total"
 )
 
 // opKind indexes the per-operation instrument arrays.
@@ -72,10 +78,11 @@ const (
 	opKindPut
 	opKindDelete
 	opKindScan
+	opKindCAS
 	opKindCount
 )
 
-var opKindNames = [opKindCount]string{"get", "put", "delete", "scan"}
+var opKindNames = [opKindCount]string{"get", "put", "delete", "scan", "cas"}
 
 // batchKind indexes the per-batch-operation instrument arrays.
 type batchKind int
@@ -84,10 +91,11 @@ const (
 	batchKindMGet batchKind = iota
 	batchKindMPut
 	batchKindMDelete
+	batchKindTxn
 	batchKindCount
 )
 
-var batchKindNames = [batchKindCount]string{"mget", "mput", "mdelete"}
+var batchKindNames = [batchKindCount]string{"mget", "mput", "mdelete", "txn"}
 
 // meteredStore wraps one single-enclave store with instrumentation and a
 // mutex that serializes operations AND stats reads. The engines model one
@@ -115,17 +123,22 @@ type meteredStore struct {
 	ckptWall *obs.Histogram
 }
 
-// enclaveOf extracts the simulated enclave behind a single-scheme store.
+// enclaveOf extracts the simulated enclave behind a single-scheme store
+// (the scheme engines themselves sit below the semantics layer and only
+// implement plainStore, hence the inner switch).
 func enclaveOf(s Store) *sgx.Enclave {
 	switch t := s.(type) {
-	case *coreStore:
-		return t.enc
-	case *shieldStore:
-		return t.enc
-	case *baseStore:
-		return t.enc
 	case *durableStore:
 		return t.enc
+	case *semStore:
+		switch in := t.inner.(type) {
+		case *coreStore:
+			return in.enc
+		case *shieldStore:
+			return in.enc
+		case *baseStore:
+			return in.enc
+		}
 	}
 	return nil
 }
@@ -192,6 +205,12 @@ func meter(inner Store, reg *obs.Registry, shard string) *meteredStore {
 		emit(metricWALFsyncs, "fsync calls issued by the WAL.", obs.TypeCounter, sl, float64(st.WALFsyncs))
 		emit(metricCheckpoints, "Sealed snapshots completed.", obs.TypeCounter, sl, float64(st.Checkpoints))
 		emit(metricRecoveredRecords, "WAL records replayed by the last recovery.", obs.TypeGauge, sl, float64(st.RecoveredRecords))
+		emit(metricTxnCommits, "Transactions committed (write-applying commits).", obs.TypeCounter, sl, float64(st.TxnCommits))
+		emit(metricTxnConflicts, "Transactions aborted by version-check conflicts.", obs.TypeCounter, sl, float64(st.TxnConflicts))
+		emit(metricCASMismatches, "CompareAndSwap calls rejected on a version mismatch.", obs.TypeCounter, sl, float64(st.CASMismatches))
+		emit(metricTTLExpired, "Expired keys reclaimed lazily by reads.", obs.TypeCounter, sl, float64(st.TTLExpired))
+		emit(metricTTLSwept, "Expired keys reclaimed by background sweeps.", obs.TypeCounter, sl, float64(st.TTLSwept))
+		emit(metricTTLSweeps, "Background expiry sweep passes completed.", obs.TypeCounter, sl, float64(st.TTLSweeps))
 	})
 	return m
 }
@@ -223,14 +242,21 @@ func (m *meteredStore) simCycles() uint64 {
 }
 
 // observe records one finished operation. Not-found is a normal outcome
-// for Get/Delete, not an operational error.
+// for Get/Delete, and optimistic-concurrency losses (CAS mismatch, txn
+// conflict) are expected contention, not operational errors.
 func (m *meteredStore) observe(k opKind, t0 time.Time, c0 uint64, err error) {
 	m.ops[k].Inc()
-	if err != nil && !errors.Is(err, ErrNotFound) {
+	if err != nil && !expectedOutcome(err) {
 		m.errs[k].Inc()
 	}
 	m.wall[k].Record(uint64(time.Since(t0)))
 	m.cycles[k].Record(m.simCycles() - c0)
+}
+
+// expectedOutcome reports whether err is a normal protocol outcome
+// rather than an operational failure.
+func expectedOutcome(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrCASMismatch) || errors.Is(err, ErrTxnConflict)
 }
 
 // observeBatch records one finished batch operation: realized batch size,
@@ -241,7 +267,7 @@ func (m *meteredStore) observeBatch(k batchKind, n int, t0 time.Time, c0 uint64,
 	m.bkeys[k].Add(uint64(n))
 	var bad uint64
 	for _, e := range errs {
-		if e != nil && !errors.Is(e, ErrNotFound) {
+		if e != nil && !expectedOutcome(e) {
 			bad++
 		}
 	}
@@ -312,6 +338,86 @@ func (m *meteredStore) Delete(key []byte) error {
 	t0, c0 := time.Now(), m.simCycles()
 	err := m.inner.Delete(key)
 	m.observe(opKindDelete, t0, c0, err)
+	return err
+}
+
+// GetV implements Store; a versioned read is observed as a get.
+func (m *meteredStore) GetV(key []byte) ([]byte, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	v, ver, err := m.inner.GetV(key)
+	m.observe(opKindGet, t0, c0, err)
+	return v, ver, err
+}
+
+// CompareAndSwap implements Store under its own op label ("cas"); a
+// version mismatch is expected contention, not an operational error.
+func (m *meteredStore) CompareAndSwap(key, value []byte, expect uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	err := m.inner.CompareAndSwap(key, value, expect)
+	m.observe(opKindCAS, t0, c0, err)
+	return err
+}
+
+// PutTTL implements Store; a TTL write is observed as a put.
+func (m *meteredStore) PutTTL(key, value []byte, ttl time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	err := m.inner.PutTTL(key, value, ttl)
+	m.observe(opKindPut, t0, c0, err)
+	return err
+}
+
+// TxnCommit implements Store, observed as a batch labelled "txn" (one
+// commit = one group of keys entering the enclave together).
+func (m *meteredStore) TxnCommit(ops []TxnOp) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t0, c0 := time.Now(), m.simCycles()
+	err := m.inner.TxnCommit(ops)
+	var errs []error
+	if err != nil {
+		errs = []error{err}
+	}
+	m.observeBatch(batchKindTxn, len(ops), t0, c0, errs)
+	return err
+}
+
+// putExpireAbs implements expiryApplier (the replica apply path),
+// observed as a put like PutTTL.
+func (m *meteredStore) putExpireAbs(key, value []byte, exp int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ea, ok := m.inner.(expiryApplier)
+	if !ok {
+		return errors.New("aria: metered store's inner store cannot apply ttl records")
+	}
+	t0, c0 := time.Now(), m.simCycles()
+	err := ea.putExpireAbs(key, value, exp)
+	m.observe(opKindPut, t0, c0, err)
+	return err
+}
+
+// applyTxnWrites implements txnApplier (the replica apply path),
+// observed as a "txn" batch like TxnCommit.
+func (m *meteredStore) applyTxnWrites(writes []txnWrite) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ta, ok := m.inner.(txnApplier)
+	if !ok {
+		return errors.New("aria: metered store's inner store cannot apply txn records")
+	}
+	t0, c0 := time.Now(), m.simCycles()
+	err := ta.applyTxnWrites(writes)
+	var errs []error
+	if err != nil {
+		errs = []error{err}
+	}
+	m.observeBatch(batchKindTxn, len(writes), t0, c0, errs)
 	return err
 }
 

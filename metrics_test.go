@@ -26,8 +26,8 @@ func TestMetricsDisabledPathUnchanged(t *testing.T) {
 	if _, ok := st.(*meteredStore); ok {
 		t.Fatal("Open with Metrics=nil returned a metered wrapper")
 	}
-	if _, ok := st.(*coreStore); !ok {
-		t.Fatalf("Open with Metrics=nil returned %T, want *coreStore", st)
+	if _, ok := st.(*semStore); !ok {
+		t.Fatalf("Open with Metrics=nil returned %T, want *semStore", st)
 	}
 
 	reg := obs.NewRegistry()

@@ -1,0 +1,107 @@
+// Replication of the transactional record shapes: CAS results, TTL
+// deadlines, and multi-key group commits must reach the replica as the
+// same atomic units the primary logged, and survive promotion.
+package repl_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ariakv/aria"
+	"github.com/ariakv/aria/kvnet"
+	"github.com/ariakv/aria/repl"
+)
+
+func TestReplicationTxnAndTTL(t *testing.T) {
+	pDir, rDir := t.TempDir(), t.TempDir()
+	primary, err := repl.OpenPrimary(testOpts(pDir, 2), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	pSrv, pAddr := serveNode(t, primary, "")
+	defer pSrv.Close()
+
+	replica, err := repl.OpenReplica(testOpts(rDir, 2), pAddr, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	rSrv, rAddr := serveNode(t, replica, "")
+	defer rSrv.Close()
+
+	pc, rc := dial(t, pAddr), dial(t, rAddr)
+
+	// CAS lineage: the version-checked write replays as a plain put on
+	// the replica.
+	wm, err := pc.PutW([]byte("acct"), []byte("100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ver, err := pc.GetV([]byte("acct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm, err = pc.CompareAndSwapW([]byte("acct"), []byte("90"), ver); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "replica to apply the CAS write", func() bool {
+		v, gerr := rc.GetAt([]byte("acct"), []kvnet.Watermark{wm})
+		return gerr == nil && string(v) == "90"
+	})
+
+	// TTL lineage: the sealed absolute deadline ships verbatim; both
+	// sides agree the key is live now.
+	if wm, err = pc.PutTTLW([]byte("lease"), []byte("held"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "replica to apply the TTL write", func() bool {
+		v, gerr := rc.GetAt([]byte("lease"), []kvnet.Watermark{wm})
+		return gerr == nil && string(v) == "held"
+	})
+
+	// Txn lineage: a multi-key commit spanning both WAL shards lands on
+	// the replica as a unit — every write readable at the txn's
+	// watermarks.
+	ops := []aria.TxnOp{
+		{Key: []byte("acct"), Value: []byte("80"), Check: true, Version: ver + 1},
+		{Key: []byte("journal"), Value: []byte("acct-10")},
+		{Key: []byte("hold"), Value: []byte("x"), TTL: time.Hour},
+	}
+	marks, err := pc.TxnCommitW(ops)
+	if err != nil {
+		t.Fatalf("TxnCommitW: %v", err)
+	}
+	for key, want := range map[string]string{"acct": "80", "journal": "acct-10", "hold": "x"} {
+		waitFor(t, 10*time.Second, "replica to apply txn write "+key, func() bool {
+			v, gerr := rc.GetAt([]byte(key), marks)
+			return gerr == nil && string(v) == want
+		})
+	}
+
+	// The replica refuses transactional writes with the fencing
+	// sentinel, like any other write.
+	if err := rc.CompareAndSwap([]byte("acct"), []byte("0"), 1); !errors.Is(err, aria.ErrReadOnlyReplica) {
+		t.Fatalf("replica CAS: %v, want ErrReadOnlyReplica", err)
+	}
+	if err := rc.PutTTL([]byte("x"), []byte("y"), time.Minute); !errors.Is(err, aria.ErrReadOnlyReplica) {
+		t.Fatalf("replica PutTTL: %v, want ErrReadOnlyReplica", err)
+	}
+	if err := rc.TxnCommit(ops); !errors.Is(err, aria.ErrReadOnlyReplica) {
+		t.Fatalf("replica TxnCommit: %v, want ErrReadOnlyReplica", err)
+	}
+
+	// After promotion the replica owns the lineage: a CAS against the
+	// replayed version succeeds there.
+	if err := replica.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	_, pver, err := rc.GetV([]byte("acct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.CompareAndSwap([]byte("acct"), []byte("70"), pver); err != nil {
+		t.Fatalf("CAS on the promoted replica: %v", err)
+	}
+}

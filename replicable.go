@@ -55,9 +55,48 @@ func ApplyWALPayload(st Store, payload []byte) error {
 			return err
 		}
 		return nil
+	case walOpPutTTL:
+		// The record carries the absolute deadline the primary
+		// committed; re-deriving it from a relative TTL on the replica's
+		// clock would diverge, so the apply path takes it verbatim.
+		exp, v, serr := splitTTLBody(value)
+		if serr != nil {
+			return serr
+		}
+		ea, ok := st.(expiryApplier)
+		if !ok {
+			return fmt.Errorf("aria: store %T cannot apply ttl records", st)
+		}
+		return ea.putExpireAbs(key, v, exp)
+	case walOpTxn:
+		// The whole transaction applies atomically and re-seals as one
+		// record in the replica's own WAL, preserving the primary's
+		// all-or-nothing guarantee downstream.
+		writes, derr := decodeWalTxnBody(value)
+		if derr != nil {
+			return derr
+		}
+		ta, ok := st.(txnApplier)
+		if !ok {
+			return fmt.Errorf("aria: store %T cannot apply txn records", st)
+		}
+		return ta.applyTxnWrites(writes)
 	default:
 		return fmt.Errorf("aria: unknown wal op %d", op)
 	}
+}
+
+// expiryApplier is the internal absolute-deadline write path replicas
+// use: every wrapper in the stack forwards it down to the semantics
+// layer (and the durable layer re-logs the identical record).
+type expiryApplier interface {
+	putExpireAbs(key, value []byte, exp int64) error
+}
+
+// txnApplier is the internal already-validated transaction apply path
+// replicas use, mirroring expiryApplier.
+type txnApplier interface {
+	applyTxnWrites(writes []txnWrite) error
 }
 
 // InitDataDir prepares dir to be opened with the given seed and shard

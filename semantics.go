@@ -1,0 +1,567 @@
+package aria
+
+// The semantics layer: versions, TTL expiry, compare-and-swap, and
+// multi-key transactions, layered over every scheme store.
+//
+// Each key carries trusted in-enclave metadata — a monotonically
+// assigned version and an optional absolute expiry deadline — held in a
+// small map the simulator does not price (it stands in for metadata a
+// real enclave would keep alongside the encryption counters it already
+// maintains per key, so plain Get/Put costs are unchanged and the
+// committed benchmark snapshots stay valid; DESIGN.md §14 argues the
+// accounting). Everything that touches untrusted memory — the actual
+// reads, writes, and the physical deletes that reclaim expired keys —
+// still flows through the scheme store and is charged as usual.
+//
+// Versions come from one per-store counter that only moves forward:
+// a delete/recreate cycle always yields a strictly larger version, so
+// CompareAndSwap and transaction validation are ABA-safe. Expired keys
+// are logically absent the moment their deadline passes; the physical
+// delete happens lazily when a read touches the key, or in a background
+// sweeper pass (Options.TTLSweepEvery).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// plainStore is the pre-transactional store surface the scheme engines
+// implement; semStore layers GetV/CompareAndSwap/PutTTL/TxnCommit on
+// top of it.
+type plainStore interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	MGet(keys [][]byte) ([][]byte, []error)
+	MPut(pairs []KV) []error
+	MDelete(keys [][]byte) []error
+	Stats() Stats
+	VerifyIntegrity() error
+	SetMeasuring(on bool)
+	ResetStats()
+}
+
+// keyMeta is the trusted per-key metadata: the version assigned by the
+// last write and the absolute expiry deadline (unix nanoseconds, 0 =
+// never).
+type keyMeta struct {
+	ver uint64
+	exp int64
+}
+
+// txnWrite is one resolved transaction write: TTLs have been converted
+// to absolute deadlines, so the same slice applies identically at
+// commit time, during WAL replay, and on a replica.
+type txnWrite struct {
+	key, value []byte
+	del        bool
+	exp int64 // absolute unix nanos; 0 = no expiry
+}
+
+// semantic is the internal surface the durability layer uses to drive
+// the semantics store underneath it: resolving and committing
+// transactions, replaying absolute-expiry writes, and persisting the
+// version metadata into snapshots.
+type semantic interface {
+	resolveTxn(ops []TxnOp) ([]txnWrite, error)
+	commitTxn(ops []TxnOp, writes []txnWrite) error
+	applyTxnWrites(writes []txnWrite) error
+	putExpireAbs(key, value []byte, exp int64) error
+	restorePair(key, value []byte, ver uint64, exp int64) error
+	metaOf(key []byte) (ver uint64, exp int64)
+	clockVersion() uint64
+	setClockVersion(v uint64)
+	nowNanos() int64
+}
+
+// semStore implements the semantics layer. Its mutex serializes all
+// store access (the simulated enclave models a single trusted thread),
+// which also lets the background sweeper run safely alongside callers.
+type semStore struct {
+	inner    plainStore
+	now      func() time.Time
+	maxKey   int
+	maxValue int
+
+	mu     sync.Mutex
+	meta   map[string]keyMeta
+	vclock uint64
+
+	txnCommits    uint64
+	txnConflicts  uint64
+	casMismatches uint64
+	ttlExpired    uint64
+	ttlSwept      uint64
+	ttlSweeps     uint64
+
+	sweepEvery time.Duration
+	stopC      chan struct{}
+	wg         sync.WaitGroup
+	closed     bool
+}
+
+func newSemStore(inner plainStore, opts Options) *semStore {
+	s := &semStore{
+		inner:      inner,
+		now:        opts.Now,
+		maxKey:     opts.MaxKeySize,
+		maxValue:   opts.MaxValueSize,
+		meta:       make(map[string]keyMeta),
+		sweepEvery: opts.TTLSweepEvery,
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	// Mirror the engines' limit defaults so transaction writes can be
+	// pre-validated before any of them applies (all-or-nothing).
+	if s.maxKey <= 0 {
+		s.maxKey = 256
+	}
+	if s.maxValue <= 0 {
+		s.maxValue = 4096
+	}
+	if s.sweepEvery > 0 {
+		s.stopC = make(chan struct{})
+		s.wg.Add(1)
+		go s.sweepLoop()
+	}
+	return s
+}
+
+// reapIfExpiredLocked reports whether key is expired at the current
+// clock and, if so, reclaims it: the physical delete is charged to the
+// scheme store like any other delete, and the metadata entry is
+// dropped. Expired keys are logically absent whether or not a reap has
+// happened yet.
+func (s *semStore) reapIfExpiredLocked(key []byte) bool {
+	m, ok := s.meta[string(key)]
+	if !ok || m.exp == 0 || s.now().UnixNano() < m.exp {
+		return false
+	}
+	_ = s.inner.Delete(key)
+	delete(s.meta, string(key))
+	s.ttlExpired++
+	return true
+}
+
+func (s *semStore) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(key, value, 0)
+}
+
+// putLocked writes through the scheme store and, on success, assigns
+// the key a fresh version and the given expiry deadline. A plain Put
+// (exp 0) over a TTL key clears the TTL.
+func (s *semStore) putLocked(key, value []byte, exp int64) error {
+	if err := s.inner.Put(key, value); err != nil {
+		return err
+	}
+	s.vclock++
+	s.meta[string(key)] = keyMeta{ver: s.vclock, exp: exp}
+	return nil
+}
+
+func (s *semStore) Get(key []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reapIfExpiredLocked(key) {
+		return nil, ErrNotFound
+	}
+	return s.inner.Get(key)
+}
+
+func (s *semStore) GetV(key []byte) ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reapIfExpiredLocked(key) {
+		return nil, 0, ErrNotFound
+	}
+	v, err := s.inner.Get(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, s.meta[string(key)].ver, nil
+}
+
+func (s *semStore) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reapIfExpiredLocked(key) {
+		return ErrNotFound
+	}
+	if err := s.inner.Delete(key); err != nil {
+		return err
+	}
+	delete(s.meta, string(key))
+	return nil
+}
+
+func (s *semStore) PutTTL(key, value []byte, ttl time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var exp int64
+	if ttl > 0 {
+		exp = s.now().Add(ttl).UnixNano()
+	}
+	return s.putLocked(key, value, exp)
+}
+
+// putExpireAbs writes a key with an already-absolute expiry deadline:
+// the WAL replay and replica apply path, where re-deriving the deadline
+// from a relative TTL would drift from the sealed record.
+func (s *semStore) putExpireAbs(key, value []byte, exp int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(key, value, exp)
+}
+
+func (s *semStore) CompareAndSwap(key, value []byte, expect uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapIfExpiredLocked(key)
+	var cur uint64
+	if m, ok := s.meta[string(key)]; ok {
+		cur = m.ver
+	}
+	if cur != expect {
+		s.casMismatches++
+		return fmt.Errorf("%w: key at version %d, expected %d", ErrCASMismatch, cur, expect)
+	}
+	return s.putLocked(key, value, 0)
+}
+
+func (s *semStore) TxnCommit(ops []TxnOp) error {
+	writes, err := s.resolveTxn(ops)
+	if err != nil {
+		return err
+	}
+	return s.commitTxn(ops, writes)
+}
+
+// resolveTxn validates a transaction's shape and converts its relative
+// TTLs into absolute deadlines, stamped once for the whole commit. The
+// size pre-checks make the later apply loop infallible under normal
+// operation, keeping the commit all-or-nothing.
+func (s *semStore) resolveTxn(ops []TxnOp) ([]txnWrite, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("aria: empty transaction")
+	}
+	nowN := s.now().UnixNano()
+	writes := make([]txnWrite, 0, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		if op.ReadOnly {
+			if !op.Check {
+				return nil, fmt.Errorf("aria: txn op %d: read-only op without a version check", i)
+			}
+			continue
+		}
+		if len(op.Key) == 0 {
+			return nil, ErrEmptyKey
+		}
+		if len(op.Key) > s.maxKey || (!op.Delete && len(op.Value) > s.maxValue) {
+			return nil, ErrTooLarge
+		}
+		w := txnWrite{key: op.Key, value: op.Value, del: op.Delete}
+		if !op.Delete && op.TTL > 0 {
+			w.exp = nowN + int64(op.TTL)
+		}
+		writes = append(writes, w)
+	}
+	return writes, nil
+}
+
+// commitTxn validates every version check and, only if all hold,
+// applies the writes. Validation reads only trusted metadata, so a
+// failed commit costs no untrusted access and changes nothing.
+func (s *semStore) commitTxn(ops []TxnOp, writes []txnWrite) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range ops {
+		op := &ops[i]
+		if !op.Check {
+			continue
+		}
+		s.reapIfExpiredLocked(op.Key)
+		var cur uint64
+		if m, ok := s.meta[string(op.Key)]; ok {
+			cur = m.ver
+		}
+		if cur != op.Version {
+			s.txnConflicts++
+			return fmt.Errorf("%w: key at version %d, expected %d", ErrTxnConflict, cur, op.Version)
+		}
+	}
+	if err := s.applyTxnWritesLocked(writes); err != nil {
+		return err
+	}
+	// Only write-applying commits count: a cross-shard commit runs a
+	// validation-only sub-transaction per shard first (see sharded.go),
+	// and counting those would inflate the metric.
+	if len(writes) > 0 {
+		s.txnCommits++
+	}
+	return nil
+}
+
+// applyTxnWrites applies already-resolved writes without validation:
+// the WAL replay and replica path, where the decision to commit was
+// made (and sealed) by the original primary.
+func (s *semStore) applyTxnWrites(writes []txnWrite) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyTxnWritesLocked(writes)
+}
+
+func (s *semStore) applyTxnWritesLocked(writes []txnWrite) error {
+	for i := range writes {
+		w := &writes[i]
+		if w.del {
+			// Deleting an absent key inside a transaction is a no-op,
+			// like replaying a delete over a snapshot that no longer
+			// holds the key.
+			if err := s.inner.Delete(w.key); err != nil && !errors.Is(err, ErrNotFound) {
+				return fmt.Errorf("aria: txn apply: %w", err)
+			}
+			delete(s.meta, string(w.key))
+			continue
+		}
+		if err := s.inner.Put(w.key, w.value); err != nil {
+			return fmt.Errorf("aria: txn apply: %w", err)
+		}
+		s.vclock++
+		s.meta[string(w.key)] = keyMeta{ver: s.vclock, exp: w.exp}
+	}
+	return nil
+}
+
+// restorePair reinstates a snapshot pair with its recorded version and
+// expiry, without advancing the version clock (setClockVersion restores
+// that separately).
+func (s *semStore) restorePair(key, value []byte, ver uint64, exp int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.inner.Put(key, value); err != nil {
+		return err
+	}
+	s.meta[string(key)] = keyMeta{ver: ver, exp: exp}
+	return nil
+}
+
+func (s *semStore) metaOf(key []byte) (uint64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.meta[string(key)]
+	return m.ver, m.exp
+}
+
+func (s *semStore) clockVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vclock
+}
+
+func (s *semStore) setClockVersion(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.vclock {
+		s.vclock = v
+	}
+}
+
+func (s *semStore) nowNanos() int64 { return s.now().UnixNano() }
+
+// ---- batches ---------------------------------------------------------------------
+
+func (s *semStore) MGet(keys [][]byte) ([][]byte, []error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		s.reapIfExpiredLocked(k)
+	}
+	return s.inner.MGet(keys)
+}
+
+func (s *semStore) MPut(pairs []KV) []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	errs := s.inner.MPut(pairs)
+	for i := range pairs {
+		if errs == nil || errs[i] == nil {
+			s.vclock++
+			s.meta[string(pairs[i].Key)] = keyMeta{ver: s.vclock}
+		}
+	}
+	return errs
+}
+
+func (s *semStore) MDelete(keys [][]byte) []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		s.reapIfExpiredLocked(k)
+	}
+	errs := s.inner.MDelete(keys)
+	for i, k := range keys {
+		if errs == nil || errs[i] == nil {
+			delete(s.meta, string(k))
+		}
+	}
+	return errs
+}
+
+// ---- sweeper ---------------------------------------------------------------------
+
+func (s *semStore) sweepLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.sweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopC:
+			return
+		case <-t.C:
+			s.sweepOnce()
+		}
+	}
+}
+
+// sweepOnce removes every key whose deadline has passed. The pass
+// enters the enclave once (charged as an ECALL when the scheme exposes
+// its edge) and pays a normal delete per reclaimed key; scanning the
+// trusted metadata itself is EPC-resident work the simulator does not
+// price, like any other in-enclave bookkeeping.
+func (s *semStore) sweepOnce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ec, ok := s.inner.(EdgeCaller); ok {
+		ec.ChargeEcall()
+	}
+	nowN := s.now().UnixNano()
+	for k, m := range s.meta {
+		if m.exp == 0 || nowN < m.exp {
+			continue
+		}
+		_ = s.inner.Delete([]byte(k))
+		delete(s.meta, k)
+		s.ttlSwept++
+	}
+	s.ttlSweeps++
+}
+
+// ---- plumbing --------------------------------------------------------------------
+
+func (s *semStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.inner.Stats()
+	st.TxnCommits = s.txnCommits
+	st.TxnConflicts = s.txnConflicts
+	st.CASMismatches = s.casMismatches
+	st.TTLExpired = s.ttlExpired
+	st.TTLSwept = s.ttlSwept
+	st.TTLSweeps = s.ttlSweeps
+	return st
+}
+
+func (s *semStore) VerifyIntegrity() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.VerifyIntegrity()
+}
+
+func (s *semStore) SetMeasuring(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.SetMeasuring(on)
+}
+
+func (s *semStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.txnCommits, s.txnConflicts, s.casMismatches = 0, 0, 0
+	s.ttlExpired, s.ttlSwept, s.ttlSweeps = 0, 0, 0
+	s.inner.ResetStats()
+}
+
+// Checkpoint implements Durable: the semantics layer itself has no
+// lineage, so it reports ErrNotDurable exactly like a store opened
+// without DataDir (the durability wrapper overrides this).
+func (s *semStore) Checkpoint() error { return ErrNotDurable }
+
+// Close stops the background sweeper, if one is running. Safe to call
+// more than once.
+func (s *semStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.stopC != nil {
+		close(s.stopC)
+		s.wg.Wait()
+	}
+	return nil
+}
+
+// Scan passes through to ordered scheme stores; unordered indexes
+// report ErrNoScan. Expired-but-unreaped keys may still appear in a
+// scan — range scans read the untrusted index directly, and pruning
+// them would require a trusted lookup per visited key; the sweeper
+// bounds the window (documented in DESIGN.md §14).
+func (s *semStore) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.inner.(Ranger); ok {
+		return r.Scan(start, end, fn)
+	}
+	return ErrNoScan
+}
+
+func (s *semStore) ChargeEcall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ec, ok := s.inner.(EdgeCaller); ok {
+		ec.ChargeEcall()
+	}
+}
+
+func (s *semStore) UntrustedSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.inner.(Corrupter); ok {
+		return c.UntrustedSize()
+	}
+	return 0
+}
+
+func (s *semStore) FlipUntrustedByte(offset int, mask byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.inner.(Corrupter); ok {
+		return c.FlipUntrustedByte(offset, mask)
+	}
+	return false
+}
+
+func (s *semStore) SnapshotUntrusted() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.inner.(Corrupter); ok {
+		return c.SnapshotUntrusted()
+	}
+	return nil
+}
+
+func (s *semStore) RestoreUntrusted(snap []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.inner.(Corrupter); ok {
+		c.RestoreUntrusted(snap)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ariakv/aria/internal/shard"
 )
@@ -58,10 +60,21 @@ func openSharded(opts Options) (Store, error) {
 	roots := shard.SplitBudget(opts.ShieldStoreRootBytes, n)
 	keys := shard.SplitKeys(opts.ExpectedKeys, n)
 	s := &shardedStore{
-		shards: make([]Store, n),
-		mus:    make([]sync.Mutex, n),
-		router: shard.NewRouter(n),
-		scheme: opts.Scheme,
+		shards:   make([]Store, n),
+		mus:      make([]sync.Mutex, n),
+		router:   shard.NewRouter(n),
+		scheme:   opts.Scheme,
+		maxKey:   opts.MaxKeySize,
+		maxValue: opts.MaxValueSize,
+	}
+	// Mirror the engines' limit defaults (see semStore): cross-shard
+	// transactions pre-validate sizes up front, so no shard can reject a
+	// write after another shard already applied its part.
+	if s.maxKey <= 0 {
+		s.maxKey = 256
+	}
+	if s.maxValue <= 0 {
+		s.maxValue = 4096
 	}
 	// Shards build in parallel: with Options.DataDir each shard owns a
 	// WAL+snapshot lineage in its shard-<i> subdirectory, and crash
@@ -121,11 +134,13 @@ func openSharded(opts Options) (Store, error) {
 // own integrity guard: a quarantined key on shard 3 degrades shard 3
 // only, and the other shards keep serving untouched.
 type shardedStore struct {
-	shards []Store
-	mus    []sync.Mutex // one per shard: each engine models one enclave thread
-	router shard.Router
-	scheme Scheme
-	rr     atomic.Uint64 // round-robin for charges not tied to a key
+	shards   []Store
+	mus      []sync.Mutex // one per shard: each engine models one enclave thread
+	router   shard.Router
+	scheme   Scheme
+	maxKey   int
+	maxValue int
+	rr       atomic.Uint64 // round-robin for charges not tied to a key
 }
 
 func (s *shardedStore) ConcurrentSafe() bool { return true }
@@ -192,6 +207,189 @@ func (s *shardedStore) Delete(key []byte) error {
 	s.mus[i].Lock()
 	defer s.mus[i].Unlock()
 	return s.shards[i].Delete(key)
+}
+
+func (s *shardedStore) GetV(key []byte) ([]byte, uint64, error) {
+	i := s.router.Pick(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].GetV(key)
+}
+
+func (s *shardedStore) CompareAndSwap(key, value []byte, expect uint64) error {
+	i := s.router.Pick(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].CompareAndSwap(key, value, expect)
+}
+
+func (s *shardedStore) PutTTL(key, value []byte, ttl time.Duration) error {
+	i := s.router.Pick(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].PutTTL(key, value, ttl)
+}
+
+// putExpireAbs implements expiryApplier (the replica apply path),
+// routing the absolute-deadline write to the shard owning the key.
+func (s *shardedStore) putExpireAbs(key, value []byte, exp int64) error {
+	i := s.router.Pick(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	ea, ok := s.shards[i].(expiryApplier)
+	if !ok {
+		return fmt.Errorf("aria: shard %d (%T) cannot apply ttl records", i, s.shards[i])
+	}
+	return ea.putExpireAbs(key, value, exp)
+}
+
+// ---- transactions across shards --------------------------------------------------
+
+// TxnCommit commits an optimistic transaction whose keys may span
+// shards. Single-shard transactions delegate directly and inherit the
+// shard's one-WAL-record atomicity. Cross-shard transactions take every
+// involved shard's lock in ascending index order (no deadlock against
+// other transactions), validate every shard's checks first, and only
+// then apply — so a conflict anywhere aborts the whole transaction with
+// nothing applied. Each writing shard then seals its own writes as one
+// WAL record; durability of the cross-shard group is per shard (see
+// docs/DESIGN.md on the crash window between shard commits).
+func (s *shardedStore) TxnCommit(ops []TxnOp) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("aria: empty transaction")
+	}
+	// Pre-validate shapes up front: once phase 2 starts applying, a
+	// later shard must not be able to reject a malformed write.
+	for i := range ops {
+		op := &ops[i]
+		if len(op.Key) == 0 {
+			return ErrEmptyKey
+		}
+		if op.ReadOnly {
+			if !op.Check {
+				return fmt.Errorf("aria: read-only txn op without version check")
+			}
+			continue
+		}
+		if len(op.Key) > s.maxKey {
+			return fmt.Errorf("%w: key %d bytes (max %d)", ErrTooLarge, len(op.Key), s.maxKey)
+		}
+		if !op.Delete && len(op.Value) > s.maxValue {
+			return fmt.Errorf("%w: value %d bytes (max %d)", ErrTooLarge, len(op.Value), s.maxValue)
+		}
+	}
+	groups := make([][]TxnOp, len(s.shards))
+	involved := make([]int, 0, 2)
+	for i := range ops {
+		sh := s.router.Pick(ops[i].Key)
+		if len(groups[sh]) == 0 {
+			involved = append(involved, sh)
+		}
+		groups[sh] = append(groups[sh], ops[i])
+	}
+	if len(involved) == 1 {
+		sh := involved[0]
+		s.mus[sh].Lock()
+		defer s.mus[sh].Unlock()
+		return s.shards[sh].TxnCommit(groups[sh])
+	}
+	sort.Ints(involved)
+	for _, sh := range involved {
+		s.mus[sh].Lock()
+	}
+	defer func() {
+		for _, sh := range involved {
+			s.mus[sh].Unlock()
+		}
+	}()
+	// Phase 1: validate every shard's read set while all locks are held.
+	// A failure here aborts with zero writes applied anywhere.
+	for _, sh := range involved {
+		checks := txnChecksOnly(groups[sh])
+		if len(checks) == 0 {
+			continue
+		}
+		if err := s.shards[sh].TxnCommit(checks); err != nil {
+			return err
+		}
+	}
+	// Phase 2: apply each shard's writes with checks stripped — the
+	// validation above already passed under these same locks, and
+	// re-checking would observe versions bumped by phase 2 itself.
+	var errs []error
+	for _, sh := range involved {
+		writes := txnWritesOnly(groups[sh])
+		if len(writes) == 0 {
+			continue
+		}
+		if err := s.shards[sh].TxnCommit(writes); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", sh, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// txnChecksOnly extracts a validation-only transaction from one shard's
+// ops: every version check, converted to a read-only op.
+func txnChecksOnly(ops []TxnOp) []TxnOp {
+	var checks []TxnOp
+	for i := range ops {
+		if ops[i].Check {
+			checks = append(checks, TxnOp{Key: ops[i].Key, ReadOnly: true, Check: true, Version: ops[i].Version})
+		}
+	}
+	return checks
+}
+
+// txnWritesOnly extracts one shard's writes with version checks
+// stripped, for the apply phase of a cross-shard commit.
+func txnWritesOnly(ops []TxnOp) []TxnOp {
+	var writes []TxnOp
+	for i := range ops {
+		if ops[i].ReadOnly {
+			continue
+		}
+		w := ops[i]
+		w.Check = false
+		w.Version = 0
+		writes = append(writes, w)
+	}
+	return writes
+}
+
+// applyTxnWrites implements txnApplier (the replica apply path). A
+// replicated txn record comes from one primary shard's lineage, but the
+// writes are grouped and routed anyway so the method is correct even if
+// a future lineage mixes shards.
+func (s *shardedStore) applyTxnWrites(writes []txnWrite) error {
+	groups := make([][]txnWrite, len(s.shards))
+	involved := make([]int, 0, 1)
+	for i := range writes {
+		sh := s.router.Pick(writes[i].key)
+		if len(groups[sh]) == 0 {
+			involved = append(involved, sh)
+		}
+		groups[sh] = append(groups[sh], writes[i])
+	}
+	sort.Ints(involved)
+	for _, sh := range involved {
+		s.mus[sh].Lock()
+	}
+	defer func() {
+		for _, sh := range involved {
+			s.mus[sh].Unlock()
+		}
+	}()
+	for _, sh := range involved {
+		ta, ok := s.shards[sh].(txnApplier)
+		if !ok {
+			return fmt.Errorf("aria: shard %d (%T) cannot apply txn records", sh, s.shards[sh])
+		}
+		if err := ta.applyTxnWrites(groups[sh]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ---- batched operations across shards -------------------------------------------
@@ -340,6 +538,12 @@ func (s *shardedStore) Stats() Stats {
 		agg.IntegrityFailures += st.IntegrityFailures
 		agg.QuarantinedKeys += st.QuarantinedKeys
 		agg.IntegrityPolicy = st.IntegrityPolicy
+		agg.TxnCommits += st.TxnCommits
+		agg.TxnConflicts += st.TxnConflicts
+		agg.CASMismatches += st.CASMismatches
+		agg.TTLExpired += st.TTLExpired
+		agg.TTLSwept += st.TTLSwept
+		agg.TTLSweeps += st.TTLSweeps
 		agg.WALAppends += st.WALAppends
 		agg.WALRecords += st.WALRecords
 		agg.WALBytes += st.WALBytes

@@ -1,0 +1,143 @@
+package aria
+
+// Txn is an optimistic multi-key transaction over a Store. Reads go to
+// the store and record the version they observed; writes buffer in a
+// private overlay, so later reads inside the transaction see them
+// (read-your-writes) while other clients see nothing until Commit.
+// Commit validates that every key read still carries the version it was
+// read at — including keys read as absent, which must still be absent —
+// and applies all buffered writes atomically, or fails with
+// ErrTxnConflict and applies none of them.
+//
+//	txn := aria.NewTxn(st)
+//	v, _ := txn.Get([]byte("balance"))
+//	txn.Put([]byte("balance"), newBalance(v))
+//	txn.Delete([]byte("hold"))
+//	if err := txn.Commit(); errors.Is(err, aria.ErrTxnConflict) {
+//		// somebody else won; re-read and retry
+//	}
+//
+// A Txn is not safe for concurrent use and is spent after Commit:
+// start a fresh one to retry.
+
+import "time"
+
+// txnPending is one buffered overlay write.
+type txnPending struct {
+	value []byte
+	del   bool
+	ttl   time.Duration
+}
+
+// Txn is an optimistic transaction: buffered writes plus the versions
+// of everything read. See the package example above; built on
+// Store.TxnCommit.
+type Txn struct {
+	st     Store
+	reads  map[string]uint64
+	writes map[string]txnPending
+	order  []string // write keys in first-write order, for deterministic commit records
+}
+
+// NewTxn starts an optimistic transaction against st.
+func NewTxn(st Store) *Txn {
+	return &Txn{
+		st:     st,
+		reads:  make(map[string]uint64),
+		writes: make(map[string]txnPending),
+	}
+}
+
+// Get reads a key through the transaction: buffered writes win
+// (read-your-writes); otherwise the store is read and the observed
+// version — including "absent", version 0 — joins the validation set
+// checked at Commit.
+func (t *Txn) Get(key []byte) ([]byte, error) {
+	if p, ok := t.writes[string(key)]; ok {
+		if p.del {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), p.value...), nil
+	}
+	v, ver, err := t.st.GetV(key)
+	switch {
+	case err == nil:
+		t.noteRead(key, ver)
+		return v, nil
+	case err == ErrNotFound:
+		t.noteRead(key, 0)
+		return nil, ErrNotFound
+	default:
+		return nil, err
+	}
+}
+
+// noteRead records the first observed version of a key; later reads in
+// the same transaction see the overlay or the same snapshot version.
+func (t *Txn) noteRead(key []byte, ver uint64) {
+	if _, ok := t.reads[string(key)]; !ok {
+		t.reads[string(key)] = ver
+	}
+}
+
+// Put buffers a write; nothing reaches the store until Commit.
+func (t *Txn) Put(key, value []byte) {
+	t.buffer(key, txnPending{value: append([]byte(nil), value...)})
+}
+
+// PutTTL buffers a write with a time-to-live, applied like
+// Store.PutTTL when the transaction commits.
+func (t *Txn) PutTTL(key, value []byte, ttl time.Duration) {
+	t.buffer(key, txnPending{value: append([]byte(nil), value...), ttl: ttl})
+}
+
+// Delete buffers a deletion; reads inside the transaction see the key
+// as absent from now on.
+func (t *Txn) Delete(key []byte) {
+	t.buffer(key, txnPending{del: true})
+}
+
+func (t *Txn) buffer(key []byte, p txnPending) {
+	if _, ok := t.writes[string(key)]; !ok {
+		t.order = append(t.order, string(key))
+	}
+	t.writes[string(key)] = p
+}
+
+// Commit validates the read set and applies the buffered writes
+// atomically via Store.TxnCommit. On ErrTxnConflict nothing was
+// applied; start a fresh Txn to retry. An empty transaction (no reads,
+// no writes) commits trivially.
+func (t *Txn) Commit() error {
+	ops := make([]TxnOp, 0, len(t.reads)+len(t.writes))
+	// Read-only validation entries for keys read but not written.
+	for k, ver := range t.reads {
+		if _, written := t.writes[k]; written {
+			continue
+		}
+		ops = append(ops, TxnOp{Key: []byte(k), ReadOnly: true, Check: true, Version: ver})
+	}
+	// sort for a deterministic record independent of map iteration.
+	sortOpsByKey(ops)
+	for _, k := range t.order {
+		p := t.writes[k]
+		op := TxnOp{Key: []byte(k), Value: p.value, Delete: p.del, TTL: p.ttl}
+		if ver, read := t.reads[k]; read {
+			op.Check = true
+			op.Version = ver
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	return t.st.TxnCommit(ops)
+}
+
+func sortOpsByKey(ops []TxnOp) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && string(ops[j].Key) < string(ops[j-1].Key); j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}
