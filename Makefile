@@ -54,6 +54,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseHello -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzDecodeTxnRequest -fuzztime=$(FUZZTIME) ./kvnet
 	$(GO) test -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./wal
+	$(GO) test -fuzz=FuzzDictDecompress -fuzztime=$(FUZZTIME) ./internal/compress
+	$(GO) test -fuzz=FuzzSegmentRecover -fuzztime=$(FUZZTIME) ./internal/segment
 
 # CI's PR-path fuzzing pass: every fuzzer above, briefly. The seeded
 # corpora under testdata/ run on every plain `go test` regardless; the
@@ -120,7 +122,7 @@ cover:
 # Deterministic bench-regression smoke: re-run the committed BENCH_*.json
 # snapshots in-process and fail on >5% drift in any table value.
 bench-smoke:
-	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor|TestCcacheSpeedupFloor|TestWireSpeedupFloor|TestYCSBSkewFloor' -v ./internal/bench
+	BENCH_GUARD=1 $(GO) test -count=1 -run 'TestBenchRegressionGuard|TestBatchAmortizationFloor|TestCcacheSpeedupFloor|TestWireSpeedupFloor|TestYCSBSkewFloor|TestCcoldCrossoverFloor|TestColdSnapshotSizeGuard' -v ./internal/bench
 
 # Prove the smoke guard has teeth: pricing enclave memory 6% higher must
 # push the committed tables out of tolerance.
@@ -136,6 +138,7 @@ bench-json:
 	$(GO) run ./cmd/aria-bench -exp repl -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp ccache -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(GO) run ./cmd/aria-bench -exp ycsb -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
+	$(GO) run ./cmd/aria-bench -exp ccold -scale $(BENCH_SCALE) -ops $(BENCH_OPS) -json .
 	$(MAKE) bench-wire
 
 # Regenerate the wire-pipelining snapshot on its own. Wall-clock, not

@@ -324,6 +324,22 @@ type Options struct {
 	// explicit Durable.Checkpoint calls always work). Only meaningful
 	// with DataDir.
 	CheckpointEvery int
+	// ColdCompress enables the cold tier (DESIGN.md §15). Checkpoints
+	// write immutable, sorted, compressed, sealed segments instead of
+	// re-sealing the whole keyspace: an incremental checkpoint persists
+	// only the keys written since the last one, and a sealed set
+	// manifest names which segments constitute the recovery point. Keys
+	// idle since the previous checkpoint are demoted out of enclave
+	// memory into a compressed cold area and promoted
+	// (decompress-on-miss) when touched again, shrinking resident bytes
+	// so the EPC holds a larger hot set. Recovery = newest valid
+	// segment set + WAL replay. Only meaningful with DataDir.
+	ColdCompress bool
+	// CompactEvery bounds the segment set: when a checkpoint would grow
+	// the set past this many segments, it compacts — rewrites every
+	// live key into one segment and starts a fresh set (default 8).
+	// Only meaningful with ColdCompress.
+	CompactEvery int
 	// Seed drives deterministic initialisation.
 	Seed uint64
 	// MeasureOff creates the store with cycle accounting disabled (bulk
@@ -415,6 +431,35 @@ type Stats struct {
 	// RecoveredRecords counts records recovery restored at Open:
 	// snapshot pairs loaded plus WAL records replayed.
 	RecoveredRecords uint64
+
+	// ColdKeys counts keys currently demoted into the compressed cold
+	// tier (Options.ColdCompress); the cold/compression/segment fields
+	// below are all zero unless the cold tier is enabled.
+	ColdKeys int
+	// ColdBytes is the compressed bytes those keys occupy in the cold
+	// area (what "resident" shrank by, roughly, before metadata).
+	ColdBytes int
+	// ColdHits counts accesses served by promoting a key out of the
+	// cold tier (decompress-on-miss).
+	ColdHits uint64
+	// ColdMisses counts read lookups that found their key neither
+	// resident nor in the cold tier.
+	ColdMisses uint64
+	// CompRawBytes totals the compressor's input bytes over demotions
+	// and segment writes.
+	CompRawBytes uint64
+	// CompBytes totals the compressor's output bytes; CompBytes over
+	// CompRawBytes is the realized compression ratio.
+	CompBytes uint64
+	// CompDictBytes is the serialized size of the newest trained
+	// dictionary.
+	CompDictBytes int
+	// Segments counts the segment files in the current set.
+	Segments int
+	// SegmentBytes is the current set's total on-disk size.
+	SegmentBytes int64
+	// Compactions counts major compactions (full set rewrites).
+	Compactions uint64
 
 	// TxnCommits counts successfully committed multi-key transactions;
 	// the remaining transactional/TTL counters below cover the richer

@@ -9,6 +9,7 @@
 //	            [-shards 1] [-policy failstop|quarantine] [-max-conns 1024]
 //	            [-idle-timeout 2m] [-write-timeout 30s] [-drain-timeout 5s]
 //	            [-data-dir DIR] [-fsync batch|always|never] [-checkpoint-every N]
+//	            [-cold-compress] [-compact-every N]
 //	            [-primary] [-replica-of HOST:PORT] [-promote] [-sync-replicas N]
 //
 // -shards N hash-partitions the keyspace across N independent enclave
@@ -27,6 +28,16 @@
 // start recovers from the snapshot instead of replaying the full WAL.
 // With -shards each shard keeps its own WAL+snapshot lineage in
 // DIR/shard-<i> and recovery runs in parallel across shards.
+//
+// -cold-compress (requires -data-dir) turns on the compressed cold
+// tier: checkpoints write sorted, dictionary-compressed, sealed
+// segments instead of whole-keyspace snapshots, and keys untouched
+// between checkpoints are demoted out of the enclave index into
+// compressed records (promoted back transparently on access). Segments
+// accumulate incrementally and are rewritten into one per shard every
+// -compact-every segments (default 8). See docs/OPERATIONS.md §2 for
+// the aria_comp_*/aria_seg_* metric families and DESIGN.md §15 for the
+// format.
 //
 // Replication (requires -data-dir): -primary publishes the sealed WAL
 // to subscribing replicas; -replica-of HOST:PORT runs this store as a
@@ -104,6 +115,8 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "persist writes to a sealed WAL under this directory (empty: in-memory only)")
 		fsyncName    = flag.String("fsync", "batch", "WAL flush policy: batch (one fsync per request), always, or never")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "automatic sealed snapshot every N logged records (0: only on shutdown)")
+		coldComp     = flag.Bool("cold-compress", false, "compressed cold tier: checkpoint into sorted sealed segments and demote untouched keys (requires -data-dir)")
+		compactEvery = flag.Int("compact-every", 0, "major-compact once the segment set reaches N segments (0: default 8; needs -cold-compress)")
 		primary      = flag.Bool("primary", false, "publish the sealed WAL to subscribing replicas (requires -data-dir)")
 		replicaOf    = flag.String("replica-of", "", "run as a read replica of the primary at this address (requires -data-dir)")
 		promote      = flag.Bool("promote", false, "promote this data directory's replica lineage to primary (implies -primary)")
@@ -141,6 +154,12 @@ func main() {
 		DataDir:         *dataDir,
 		Fsync:           fsync,
 		CheckpointEvery: *ckptEvery,
+		ColdCompress:    *coldComp,
+		CompactEvery:    *compactEvery,
+	}
+	if *coldComp && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "the cold tier lives in checkpoint segments: pass -data-dir with -cold-compress")
+		os.Exit(2)
 	}
 
 	replicated := *primary || *promote || *syncReplicas > 0 || *replicaOf != ""

@@ -297,6 +297,15 @@ func main() {
 				fmt.Printf("wal: appends=%d records=%d bytes=%d fsyncs=%d ckpts=%d recovered=%d\n",
 					s.WALAppends, s.WALRecords, s.WALBytes, s.WALFsyncs, s.Checkpoints, s.RecoveredRecords)
 			}
+			if s.CompRawBytes > 0 || s.Segments > 0 || s.ColdKeys > 0 {
+				ratio := 1.0
+				if s.CompRawBytes > 0 {
+					ratio = float64(s.CompBytes) / float64(s.CompRawBytes)
+				}
+				fmt.Printf("cold: keys=%d bytes=%d ratio=%.2f dict=%d hits=%d misses=%d segs=%d seg-bytes=%d compactions=%d\n",
+					s.ColdKeys, s.ColdBytes, ratio, s.CompDictBytes, s.ColdHits, s.ColdMisses,
+					s.Segments, s.SegmentBytes, s.Compactions)
+			}
 			if s.ReplRole != "" {
 				fmt.Printf("repl: role=%s generation=%d lag=%d\n", s.ReplRole, s.ReplGeneration, s.ReplLag)
 			}
@@ -309,7 +318,7 @@ func main() {
 			if err := be.Checkpoint(); err != nil {
 				fmt.Println("error:", err)
 			} else {
-				fmt.Println("checkpoint written: sealed snapshot on disk, obsolete WAL segments removed")
+				fmt.Println("checkpoint written: sealed state (snapshot or segment set) on disk, obsolete WAL segments removed")
 			}
 		case "verify":
 			if err := be.Verify(); err != nil {
@@ -332,14 +341,17 @@ func main() {
 // columns surface the durability families (zero on non-durable stores);
 // lag and gen surface the replication overlay (lag is a replica's apply
 // gap in sequence numbers, gen the sealed generation prefixed with the
-// role initial — p3, r3, f3 — or "-" when replication is inactive).
-const watchHeader = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys     lag  gen   health"
+// role initial — p3, r3, f3 — or "-" when replication is inactive);
+// coldkb/ratio/segs surface the compressed cold tier (resident
+// compressed KiB, compressed/raw ratio, live segment count — all "-"
+// until Options.ColdCompress produces state).
+const watchHeader = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys     lag  gen  coldkb  ratio  segs   health"
 
 // watchHeaderCC is the header when the backend fronts the server with
 // the coherent client cache: cc-hit% (local cache hit ratio over the
 // sample window; "cold" while the invalidation stream is down) slots
-// in before health.
-const watchHeaderCC = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys     lag  gen  cc-hit%   health"
+// in after gen.
+const watchHeaderCC = "    gets/s    puts/s    dels/s    hit%   swaps/s   wsync/s  ckpts     keys     lag  gen  cc-hit%  coldkb  ratio  segs   health"
 
 // watchStats prints one delta line per interval: operation rates since
 // the previous sample, cache behaviour, paging, WAL fsync rate,
@@ -393,11 +405,27 @@ func watchLineExtra(prev, cur aria.Stats, extra string, interval, elapsed time.D
 	if d := (cur.CacheHits + cur.CacheMisses) - (prev.CacheHits + prev.CacheMisses); d > 0 {
 		hit = 100 * float64(cur.CacheHits-prev.CacheHits) / float64(d)
 	}
-	return fmt.Sprintf("%10.0f%10.0f%10.0f%8.1f%10.0f%10.0f%7d%9d%8d%5s%s   %s  [%s]\n",
+	return fmt.Sprintf("%10.0f%10.0f%10.0f%8.1f%10.0f%10.0f%7d%9d%8d%5s%s%s   %s  [%s]\n",
 		rate(cur.Gets, prev.Gets), rate(cur.Puts, prev.Puts), rate(cur.Deletes, prev.Deletes),
 		hit, rate(cur.PageSwaps, prev.PageSwaps), rate(cur.WALFsyncs, prev.WALFsyncs),
-		cur.Checkpoints, cur.Keys, cur.ReplLag, genCell(cur), extra, cur.Health(),
-		elapsed.Truncate(time.Second))
+		cur.Checkpoints, cur.Keys, cur.ReplLag, genCell(cur), extra, coldCells(cur),
+		cur.Health(), elapsed.Truncate(time.Second))
+}
+
+// coldCells renders the cold-tier columns: resident compressed KiB,
+// compressed/raw ratio over everything compressed so far, and the live
+// segment count. All "-" until the cold tier has produced state, so a
+// store running without Options.ColdCompress shows an inert block
+// rather than misleading zeroes.
+func coldCells(s aria.Stats) string {
+	if s.CompRawBytes == 0 && s.Segments == 0 && s.ColdKeys == 0 {
+		return fmt.Sprintf("%8s%7s%6s", "-", "-", "-")
+	}
+	ratio := "-"
+	if s.CompRawBytes > 0 {
+		ratio = fmt.Sprintf("%.2f", float64(s.CompBytes)/float64(s.CompRawBytes))
+	}
+	return fmt.Sprintf("%8d%7s%6d", s.ColdBytes>>10, ratio, s.Segments)
 }
 
 // ccCell renders the cc-hit% column: the client cache's hit ratio over

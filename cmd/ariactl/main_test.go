@@ -111,6 +111,31 @@ func TestWatchLineReplicationColumns(t *testing.T) {
 	}
 }
 
+func TestWatchLineColdTierColumns(t *testing.T) {
+	// Inactive cold tier: the block is inert dashes, not zeroes.
+	line := watchLine(aria.Stats{}, aria.Stats{Gets: 1}, time.Second, time.Second)
+	fields := strings.Fields(line)
+	if len(fields) < 13 {
+		t.Fatalf("line has %d fields: %q", len(fields), line)
+	}
+	if fields[10] != "-" || fields[11] != "-" || fields[12] != "-" {
+		t.Errorf("inactive cold columns = %q %q %q, want dashes (line %q)",
+			fields[10], fields[11], fields[12], line)
+	}
+
+	// Active: resident KiB, compression ratio, segment count.
+	cur := aria.Stats{
+		ColdKeys: 12, ColdBytes: 8 << 10,
+		CompRawBytes: 1000, CompBytes: 400, Segments: 3,
+	}
+	line = watchLine(aria.Stats{}, cur, time.Second, time.Second)
+	fields = strings.Fields(line)
+	if fields[10] != "8" || fields[11] != "0.40" || fields[12] != "3" {
+		t.Errorf("cold columns = %q %q %q, want 8 0.40 3 (line %q)",
+			fields[10], fields[11], fields[12], line)
+	}
+}
+
 func TestWatchLineHitRatioFallsBackToLifetime(t *testing.T) {
 	// No cache traffic between samples: the hit% column must fall back
 	// to the lifetime ratio instead of dividing by zero.

@@ -1,0 +1,472 @@
+package aria
+
+// The cold tier (Options.ColdCompress; DESIGN.md §15). Two mechanisms
+// share the same compressor (internal/compress) and bolt onto the
+// durable store:
+//
+//  1. Segment checkpoints. Instead of re-sealing the whole keyspace
+//     into a snapshot on every checkpoint, the store writes an
+//     immutable, sorted, compressed, sealed segment holding only the
+//     keys written since the last checkpoint (tombstones for deletes),
+//     and publishes a sealed set manifest naming the segments that
+//     constitute the recovery point. When the set grows past
+//     CompactEvery segments, a compaction rewrites every live key into
+//     one segment and starts a fresh set. Checkpoint cost is O(dirty),
+//     not O(keyspace) — the term that made large keyspaces fall off the
+//     throughput cliff when checkpoints were raw snapshots.
+//
+//  2. Cold demotion. After each checkpoint, keys that were not touched
+//     since the previous one are compressed and moved out of the
+//     enclave-resident store into an untrusted cold area (modelled by
+//     d.cold), shrinking resident bytes — index, Secure Cache and heap
+//     pressure — so the EPC covers a larger hot set. Any later access
+//     promotes the key back (decompress-on-miss) with its exact
+//     version and expiry restored, so CAS/TTL/transaction semantics
+//     are oblivious to demotion.
+//
+// Every byte that crosses the trust boundary is charged to the
+// simulator: ChargeCompress/ChargeDecompress for the codec work, CTR +
+// CMAC + SealOut/SealIn for sealing the (compressed) bytes — this is
+// where compression honestly pays, since fewer sealed bytes cross.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+
+	"github.com/ariakv/aria/internal/compress"
+	"github.com/ariakv/aria/internal/seal"
+	"github.com/ariakv/aria/internal/segment"
+	"github.com/ariakv/aria/wal"
+)
+
+// defaultCompactEvery bounds the segment set when Options.CompactEvery
+// is left zero.
+const defaultCompactEvery = 8
+
+// coldRec is one demoted key: its value compressed under the demotion
+// round's dictionary, plus the semantics-layer metadata that must
+// survive the round trip exactly (a promoted key with a different
+// version would break CAS; a lost deadline would break TTL).
+type coldRec struct {
+	comp   []byte
+	rawLen int
+	ver    uint64
+	exp    int64
+	raw    bool // value stored uncompressed (dictionary did not help)
+	dict   *compress.Dict
+}
+
+// coldValue decodes one cold record back to its raw value, charging the
+// decompression and the boundary copy of the compressed bytes.
+func (d *durableStore) coldValue(rec coldRec) ([]byte, error) {
+	value := rec.comp
+	if !rec.raw {
+		v, err := rec.dict.Decompress(rec.comp, rec.rawLen)
+		if err != nil {
+			// The cold area is process-private memory, so a defect here is
+			// a logic bug, not host tampering — but serving a wrong value
+			// would be worse than failing, so treat it as integrity loss.
+			return nil, fmt.Errorf("%w: cold record corrupt: %v", ErrIntegrity, err)
+		}
+		value = v
+	}
+	if d.enc != nil {
+		d.enc.SealIn(len(rec.comp) + seal.Overhead)
+		d.enc.ChargeCTR(len(rec.comp))
+		d.enc.ChargeMAC(len(rec.comp) + seal.Overhead)
+		if !rec.raw {
+			d.enc.ChargeDecompress(rec.rawLen)
+		}
+	}
+	return value, nil
+}
+
+// ensureResidentLocked promotes key out of the cold tier if it was
+// demoted, restoring its exact value, version, and expiry into the
+// inner store. Every key-touching operation calls this first, so the
+// rest of the durable layer never observes a demoted key. countMiss is
+// set on read paths so ColdMisses means "read fell past the cold tier",
+// not "fresh key inserted". Callers hold d.mu.
+func (d *durableStore) ensureResidentLocked(key []byte, countMiss bool) error {
+	if !d.coldCompress {
+		return nil
+	}
+	d.touched[string(key)] = struct{}{}
+	rec, ok := d.cold[string(key)]
+	if !ok {
+		if countMiss {
+			if _, live := d.keys[string(key)]; !live {
+				d.coldMisses++
+			}
+		}
+		return nil
+	}
+	value, err := d.coldValue(rec)
+	if err != nil {
+		return err
+	}
+	if err := d.inner.(semantic).restorePair(key, value, rec.ver, rec.exp); err != nil {
+		return fmt.Errorf("aria: promote cold key: %w", err)
+	}
+	d.coldHits++
+	d.coldResident -= len(rec.comp)
+	delete(d.cold, string(key))
+	return nil
+}
+
+// ensureResidentRangeLocked promotes every cold key in [start, end)
+// (nil end = unbounded) so a Scan over the inner store sees the whole
+// keyspace. Callers hold d.mu.
+func (d *durableStore) ensureResidentRangeLocked(start, end []byte) error {
+	if !d.coldCompress || len(d.cold) == 0 {
+		return nil
+	}
+	var hit []string
+	for k := range d.cold {
+		if string(start) <= k && (end == nil || k < string(end)) {
+			hit = append(hit, k)
+		}
+	}
+	sort.Strings(hit)
+	for _, k := range hit {
+		if err := d.ensureResidentLocked([]byte(k), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// valueOfLocked reads one live key's value and metadata wherever it
+// resides — inner store or cold tier — without changing its residency.
+// The checkpoint writer uses it so a checkpoint does not promote the
+// whole keyspace. Callers hold d.mu.
+func (d *durableStore) valueOfLocked(k string) (value []byte, ver uint64, exp int64, err error) {
+	if rec, ok := d.cold[k]; ok {
+		v, cerr := d.coldValue(rec)
+		return v, rec.ver, rec.exp, cerr
+	}
+	v, err := d.inner.Get([]byte(k))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ver, exp = d.inner.(semantic).metaOf([]byte(k))
+	return v, ver, exp, nil
+}
+
+// noteWrite records a committed write in the shadow key set and, when
+// the cold tier is on, in the dirty set the next incremental checkpoint
+// persists. Callers hold d.mu.
+func (d *durableStore) noteWrite(k string) {
+	d.keys[k] = struct{}{}
+	if d.coldCompress {
+		d.dirty[k] = struct{}{}
+		d.touched[k] = struct{}{}
+	}
+}
+
+// noteDelete records a committed delete; the dirty set entry becomes a
+// tombstone in the next segment. Callers hold d.mu.
+func (d *durableStore) noteDelete(k string) {
+	delete(d.keys, k)
+	if d.coldCompress {
+		d.dirty[k] = struct{}{}
+		d.touched[k] = struct{}{}
+		if rec, ok := d.cold[k]; ok {
+			d.coldResident -= len(rec.comp)
+			delete(d.cold, k)
+		}
+	}
+}
+
+// chargeSegmentWrite prices sealing one segment out of the enclave:
+// compression of the raw payload, one CTR+CMAC per sealed record
+// (header with dictionary, each block, trailer), the boundary copy of
+// the whole file, and the fsync OCALL.
+func (d *durableStore) chargeSegmentWrite(meta segment.Meta) {
+	if d.enc == nil {
+		return
+	}
+	d.enc.ChargeCompress(int(meta.RawBytes))
+	d.enc.ChargeCTR(meta.DictBytes + 32)
+	d.enc.ChargeMAC(meta.DictBytes + 32 + seal.Overhead)
+	for _, n := range meta.BlockBytes {
+		d.enc.ChargeCTR(n)
+		d.enc.ChargeMAC(n + seal.Overhead)
+	}
+	d.enc.ChargeCTR(11)
+	d.enc.ChargeMAC(11 + seal.Overhead)
+	d.enc.SealOut(int(meta.FileBytes))
+	d.enc.Ocall() // the segment fsync
+}
+
+// chargeSegmentRead prices the mirror image: unsealing and
+// decompressing one segment during recovery.
+func (d *durableStore) chargeSegmentRead(meta segment.Meta) {
+	if d.enc == nil {
+		return
+	}
+	d.enc.SealIn(int(meta.FileBytes))
+	d.enc.ChargeCTR(meta.DictBytes + 32)
+	d.enc.ChargeMAC(meta.DictBytes + 32 + seal.Overhead)
+	for _, n := range meta.BlockBytes {
+		d.enc.ChargeCTR(n)
+		d.enc.ChargeMAC(n + seal.Overhead)
+	}
+	d.enc.ChargeCTR(11)
+	d.enc.ChargeMAC(11 + seal.Overhead)
+	d.enc.ChargeDecompress(int(meta.RawBytes))
+}
+
+// chargeSetWrite prices publishing one set manifest.
+func (d *durableStore) chargeSetWrite(bytes int64) {
+	if d.enc == nil {
+		return
+	}
+	n := int(bytes)
+	d.enc.ChargeCTR(n)
+	d.enc.ChargeMAC(n)
+	d.enc.SealOut(n)
+	d.enc.Ocall()
+}
+
+// checkpointColdLocked is the segment-set checkpoint (the ColdCompress
+// branch of checkpointLocked): rotate the WAL so the boundary aligns
+// with a segment boundary, write one segment — incremental (dirty keys
+// + tombstones) or, when the set is full, a compaction of every live
+// key — publish the new set manifest, prune the generation before the
+// previous one, and demote keys that have gone cold. Callers hold d.mu.
+func (d *durableStore) checkpointColdLocked() error {
+	covered := d.log.NextSeq() - 1
+	if d.hasSet && covered == d.setCovered {
+		return nil // nothing logged since the last segment
+	}
+	if err := d.log.Rotate(); err != nil {
+		return fmt.Errorf("aria: checkpoint rotate: %w", err)
+	}
+	sm := d.inner.(semantic)
+	full := !d.hasSet || len(d.segNames) >= d.compactEvery
+	var col *segment.Collector
+	addLive := func(col *segment.Collector, k string) error {
+		v, ver, exp, err := d.valueOfLocked(k)
+		switch {
+		case err == nil:
+			col.Add([]byte(k), encodeSnapValue(v, ver, exp), false)
+		case errors.Is(err, ErrNotFound):
+			// The shadow set can briefly overapproximate; skip.
+		case errors.Is(err, ErrIntegrity) && d.policy == Quarantine:
+			// A poisoned key has no trustworthy value to persist.
+		default:
+			return fmt.Errorf("aria: checkpoint read %q: %w", k, err)
+		}
+		return nil
+	}
+	if full {
+		col = segment.NewCollector(len(d.keys))
+		for k := range d.keys {
+			if err := addLive(col, k); err != nil {
+				return err
+			}
+		}
+	} else {
+		col = segment.NewCollector(len(d.dirty))
+		for k := range d.dirty {
+			if _, live := d.keys[k]; !live {
+				col.Add([]byte(k), nil, true)
+				continue
+			}
+			if err := addLive(col, k); err != nil {
+				return err
+			}
+		}
+	}
+	meta, err := col.Load(d.dir, d.sealer, covered)
+	if err != nil {
+		return fmt.Errorf("aria: write segment: %w", err)
+	}
+	d.chargeSegmentWrite(meta)
+	d.compRaw += uint64(meta.RawBytes)
+	d.compOut += uint64(meta.CompBytes)
+	d.dictBytes = meta.DictBytes
+	if full {
+		if d.hasSet {
+			d.compactions++
+		}
+		d.segNames = []string{meta.Name}
+		d.segBytes = meta.FileBytes
+	} else {
+		d.segNames = append(d.segNames, meta.Name)
+		d.segBytes += meta.FileBytes
+	}
+	setBytes, err := segment.WriteSet(d.dir, d.sealer, covered, sm.clockVersion(), d.segNames)
+	if err != nil {
+		return fmt.Errorf("aria: write segment set: %w", err)
+	}
+	d.chargeSetWrite(setBytes)
+	// Retention mirrors the snapshot path, but a generation is a SET:
+	// prune keeps every segment a surviving manifest references, so
+	// carried-forward segments are not double-counted against the
+	// two-generation budget and compaction does not double disk usage.
+	keep := uint64(0)
+	if d.hasSet {
+		keep = d.setCovered
+	}
+	if err := segment.Prune(d.dir, d.sealer, keep); err != nil {
+		return fmt.Errorf("aria: prune segments: %w", err)
+	}
+	// Legacy raw snapshots (a lineage started without ColdCompress) age
+	// out under the same floor.
+	if err := wal.PruneSnapshots(d.dir, keep); err != nil {
+		return fmt.Errorf("aria: prune snapshots: %w", err)
+	}
+	if err := d.log.TruncateThrough(keep); err != nil {
+		return fmt.Errorf("aria: truncate wal: %w", err)
+	}
+	d.setCovered, d.hasSet = covered, true
+	d.checkpoints++
+	d.sinceCkpt = 0
+	d.dirty = make(map[string]struct{})
+	d.demoteColdLocked()
+	d.touched = make(map[string]struct{})
+	return nil
+}
+
+// demoteColdLocked moves keys that were not touched since the previous
+// checkpoint out of the enclave-resident store into the compressed cold
+// area. The round trains its own dictionary on the values it demotes
+// (each cold record keeps a reference, so earlier rounds' records stay
+// decodable), compresses, charges the seal-out of the compressed bytes,
+// and deletes the resident copy — which is what actually returns index,
+// heap, and Secure Cache space to the hot set. Callers hold d.mu.
+func (d *durableStore) demoteColdLocked() {
+	var cands []string
+	for k := range d.keys {
+		if _, hot := d.touched[k]; hot {
+			continue
+		}
+		if _, already := d.cold[k]; already {
+			continue
+		}
+		cands = append(cands, k)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	sort.Strings(cands) // deterministic demotion order → deterministic costs
+	type pending struct {
+		k   string
+		v   []byte
+		ver uint64
+		exp int64
+	}
+	pend := make([]pending, 0, len(cands))
+	samples := make([][]byte, 0, len(cands))
+	sm := d.inner.(semantic)
+	for _, k := range cands {
+		v, err := d.inner.Get([]byte(k))
+		if err != nil {
+			continue // expired, vanished, or poisoned: leave as-is
+		}
+		ver, exp := sm.metaOf([]byte(k))
+		pend = append(pend, pending{k, v, ver, exp})
+		samples = append(samples, v)
+	}
+	if len(pend) == 0 {
+		return
+	}
+	dict := compress.Train(samples)
+	d.coldDict = dict
+	d.dictBytes = dict.Bytes()
+	for i := range pend {
+		p := &pend[i]
+		comp := dict.Compress(nil, p.v)
+		raw := false
+		if len(comp) >= len(p.v) {
+			comp, raw = p.v, true
+		}
+		if d.enc != nil {
+			d.enc.ChargeCompress(len(p.v))
+			d.enc.SealOut(len(comp) + seal.Overhead)
+			d.enc.ChargeCTR(len(comp))
+			d.enc.ChargeMAC(len(comp) + seal.Overhead)
+		}
+		if err := d.inner.Delete([]byte(p.k)); err != nil {
+			continue // could not evict: the key simply stays resident
+		}
+		d.cold[p.k] = coldRec{comp: comp, rawLen: len(p.v), ver: p.ver, exp: p.exp, raw: raw, dict: dict}
+		d.coldResident += len(comp)
+		d.compRaw += uint64(len(p.v))
+		d.compOut += uint64(len(comp))
+	}
+}
+
+// recoverSegments finds the newest valid segment set in dir and loads
+// its merged state (members applied in order, tombstones shadowing).
+// Under Quarantine a tampered manifest or member counts a recovery
+// failure and falls back to the next older set; under FailStop it fails
+// the Open. ok is false when no usable set exists.
+func (d *durableStore) recoverSegments(dir string) (state map[string]segPairState, covered, clock uint64, names []string, bytes int64, ok bool, err error) {
+	sets, serr := segment.Sets(dir)
+	if serr != nil {
+		return nil, 0, 0, nil, 0, false, fmt.Errorf("aria: list segment sets: %w", serr)
+	}
+	for _, ref := range sets {
+		setCovered, setClock, members, rerr := segment.ReadSet(ref.Path, d.sealer)
+		if rerr != nil {
+			if d.policy != Quarantine {
+				return nil, 0, 0, nil, 0, false, fmt.Errorf("%w: %w", ErrIntegrity, rerr)
+			}
+			d.recFailures++
+			continue
+		}
+		st := make(map[string]segPairState)
+		var total int64
+		good := true
+		for _, name := range members {
+			meta, merr := segment.Read(filepath.Join(dir, name), d.sealer, func(p segment.Pair) error {
+				if p.Tombstone {
+					delete(st, string(p.Key))
+					return nil
+				}
+				value, ver, exp, derr := decodeSnapValue(p.Value)
+				if derr != nil {
+					return derr
+				}
+				st[string(p.Key)] = segPairState{
+					value: append([]byte(nil), value...), ver: ver, exp: exp,
+				}
+				return nil
+			})
+			if merr != nil {
+				// A referenced member that is missing is tampering, not a
+				// crash artifact: the manifest is published only after its
+				// members are durable, so a vanished file means rollback.
+				if !errors.Is(merr, segment.ErrTampered) && !errors.Is(merr, fs.ErrNotExist) {
+					return nil, 0, 0, nil, 0, false, fmt.Errorf("aria: read segment: %w", merr)
+				}
+				if d.policy != Quarantine {
+					return nil, 0, 0, nil, 0, false, fmt.Errorf("%w: %w", ErrIntegrity, merr)
+				}
+				d.recFailures++
+				good = false
+				break
+			}
+			d.chargeSegmentRead(meta)
+			total += meta.FileBytes
+		}
+		if !good {
+			continue // Quarantine: fall back to the previous generation
+		}
+		return st, setCovered, setClock, members, total, true, nil
+	}
+	return nil, 0, 0, nil, 0, false, nil
+}
+
+// segPairState is one key's merged recovery state across a segment set.
+type segPairState struct {
+	value []byte
+	ver   uint64
+	exp   int64
+}

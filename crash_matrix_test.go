@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -465,6 +467,284 @@ func mapsEqual(a, b map[string]string) bool {
 		}
 	}
 	return true
+}
+
+// coldCrashSetup builds a cold-tier lineage to attack: a compressible
+// baseline corpus checkpointed into a segment set, then crashScript
+// written through the post-rotation WAL with FsyncAlways, recording the
+// legal crash points of the live WAL segment. It returns the intact
+// directory's file contents, the tail WAL's name, its bytes, and the
+// crash points (ends[0] = the tail's size right after the checkpoint).
+func coldCrashSetup(t *testing.T, baseline int) (files map[string][]byte, tailWAL string, tail []byte, ends []int64) {
+	t.Helper()
+	dir := t.TempDir()
+	opts := crashOpts(dir)
+	opts.ColdCompress = true
+	st := mustOpen(t, opts)
+	for i := 0; i < baseline; i++ {
+		if err := st.Put(coldKey(i), coldValueAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.(Durable).Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint rotated the WAL: the script lands in the newest
+	// segment, whose name sorts last.
+	newestWAL := func() string {
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no WAL segments after checkpoint: %v", err)
+		}
+		newest := segs[0]
+		for _, s := range segs[1:] {
+			if filepath.Base(s) > filepath.Base(newest) {
+				newest = s
+			}
+		}
+		return newest
+	}
+	sizeOf := func(path string) int64 {
+		fi, err := os.Stat(path)
+		if os.IsNotExist(err) {
+			return 0
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	first := newestWAL()
+	ends = append(ends, sizeOf(first))
+	for _, op := range crashScript {
+		var err error
+		if op.del {
+			err = st.Delete([]byte(op.key))
+		} else {
+			err = st.Put([]byte(op.key), []byte(op.value))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := newestWAL()
+		if cur != first {
+			t.Fatalf("WAL rotated mid-script: %s -> %s", first, cur)
+		}
+		ends = append(ends, sizeOf(first))
+	}
+	mustClose(t, st)
+	files = make(map[string][]byte)
+	for _, name := range mustReadDir(t, dir) {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[name] = b
+	}
+	tailWAL = filepath.Base(first)
+	tail = files[tailWAL]
+	if int64(len(tail)) != ends[len(ends)-1] {
+		t.Fatalf("tail WAL is %d bytes, expected %d after the last op", len(tail), ends[len(ends)-1])
+	}
+	return files, tailWAL, tail, ends
+}
+
+// writeColdCrashCopy materialises one cold matrix cell: every intact
+// file (segments, set manifests, older WAL segments) plus one file
+// replaced by its mutated bytes. A nil mutation deletes the file.
+func writeColdCrashCopy(t *testing.T, files map[string][]byte, victim string, mut []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, b := range files {
+		if name == victim {
+			b = mut
+		}
+		if b == nil {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// coldBaselineState is the expected recovered state of the checkpointed
+// corpus plus a committed crashScript prefix of k ops.
+func coldBaselineState(baseline, k int) map[string]string {
+	want := make(map[string]string)
+	for i := 0; i < baseline; i++ {
+		want[string(coldKey(i))] = string(coldValueAt(i))
+	}
+	for key, v := range apply(crashScript, k) {
+		want[key] = v
+	}
+	return want
+}
+
+// TestCrashMatrixColdTruncation cuts the WAL above a segment-set
+// checkpoint to every length: each reopen must recover the full
+// checkpointed corpus from the compressed segments plus exactly the
+// committed prefix of tail records.
+func TestCrashMatrixColdTruncation(t *testing.T) {
+	const baseline = 40
+	files, tailWAL, tail, ends := coldCrashSetup(t, baseline)
+	for size := ends[0]; size <= int64(len(tail)); size++ {
+		k := committedPrefix(ends, size)
+		dir := writeColdCrashCopy(t, files, tailWAL, tail[:size])
+		opts := crashOpts(dir)
+		opts.ColdCompress = true
+		st, err := Open(opts)
+		if err != nil {
+			t.Fatalf("tail cut to %d bytes: reopen failed: %v (a cut is a crash, never tampering)", size, err)
+		}
+		want := coldBaselineState(baseline, k)
+		if got := dump(t, st); !mapsEqual(got, want) {
+			t.Fatalf("tail cut to %d bytes: state %v, want checkpoint + prefix %d", size, got, k)
+		}
+		mustClose(t, st)
+	}
+}
+
+// TestCrashMatrixColdSegmentTamper attacks the sealed segment files
+// themselves: every byte of every seg-/segset- file flipped in place,
+// and every truncation of each (segments carry a trailer proving
+// completeness, so unlike a WAL a cut segment IS tampering). Under
+// FailStop each reopen must refuse with ErrIntegrity.
+func TestCrashMatrixColdSegmentTamper(t *testing.T) {
+	files, _, _, _ := coldCrashSetup(t, 40)
+	for name, data := range files {
+		if !strings.HasPrefix(name, "seg-") && !strings.HasPrefix(name, "segset-") {
+			continue
+		}
+		for off := int64(0); off < int64(len(data)); off++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 0x40
+			dir := writeColdCrashCopy(t, files, name, mut)
+			opts := crashOpts(dir)
+			opts.ColdCompress = true
+			opts.IntegrityPolicy = FailStop
+			st, err := Open(opts)
+			if err == nil {
+				mustClose(t, st)
+				t.Fatalf("%s flip at %d: FailStop open succeeded on a tampered segment", name, off)
+			}
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("%s flip at %d: %v does not wrap ErrIntegrity", name, off, err)
+			}
+		}
+		for _, size := range []int64{0, 1, int64(len(data)) / 2, int64(len(data)) - 1} {
+			dir := writeColdCrashCopy(t, files, name, data[:size])
+			opts := crashOpts(dir)
+			opts.ColdCompress = true
+			opts.IntegrityPolicy = FailStop
+			st, err := Open(opts)
+			if err == nil {
+				mustClose(t, st)
+				t.Fatalf("%s cut to %d bytes: FailStop open succeeded on an incomplete segment", name, size)
+			}
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("%s cut to %d bytes: %v does not wrap ErrIntegrity", name, size, err)
+			}
+		}
+	}
+}
+
+// TestCrashMatrixColdQuarantineFallback corrupts the newest generation
+// of a two-set lineage: under Quarantine recovery must fall back to the
+// previous set and reach the SAME final state, because the WAL above the
+// older set's covered boundary is retained until the generation after
+// next — the segment-set analogue of the snapshot fallback guarantee.
+func TestCrashMatrixColdQuarantineFallback(t *testing.T) {
+	const baseline = 40
+	dir := t.TempDir()
+	opts := crashOpts(dir)
+	opts.ColdCompress = true
+	st := mustOpen(t, opts)
+	for i := 0; i < baseline; i++ {
+		if err := st.Put(coldKey(i), coldValueAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkpoint(t, st) // generation A
+	for i := 0; i < 10; i++ {
+		if err := st.Put(coldKey(i), []byte(fmt.Sprintf("gen-b-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Delete(coldKey(39)); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint(t, st) // generation B
+	if err := st.Put([]byte("tail"), []byte("tail-v")); err != nil {
+		t.Fatal(err)
+	}
+	mustClose(t, st)
+
+	want := make(map[string]string)
+	for i := 0; i < baseline-1; i++ {
+		want[string(coldKey(i))] = string(coldValueAt(i))
+	}
+	for i := 0; i < 10; i++ {
+		want[string(coldKey(i))] = fmt.Sprintf("gen-b-%d", i)
+	}
+	want["tail"] = "tail-v"
+
+	files := make(map[string][]byte)
+	var segs, sets []string
+	for _, name := range mustReadDir(t, dir) {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[name] = b
+		switch {
+		case strings.HasPrefix(name, "segset-"):
+			sets = append(sets, name)
+		case strings.HasPrefix(name, "seg-"):
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs)
+	sort.Strings(sets)
+	if len(sets) < 2 {
+		t.Fatalf("setup left %d set manifests, need 2 generations", len(sets))
+	}
+	// Attack generation B three ways: flip its manifest, flip its newest
+	// member segment, and delete the member outright.
+	newestSet, newestSeg := sets[len(sets)-1], segs[len(segs)-1]
+	flip := func(b []byte) []byte {
+		mut := append([]byte(nil), b...)
+		mut[len(mut)/2] ^= 0x40
+		return mut
+	}
+	for _, attack := range []struct {
+		name   string
+		victim string
+		mut    []byte
+	}{
+		{"flip-manifest", newestSet, flip(files[newestSet])},
+		{"flip-member", newestSeg, flip(files[newestSeg])},
+		{"drop-member", newestSeg, nil},
+	} {
+		t.Run(attack.name, func(t *testing.T) {
+			cdir := writeColdCrashCopy(t, files, attack.victim, attack.mut)
+			o := crashOpts(cdir)
+			o.ColdCompress = true
+			o.IntegrityPolicy = Quarantine
+			st, err := Open(o)
+			if err != nil {
+				t.Fatalf("Quarantine open failed instead of falling back: %v", err)
+			}
+			defer mustClose(t, st)
+			if st.Stats().Health() != HealthDegraded {
+				t.Errorf("health %v after salvaging from the previous set, want degraded", st.Stats().Health())
+			}
+			if got := dump(t, st); !mapsEqual(got, want) {
+				t.Errorf("salvaged state %v,\nwant the full final state %v", got, want)
+			}
+		})
+	}
 }
 
 // TestCrashMatrixSharded asserts the per-shard property: cutting or

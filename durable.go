@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ariakv/aria/internal/compress"
 	"github.com/ariakv/aria/internal/seal"
 	"github.com/ariakv/aria/internal/sgx"
 	"github.com/ariakv/aria/wal"
@@ -295,6 +296,29 @@ type durableStore struct {
 	lastSnapCovered uint64
 	hasSnap         bool
 
+	// Cold tier state (Options.ColdCompress; see cold.go and DESIGN.md
+	// §15). dirty holds keys written since the last segment checkpoint
+	// (the next incremental segment's contents, deletes as tombstones);
+	// touched holds keys accessed since the last checkpoint (the
+	// demotion filter); cold holds the demoted keys themselves.
+	coldCompress bool
+	compactEvery int
+	cold         map[string]coldRec
+	coldDict     *compress.Dict
+	dirty        map[string]struct{}
+	touched      map[string]struct{}
+	segNames     []string // current segment set, apply order
+	segBytes     int64    // on-disk bytes of the current set
+	setCovered   uint64   // covered seq of the current set (valid when hasSet)
+	hasSet       bool
+	coldResident int    // compressed bytes held in the cold area
+	dictBytes    int    // serialized size of the newest dictionary
+	coldHits     uint64 // accesses promoted out of the cold tier
+	coldMisses   uint64 // read lookups past the cold tier that found nothing
+	compRaw      uint64 // compressor input bytes (demotions + segments)
+	compOut      uint64 // compressor output bytes
+	compactions  uint64 // major compactions (full set rewrites)
+
 	recovered   uint64 // records restored at Open (snapshot + replay)
 	recFailures uint64 // tamper detections during recovery (Quarantine)
 	checkpoints uint64
@@ -332,8 +356,18 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 		dir:             dir,
 		keys:            make(map[string]struct{}),
 		checkpointEvery: opts.CheckpointEvery,
+		coldCompress:    opts.ColdCompress,
+		compactEvery:    opts.CompactEvery,
 		ckptC:           make(chan struct{}, 1),
 		stopC:           make(chan struct{}),
+	}
+	if d.coldCompress {
+		if d.compactEvery <= 0 {
+			d.compactEvery = defaultCompactEvery
+		}
+		d.cold = make(map[string]coldRec)
+		d.dirty = make(map[string]struct{})
+		d.touched = make(map[string]struct{})
 	}
 
 	// The semantics layer sits directly underneath: recovery restores
@@ -343,14 +377,27 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 		return nil, fmt.Errorf("aria: durable store requires the semantics layer (got %T)", inner)
 	}
 
-	// 1. Newest valid snapshot. Under Quarantine a tampered snapshot is
-	// counted and skipped in favour of an older one; under FailStop it
-	// fails the Open.
+	// 1. Newest valid recovery point. A directory can hold both segment
+	// sets (cold-tier checkpoints) and raw snapshots — a lineage that
+	// toggled ColdCompress across restarts — so recovery considers both
+	// and applies whichever valid point covers more of the WAL.
+	// Segment sets first: under Quarantine a tampered manifest or
+	// member counts a failure and falls back to the next older set;
+	// under FailStop it fails the Open.
+	segState, segCovered, segClock, segNames, segOnDisk, haveSeg, err := d.recoverSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Then the newest valid snapshot — but only if it is newer than the
+	// recovered set (wal.Snapshots lists newest first, so the first
+	// snapshot at or below the set's covered seq ends the search).
 	snaps, err := wal.Snapshots(dir)
 	if err != nil {
 		return nil, fmt.Errorf("aria: list snapshots: %w", err)
 	}
 	coveredSeq := uint64(0)
+	usedSnap := false
 	for _, path := range snaps {
 		covered, pairs, rerr := wal.ReadSnapshot(path, d.sealer)
 		if rerr != nil {
@@ -362,6 +409,9 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 			}
 			d.recFailures++
 			continue
+		}
+		if haveSeg && covered <= segCovered {
+			break // the segment set is the newer recovery point
 		}
 		for _, p := range pairs {
 			if len(p.Key) == 0 {
@@ -386,7 +436,27 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 		}
 		coveredSeq = covered
 		d.lastSnapCovered, d.hasSnap = covered, true
+		usedSnap = true
 		break
+	}
+	if !usedSnap && haveSeg {
+		sm.setClockVersion(segClock)
+		segKeys := make([]string, 0, len(segState))
+		for k := range segState {
+			segKeys = append(segKeys, k)
+		}
+		sort.Strings(segKeys)
+		for _, k := range segKeys {
+			e := segState[k]
+			if err := sm.restorePair([]byte(k), e.value, e.ver, e.exp); err != nil {
+				return nil, fmt.Errorf("aria: restore segment pair: %w", err)
+			}
+			d.keys[k] = struct{}{}
+			d.recovered++
+		}
+		coveredSeq = segCovered
+		d.segNames, d.segBytes = segNames, segOnDisk
+		d.setCovered, d.hasSet = segCovered, true
 	}
 
 	// 2. WAL replay above the snapshot.
@@ -408,12 +478,12 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 			if err := inner.Put(key, value); err != nil {
 				return fmt.Errorf("aria: replay put: %w", err)
 			}
-			d.keys[string(key)] = struct{}{}
+			d.noteWrite(string(key))
 		case walOpDelete:
 			if err := inner.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
 				return fmt.Errorf("aria: replay delete: %w", err)
 			}
-			delete(d.keys, string(key))
+			d.noteDelete(string(key))
 		case walOpPutTTL:
 			exp, v, derr := splitTTLBody(value)
 			if derr != nil {
@@ -422,7 +492,7 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 			if err := sm.putExpireAbs(key, v, exp); err != nil {
 				return fmt.Errorf("aria: replay ttl put: %w", err)
 			}
-			d.keys[string(key)] = struct{}{}
+			d.noteWrite(string(key))
 		case walOpTxn:
 			writes, derr := decodeWalTxnBody(value)
 			if derr != nil {
@@ -433,9 +503,9 @@ func openDurable(inner Store, opts Options, dir string) (*durableStore, error) {
 			}
 			for i := range writes {
 				if writes[i].del {
-					delete(d.keys, string(writes[i].key))
+					d.noteDelete(string(writes[i].key))
 				} else {
-					d.keys[string(writes[i].key)] = struct{}{}
+					d.noteWrite(string(writes[i].key))
 				}
 			}
 		default:
@@ -581,27 +651,38 @@ func (d *durableStore) Put(key, value []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := d.ensureResidentLocked(key, false); err != nil {
+		return err
+	}
 	if err := d.inner.Put(key, value); err != nil {
 		return err
 	}
 	if err := d.logRecords(rec); err != nil {
 		return err
 	}
-	d.keys[string(key)] = struct{}{}
+	d.noteWrite(string(key))
 	return nil
 }
 
-// Get implements Store (reads never touch the WAL).
+// Get implements Store (reads never touch the WAL, but may promote the
+// key out of the cold tier).
 func (d *durableStore) Get(key []byte) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.ensureResidentLocked(key, true); err != nil {
+		return nil, err
+	}
 	return d.inner.Get(key)
 }
 
-// GetV implements Store (reads never touch the WAL).
+// GetV implements Store (reads never touch the WAL, but may promote the
+// key out of the cold tier).
 func (d *durableStore) GetV(key []byte) ([]byte, uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.ensureResidentLocked(key, true); err != nil {
+		return nil, 0, err
+	}
 	return d.inner.GetV(key)
 }
 
@@ -616,13 +697,16 @@ func (d *durableStore) CompareAndSwap(key, value []byte, expect uint64) error {
 	if err != nil {
 		return err
 	}
+	if err := d.ensureResidentLocked(key, false); err != nil {
+		return err
+	}
 	if err := d.inner.CompareAndSwap(key, value, expect); err != nil {
 		return err
 	}
 	if err := d.logRecords(rec); err != nil {
 		return err
 	}
-	d.keys[string(key)] = struct{}{}
+	d.noteWrite(string(key))
 	return nil
 }
 
@@ -653,13 +737,16 @@ func (d *durableStore) putExpireAbsLocked(key, value []byte, exp int64) error {
 	if err != nil {
 		return err
 	}
+	if err := d.ensureResidentLocked(key, false); err != nil {
+		return err
+	}
 	if err := d.inner.(semantic).putExpireAbs(key, value, exp); err != nil {
 		return err
 	}
 	if err := d.logRecords(rec); err != nil {
 		return err
 	}
-	d.keys[string(key)] = struct{}{}
+	d.noteWrite(string(key))
 	return nil
 }
 
@@ -671,6 +758,11 @@ func (d *durableStore) TxnCommit(ops []TxnOp) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	sm := d.inner.(semantic)
+	for i := range ops {
+		if err := d.ensureResidentLocked(ops[i].Key, false); err != nil {
+			return err
+		}
+	}
 	writes, err := sm.resolveTxn(ops)
 	if err != nil {
 		return err
@@ -694,9 +786,9 @@ func (d *durableStore) TxnCommit(ops []TxnOp) error {
 	}
 	for i := range writes {
 		if writes[i].del {
-			delete(d.keys, string(writes[i].key))
+			d.noteDelete(string(writes[i].key))
 		} else {
-			d.keys[string(writes[i].key)] = struct{}{}
+			d.noteWrite(string(writes[i].key))
 		}
 	}
 	return nil
@@ -710,13 +802,16 @@ func (d *durableStore) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := d.ensureResidentLocked(key, false); err != nil {
+		return err
+	}
 	if err := d.inner.Delete(key); err != nil {
 		return err
 	}
 	if err := d.logRecords(rec); err != nil {
 		return err
 	}
-	delete(d.keys, string(key))
+	d.noteDelete(string(key))
 	return nil
 }
 
@@ -724,6 +819,17 @@ func (d *durableStore) Delete(key []byte) error {
 func (d *durableStore) MGet(keys [][]byte) ([][]byte, []error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.coldCompress {
+		for _, k := range keys {
+			if err := d.ensureResidentLocked(k, true); err != nil {
+				errs := make([]error, len(keys))
+				for i := range errs {
+					errs[i] = err
+				}
+				return make([][]byte, len(keys)), errs
+			}
+		}
+	}
 	return d.inner.MGet(keys)
 }
 
@@ -734,6 +840,17 @@ func (d *durableStore) MGet(keys [][]byte) ([][]byte, []error) {
 func (d *durableStore) MPut(pairs []KV) []error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.coldCompress {
+		for i := range pairs {
+			if err := d.ensureResidentLocked(pairs[i].Key, false); err != nil {
+				out := make([]error, len(pairs))
+				for j := range out {
+					out[j] = err
+				}
+				return out
+			}
+		}
+	}
 	errs := d.inner.MPut(pairs)
 	recs := make([][]byte, 0, len(pairs))
 	ok := make([]int, 0, len(pairs))
@@ -762,7 +879,7 @@ func (d *durableStore) MPut(pairs []KV) []error {
 		return errs
 	}
 	for _, i := range ok {
-		d.keys[string(pairs[i].Key)] = struct{}{}
+		d.noteWrite(string(pairs[i].Key))
 	}
 	return errs
 }
@@ -771,6 +888,17 @@ func (d *durableStore) MPut(pairs []KV) []error {
 func (d *durableStore) MDelete(keys [][]byte) []error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.coldCompress {
+		for _, k := range keys {
+			if err := d.ensureResidentLocked(k, false); err != nil {
+				out := make([]error, len(keys))
+				for j := range out {
+					out[j] = err
+				}
+				return out
+			}
+		}
+	}
 	errs := d.inner.MDelete(keys)
 	recs := make([][]byte, 0, len(keys))
 	ok := make([]int, 0, len(keys))
@@ -795,7 +923,7 @@ func (d *durableStore) MDelete(keys [][]byte) []error {
 		return errs
 	}
 	for _, i := range ok {
-		delete(d.keys, string(keys[i]))
+		d.noteDelete(string(keys[i]))
 	}
 	return errs
 }
@@ -817,6 +945,11 @@ func (d *durableStore) applyTxnWrites(writes []txnWrite) error {
 	if err != nil {
 		return err
 	}
+	for i := range writes {
+		if err := d.ensureResidentLocked(writes[i].key, false); err != nil {
+			return err
+		}
+	}
 	if err := d.inner.(semantic).applyTxnWrites(writes); err != nil {
 		return err
 	}
@@ -825,9 +958,9 @@ func (d *durableStore) applyTxnWrites(writes []txnWrite) error {
 	}
 	for i := range writes {
 		if writes[i].del {
-			delete(d.keys, string(writes[i].key))
+			d.noteDelete(string(writes[i].key))
 		} else {
-			d.keys[string(writes[i].key)] = struct{}{}
+			d.noteWrite(string(writes[i].key))
 		}
 	}
 	return nil
@@ -852,6 +985,11 @@ func (d *durableStore) Checkpoint() error {
 // under Quarantine, instead of silently wiping the store. Callers hold
 // d.mu.
 func (d *durableStore) checkpointLocked() error {
+	if d.coldCompress {
+		// The cold tier replaces raw snapshots with incremental
+		// compressed segments and a set manifest (cold.go).
+		return d.checkpointColdLocked()
+	}
 	covered := d.log.NextSeq() - 1
 	if d.hasSnap && covered == d.lastSnapCovered {
 		// No record was logged since the last snapshot: re-sealing an
@@ -966,6 +1104,21 @@ func (d *durableStore) Stats() Stats {
 	st.WALFsyncs = ls.Fsyncs
 	st.Checkpoints = d.checkpoints
 	st.RecoveredRecords = d.recovered
+	if d.coldCompress {
+		// The inner store only counts resident keys; the shadow set is
+		// the live keyspace once demotion is in play.
+		st.Keys = len(d.keys)
+	}
+	st.ColdKeys = len(d.cold)
+	st.ColdBytes = d.coldResident
+	st.ColdHits = d.coldHits
+	st.ColdMisses = d.coldMisses
+	st.CompRawBytes = d.compRaw
+	st.CompBytes = d.compOut
+	st.CompDictBytes = d.dictBytes
+	st.Segments = len(d.segNames)
+	st.SegmentBytes = d.segBytes
+	st.Compactions = d.compactions
 	// Tampering found during recovery counts like tampering found live:
 	// it flips Health() to degraded under Quarantine.
 	st.IntegrityFailures += d.recFailures
@@ -1000,6 +1153,9 @@ func (d *durableStore) Scan(start, end []byte, fn func(key, value []byte) bool) 
 	r, ok := d.inner.(Ranger)
 	if !ok {
 		return ErrNoScan
+	}
+	if err := d.ensureResidentRangeLocked(start, end); err != nil {
+		return err
 	}
 	return r.Scan(start, end, fn)
 }

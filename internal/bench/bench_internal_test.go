@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "table1", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16a", "fig16b", "memtab",
 		"xswap", "xscan", "xshard", "batch", "persist", "repl",
-		"ccache", "wire", "ycsb",
+		"ccache", "wire", "ycsb", "ccold",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"testing"
 
+	"github.com/ariakv/aria"
 	"github.com/ariakv/aria/internal/bench"
 )
 
@@ -191,6 +192,112 @@ func loadReport(t *testing.T, exp string) *bench.Report {
 		t.Fatalf("parse committed snapshot: %v", err)
 	}
 	return &rep
+}
+
+// TestCcoldCrossoverFloor pins the cold-tier headline against the
+// committed snapshot: on the fig13-style keyspace sweep, the crossover
+// keyspace — the largest swept keyspace still holding half the
+// smallest-keyspace throughput — must be at least 1.5x larger with
+// Options.ColdCompress on than off. Like the other floors it runs
+// ungated (no BENCH_GUARD): it only reads BENCH_ccold.json, so it is
+// cheap, and it is the acceptance check that the compressed cold tier
+// actually moves the EPC cliff rather than just shrinking disk.
+func TestCcoldCrossoverFloor(t *testing.T) {
+	rep := loadReport(t, "ccold")
+	if len(rep.Tables) < 3 {
+		t.Fatalf("BENCH_ccold.json has %d tables, want 3 (sweep, disk, crossover)", len(rep.Tables))
+	}
+	crossover := func(arm string) float64 {
+		t.Helper()
+		for _, r := range rep.Tables[2].Rows {
+			if len(r.Cells) > 0 && r.Cells[0] == arm {
+				if v, ok := r.Values["crossoverMB"]; ok {
+					return v
+				}
+			}
+		}
+		t.Fatalf("no crossover row for arm %q", arm)
+		return 0
+	}
+	off := crossover("cold-off")
+	on := crossover("cold-on")
+	if off <= 0 || on <= 0 {
+		t.Fatalf("degenerate crossovers: off=%v on=%v", off, on)
+	}
+	if shift := on / off; shift < 1.5 {
+		t.Errorf("cold-on crossover %vMB vs cold-off %vMB: shift %.2fx below the 1.5x floor",
+			on, off, shift)
+	}
+}
+
+// TestColdSnapshotSizeGuard is the live on-disk regression guard for the
+// compressed checkpoint format: the same corpus checkpointed through
+// compacted segments must occupy at most 0.6x the bytes of a raw sealed
+// snapshot. It runs the real checkpoint paths on a few hundred keys, so
+// it is cheap enough to stay ungated.
+func TestColdSnapshotSizeGuard(t *testing.T) {
+	value := func(i int) []byte {
+		v := make([]byte, 64)
+		for j := range v {
+			v[j] = byte('a' + (i+j)%26)
+		}
+		return v
+	}
+	stateBytes := func(cold bool) int64 {
+		t.Helper()
+		dir := t.TempDir()
+		st, err := aria.Open(aria.Options{
+			Scheme:               aria.AriaHash,
+			EPCBytes:             32 << 20,
+			ExpectedKeys:         1024,
+			SecureCacheBytes:     1 << 20,
+			PinBudgetBytes:       64 << 10,
+			ShieldStoreRootBytes: 16 << 10,
+			Seed:                 5,
+			DataDir:              dir,
+			ColdCompress:         cold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			if err := st.Put([]byte(fmt.Sprintf("key-%05d", i)), value(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := st.(aria.Durable)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, e := range entries {
+			if len(e.Name()) > 4 && e.Name()[:4] == "wal-" {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += info.Size()
+		}
+		if total == 0 {
+			t.Fatalf("cold=%v checkpoint left no state on disk", cold)
+		}
+		return total
+	}
+	snap := stateBytes(false)
+	seg := stateBytes(true)
+	if ratio := float64(seg) / float64(snap); ratio > 0.6 {
+		t.Errorf("compacted segments %dB vs raw snapshot %dB: %.2fx above the 0.6x ceiling",
+			seg, snap, ratio)
+	}
 }
 
 // TestWireSpeedupFloor pins the multiplexed-transport headline against

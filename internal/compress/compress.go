@@ -1,0 +1,308 @@
+// Package compress implements the cold tier's sampled pattern-dictionary
+// compressor (DESIGN.md §15): a dictionary of frequent byte patterns is
+// built from a sample of the values being compacted, and each record is
+// then encoded independently as a greedy cover of dictionary references
+// and literal runs.
+//
+// The design follows the erigon lineage of dictionary compressors rather
+// than a windowed LZ: there is NO cross-record state, so any single
+// record can be decompressed knowing only the dictionary — the random
+// access a cold tier needs to decompress one evicted value on a read
+// miss without touching its neighbours. Determinism is a requirement,
+// not an accident: given the same samples the same dictionary is built,
+// so compacted segments (and the committed benchmark snapshots derived
+// from them) are byte-stable across runs.
+//
+// Token stream (per compressed record):
+//
+//	0x00..0x7F  literal run: the low 7 bits + 1 (1..128) literal bytes follow
+//	0x80..0xFF  pattern reference: copy dictionary pattern (byte - 0x80) whole
+//
+// A reference byte therefore addresses at most MaxPatterns = 128
+// patterns; patterns are 4..255 bytes long. Decompression is a strict
+// validator: an out-of-range reference, a truncated literal run, or an
+// output size that disagrees with the declared raw length all fail —
+// the fuzzer (FuzzDictDecompress) drives arbitrary token streams
+// through this path.
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+const (
+	// MaxPatterns is the dictionary capacity: a pattern reference is one
+	// byte with the high bit set, leaving 7 bits of index.
+	MaxPatterns = 128
+	// MinPatternLen is the shortest pattern worth a dictionary slot: a
+	// reference byte must replace strictly more than itself, and the
+	// prefix index below keys on 4 bytes.
+	MinPatternLen = 4
+	// MaxPatternLen keeps the serialized form's 1-byte length prefix.
+	MaxPatternLen = 255
+	// maxLiteralRun is the longest literal run one token can carry.
+	maxLiteralRun = 128
+	// dictVersion tags the serialized dictionary format.
+	dictVersion = 1
+	// MaxSerializedDict bounds what Load accepts: version + count +
+	// MaxPatterns patterns of MaxPatternLen each, with headroom.
+	MaxSerializedDict = 2 + MaxPatterns*(1+MaxPatternLen)
+)
+
+// ErrCorrupt is returned for any defect in a serialized dictionary or a
+// compressed record: truncated tokens, out-of-range references, or a
+// length mismatch. Inside sealed segments such a defect can only be a
+// logic-level bug (the bytes authenticated), so callers treat it as
+// corruption, not tampering.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+// Dict is an immutable pattern dictionary. The zero value (no patterns)
+// is valid and encodes everything as literal runs.
+type Dict struct {
+	patterns [][]byte
+	// index maps the first 4 bytes of each pattern to the pattern ids
+	// sharing that prefix, longest pattern first, so the greedy encoder
+	// probes one map entry per position and takes the longest match.
+	index map[uint32][]int
+}
+
+// prefixKey packs the 4-byte pattern prefix the encoder probes on.
+func prefixKey(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+// newDict builds the probe index over an already-chosen pattern list.
+func newDict(patterns [][]byte) *Dict {
+	d := &Dict{patterns: patterns, index: make(map[uint32][]int, len(patterns))}
+	for id, p := range patterns {
+		k := prefixKey(p)
+		d.index[k] = append(d.index[k], id)
+	}
+	for _, ids := range d.index {
+		sort.SliceStable(ids, func(a, b int) bool {
+			return len(d.patterns[ids[a]]) > len(d.patterns[ids[b]])
+		})
+	}
+	return d
+}
+
+// Patterns returns the number of patterns in the dictionary.
+func (d *Dict) Patterns() int { return len(d.patterns) }
+
+// Bytes returns the serialized size of the dictionary: the number the
+// aria_comp_dict_bytes gauge reports and segments pay to persist.
+func (d *Dict) Bytes() int {
+	n := 2
+	for _, p := range d.patterns {
+		n += 1 + len(p)
+	}
+	return n
+}
+
+// Serialize encodes the dictionary: version (1) || count (1) || per
+// pattern, len (1) || bytes.
+func (d *Dict) Serialize() []byte {
+	out := make([]byte, 2, d.Bytes())
+	out[0] = dictVersion
+	out[1] = byte(len(d.patterns))
+	for _, p := range d.patterns {
+		out = append(out, byte(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Load parses a serialized dictionary, validating every bound.
+func Load(b []byte) (*Dict, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: dictionary shorter than its header", ErrCorrupt)
+	}
+	if b[0] != dictVersion {
+		return nil, fmt.Errorf("%w: unknown dictionary version %d", ErrCorrupt, b[0])
+	}
+	count := int(b[1])
+	if count > MaxPatterns {
+		return nil, fmt.Errorf("%w: dictionary claims %d patterns (max %d)", ErrCorrupt, count, MaxPatterns)
+	}
+	rest := b[2:]
+	patterns := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("%w: dictionary pattern %d truncated", ErrCorrupt, i)
+		}
+		n := int(rest[0])
+		rest = rest[1:]
+		if n < MinPatternLen || len(rest) < n {
+			return nil, fmt.Errorf("%w: dictionary pattern %d has bad length %d", ErrCorrupt, i, n)
+		}
+		patterns = append(patterns, append([]byte(nil), rest[:n]...))
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: dictionary has %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return newDict(patterns), nil
+}
+
+// candidateLengths is the ladder of substring lengths Train scores.
+// Long patterns are tried first so a value that repeats whole is one
+// reference; the short end still catches common prefixes.
+var candidateLengths = []int{64, 48, 32, 24, 16, 12, 8, 6, 4}
+
+// maxTrainSamples caps training work: sampling is the point of the
+// design — the dictionary only has to represent the corpus, not index
+// it.
+const maxTrainSamples = 512
+
+// Train builds a dictionary from a sample of the records about to be
+// compressed. Candidate substrings are scored by the bytes they would
+// save ((len-1) per occurrence beyond the first), the top scorers win
+// dictionary slots, and candidates already covered by a chosen longer
+// pattern are skipped. Deterministic for a given sample sequence.
+func Train(samples [][]byte) *Dict {
+	if len(samples) > maxTrainSamples {
+		// Deterministic stride sampling, no RNG.
+		stride := len(samples) / maxTrainSamples
+		sub := make([][]byte, 0, maxTrainSamples)
+		for i := 0; i < len(samples) && len(sub) < maxTrainSamples; i += stride {
+			sub = append(sub, samples[i])
+		}
+		samples = sub
+	}
+	counts := make(map[string]int)
+	for _, s := range samples {
+		for _, n := range candidateLengths {
+			if n > len(s) {
+				continue
+			}
+			// Stride by half the length: adjacent offsets are near
+			// duplicates; halving keeps phase coverage with 2x the work
+			// of disjoint chunks.
+			step := n / 2
+			for off := 0; off+n <= len(s); off += step {
+				counts[string(s[off:off+n])]++
+			}
+		}
+	}
+	type cand struct {
+		pat   string
+		score int
+	}
+	cands := make([]cand, 0, len(counts))
+	for p, c := range counts {
+		if c < 2 {
+			continue
+		}
+		cands = append(cands, cand{p, (len(p) - 1) * (c - 1)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if len(cands[i].pat) != len(cands[j].pat) {
+			return len(cands[i].pat) > len(cands[j].pat)
+		}
+		return cands[i].pat < cands[j].pat
+	})
+	var patterns [][]byte
+	for _, c := range cands {
+		if len(patterns) >= MaxPatterns {
+			break
+		}
+		covered := false
+		for _, chosen := range patterns {
+			if bytes.Contains(chosen, []byte(c.pat)) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			patterns = append(patterns, []byte(c.pat))
+		}
+	}
+	return newDict(patterns)
+}
+
+// Compress appends the encoded form of src to dst and returns it. The
+// raw length is NOT stored — records live inside framing that already
+// carries it, and repeating it here would tax every record.
+func (d *Dict) Compress(dst, src []byte) []byte {
+	litStart := 0 // start of the pending literal run
+	flush := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > maxLiteralRun {
+				n = maxLiteralRun
+			}
+			dst = append(dst, byte(n-1))
+			dst = append(dst, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+	i := 0
+	for i < len(src) {
+		if len(src)-i >= MinPatternLen && d.index != nil {
+			if ids, ok := d.index[prefixKey(src[i:])]; ok {
+				matched := false
+				for _, id := range ids {
+					p := d.patterns[id]
+					if len(p) <= len(src)-i && bytes.HasPrefix(src[i:], p) {
+						flush(i)
+						dst = append(dst, 0x80|byte(id))
+						i += len(p)
+						litStart = i
+						matched = true
+						break
+					}
+				}
+				if matched {
+					continue
+				}
+			}
+		}
+		i++
+	}
+	flush(len(src))
+	return dst
+}
+
+// Decompress decodes one compressed record whose raw length is known to
+// be rawLen (carried by the surrounding framing), validating every
+// token against the dictionary and the declared length.
+func (d *Dict) Decompress(comp []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 {
+		return nil, fmt.Errorf("%w: negative raw length", ErrCorrupt)
+	}
+	out := make([]byte, 0, rawLen)
+	for i := 0; i < len(comp); {
+		tok := comp[i]
+		i++
+		if tok < 0x80 {
+			n := int(tok) + 1
+			if i+n > len(comp) {
+				return nil, fmt.Errorf("%w: literal run overruns record", ErrCorrupt)
+			}
+			if len(out)+n > rawLen {
+				return nil, fmt.Errorf("%w: output exceeds declared length", ErrCorrupt)
+			}
+			out = append(out, comp[i:i+n]...)
+			i += n
+			continue
+		}
+		id := int(tok & 0x7F)
+		if id >= len(d.patterns) {
+			return nil, fmt.Errorf("%w: pattern reference %d out of range", ErrCorrupt, id)
+		}
+		p := d.patterns[id]
+		if len(out)+len(p) > rawLen {
+			return nil, fmt.Errorf("%w: output exceeds declared length", ErrCorrupt)
+		}
+		out = append(out, p...)
+	}
+	if len(out) != rawLen {
+		return nil, fmt.Errorf("%w: decompressed %d bytes, expected %d", ErrCorrupt, len(out), rawLen)
+	}
+	return out, nil
+}

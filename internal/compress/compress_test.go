@@ -1,0 +1,163 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// corpus builds the repo's default value corpus: cyclic lowercase runs
+// at varying phases, the shape the workload generator emits.
+func corpus(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		v := make([]byte, size)
+		for j := range v {
+			v[j] = byte('a' + (i+j)%26)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	samples := corpus(200, 32)
+	d := Train(samples)
+	if d.Patterns() == 0 {
+		t.Fatal("training on a repetitive corpus produced an empty dictionary")
+	}
+	for i, s := range samples {
+		comp := d.Compress(nil, s)
+		got, err := d.Decompress(comp, len(s))
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if !bytes.Equal(got, s) {
+			t.Fatalf("sample %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestCompressionRatioOnCorpus(t *testing.T) {
+	samples := corpus(500, 32)
+	d := Train(samples)
+	var raw, comp int
+	for _, s := range samples {
+		raw += len(s)
+		comp += len(d.Compress(nil, s))
+	}
+	if ratio := float64(comp) / float64(raw); ratio > 0.5 {
+		t.Fatalf("corpus compressed to %.2fx, want <= 0.5x", ratio)
+	}
+}
+
+func TestSerializeLoad(t *testing.T) {
+	d := Train(corpus(100, 24))
+	ser := d.Serialize()
+	if len(ser) != d.Bytes() {
+		t.Fatalf("Serialize returned %d bytes, Bytes() says %d", len(ser), d.Bytes())
+	}
+	d2, err := Load(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded dictionary must encode identically: segments persist
+	// the dictionary and decode with the loaded copy.
+	src := corpus(1, 40)[0]
+	if !bytes.Equal(d.Compress(nil, src), d2.Compress(nil, src)) {
+		t.Fatal("loaded dictionary encodes differently")
+	}
+	got, err := d2.Decompress(d.Compress(nil, src), len(src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("cross decode: %v", err)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	a := Train(corpus(300, 32)).Serialize()
+	b := Train(corpus(300, 32)).Serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Train is not deterministic for identical samples")
+	}
+}
+
+func TestEmptyDictLiteralFallback(t *testing.T) {
+	var d Dict
+	src := []byte("incompressible-without-a-dictionary")
+	comp := d.Compress(nil, src)
+	got, err := d.Decompress(comp, len(src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("literal fallback failed: %v", err)
+	}
+	// Worst-case expansion is one token byte per 128 literals.
+	if max := len(src) + len(src)/maxLiteralRun + 1; len(comp) > max {
+		t.Fatalf("literal encoding expanded to %d bytes (max %d)", len(comp), max)
+	}
+}
+
+func TestRoundTripMixedSizes(t *testing.T) {
+	d := Train(corpus(64, 48))
+	for _, n := range []int{0, 1, 3, 4, 5, 26, 127, 128, 129, 300, 1024} {
+		src := make([]byte, n)
+		for j := range src {
+			src[j] = byte('a' + (j*7)%26)
+		}
+		comp := d.Compress(nil, src)
+		got, err := d.Decompress(comp, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("n=%d: mismatch", n)
+		}
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	d := Train(corpus(100, 32))
+	src := corpus(1, 32)[0]
+	comp := d.Compress(nil, src)
+	if _, err := d.Decompress(comp, len(src)+1); err == nil {
+		t.Fatal("wrong raw length accepted")
+	}
+	if _, err := d.Decompress(comp[:len(comp)-1], len(src)); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	var empty Dict
+	if _, err := empty.Decompress([]byte{0x80}, 4); err == nil {
+		t.Fatal("out-of-range pattern reference accepted")
+	}
+}
+
+func TestLoadRejectsDefects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad version":       {9, 0},
+		"count overruns":    {dictVersion, 1},
+		"short pattern":     {dictVersion, 1, 2, 'a', 'b'},
+		"pattern truncated": {dictVersion, 1, 8, 'a', 'b'},
+		"trailing bytes":    {dictVersion, 0, 'x'},
+	}
+	for name, b := range cases {
+		if _, err := Load(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	d := Train(corpus(256, 64))
+	src := corpus(1, 64)[0]
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		d.Compress(nil, src)
+	}
+}
+
+func ExampleDict_Compress() {
+	d := Train(corpus(100, 26))
+	src := corpus(1, 26)[0]
+	comp := d.Compress(nil, src)
+	fmt.Println(len(comp) < len(src))
+	// Output: true
+}

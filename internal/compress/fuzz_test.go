@@ -1,0 +1,53 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDictDecompress drives arbitrary bytes through both untrusted
+// decode paths: the serialized-dictionary loader and the per-record
+// decompressor. Neither may panic or over-allocate; and any dictionary
+// that loads must satisfy the round-trip law — whatever it compresses,
+// it decompresses back byte-identically.
+func FuzzDictDecompress(f *testing.F) {
+	trained := Train([][]byte{
+		[]byte("abcdefghijklmnop"),
+		[]byte("bcdefghijklmnopq"),
+		[]byte("abcdefghijklmnop"),
+		[]byte("cdefghijklmnopqr"),
+	})
+	valid := trained.Serialize()
+	f.Add(valid, []byte("abcdefghijklmnop"), 16)
+	f.Add(valid, []byte{}, 0)
+	f.Add([]byte{}, []byte("x"), 1)
+	f.Add([]byte{dictVersion, 0}, []byte{0x80}, 4)
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 3 {
+		corrupt[3] ^= 0x40
+	}
+	f.Add(corrupt, []byte("abcd"), 4)
+	f.Fuzz(func(t *testing.T, dict, rec []byte, rawLen int) {
+		if rawLen < 0 || rawLen > 1<<20 || len(dict) > MaxSerializedDict {
+			t.Skip()
+		}
+		d, err := Load(dict)
+		if err != nil {
+			return // rejected dictionaries end the story
+		}
+		// Arbitrary record bytes: must decode or fail cleanly, never
+		// panic, and a success must produce exactly rawLen bytes.
+		if out, err := d.Decompress(rec, rawLen); err == nil && len(out) != rawLen {
+			t.Fatalf("decompress returned %d bytes for declared %d", len(out), rawLen)
+		}
+		// Round-trip law for whatever the loaded dictionary encodes.
+		comp := d.Compress(nil, rec)
+		back, err := d.Decompress(comp, len(rec))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(back, rec) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,646 @@
+// Package segment implements the cold tier's on-disk format (DESIGN.md
+// §15): immutable, sorted, compressed, sealed segments, plus the sealed
+// set manifests that name which segments constitute a recovery point.
+//
+// A segment is born at a checkpoint and never modified afterwards: a
+// sort-then-load collector gathers the pairs to persist, sorts them by
+// key, trains a pattern dictionary (internal/compress) on their values,
+// and writes one sealed file — header (with the embedded dictionary),
+// value-compressed pair blocks, trailer — via the same write-temp +
+// fsync + rename discipline snapshots use. AES-CMAC covers the
+// *compressed* bytes: compression happens inside the trust boundary,
+// sealing wraps its output, so the bytes that cross into untrusted
+// storage are both smaller and authenticated — there is no window where
+// plaintext or unauthenticated data is exposed.
+//
+// Recovery state is the newest valid *set*: a sealed manifest
+// (segset-<seq>.seal) listing member segments in apply order. An
+// incremental checkpoint appends one segment and rewrites the manifest;
+// compaction rewrites everything into a single segment and starts a new
+// set. Any defect in a renamed segment or manifest — bad MAC, broken
+// framing, missing trailer, wrong count — is tampering, never a crash
+// artifact, and returns ErrTampered.
+package segment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/ariakv/aria/internal/compress"
+	"github.com/ariakv/aria/internal/seal"
+)
+
+const (
+	segPrefix = "seg-"
+	setPrefix = "segset-"
+	sealExt   = ".seal"
+	tmpSuffix = ".tmp"
+
+	// headerBytes frames every sealed record: length (4, LE) || ^length
+	// (4), mirroring the WAL and snapshot framing.
+	headerBytes    = 8
+	maxRecordBytes = 1 << 26
+
+	// saltSegment/saltSet are the keystream domains ("ariaSEG1" /
+	// "ariaSSET"); each file XORs its covered sequence in, so no two
+	// files share a counter block.
+	saltSegment = 0x6172696153454731
+	saltSet     = 0x6172696153534554
+
+	segChainLabel = "aria-segment-v1"
+	setChainLabel = "aria-segment-set-v1"
+
+	segMagic = "ariaseg1"
+	setMagic = "ariasegset1"
+
+	// targetBlockRaw is the uncompressed payload a pair block aims for.
+	// Blocks amortize the per-record seal (CMAC + CTR fixed costs) over
+	// hundreds of pairs — the difference between a segment and the
+	// snapshot format's record-per-pair, and most of the cold tier's
+	// on-disk win for small values.
+	targetBlockRaw = 32 << 10
+
+	// maxSegmentKey bounds keys to the uint16 length prefix.
+	maxSegmentKey = 1<<16 - 1
+
+	// Entry flags.
+	flagTombstone = 1 << 0
+	flagRawStored = 1 << 1 // value stored uncompressed (dictionary did not help)
+)
+
+// ErrTampered reports an authentication or framing defect in a segment
+// or set manifest. Published files are immutable and renamed atomically,
+// so any defect means the bytes were modified.
+var ErrTampered = errors.New("segment: sealed segment failed verification")
+
+// Pair is one logical entry in a segment: a key with its (raw) value,
+// or a tombstone recording a deletion that must shadow older segments.
+type Pair struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// Meta describes one written or read segment, carrying the numbers the
+// caller needs for honest cost accounting and metrics.
+type Meta struct {
+	Covered    uint64
+	Name       string
+	Pairs      int
+	Tombstones int
+	// RawBytes is the uncompressed key+value payload; CompBytes is what
+	// the values compressed to (keys are stored raw — they are the sort
+	// order). DictBytes is the embedded dictionary's serialized size.
+	RawBytes  int64
+	CompBytes int64
+	DictBytes int
+	FileBytes int64
+	// BlockBytes lists each sealed block record's payload size, so the
+	// writer/reader charge one CTR+CMAC per block over exactly the
+	// bytes that were sealed.
+	BlockBytes []int
+}
+
+// Name returns the file name of a segment born at covered.
+func Name(covered uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, covered, sealExt)
+}
+
+// SetName returns the file name of a set manifest covering seq.
+func SetName(covered uint64) string {
+	return fmt.Sprintf("%s%020d%s", setPrefix, covered, sealExt)
+}
+
+// parseName extracts the covered sequence from a prefixed file name.
+func parseName(name, prefix string, covered *uint64) bool {
+	if len(name) != len(prefix)+20+len(sealExt) ||
+		!strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, sealExt) {
+		return false
+	}
+	var v uint64
+	for _, c := range name[len(prefix) : len(name)-len(sealExt)] {
+		if c < '0' || c > '9' {
+			return false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	*covered = v
+	return true
+}
+
+// IsStateFile reports whether name is a segment or set-manifest file;
+// the durable layer uses it to classify directory contents.
+func IsStateFile(name string) bool {
+	var v uint64
+	return parseName(name, segPrefix, &v) || parseName(name, setPrefix, &v)
+}
+
+// Collector is the sort-then-load half of a compaction: Add gathers
+// pairs in arbitrary order (copying them — callers reuse buffers), Load
+// sorts, trains the dictionary, and writes the segment. At this repo's
+// scales the sort runs in memory; the etl-style shape (collect
+// everything, order it, then build the immutable artifact in one pass)
+// is what keeps segments sorted and single-pass to write.
+type Collector struct {
+	pairs []Pair
+}
+
+// NewCollector returns an empty collector sized for n pairs.
+func NewCollector(n int) *Collector {
+	return &Collector{pairs: make([]Pair, 0, n)}
+}
+
+// Add records one pair or tombstone, copying key and value.
+func (c *Collector) Add(key, value []byte, tombstone bool) {
+	p := Pair{Key: append([]byte(nil), key...), Tombstone: tombstone}
+	if !tombstone {
+		p.Value = append([]byte(nil), value...)
+	}
+	c.pairs = append(c.pairs, p)
+}
+
+// Len returns the number of collected pairs.
+func (c *Collector) Len() int { return len(c.pairs) }
+
+// Load sorts the collected pairs and writes them as one segment born at
+// covered. The collector must not be reused afterwards.
+func (c *Collector) Load(dir string, s *seal.Sealer, covered uint64) (Meta, error) {
+	return Write(dir, s, covered, c.pairs)
+}
+
+// segSalt is the keystream domain of one segment file.
+func segSalt(covered uint64) uint64 { return saltSegment ^ covered }
+
+// setSalt is the keystream domain of one set manifest.
+func setSalt(covered uint64) uint64 { return saltSet ^ covered }
+
+// Write sorts pairs by key and seals them into dir/Name(covered):
+// header record carrying the trained dictionary, blocks of
+// value-compressed entries, and a trailer proving completeness. The
+// file is written to a temporary name, fsynced, renamed, and the
+// directory fsynced, so a published segment is always whole.
+func Write(dir string, s *seal.Sealer, covered uint64, pairs []Pair) (Meta, error) {
+	for i := range pairs {
+		if len(pairs[i].Key) > maxSegmentKey {
+			return Meta{}, fmt.Errorf("segment: key of %d bytes exceeds the %d-byte framing limit", len(pairs[i].Key), maxSegmentKey)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return bytes.Compare(pairs[i].Key, pairs[j].Key) < 0 })
+
+	// Train on the values about to be stored; tombstones carry none.
+	samples := make([][]byte, 0, len(pairs))
+	for i := range pairs {
+		if !pairs[i].Tombstone && len(pairs[i].Value) > 0 {
+			samples = append(samples, pairs[i].Value)
+		}
+	}
+	dict := compress.Train(samples)
+	dictSer := dict.Serialize()
+
+	// Encode blocks first so the header can declare the block count.
+	meta := Meta{Covered: covered, Name: Name(covered), Pairs: len(pairs), DictBytes: len(dictSer)}
+	var blocks [][]byte
+	var cur []byte
+	curRaw := 0
+	var u2 [2]byte
+	var u4 [4]byte
+	flush := func() {
+		if len(cur) > 0 {
+			body := make([]byte, 4, 4+len(cur))
+			binary.LittleEndian.PutUint32(body, uint32(curRaw))
+			blocks = append(blocks, append(body, cur...))
+			cur, curRaw = nil, 0
+		}
+	}
+	for i := range pairs {
+		p := &pairs[i]
+		flags := byte(0)
+		var comp []byte
+		if p.Tombstone {
+			flags |= flagTombstone
+			meta.Tombstones++
+		} else {
+			comp = dict.Compress(nil, p.Value)
+			if len(comp) >= len(p.Value) {
+				flags |= flagRawStored
+				comp = p.Value
+			}
+			meta.CompBytes += int64(len(comp))
+		}
+		meta.RawBytes += int64(len(p.Key) + len(p.Value))
+		cur = append(cur, flags)
+		binary.LittleEndian.PutUint16(u2[:], uint16(len(p.Key)))
+		cur = append(cur, u2[:]...)
+		cur = append(cur, p.Key...)
+		if !p.Tombstone {
+			binary.LittleEndian.PutUint32(u4[:], uint32(len(p.Value)))
+			cur = append(cur, u4[:]...)
+			binary.LittleEndian.PutUint32(u4[:], uint32(len(comp)))
+			cur = append(cur, u4[:]...)
+			cur = append(cur, comp...)
+		}
+		curRaw++
+		if len(cur) >= targetBlockRaw {
+			flush()
+		}
+	}
+	flush()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Meta{}, fmt.Errorf("segment: create dir: %w", err)
+	}
+	final := filepath.Join(dir, meta.Name)
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: create temp: %w", err)
+	}
+	defer os.Remove(tmp)
+	chain := s.ChainInit(segChainLabel, covered)
+	seq := uint64(0)
+	emit := func(payload []byte) error {
+		rec, next := s.Seal(seq, segSalt(covered), chain, payload)
+		var hdr [headerBytes]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(hdr[4:8], ^uint32(len(rec)))
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(rec); err != nil {
+			return err
+		}
+		meta.FileBytes += int64(headerBytes + len(rec))
+		chain = next
+		seq++
+		return nil
+	}
+	hdr := make([]byte, len(segMagic)+8+4+8+4, len(segMagic)+24+len(dictSer))
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint64(hdr[len(segMagic):], covered)
+	binary.LittleEndian.PutUint32(hdr[len(segMagic)+8:], uint32(len(blocks)))
+	binary.LittleEndian.PutUint64(hdr[len(segMagic)+12:], uint64(len(pairs)))
+	binary.LittleEndian.PutUint32(hdr[len(segMagic)+20:], uint32(len(dictSer)))
+	hdr = append(hdr, dictSer...)
+	if err := emit(hdr); err != nil {
+		f.Close()
+		return Meta{}, fmt.Errorf("segment: write header: %w", err)
+	}
+	for _, b := range blocks {
+		if err := emit(b); err != nil {
+			f.Close()
+			return Meta{}, fmt.Errorf("segment: write block: %w", err)
+		}
+		meta.BlockBytes = append(meta.BlockBytes, len(b))
+	}
+	trailer := make([]byte, 3+8)
+	copy(trailer, "end")
+	binary.LittleEndian.PutUint64(trailer[3:], uint64(len(pairs)))
+	if err := emit(trailer); err != nil {
+		f.Close()
+		return Meta{}, fmt.Errorf("segment: write trailer: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return Meta{}, fmt.Errorf("segment: fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return Meta{}, fmt.Errorf("segment: close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return Meta{}, fmt.Errorf("segment: publish: %w", err)
+	}
+	syncDir(dir)
+	return meta, nil
+}
+
+// Read verifies and decodes one segment, calling fn once per pair in
+// key order with the decompressed value (the Pair's slices are only
+// valid during the call). Every defect returns ErrTampered; an error
+// from fn aborts the read and is returned verbatim.
+func Read(path string, s *seal.Sealer, fn func(Pair) error) (Meta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, fmt.Errorf("segment: read: %w", err)
+	}
+	base := filepath.Base(path)
+	var declared uint64
+	if !parseName(base, segPrefix, &declared) {
+		return Meta{}, fmt.Errorf("%w: %s: malformed name", ErrTampered, base)
+	}
+	meta := Meta{Covered: declared, Name: base, FileBytes: int64(len(data))}
+	chain := s.ChainInit(segChainLabel, declared)
+	seq := uint64(0)
+	off := int64(0)
+	next := func() ([]byte, error) {
+		rest := data[off:]
+		if len(rest) < headerBytes {
+			return nil, fmt.Errorf("%w: %s: cut short at offset %d", ErrTampered, base, off)
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		check := binary.LittleEndian.Uint32(rest[4:8])
+		if check != ^length || length < seal.Overhead || length > maxRecordBytes ||
+			int64(len(rest)) < headerBytes+int64(length) {
+			return nil, fmt.Errorf("%w: %s: bad record framing at offset %d", ErrTampered, base, off)
+		}
+		rec := rest[headerBytes : headerBytes+int64(length)]
+		gotSeq, payload, nc, err := s.Open(segSalt(declared), chain, rec)
+		if err != nil || gotSeq != seq {
+			return nil, fmt.Errorf("%w: %s: record %d failed authentication", ErrTampered, base, seq)
+		}
+		chain = nc
+		seq++
+		off += headerBytes + int64(length)
+		return payload, nil
+	}
+	hdr, err := next()
+	if err != nil {
+		return Meta{}, err
+	}
+	if len(hdr) < len(segMagic)+24 || !strings.HasPrefix(string(hdr), segMagic) {
+		return Meta{}, fmt.Errorf("%w: %s: bad header", ErrTampered, base)
+	}
+	covered := binary.LittleEndian.Uint64(hdr[len(segMagic):])
+	blockCount := binary.LittleEndian.Uint32(hdr[len(segMagic)+8:])
+	pairCount := binary.LittleEndian.Uint64(hdr[len(segMagic)+12:])
+	dictLen := binary.LittleEndian.Uint32(hdr[len(segMagic)+20:])
+	if covered != declared || int(dictLen) != len(hdr)-len(segMagic)-24 ||
+		dictLen > compress.MaxSerializedDict {
+		return Meta{}, fmt.Errorf("%w: %s: header inconsistent", ErrTampered, base)
+	}
+	dict, err := compress.Load(hdr[len(segMagic)+24:])
+	if err != nil {
+		return Meta{}, fmt.Errorf("%w: %s: embedded dictionary: %v", ErrTampered, base, err)
+	}
+	meta.DictBytes = int(dictLen)
+	var seen uint64
+	var prevKey []byte
+	for b := uint32(0); b < blockCount; b++ {
+		body, err := next()
+		if err != nil {
+			return Meta{}, err
+		}
+		meta.BlockBytes = append(meta.BlockBytes, len(body))
+		if len(body) < 4 {
+			return Meta{}, fmt.Errorf("%w: %s: short block", ErrTampered, base)
+		}
+		count := binary.LittleEndian.Uint32(body[:4])
+		rest := body[4:]
+		for i := uint32(0); i < count; i++ {
+			if len(rest) < 3 {
+				return Meta{}, fmt.Errorf("%w: %s: entry truncated", ErrTampered, base)
+			}
+			flags := rest[0]
+			klen := int(binary.LittleEndian.Uint16(rest[1:3]))
+			rest = rest[3:]
+			if len(rest) < klen {
+				return Meta{}, fmt.Errorf("%w: %s: entry key overruns block", ErrTampered, base)
+			}
+			p := Pair{Key: rest[:klen]}
+			rest = rest[klen:]
+			if prevKey != nil && bytes.Compare(prevKey, p.Key) >= 0 {
+				return Meta{}, fmt.Errorf("%w: %s: keys out of order", ErrTampered, base)
+			}
+			prevKey = p.Key
+			if flags&flagTombstone != 0 {
+				p.Tombstone = true
+				meta.Tombstones++
+			} else {
+				if len(rest) < 8 {
+					return Meta{}, fmt.Errorf("%w: %s: entry lengths truncated", ErrTampered, base)
+				}
+				rawLen := int(binary.LittleEndian.Uint32(rest[:4]))
+				compLen := int(binary.LittleEndian.Uint32(rest[4:8]))
+				rest = rest[8:]
+				if compLen > len(rest) || rawLen > maxRecordBytes {
+					return Meta{}, fmt.Errorf("%w: %s: entry value overruns block", ErrTampered, base)
+				}
+				comp := rest[:compLen]
+				rest = rest[compLen:]
+				if flags&flagRawStored != 0 {
+					if compLen != rawLen {
+						return Meta{}, fmt.Errorf("%w: %s: raw-stored entry length mismatch", ErrTampered, base)
+					}
+					p.Value = comp
+				} else {
+					v, derr := dict.Decompress(comp, rawLen)
+					if derr != nil {
+						return Meta{}, fmt.Errorf("%w: %s: entry decompression: %v", ErrTampered, base, derr)
+					}
+					p.Value = v
+				}
+				meta.CompBytes += int64(compLen)
+			}
+			meta.RawBytes += int64(len(p.Key) + len(p.Value))
+			meta.Pairs++
+			seen++
+			if fn != nil {
+				if err := fn(p); err != nil {
+					return Meta{}, err
+				}
+			}
+		}
+		if len(rest) != 0 {
+			return Meta{}, fmt.Errorf("%w: %s: block has trailing bytes", ErrTampered, base)
+		}
+	}
+	trailer, err := next()
+	if err != nil {
+		return Meta{}, err
+	}
+	if len(trailer) != 3+8 || string(trailer[:3]) != "end" ||
+		binary.LittleEndian.Uint64(trailer[3:]) != seen || seen != pairCount ||
+		off != int64(len(data)) {
+		return Meta{}, fmt.Errorf("%w: %s: bad trailer", ErrTampered, base)
+	}
+	return meta, nil
+}
+
+// SetRef names one set manifest found on disk.
+type SetRef struct {
+	Covered uint64
+	Path    string
+}
+
+// Sets lists the set manifests in dir, newest first.
+func Sets(dir string) ([]SetRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("segment: read dir: %w", err)
+	}
+	var sets []SetRef
+	for _, e := range entries {
+		var covered uint64
+		if e.Type().IsRegular() && parseName(e.Name(), setPrefix, &covered) {
+			sets = append(sets, SetRef{covered, filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Covered > sets[j].Covered })
+	return sets, nil
+}
+
+// WriteSet seals a set manifest covering seq: the member segment file
+// names in apply order (oldest first) plus an opaque 8-byte caller
+// payload (aria stores its version clock there, so recovery restores it
+// before replaying anything). Write-temp + rename, like every published
+// artifact. Returns the bytes written, for boundary-cost accounting.
+func WriteSet(dir string, s *seal.Sealer, covered, clock uint64, names []string) (int64, error) {
+	body := make([]byte, len(setMagic)+8+8+4)
+	copy(body, setMagic)
+	binary.LittleEndian.PutUint64(body[len(setMagic):], covered)
+	binary.LittleEndian.PutUint64(body[len(setMagic)+8:], clock)
+	binary.LittleEndian.PutUint32(body[len(setMagic)+16:], uint32(len(names)))
+	var u2 [2]byte
+	for _, n := range names {
+		if n != filepath.Base(n) || len(n) > maxSegmentKey {
+			return 0, fmt.Errorf("segment: bad member name %q", n)
+		}
+		binary.LittleEndian.PutUint16(u2[:], uint16(len(n)))
+		body = append(body, u2[:]...)
+		body = append(body, n...)
+	}
+	rec, _ := s.Seal(0, setSalt(covered), s.ChainInit(setChainLabel, covered), body)
+	out := make([]byte, headerBytes, headerBytes+len(rec))
+	binary.LittleEndian.PutUint32(out[:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(out[4:8], ^uint32(len(rec)))
+	out = append(out, rec...)
+	final := filepath.Join(dir, SetName(covered))
+	tmp := final + tmpSuffix
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return 0, fmt.Errorf("segment: write set temp: %w", err)
+	}
+	defer os.Remove(tmp)
+	f, err := os.Open(tmp)
+	if err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, fmt.Errorf("segment: publish set: %w", err)
+	}
+	syncDir(dir)
+	return int64(len(out)), nil
+}
+
+// ReadSet verifies one set manifest and returns its covered sequence,
+// caller payload, and member names in apply order.
+func ReadSet(path string, s *seal.Sealer) (covered, clock uint64, names []string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("segment: read set: %w", err)
+	}
+	base := filepath.Base(path)
+	var declared uint64
+	if !parseName(base, setPrefix, &declared) {
+		return 0, 0, nil, fmt.Errorf("%w: %s: malformed name", ErrTampered, base)
+	}
+	if len(data) < headerBytes {
+		return 0, 0, nil, fmt.Errorf("%w: %s: cut short", ErrTampered, base)
+	}
+	length := binary.LittleEndian.Uint32(data[:4])
+	check := binary.LittleEndian.Uint32(data[4:8])
+	if check != ^length || length < seal.Overhead || length > maxRecordBytes ||
+		int64(len(data)) != int64(headerBytes)+int64(length) {
+		return 0, 0, nil, fmt.Errorf("%w: %s: bad framing", ErrTampered, base)
+	}
+	seq, body, _, serr := s.Open(setSalt(declared), s.ChainInit(setChainLabel, declared), data[headerBytes:])
+	if serr != nil || seq != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %s: failed authentication", ErrTampered, base)
+	}
+	if len(body) < len(setMagic)+20 || !strings.HasPrefix(string(body), setMagic) {
+		return 0, 0, nil, fmt.Errorf("%w: %s: bad payload", ErrTampered, base)
+	}
+	covered = binary.LittleEndian.Uint64(body[len(setMagic):])
+	clock = binary.LittleEndian.Uint64(body[len(setMagic)+8:])
+	count := binary.LittleEndian.Uint32(body[len(setMagic)+16:])
+	if covered != declared {
+		return 0, 0, nil, fmt.Errorf("%w: %s: covers seq %d but name declares %d", ErrTampered, base, covered, declared)
+	}
+	rest := body[len(setMagic)+20:]
+	names = make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 2 {
+			return 0, 0, nil, fmt.Errorf("%w: %s: member name truncated", ErrTampered, base)
+		}
+		n := int(binary.LittleEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < n {
+			return 0, 0, nil, fmt.Errorf("%w: %s: member name overruns payload", ErrTampered, base)
+		}
+		names = append(names, string(rest[:n]))
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %s: trailing bytes", ErrTampered, base)
+	}
+	return covered, clock, names, nil
+}
+
+// Prune removes set manifests older than keep, segment files no
+// surviving manifest references, and stale temporaries. A generation is
+// a SET, not a file: a surviving manifest protects every member it
+// names, however old the member's own birth sequence is — this is what
+// keeps two-generation retention meaning two recovery points rather
+// than two arbitrary piles of files. If any surviving manifest cannot
+// be read, Prune deletes nothing: a tampered manifest is an incident
+// for recovery to classify, not for the janitor to destroy.
+func Prune(dir string, s *seal.Sealer, keep uint64) error {
+	sets, err := Sets(dir)
+	if err != nil {
+		return err
+	}
+	referenced := make(map[string]bool)
+	for _, ref := range sets {
+		if ref.Covered < keep {
+			continue
+		}
+		_, _, names, rerr := ReadSet(ref.Path, s)
+		if rerr != nil {
+			return nil // conservative: keep everything for recovery to judge
+		}
+		for _, n := range names {
+			referenced[n] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("segment: read dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var covered uint64
+		switch {
+		case strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, tmpSuffix),
+			strings.HasPrefix(name, setPrefix) && strings.HasSuffix(name, tmpSuffix):
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("segment: remove stale temp: %w", err)
+			}
+		case parseName(name, setPrefix, &covered) && covered < keep:
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("segment: remove old set: %w", err)
+			}
+		case parseName(name, segPrefix, &covered) && !referenced[name]:
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("segment: remove unreferenced segment: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort on
+// platforms where directories cannot be fsynced.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

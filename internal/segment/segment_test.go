@@ -1,0 +1,341 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ariakv/aria/internal/seal"
+)
+
+// buildPairs returns n pairs with the repo's cyclic-alphabet values and
+// a sprinkling of tombstones, deliberately added out of key order.
+func buildPairs(n int) []Pair {
+	pairs := make([]Pair, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		key := []byte(fmt.Sprintf("key-%06d", i))
+		if i%17 == 0 {
+			pairs = append(pairs, Pair{Key: key, Tombstone: true})
+			continue
+		}
+		v := make([]byte, 32)
+		for j := range v {
+			v[j] = byte('a' + (i+j)%26)
+		}
+		pairs = append(pairs, Pair{Key: key, Value: v})
+	}
+	return pairs
+}
+
+func readAll(t *testing.T, path string, s *seal.Sealer) (Meta, []Pair) {
+	t.Helper()
+	var got []Pair
+	meta, err := Read(path, s, func(p Pair) error {
+		cp := Pair{Key: append([]byte(nil), p.Key...), Tombstone: p.Tombstone}
+		if !p.Tombstone {
+			cp.Value = append([]byte(nil), p.Value...)
+		}
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Read(%s): %v", filepath.Base(path), err)
+	}
+	return meta, got
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(7)
+	pairs := buildPairs(500)
+	meta, err := Write(dir, s, 42, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Pairs != 500 || meta.Covered != 42 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	rmeta, got := readAll(t, filepath.Join(dir, Name(42)), seal.New(7))
+	if rmeta.Pairs != 500 || rmeta.Tombstones != meta.Tombstones {
+		t.Fatalf("read meta = %+v, write meta = %+v", rmeta, meta)
+	}
+	if len(got) != 500 {
+		t.Fatalf("read %d pairs", len(got))
+	}
+	// Pairs come back sorted; Write sorted its input in place.
+	for i := range got {
+		if !bytes.Equal(got[i].Key, pairs[i].Key) || got[i].Tombstone != pairs[i].Tombstone ||
+			!bytes.Equal(got[i].Value, pairs[i].Value) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+		if i > 0 && bytes.Compare(got[i-1].Key, got[i].Key) >= 0 {
+			t.Fatalf("pairs not sorted at %d", i)
+		}
+	}
+}
+
+func TestCompressionShrinksCorpus(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(3)
+	pairs := make([]Pair, 2048)
+	for i := range pairs {
+		v := make([]byte, 64)
+		for j := range v {
+			v[j] = byte('a' + (i+j)%26)
+		}
+		pairs[i] = Pair{Key: []byte(fmt.Sprintf("key-%06d", i)), Value: v}
+	}
+	meta, err := Write(dir, s, 1, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.CompBytes*2 > meta.RawBytes {
+		t.Fatalf("values compressed to %d of %d raw bytes, want <= 0.5x", meta.CompBytes, meta.RawBytes)
+	}
+}
+
+func TestCollectorSortsThenLoads(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(9)
+	c := NewCollector(4)
+	buf := []byte("zzz")
+	c.Add(buf, []byte("last"), false)
+	buf[0] = 'a' // Add must have copied
+	c.Add([]byte("aaa"), []byte("first"), false)
+	c.Add([]byte("mmm"), nil, true)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, err := c.Load(dir, s, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, got := readAll(t, filepath.Join(dir, Name(5)), s)
+	want := []string{"aaa", "mmm", "zzz"}
+	for i, k := range want {
+		if string(got[i].Key) != k {
+			t.Fatalf("pair %d key = %q, want %q", i, got[i].Key, k)
+		}
+	}
+	if string(got[2].Value) != "last" {
+		t.Fatalf("collector did not copy the key buffer: %q", got[2].Value)
+	}
+}
+
+func TestReadRejectsEveryByteFlip(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(11)
+	if _, err := Write(dir, s, 9, buildPairs(40)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, Name(9))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if len(orig) > 4096 {
+		step = len(orig) / 4096
+	}
+	for off := 0; off < len(orig); off += step {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, rerr := Read(path, seal.New(11), nil); !errors.Is(rerr, ErrTampered) {
+			t.Fatalf("flip at offset %d: got %v, want ErrTampered", off, rerr)
+		}
+	}
+}
+
+func TestReadRejectsEveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(13)
+	if _, err := Write(dir, s, 4, buildPairs(20)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, Name(4))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(orig); n++ {
+		if err := os.WriteFile(path, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, rerr := Read(path, seal.New(13), nil); !errors.Is(rerr, ErrTampered) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrTampered", n, rerr)
+		}
+	}
+}
+
+func TestReadRejectsWrongSealer(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, seal.New(1), 2, buildPairs(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(filepath.Join(dir, Name(2)), seal.New(2), nil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("wrong sealer: got %v", err)
+	}
+}
+
+func TestSetRoundTripAndListing(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(21)
+	if _, err := WriteSet(dir, s, 10, 77, []string{Name(5), Name(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSet(dir, s, 30, 99, []string{Name(30)}); err != nil {
+		t.Fatal(err)
+	}
+	sets, err := Sets(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || sets[0].Covered != 30 || sets[1].Covered != 10 {
+		t.Fatalf("sets = %+v", sets)
+	}
+	covered, clock, names, err := ReadSet(sets[1].Path, seal.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 10 || clock != 77 || len(names) != 2 || names[0] != Name(5) || names[1] != Name(10) {
+		t.Fatalf("ReadSet = %d %d %v", covered, clock, names)
+	}
+}
+
+func TestReadSetRejectsEveryByteFlip(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(23)
+	if _, err := WriteSet(dir, s, 8, 1, []string{Name(8)}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SetName(8))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(orig); off++ {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, rerr := ReadSet(path, seal.New(23)); !errors.Is(rerr, ErrTampered) {
+			t.Fatalf("flip at offset %d: got %v", off, rerr)
+		}
+	}
+}
+
+func TestPruneKeepsReferencedGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(31)
+	// Three generations: set@10 = {seg5, seg10}, set@20 = {seg5, seg20}
+	// (seg5 carried forward), set@30 = {seg30}.
+	for _, c := range []uint64{5, 10, 20, 30} {
+		if _, err := Write(dir, s, c, buildPairs(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet := func(covered uint64, names ...string) {
+		t.Helper()
+		if _, err := WriteSet(dir, s, covered, 0, names); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(10, Name(5), Name(10))
+	mustSet(20, Name(5), Name(20))
+	mustSet(30, Name(30))
+	if err := os.WriteFile(filepath.Join(dir, Name(99)+tmpSuffix), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Keep generations covering >= 20: set@20 and set@30 survive, and
+	// set@20 still references seg5 — carried-forward members must live.
+	if err := Prune(dir, s, 20); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		Name(5): true, Name(20): true, Name(30): true,
+		SetName(20): true, SetName(30): true,
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, e := range entries {
+		got[e.Name()] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Errorf("pruned %s, which a surviving set references", n)
+		}
+	}
+	for n := range got {
+		if !want[n] {
+			t.Errorf("left %s behind", n)
+		}
+	}
+}
+
+func TestPruneRefusesWhenManifestUnreadable(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(37)
+	if _, err := Write(dir, s, 10, buildPairs(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSet(dir, s, 10, 0, []string{Name(10)}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SetName(10))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, s, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, Name(10))); err != nil {
+		t.Fatal("prune deleted a segment while its manifest was unreadable")
+	}
+}
+
+func TestIsStateFile(t *testing.T) {
+	cases := map[string]bool{
+		Name(1):            true,
+		SetName(7):         true,
+		"seg-abc.seal":     false,
+		"wal-000.log":      false,
+		Name(1) + ".tmp":   false,
+		"snap-000.seal":    false,
+		"segset-1234.seal": false, // wrong digit count
+	}
+	for name, want := range cases {
+		if got := IsStateFile(name); got != want {
+			t.Errorf("IsStateFile(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestWriteRejectsOversizeKey(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, seal.New(1), 1, []Pair{{Key: make([]byte, maxSegmentKey+1)}}); err == nil {
+		t.Fatal("oversize key accepted")
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	s := seal.New(41)
+	if _, err := Write(dir, s, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	meta, got := readAll(t, filepath.Join(dir, Name(6)), s)
+	if meta.Pairs != 0 || len(got) != 0 {
+		t.Fatalf("empty segment read back %d pairs", len(got))
+	}
+}

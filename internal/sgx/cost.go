@@ -50,6 +50,21 @@ type CostModel struct {
 	// key hint).
 	HashCycles uint64
 
+	// CompressFixedCycles + n*CompressByteCycles is the cost of encoding
+	// n input bytes with the cold-tier pattern-dictionary compressor
+	// (internal/compress): a dictionary probe per position plus the
+	// token emission. Priced per *input* byte — compression work scales
+	// with what goes in, not with what comes out.
+	CompressFixedCycles uint64
+	CompressByteCycles  uint64
+
+	// DecompressFixedCycles + n*DecompressByteCycles is the cost of
+	// expanding one compressed record back to n output bytes. Cheaper
+	// per byte than compression (no matching, just copies), and priced
+	// per *output* byte — the work is materializing the plaintext.
+	DecompressFixedCycles uint64
+	DecompressByteCycles  uint64
+
 	// CPUHz converts accumulated cycles into simulated seconds when
 	// reporting throughput. The paper's testbed is a 3.6 GHz i7-7700.
 	CPUHz float64
@@ -85,7 +100,14 @@ func defaultCosts() CostModel {
 		CTRFixedCycles:      780,
 		CTRByteCycles:       2,
 		HashCycles:          40,
-		CPUHz:               3.6e9,
+		// Dictionary compression runs at a few cycles per input byte
+		// (hash-probe matching, in the ballpark of LZ-class encoders on
+		// the paper's testbed); decompression is a straight token walk.
+		CompressFixedCycles:   600,
+		CompressByteCycles:    6,
+		DecompressFixedCycles: 200,
+		DecompressByteCycles:  1,
+		CPUHz:                 3.6e9,
 	}
 }
 

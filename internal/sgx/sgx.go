@@ -495,3 +495,24 @@ func (e *Enclave) ChargeHash() {
 	e.stats.Hashes++
 	e.cycles += e.costs.HashCycles
 }
+
+// ChargeCompress accounts one cold-tier compression pass over n input
+// bytes (internal/compress greedy cover encoding). Compute-only: the
+// boundary copy of the (smaller) output is charged separately by the
+// caller via SealOut/SealIn, which is precisely where compression pays
+// off — fewer sealed bytes cross the boundary.
+func (e *Enclave) ChargeCompress(n int) {
+	if !e.measuring {
+		return
+	}
+	e.cycles += e.costs.CompressFixedCycles + uint64(n)*e.costs.CompressByteCycles
+}
+
+// ChargeDecompress accounts expanding one compressed record to n output
+// bytes on a cold-tier read or recovery.
+func (e *Enclave) ChargeDecompress(n int) {
+	if !e.measuring {
+		return
+	}
+	e.cycles += e.costs.DecompressFixedCycles + uint64(n)*e.costs.DecompressByteCycles
+}

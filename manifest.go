@@ -108,7 +108,8 @@ func durableStateKind(dir string) (string, error) {
 		switch {
 		case e.IsDir() && strings.HasPrefix(name, "shard-"):
 			return "sharded", nil
-		case strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "snap-"):
+		case strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "snap-"),
+			strings.HasPrefix(name, "seg-") || strings.HasPrefix(name, "segset-"):
 			kind = "single"
 		}
 	}

@@ -68,6 +68,18 @@ const (
 	metricTTLExpired        = "aria_ttl_expired_total"
 	metricTTLSwept          = "aria_ttl_swept_total"
 	metricTTLSweeps         = "aria_ttl_sweeps_total"
+	metricCompRatio         = "aria_comp_ratio"
+	metricCompDictBytes     = "aria_comp_dict_bytes"
+	metricCompColdKeys      = "aria_comp_cold_keys"
+	metricCompColdBytes     = "aria_comp_cold_bytes"
+	metricCompColdHits      = "aria_comp_cold_hits_total"
+	metricCompColdMisses    = "aria_comp_cold_misses_total"
+	metricCompRawBytes      = "aria_comp_raw_bytes_total"
+	metricCompBytes         = "aria_comp_bytes_total"
+	metricSegCount          = "aria_seg_count"
+	metricSegBytes          = "aria_seg_bytes"
+	metricSegCompactions    = "aria_seg_compactions_total"
+	metricSegCompactWallNs  = "aria_seg_compact_wall_ns"
 )
 
 // opKind indexes the per-operation instrument arrays.
@@ -120,7 +132,8 @@ type meteredStore struct {
 	bkeys      [batchKindCount]*obs.Counter
 	bkeyErrs   [batchKindCount]*obs.Counter
 
-	ckptWall *obs.Histogram
+	ckptWall    *obs.Histogram
+	compactWall *obs.Histogram
 }
 
 // enclaveOf extracts the simulated enclave behind a single-scheme store
@@ -181,6 +194,8 @@ func meter(inner Store, reg *obs.Registry, shard string) *meteredStore {
 	// even on stores opened without DataDir.
 	m.ckptWall = reg.Histogram(metricCheckpointWallNs,
 		"Checkpoint (sealed snapshot + WAL truncation) duration in wall-clock nanoseconds.", sl)
+	m.compactWall = reg.Histogram(metricSegCompactWallNs,
+		"Major segment compaction duration in wall-clock nanoseconds (checkpoints that rewrote the full segment set).", sl)
 	reg.RegisterCollector(func(emit obs.Emit) {
 		st := m.Stats() // takes m.mu: the synchronized read path
 		emit(metricSimCyclesTotal, "Simulated enclave clock, cycles.", obs.TypeCounter, sl, float64(st.SimCycles))
@@ -211,6 +226,21 @@ func meter(inner Store, reg *obs.Registry, shard string) *meteredStore {
 		emit(metricTTLExpired, "Expired keys reclaimed lazily by reads.", obs.TypeCounter, sl, float64(st.TTLExpired))
 		emit(metricTTLSwept, "Expired keys reclaimed by background sweeps.", obs.TypeCounter, sl, float64(st.TTLSwept))
 		emit(metricTTLSweeps, "Background expiry sweep passes completed.", obs.TypeCounter, sl, float64(st.TTLSweeps))
+		ratio := 1.0
+		if st.CompRawBytes > 0 {
+			ratio = float64(st.CompBytes) / float64(st.CompRawBytes)
+		}
+		emit(metricCompRatio, "Cold-tier compression ratio, compressed/raw bytes (1 when nothing compressed yet).", obs.TypeGauge, sl, ratio)
+		emit(metricCompDictBytes, "Serialized size of the live cold-tier pattern dictionary.", obs.TypeGauge, sl, float64(st.CompDictBytes))
+		emit(metricCompColdKeys, "Keys demoted to the compressed cold tier.", obs.TypeGauge, sl, float64(st.ColdKeys))
+		emit(metricCompColdBytes, "Compressed bytes resident in the cold tier.", obs.TypeGauge, sl, float64(st.ColdBytes))
+		emit(metricCompColdHits, "Reads promoted from the cold tier (decompress-on-miss).", obs.TypeCounter, sl, float64(st.ColdHits))
+		emit(metricCompColdMisses, "Reads that found the key in neither the hot index nor the cold tier.", obs.TypeCounter, sl, float64(st.ColdMisses))
+		emit(metricCompRawBytes, "Raw bytes fed to the cold-tier compressor.", obs.TypeCounter, sl, float64(st.CompRawBytes))
+		emit(metricCompBytes, "Bytes produced by the cold-tier compressor.", obs.TypeCounter, sl, float64(st.CompBytes))
+		emit(metricSegCount, "Sealed segments in the live segment set.", obs.TypeGauge, sl, float64(st.Segments))
+		emit(metricSegBytes, "On-disk bytes held by the live segment set (manifest included).", obs.TypeGauge, sl, float64(st.SegmentBytes))
+		emit(metricSegCompactions, "Major compactions (full segment-set rewrites) completed.", obs.TypeCounter, sl, float64(st.Compactions))
 	})
 	return m
 }
@@ -476,9 +506,16 @@ func (m *meteredStore) Checkpoint() error {
 	if !ok {
 		return ErrNotDurable
 	}
+	// Compactions is read around the checkpoint so a full segment-set
+	// rewrite (cold tier only) also lands in the compaction histogram.
+	c0 := m.inner.Stats().Compactions
 	t0 := time.Now()
 	err := d.Checkpoint()
-	m.ckptWall.Record(uint64(time.Since(t0)))
+	dt := uint64(time.Since(t0))
+	m.ckptWall.Record(dt)
+	if m.inner.Stats().Compactions > c0 {
+		m.compactWall.Record(dt)
+	}
 	return err
 }
 

@@ -550,6 +550,16 @@ func (s *shardedStore) Stats() Stats {
 		agg.WALFsyncs += st.WALFsyncs
 		agg.Checkpoints += st.Checkpoints
 		agg.RecoveredRecords += st.RecoveredRecords
+		agg.ColdKeys += st.ColdKeys
+		agg.ColdBytes += st.ColdBytes
+		agg.ColdHits += st.ColdHits
+		agg.ColdMisses += st.ColdMisses
+		agg.CompRawBytes += st.CompRawBytes
+		agg.CompBytes += st.CompBytes
+		agg.CompDictBytes += st.CompDictBytes
+		agg.Segments += st.Segments
+		agg.SegmentBytes += st.SegmentBytes
+		agg.Compactions += st.Compactions
 		if st.SimCycles > agg.SimCycles {
 			agg.SimCycles = st.SimCycles
 			agg.SimSeconds = st.SimSeconds
